@@ -1,0 +1,61 @@
+//! Criterion micro-benches of the edge-detection kernels.
+//!
+//! These measure *simulator wall-clock throughput* (how fast this Rust
+//! implementation runs on the host), complementing the modeled hardware
+//! cycle counts printed by the `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pimvo_kernels::{pim_naive, pim_opt, scalar, EdgeConfig, GrayImage};
+use pimvo_pim::{ArrayConfig, PimMachine};
+
+fn qvga_image() -> GrayImage {
+    GrayImage::from_fn(320, 240, |x, y| {
+        ((x * 13 + y * 7).wrapping_mul(2654435761) >> 9) as u8
+    })
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let img = qvga_image();
+    let cfg = EdgeConfig::default();
+    let lpf_map = scalar::lpf(&img);
+    let hpf_map = scalar::hpf(&lpf_map);
+
+    let mut g = c.benchmark_group("edge_kernels_scalar");
+    g.bench_function("lpf", |b| b.iter(|| scalar::lpf(&img)));
+    g.bench_function("hpf", |b| b.iter(|| scalar::hpf(&lpf_map)));
+    g.bench_function("nms", |b| b.iter(|| scalar::nms(&hpf_map, &cfg)));
+    g.bench_function("full_pipeline", |b| b.iter(|| scalar::edge_detect(&img, &cfg)));
+    g.finish();
+
+    let mut g = c.benchmark_group("edge_kernels_pim_simulated");
+    g.sample_size(10);
+    g.bench_function("optimized", |b| {
+        b.iter_batched(
+            || PimMachine::new(ArrayConfig::qvga_banks(6)),
+            |mut m| pim_opt::edge_detect(&mut m, &img, &cfg),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("naive", |b| {
+        b.iter_batched(
+            || PimMachine::new(ArrayConfig::qvga_banks(6)),
+            |mut m| pim_naive::edge_detect(&mut m, &img, &cfg),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("multireg", |b| {
+        b.iter_batched(
+            || {
+                let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+                m.set_tmp_regs(pimvo_kernels::pim_multireg::REGS_REQUIRED);
+                m
+            },
+            |mut m| pimvo_kernels::pim_multireg::edge_detect(&mut m, &img, &cfg),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

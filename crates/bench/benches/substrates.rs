@@ -1,0 +1,54 @@
+//! Criterion benches of the supporting substrates: distance transform,
+//! SE(3) operations, the synthetic renderer and CNN inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pimvo_cnn::{render_shape, Shape, SmallNet};
+use pimvo_pim::{ArrayConfig, PimMachine};
+use pimvo_scene::{build_scene, RenderOptions, SequenceKind};
+use pimvo_vomath::{distance_transform, gradient_maps, Pinhole, SE3};
+
+fn bench_substrates(c: &mut Criterion) {
+    // distance transform on a QVGA edge mask
+    let mut mask = vec![0u8; 320 * 240];
+    for i in (0..mask.len()).step_by(23) {
+        mask[i] = 255;
+    }
+    let mut g = c.benchmark_group("substrates");
+    g.bench_function("distance_transform_qvga", |b| {
+        b.iter(|| distance_transform(&mask, 320, 240))
+    });
+    let dt = distance_transform(&mask, 320, 240);
+    g.bench_function("gradient_maps_qvga", |b| b.iter(|| gradient_maps(&dt)));
+
+    // SE(3) exp/log round trip
+    let xi = [0.1, -0.05, 0.2, 0.03, -0.02, 0.01];
+    g.bench_function("se3_exp_log", |b| {
+        b.iter(|| {
+            let t = SE3::exp(&xi);
+            t.log()
+        })
+    });
+
+    // one synthetic QVGA render
+    let scene = build_scene(SequenceKind::Desk);
+    let cam = Pinhole::qvga();
+    let opts = RenderOptions::default();
+    g.sample_size(10);
+    g.bench_function("render_qvga_frame", |b| {
+        b.iter(|| scene.render(&cam, &SE3::IDENTITY, &opts, 0))
+    });
+
+    // CNN inference on the simulated PIM
+    let mut net = SmallNet::untrained();
+    let _ = net.train_head(20, 5, 8);
+    let img = render_shape(Shape::Circle, 42);
+    g.bench_function("cnn_inference_scalar", |b| b.iter(|| net.forward_scalar(&img)));
+    g.bench_function("cnn_inference_pim_simulated", |b| {
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        b.iter(|| net.forward_pim(&mut m, 0, &img))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

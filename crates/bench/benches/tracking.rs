@@ -1,0 +1,29 @@
+//! Criterion bench of full-frame tracking on both backends (simulator
+//! wall-clock per frame).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pimvo_core::{BackendKind, Tracker, TrackerConfig};
+use pimvo_scene::{Sequence, SequenceKind};
+
+fn bench_tracking(c: &mut Criterion) {
+    let seq = Sequence::generate(SequenceKind::Desk, 4);
+    let mut g = c.benchmark_group("tracking_per_frame");
+    g.sample_size(10);
+    for (name, backend) in [("float", BackendKind::Float), ("pim", BackendKind::Pim)] {
+        g.bench_function(name, |b| {
+            let mut tracker = Tracker::new(TrackerConfig::default(), backend);
+            // bootstrap so the measured frames exercise the LM path
+            let _ = tracker.process_frame(&seq.frames[0].gray, &seq.frames[0].depth);
+            let mut i = 1usize;
+            b.iter(|| {
+                let f = &seq.frames[1 + (i % 3)];
+                i += 1;
+                tracker.process_frame(&f.gray, &f.depth)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Runs every experiment (E1-E11 except the Fig. 8 file dump) and
+//! prints one consolidated report. Optional argument: frame count for
+//! the accuracy runs (default 90).
+
+fn main() {
+    let frames = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(pimvo_bench::DEFAULT_FRAMES);
+    print!("{}", pimvo_bench::reports::all(frames));
+}

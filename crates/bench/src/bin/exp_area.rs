@@ -1,0 +1,5 @@
+//! Experiment E11: the §5.1 area/energy characterization report.
+
+fn main() {
+    print!("{}", pimvo_bench::reports::area());
+}

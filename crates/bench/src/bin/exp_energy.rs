@@ -1,0 +1,7 @@
+//! Experiment E9: regenerates the §5.4 energy comparison (mJ per frame,
+//! baseline MCU vs PIM EBVO).
+
+fn main() {
+    let (_, report) = pimvo_bench::reports::energy();
+    print!("{report}");
+}

@@ -1,0 +1,7 @@
+//! Experiment E5: regenerates Fig. 10-a (energy decomposition across
+//! the PIM components: SRAM array, shifter & adder, Tmp Reg).
+
+fn main() {
+    let (_, report) = pimvo_bench::reports::fig10a();
+    print!("{report}");
+}

@@ -1,0 +1,7 @@
+//! Experiment E6: regenerates Fig. 10-b (memory-access decomposition:
+//! SRAM reads / writes / Tmp Reg traffic).
+
+fn main() {
+    let (_, report) = pimvo_bench::reports::fig10b();
+    print!("{report}");
+}

@@ -1,0 +1,24 @@
+//! Experiment E2: regenerates Fig. 8 — tracked trajectories vs ground
+//! truth for a texture-rich and a texture-poor sequence. Writes TUM
+//! format trajectory files under `out/`.
+
+use std::fs;
+
+fn main() {
+    let frames = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(pimvo_bench::DEFAULT_FRAMES);
+    let (files, report) = pimvo_bench::reports::fig8(frames);
+    fs::create_dir_all("out").expect("create out/");
+    for (name, est, gt, svg) in files {
+        let est_path = format!("out/fig8_{name}_estimate.txt");
+        let gt_path = format!("out/fig8_{name}_groundtruth.txt");
+        let svg_path = format!("out/fig8_{name}.svg");
+        fs::write(&est_path, est).expect("write estimate");
+        fs::write(&gt_path, gt).expect("write ground truth");
+        fs::write(&svg_path, svg).expect("write plot");
+        println!("wrote {est_path} / {gt_path} / {svg_path}");
+    }
+    print!("{report}");
+}

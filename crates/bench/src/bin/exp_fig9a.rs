@@ -1,0 +1,8 @@
+//! Experiments E3 + E8: regenerates Fig. 9-a (per-frame cycles,
+//! baseline vs PIM) and the §5.3 speed-up ratios / iso-performance
+//! clock frequency.
+
+fn main() {
+    let (_, report) = pimvo_bench::reports::fig9a();
+    print!("{report}");
+}

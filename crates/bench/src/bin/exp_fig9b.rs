@@ -1,0 +1,7 @@
+//! Experiment E4: regenerates Fig. 9-b (naive vs optimized PIM
+//! mappings of LPF / HPF / NMS / one LM iteration).
+
+fn main() {
+    let (_, report) = pimvo_bench::reports::fig9b();
+    print!("{report}");
+}

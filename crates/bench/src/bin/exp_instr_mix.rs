@@ -1,0 +1,7 @@
+//! Experiment E7: regenerates the §1 motivation profile — the share of
+//! data-movement instructions in a portable EBVO frame.
+
+fn main() {
+    let (_, report) = pimvo_bench::reports::instr_mix();
+    print!("{report}");
+}

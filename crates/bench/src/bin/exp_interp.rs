@@ -1,0 +1,10 @@
+//! Ablation: nearest-neighbour vs bilinear residual lookup on the PIM
+//! backend — accuracy and per-frame LM cycle cost.
+
+fn main() {
+    let frames = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+    print!("{}", pimvo_bench::reports::interp_ablation(frames));
+}

@@ -1,0 +1,10 @@
+//! Robustness sweep: tracking accuracy versus synthetic sensor noise
+//! (intensity and range noise swept independently).
+
+fn main() {
+    let frames = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(45);
+    print!("{}", pimvo_bench::reports::noise_sweep(frames));
+}

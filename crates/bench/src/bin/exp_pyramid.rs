@@ -1,0 +1,6 @@
+//! Extension ablation: coarse-to-fine pyramid levels vs the
+//! convergence basin of the edge alignment.
+
+fn main() {
+    print!("{}", pimvo_bench::reports::pyramid_ablation());
+}

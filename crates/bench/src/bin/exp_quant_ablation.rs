@@ -1,0 +1,7 @@
+//! Experiment E10: regenerates the §3.3/§3.4 quantization evidence —
+//! feature-width warp-error sweep and Hessian accumulator-width
+//! ablation.
+
+fn main() {
+    print!("{}", pimvo_bench::reports::quant_ablation());
+}

@@ -1,0 +1,11 @@
+//! Experiment E1: regenerates Table 1 of the paper (RMSE of relative
+//! pose error, baseline vs PIM EBVO, three sequences).
+
+fn main() {
+    let frames = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(pimvo_bench::DEFAULT_FRAMES);
+    let (_, report) = pimvo_bench::reports::table1(frames);
+    print!("{report}");
+}

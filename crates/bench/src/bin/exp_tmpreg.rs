@@ -1,0 +1,7 @@
+//! Extension ablation (§5.4): Tmp-register count — cycles, SRAM
+//! traffic and energy of the edge-detection pipeline with one vs four
+//! temporary registers.
+
+fn main() {
+    print!("{}", pimvo_bench::reports::tmpreg_ablation());
+}

@@ -1,0 +1,773 @@
+//! Experiment implementations. Each function performs the measurement
+//! for one table/figure and returns both the structured numbers and a
+//! formatted report block; the `exp_*` binaries are thin wrappers.
+
+use crate::{canonical_frame, fmt_cycles, run_sequence, SequenceRun, DEFAULT_FRAMES};
+use pimvo_core::pim_exec::{run_batch, run_batch_naive, BATCH};
+use pimvo_core::{
+    ablation, extract_features, BackendKind, Keyframe, QFeature, QPose, Tracker,
+    TrackerConfig,
+};
+use pimvo_kernels::{pim_naive, pim_opt, EdgeConfig};
+use pimvo_mcu::{
+    edge_detect_counted, edge_detect_counted_with, linearize_counted, CodegenModel, CostCounter,
+    FloatFeature, InstructionMix,
+};
+use pimvo_pim::{ArrayConfig, CostModel, PimMachine};
+use pimvo_scene::{format_tum, SequenceKind};
+use pimvo_vomath::{Pinhole, SE3};
+use std::fmt::Write as _;
+
+/// Mean LM iterations the paper reports (×8 in Fig. 9-a's `LM*`).
+pub const LM_ITERS: u64 = 8;
+
+/// Table 1 — RMSE of relative pose error for the three sequences, both
+/// backends.
+pub fn table1(frames: usize) -> (Vec<SequenceRun>, String) {
+    let mut runs = Vec::new();
+    let mut out = String::new();
+    writeln!(out, "Table 1: RMSE of relative pose error (1 s windows)").unwrap();
+    writeln!(
+        out,
+        "{:<14} | {:>10} {:>10} | {:>10} {:>10}",
+        "", "baseline", "", "PIM EBVO", ""
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} | {:>10} {:>10} | {:>10} {:>10}",
+        "sequence", "t (m/s)", "rot (°/s)", "t (m/s)", "rot (°/s)"
+    )
+    .unwrap();
+    for kind in SequenceKind::all() {
+        let float_run = run_sequence(kind, BackendKind::Float, frames);
+        let pim_run = run_sequence(kind, BackendKind::Pim, frames);
+        writeln!(
+            out,
+            "{:<14} | {:>10.4} {:>10.3} | {:>10.4} {:>10.3}",
+            kind.name(),
+            float_run.rpe.trans_mps,
+            float_run.rpe.rot_dps,
+            pim_run.rpe.trans_mps,
+            pim_run.rpe.rot_dps
+        )
+        .unwrap();
+        runs.push(float_run);
+        runs.push(pim_run);
+    }
+    writeln!(
+        out,
+        "(paper, TUM RGB-D: fr1_xyz 0.030/1.82 vs 0.039/1.92; fr2_desk \
+         0.020/0.69 vs 0.019/0.64; fr3_st_ntex_far 0.028/0.77 vs 0.030/0.86)"
+    )
+    .unwrap();
+    (runs, out)
+}
+
+/// Fig. 8 — estimated vs ground-truth trajectories (TUM text + SVG) and
+/// the semi-dense reconstruction quality for a texture-rich and a
+/// texture-poor sequence.
+pub fn fig8(frames: usize) -> (Vec<(String, String, String, String)>, String) {
+    let mut files = Vec::new();
+    let mut out = String::new();
+    writeln!(out, "Fig. 8: trajectory + reconstruction vs ground truth (PIM backend)").unwrap();
+    for kind in [SequenceKind::Desk, SequenceKind::StrNtexFar] {
+        let run = run_sequence(kind, BackendKind::Pim, frames);
+        let ate = pimvo_scene::ate_rmse(&run.estimate, &run.ground_truth);
+        // reconstruction: re-track with map building and measure the
+        // RMS distance of map points to the analytic scene surfaces
+        let seq = pimvo_scene::Sequence::generate(kind, frames);
+        let scene = pimvo_scene::build_scene(kind);
+        let config = TrackerConfig {
+            build_map: true,
+            ..TrackerConfig::default()
+        };
+        let mut tracker = Tracker::new(config, BackendKind::Pim);
+        for f in &seq.frames {
+            let _ = tracker.process_frame(&f.gray, &f.depth);
+        }
+        let map = tracker.map().expect("map enabled");
+        // align map points with the gt start pose before measuring
+        let align = seq.ground_truth.samples[0].1;
+        let rms = {
+            let n = map.len().max(1) as f64;
+            let sum2: f64 = map
+                .points()
+                .iter()
+                .map(|&p| {
+                    let d = scene.distance_to_surface(align.transform(p));
+                    d * d
+                })
+                .sum();
+            (sum2 / n).sqrt()
+        };
+        writeln!(
+            out,
+            "  {:<14} ATE RMSE {:.4} m over {:.2} m path ({} keyframes); map: {} points, RMS surface distance {:.4} m",
+            kind.name(),
+            ate,
+            run.ground_truth.path_length(),
+            run.keyframes,
+            map.len(),
+            rms
+        )
+        .unwrap();
+        files.push((
+            kind.name().to_string(),
+            format_tum(&run.estimate.aligned_to(&run.ground_truth)),
+            format_tum(&run.ground_truth),
+            pimvo_scene::plot_trajectories_svg(
+                &run.estimate,
+                &run.ground_truth,
+                pimvo_scene::PlotPlane::Xz,
+                kind.name(),
+            ),
+        ));
+    }
+    (files, out)
+}
+
+/// Measured cycle counts behind Fig. 9-a.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9aResult {
+    /// MCU edge-detection cycles per frame.
+    pub mcu_edge: u64,
+    /// MCU LM cycles (×[`LM_ITERS`] iterations).
+    pub mcu_lm8: u64,
+    /// PIM edge-detection cycles per frame.
+    pub pim_edge: u64,
+    /// PIM LM cycles (×[`LM_ITERS`] iterations).
+    pub pim_lm8: u64,
+    /// Features used for the LM measurement.
+    pub features: usize,
+}
+
+impl Fig9aResult {
+    /// Edge-detection speed-up.
+    pub fn edge_speedup(&self) -> f64 {
+        self.mcu_edge as f64 / self.pim_edge as f64
+    }
+    /// LM speed-up.
+    pub fn lm_speedup(&self) -> f64 {
+        self.mcu_lm8 as f64 / self.pim_lm8 as f64
+    }
+    /// Overall per-frame speed-up.
+    pub fn overall_speedup(&self) -> f64 {
+        (self.mcu_edge + self.mcu_lm8) as f64 / (self.pim_edge + self.pim_lm8) as f64
+    }
+}
+
+/// Fig. 9-a — per-frame cycles, baseline vs PIM, for edge detection and
+/// 8 LM iterations.
+pub fn fig9a() -> (Fig9aResult, String) {
+    let (gray, depth) = canonical_frame();
+    let cam = Pinhole::qvga();
+    let cfg = EdgeConfig::default();
+
+    // MCU side
+    let mut counter = CostCounter::new();
+    let maps = edge_detect_counted(&gray, &cfg, &mut counter);
+    let mcu_edge = counter.cycles();
+    let features = extract_features(&maps.mask, &depth, &cam, 6000, 0.3, 8.0);
+    let floats: Vec<FloatFeature> = features
+        .iter()
+        .map(|f| FloatFeature {
+            a: f.a,
+            b: f.b,
+            c: f.c,
+        })
+        .collect();
+    let kf = Keyframe::build(0, SE3::IDENTITY, maps.mask.clone(), &cam);
+    counter.reset();
+    let _ = linearize_counted(&floats, &kf.tables, &cam, &SE3::IDENTITY, &mut counter);
+    let mcu_lm8 = counter.cycles() * LM_ITERS;
+
+    // PIM side
+    let mut machine = PimMachine::new(ArrayConfig::qvga_banks(6));
+    let c0 = machine.stats().cycles;
+    let _ = pim_opt::edge_detect(&mut machine, &gray, &cfg);
+    let pim_edge = machine.stats().cycles - c0;
+    let qpose = QPose::quantize(&SE3::IDENTITY);
+    let qfeats: Vec<QFeature> = features.iter().map(QFeature::quantize).collect();
+    let c1 = machine.stats().cycles;
+    let _ = run_batch(
+        &mut machine,
+        5 * 256 + 64,
+        &qfeats[..BATCH.min(qfeats.len())],
+        &qpose,
+        &kf.q_tables,
+        &cam,
+    );
+    let per_batch = machine.stats().cycles - c1;
+    let batches = features.len().div_ceil(BATCH) as u64;
+    let pim_lm8 = per_batch * batches * LM_ITERS;
+
+    let res = Fig9aResult {
+        mcu_edge,
+        mcu_lm8,
+        pim_edge,
+        pim_lm8,
+        features: features.len(),
+    };
+    let mut out = String::new();
+    writeln!(out, "Fig. 9-a: computing cycles per frame ({} features)", res.features).unwrap();
+    writeln!(out, "  {:<18} {:>12} {:>12}", "", "baseline", "PIM").unwrap();
+    writeln!(
+        out,
+        "  {:<18} {:>12} {:>12}   ({:.0}x)",
+        "edge detection",
+        fmt_cycles(res.mcu_edge),
+        fmt_cycles(res.pim_edge),
+        res.edge_speedup()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:<18} {:>12} {:>12}   ({:.1}x)",
+        "LM x8",
+        fmt_cycles(res.mcu_lm8),
+        fmt_cycles(res.pim_lm8),
+        res.lm_speedup()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  overall speed-up: {:.1}x  (paper: 48x edge, 9x LM, ~11x overall)",
+        res.overall_speedup()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  iso-performance PIM clock: {:.1} MHz (paper: ~19 MHz at 216 MHz baseline)",
+        216.0 / res.overall_speedup()
+    )
+    .unwrap();
+    (res, out)
+}
+
+/// Measured cycles behind Fig. 9-b.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9bResult {
+    /// (naive, optimized) cycles per kernel.
+    pub lpf: (u64, u64),
+    /// HPF cycles.
+    pub hpf: (u64, u64),
+    /// NMS cycles.
+    pub nms: (u64, u64),
+    /// One LM iteration.
+    pub lm: (u64, u64),
+}
+
+/// Fig. 9-b — naive vs optimized PIM mappings.
+pub fn fig9b() -> (Fig9bResult, String) {
+    let (gray, depth) = canonical_frame();
+    let cam = Pinhole::qvga();
+    let cfg = EdgeConfig::default();
+
+    let measure_edge = |naive: bool| -> (u64, u64, u64) {
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let c0 = m.stats().cycles;
+        let lpf_map = if naive {
+            pim_naive::lpf(&mut m, &gray)
+        } else {
+            pim_opt::lpf(&mut m, &gray)
+        };
+        let c1 = m.stats().cycles;
+        let hpf_map = if naive {
+            pim_naive::hpf(&mut m, &lpf_map)
+        } else {
+            pim_opt::hpf(&mut m, &lpf_map)
+        };
+        let c2 = m.stats().cycles;
+        if naive {
+            let _ = pim_naive::nms(&mut m, &hpf_map, &cfg);
+        } else {
+            let _ = pim_opt::nms(&mut m, &hpf_map, &cfg);
+        }
+        let c3 = m.stats().cycles;
+        (c1 - c0, c2 - c1, c3 - c2)
+    };
+    let (lpf_n, hpf_n, nms_n) = measure_edge(true);
+    let (lpf_o, hpf_o, nms_o) = measure_edge(false);
+
+    // LM: one iteration, naive vs optimized batch schedule
+    let maps = pim_opt::edge_detect(&mut PimMachine::new(ArrayConfig::qvga_banks(6)), &gray, &cfg);
+    let features = extract_features(&maps.mask, &depth, &cam, 6000, 0.3, 8.0);
+    let kf = Keyframe::build(0, SE3::IDENTITY, maps.mask.clone(), &cam);
+    let qpose = QPose::quantize(&SE3::IDENTITY);
+    let qfeats: Vec<QFeature> = features.iter().map(QFeature::quantize).collect();
+    let batches = features.len().div_ceil(BATCH) as u64;
+    let measure_lm = |naive: bool| -> u64 {
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let c0 = m.stats().cycles;
+        let chunk = &qfeats[..BATCH.min(qfeats.len())];
+        if naive {
+            let _ = run_batch_naive(&mut m, 5 * 256 + 64, chunk, &qpose, &kf.q_tables, &cam);
+        } else {
+            let _ = run_batch(&mut m, 5 * 256 + 64, chunk, &qpose, &kf.q_tables, &cam);
+        }
+        (m.stats().cycles - c0) * batches
+    };
+    let lm_n = measure_lm(true);
+    let lm_o = measure_lm(false);
+
+    let res = Fig9bResult {
+        lpf: (lpf_n, lpf_o),
+        hpf: (hpf_n, hpf_o),
+        nms: (nms_n, nms_o),
+        lm: (lm_n, lm_o),
+    };
+    let mut out = String::new();
+    writeln!(out, "Fig. 9-b: naive vs optimized PIM mappings (cycles)").unwrap();
+    writeln!(out, "  {:<8} {:>10} {:>10} {:>8}", "kernel", "naive", "opt", "ratio").unwrap();
+    for (name, (n, o)) in [
+        ("LPF", res.lpf),
+        ("HPF", res.hpf),
+        ("NMS", res.nms),
+        ("LM x1", res.lm),
+    ] {
+        writeln!(
+            out,
+            "  {:<8} {:>10} {:>10} {:>7.2}x",
+            name,
+            fmt_cycles(n),
+            fmt_cycles(o),
+            n as f64 / o as f64
+        )
+        .unwrap();
+    }
+    let edge_ratio = (lpf_n + hpf_n + nms_n) as f64 / (lpf_o + hpf_o + nms_o) as f64;
+    writeln!(
+        out,
+        "  edge detection overall: {edge_ratio:.2}x (paper: 1.7x); LM (paper: 1.4x)"
+    )
+    .unwrap();
+    (res, out)
+}
+
+/// Tracks one full frame on the PIM backend and returns the machine
+/// statistics (used by the energy/memory decompositions).
+fn pim_frame_stats(frames: usize) -> (pimvo_pim::ExecStats, u64) {
+    let mut tracker = Tracker::new(TrackerConfig::default(), BackendKind::Pim);
+    let seq = pimvo_scene::Sequence::generate(SequenceKind::Xyz, frames);
+    for f in &seq.frames {
+        let _ = tracker.process_frame(&f.gray, &f.depth);
+    }
+    let stats = tracker.stats();
+    (stats.pim.expect("pim backend"), stats.frames)
+}
+
+/// Fig. 10-a — energy decomposition per PIM component.
+pub fn fig10a() -> (pimvo_pim::EnergyBreakdown, String) {
+    let (stats, frames) = pim_frame_stats(6);
+    let cost = CostModel::default();
+    let e = stats.energy(&cost);
+    let total = e.total_pj();
+    let mut out = String::new();
+    writeln!(out, "Fig. 10-a: PIM energy decomposition ({frames} frames)").unwrap();
+    writeln!(out, "  SRAM array     : {:>6.1} %  (paper: 86 %)", 100.0 * e.sram_pj / total).unwrap();
+    writeln!(
+        out,
+        "  shifter & adder: {:>6.1} %",
+        100.0 * e.shifter_adder_pj / total
+    )
+    .unwrap();
+    writeln!(out, "  Tmp Reg        : {:>6.1} %", 100.0 * e.tmp_reg_pj / total).unwrap();
+    (e, out)
+}
+
+/// Fig. 10-b — memory-access decomposition.
+pub fn fig10b() -> (pimvo_pim::MemAccessBreakdown, String) {
+    let (stats, frames) = pim_frame_stats(6);
+    let m = stats.mem_accesses();
+    let total = m.total() as f64;
+    let mut out = String::new();
+    writeln!(out, "Fig. 10-b: memory-access decomposition ({frames} frames)").unwrap();
+    writeln!(out, "  SRAM reads : {:>6.1} %", 100.0 * m.sram_reads as f64 / total).unwrap();
+    writeln!(
+        out,
+        "  SRAM writes: {:>6.1} %  (paper: ~7 % after Tmp-Reg optimization)",
+        100.0 * m.sram_writes as f64 / total
+    )
+    .unwrap();
+    writeln!(out, "  Tmp Reg    : {:>6.1} %", 100.0 * m.tmp_accesses as f64 / total).unwrap();
+    (m, out)
+}
+
+/// §5.4 — per-frame energy, baseline vs PIM.
+pub fn energy() -> ((f64, f64), String) {
+    let frames = 6;
+    let float_run = run_sequence(SequenceKind::Xyz, BackendKind::Float, frames);
+    let pim_run = run_sequence(SequenceKind::Xyz, BackendKind::Pim, frames);
+    let mcu_mj = float_run.stats.energy_mj / float_run.stats.frames as f64;
+    let pim_mj = pim_run.stats.energy_mj / pim_run.stats.frames as f64;
+    let mut out = String::new();
+    writeln!(out, "§5.4: energy per frame").unwrap();
+    writeln!(out, "  baseline MCU : {mcu_mj:.3} mJ (paper: 10.3 mJ)").unwrap();
+    writeln!(out, "  PIM EBVO     : {pim_mj:.3} mJ (paper: 0.495 mJ)").unwrap();
+    writeln!(
+        out,
+        "  improvement  : {:.1}x (paper: 20.8x)",
+        mcu_mj / pim_mj
+    )
+    .unwrap();
+    ((mcu_mj, pim_mj), out)
+}
+
+/// §1 — instruction-mix motivation (data movement share).
+pub fn instr_mix() -> (InstructionMix, String) {
+    let (gray, depth) = canonical_frame();
+    let cam = Pinhole::qvga();
+    let cfg = EdgeConfig::default();
+    let mut c = CostCounter::new();
+    let maps = edge_detect_counted_with(&gray, &cfg, &mut c, CodegenModel::PortableScalar);
+    let features = extract_features(&maps.mask, &depth, &cam, 6000, 0.3, 8.0);
+    let floats: Vec<FloatFeature> = features
+        .iter()
+        .map(|f| FloatFeature {
+            a: f.a,
+            b: f.b,
+            c: f.c,
+        })
+        .collect();
+    let kf = Keyframe::build(0, SE3::IDENTITY, maps.mask.clone(), &cam);
+    for _ in 0..LM_ITERS {
+        let _ = pimvo_mcu::linearize_counted_with(
+            &floats,
+            &kf.tables,
+            &cam,
+            &SE3::IDENTITY,
+            &mut c,
+            CodegenModel::PortableScalar,
+        );
+    }
+    let mix = InstructionMix::from_counter(&c);
+    let mut out = String::new();
+    writeln!(out, "§1 motivation: instruction mix of a portable EBVO frame").unwrap();
+    writeln!(
+        out,
+        "  data movement: {:.1} % of {} instructions (paper: 43 % x86 / 51 % ARM)",
+        100.0 * mix.memory_share(),
+        fmt_cycles(mix.total)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  arithmetic: {:.1} %, control: {:.1} %",
+        100.0 * mix.arithmetic as f64 / mix.total as f64,
+        100.0 * mix.control as f64 / mix.total as f64
+    )
+    .unwrap();
+    (mix, out)
+}
+
+/// §3.3/§3.4 — quantization ablations.
+pub fn quant_ablation() -> String {
+    let cam = Pinhole::qvga();
+    let pose = SE3::exp(&[0.05, -0.02, 0.03, 0.02, -0.01, 0.015]);
+    let sweep = ablation::warp_error_sweep(
+        &cam,
+        &pose,
+        &[(16, 12), (12, 8), (10, 6), (8, 4)],
+    );
+    let mut out = String::new();
+    writeln!(out, "§3.3 ablation: feature-quantization warp error").unwrap();
+    writeln!(out, "  {:<8} {:>12} {:>12}", "format", "max err(px)", "mean err(px)").unwrap();
+    for s in &sweep {
+        writeln!(
+            out,
+            "  Q{}.{:<5} {:>12.3} {:>12.4}",
+            s.bits - s.frac,
+            s.frac,
+            s.max_err_px,
+            s.mean_err_px
+        )
+        .unwrap();
+    }
+    writeln!(out, "  (paper: 16-bit < 1 px; 8-bit completely faulty)").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "§3.4 ablation: Hessian accumulator width").unwrap();
+    for r in ablation::hessian_width_ablation(&[32, 24, 16]) {
+        writeln!(
+            out,
+            "  {:>2}-bit: solve_ok={} update_rel_err={:.4} saturated={:.0} %",
+            r.bits,
+            r.solve_ok,
+            r.update_rel_err,
+            100.0 * r.saturated_share
+        )
+        .unwrap();
+    }
+    writeln!(out, "  (paper: 32-bit Q29.3 works, 16-bit breaks the solver)").unwrap();
+    out
+}
+
+/// §5.1 — area report.
+pub fn area() -> String {
+    let cost = CostModel::default();
+    let a = cost.area_report();
+    let mut out = String::new();
+    writeln!(out, "§5.1: 90 nm area model").unwrap();
+    writeln!(out, "  SRAM array      : {:.3e} µm²  (paper: 3.48e6)", a.array_um2).unwrap();
+    writeln!(out, "  sense amplifiers: {:.3e} µm²  (paper: 5.60e4)", a.sa_um2).unwrap();
+    writeln!(
+        out,
+        "  computing logic : {:.3e} µm² = {:.1} % of the array (paper: 5.1 %)",
+        a.logic_um2,
+        100.0 * a.logic_over_array
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  energy/op: SRAM access {} pJ, datapath {} pJ (paper: 944.8 / 44.6)",
+        cost.sram_read_pj,
+        cost.shifter_adder_pj + cost.tmp_reg_pj
+    )
+    .unwrap();
+    out
+}
+
+/// Runs the cheap experiments plus a reduced Table 1 (used by
+/// `exp_all`). `frames` bounds the accuracy runs.
+pub fn all(frames: usize) -> String {
+    let mut out = String::new();
+    let (_, t1) = table1(frames.min(DEFAULT_FRAMES));
+    out.push_str(&t1);
+    out.push('\n');
+    let (_, f9a) = fig9a();
+    out.push_str(&f9a);
+    out.push('\n');
+    let (_, f9b) = fig9b();
+    out.push_str(&f9b);
+    out.push('\n');
+    let (_, f10a) = fig10a();
+    out.push_str(&f10a);
+    out.push('\n');
+    let (_, f10b) = fig10b();
+    out.push_str(&f10b);
+    out.push('\n');
+    let (_, e) = energy();
+    out.push_str(&e);
+    out.push('\n');
+    let (_, mix) = instr_mix();
+    out.push_str(&mix);
+    out.push('\n');
+    out.push_str(&quant_ablation());
+    out.push('\n');
+    out.push_str(&tmpreg_ablation());
+    out.push('\n');
+    out.push_str(&interp_ablation(frames.min(60)));
+    out.push('\n');
+    out.push_str(&pyramid_ablation());
+    out.push('\n');
+    out.push_str(&area());
+    out
+}
+
+/// §5.4 extension ablation: Tmp-register count (the paper: "we could
+/// use more registers to further improve the efficiency of both
+/// computation and power"). Compares the single-register optimized
+/// edge-detection mapping against the four-register variant.
+pub fn tmpreg_ablation() -> String {
+    let (gray, _) = canonical_frame();
+    let cfg = EdgeConfig::default();
+    let cost = CostModel::default();
+
+    let mut m1 = PimMachine::new(ArrayConfig::qvga_banks(6));
+    let single = pimvo_kernels::pim_opt::edge_detect(&mut m1, &gray, &cfg);
+    let mut m4 = PimMachine::new(ArrayConfig::qvga_banks(6));
+    m4.set_tmp_regs(pimvo_kernels::pim_multireg::REGS_REQUIRED);
+    let multi = pimvo_kernels::pim_multireg::edge_detect(&mut m4, &gray, &cfg);
+    assert_eq!(single.mask, multi.mask, "outputs must be identical");
+
+    let (s1, s4) = (m1.stats(), m4.stats());
+    let (e1, e4) = (s1.energy(&cost), s4.energy(&cost));
+    let mut out = String::new();
+    writeln!(out, "§5.4 extension: Tmp-register count (edge detection, one frame)").unwrap();
+    writeln!(out, "  {:<22} {:>12} {:>12}", "", "1 register", "4 registers").unwrap();
+    writeln!(
+        out,
+        "  {:<22} {:>12} {:>12}",
+        "cycles",
+        fmt_cycles(s1.cycles),
+        fmt_cycles(s4.cycles)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:<22} {:>12} {:>12}",
+        "SRAM writes",
+        fmt_cycles(s1.sram_writes),
+        fmt_cycles(s4.sram_writes)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:<22} {:>12} {:>12}",
+        "SRAM reads",
+        fmt_cycles(s1.sram_reads),
+        fmt_cycles(s4.sram_reads)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:<22} {:>12.1} {:>12.1}",
+        "energy (µJ)",
+        e1.total_pj() / 1e6,
+        e4.total_pj() / 1e6
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  energy saving: {:.1} %  cycle saving: {:.1} %",
+        100.0 * (1.0 - e4.total_pj() / e1.total_pj()),
+        100.0 * (1.0 - s4.cycles as f64 / s1.cycles as f64)
+    )
+    .unwrap();
+    out
+}
+
+/// Residual-lookup ablation: nearest-neighbour vs bilinear
+/// interpolation on the PIM backend (the one place this reproduction
+/// deliberately refines the paper's "directly looked-up" residual —
+/// this experiment quantifies why).
+pub fn interp_ablation(frames: usize) -> String {
+    use pimvo_core::Interp;
+    use pimvo_scene::{rpe_rmse, Sequence, Trajectory};
+
+    let seq = Sequence::generate(SequenceKind::Xyz, frames);
+    let mut out = String::new();
+    writeln!(out, "residual-lookup ablation (xyz, {frames} frames, PIM backend)").unwrap();
+    writeln!(
+        out,
+        "  {:<10} {:>12} {:>12} {:>14}",
+        "mode", "t (m/s)", "rot (°/s)", "LM cyc/frame"
+    )
+    .unwrap();
+    for (name, interp) in [("nearest", Interp::Nearest), ("bilinear", Interp::Bilinear)] {
+        let backend = Box::new(pimvo_core::PimBackend::with_interp(interp));
+        let mut tracker = Tracker::with_backend(TrackerConfig::default(), backend);
+        let mut est = Trajectory::new();
+        for f in &seq.frames {
+            let r = tracker.process_frame(&f.gray, &f.depth);
+            est.push(f.time, r.pose_wc);
+        }
+        let rpe = rpe_rmse(&est, &seq.ground_truth, 1.0);
+        let stats = tracker.stats();
+        writeln!(
+            out,
+            "  {:<10} {:>12.4} {:>12.3} {:>14}",
+            name,
+            rpe.trans_mps,
+            rpe.rot_dps,
+            fmt_cycles(stats.lm_cycles / stats.frames.max(1))
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  (bilinear buys sub-pixel residuals for a modest lerp/gather cost)"
+    )
+    .unwrap();
+    out
+}
+
+/// Extension ablation: pyramid levels — convergence basin vs cost.
+pub fn pyramid_ablation() -> String {
+    use pimvo_scene::{build_scene, RenderOptions};
+    use pimvo_vomath::SE3;
+
+    let scene = build_scene(SequenceKind::Xyz);
+    let cam = Pinhole::qvga();
+    let opts = RenderOptions::default();
+    let (g0, d0) = scene.render(&cam, &SE3::IDENTITY, &opts, 0);
+    let mut out = String::new();
+    writeln!(out, "extension: coarse-to-fine pyramid (lateral jump recovery)").unwrap();
+    writeln!(
+        out,
+        "  {:<10} {:>9} {:>9} {:>9} {:>14}",
+        "jump (m)", "1 level", "2 levels", "3 levels", "(abs error, m)"
+    )
+    .unwrap();
+    for jump in [0.05f64, 0.10, 0.20] {
+        let pose = SE3::exp(&[jump, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let (g1, d1) = scene.render(&cam, &pose, &opts, 1);
+        let mut errs = Vec::new();
+        for levels in 1..=3usize {
+            let config = TrackerConfig {
+                pyramid_levels: levels,
+                ..TrackerConfig::default()
+            };
+            let mut t = Tracker::new(config, BackendKind::Float);
+            let _ = t.process_frame(&g0, &d0);
+            let r = t.process_frame(&g1, &d1);
+            errs.push((r.pose_wc.translation.x - jump).abs());
+        }
+        writeln!(
+            out,
+            "  {:<10.2} {:>9.4} {:>9.4} {:>9.4}",
+            jump, errs[0], errs[1], errs[2]
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  (each extra level costs ~1/4 of the full-resolution edge detection)"
+    )
+    .unwrap();
+    out
+}
+
+/// Robustness sweep: tracking accuracy vs sensor noise (intensity and
+/// range noise swept independently around the defaults). A
+/// reproduction-quality check the paper leaves implicit: EBVO's
+/// distance-transform alignment should degrade gracefully, not fall
+/// off a cliff, as the synthetic sensor gets worse.
+pub fn noise_sweep(frames: usize) -> String {
+    use pimvo_scene::{rpe_rmse, RenderOptions, Trajectory};
+
+    let mut out = String::new();
+    writeln!(out, "robustness: RPE vs sensor noise (desk, {frames} frames, PIM backend)").unwrap();
+    let track = |opts: RenderOptions| -> (f64, f64) {
+        let scene = pimvo_scene::build_scene(SequenceKind::Desk);
+        let cam = Pinhole::qvga();
+        let mut tracker = Tracker::new(TrackerConfig::default(), BackendKind::Pim);
+        let mut est = Trajectory::new();
+        let mut gt = Trajectory::new();
+        for i in 0..frames {
+            let t = i as f64 / 30.0;
+            let pose = pimvo_scene::pose_at(SequenceKind::Desk, t);
+            let (gray, depth) = scene.render(&cam, &pose, &opts, i as u32);
+            let r = tracker.process_frame(&gray, &depth);
+            est.push(t, r.pose_wc);
+            gt.push(t, pose);
+        }
+        let rpe = rpe_rmse(&est, &gt, 1.0);
+        (rpe.trans_mps, rpe.rot_dps)
+    };
+
+    writeln!(out, "  intensity noise sweep (range noise at default):").unwrap();
+    writeln!(out, "  {:<12} {:>10} {:>10}", "σ (gray)", "t (m/s)", "rot (°/s)").unwrap();
+    for sigma in [0.0, 1.2, 3.0, 6.0, 10.0] {
+        let (t, r) = track(RenderOptions {
+            noise_sigma: sigma,
+            ..Default::default()
+        });
+        writeln!(out, "  {:<12} {:>10.4} {:>10.3}", sigma, t, r).unwrap();
+    }
+    writeln!(out, "  range noise sweep (intensity noise at default):").unwrap();
+    writeln!(out, "  {:<12} {:>10} {:>10}", "σd@4m (m)", "t (m/s)", "rot (°/s)").unwrap();
+    for coeff in [0.0, 0.0015, 0.005, 0.010] {
+        let (t, r) = track(RenderOptions {
+            depth_noise_coeff: coeff,
+            ..Default::default()
+        });
+        writeln!(out, "  {:<12.3} {:>10.4} {:>10.3}", coeff * 16.0, t, r).unwrap();
+    }
+    writeln!(
+        out,
+        "  (notable: moderate intensity noise *helps* on this scene — it\n            breaks the NMS response ties of clean synthetic surfaces and\n            yields more, better-distributed edge features; range noise is\n            absorbed by the Q4.12 inverse-depth quantization)"
+    )
+    .unwrap();
+    out
+}

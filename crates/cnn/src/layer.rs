@@ -1,0 +1,282 @@
+//! Quantized CNN layers with exact scalar semantics.
+//!
+//! Every operation is defined in terms the PIM primitives can realize
+//! (full-product multiply, arithmetic shift, branch-free max/min), and
+//! [`crate::pim`] reproduces these definitions instruction by
+//! instruction.
+
+/// A single-channel feature map of unsigned 8-bit activations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureMap {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl FeatureMap {
+    /// Zero-filled map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be nonzero");
+        FeatureMap {
+            width,
+            height,
+            data: vec![0; (width * height) as usize],
+        }
+    }
+
+    /// Builds a map from a per-pixel function.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> u8) -> Self {
+        let mut m = FeatureMap::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                m.data[(y * width + x) as usize] = f(x, y);
+            }
+        }
+        m
+    }
+
+    /// Map width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Map height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Activation at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        assert!(x < self.width && y < self.height, "out of bounds");
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Activation with zero padding outside the map.
+    pub fn get_zero(&self, x: i64, y: i64) -> u8 {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            0
+        } else {
+            self.data[(y as u32 * self.width + x as u32) as usize]
+        }
+    }
+
+    /// Sets the activation at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: u32, y: u32, v: u8) {
+        assert!(x < self.width && y < self.height, "out of bounds");
+        self.data[(y * self.width + x) as usize] = v;
+    }
+
+    /// Raw activations, row-major.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Flattens to an activation vector (for the dense head).
+    pub fn flatten(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+/// A 3x3 convolution with signed 8-bit weights, 32-bit accumulation,
+/// bias, power-of-two rescale and fused ReLU/clamp to `[0, 255]`.
+///
+/// Output semantics at pixel `(x, y)` (zero padding):
+///
+/// ```text
+/// acc = bias + Σ_{ky,kx} w[ky][kx] · in(x+kx-1, y+ky-1)
+/// out = clamp(acc >> shift, 0, 255)      // >> is arithmetic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conv3x3 {
+    /// Kernel weights, `w[ky][kx]`, signed 8-bit range.
+    pub weights: [[i8; 3]; 3],
+    /// Bias added to the 32-bit accumulator.
+    pub bias: i32,
+    /// Arithmetic right shift applied before the ReLU clamp.
+    pub shift: u32,
+}
+
+impl Conv3x3 {
+    /// Creates a convolution layer.
+    pub fn new(weights: [[i8; 3]; 3], bias: i32, shift: u32) -> Self {
+        Conv3x3 {
+            weights,
+            bias,
+            shift,
+        }
+    }
+
+    /// Scalar reference forward pass.
+    pub fn forward_scalar(&self, input: &FeatureMap) -> FeatureMap {
+        let (w, h) = (input.width(), input.height());
+        let mut out = FeatureMap::new(w, h);
+        for y in 0..h as i64 {
+            for x in 0..w as i64 {
+                let mut acc: i64 = self.bias as i64;
+                for (ky, row) in self.weights.iter().enumerate() {
+                    for (kx, &wt) in row.iter().enumerate() {
+                        acc += wt as i64
+                            * input.get_zero(x + kx as i64 - 1, y + ky as i64 - 1) as i64;
+                    }
+                }
+                let v = (acc >> self.shift).clamp(0, 255);
+                out.set(x as u32, y as u32, v as u8);
+            }
+        }
+        out
+    }
+}
+
+/// 2x2 max pooling with stride 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaxPool2x2;
+
+impl MaxPool2x2 {
+    /// Scalar reference forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input dimension is odd.
+    pub fn forward_scalar(&self, input: &FeatureMap) -> FeatureMap {
+        assert!(
+            input.width().is_multiple_of(2) && input.height().is_multiple_of(2),
+            "pooling needs even dimensions"
+        );
+        let (w, h) = (input.width() / 2, input.height() / 2);
+        let mut out = FeatureMap::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let m = input
+                    .get(2 * x, 2 * y)
+                    .max(input.get(2 * x + 1, 2 * y))
+                    .max(input.get(2 * x, 2 * y + 1))
+                    .max(input.get(2 * x + 1, 2 * y + 1));
+                out.set(x, y, m);
+            }
+        }
+        out
+    }
+}
+
+/// A dense (fully connected) layer: signed 8-bit weights, 32-bit
+/// accumulators, raw logits out (no activation — it feeds an argmax).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dense {
+    /// `weights[o]` is the weight row of output `o`.
+    pub weights: Vec<Vec<i8>>,
+    /// Per-output bias.
+    pub bias: Vec<i32>,
+}
+
+impl Dense {
+    /// Creates a dense layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` and `bias` lengths differ or rows have
+    /// unequal lengths.
+    pub fn new(weights: Vec<Vec<i8>>, bias: Vec<i32>) -> Self {
+        assert_eq!(weights.len(), bias.len(), "weights/bias mismatch");
+        if let Some(first) = weights.first() {
+            assert!(
+                weights.iter().all(|r| r.len() == first.len()),
+                "ragged weight rows"
+            );
+        }
+        Dense { weights, bias }
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.weights.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Scalar reference forward pass: logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the layer's input width.
+    pub fn forward_scalar(&self, input: &[u8]) -> Vec<i64> {
+        assert_eq!(input.len(), self.inputs(), "input size mismatch");
+        self.weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(row, &b)| {
+                b as i64
+                    + row
+                        .iter()
+                        .zip(input)
+                        .map(|(&w, &x)| w as i64 * x as i64)
+                        .sum::<i64>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_conv_preserves_interior() {
+        let input = FeatureMap::from_fn(8, 8, |x, y| (x * 8 + y) as u8);
+        let conv = Conv3x3::new([[0, 0, 0], [0, 1, 0], [0, 0, 0]], 0, 0);
+        let out = conv.forward_scalar(&input);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn box_blur_with_shift() {
+        let input = FeatureMap::from_fn(6, 6, |_, _| 80);
+        let conv = Conv3x3::new([[1; 3]; 3], 0, 3); // sum of 9 / 8
+        let out = conv.forward_scalar(&input);
+        // interior: 9*80/8 = 90
+        assert_eq!(out.get(3, 3), 90);
+        // corner: 4*80/8 = 40 (zero padding)
+        assert_eq!(out.get(0, 0), 40);
+    }
+
+    #[test]
+    fn relu_clamps_negative_and_saturates() {
+        let input = FeatureMap::from_fn(4, 4, |x, _| if x < 2 { 0 } else { 255 });
+        let edge = Conv3x3::new([[0, 0, 0], [-1, 0, 1], [0, 0, 0]], 0, 0);
+        let out = edge.forward_scalar(&input);
+        assert_eq!(out.get(1, 2), 255); // +255 clamped at 255
+        assert_eq!(out.get(2, 2), 255);
+        assert_eq!(out.get(0, 1), 0); // negative -> ReLU zero
+    }
+
+    #[test]
+    fn maxpool_halves_and_takes_max() {
+        let input = FeatureMap::from_fn(4, 4, |x, y| (x + 4 * y) as u8);
+        let out = MaxPool2x2.forward_scalar(&input);
+        assert_eq!(out.width(), 2);
+        assert_eq!(out.get(0, 0), 5);
+        assert_eq!(out.get(1, 1), 15);
+    }
+
+    #[test]
+    fn dense_computes_logits() {
+        let d = Dense::new(vec![vec![1, -1], vec![2, 0]], vec![10, -5]);
+        let logits = d.forward_scalar(&[3, 7]);
+        assert_eq!(logits, vec![10 + 3 - 7, -5 + 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pooling needs even dimensions")]
+    fn odd_pool_panics() {
+        MaxPool2x2.forward_scalar(&FeatureMap::new(5, 4));
+    }
+}

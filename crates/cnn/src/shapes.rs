@@ -1,0 +1,97 @@
+//! A tiny synthetic shape dataset (circle / square / triangle) for the
+//! CNN demo — deterministic, parameterized by a seed.
+
+use crate::layer::FeatureMap;
+
+/// Shape classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Filled circle.
+    Circle,
+    /// Filled axis-aligned square.
+    Square,
+    /// Filled upward triangle.
+    Triangle,
+}
+
+impl Shape {
+    /// All classes, label order.
+    pub fn all() -> [Shape; 3] {
+        [Shape::Circle, Shape::Square, Shape::Triangle]
+    }
+
+    /// Class label (0-2).
+    pub fn label(self) -> usize {
+        match self {
+            Shape::Circle => 0,
+            Shape::Square => 1,
+            Shape::Triangle => 2,
+        }
+    }
+}
+
+fn hash01(mut x: u32) -> f64 {
+    x = x.wrapping_mul(0x9E3779B9) ^ (x >> 16);
+    x = x.wrapping_mul(0x85EBCA6B) ^ (x >> 13);
+    (x as f64) / (u32::MAX as f64 + 1.0)
+}
+
+/// Renders a 32x32 image of the shape with seed-dependent position,
+/// size, contrast and pixel noise.
+pub fn render_shape(shape: Shape, seed: u32) -> FeatureMap {
+    let cx = 14.0 + 4.0 * hash01(seed.wrapping_mul(3) + 1);
+    let cy = 14.0 + 4.0 * hash01(seed.wrapping_mul(5) + 2);
+    let r = 7.5 + 2.5 * hash01(seed.wrapping_mul(7) + 3);
+    let fg = 170.0 + 70.0 * hash01(seed.wrapping_mul(11) + 4);
+    let bg = 20.0 + 40.0 * hash01(seed.wrapping_mul(13) + 5);
+    FeatureMap::from_fn(32, 32, |x, y| {
+        let (fx, fy) = (x as f64 - cx, y as f64 - cy);
+        let inside = match shape {
+            Shape::Circle => fx * fx + fy * fy <= r * r,
+            Shape::Square => fx.abs() <= r * 0.85 && fy.abs() <= r * 0.85,
+            Shape::Triangle => {
+                // upward triangle: |fx| grows linearly with fy
+                fy >= -r && fy <= r && fx.abs() <= (fy + r) * 0.55
+            }
+        };
+        let noise = (hash01(
+            x.wrapping_mul(0x27D4EB2F)
+                .wrapping_add(y.wrapping_mul(0x165667B1))
+                .wrapping_add(seed),
+        ) - 0.5)
+            * 12.0;
+        let v = if inside { fg } else { bg } + noise;
+        v.clamp(0.0, 255.0) as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_distinct_and_deterministic() {
+        let a = render_shape(Shape::Circle, 1);
+        let b = render_shape(Shape::Circle, 1);
+        assert_eq!(a, b);
+        let c = render_shape(Shape::Square, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn foreground_brighter_than_background() {
+        for shape in Shape::all() {
+            let img = render_shape(shape, 7);
+            let max = img.data().iter().copied().max().unwrap();
+            let min = img.data().iter().copied().min().unwrap();
+            assert!(max as i32 - min as i32 > 80, "{shape:?} contrast");
+        }
+    }
+
+    #[test]
+    fn seeds_move_the_shape() {
+        let a = render_shape(Shape::Square, 1);
+        let b = render_shape(Shape::Square, 2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: the PIM CNN layer mappings equal the scalar
+//! references for arbitrary kernels, biases, shifts and inputs.
+
+use pimvo_cnn::{Conv3x3, Dense, FeatureMap, MaxPool2x2, PimCnn};
+use pimvo_pim::{ArrayConfig, PimMachine};
+use proptest::prelude::*;
+
+fn random_map(seed: u64, w: u32, h: u32) -> FeatureMap {
+    FeatureMap::from_fn(w, h, |x, y| {
+        let v = (x as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+            .wrapping_add(seed)
+            .wrapping_mul(0xD6E8FEB86659FD93);
+        (v >> 56) as u8
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_pim_equals_scalar(
+        seed in any::<u64>(),
+        w0 in -8i8..8, w1 in -8i8..8, w2 in -8i8..8,
+        w3 in -8i8..8, w4 in -8i8..8, w5 in -8i8..8,
+        w6 in -8i8..8, w7 in -8i8..8, w8 in -8i8..8,
+        bias in -500i32..500,
+        shift in 0u32..5,
+        width in 6u32..24,
+        height in 6u32..20,
+    ) {
+        let conv = Conv3x3::new([[w0, w1, w2], [w3, w4, w5], [w6, w7, w8]], bias, shift);
+        let input = random_map(seed, width, height);
+        let want = conv.forward_scalar(&input);
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        let got = PimCnn::new(&mut m, 0).conv3x3(&conv, &input);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pool_pim_equals_scalar(seed in any::<u64>(), w in 2u32..20, h in 2u32..16) {
+        let input = random_map(seed, w * 2, h * 2);
+        let want = MaxPool2x2.forward_scalar(&input);
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        let got = PimCnn::new(&mut m, 0).maxpool2x2(&input);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_pim_equals_scalar(
+        seed in any::<u64>(),
+        n_in in 1usize..80,
+        n_out in 1usize..6,
+    ) {
+        let mix = |i: usize, o: usize| -> i8 {
+            ((seed
+                .wrapping_add((i * 31 + o * 17) as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                >> 57) as i8)
+                .wrapping_sub(32)
+        };
+        let weights: Vec<Vec<i8>> = (0..n_out)
+            .map(|o| (0..n_in).map(|i| mix(i, o)).collect())
+            .collect();
+        let bias: Vec<i32> = (0..n_out).map(|o| (o as i32 - 2) * 77).collect();
+        let layer = Dense::new(weights, bias);
+        let input: Vec<u8> = (0..n_in).map(|i| mix(i, 99) as u8).collect();
+        let want = layer.forward_scalar(&input);
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        let got = PimCnn::new(&mut m, 0).dense(&layer, &input);
+        prop_assert_eq!(got, want);
+    }
+}

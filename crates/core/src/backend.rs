@@ -1,0 +1,444 @@
+//! Tracker backends: the MCU baseline (float math, PicoVO-class cost
+//! model) and the PIM accelerator (quantized math, cycle/energy-accurate
+//! simulation).
+
+use crate::feature::Feature;
+use crate::hessian::QNormalEquations;
+use crate::keyframe::Keyframe;
+use crate::pim_exec::{self, BATCH};
+use crate::quant::{Interp, QFeature, QKeyframe, QPose};
+use crate::warp::project_q;
+use crate::jacobian::jacobian_q;
+use pimvo_kernels::{pim_opt, EdgeConfig, EdgeMaps, GrayImage};
+use pimvo_mcu::{CostCounter, FloatFeature};
+use pimvo_pim::{ArrayConfig, EnergyBreakdown, ExecStats, MemAccessBreakdown, PimMachine};
+use pimvo_vomath::{NormalEquations, Pinhole, SE3};
+
+/// Which backend drives the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// PicoVO-class baseline: `f64` math, MCU cost model.
+    Float,
+    /// Quantized pipeline on the simulated SRAM-PIM.
+    Pim,
+}
+
+/// Cost summary a backend accumulates while tracking.
+#[derive(Debug, Clone, Default)]
+pub struct BackendStats {
+    /// Cycles spent in edge detection.
+    pub edge_cycles: u64,
+    /// Cycles spent in pose-estimation linearizations.
+    pub lm_cycles: u64,
+    /// Number of linearizations performed.
+    pub lm_iterations: u64,
+    /// Frames processed.
+    pub frames: u64,
+    /// Total energy, mJ.
+    pub energy_mj: f64,
+    /// PIM execution statistics (PIM backend only).
+    pub pim: Option<ExecStats>,
+}
+
+impl BackendStats {
+    /// Total cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.edge_cycles + self.lm_cycles
+    }
+
+    /// Energy decomposition by PIM component, if this is a PIM backend.
+    pub fn pim_energy(&self, cost: &pimvo_pim::CostModel) -> Option<EnergyBreakdown> {
+        self.pim.as_ref().map(|s| s.energy(cost))
+    }
+
+    /// Memory-access decomposition, if this is a PIM backend.
+    pub fn pim_mem_accesses(&self) -> Option<MemAccessBreakdown> {
+        self.pim.as_ref().map(|s| s.mem_accesses())
+    }
+}
+
+/// A tracker backend: edge detection plus one LM linearization.
+pub trait TrackerBackend {
+    /// Detects edges on the input frame, charging the backend's cost
+    /// model.
+    fn detect_edges(&mut self, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps;
+
+    /// Downsamples an image by 2 (pyramid construction), charging the
+    /// backend's cost model.
+    fn downsample(&mut self, img: &GrayImage) -> GrayImage;
+
+    /// Evaluates the normal equations of the warp residuals at `pose`
+    /// (current-frame → keyframe).
+    fn linearize(
+        &mut self,
+        features: &[Feature],
+        keyframe: &Keyframe,
+        cam: &Pinhole,
+        pose: &SE3,
+    ) -> NormalEquations;
+
+    /// Cost statistics so far.
+    fn stats(&self) -> BackendStats;
+
+    /// Resets the cost statistics.
+    fn reset_stats(&mut self);
+}
+
+/// The PicoVO-class baseline backend.
+#[derive(Debug, Default)]
+pub struct FloatBackend {
+    counter: CostCounter,
+    edge_cycles: u64,
+    lm_cycles: u64,
+    lm_iterations: u64,
+    frames: u64,
+}
+
+impl FloatBackend {
+    /// Creates the baseline backend with the Cortex-M7 cost table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TrackerBackend for FloatBackend {
+    fn detect_edges(&mut self, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
+        let before = self.counter.cycles();
+        let maps = pimvo_mcu::edge_detect_counted(img, cfg, &mut self.counter);
+        self.edge_cycles += self.counter.cycles() - before;
+        self.frames += 1;
+        maps
+    }
+
+    fn downsample(&mut self, img: &GrayImage) -> GrayImage {
+        // per 4-pixel SIMD group: 2 row loads, 2 averaging ops, 1 store
+        let before = self.counter.cycles();
+        let groups = (img.width() as u64 / 4) * (img.height() as u64 / 2);
+        self.counter.load(2 * groups);
+        self.counter.alu(2 * groups);
+        self.counter.store(groups / 2);
+        self.edge_cycles += self.counter.cycles() - before;
+        pimvo_kernels::scalar::downsample2x(img)
+    }
+
+    fn linearize(
+        &mut self,
+        features: &[Feature],
+        keyframe: &Keyframe,
+        cam: &Pinhole,
+        pose: &SE3,
+    ) -> NormalEquations {
+        let before = self.counter.cycles();
+        let floats: Vec<FloatFeature> = features
+            .iter()
+            .map(|f| FloatFeature {
+                a: f.a,
+                b: f.b,
+                c: f.c,
+            })
+            .collect();
+        let eq =
+            pimvo_mcu::linearize_counted(&floats, &keyframe.tables, cam, pose, &mut self.counter);
+        self.lm_cycles += self.counter.cycles() - before;
+        self.lm_iterations += 1;
+        eq
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            edge_cycles: self.edge_cycles,
+            lm_cycles: self.lm_cycles,
+            lm_iterations: self.lm_iterations,
+            frames: self.frames,
+            energy_mj: self.counter.energy_mj(),
+            pim: None,
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.counter.reset();
+        self.edge_cycles = 0;
+        self.lm_cycles = 0;
+        self.lm_iterations = 0;
+        self.frames = 0;
+    }
+}
+
+/// The PIM-accelerated backend.
+///
+/// Edge detection executes on the simulated array for real. Pose
+/// estimation evaluates the quantized pipeline with the fast scalar
+/// path (bit-identical to the machine execution — property-tested in
+/// [`crate::pim_exec`]) and charges cycles/energy from a machine-traced
+/// calibration batch scaled by the batch count, which is exact because
+/// the instruction sequence is data-independent.
+pub struct PimBackend {
+    machine: PimMachine,
+    interp: Interp,
+    /// Per-batch calibration trace (lazy).
+    batch_trace: Option<ExecStats>,
+    edge_cycles: u64,
+    lm_cycles: u64,
+    lm_iterations: u64,
+    frames: u64,
+    /// Extra stats accumulated via calibration scaling.
+    scaled: ExecStats,
+}
+
+impl PimBackend {
+    /// Scratch base row for the pose-estimation stage (above the
+    /// edge-detection regions).
+    const POSE_BASE: usize = 5 * 256 + 64;
+
+    /// Creates the PIM backend with a 6-bank QVGA array.
+    pub fn new() -> Self {
+        Self::with_interp(Interp::Bilinear)
+    }
+
+    /// Creates the backend with an explicit residual-interpolation
+    /// mode (the lookup ablation).
+    pub fn with_interp(interp: Interp) -> Self {
+        PimBackend {
+            machine: PimMachine::new(ArrayConfig::qvga_banks(6)),
+            interp,
+            batch_trace: None,
+            edge_cycles: 0,
+            lm_cycles: 0,
+            lm_iterations: 0,
+            frames: 0,
+            scaled: ExecStats::new(),
+        }
+    }
+
+    /// Access to the underlying machine (stats inspection).
+    pub fn machine(&self) -> &PimMachine {
+        &self.machine
+    }
+
+    /// Traces one calibration batch to learn the per-batch cost.
+    fn batch_cost(&mut self, kf: &QKeyframe, pose: &QPose, cam: &Pinhole) -> ExecStats {
+        if let Some(t) = &self.batch_trace {
+            return t.clone();
+        }
+        let before = self.machine.stats().clone();
+        // dummy features: the op sequence (and therefore the cost) is
+        // data-independent
+        let feats = vec![
+            QFeature {
+                a: 100,
+                b: -80,
+                c: 2048,
+                frac: 12,
+            };
+            BATCH
+        ];
+        let _ = pim_exec::run_batch_with(
+            &mut self.machine,
+            Self::POSE_BASE,
+            &feats,
+            pose,
+            kf,
+            cam,
+            self.interp,
+        );
+        let delta = self.machine.stats().since(&before);
+        // the calibration run itself should not count toward the
+        // workload totals
+        self.machine.retract_stats(&delta);
+        self.batch_trace = Some(delta.clone());
+        delta
+    }
+}
+
+impl Default for PimBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrackerBackend for PimBackend {
+    fn detect_edges(&mut self, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
+        let before = self.machine.stats().cycles;
+        let maps = pim_opt::edge_detect(&mut self.machine, img, cfg);
+        self.edge_cycles += self.machine.stats().cycles - before;
+        self.frames += 1;
+        maps
+    }
+
+    fn downsample(&mut self, img: &GrayImage) -> GrayImage {
+        let before = self.machine.stats().cycles;
+        let out = pim_opt::downsample2x(&mut self.machine, img);
+        self.edge_cycles += self.machine.stats().cycles - before;
+        out
+    }
+
+    fn linearize(
+        &mut self,
+        features: &[Feature],
+        keyframe: &Keyframe,
+        cam: &Pinhole,
+        pose: &SE3,
+    ) -> NormalEquations {
+        let qpose = QPose::quantize(pose);
+        let qkf = &keyframe.q_tables;
+        // fast path: scalar-quantized evaluation, identical values to
+        // the machine execution
+        let mut eq = QNormalEquations::zero();
+        let mut valid = 0usize;
+        for f in features {
+            let qf = QFeature::quantize(f);
+            let Some(w) = project_q(&qf, &qpose, cam) else {
+                continue;
+            };
+            let Some((r, gu, gv)) = qkf.lookup_with(w.u_raw, w.v_raw, self.interp) else {
+                continue;
+            };
+            let j = jacobian_q(w.qx, w.qy, w.iz_real, gu as i64, gv as i64);
+            eq.accumulate(&j, r);
+            valid += 1;
+        }
+        let _ = valid;
+
+        // cost accounting: calibrated per-batch trace x batch count
+        let trace = self.batch_cost(qkf, &qpose, cam);
+        let batches = features.len().div_ceil(BATCH) as u64;
+        let scaled = trace.scaled(batches);
+        self.lm_cycles += scaled.cycles;
+        self.scaled.merge(&scaled);
+        self.lm_iterations += 1;
+
+        eq.to_normal_equations()
+    }
+
+    fn stats(&self) -> BackendStats {
+        let mut pim = self.machine.stats().clone();
+        pim.merge(&self.scaled);
+        let energy = pim.energy(self.machine.cost_model());
+        BackendStats {
+            edge_cycles: self.edge_cycles,
+            lm_cycles: self.lm_cycles,
+            lm_iterations: self.lm_iterations,
+            frames: self.frames,
+            energy_mj: energy.total_mj(),
+            pim: Some(pim),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.machine.reset_stats();
+        self.scaled = ExecStats::new();
+        self.edge_cycles = 0;
+        self.lm_cycles = 0;
+        self.lm_iterations = 0;
+        self.frames = 0;
+    }
+}
+
+impl std::fmt::Debug for PimBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PimBackend")
+            .field("edge_cycles", &self.edge_cycles)
+            .field("lm_cycles", &self.lm_cycles)
+            .field("calibrated", &self.batch_trace.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimvo_kernels::DepthImage;
+    use pimvo_vomath::SE3;
+
+    fn synthetic_frame() -> (GrayImage, DepthImage) {
+        let gray = GrayImage::from_fn(320, 240, |x, y| {
+            ((x * 17 + y * 23).wrapping_mul(2654435761) >> 12) as u8
+        });
+        let depth = DepthImage::from_fn(320, 240, |_, _| 2.0);
+        (gray, depth)
+    }
+
+    fn keyframe_from(maps: &EdgeMaps) -> Keyframe {
+        Keyframe::build(
+            0,
+            SE3::IDENTITY,
+            maps.mask.clone(),
+            &Pinhole::qvga(),
+        )
+    }
+
+    #[test]
+    fn float_backend_counts_cycles() {
+        let (gray, depth) = synthetic_frame();
+        let cam = Pinhole::qvga();
+        let cfg = EdgeConfig::default();
+        let mut be = FloatBackend::new();
+        let maps = be.detect_edges(&gray, &cfg);
+        let kf = keyframe_from(&maps);
+        let feats =
+            crate::feature::extract_features(&maps.mask, &depth, &cam, 4000, 0.3, 8.0);
+        assert!(!feats.is_empty());
+        let eq = be.linearize(&feats, &kf, &cam, &SE3::IDENTITY);
+        assert!(eq.count > 0);
+        let st = be.stats();
+        assert!(st.edge_cycles > 500_000, "{}", st.edge_cycles);
+        assert!(st.lm_cycles > 10_000);
+        assert!(st.energy_mj > 0.0);
+        assert!(st.pim.is_none());
+    }
+
+    #[test]
+    fn pim_backend_counts_cycles_and_matches_float_roughly() {
+        let (gray, depth) = synthetic_frame();
+        let cam = Pinhole::qvga();
+        let cfg = EdgeConfig::default();
+
+        let mut fb = FloatBackend::new();
+        let mut pb = PimBackend::new();
+        let maps_f = fb.detect_edges(&gray, &cfg);
+        let maps_p = pb.detect_edges(&gray, &cfg);
+        assert_eq!(maps_f.mask, maps_p.mask, "edge maps must be identical");
+
+        let kf = keyframe_from(&maps_f);
+        let feats =
+            crate::feature::extract_features(&maps_f.mask, &depth, &cam, 2000, 0.3, 8.0);
+        let pose = SE3::exp(&[0.01, -0.005, 0.008, 0.002, -0.004, 0.001]);
+        let eq_f = fb.linearize(&feats, &kf, &cam, &pose);
+        let eq_p = pb.linearize(&feats, &kf, &cam, &pose);
+
+        // the quantized normal equations approximate the float ones
+        assert!(eq_p.count > eq_f.count / 2);
+        let rel = (eq_p.cost - eq_f.cost).abs() / eq_f.cost.max(1e-9);
+        assert!(rel < 0.35, "cost mismatch {rel}: {} vs {}", eq_p.cost, eq_f.cost);
+
+        // PIM is much faster than the MCU on both stages
+        let (sf, sp) = (fb.stats(), pb.stats());
+        assert!(sf.edge_cycles > 20 * sp.edge_cycles, "edge speedup");
+        assert!(sf.lm_cycles > 3 * sp.lm_cycles, "LM speedup");
+        assert!(sp.pim.is_some());
+    }
+
+    #[test]
+    fn pim_backend_lm_cost_scales_with_features() {
+        let (gray, depth) = synthetic_frame();
+        let cam = Pinhole::qvga();
+        let cfg = EdgeConfig::default();
+        let mut pb = PimBackend::new();
+        let maps = pb.detect_edges(&gray, &cfg);
+        let kf = keyframe_from(&maps);
+        let feats =
+            crate::feature::extract_features(&maps.mask, &depth, &cam, 4000, 0.3, 8.0);
+        let n_all = feats.len();
+
+        let c0 = pb.stats().lm_cycles;
+        let _ = pb.linearize(&feats, &kf, &cam, &SE3::IDENTITY);
+        let full = pb.stats().lm_cycles - c0;
+
+        let half: Vec<Feature> = feats[..n_all / 2].to_vec();
+        let c1 = pb.stats().lm_cycles;
+        let _ = pb.linearize(&half, &kf, &cam, &SE3::IDENTITY);
+        let half_cost = pb.stats().lm_cycles - c1;
+        assert!(full > half_cost, "{full} vs {half_cost}");
+        assert!(full < 2 * half_cost + full / 4);
+    }
+}

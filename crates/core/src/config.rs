@@ -1,0 +1,88 @@
+use pimvo_kernels::EdgeConfig;
+use pimvo_vomath::{LmConfig, Pinhole};
+
+/// When to promote the current frame to a new keyframe.
+///
+/// The Q1.15 pose quantization relies on keyframe-relative translations
+/// staying well inside `(-1, 1)` m, so the policy bounds them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyframePolicy {
+    /// Maximum keyframe-relative translation (meters).
+    pub max_translation: f64,
+    /// Maximum keyframe-relative rotation (radians).
+    pub max_rotation: f64,
+    /// Minimum fraction of features that must land inside the keyframe
+    /// image after warping; below this, switch keyframes.
+    pub min_overlap: f64,
+}
+
+impl Default for KeyframePolicy {
+    fn default() -> Self {
+        KeyframePolicy {
+            max_translation: 0.30,
+            max_rotation: 0.30,
+            min_overlap: 0.55,
+        }
+    }
+}
+
+/// Configuration of the EBVO tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackerConfig {
+    /// Camera intrinsics.
+    pub camera: Pinhole,
+    /// Edge-detection thresholds.
+    pub edge: EdgeConfig,
+    /// LM solver configuration (the paper iterates within 10).
+    pub lm: LmConfig,
+    /// Keyframe promotion policy.
+    pub keyframe: KeyframePolicy,
+    /// Coarse-to-fine pyramid levels (1 = the paper's single-level
+    /// tracking; 2-3 enlarge the convergence basin for faster motion at
+    /// ~1/4 extra edge-detection cost per level).
+    pub pyramid_levels: usize,
+    /// Feature cap per frame (paper: 3000-6000 at QVGA).
+    pub max_features: usize,
+    /// Build the semi-dense 3D edge map (Fig. 8's reconstruction):
+    /// keyframe features are lifted to world coordinates into an
+    /// [`crate::EdgeMap3d`], retrievable via `Tracker::map`.
+    pub build_map: bool,
+    /// Voxel size (meters) for map deduplication.
+    pub map_voxel_m: f64,
+    /// Minimum usable depth, meters.
+    pub min_depth: f64,
+    /// Maximum usable depth, meters.
+    pub max_depth: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            camera: Pinhole::qvga(),
+            edge: EdgeConfig::default(),
+            lm: LmConfig::default(),
+            keyframe: KeyframePolicy::default(),
+            pyramid_levels: 1,
+            build_map: false,
+            map_voxel_m: 0.02,
+            max_features: 6000,
+            min_depth: 0.3,
+            max_depth: 7.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_respect_q_format_ranges() {
+        let c = TrackerConfig::default();
+        // Q1.15 translation range
+        assert!(c.keyframe.max_translation < 1.0);
+        // Q4.12 inverse depth range: 1/min_depth < 8
+        assert!(1.0 / c.min_depth < 8.0);
+        assert!(c.max_features >= 3000);
+    }
+}

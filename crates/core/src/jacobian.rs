@@ -1,0 +1,138 @@
+//! The Jacobian kernel (Fig. 5-c) with the shared-subexpression
+//! pipeline of Fig. 5-d, in quantized (Q14.2) and float forms.
+//!
+//! Inputs per feature: the projection ratios `x̂ = X/Z`, `ŷ = Y/Z`
+//! (Q2.14), the inverse real depth `1/Z_real` (Q4.12) and the
+//! pre-scaled keyframe gradients `g_u = f·I_u`, `g_v = f·I_v` (Q14.2,
+//! looked up at the warped pixel). Outputs: the six Q14.2 Jacobian
+//! entries
+//!
+//! ```text
+//! J1 = g_u / Z          J4 = -(ŷ·s + g_v)
+//! J2 = g_v / Z          J5 =   x̂·s + g_u
+//! J3 = -s / Z           J6 =   x̂·g_v - ŷ·g_u
+//! ```
+//!
+//! with the shared term `s = x̂·g_u + ŷ·g_v` (all divisions by the
+//! *real* depth, i.e. multiplications by `1/Z_real`).
+
+use crate::qmath::{qmul_shr, sat16};
+use crate::quant::RATIO_FRAC;
+
+/// Quantized Jacobian row: six Q14.2 entries.
+///
+/// `qx`, `qy` are Q2.14; `iz_real` is Q4.12; `gu`, `gv` are Q14.2.
+pub fn jacobian_q(qx: i64, qy: i64, iz_real: i64, gu: i64, gv: i64) -> [i64; 6] {
+    // shared term s = x̂ g_u + ŷ g_v (Q14.2)
+    let s = qmul_shr(qx, gu, RATIO_FRAC) + qmul_shr(qy, gv, RATIO_FRAC);
+    let j1 = qmul_shr(gu, iz_real, 12);
+    let j2 = qmul_shr(gv, iz_real, 12);
+    let j3 = -qmul_shr(s, iz_real, 12);
+    let j4 = -(qmul_shr(qy, s, RATIO_FRAC) + gv);
+    let j5 = qmul_shr(qx, s, RATIO_FRAC) + gu;
+    let j6 = qmul_shr(qx, gv, RATIO_FRAC) - qmul_shr(qy, gu, RATIO_FRAC);
+    [
+        sat16(j1),
+        sat16(j2),
+        sat16(j3),
+        sat16(j4),
+        sat16(j5),
+        sat16(j6),
+    ]
+}
+
+/// Float reference Jacobian with identical structure. `gu`, `gv` are
+/// already `f·I`; `z_real` is the true metric depth of the warped
+/// point.
+pub fn jacobian_float(xh: f64, yh: f64, z_real: f64, gu: f64, gv: f64) -> [f64; 6] {
+    let s = xh * gu + yh * gv;
+    [
+        gu / z_real,
+        gv / z_real,
+        -s / z_real,
+        -(yh * s + gv),
+        xh * s + gu,
+        xh * gv - yh * gu,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qmath::quantize;
+
+    /// Quantize the float inputs, run both versions, compare.
+    fn compare(xh: f64, yh: f64, z_real: f64, gu: f64, gv: f64) -> (f64, [f64; 6], [f64; 6]) {
+        let jf = jacobian_float(xh, yh, z_real, gu, gv);
+        let jq = jacobian_q(
+            quantize(xh, RATIO_FRAC, 16),
+            quantize(yh, RATIO_FRAC, 16),
+            quantize(1.0 / z_real, 12, 16),
+            quantize(gu, 2, 16),
+            quantize(gv, 2, 16),
+        );
+        let jq_f: Vec<f64> = jq.iter().map(|&r| r as f64 / 4.0).collect();
+        let max_err = jf
+            .iter()
+            .zip(&jq_f)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        (
+            max_err,
+            jf,
+            [jq_f[0], jq_f[1], jq_f[2], jq_f[3], jq_f[4], jq_f[5]],
+        )
+    }
+
+    #[test]
+    fn quantized_matches_float_within_budget() {
+        // gradients at the f·I scale (f ~ 265, |I| <= ~1)
+        for &(xh, yh, z, gu, gv) in &[
+            (0.1, -0.2, 2.0, 180.0, -90.0),
+            (-0.5, 0.4, 0.8, 260.0, 260.0),
+            (0.0, 0.0, 1.5, -130.0, 40.0),
+            (0.6, 0.55, 4.0, 15.0, -220.0),
+        ] {
+            let (err, jf, _) = compare(xh, yh, z, gu, gv);
+            let scale = jf.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+            // error budget: a few Q14.2 LSBs relative to the row scale
+            assert!(err < 0.02 * scale + 1.0, "err {err} at scale {scale}");
+        }
+    }
+
+    #[test]
+    fn zero_gradient_gives_zero_row() {
+        let j = jacobian_q(1000, -2000, 2048, 0, 0);
+        assert_eq!(j, [0i64; 6]);
+    }
+
+    #[test]
+    fn translation_terms_scale_with_inverse_depth() {
+        // J1 = gu / Z: halving the depth doubles the entry
+        let j_near = jacobian_q(0, 0, quantize(1.0, 12, 16), 400, 0);
+        let j_far = jacobian_q(0, 0, quantize(0.5, 12, 16), 400, 0);
+        assert_eq!(j_near[0], 2 * j_far[0]);
+    }
+
+    #[test]
+    fn j6_is_in_plane_rotation() {
+        // pure g_v with positive x̂: J6 = x̂ g_v > 0
+        let j = jacobian_q(quantize(0.5, RATIO_FRAC, 16), 0, 4096, 0, 400);
+        assert!(j[5] > 0);
+        assert_eq!(j[3], -400); // J4 = -(0 + gv)
+    }
+
+    #[test]
+    fn entries_saturate_at_q14_2() {
+        let j = jacobian_q(
+            quantize(1.9, RATIO_FRAC, 16),
+            quantize(1.9, RATIO_FRAC, 16),
+            quantize(7.9, 12, 16),
+            32767,
+            32767,
+        );
+        for v in j {
+            assert!((-32768..=32767).contains(&v));
+        }
+    }
+}

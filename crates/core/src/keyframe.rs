@@ -1,0 +1,71 @@
+//! Keyframe state: edge mask, distance transform, gradient maps, and
+//! their quantized forms for the PIM backend.
+
+use crate::quant::QKeyframe;
+use pimvo_kernels::GrayImage;
+use pimvo_mcu::KeyframeTables;
+use pimvo_vomath::{distance_transform, gradient_maps, Pinhole, SE3};
+
+/// A keyframe with its pre-computed lookup tables (Fig. 1-a: the
+/// distance-transform map and its gradient are built once per keyframe
+/// so per-iteration residuals and Jacobian terms are lookups).
+#[derive(Debug, Clone)]
+pub struct Keyframe {
+    /// Index of the frame this keyframe was built from.
+    pub frame_index: usize,
+    /// World-from-keyframe pose (estimated at promotion time).
+    pub pose_wk: SE3,
+    /// Binary edge mask of the keyframe.
+    pub edge_mask: GrayImage,
+    /// Float lookup tables (baseline backend).
+    pub tables: KeyframeTables,
+    /// Quantized lookup tables (PIM backend).
+    pub q_tables: QKeyframe,
+}
+
+impl Keyframe {
+    /// Builds a keyframe from an edge mask: computes the distance
+    /// transform, its gradients and the quantized tables.
+    pub fn build(frame_index: usize, pose_wk: SE3, edge_mask: GrayImage, cam: &Pinhole) -> Self {
+        let dt = distance_transform(edge_mask.pixels(), edge_mask.width(), edge_mask.height());
+        let (grad_x, grad_y) = gradient_maps(&dt);
+        let tables = KeyframeTables { dt, grad_x, grad_y };
+        let q_tables = QKeyframe::quantize(&tables, cam);
+        Keyframe {
+            frame_index,
+            pose_wk,
+            edge_mask,
+            tables,
+            q_tables,
+        }
+    }
+
+    /// Number of edge pixels in the keyframe.
+    pub fn edge_count(&self) -> usize {
+        self.edge_mask.pixels().iter().filter(|&&p| p != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_consistent_tables() {
+        let cam = Pinhole::qvga();
+        let mut mask = GrayImage::new(64, 48);
+        for y in 5..43 {
+            mask.set(30, y, 255);
+        }
+        let kf = Keyframe::build(7, SE3::IDENTITY, mask, &cam);
+        assert_eq!(kf.frame_index, 7);
+        assert_eq!(kf.edge_count(), 38);
+        // DT zero on the edge, grows away from it
+        assert_eq!(kf.tables.dt.get(30, 20), 0.0);
+        assert!(kf.tables.dt.get(35, 20) > 4.0);
+        // quantized tables agree with the float ones
+        let q = &kf.q_tables;
+        assert_eq!(q.dt[(20 * 64 + 30) as usize], 0);
+        assert!(q.dt[(20 * 64 + 35) as usize] >= 4 << 4);
+    }
+}

@@ -1,0 +1,373 @@
+//! The EBVO tracker: edge detection → feature extraction → LM edge
+//! alignment against the keyframe (Fig. 1 of the paper).
+
+use crate::backend::{BackendKind, BackendStats, FloatBackend, PimBackend, TrackerBackend};
+use crate::config::TrackerConfig;
+use crate::feature::{extract_features, Feature};
+use crate::keyframe::Keyframe;
+use crate::mapping::EdgeMap3d;
+use pimvo_kernels::{DepthImage, GrayImage};
+use pimvo_vomath::{LmOutcome, LmProblem, LmSolver, NormalEquations, Pinhole, SE3, SO3};
+
+/// Result of processing one frame.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Frame index.
+    pub index: usize,
+    /// Estimated world-from-camera pose.
+    pub pose_wc: SE3,
+    /// Keyframe-relative pose (keyframe-from-camera).
+    pub pose_kc: SE3,
+    /// Whether this frame became a keyframe.
+    pub is_keyframe: bool,
+    /// Number of features extracted.
+    pub features: usize,
+    /// LM iterations run (0 on keyframe bootstrap).
+    pub iterations: usize,
+    /// Final mean squared residual (pixels²).
+    pub mean_residual: f64,
+}
+
+struct AlignmentProblem<'a> {
+    backend: &'a mut dyn TrackerBackend,
+    features: &'a [Feature],
+    keyframe: &'a Keyframe,
+    camera: &'a Pinhole,
+}
+
+impl LmProblem for AlignmentProblem<'_> {
+    fn build(&mut self, pose: &SE3) -> NormalEquations {
+        self.backend
+            .linearize(self.features, self.keyframe, self.camera, pose)
+    }
+}
+
+/// The EBVO tracker. Owns a backend (baseline MCU or PIM) and the
+/// keyframe state.
+pub struct Tracker {
+    config: TrackerConfig,
+    backend: Box<dyn TrackerBackend>,
+    /// Per-pyramid-level keyframes (index 0 = full resolution).
+    keyframes: Option<Vec<Keyframe>>,
+    /// Per-level cameras (index 0 = full resolution).
+    cameras: Vec<Pinhole>,
+    /// World-from-camera pose of the latest frame.
+    pose_wc: SE3,
+    /// Keyframe-from-camera pose of the latest frame (the LM variable).
+    pose_kc: SE3,
+    frame_index: usize,
+    /// Semi-dense world map (when `config.build_map`).
+    map: Option<EdgeMap3d>,
+}
+
+impl Tracker {
+    /// Creates a tracker with the chosen backend.
+    pub fn new(config: TrackerConfig, backend: BackendKind) -> Tracker {
+        let backend: Box<dyn TrackerBackend> = match backend {
+            BackendKind::Float => Box::new(FloatBackend::new()),
+            BackendKind::Pim => Box::new(PimBackend::new()),
+        };
+        Self::with_backend(config, backend)
+    }
+
+    /// Creates a tracker around a pre-configured backend (ablations,
+    /// custom cost models).
+    pub fn with_backend(config: TrackerConfig, backend: Box<dyn TrackerBackend>) -> Tracker {
+        assert!(
+            (1..=4).contains(&config.pyramid_levels),
+            "pyramid_levels must be 1..=4"
+        );
+        let mut cameras = vec![config.camera];
+        for _ in 1..config.pyramid_levels {
+            cameras.push(cameras.last().expect("nonempty").halved());
+        }
+        let map = config.build_map.then(|| EdgeMap3d::new(config.map_voxel_m));
+        Tracker {
+            config,
+            backend,
+            keyframes: None,
+            cameras,
+            pose_wc: SE3::IDENTITY,
+            pose_kc: SE3::IDENTITY,
+            frame_index: 0,
+            map,
+        }
+    }
+
+    /// Tracker configuration.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.config
+    }
+
+    /// Backend cost statistics.
+    pub fn stats(&self) -> BackendStats {
+        self.backend.stats()
+    }
+
+    /// Current full-resolution keyframe, if any.
+    pub fn keyframe(&self) -> Option<&Keyframe> {
+        self.keyframes.as_ref().map(|k| &k[0])
+    }
+
+    /// The semi-dense 3D edge map (when map building is enabled).
+    pub fn map(&self) -> Option<&EdgeMap3d> {
+        self.map.as_ref()
+    }
+
+    /// Processes one RGB-D frame and returns the pose estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image dimensions do not match the configured
+    /// camera.
+    pub fn process_frame(&mut self, gray: &GrayImage, depth: &DepthImage) -> FrameResult {
+        self.process_frame_with_gyro(gray, depth, None)
+    }
+
+    /// [`Tracker::process_frame`] with an inertial rotation prediction —
+    /// the first step toward the paper's future-work VIO: `gyro_delta`
+    /// is the integrated body-frame rotation from the previous frame to
+    /// this one (e.g. from [`integrate_gyro`] over the inter-frame
+    /// window), used to warm-start the edge alignment. Translation still
+    /// follows the constant-position model.
+    ///
+    /// [`integrate_gyro`]: https://docs.rs/pimvo-scene
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image dimensions do not match the configured
+    /// camera.
+    pub fn process_frame_with_gyro(
+        &mut self,
+        gray: &GrayImage,
+        depth: &DepthImage,
+        gyro_delta: Option<SO3>,
+    ) -> FrameResult {
+        assert_eq!(gray.width(), self.config.camera.width, "width mismatch");
+        assert_eq!(gray.height(), self.config.camera.height, "height mismatch");
+        let index = self.frame_index;
+        self.frame_index += 1;
+
+        // build the image pyramid (level 0 = full resolution)
+        let levels = self.config.pyramid_levels;
+        let mut grays = vec![gray.clone()];
+        let mut depths = vec![depth.clone()];
+        for l in 1..levels {
+            grays.push(self.backend.downsample(&grays[l - 1]));
+            depths.push(downsample_depth(&depths[l - 1]));
+        }
+
+        // edge detection + feature extraction per level
+        let mut masks = Vec::with_capacity(levels);
+        let mut features: Vec<Vec<crate::feature::Feature>> = Vec::with_capacity(levels);
+        for l in 0..levels {
+            let maps = self.backend.detect_edges(&grays[l], &self.config.edge);
+            let cap = self.config.max_features >> (2 * l);
+            features.push(extract_features(
+                &maps.mask,
+                &depths[l],
+                &self.cameras[l],
+                cap.max(200),
+                self.config.min_depth,
+                self.config.max_depth,
+            ));
+            masks.push(maps.mask);
+        }
+
+        // bootstrap: first frame becomes the keyframe at the origin
+        let Some(keyframes) = &self.keyframes else {
+            self.keyframes = Some(build_keyframes(index, self.pose_wc, &masks, &self.cameras));
+            if let Some(map) = &mut self.map {
+                map.integrate_keyframe(&features[0], &self.pose_wc);
+            }
+            self.pose_kc = SE3::IDENTITY;
+            return FrameResult {
+                index,
+                pose_wc: self.pose_wc,
+                pose_kc: SE3::IDENTITY,
+                is_keyframe: true,
+                features: features[0].len(),
+                iterations: 0,
+                mean_residual: 0.0,
+            };
+        };
+
+        // coarse-to-fine LM edge alignment, warm-started from the
+        // previous frame's keyframe-relative pose, rotated by the
+        // inertial prediction when one is supplied:
+        // T_k<-c_new = T_k<-c_prev ∘ (R_gyro, 0)
+        let mut pose = match gyro_delta {
+            Some(r) => self.pose_kc.compose(&SE3::new(r, pimvo_vomath::Vec3::ZERO)),
+            None => self.pose_kc,
+        };
+        let mut outcome: Option<LmOutcome> = None;
+        let mut total_iterations = 0usize;
+        for l in (0..levels).rev() {
+            let out: LmOutcome = {
+                let mut problem = AlignmentProblem {
+                    backend: self.backend.as_mut(),
+                    features: &features[l],
+                    keyframe: &keyframes[l],
+                    camera: &self.cameras[l],
+                };
+                LmSolver::new(self.config.lm).solve(&mut problem, pose)
+            };
+            pose = out.pose;
+            total_iterations += out.iterations;
+            outcome = Some(out);
+        }
+        let outcome = outcome.expect("at least one pyramid level");
+        self.pose_kc = pose;
+        // pose_kc = T_keyframe<-camera, so T_world<-camera composes directly
+        self.pose_wc = keyframes[0].pose_wk.compose(&self.pose_kc);
+
+        // keyframe policy (evaluated at the finest level)
+        let overlap = if features[0].is_empty() {
+            0.0
+        } else {
+            outcome.residual_count as f64 / features[0].len() as f64
+        };
+        let needs_new_kf = self.pose_kc.translation_norm() > self.config.keyframe.max_translation
+            || self.pose_kc.rotation_angle() > self.config.keyframe.max_rotation
+            || overlap < self.config.keyframe.min_overlap;
+        if needs_new_kf {
+            self.keyframes = Some(build_keyframes(index, self.pose_wc, &masks, &self.cameras));
+            if let Some(map) = &mut self.map {
+                map.integrate_keyframe(&features[0], &self.pose_wc);
+            }
+            self.pose_kc = SE3::IDENTITY;
+        }
+
+        FrameResult {
+            index,
+            pose_wc: self.pose_wc,
+            pose_kc: self.pose_kc,
+            is_keyframe: needs_new_kf,
+            features: features[0].len(),
+            iterations: total_iterations,
+            mean_residual: outcome.final_cost,
+        }
+    }
+}
+
+/// Builds per-level keyframes from the per-level edge masks.
+fn build_keyframes(
+    index: usize,
+    pose_wk: SE3,
+    masks: &[GrayImage],
+    cameras: &[Pinhole],
+) -> Vec<Keyframe> {
+    masks
+        .iter()
+        .zip(cameras)
+        .map(|(mask, cam)| Keyframe::build(index, pose_wk, mask.clone(), cam))
+        .collect()
+}
+
+/// Depth pyramid step: each coarse pixel takes the first valid depth of
+/// its 2x2 block (host-side bookkeeping; depth maps are not processed
+/// in the array).
+fn downsample_depth(depth: &DepthImage) -> DepthImage {
+    let (w, h) = (depth.width() / 2, depth.height() / 2);
+    DepthImage::from_fn(w, h, |x, y| {
+        for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            let d = depth.get(2 * x + dx, 2 * y + dy);
+            if d.is_finite() && d > 0.0 {
+                return d;
+            }
+        }
+        0.0
+    })
+}
+
+impl std::fmt::Debug for Tracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracker")
+            .field("frame_index", &self.frame_index)
+            .field("has_keyframe", &self.keyframes.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured_frame(shift: f64) -> (GrayImage, DepthImage) {
+        // a textured wall at 2 m; shifting the texture horizontally by
+        // `shift` pixels emulates a sideways camera translation of
+        // shift * z / f meters
+        let gray = GrayImage::from_fn(320, 240, |x, y| {
+            let xs = x as f64 + shift;
+            let v = ((xs * 0.55).sin() + (y as f64 * 0.41).sin()
+                + (xs * 0.13).sin() * (y as f64 * 0.09).cos())
+                * 50.0
+                + 120.0;
+            v.clamp(0.0, 255.0) as u8
+        });
+        let depth = DepthImage::from_fn(320, 240, |_, _| 2.0);
+        (gray, depth)
+    }
+
+    #[test]
+    fn first_frame_is_keyframe() {
+        let mut t = Tracker::new(TrackerConfig::default(), BackendKind::Float);
+        let (g, d) = textured_frame(0.0);
+        let r = t.process_frame(&g, &d);
+        assert!(r.is_keyframe);
+        assert_eq!(r.index, 0);
+        assert!(r.features > 100, "features {}", r.features);
+        assert!(t.keyframe().is_some());
+    }
+
+    #[test]
+    fn static_camera_stays_at_identity() {
+        let mut t = Tracker::new(TrackerConfig::default(), BackendKind::Float);
+        let (g, d) = textured_frame(0.0);
+        t.process_frame(&g, &d);
+        let r = t.process_frame(&g, &d);
+        assert!(r.pose_wc.translation_norm() < 5e-3, "{:?}", r.pose_wc);
+        assert!(r.pose_wc.rotation_angle() < 5e-3);
+    }
+
+    #[test]
+    fn lateral_texture_shift_recovers_translation() {
+        // texture shifted by 2 px at depth 2 m, f = 265 -> the camera
+        // moved ~ -2 * 2/265 = -0.0151 m in x (texture shift left =
+        // camera right... sign depends on convention; magnitude counts)
+        let cfg = TrackerConfig::default();
+        let mut t = Tracker::new(cfg, BackendKind::Float);
+        let (g0, d0) = textured_frame(0.0);
+        t.process_frame(&g0, &d0);
+        let (g1, d1) = textured_frame(2.0);
+        let r = t.process_frame(&g1, &d1);
+        let tx = r.pose_wc.translation.x.abs();
+        assert!(
+            (0.007..0.030).contains(&tx),
+            "expected ~0.015 m lateral motion, got {tx} ({:?})",
+            r.pose_wc.translation
+        );
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn pim_backend_tracks_like_float() {
+        let (g0, d0) = textured_frame(0.0);
+        let (g1, d1) = textured_frame(1.5);
+
+        let mut tf = Tracker::new(TrackerConfig::default(), BackendKind::Float);
+        tf.process_frame(&g0, &d0);
+        let rf = tf.process_frame(&g1, &d1);
+
+        let mut tp = Tracker::new(TrackerConfig::default(), BackendKind::Pim);
+        tp.process_frame(&g0, &d0);
+        let rp = tp.process_frame(&g1, &d1);
+
+        // the single fronto-parallel wall makes x-translation /
+        // y-rotation nearly degenerate, so the two backends may settle
+        // at different points of the ambiguity valley; parity on
+        // well-conditioned scenes is asserted by the integration tests
+        let dt = (rf.pose_wc.translation - rp.pose_wc.translation).norm();
+        assert!(dt < 0.05, "float vs pim translation differ by {dt}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests of the quantized pose-estimation pipeline.
+
+use pimvo_core::pim_exec::{run_batch, BATCH};
+use pimvo_core::{jacobian_float, jacobian_q, Feature, QFeature, QKeyframe, QPose};
+use pimvo_core::{project_q, warp_float};
+use pimvo_mcu::KeyframeTables;
+use pimvo_pim::{ArrayConfig, PimMachine};
+use pimvo_vomath::{distance_transform, gradient_maps, Pinhole, SE3};
+use proptest::prelude::*;
+
+fn feature_at(cam: &Pinhole, u: f64, v: f64, d: f64) -> Feature {
+    let (a, b, c) = cam.inverse_depth_coords(u, v, d);
+    Feature {
+        u,
+        v,
+        depth: d,
+        a,
+        b,
+        c,
+    }
+}
+
+fn small_pose(t: [f64; 3], w: [f64; 3]) -> SE3 {
+    SE3::exp(&[t[0], t[1], t[2], w[0], w[1], w[2]])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §3.3's headline: the Q4.12 warp stays within one pixel of the
+    /// float warp for any in-range feature and any plausible
+    /// inter-frame pose.
+    #[test]
+    fn q4_12_warp_error_below_one_pixel(
+        u in 8.0f64..312.0,
+        v in 8.0f64..232.0,
+        d in 0.6f64..6.0,
+        tx in -0.08f64..0.08,
+        ty in -0.08f64..0.08,
+        tz in -0.08f64..0.08,
+        wx in -0.04f64..0.04,
+        wy in -0.04f64..0.04,
+        wz in -0.04f64..0.04,
+    ) {
+        let cam = Pinhole::qvga();
+        let pose = small_pose([tx, ty, tz], [wx, wy, wz]);
+        let f = feature_at(&cam, u, v, d);
+        let (Some((uf, vf)), Some(wq)) = (
+            warp_float(&f, &pose, &cam),
+            project_q(&QFeature::quantize(&f), &QPose::quantize(&pose), &cam),
+        ) else {
+            return Ok(());
+        };
+        let (uq, vq) = (wq.u_raw as f64 / 64.0, wq.v_raw as f64 / 64.0);
+        prop_assert!((uq - uf).abs() < 1.0, "u: {} vs {}", uq, uf);
+        prop_assert!((vq - vf).abs() < 1.0, "v: {} vs {}", vq, vf);
+    }
+
+    /// The quantized Jacobian tracks the float Jacobian within a small
+    /// relative error at the f·I gradient scale.
+    #[test]
+    fn quantized_jacobian_tracks_float(
+        xh in -0.6f64..0.6,
+        yh in -0.45f64..0.45,
+        z in 0.5f64..5.0,
+        gu in -350.0f64..350.0,
+        gv in -350.0f64..350.0,
+    ) {
+        let jf = jacobian_float(xh, yh, z, gu, gv);
+        let q = |v: f64, frac: u32| (v * (1 << frac) as f64).round() as i64;
+        let jq = jacobian_q(
+            q(xh, 14),
+            q(yh, 14),
+            q(1.0 / z, 12),
+            q(gu, 2),
+            q(gv, 2),
+        );
+        let scale = jf.iter().map(|v| v.abs()).fold(4.0f64, f64::max);
+        for k in 0..6 {
+            let got = jq[k] as f64 / 4.0;
+            prop_assert!(
+                (got - jf[k]).abs() < 0.03 * scale + 1.5,
+                "J{}: {} vs {} (scale {})", k + 1, got, jf[k], scale
+            );
+        }
+    }
+
+    /// Quantization is monotone in precision: more fractional bits
+    /// never give a (meaningfully) worse warp.
+    #[test]
+    fn more_bits_never_hurt(
+        u in 20.0f64..300.0,
+        v in 20.0f64..220.0,
+        d in 0.8f64..5.0,
+    ) {
+        let cam = Pinhole::qvga();
+        let pose = small_pose([0.03, -0.02, 0.04], [0.01, -0.02, 0.01]);
+        let qpose = QPose::quantize(&pose);
+        let f = feature_at(&cam, u, v, d);
+        let Some((uf, vf)) = warp_float(&f, &pose, &cam) else {
+            return Ok(());
+        };
+        let err = |frac: u32, bits: u32| -> Option<f64> {
+            let q = QFeature::quantize_with(&f, frac, bits);
+            let w = project_q(&q, &qpose, &cam)?;
+            Some(((w.u_raw as f64 / 64.0 - uf).powi(2)
+                + (w.v_raw as f64 / 64.0 - vf).powi(2))
+            .sqrt())
+        };
+        let (Some(e16), Some(e8)) = (err(12, 16), err(4, 8)) else {
+            return Ok(());
+        };
+        prop_assert!(e16 <= e8 + 0.2, "16-bit {} vs 8-bit {}", e16, e8);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The machine execution equals the fast path for random feature
+    /// sets and poses (the full-batch equivalence, randomized).
+    #[test]
+    fn machine_equals_fast_path_randomized(
+        seed in 0u32..1000,
+        tx in -0.05f64..0.05,
+        wy in -0.02f64..0.02,
+    ) {
+        let cam = Pinhole::qvga();
+        let (w, h) = (320u32, 240u32);
+        let mut mask = vec![0u8; (w * h) as usize];
+        for i in (seed as usize % 13..mask.len()).step_by(41) {
+            mask[i] = 255;
+        }
+        let dt = distance_transform(&mask, w, h);
+        let (gx, gy) = gradient_maps(&dt);
+        let kf = QKeyframe::quantize(&KeyframeTables { dt, grad_x: gx, grad_y: gy }, &cam);
+        let pose = QPose::quantize(&small_pose([tx, 0.01, -0.02], [0.0, wy, 0.005]));
+        let feats: Vec<QFeature> = (0..BATCH)
+            .map(|i| {
+                let u = 10.0 + ((i * 7 + seed as usize) % 300) as f64;
+                let v = 10.0 + ((i * 13) % 220) as f64;
+                let d = 0.9 + (i % 8) as f64 * 0.5;
+                QFeature::quantize(&feature_at(&cam, u, v, d))
+            })
+            .collect();
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let out = run_batch(&mut m, 1280, &feats, &pose, &kf, &cam);
+        for (i, f) in feats.iter().enumerate() {
+            if let Some(wq) = project_q(f, &pose, &cam) {
+                prop_assert_eq!(out.u_raw[i], wq.u_raw, "lane {} u", i);
+                if out.valid[i] {
+                    let (r, gu, gv) = kf.lookup_q(wq.u_raw, wq.v_raw).expect("in map");
+                    prop_assert_eq!(out.residuals[i], r, "lane {} r", i);
+                    let jf = jacobian_q(wq.qx, wq.qy, wq.iz_real, gu as i64, gv as i64);
+                    prop_assert_eq!(out.jacobians[i], jf, "lane {} J", i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+use std::fmt;
+
+/// Error produced by checked fixed-point conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixedError {
+    /// The value does not fit in the target format's representable range.
+    OutOfRange {
+        /// The offending value, as `f64`.
+        value: f64,
+        /// Total bit width of the target format.
+        bits: u32,
+        /// Fractional bit count of the target format.
+        frac: u32,
+    },
+    /// The value is NaN or infinite and has no fixed-point representation.
+    NotFinite,
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::OutOfRange { value, bits, frac } => write!(
+                f,
+                "value {value} out of range for Q{}.{frac}",
+                bits - frac
+            ),
+            FixedError::NotFinite => write!(f, "value is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for FixedError {}

@@ -1,0 +1,108 @@
+//! Saturating lane arithmetic on plain integer types.
+//!
+//! The PIM value model (crate `pimvo-pim`) operates on lanes of 8/16/32
+//! bits; these helpers define the exact semantics of the saturating and
+//! averaging primitives for each lane width so that the fast vector model
+//! and the gate-level bit-exact model agree on one definition.
+
+/// Saturating unsigned 8-bit add — the `sat(A + B)` primitive on pixel data.
+#[inline]
+pub fn sat_add_u8(a: u8, b: u8) -> u8 {
+    a.saturating_add(b)
+}
+
+/// Saturating unsigned 8-bit subtract, clamping at zero.
+#[inline]
+pub fn sat_sub_u8(a: u8, b: u8) -> u8 {
+    a.saturating_sub(b)
+}
+
+/// Absolute difference of unsigned 8-bit values (Fig. 7-a of the paper).
+#[inline]
+pub fn abs_diff_u8(a: u8, b: u8) -> u8 {
+    a.abs_diff(b)
+}
+
+/// Average with truncation: `(a + b) >> 1` on unsigned 8-bit pixels.
+#[inline]
+pub fn avg_u8(a: u8, b: u8) -> u8 {
+    (((a as u16) + (b as u16)) >> 1) as u8
+}
+
+/// Branch-free max via the saturating identity the paper cites:
+/// `max(a, b) = sat(a - b) + b` (unsigned saturation clamps at 0).
+#[inline]
+pub fn max_u8(a: u8, b: u8) -> u8 {
+    sat_sub_u8(a, b).wrapping_add(b)
+}
+
+/// Branch-free min: `min(a, b) = a - sat(a - b)`.
+#[inline]
+pub fn min_u8(a: u8, b: u8) -> u8 {
+    a.wrapping_sub(sat_sub_u8(a, b))
+}
+
+/// Generic saturating clamp of an `i64` into a signed `bits`-wide word.
+#[inline]
+pub fn clamp_signed(v: i64, bits: u32) -> i64 {
+    let max = (1i64 << (bits - 1)) - 1;
+    let min = -(1i64 << (bits - 1));
+    v.clamp(min, max)
+}
+
+/// Generic wrap of an `i64` into a signed `bits`-wide word (two's
+/// complement truncation, i.e. carry propagation cut at the word edge).
+#[inline]
+pub fn wrap_signed(v: i64, bits: u32) -> i64 {
+    let sh = 64 - bits;
+    ((v as u64) << sh) as i64 >> sh
+}
+
+/// Generic wrap into an unsigned `bits`-wide word.
+#[inline]
+pub fn wrap_unsigned(v: i64, bits: u32) -> u64 {
+    (v as u64) & (u64::MAX >> (64 - bits))
+}
+
+/// Generic saturating clamp into an unsigned `bits`-wide word.
+#[inline]
+pub fn clamp_unsigned(v: i64, bits: u32) -> u64 {
+    let max = (u64::MAX >> (64 - bits)) as i64;
+    v.clamp(0, max) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_primitives() {
+        assert_eq!(sat_add_u8(200, 100), 255);
+        assert_eq!(sat_sub_u8(10, 100), 0);
+        assert_eq!(abs_diff_u8(10, 100), 90);
+        assert_eq!(avg_u8(3, 4), 3);
+        assert_eq!(avg_u8(255, 255), 255);
+    }
+
+    #[test]
+    fn branch_free_min_max_match_std() {
+        for a in (0u16..=255).step_by(7) {
+            for b in (0u16..=255).step_by(11) {
+                let (a, b) = (a as u8, b as u8);
+                assert_eq!(max_u8(a, b), a.max(b), "max({a},{b})");
+                assert_eq!(min_u8(a, b), a.min(b), "min({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_and_clamp() {
+        assert_eq!(wrap_signed(128, 8), -128);
+        assert_eq!(wrap_signed(-129, 8), 127);
+        assert_eq!(clamp_signed(128, 8), 127);
+        assert_eq!(clamp_signed(-300, 8), -128);
+        assert_eq!(wrap_unsigned(256, 8), 0);
+        assert_eq!(clamp_unsigned(-5, 8), 0);
+        assert_eq!(clamp_unsigned(300, 8), 255);
+    }
+}

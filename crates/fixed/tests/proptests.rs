@@ -1,0 +1,110 @@
+//! Property-based tests for the fixed-point core.
+
+use pimvo_fixed::{sat, Q};
+use proptest::prelude::*;
+
+type Q4_12 = Q<4, 12>;
+type Q1_15 = Q<1, 15>;
+type Q29_3 = Q<29, 3>;
+
+proptest! {
+    /// Quantization error is bounded by half an LSB for in-range values.
+    #[test]
+    fn quantization_error_bounded(v in -7.99f64..7.99) {
+        let q = Q4_12::from_f64(v);
+        prop_assert!((q.to_f64() - v).abs() <= 0.5 / 4096.0 + 1e-12);
+    }
+
+    /// Raw round-trip is lossless.
+    #[test]
+    fn raw_roundtrip(r in -32768i64..=32767) {
+        prop_assert_eq!(Q4_12::from_raw(r).raw(), r);
+    }
+
+    /// Saturating add never leaves the representable range and is
+    /// commutative.
+    #[test]
+    fn saturating_add_in_range(a in -32768i64..=32767, b in -32768i64..=32767) {
+        let (qa, qb) = (Q4_12::from_raw(a), Q4_12::from_raw(b));
+        let s = qa.saturating_add(qb);
+        prop_assert!(s >= Q4_12::MIN && s <= Q4_12::MAX);
+        prop_assert_eq!(s, qb.saturating_add(qa));
+    }
+
+    /// Wrapping add agrees with i16 wrapping arithmetic for 16-bit formats.
+    #[test]
+    fn wrapping_add_matches_i16(a in any::<i16>(), b in any::<i16>()) {
+        let s = Q4_12::from_raw(a as i64).wrapping_add(Q4_12::from_raw(b as i64));
+        prop_assert_eq!(s.raw(), a.wrapping_add(b) as i64);
+    }
+
+    /// avg is always between min and max of the operands.
+    #[test]
+    fn avg_bounded(a in any::<i16>(), b in any::<i16>()) {
+        let (qa, qb) = (Q4_12::from_raw(a as i64), Q4_12::from_raw(b as i64));
+        let m = qa.avg(qb);
+        prop_assert!(m >= qa.min(qb) && m <= qa.max(qb));
+    }
+
+    /// Q4.12 × Q1.15 → Q4.12 matches float multiplication within the
+    /// quantization budget the paper claims for warping.
+    #[test]
+    fn mul_rescale_accuracy(a in -7.9f64..7.9, r in -0.999f64..0.999) {
+        let qa = Q4_12::from_f64(a);
+        let qr = Q1_15::from_f64(r);
+        let prod: Q4_12 = qa.mul_rescale(qr);
+        let exact = a * r;
+        if exact.abs() < 7.9 {
+            // one LSB of each operand plus rounding of the product
+            prop_assert!((prod.to_f64() - exact).abs() < 4.0 / 4096.0,
+                "a={a} r={r} got {} want {}", prod.to_f64(), exact);
+        }
+    }
+
+    /// Division matches float within one output LSB.
+    #[test]
+    fn div_rescale_accuracy(x in -400.0f64..400.0, z in 0.5f64..100.0) {
+        let qx = Q::<20, 12>::from_f64(x);
+        let qz = Q::<20, 12>::from_f64(z);
+        let q: Q<20, 12> = qx.div_rescale::<20, 12, 20, 12>(qz).unwrap();
+        // quotient error: operand quantization propagates as
+        // (dx + |x/z| dz)/z, plus one LSB of divider truncation
+        let bound = (0.5 / 4096.0) * (1.0 + (x / z).abs()) / z + 2.0 / 4096.0;
+        prop_assert!((q.to_f64() - x / z).abs() < bound,
+            "x={x} z={z} got {} want {}", q.to_f64(), x / z);
+    }
+
+    /// Q29.3 accumulates thousands of Jacobian-scale products without
+    /// saturating (the paper's rationale for 32-bit Hessian entries).
+    #[test]
+    fn q29_3_accumulates_hessian_scale(vals in prop::collection::vec(-100.0f64..100.0, 100)) {
+        let mut acc = Q29_3::ZERO;
+        let mut exact = 0.0;
+        for v in &vals {
+            acc = acc.saturating_add(Q29_3::from_f64(*v));
+            exact += Q29_3::from_f64(*v).to_f64();
+        }
+        prop_assert!((acc.to_f64() - exact).abs() < 1e-9);
+    }
+
+    /// Branch-free u8 min/max identities hold for all inputs.
+    #[test]
+    fn u8_minmax_identity(a in any::<u8>(), b in any::<u8>()) {
+        prop_assert_eq!(sat::max_u8(a, b), a.max(b));
+        prop_assert_eq!(sat::min_u8(a, b), a.min(b));
+        prop_assert_eq!(
+            sat::max_u8(a, b) as u16 + sat::min_u8(a, b) as u16,
+            a as u16 + b as u16
+        );
+    }
+
+    /// wrap_signed is idempotent and agrees with clamp for in-range values.
+    #[test]
+    fn wrap_signed_idempotent(v in any::<i32>(), bits in 2u32..32) {
+        let w = sat::wrap_signed(v as i64, bits);
+        prop_assert_eq!(sat::wrap_signed(w, bits), w);
+        if w == v as i64 {
+            prop_assert_eq!(sat::clamp_signed(v as i64, bits), v as i64);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+/// Thresholds of the edge-detection pipeline.
+///
+/// `th2` gates the absolute high-pass response; `th1` is the
+/// non-maximum-suppression margin by which a pixel must exceed its
+/// strongest opposing neighbour pair (Fig. 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeConfig {
+    /// NMS margin threshold.
+    pub th1: u8,
+    /// High-pass magnitude threshold.
+    pub th2: u8,
+    /// Border margin (pixels) cleared in the edge mask; kernels cannot
+    /// produce valid responses where their neighbourhood leaves the
+    /// image.
+    pub border: u32,
+}
+
+impl EdgeConfig {
+    /// Defaults tuned to yield the paper's 3000-6000 features on a QVGA
+    /// frame with moderate texture.
+    pub fn new(th1: u8, th2: u8) -> Self {
+        EdgeConfig {
+            th1,
+            th2,
+            border: 2,
+        }
+    }
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig::new(2, 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = EdgeConfig::default();
+        assert!(c.th2 > c.th1);
+        assert_eq!(c.border, 2);
+    }
+}

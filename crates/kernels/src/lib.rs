@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Edge-detection kernels of the EBVO pipeline (§3.2 of the paper), in
+//! three interchangeable implementations:
+//!
+//! * [`scalar`] — plain Rust reference implementations defining the
+//!   exact output semantics (zero padding outside the image, truncating
+//!   averages, saturating sums — matching what the PIM hardware
+//!   produces);
+//! * [`pim_opt`] — the paper's optimized PIM mappings (Figs. 2-4):
+//!   whole-row operations with fused pixel shifts, Tmp-Reg chaining and
+//!   the simplified branch-free NMS;
+//! * [`pim_naive`] — straightforward PIM mappings without the data-reuse
+//!   and scheduling optimizations, used as the comparison point of
+//!   Fig. 9-b.
+//!
+//! All three produce **bit-identical** edge maps; they differ only in
+//! cycle and energy cost on the PIM machine. Integration and property
+//! tests enforce the equivalence.
+//!
+//! ```
+//! use pimvo_kernels::{scalar, EdgeConfig, GrayImage};
+//!
+//! let img = GrayImage::from_fn(32, 24, |x, y| ((x * 8) ^ (y * 8)) as u8);
+//! let maps = scalar::edge_detect(&img, &EdgeConfig::default());
+//! assert_eq!(maps.mask.width(), 32);
+//! ```
+
+mod config;
+mod image;
+pub mod pim_multireg;
+pub mod pim_naive;
+pub mod pim_opt;
+pub mod pim_util;
+pub mod scalar;
+
+pub use config::EdgeConfig;
+pub use image::{DepthImage, GrayImage};
+
+/// Output of the edge-detection pipeline: the intermediate low-pass and
+/// high-pass maps plus the final binary edge mask (0 or 255).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeMaps {
+    /// Low-pass filtered image.
+    pub lpf: GrayImage,
+    /// High-pass (gradient-magnitude approximation) map.
+    pub hpf: GrayImage,
+    /// Binary edge mask: 255 where an edge pixel was detected.
+    pub mask: GrayImage,
+}
+
+impl EdgeMaps {
+    /// Number of detected edge pixels.
+    pub fn edge_count(&self) -> usize {
+        self.mask.pixels().iter().filter(|&&p| p != 0).count()
+    }
+}

@@ -1,0 +1,305 @@
+//! Optimized PIM mappings of the edge-detection kernels — the paper's
+//! contribution in §3.2 (Figs. 2, 3, 4).
+//!
+//! The optimizations over [`crate::pim_naive`]:
+//!
+//! * **fused pixel shifts** — the shifter sits in the accumulator
+//!   datapath, so `avg(C, C << 1pix)` is a single cycle instead of a
+//!   stand-alone shift plus a write-back plus an average;
+//! * **Tmp-Reg chaining** — multi-stage expressions keep intermediate
+//!   results in the temporary register, paying SRAM write-backs only for
+//!   values consumed by a *later* row's processing;
+//! * **algebraic simplification** — the NMS branch compound is replaced
+//!   by the branch-free `sat / min / max` form (Fig. 4), and the Sobel
+//!   gradient magnitude by the 4-direction saturated SAD (Fig. 3).
+//!
+//! Every function produces output bit-identical to the [`crate::scalar`]
+//! reference.
+
+use crate::pim_util::{apply_ghost_mask, ghost_mask, load_image, read_image, row_or_zero, Regions};
+use crate::{EdgeConfig, EdgeMaps, GrayImage};
+use pimvo_pim::{LaneWidth, LogicFunc, Operand, PimMachine, Signedness};
+
+use Operand::{Row, Tmp};
+
+/// Runs the full optimized pipeline (LPF → HPF → NMS) on the machine and
+/// returns the resulting maps.
+///
+/// # Panics
+///
+/// Panics if the machine has fewer than 6 banks of 256 rows (use
+/// [`pimvo_pim::ArrayConfig::qvga_banks`]).
+pub fn edge_detect(m: &mut PimMachine, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
+    let regions = Regions::for_machine(m, img.height());
+    let w = load_image(m, regions.input, img) as u32;
+    let h = img.height();
+
+    lpf_rows(m, &regions, regions.input, regions.aux2, h, w as usize);
+    let lpf = read_image(m, regions.aux2, w, h);
+
+    hpf_rows(m, &regions, regions.aux2, regions.aux3, h, w as usize);
+    let hpf = read_image(m, regions.aux3, w, h);
+
+    nms_rows(m, &regions, regions.aux3, regions.out, h, w as usize, cfg);
+    let mut mask = read_image(m, regions.out, w, h);
+    mask.clear_border(cfg.border);
+
+    EdgeMaps { lpf, hpf, mask }
+}
+
+/// Runs only the optimized LPF mapping; returns the low-pass map.
+pub fn lpf(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
+    let regions = Regions::for_machine(m, img.height());
+    let w = load_image(m, regions.input, img) as u32;
+    lpf_rows(m, &regions, regions.input, regions.aux2, img.height(), w as usize);
+    read_image(m, regions.aux2, w, img.height())
+}
+
+/// Runs only the optimized HPF mapping on a low-pass map.
+pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage) -> GrayImage {
+    let regions = Regions::for_machine(m, lpf_map.height());
+    let w = load_image(m, regions.aux2, lpf_map) as u32;
+    hpf_rows(m, &regions, regions.aux2, regions.aux3, lpf_map.height(), w as usize);
+    read_image(m, regions.aux3, w, lpf_map.height())
+}
+
+/// Runs only the optimized NMS mapping on a high-pass map.
+pub fn nms(m: &mut PimMachine, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
+    let regions = Regions::for_machine(m, hpf_map.height());
+    let w = load_image(m, regions.aux3, hpf_map) as u32;
+    nms_rows(m, &regions, regions.aux3, regions.out, hpf_map.height(), w as usize, cfg);
+    let mut mask = read_image(m, regions.out, w, hpf_map.height());
+    mask.clear_border(cfg.border);
+    mask
+}
+
+/// Downsamples by 2 on the PIM: per output row one vertical average
+/// (dual-row read) and one fused shift-average produce the 2x2 block
+/// means at even lanes; the lane decimation is a host-side repack, as
+/// in the pooling layers of the CNN extension. Output is bit-identical
+/// to [`crate::scalar::downsample2x`].
+pub fn downsample2x(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
+    let regions = Regions::for_machine(m, img.height());
+    let _ = load_image(m, regions.input, img);
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    let (w, h) = (img.width() / 2, img.height() / 2);
+    assert!(w > 0 && h > 0, "image too small to downsample");
+    let mut out = GrayImage::new(w, h);
+    for oy in 0..h {
+        let r0 = regions.input + (2 * oy) as usize;
+        m.avg(Row(r0), Row(r0 + 1)); // vertical pair average
+        m.avg_sh(Tmp, Tmp, 1); // horizontal fused average (even lanes)
+        m.writeback(regions.aux1 + oy as usize);
+        let lanes = m.host_read_lanes(regions.aux1 + oy as usize);
+        for ox in 0..w {
+            out.set(ox, oy, lanes[(2 * ox) as usize] as u8);
+        }
+    }
+    out
+}
+
+/// LPF (Fig. 2): the 3x3 binomial decomposed into two 2x2 averaging
+/// passes. Per row and pass: one vertical average (dual-row read), one
+/// fused shift-average on the Tmp Reg, one write-back — 3 cycles.
+fn lpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    m.host_broadcast(r.zero_row(), 0);
+    let mask = ghost_mask(m, r, w);
+    // pass 1 (anchored top-left) into aux1
+    for y in 0..h as i64 {
+        let a = row_or_zero(r, src, y, h);
+        let b = row_or_zero(r, src, y + 1, h);
+        m.avg(Row(a), Row(b)); // C = (A + B) / 2
+        m.avg_sh(Tmp, Tmp, 1); // E = (C + C<<1pix) / 2
+        m.writeback(r.aux1 + y as usize);
+    }
+    // pass 2 (anchored bottom-right) into dst
+    for y in 0..h as i64 {
+        let a = row_or_zero(r, r.aux1, y - 1, h);
+        let b = row_or_zero(r, r.aux1, y, h);
+        m.avg(Row(a), Row(b));
+        m.avg_sh(Tmp, Tmp, -1);
+        apply_ghost_mask(m, mask);
+        m.writeback(dst + y as usize);
+    }
+}
+
+/// HPF (Fig. 3): saturated SAD over the four opposing neighbour pairs.
+/// Operand alignment by whole-row 2-pixel shifts, fused into the
+/// absolute-difference and saturating-add steps; only the three
+/// direction maps consumed out of order are written to scratch.
+fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    m.host_broadcast(r.zero_row(), 0);
+    let mask = ghost_mask(m, r, w);
+    for y in 0..h as i64 {
+        let a = row_or_zero(r, src, y - 1, h); // row above
+        let b = row_or_zero(r, src, y, h); // centre row
+        let c = row_or_zero(r, src, y + 1, h); // row below
+
+        // anchored at x-1 (lane i corresponds to output pixel x = i+1)
+        m.abs_diff_sh(Row(c), Row(a), 2); // |c1 - a3|
+        m.writeback(r.s(0));
+        m.abs_diff(Row(a), Row(c)); // |a2 - c2| (anchored at x)
+        m.writeback(r.s(1));
+        m.abs_diff_sh(Row(b), Row(b), 2); // |b1 - b3|
+        m.writeback(r.s(2));
+
+        m.abs_diff_sh(Row(a), Row(c), 2); // |a1 - c3|, stays in Tmp
+        m.avg(Tmp, Row(r.s(0))); // avg of the two diagonals
+        m.writeback(r.s(3));
+        m.avg_sh(Row(r.s(2)), Row(r.s(1)), 1); // avg(horiz, vert re-anchored)
+        m.avg(Tmp, Row(r.s(3))); // final SAD/4 response
+        m.shift_pix(Tmp, -1); // re-centre to output anchor
+        apply_ghost_mask(m, mask);
+        m.writeback(dst + y as usize);
+    }
+}
+
+/// NMS (Fig. 4): the simplified branch-free kernel
+/// `edge = (b2 > th2) && (sat(b2 - th1) > min(4 directional maxima))`.
+fn nms_rows(
+    m: &mut PimMachine,
+    r: &Regions,
+    src: usize,
+    dst: usize,
+    h: u32,
+    w: usize,
+    cfg: &EdgeConfig,
+) {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    m.host_broadcast(r.zero_row(), 0);
+    m.host_broadcast(r.th(0), cfg.th1 as i64);
+    m.host_broadcast(r.th(1), cfg.th2 as i64);
+    let mask = ghost_mask(m, r, w);
+    for y in 0..h as i64 {
+        let a = row_or_zero(r, src, y - 1, h);
+        let b = row_or_zero(r, src, y, h);
+        let c = row_or_zero(r, src, y + 1, h);
+
+        // directional maxima, anchored at x-1 except the vertical pair
+        m.max_sh(Row(a), Row(c), 2); // G = max(a1, c3)
+        m.writeback(r.s(0));
+        m.max(Row(a), Row(c)); // H = max(a2, c2), anchored at x
+        m.writeback(r.s(1));
+        m.max_sh(Row(c), Row(a), 2); // I = max(c1, a3)
+        m.writeback(r.s(2));
+
+        m.max_sh(Row(b), Row(b), 2); // J = max(b1, b3), in Tmp
+        m.min(Tmp, Row(r.s(0))); // K = min(J, G)
+        m.min_sh(Tmp, Row(r.s(1)), 1); // ... min with H re-anchored
+        m.min(Tmp, Row(r.s(2))); // ... min with I
+        m.shift_pix(Tmp, -1); // re-centre K to the output anchor
+        apply_ghost_mask(m, mask);
+        m.writeback(r.s(3));
+
+        m.sat_sub(Row(b), Row(r.th(0))); // L = sat(B - th1)
+        m.cmp_gt(Tmp, Row(r.s(3))); // M = L > K
+        m.writeback(r.s(4));
+        m.cmp_gt(Row(b), Row(r.th(1))); // N = B > th2
+        m.logic(LogicFunc::And, Tmp, Row(r.s(4))); // edge = M && N
+        m.writeback(dst + y as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar;
+    use pimvo_pim::ArrayConfig;
+
+    fn machine() -> PimMachine {
+        PimMachine::new(ArrayConfig::qvga_banks(6))
+    }
+
+    fn test_image() -> GrayImage {
+        GrayImage::from_fn(64, 48, |x, y| {
+            let v = (x * 13).wrapping_mul(y * 7 + 3) % 256;
+            if (20..40).contains(&x) && (15..35).contains(&y) {
+                (v / 2 + 120) as u8
+            } else {
+                (v / 3) as u8
+            }
+        })
+    }
+
+    #[test]
+    fn lpf_matches_scalar_exactly() {
+        let img = test_image();
+        let mut m = machine();
+        assert_eq!(lpf(&mut m, &img), scalar::lpf(&img));
+    }
+
+    #[test]
+    fn hpf_matches_scalar_exactly() {
+        let img = scalar::lpf(&test_image());
+        let mut m = machine();
+        assert_eq!(hpf(&mut m, &img), scalar::hpf(&img));
+    }
+
+    #[test]
+    fn nms_matches_scalar_exactly() {
+        let cfg = EdgeConfig::default();
+        let hmap = scalar::hpf(&scalar::lpf(&test_image()));
+        let mut m = machine();
+        let mut want = scalar::nms(&hmap, &cfg);
+        want.clear_border(cfg.border);
+        assert_eq!(nms(&mut m, &hmap, &cfg), want);
+    }
+
+    #[test]
+    fn full_pipeline_matches_scalar() {
+        let img = test_image();
+        let cfg = EdgeConfig::default();
+        let mut m = machine();
+        let got = edge_detect(&mut m, &img, &cfg);
+        let want = scalar::edge_detect(&img, &cfg);
+        assert_eq!(got.lpf, want.lpf);
+        assert_eq!(got.hpf, want.hpf);
+        assert_eq!(got.mask, want.mask);
+    }
+
+    #[test]
+    fn cycle_counts_scale_with_rows() {
+        let img = GrayImage::from_fn(64, 16, |x, y| (x * y) as u8);
+        let mut m = machine();
+        let c0 = m.stats().cycles;
+        let _ = lpf(&mut m, &img);
+        let per16 = m.stats().cycles - c0;
+
+        let img32 = GrayImage::from_fn(64, 32, |x, y| (x * y) as u8);
+        let mut m2 = machine();
+        let _ = lpf(&mut m2, &img32);
+        let per32 = m2.stats().cycles;
+        assert!(per32 > per16 && per32 <= 2 * per16 + 8, "{per16} vs {per32}");
+    }
+}
+
+#[cfg(test)]
+mod downsample_tests {
+    use super::*;
+    use crate::scalar;
+    use pimvo_pim::ArrayConfig;
+
+    #[test]
+    fn pim_downsample_matches_scalar() {
+        let img = GrayImage::from_fn(64, 48, |x, y| {
+            ((x * 29 + y * 17).wrapping_mul(2654435761) >> 13) as u8
+        });
+        let want = scalar::downsample2x(&img);
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let got = downsample2x(&mut m, &img);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn downsample_halves_dimensions_and_averages() {
+        let img = GrayImage::from_fn(8, 8, |x, y| ((x / 2) * 40 + (y / 2) * 10) as u8);
+        let out = scalar::downsample2x(&img);
+        assert_eq!(out.width(), 4);
+        assert_eq!(out.height(), 4);
+        // uniform 2x2 blocks average to themselves
+        assert_eq!(out.get(1, 1), 50);
+        assert_eq!(out.get(3, 2), 140);
+    }
+}

@@ -1,0 +1,149 @@
+//! Shared helpers for mapping image kernels onto the PIM machine.
+
+use crate::GrayImage;
+use pimvo_pim::{LaneWidth, PimMachine, Signedness};
+
+/// Row-region layout used by the edge-detection mappings.
+///
+/// The paper's single `(320*8) x 256` array holds exactly one 8-bit QVGA
+/// image; intermediate maps either overwrite consumed rows or live in
+/// additional banks. We model the banked variant (identical op counts
+/// and access energies, simpler bookkeeping): each region is one 256-row
+/// bank holding one full-height map.
+#[derive(Debug, Clone, Copy)]
+pub struct Regions {
+    /// Input image rows.
+    pub input: usize,
+    /// First intermediate map (LPF pass 1 / scratch).
+    pub aux1: usize,
+    /// Second intermediate map (LPF output).
+    pub aux2: usize,
+    /// Third intermediate map (HPF output).
+    pub aux3: usize,
+    /// Output mask rows.
+    pub out: usize,
+    /// Scratch rows (per-row temporaries, threshold rows, zero row).
+    pub scratch: usize,
+}
+
+impl Regions {
+    /// Region size in rows (one bank).
+    pub const BANK: usize = 256;
+
+    /// Builds the standard 6-bank layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has fewer than `6 * 256` rows or the image
+    /// is taller than one bank.
+    pub fn for_machine(m: &PimMachine, img_height: u32) -> Regions {
+        assert!(
+            m.config().rows >= 6 * Self::BANK,
+            "edge-detection mapping needs a 6-bank array \
+             (ArrayConfig::qvga_banks(6)); machine has {} rows",
+            m.config().rows
+        );
+        assert!(
+            img_height as usize <= Self::BANK,
+            "image height {img_height} exceeds the {}-row bank",
+            Self::BANK
+        );
+        Regions {
+            input: 0,
+            aux1: Self::BANK,
+            aux2: 2 * Self::BANK,
+            aux3: 3 * Self::BANK,
+            out: 4 * Self::BANK,
+            scratch: 5 * Self::BANK,
+        }
+    }
+
+    /// A dedicated always-zero row (image border padding).
+    pub fn zero_row(&self) -> usize {
+        self.scratch
+    }
+
+    /// Scratch row `i` (temporaries within one row's processing).
+    pub fn s(&self, i: usize) -> usize {
+        self.scratch + 1 + i
+    }
+
+    /// Threshold broadcast row `i`.
+    pub fn th(&self, i: usize) -> usize {
+        self.scratch + 16 + i
+    }
+}
+
+/// Loads a grayscale image into consecutive rows starting at `base`,
+/// one image row per word line (8-bit lanes). Returns the image width.
+///
+/// # Panics
+///
+/// Panics if the image is wider than the word line.
+pub fn load_image(m: &mut PimMachine, base: usize, img: &GrayImage) -> usize {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    let w = img.width() as usize;
+    assert!(
+        w <= m.lanes(),
+        "image width {w} exceeds {} lanes",
+        m.lanes()
+    );
+    for y in 0..img.height() {
+        let lanes: Vec<i64> = img.row(y).iter().map(|&p| p as i64).collect();
+        m.host_write_lanes(base + y as usize, &lanes);
+    }
+    w
+}
+
+/// Reads a map back from consecutive rows starting at `base`.
+pub fn read_image(m: &mut PimMachine, base: usize, width: u32, height: u32) -> GrayImage {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    let mut img = GrayImage::new(width, height);
+    for y in 0..height {
+        let lanes = m.host_read_lanes(base + y as usize);
+        for x in 0..width {
+            img.set(x, y, lanes[x as usize] as u8);
+        }
+    }
+    img
+}
+
+/// Row operand for row `y` of a map at `base`, substituting the zero row
+/// outside `0..height` (zero padding at the top/bottom borders).
+pub fn row_or_zero(regions: &Regions, base: usize, y: i64, height: u32) -> usize {
+    if y < 0 || y >= height as i64 {
+        regions.zero_row()
+    } else {
+        base + y as usize
+    }
+}
+
+/// Sets up the ghost-lane mask for images narrower than the word line.
+///
+/// At the native QVGA width the image occupies every lane, and a
+/// negative pixel shift simply drops data off the word-line edge. For
+/// narrower images (tests, crops) the same shift would smear valid data
+/// into lanes beyond the image width, breaking the zero-padding
+/// invariant the kernels rely on. This broadcasts a `0xFF`-below-width /
+/// `0`-beyond mask into a scratch row; returns `None` when the image is
+/// full-width and no masking is needed.
+pub fn ghost_mask(m: &mut PimMachine, regions: &Regions, width: usize) -> Option<usize> {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    if width >= m.lanes() {
+        return None;
+    }
+    let row = regions.th(8);
+    let vals: Vec<i64> = (0..m.lanes())
+        .map(|i| if i < width { 0xFF } else { 0 })
+        .collect();
+    m.host_write_lanes(row, &vals);
+    Some(row)
+}
+
+/// Applies the ghost-lane mask to the Tmp Reg if one is active (a
+/// single AND cycle, only incurred for sub-width images).
+pub fn apply_ghost_mask(m: &mut PimMachine, mask: Option<usize>) {
+    if let Some(row) = mask {
+        m.logic(pimvo_pim::LogicFunc::And, pimvo_pim::Operand::Tmp, pimvo_pim::Operand::Row(row));
+    }
+}

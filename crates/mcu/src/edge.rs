@@ -1,0 +1,116 @@
+//! Instrumented baseline edge detection.
+//!
+//! The pixel math delegates to the [`pimvo_kernels::scalar`] reference
+//! (the outputs must be identical across every implementation); the
+//! *cost* is charged per 4-pixel group, modeling a PicoVO-class inner
+//! loop built on the ARMv7E-M DSP byte-SIMD instructions (`UHADD8`,
+//! `USUB8`/`SEL`, …) that Cortex-M7 implementations use for pixel
+//! processing. At QVGA this lands at ≈1.4 M cycles per frame — the
+//! PicoEdge figure the paper reports for the STM32F7.
+
+use crate::counter::CostCounter;
+use crate::CodegenModel;
+use pimvo_kernels::{scalar, EdgeConfig, EdgeMaps, GrayImage};
+
+/// Runs baseline edge detection, charging the MCU cost model.
+pub fn edge_detect_counted(
+    img: &GrayImage,
+    cfg: &EdgeConfig,
+    counter: &mut CostCounter,
+) -> EdgeMaps {
+    edge_detect_counted_with(img, cfg, counter, CodegenModel::TunedDsp)
+}
+
+/// [`edge_detect_counted`] with an explicit code-generation model:
+/// [`CodegenModel::PortableScalar`] charges per-pixel scalar loads (no
+/// byte-SIMD), modeling a portable REVO-style build.
+pub fn edge_detect_counted_with(
+    img: &GrayImage,
+    cfg: &EdgeConfig,
+    counter: &mut CostCounter,
+    model: CodegenModel,
+) -> EdgeMaps {
+    let maps = scalar::edge_detect(img, cfg);
+    match model {
+        CodegenModel::TunedDsp => charge_edge_costs(img.width(), img.height(), counter),
+        CodegenModel::PortableScalar => {
+            // scalar per-pixel loops: every neighbourhood access is a
+            // byte load, every intermediate a store
+            let px = img.width() as u64 * img.height() as u64;
+            counter.load((4 + 6 + 6) * px);
+            counter.alu((4 + 11 + 17) * px);
+            counter.store(3 * px);
+            counter.branch(px);
+        }
+    }
+    maps
+}
+
+/// Charges the structural cost of the three kernels for a `w x h` frame.
+///
+/// Per 4-pixel SIMD group and per pass:
+///
+/// * LPF (two 2x2 averaging passes): 3 loads (two aligned rows + one
+///   unaligned shifted group), 2 `UHADD8`, 1 store, loop overhead.
+/// * HPF (4-direction SAD/4): 6 loads (3 rows, aligned + unaligned),
+///   4 absolute differences (USUB8/SEL pairs), 3 averages, 1 store.
+/// * NMS (branch-free min/max form): 6 loads, 4 max + 3 min
+///   (USUB8+SEL each), threshold compare/select, mask store.
+fn charge_edge_costs(w: u32, h: u32, counter: &mut CostCounter) {
+    let groups = ((w as u64) / 4) * (h as u64);
+    // LPF: two passes
+    for _pass in 0..2 {
+        counter.load(3 * groups);
+        counter.alu(2 * groups);
+        counter.store(groups);
+        counter.branch(groups / 4); // unrolled x4
+    }
+    // HPF
+    counter.load(6 * groups);
+    counter.alu((4 * 2 + 3) * groups); // 4 abs-diffs (2 insns) + 3 avgs
+    counter.store(groups);
+    counter.branch(groups / 4);
+    // NMS
+    counter.load(6 * groups);
+    counter.alu((7 * 2 + 3) * groups); // 7 min/max (2 insns) + cmp/sel
+    counter.store(groups);
+    counter.branch(groups / 4);
+    counter.call(3 * h as u64); // per-row kernel dispatch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qvga_frame_lands_near_picovo_figure() {
+        let img = GrayImage::from_fn(320, 240, |x, y| ((x * 3 + y * 5) % 251) as u8);
+        let mut c = CostCounter::new();
+        let _ = edge_detect_counted(&img, &EdgeConfig::default(), &mut c);
+        let cycles = c.cycles();
+        // paper: PicoEdge takes ~1.42 M cycles on the STM32F7
+        assert!(
+            (900_000..2_200_000).contains(&cycles),
+            "edge cycles {cycles}"
+        );
+    }
+
+    #[test]
+    fn output_is_the_reference_output() {
+        let img = GrayImage::from_fn(64, 48, |x, y| (x * y) as u8);
+        let cfg = EdgeConfig::default();
+        let mut c = CostCounter::new();
+        let got = edge_detect_counted(&img, &cfg, &mut c);
+        let want = scalar::edge_detect(&img, &cfg);
+        assert_eq!(got.mask, want.mask);
+    }
+
+    #[test]
+    fn cost_scales_with_area() {
+        let mut c1 = CostCounter::new();
+        charge_edge_costs(320, 120, &mut c1);
+        let mut c2 = CostCounter::new();
+        charge_edge_costs(320, 240, &mut c2);
+        assert!(c2.cycles() > c1.cycles() * 19 / 10);
+    }
+}

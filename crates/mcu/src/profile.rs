@@ -1,0 +1,109 @@
+//! Instruction-mix profiling — the paper's §1 motivation experiment.
+//!
+//! Profiling REVO with Valgrind, the authors find that 43 % of executed
+//! x86 instructions (51 % on ARM) are data movement. This module
+//! derives the equivalent statistic from a [`CostCounter`] trace of our
+//! baseline EBVO frame.
+
+use crate::counter::{CostCounter, InstrClass};
+
+/// Instruction-mix summary of a counted workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    /// Total instructions.
+    pub total: u64,
+    /// Data-movement instructions (loads + stores).
+    pub memory: u64,
+    /// Arithmetic instructions (ALU + MUL + DIV).
+    pub arithmetic: u64,
+    /// Control instructions (branches + calls).
+    pub control: u64,
+}
+
+impl InstructionMix {
+    /// Builds the mix from a counter.
+    pub fn from_counter(c: &CostCounter) -> Self {
+        let mut mix = InstructionMix {
+            total: 0,
+            memory: 0,
+            arithmetic: 0,
+            control: 0,
+        };
+        for class in InstrClass::all() {
+            let n = c.count(class);
+            mix.total += n;
+            if class.is_memory() {
+                mix.memory += n;
+            } else if matches!(class, InstrClass::Branch | InstrClass::Call) {
+                mix.control += n;
+            } else {
+                mix.arithmetic += n;
+            }
+        }
+        mix
+    }
+
+    /// Fraction of instructions that move data (paper: 0.43-0.51).
+    pub fn memory_share(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.memory as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::edge_detect_counted_with;
+    use crate::lm::{linearize_counted_with, FloatFeature, KeyframeTables};
+    use pimvo_kernels::{EdgeConfig, GrayImage};
+    use pimvo_vomath::{distance_transform, gradient_maps, Pinhole, SE3};
+
+    #[test]
+    fn ebvo_frame_is_memory_bound() {
+        // one full frame of baseline work: edge detection + 8 LM
+        // iterations, as in the paper's profile
+        let img = GrayImage::from_fn(320, 240, |x, y| {
+            ((x * 13 + y * 31).wrapping_mul(2654435761) >> 10) as u8
+        });
+        let cfg = EdgeConfig::default();
+        let mut c = CostCounter::new();
+        let maps = edge_detect_counted_with(&img, &cfg, &mut c, crate::CodegenModel::PortableScalar);
+
+        let cam = Pinhole::qvga();
+        let dt = distance_transform(maps.mask.pixels(), 320, 240);
+        let (grad_x, grad_y) = gradient_maps(&dt);
+        let tables = KeyframeTables { dt, grad_x, grad_y };
+        let features: Vec<FloatFeature> = (0..4000)
+            .map(|i| {
+                let (a, b, cc) = cam.inverse_depth_coords(
+                    10.0 + (i % 300) as f64,
+                    10.0 + ((i / 300) * 16 % 220) as f64,
+                    2.5,
+                );
+                FloatFeature { a, b, c: cc }
+            })
+            .collect();
+        for _ in 0..8 {
+            let _ = linearize_counted_with(&features, &tables, &cam, &SE3::IDENTITY, &mut c, crate::CodegenModel::PortableScalar);
+        }
+
+        let mix = InstructionMix::from_counter(&c);
+        let share = mix.memory_share();
+        // paper: 43 % (x86) to 51 % (ARM) of instructions move data
+        assert!(
+            (0.30..0.60).contains(&share),
+            "memory share {share:.3} out of the motivating range"
+        );
+    }
+
+    #[test]
+    fn empty_counter_has_zero_share() {
+        let c = CostCounter::new();
+        let mix = InstructionMix::from_counter(&c);
+        assert_eq!(mix.memory_share(), 0.0);
+        assert_eq!(mix.total, 0);
+    }
+}

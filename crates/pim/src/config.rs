@@ -1,0 +1,125 @@
+/// SIMD lane width configured on the accumulator via carry control.
+///
+/// The 8-bit accumulator slices are chained at run time: cutting every
+/// carry gives 320 independent 8-bit lanes per 2560-bit word line,
+/// chaining pairs gives 160 16-bit lanes, and so on (Fig. 6-c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneWidth {
+    /// 8-bit lanes — 320 per word line. Used for pixel processing.
+    W8,
+    /// 16-bit lanes — 160 per word line. Features/Jacobian entries.
+    W16,
+    /// 32-bit lanes — 80 per word line. Hessian accumulation, warping.
+    W32,
+    /// 64-bit lanes — 40 per word line. Available in hardware; unused by
+    /// the EBVO pipeline but exposed for completeness.
+    W64,
+}
+
+impl LaneWidth {
+    /// Lane width in bits.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        match self {
+            LaneWidth::W8 => 8,
+            LaneWidth::W16 => 16,
+            LaneWidth::W32 => 32,
+            LaneWidth::W64 => 64,
+        }
+    }
+
+    /// Lane width in bytes.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+}
+
+/// Whether lane values are interpreted as two's-complement or unsigned.
+///
+/// The hardware datapath itself is sign-agnostic; the interpretation
+/// matters for saturation bounds, comparisons, averages and for the
+/// pre/post inversion steps of signed multiplication/division.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signedness {
+    /// Unsigned lanes (image pixels).
+    Unsigned,
+    /// Signed two's-complement lanes (pose-estimation quantities).
+    Signed,
+}
+
+/// Geometry of the SRAM-PIM array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayConfig {
+    /// Number of word lines (rows).
+    pub rows: usize,
+    /// Word-line width in bits. Must be a multiple of 64.
+    pub row_bits: usize,
+}
+
+impl ArrayConfig {
+    /// The paper's configuration: `(320 * 8) x 256` bits — 256 word
+    /// lines of 2560 bits, sized for one 8-bit QVGA image (320x240 uses
+    /// 240 of the 256 rows) or 20480 32-bit coefficients.
+    pub fn qvga() -> Self {
+        ArrayConfig {
+            rows: 256,
+            row_bits: 320 * 8,
+        }
+    }
+
+    /// A multi-bank configuration: `banks` QVGA arrays stacked row-wise.
+    ///
+    /// The EBVO pipeline needs the input frame, the low-pass/high-pass
+    /// intermediates, the keyframe distance-transform and its gradient
+    /// maps resident simultaneously; a real deployment banks several
+    /// identical arrays (the per-row datapath is replicated per bank, so
+    /// cycles are unchanged and energy/area scale linearly).
+    pub fn qvga_banks(banks: usize) -> Self {
+        ArrayConfig {
+            rows: 256 * banks,
+            row_bits: 320 * 8,
+        }
+    }
+
+    /// Word-line width in bytes.
+    #[inline]
+    pub fn row_bytes(&self) -> usize {
+        self.row_bits / 8
+    }
+
+    /// Number of SIMD lanes available at the given width.
+    #[inline]
+    pub fn lanes(&self, width: LaneWidth) -> usize {
+        self.row_bits / width.bits() as usize
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self::qvga()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qvga_geometry_matches_paper() {
+        let c = ArrayConfig::qvga();
+        assert_eq!(c.rows, 256);
+        assert_eq!(c.row_bits, 2560);
+        assert_eq!(c.lanes(LaneWidth::W8), 320);
+        assert_eq!(c.lanes(LaneWidth::W16), 160);
+        assert_eq!(c.lanes(LaneWidth::W32), 80);
+        assert_eq!(c.row_bytes(), 320);
+    }
+
+    #[test]
+    fn banked_geometry_scales_rows_only() {
+        let c = ArrayConfig::qvga_banks(4);
+        assert_eq!(c.rows, 1024);
+        assert_eq!(c.lanes(LaneWidth::W8), 320);
+    }
+}

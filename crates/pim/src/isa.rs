@@ -1,0 +1,142 @@
+/// A source operand of a PIM operation.
+///
+/// The accumulator's input multiplexer (Fig. 6-c) selects between the
+/// sense-amplifier outputs (an SRAM row) and the Tmp Reg, so every
+/// binary operation can mix array rows and the register:
+///
+/// * `Row op Row` — both word lines activated simultaneously; one SRAM
+///   array access.
+/// * `Row op Tmp` / `Tmp op Row` — single word line activated.
+/// * `Tmp op Tmp` — register-resident step, no SRAM access (unary
+///   operations on Tmp also fall here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An SRAM word line, by row index.
+    Row(usize),
+    /// The primary temporary register (result of the previous
+    /// operation). Equivalent to `Reg(0)`.
+    Tmp,
+    /// An additional temporary register (the paper's §5.4 extension:
+    /// "we could use more registers to further improve the efficiency
+    /// of both computation and power"). Registers beyond index 0 must
+    /// be enabled via [`crate::PimMachine::set_tmp_regs`] and are
+    /// filled with [`crate::PimMachine::save_tmp`].
+    Reg(u8),
+}
+
+impl Operand {
+    /// True when the operand requires an SRAM word-line activation.
+    #[inline]
+    pub fn touches_sram(self) -> bool {
+        matches!(self, Operand::Row(_))
+    }
+
+    /// True when the operand reads a temporary register.
+    #[inline]
+    pub fn is_reg(self) -> bool {
+        matches!(self, Operand::Tmp | Operand::Reg(_))
+    }
+
+    /// Register index of a register operand.
+    #[inline]
+    pub fn reg_index(self) -> Option<u8> {
+        match self {
+            Operand::Tmp => Some(0),
+            Operand::Reg(i) => Some(i),
+            Operand::Row(_) => None,
+        }
+    }
+}
+
+/// Bit-wise logic function computed by the sense amplifiers plus the
+/// derived gates (Fig. 6-a): AND and NOR come straight from the two SAs,
+/// XOR from a NOR of the two, OR from a NOT of the NOR output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicFunc {
+    /// Bit-wise AND (sense amplifier 1).
+    And,
+    /// Bit-wise NOR (sense amplifier 2).
+    Nor,
+    /// Bit-wise XOR = NOR(AND, NOR).
+    Xor,
+    /// Bit-wise OR = NOT(NOR).
+    Or,
+}
+
+impl LogicFunc {
+    /// Applies the function to two lane bit-patterns.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            LogicFunc::And => a & b,
+            LogicFunc::Nor => !(a | b),
+            LogicFunc::Xor => a ^ b,
+            LogicFunc::Or => a | b,
+        }
+    }
+}
+
+/// Macro-operation classes, used for the per-op histogram in
+/// [`crate::ExecStats`]. One macro op may span several cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Bit-wise logic.
+    Logic,
+    /// Addition / subtraction (wrapping).
+    AddSub,
+    /// Saturating addition / subtraction.
+    SatAddSub,
+    /// Average `(a + b) >> 1`.
+    Avg,
+    /// Absolute difference (3-step sequence, Fig. 7-a).
+    AbsDiff,
+    /// Branch-free min/max (2-step sequence, Fig. 7-b).
+    MinMax,
+    /// Stand-alone lane shift.
+    Shift,
+    /// Comparison producing a per-lane mask.
+    Cmp,
+    /// Mask select (blend).
+    Select,
+    /// Multiplication (n + 2 cycles, Fig. 7-c).
+    Mul,
+    /// Division / remainder (n + 2 cycles, Fig. 7-d).
+    Div,
+    /// Tmp Reg write-back to SRAM.
+    WriteBack,
+    /// Intra-row reduction step.
+    Reduce,
+    /// Scatter/gather row accesses (address-indexed lookups).
+    Gather,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_truth_tables() {
+        assert_eq!(LogicFunc::And.apply(0b1100, 0b1010) & 0xF, 0b1000);
+        assert_eq!(LogicFunc::Nor.apply(0b1100, 0b1010) & 0xF, 0b0001);
+        assert_eq!(LogicFunc::Xor.apply(0b1100, 0b1010) & 0xF, 0b0110);
+        assert_eq!(LogicFunc::Or.apply(0b1100, 0b1010) & 0xF, 0b1110);
+    }
+
+    #[test]
+    fn xor_is_nor_of_and_and_nor() {
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let and = LogicFunc::And.apply(a, b);
+                let nor = LogicFunc::Nor.apply(a, b);
+                let xor_via_gates = LogicFunc::Nor.apply(and, nor);
+                assert_eq!(xor_via_gates & 0xF, (a ^ b) & 0xF, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn operand_sram_classification() {
+        assert!(Operand::Row(3).touches_sram());
+        assert!(!Operand::Tmp.touches_sram());
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! Cycle- and energy-accurate simulator of the bit-parallel SRAM
+//! processing-in-memory (PIM) architecture from the DAC'22 paper
+//! *"Processing-in-SRAM Acceleration for Ultra-Low Power Visual 3D
+//! Perception"*.
+//!
+//! # Architecture modeled
+//!
+//! * An SRAM array of `(320 * 8) x 256` bits: 256 word lines, each 2560
+//!   bits wide (one QVGA image row of 8-bit pixels per word line).
+//! * Two sense amplifiers per bitline column computing **AND** and
+//!   **NOR** of two simultaneously activated rows; XOR/OR derived with
+//!   one extra gate (Fig. 6-a of the paper).
+//! * A bit-parallel accumulator + shifter sliced in 8-bit groups whose
+//!   carry propagation is configurable at run time, yielding SIMD lanes
+//!   of 8, 16, 32 or 64 bits (320/160/80/40 lanes per operation).
+//! * A *carry extension* that produces per-lane overflow masks, used for
+//!   saturation and comparison.
+//! * A temporary register (**Tmp Reg**) holding one extended row; results
+//!   land there and can feed the next operation without an SRAM
+//!   write-back.
+//!
+//! # Simulation methodology
+//!
+//! Following the paper's own evaluation ("we assume that all basic
+//! operations are single-cycle, and an extra write-back cycle is required
+//! when the output resides in SRAM"), the simulator is:
+//!
+//! * **value-accurate at lane granularity** — every operation computes
+//!   the exact lane values the hardware would produce (verified against
+//!   the gate-level [`bitexact`] reference model by property tests);
+//! * **cycle-accurate at operation granularity** — each macro operation
+//!   expands into a deterministic sequence of single-cycle micro steps
+//!   (multiplication and division cost `n + 2` cycles for `n`-bit
+//!   operands including the SRAM read/write overhead, min/max two
+//!   cycles, absolute difference three, …);
+//! * **energy-accurate at component granularity** — every micro step is
+//!   charged to the SRAM array, the shifter/adder, or the Tmp Reg using a
+//!   configurable [`CostModel`] seeded with the paper's 90 nm numbers.
+//!
+//! ```
+//! use pimvo_pim::{PimMachine, Operand, ArrayConfig};
+//!
+//! let mut pim = PimMachine::new(ArrayConfig::qvga());
+//! pim.host_write_lanes(0, &[10, 20, 30]);
+//! pim.host_write_lanes(1, &[1, 2, 3]);
+//! pim.add(Operand::Row(0), Operand::Row(1));
+//! assert_eq!(&pim.tmp_lanes()[..3], &[11, 22, 33]);
+//! assert_eq!(pim.stats().cycles, 1);
+//! ```
+
+pub mod bitexact;
+mod config;
+mod cost;
+mod isa;
+mod machine;
+mod stats;
+mod trace;
+
+pub use config::{ArrayConfig, LaneWidth, Signedness};
+pub use cost::{AreaReport, CostModel};
+pub use isa::{LogicFunc, OpClass, Operand};
+pub use machine::{PimError, PimMachine};
+pub use stats::{EnergyBreakdown, ExecStats, MemAccessBreakdown};
+pub use trace::{Trace, TraceEvent};

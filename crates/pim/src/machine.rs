@@ -1,0 +1,1273 @@
+use crate::config::{ArrayConfig, LaneWidth, Signedness};
+use crate::cost::CostModel;
+use crate::isa::{LogicFunc, OpClass, Operand};
+use crate::stats::ExecStats;
+use crate::trace::{Trace, TraceEvent};
+use pimvo_fixed::sat;
+use std::fmt;
+
+/// Error returned by the host-side API of [`PimMachine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PimError {
+    /// A row index exceeds the array geometry.
+    RowOutOfRange {
+        /// Offending row index.
+        row: usize,
+        /// Number of rows in the array.
+        rows: usize,
+    },
+    /// More lane values were supplied than fit in a word line.
+    TooManyLanes {
+        /// Number of values supplied.
+        got: usize,
+        /// Lanes available at the current width.
+        lanes: usize,
+    },
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (array has {rows} rows)")
+            }
+            PimError::TooManyLanes { got, lanes } => {
+                write!(f, "{got} lane values supplied but only {lanes} lanes available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PimError {}
+
+/// The bit-parallel SRAM-PIM machine: array storage, Tmp Reg, lane
+/// configuration and cycle/energy bookkeeping.
+///
+/// All compute methods place their result in the Tmp Reg; use
+/// [`PimMachine::writeback`] to persist it to an SRAM row (costing the
+/// extra cycle the paper's timing model prescribes). Host-side methods
+/// (`host_*`) model the I/O port and are tracked separately from compute
+/// statistics.
+///
+/// # Panics
+///
+/// Compute methods panic when given an out-of-range row index or when
+/// reading an empty Tmp Reg — both are programming errors in kernel
+/// code, not runtime conditions.
+#[derive(Debug, Clone)]
+pub struct PimMachine {
+    config: ArrayConfig,
+    cost: CostModel,
+    rows: Vec<Vec<u8>>,
+    tmp: Vec<i64>,
+    /// Logical bit width of the Tmp Reg contents (doubles after `mul`).
+    tmp_bits: u32,
+    /// Additional temporary registers (index 1..): `(lanes, bits)`.
+    /// Empty in the paper's baseline single-register configuration.
+    extra_regs: Vec<(Vec<i64>, u32)>,
+    width: LaneWidth,
+    sign: Signedness,
+    stats: ExecStats,
+    trace: Option<Trace>,
+}
+
+impl PimMachine {
+    /// Creates a machine with the default 90 nm cost model.
+    pub fn new(config: ArrayConfig) -> Self {
+        Self::with_cost(config, CostModel::default())
+    }
+
+    /// Creates a machine with an explicit cost model.
+    pub fn with_cost(config: ArrayConfig, cost: CostModel) -> Self {
+        let row_bytes = config.row_bytes();
+        let rows = vec![vec![0u8; row_bytes]; config.rows];
+        PimMachine {
+            config,
+            cost,
+            rows,
+            tmp: Vec::new(),
+            tmp_bits: 8,
+            extra_regs: Vec::new(),
+            width: LaneWidth::W8,
+            sign: Signedness::Unsigned,
+            stats: ExecStats::new(),
+            trace: None,
+        }
+    }
+
+    /// Array geometry.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// Cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (array contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::new();
+    }
+
+    /// Retracts previously recorded statistics. Used when a traced
+    /// stage is physically shared by multiple logical batches (e.g.
+    /// two 80-feature half-batches packing one 160-lane word line pay
+    /// the Hessian stage once): the shared fraction is credited back.
+    pub fn retract_stats(&mut self, delta: &ExecStats) {
+        self.stats.retract(delta);
+    }
+
+    /// Enables or disables instruction tracing (disabling discards the
+    /// recorded trace). See [`crate::Trace`].
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = on.then(Trace::new);
+    }
+
+    /// The recorded instruction trace, when tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Merges externally modeled statistics into the machine's
+    /// counters (e.g. the extra staging cost of a deliberately naive
+    /// schedule, derived analytically from the op sequence).
+    pub fn merge_extra_stats(&mut self, delta: &ExecStats) {
+        self.stats.merge(delta);
+    }
+
+    /// Configures lane width and signedness for subsequent operations
+    /// (run-time carry control, Fig. 6-c). Free: the carry masks are set
+    /// by the instruction word.
+    pub fn set_lanes(&mut self, width: LaneWidth, sign: Signedness) {
+        self.width = width;
+        self.sign = sign;
+    }
+
+    /// Enables `n` temporary registers (the paper's §5.4 scaling knob;
+    /// the baseline design has one). Register 0 is the implicit result
+    /// register ([`Operand::Tmp`]); registers 1..n are addressed with
+    /// [`Operand::Reg`] after being filled by [`PimMachine::save_tmp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n == 0` or `n > 8` (the datapath mux width bounds a
+    /// realistic register count).
+    pub fn set_tmp_regs(&mut self, n: u8) {
+        assert!((1..=8).contains(&n), "1..=8 temporary registers");
+        self.extra_regs
+            .resize((n - 1) as usize, (Vec::new(), 8));
+    }
+
+    /// Number of temporary registers (≥ 1).
+    pub fn tmp_reg_count(&self) -> u8 {
+        1 + self.extra_regs.len() as u8
+    }
+
+    /// Copies the primary Tmp Reg into extra register `idx` (1-based
+    /// among the extra registers: `Operand::Reg(idx)`). One cycle,
+    /// register-file traffic only — this is exactly the write-back a
+    /// second register elides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register `idx` is not enabled or `idx == 0`.
+    pub fn save_tmp(&mut self, idx: u8) {
+        assert!(idx >= 1, "register 0 is the implicit result register");
+        let slot = (idx - 1) as usize;
+        assert!(
+            slot < self.extra_regs.len(),
+            "register {idx} not enabled (call set_tmp_regs)"
+        );
+        assert!(!self.tmp.is_empty(), "save of empty Tmp Reg");
+        self.extra_regs[slot] = (self.tmp.clone(), self.tmp_bits);
+        let cycle_start = self.stats.cycles;
+        self.stats.cycles += 1;
+        self.stats.acc_ops += 1;
+        self.stats.tmp_accesses += 2;
+        self.record_trace(
+            OpClass::Select,
+            format!("save_tmp reg{idx}"),
+            cycle_start,
+            1,
+            0,
+            0,
+        );
+    }
+
+    /// Current lane width.
+    pub fn lane_width(&self) -> LaneWidth {
+        self.width
+    }
+
+    /// Current signedness.
+    pub fn signedness(&self) -> Signedness {
+        self.sign
+    }
+
+    /// Number of lanes at the current width.
+    pub fn lanes(&self) -> usize {
+        self.config.lanes(self.width)
+    }
+
+    // ------------------------------------------------------------------
+    // Host I/O (not part of the compute cycle/energy budget)
+    // ------------------------------------------------------------------
+
+    /// Writes raw bytes into a row through the host port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::RowOutOfRange`] for a bad row index or
+    /// [`PimError::TooManyLanes`] when `bytes` exceeds the row width.
+    pub fn host_write_bytes(&mut self, row: usize, bytes: &[u8]) -> Result<(), PimError> {
+        self.check_row(row)?;
+        let rb = self.config.row_bytes();
+        if bytes.len() > rb {
+            return Err(PimError::TooManyLanes {
+                got: bytes.len(),
+                lanes: rb,
+            });
+        }
+        self.rows[row][..bytes.len()].copy_from_slice(bytes);
+        self.rows[row][bytes.len()..].fill(0);
+        self.stats.host_io_rows += 1;
+        Ok(())
+    }
+
+    /// Writes lane values into a row at the current lane configuration.
+    ///
+    /// Values are wrapped to the lane width. Unfilled lanes become zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad row index or too many values (host setup is
+    /// kernel-author controlled).
+    pub fn host_write_lanes(&mut self, row: usize, values: &[i64]) {
+        let lanes = self.lanes();
+        assert!(
+            values.len() <= lanes,
+            "{} values exceed {} lanes",
+            values.len(),
+            lanes
+        );
+        self.check_row(row).expect("row out of range");
+        let bits = self.width.bits();
+        let bytes = self.width.bytes();
+        let row_data = &mut self.rows[row];
+        row_data.fill(0);
+        for (i, &v) in values.iter().enumerate() {
+            let raw = sat::wrap_unsigned(v, bits);
+            row_data[i * bytes..(i + 1) * bytes]
+                .copy_from_slice(&raw.to_le_bytes()[..bytes]);
+        }
+        self.stats.host_io_rows += 1;
+    }
+
+    /// Fills every lane of a row with a constant (threshold rows etc.).
+    pub fn host_broadcast(&mut self, row: usize, value: i64) {
+        let lanes = self.lanes();
+        let vals = vec![value; lanes];
+        self.host_write_lanes(row, &vals);
+    }
+
+    /// Reads a row's lane values at the current configuration.
+    pub fn host_read_lanes(&mut self, row: usize) -> Vec<i64> {
+        self.check_row(row).expect("row out of range");
+        self.stats.host_io_rows += 1;
+        self.decode_row(row)
+    }
+
+    /// Inspects the Tmp Reg lane values (no cost: debugging/verification
+    /// aid, the hardware result would be consumed via write-back).
+    pub fn tmp_lanes(&self) -> &[i64] {
+        &self.tmp
+    }
+
+    /// Logical bit width of the Tmp Reg contents.
+    pub fn tmp_bits(&self) -> u32 {
+        self.tmp_bits
+    }
+
+    // ------------------------------------------------------------------
+    // Compute macro-ops
+    // ------------------------------------------------------------------
+
+    /// Bit-wise logic of two operands (1 cycle).
+    pub fn logic(&mut self, f: LogicFunc, a: Operand, b: Operand) {
+        self.logic_sh(f, a, b, 0)
+    }
+
+    /// Bit-wise logic with operand `b` pre-shifted by `b_pix` lanes.
+    pub fn logic_sh(&mut self, f: LogicFunc, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        let mask = width_mask(bits);
+        self.binop(OpClass::Logic, a, b, b_pix, bits, |x, y, _| {
+            let r = f.apply(x as u64 & mask, y as u64 & mask) & mask;
+            r as i64
+        });
+    }
+
+    /// Loads an operand into the Tmp Reg (1 cycle; an `OR` with itself).
+    pub fn load(&mut self, a: Operand) {
+        self.logic(LogicFunc::Or, a, a);
+    }
+
+    /// Wrapping addition (1 cycle).
+    pub fn add(&mut self, a: Operand, b: Operand) {
+        self.add_sh(a, b, 0)
+    }
+
+    /// Wrapping addition with `b` pre-shifted by `b_pix` lanes
+    /// (shift-and-accumulate is the architecture's native single-cycle
+    /// operation).
+    pub fn add_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        let sign = self.sign;
+        self.binop(OpClass::AddSub, a, b, b_pix, bits, move |x, y, _| {
+            wrap(x + y, bits, sign)
+        });
+    }
+
+    /// Wrapping subtraction `a - b` (1 cycle).
+    pub fn sub(&mut self, a: Operand, b: Operand) {
+        self.sub_sh(a, b, 0)
+    }
+
+    /// Wrapping subtraction with `b` pre-shifted.
+    pub fn sub_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        let sign = self.sign;
+        self.binop(OpClass::AddSub, a, b, b_pix, bits, move |x, y, _| {
+            wrap(x - y, bits, sign)
+        });
+    }
+
+    /// Saturating addition (1 cycle; the carry extension applies the
+    /// clamp in the same cycle).
+    pub fn sat_add(&mut self, a: Operand, b: Operand) {
+        self.sat_add_sh(a, b, 0)
+    }
+
+    /// Saturating addition with `b` pre-shifted.
+    pub fn sat_add_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        let sign = self.sign;
+        self.binop(OpClass::SatAddSub, a, b, b_pix, bits, move |x, y, _| {
+            clamp(x + y, bits, sign)
+        });
+    }
+
+    /// Saturating subtraction `sat(a - b)` (1 cycle).
+    pub fn sat_sub(&mut self, a: Operand, b: Operand) {
+        self.sat_sub_sh(a, b, 0)
+    }
+
+    /// Saturating subtraction with `b` pre-shifted.
+    pub fn sat_sub_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        let sign = self.sign;
+        self.binop(OpClass::SatAddSub, a, b, b_pix, bits, move |x, y, _| {
+            clamp(x - y, bits, sign)
+        });
+    }
+
+    /// Average `(a + b) >> 1` (1 cycle: add with the result shifter
+    /// dropping the LSB; the carry extension supplies bit n).
+    pub fn avg(&mut self, a: Operand, b: Operand) {
+        self.avg_sh(a, b, 0)
+    }
+
+    /// Average with `b` pre-shifted by `b_pix` lanes.
+    pub fn avg_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        self.binop(OpClass::Avg, a, b, b_pix, bits, |x, y, _| (x + y) >> 1);
+    }
+
+    /// Absolute difference `|a - b|` — the 3-step sequence of Fig. 7-a:
+    /// `M = a - b` with carry extension `N`, `M += N`, `M ^= N`.
+    pub fn abs_diff(&mut self, a: Operand, b: Operand) {
+        self.abs_diff_sh(a, b, 0)
+    }
+
+    /// Absolute difference with `b` pre-shifted.
+    pub fn abs_diff_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        let sign = self.sign;
+        // Step 1: M = a - b (+ carry extension), SRAM-touching.
+        // Steps 2-3: Tmp-resident single-cycle fixups.
+        self.binop(OpClass::AbsDiff, a, b, b_pix, bits, move |x, y, _| {
+            clamp((x - y).abs(), bits, sign)
+        });
+        self.charge_tmp_steps(2);
+    }
+
+    /// Branch-free maximum `max(a, b) = sat(a - b) + b` (2 cycles,
+    /// Fig. 7-b).
+    pub fn max(&mut self, a: Operand, b: Operand) {
+        self.max_sh(a, b, 0)
+    }
+
+    /// Maximum with `b` pre-shifted.
+    pub fn max_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.max(y));
+        self.charge_tmp_steps(1);
+    }
+
+    /// Branch-free minimum `min(a, b) = a - sat(a - b)` (2 cycles).
+    pub fn min(&mut self, a: Operand, b: Operand) {
+        self.min_sh(a, b, 0)
+    }
+
+    /// Minimum with `b` pre-shifted.
+    pub fn min_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.min(y));
+        self.charge_tmp_steps(1);
+    }
+
+    /// Stand-alone lane shift by `pix` positions (1 cycle). Positive
+    /// `pix` moves lane `i+pix` into lane `i` (the `<< 1pix` of Fig. 2);
+    /// zeros shift in at the border.
+    pub fn shift_pix(&mut self, a: Operand, pix: i32) {
+        let bits = self.op_bits(a, a);
+        self.unop(OpClass::Shift, a, bits, move |vals| shift_lanes(vals, pix));
+    }
+
+    /// Arithmetic/logical right shift of every lane by `k` bits
+    /// (1 cycle; used to rescale products between Q-formats).
+    pub fn shr_bits(&mut self, a: Operand, k: u32) {
+        let bits = self.op_bits(a, a);
+        let sign = self.sign;
+        self.unop(OpClass::Shift, a, bits, move |vals| {
+            vals.iter()
+                .map(|&v| match sign {
+                    Signedness::Signed => v >> k,
+                    Signedness::Unsigned => ((v as u64) >> k) as i64,
+                })
+                .collect()
+        });
+    }
+
+    /// Left shift of every lane by `k` bits, wrapping (1 cycle).
+    pub fn shl_bits(&mut self, a: Operand, k: u32) {
+        let bits = self.op_bits(a, a);
+        let sign = self.sign;
+        self.unop(OpClass::Shift, a, bits, move |vals| {
+            vals.iter().map(|&v| wrap(v << k, bits, sign)).collect()
+        });
+    }
+
+    /// Per-lane comparison `a > b`, leaving an all-ones/zero mask in the
+    /// Tmp Reg (1 cycle: subtraction + carry-extension mask).
+    pub fn cmp_gt(&mut self, a: Operand, b: Operand) {
+        self.cmp_gt_sh(a, b, 0)
+    }
+
+    /// Comparison with `b` pre-shifted.
+    pub fn cmp_gt_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
+        let bits = self.op_bits(a, b);
+        let mask = width_mask(bits) as i64;
+        self.binop(OpClass::Cmp, a, b, b_pix, bits, move |x, y, _| {
+            if x > y {
+                mask
+            } else {
+                0
+            }
+        });
+    }
+
+    /// Unsigned multiplication (Fig. 7-c): `n + 1` compute cycles for
+    /// `n`-bit lanes (operand read + `n` shift-accumulate steps holding
+    /// the partial product and multiplier concatenated in the Tmp Reg);
+    /// the optional write-back adds the final cycle, giving the paper's
+    /// `n + 2` total.
+    ///
+    /// The product is left in the Tmp Reg at double width
+    /// ([`PimMachine::tmp_bits`] becomes `2n`).
+    pub fn mul(&mut self, a: Operand, b: Operand) {
+        let n = self.width.bits();
+        let mask = width_mask(n);
+        let bits = n; // operands at lane width
+        self.binop(OpClass::Mul, a, b, 0, bits, move |x, y, _| {
+            let p = (x as u64 & mask).wrapping_mul(y as u64 & mask);
+            p as i64 // 2n <= 64 bits
+        });
+        self.tmp_bits = (2 * n).min(64);
+        // n-1 further shift-accumulate steps + final correction
+        self.charge_muldiv_steps((n - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+    }
+
+    /// Signed multiplication: sign extraction and conditional inversion
+    /// around the unsigned core, as the paper prescribes ("the negative
+    /// values can be easily inverted before and after the computation").
+    /// Costs 5 extra cycles over [`PimMachine::mul`], independent of the
+    /// data (the inversions are mask-applied on all lanes).
+    pub fn mul_signed(&mut self, a: Operand, b: Operand) {
+        let n = self.width.bits();
+        self.binop(OpClass::Mul, a, b, 0, n, move |x, y, _| {
+            let p = (x as i128 * y as i128) as i64; // 2n <= 64 bits exact
+            p
+        });
+        self.tmp_bits = (2 * n).min(64);
+        // unsigned core steps (re-reading the row operand) + 5 cycles
+        // of Tmp-resident sign pre/post processing
+        self.charge_muldiv_steps((n - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+        self.charge_tmp_steps(5);
+    }
+
+    /// Unsigned restoring division `a / b` (Fig. 7-d): `n + 1` compute
+    /// cycles (read + `n` subtract-restore steps with the partial
+    /// remainder in the Tmp Reg and quotient bits stacked in the LSBs);
+    /// write-back adds the `n + 2`nd cycle. Quotient is left in the Tmp
+    /// Reg; lanes dividing by zero produce the all-ones pattern.
+    #[allow(clippy::manual_checked_ops)] // divide-by-zero yields the divider's all-ones pattern, not None
+    pub fn div(&mut self, a: Operand, b: Operand) {
+        let n = self.width.bits();
+        let mask = width_mask(n);
+        self.binop(OpClass::Div, a, b, 0, n, move |x, y, _| {
+            let (x, y) = (x as u64 & mask, y as u64 & mask);
+            if y == 0 {
+                mask as i64
+            } else {
+                (x / y) as i64
+            }
+        });
+        self.tmp_bits = n;
+        self.charge_muldiv_steps((n - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+    }
+
+    /// Unsigned division remainder `a % b` — same restoring sequence as
+    /// [`PimMachine::div`], keeping the partial remainder instead.
+    pub fn rem(&mut self, a: Operand, b: Operand) {
+        let n = self.width.bits();
+        let mask = width_mask(n);
+        self.binop(OpClass::Div, a, b, 0, n, move |x, y, _| {
+            let (x, y) = (x as u64 & mask, y as u64 & mask);
+            if y == 0 {
+                x as i64
+            } else {
+                (x % y) as i64
+            }
+        });
+        self.tmp_bits = n;
+        self.charge_muldiv_steps((n - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+    }
+
+    /// Signed division (truncating toward zero), with the same 5-cycle
+    /// sign pre/post processing as [`PimMachine::mul_signed`]. Lanes
+    /// dividing by zero yield the saturated maximum with the dividend's
+    /// sign.
+    pub fn div_signed(&mut self, a: Operand, b: Operand) {
+        let n = self.width.bits();
+        self.binop(OpClass::Div, a, b, 0, n, move |x, y, _| {
+            if y == 0 {
+                if x >= 0 {
+                    (1i64 << (n - 1)) - 1 
+                } else {
+                    -(1i64 << (n - 1))
+                }
+            } else {
+                wrap(x / y, n, Signedness::Signed)
+            }
+        });
+        self.tmp_bits = n;
+        self.charge_tmp_steps((n - 1) as u64 + 1 + 5);
+    }
+
+    /// Fractional-quotient unsigned division: `(a << frac) / b`, i.e.
+    /// the restoring divider of Fig. 7-d continued for `frac` extra
+    /// steps to produce fractional quotient bits (the dividend extends
+    /// into the double-width Tmp Reg exactly as the multiplier's
+    /// partial products do). Costs `n + frac + 1` compute cycles.
+    #[allow(clippy::manual_checked_ops)] // divide-by-zero yields the divider's all-ones pattern, not None
+    pub fn div_frac(&mut self, a: Operand, b: Operand, frac: u32) {
+        let n = self.width.bits();
+        let mask = width_mask(n);
+        self.binop(OpClass::Div, a, b, 0, n + frac, move |x, y, _| {
+            let (x, y) = ((x as u64 & mask) as u128, (y as u64 & mask) as u128);
+            if y == 0 {
+                width_mask(n + frac) as i64
+            } else {
+                ((x << frac) / y) as i64
+            }
+        });
+        self.tmp_bits = (n + frac).min(64);
+        self.charge_muldiv_steps((n + frac - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+    }
+
+    /// Signed fractional-quotient division `(a << frac) / b`, truncating
+    /// toward zero, with the 5-cycle sign pre/post-processing.
+    /// Division by zero yields the saturated extreme of the dividend's
+    /// sign.
+    pub fn div_frac_signed(&mut self, a: Operand, b: Operand, frac: u32) {
+        let n = self.width.bits();
+        let out_bits = (n + frac).min(64);
+        self.binop(OpClass::Div, a, b, 0, out_bits, move |x, y, _| {
+            if y == 0 {
+                let max = (1i64 << (out_bits - 1)) - 1;
+                if x >= 0 {
+                    max
+                } else {
+                    -max - 1
+                }
+            } else {
+                (((x as i128) << frac) / y as i128) as i64
+            }
+        });
+        self.tmp_bits = out_bits;
+        self.charge_muldiv_steps((n + frac - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+        self.charge_tmp_steps(5);
+    }
+
+    /// Arithmetic negation of every lane (1 cycle: invert + carry-in).
+    pub fn neg(&mut self, a: Operand) {
+        let bits = self.op_bits(a, a);
+        let sign = self.sign;
+        self.unop(OpClass::AddSub, a, bits, move |vals| {
+            vals.iter().map(|&v| wrap(-v, bits, sign)).collect()
+        });
+    }
+
+    /// Saturating narrowing of the Tmp/row contents to `bits` wide
+    /// signed values (1 cycle: the carry-extension clamp at a narrower
+    /// carry-control setting).
+    pub fn sat_narrow(&mut self, a: Operand, bits: u32) {
+        self.unop(OpClass::SatAddSub, a, bits, move |vals| {
+            vals.iter().map(|&v| sat::clamp_signed(v, bits)).collect()
+        });
+    }
+
+    /// Writes the Tmp Reg back to an SRAM row (1 cycle + write energy).
+    /// Contents are wrapped to the lane width.
+    pub fn writeback(&mut self, dst: usize) {
+        self.check_row(dst).expect("row out of range");
+        let bits = self.width.bits();
+        let bytes = self.width.bytes();
+        assert!(!self.tmp.is_empty(), "write-back of empty Tmp Reg");
+        let lanes = self.lanes();
+        let mut data = vec![0u8; self.config.row_bytes()];
+        for (i, &v) in self.tmp.iter().take(lanes).enumerate() {
+            let raw = sat::wrap_unsigned(v, bits);
+            data[i * bytes..(i + 1) * bytes].copy_from_slice(&raw.to_le_bytes()[..bytes]);
+        }
+        self.rows[dst] = data;
+        let cycle_start = self.stats.cycles;
+        self.stats.cycles += 1;
+        self.stats.sram_writes += 1;
+        self.stats.tmp_accesses += 1;
+        self.stats.record_op(OpClass::WriteBack);
+        self.record_trace(OpClass::WriteBack, format!("writeback r{dst}"), cycle_start, 1, 0, 1);
+    }
+
+    /// Reduces the Tmp Reg lanes to their sum by `ceil(log2(lanes))`
+    /// shift-accumulate steps (each single-cycle, Tmp-resident). The sum
+    /// (wrapped at the Tmp width) is returned and left in lane 0.
+    pub fn reduce_sum(&mut self) -> i64 {
+        assert!(!self.tmp.is_empty(), "reduce of empty Tmp Reg");
+        let lanes = self.tmp.len();
+        let steps = (usize::BITS - (lanes - 1).leading_zeros()) as u64;
+        let bits = self.tmp_bits;
+        let sign = self.sign;
+        let mut stride = 1usize;
+        while stride < lanes {
+            for i in (0..lanes).step_by(stride * 2) {
+                let other = if i + stride < lanes { self.tmp[i + stride] } else { 0 };
+                self.tmp[i] = wrap(self.tmp[i] + other, bits, sign);
+            }
+            stride *= 2;
+        }
+        let cycle_start = self.stats.cycles;
+        self.stats.cycles += steps;
+        self.stats.acc_ops += steps;
+        self.stats.tmp_accesses += 2 * steps;
+        self.stats.record_op(OpClass::Reduce);
+        self.record_trace(OpClass::Reduce, format!("reduce_sum x{lanes}"), cycle_start, steps, 0, 0);
+        self.tmp[0]
+    }
+
+    /// Gathers `addresses.len()` lane values at arbitrary
+    /// (row, lane) addresses — the distance-transform / gradient-map
+    /// lookups of the pose-estimation step. Random access cannot use the
+    /// SIMD datapath, so each element costs one serialized read cycle
+    /// and one SRAM activation.
+    pub fn gather(&mut self, addresses: &[(usize, usize)]) -> Vec<i64> {
+        let mut out = Vec::with_capacity(addresses.len());
+        for &(row, lane) in addresses {
+            self.check_row(row).expect("gather row out of range");
+            let vals = self.decode_row(row);
+            let v = vals.get(lane).copied().unwrap_or(0);
+            out.push(v);
+        }
+        let n = addresses.len() as u64;
+        let cycle_start = self.stats.cycles;
+        self.stats.cycles += n;
+        self.stats.sram_reads += n;
+        self.stats.tmp_accesses += n;
+        self.stats.record_op(OpClass::Gather);
+        self.record_trace(OpClass::Gather, format!("gather x{n}"), cycle_start, n, n, 0);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_row(&self, row: usize) -> Result<(), PimError> {
+        if row >= self.config.rows {
+            Err(PimError::RowOutOfRange {
+                row,
+                rows: self.config.rows,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn decode_row(&self, row: usize) -> Vec<i64> {
+        let bits = self.width.bits();
+        let bytes = self.width.bytes();
+        let lanes = self.lanes();
+        let data = &self.rows[row];
+        let mut out = Vec::with_capacity(lanes);
+        for i in 0..lanes {
+            let mut buf = [0u8; 8];
+            buf[..bytes].copy_from_slice(&data[i * bytes..(i + 1) * bytes]);
+            let raw = u64::from_le_bytes(buf);
+            let v = match self.sign {
+                Signedness::Unsigned => raw as i64,
+                Signedness::Signed => sat::wrap_signed(raw as i64, bits),
+            };
+            out.push(v);
+        }
+        out
+    }
+
+    fn operand_values(&self, op: Operand) -> Vec<i64> {
+        match op {
+            Operand::Row(r) => {
+                assert!(r < self.config.rows, "row {r} out of range");
+                self.decode_row(r)
+            }
+            Operand::Tmp => {
+                assert!(!self.tmp.is_empty(), "Tmp Reg used before being written");
+                self.tmp.clone()
+            }
+            Operand::Reg(i) => {
+                assert!(i >= 1, "Reg(0) is Operand::Tmp");
+                let slot = (i - 1) as usize;
+                assert!(
+                    slot < self.extra_regs.len(),
+                    "register {i} not enabled (call set_tmp_regs)"
+                );
+                assert!(
+                    !self.extra_regs[slot].0.is_empty(),
+                    "register {i} read before being written"
+                );
+                self.extra_regs[slot].0.clone()
+            }
+        }
+    }
+
+    /// Logical bit width of a register operand's contents.
+    fn reg_bits(&self, op: Operand) -> u32 {
+        match op {
+            Operand::Tmp => self.tmp_bits,
+            Operand::Reg(i) => self
+                .extra_regs
+                .get((i - 1) as usize)
+                .map(|(_, b)| *b)
+                .unwrap_or(self.width.bits()),
+            Operand::Row(_) => self.width.bits(),
+        }
+    }
+
+    /// Width of an operation's operands: lane width, except that Tmp may
+    /// carry double-width contents after a multiplication.
+    fn op_bits(&self, a: Operand, b: Operand) -> u32 {
+        let mut bits = self.width.bits();
+        if a.is_reg() {
+            bits = bits.max(self.reg_bits(a));
+        }
+        if b.is_reg() {
+            bits = bits.max(self.reg_bits(b));
+        }
+        bits
+    }
+
+    /// Executes one single-cycle binary micro step and leaves the result
+    /// in the Tmp Reg.
+    fn binop(
+        &mut self,
+        class: OpClass,
+        a: Operand,
+        b: Operand,
+        b_pix: i32,
+        out_bits: u32,
+        f: impl Fn(i64, i64, usize) -> i64,
+    ) {
+        let av = self.operand_values(a);
+        let bv_raw = self.operand_values(b);
+        let bv = if b_pix != 0 {
+            shift_lanes(&bv_raw, b_pix)
+        } else {
+            bv_raw
+        };
+        let lanes = av.len().min(bv.len());
+        let mut out = Vec::with_capacity(lanes);
+        for i in 0..lanes {
+            out.push(f(av[i], bv[i], i));
+        }
+        self.tmp = out;
+        self.tmp_bits = out_bits;
+        // cycle/energy accounting
+        let cycle_start = self.stats.cycles;
+        self.stats.cycles += 1;
+        self.stats.acc_ops += 1;
+        let sram = u64::from(a.touches_sram() || b.touches_sram());
+        // dual word-line activation is a single array access
+        self.stats.sram_reads += sram;
+        let tmp_reads = a.is_reg() as u64 + b.is_reg() as u64;
+        self.stats.tmp_accesses += tmp_reads + 1; // + result write
+        self.stats.record_op(class);
+        self.record_trace(class, format!("{} {}, {}", op_name(class), fmt_op(a), fmt_op(b)), cycle_start, 1, sram, 0);
+    }
+
+    /// Executes one single-cycle unary micro step.
+    fn unop(
+        &mut self,
+        class: OpClass,
+        a: Operand,
+        out_bits: u32,
+        f: impl Fn(&[i64]) -> Vec<i64>,
+    ) {
+        let av = self.operand_values(a);
+        self.tmp = f(&av);
+        self.tmp_bits = out_bits;
+        let cycle_start = self.stats.cycles;
+        self.stats.cycles += 1;
+        self.stats.acc_ops += 1;
+        let sram = u64::from(a.touches_sram());
+        self.stats.sram_reads += sram;
+        self.stats.tmp_accesses += a.is_reg() as u64 + 1;
+        self.stats.record_op(class);
+        self.record_trace(class, format!("{} {}", op_name(class), fmt_op(a)), cycle_start, 1, sram, 0);
+    }
+
+    /// Charges extra Tmp-resident cycles of a multi-step macro op (the
+    /// values were already computed by the first step's closure).
+    fn charge_tmp_steps(&mut self, steps: u64) {
+        self.stats.cycles += steps;
+        self.stats.acc_ops += steps;
+        self.stats.tmp_accesses += 2 * steps;
+        self.extend_trace(steps, 0);
+    }
+
+    /// Charges the shift-accumulate / subtract-restore steps of a
+    /// multiplication or division. The partial result lives in the Tmp
+    /// Reg, but the *row* operand (multiplicand / divisor) is re-read
+    /// through the sense amplifiers on every step — the accumulator's
+    /// input multiplexer only selects between the SA outputs and the
+    /// Tmp Reg (Fig. 6-c), there is no operand latch.
+    fn charge_muldiv_steps(&mut self, steps: u64, rereads_sram: bool) {
+        self.stats.cycles += steps;
+        self.stats.acc_ops += steps;
+        self.stats.tmp_accesses += 2 * steps;
+        let sram = if rereads_sram { steps } else { 0 };
+        self.stats.sram_reads += sram;
+        self.extend_trace(steps, sram);
+    }
+
+    /// Appends a trace event when tracing is enabled.
+    fn record_trace(
+        &mut self,
+        class: OpClass,
+        mnemonic: String,
+        cycle_start: u64,
+        cycles: u64,
+        sram_reads: u64,
+        sram_writes: u64,
+    ) {
+        if let Some(trace) = &mut self.trace {
+            let seq = trace.len() as u64;
+            trace.push(TraceEvent {
+                seq,
+                class,
+                mnemonic,
+                cycle_start,
+                cycles,
+                sram_reads,
+                sram_writes,
+            });
+        }
+    }
+
+    /// Extends the last traced event (multi-step macro ops).
+    fn extend_trace(&mut self, cycles: u64, sram_reads: u64) {
+        if let Some(trace) = &mut self.trace {
+            if let Some(last) = trace.last_mut() {
+                last.cycles += cycles;
+                last.sram_reads += sram_reads;
+            }
+        }
+    }
+}
+
+/// Mnemonic stem of an op class.
+fn op_name(class: OpClass) -> &'static str {
+    match class {
+        OpClass::Logic => "logic",
+        OpClass::AddSub => "addsub",
+        OpClass::SatAddSub => "sat",
+        OpClass::Avg => "avg",
+        OpClass::AbsDiff => "absdiff",
+        OpClass::MinMax => "minmax",
+        OpClass::Shift => "shift",
+        OpClass::Cmp => "cmp",
+        OpClass::Select => "select",
+        OpClass::Mul => "mul",
+        OpClass::Div => "div",
+        OpClass::WriteBack => "writeback",
+        OpClass::Reduce => "reduce",
+        OpClass::Gather => "gather",
+    }
+}
+
+/// Operand formatter for trace mnemonics.
+fn fmt_op(op: Operand) -> String {
+    match op {
+        Operand::Row(r) => format!("r{r}"),
+        Operand::Tmp => "tmp".into(),
+        Operand::Reg(i) => format!("reg{i}"),
+    }
+}
+
+/// Shift lane values: positive `pix` moves lane `i + pix` into lane `i`.
+fn shift_lanes(vals: &[i64], pix: i32) -> Vec<i64> {
+    let n = vals.len() as i64;
+    (0..n)
+        .map(|i| {
+            let src = i + pix as i64;
+            if src >= 0 && src < n {
+                vals[src as usize]
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+#[inline]
+fn width_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[inline]
+fn wrap(v: i64, bits: u32, sign: Signedness) -> i64 {
+    match sign {
+        Signedness::Signed => sat::wrap_signed(v, bits),
+        Signedness::Unsigned => sat::wrap_unsigned(v, bits) as i64,
+    }
+}
+
+#[inline]
+fn clamp(v: i64, bits: u32, sign: Signedness) -> i64 {
+    match sign {
+        Signedness::Signed => sat::clamp_signed(v, bits),
+        Signedness::Unsigned => sat::clamp_unsigned(v, bits) as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArrayConfig;
+
+    fn machine() -> PimMachine {
+        PimMachine::new(ArrayConfig::qvga())
+    }
+
+    #[test]
+    fn add_and_cycle_count() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[1, 2, 250]);
+        m.host_write_lanes(1, &[10, 20, 30]);
+        m.add(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..3], &[11, 22, 24]); // 280 wraps to 24
+        assert_eq!(m.stats().cycles, 1);
+        assert_eq!(m.stats().sram_reads, 1);
+    }
+
+    #[test]
+    fn sat_add_clamps_unsigned() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[250, 5]);
+        m.host_write_lanes(1, &[10, 10]);
+        m.sat_add(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[255, 15]);
+    }
+
+    #[test]
+    fn signed_lanes() {
+        let mut m = machine();
+        m.set_lanes(LaneWidth::W16, Signedness::Signed);
+        m.host_write_lanes(0, &[-100, 30000]);
+        m.host_write_lanes(1, &[50, 10000]);
+        m.sat_add(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[-50, 32767]);
+        m.sub(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[-150, 20000]);
+    }
+
+    #[test]
+    fn avg_matches_paper_lpf_step() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[10, 20, 30, 40]);
+        m.host_write_lanes(1, &[20, 40, 10, 0]);
+        m.avg(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..4], &[15, 30, 20, 20]);
+        // fused shifted average: (C[i] + C[i+1]) / 2
+        m.writeback(2);
+        m.avg_sh(Operand::Row(2), Operand::Row(2), 1);
+        assert_eq!(&m.tmp_lanes()[..3], &[22, 25, 20]);
+    }
+
+    #[test]
+    fn abs_diff_and_multi_cycle_cost() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[10, 200]);
+        m.host_write_lanes(1, &[30, 50]);
+        let before = m.stats().cycles;
+        m.abs_diff(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[20, 150]);
+        assert_eq!(m.stats().cycles - before, 3);
+    }
+
+    #[test]
+    fn min_max_two_cycles() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[10, 200]);
+        m.host_write_lanes(1, &[30, 50]);
+        let c0 = m.stats().cycles;
+        m.max(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[30, 200]);
+        assert_eq!(m.stats().cycles - c0, 2);
+        m.min(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[10, 50]);
+    }
+
+    #[test]
+    fn mul_cost_is_n_plus_one_before_writeback() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[13, 7]);
+        m.host_write_lanes(1, &[11, 9]);
+        let c0 = m.stats().cycles;
+        m.mul(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[143, 63]);
+        assert_eq!(m.stats().cycles - c0, 9); // 8-bit: n+1 = 9
+        assert_eq!(m.tmp_bits(), 16);
+        m.writeback(5);
+        assert_eq!(m.stats().cycles - c0, 10); // n+2 with write-back
+    }
+
+    #[test]
+    fn mul_signed_values() {
+        let mut m = machine();
+        m.set_lanes(LaneWidth::W16, Signedness::Signed);
+        m.host_write_lanes(0, &[-300, 250]);
+        m.host_write_lanes(1, &[40, -40]);
+        m.mul_signed(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[-12000, -10000]);
+        assert_eq!(m.tmp_bits(), 32);
+    }
+
+    #[test]
+    fn div_matches_fig7d() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[15, 143]);
+        m.host_write_lanes(1, &[6, 11]);
+        m.div(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[2, 13]);
+        m.rem(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[3, 0]);
+    }
+
+    #[test]
+    fn div_by_zero_saturates() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[15]);
+        m.host_write_lanes(1, &[0]);
+        m.div(Operand::Row(0), Operand::Row(1));
+        assert_eq!(m.tmp_lanes()[0], 255);
+    }
+
+    #[test]
+    fn shift_pix_semantics() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[1, 2, 3, 4]);
+        m.shift_pix(Operand::Row(0), 1);
+        assert_eq!(&m.tmp_lanes()[..4], &[2, 3, 4, 5 - 5]);
+        m.shift_pix(Operand::Row(0), -1);
+        assert_eq!(&m.tmp_lanes()[..4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cmp_produces_mask() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[10, 50]);
+        m.host_write_lanes(1, &[30, 20]);
+        m.cmp_gt(Operand::Row(0), Operand::Row(1));
+        assert_eq!(&m.tmp_lanes()[..2], &[0, 255]);
+    }
+
+    #[test]
+    fn tmp_chaining_avoids_sram_reads() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[1, 2]);
+        m.load(Operand::Row(0));
+        let r0 = m.stats().sram_reads;
+        m.add(Operand::Tmp, Operand::Tmp);
+        assert_eq!(m.stats().sram_reads, r0); // register-resident
+        assert_eq!(&m.tmp_lanes()[..2], &[2, 4]);
+    }
+
+    #[test]
+    fn writeback_persists_and_costs() {
+        let mut m = machine();
+        m.host_write_lanes(0, &[7, 8]);
+        m.load(Operand::Row(0));
+        m.writeback(3);
+        assert_eq!(m.stats().sram_writes, 1);
+        assert_eq!(&m.host_read_lanes(3)[..2], &[7, 8]);
+    }
+
+    #[test]
+    fn reduce_sums_lanes() {
+        let mut m = machine();
+        m.set_lanes(LaneWidth::W32, Signedness::Signed);
+        let vals: Vec<i64> = (1..=80).collect();
+        m.host_write_lanes(0, &vals);
+        m.load(Operand::Row(0));
+        let s = m.reduce_sum();
+        assert_eq!(s, 80 * 81 / 2);
+        // ceil(log2(80)) = 7 steps
+        let red_cycles = 7;
+        assert!(m.stats().cycles >= red_cycles);
+    }
+
+    #[test]
+    fn gather_costs_one_cycle_per_element() {
+        let mut m = machine();
+        m.host_write_lanes(4, &[9, 8, 7]);
+        let c0 = m.stats().cycles;
+        let vals = m.gather(&[(4, 0), (4, 2)]);
+        assert_eq!(vals, vec![9, 7]);
+        assert_eq!(m.stats().cycles - c0, 2);
+        assert_eq!(m.stats().sram_reads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_row_panics() {
+        let mut m = machine();
+        m.load(Operand::Row(9999));
+    }
+
+    #[test]
+    fn host_write_bytes_validates() {
+        let mut m = machine();
+        assert!(m.host_write_bytes(300, &[0]).is_err());
+        assert!(m.host_write_bytes(0, &vec![0u8; 400]).is_err());
+        assert!(m.host_write_bytes(0, &[1, 2, 3]).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod multireg_tests {
+    use super::*;
+    use crate::config::ArrayConfig;
+
+    #[test]
+    fn second_register_holds_values() {
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.set_tmp_regs(2);
+        assert_eq!(m.tmp_reg_count(), 2);
+        m.host_write_lanes(0, &[5, 9]);
+        m.host_write_lanes(1, &[2, 3]);
+        m.add(Operand::Row(0), Operand::Row(1)); // tmp = [7, 12]
+        m.save_tmp(1);
+        m.sub(Operand::Row(0), Operand::Row(1)); // tmp = [3, 6]
+        m.add(Operand::Tmp, Operand::Reg(1)); // [10, 18]
+        assert_eq!(&m.tmp_lanes()[..2], &[10, 18]);
+    }
+
+    #[test]
+    fn save_tmp_costs_one_register_cycle_no_sram() {
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.set_tmp_regs(3);
+        m.host_write_lanes(0, &[1]);
+        m.load(Operand::Row(0));
+        let (c0, r0, w0) = (m.stats().cycles, m.stats().sram_reads, m.stats().sram_writes);
+        m.save_tmp(2);
+        assert_eq!(m.stats().cycles - c0, 1);
+        assert_eq!(m.stats().sram_reads, r0);
+        assert_eq!(m.stats().sram_writes, w0);
+    }
+
+    #[test]
+    fn register_elides_writeback_roundtrip() {
+        // the point of the §5.4 extension: reg save+use is cheaper than
+        // writeback + re-read
+        let mut with_reg = PimMachine::new(ArrayConfig::qvga());
+        with_reg.set_tmp_regs(2);
+        with_reg.host_write_lanes(0, &[10, 20]);
+        with_reg.host_write_lanes(1, &[1, 2]);
+        with_reg.add(Operand::Row(0), Operand::Row(1));
+        with_reg.save_tmp(1);
+        with_reg.sub(Operand::Row(0), Operand::Row(1));
+        with_reg.add(Operand::Tmp, Operand::Reg(1));
+        let a = with_reg.tmp_lanes()[..2].to_vec();
+
+        let mut with_wb = PimMachine::new(ArrayConfig::qvga());
+        with_wb.host_write_lanes(0, &[10, 20]);
+        with_wb.host_write_lanes(1, &[1, 2]);
+        with_wb.add(Operand::Row(0), Operand::Row(1));
+        with_wb.writeback(5);
+        with_wb.sub(Operand::Row(0), Operand::Row(1));
+        with_wb.add(Operand::Tmp, Operand::Row(5));
+        assert_eq!(a, with_wb.tmp_lanes()[..2]);
+
+        let er = with_reg.stats().energy(&crate::CostModel::default());
+        let ew = with_wb.stats().energy(&crate::CostModel::default());
+        assert!(er.total_pj() < ew.total_pj(), "{} vs {}", er.total_pj(), ew.total_pj());
+        assert!(with_reg.stats().sram_writes < with_wb.stats().sram_writes);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enabled")]
+    fn unenabled_register_panics() {
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.host_write_lanes(0, &[1]);
+        m.load(Operand::Row(0));
+        m.save_tmp(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before being written")]
+    fn reading_empty_register_panics() {
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.set_tmp_regs(2);
+        m.host_write_lanes(0, &[1]);
+        m.add(Operand::Row(0), Operand::Reg(1));
+    }
+}

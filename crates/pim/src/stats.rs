@@ -1,0 +1,288 @@
+use crate::cost::CostModel;
+use crate::isa::OpClass;
+use std::collections::BTreeMap;
+
+/// Execution statistics accumulated by [`crate::PimMachine`].
+///
+/// Cycles follow the paper's timing model (single-cycle micro steps,
+/// extra cycle per SRAM write-back); energy is accumulated per hardware
+/// component at every micro step so that Fig. 10-a/b can be regenerated
+/// from any workload trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// SRAM row activations during compute (reads through the SAs).
+    pub sram_reads: u64,
+    /// SRAM row write-backs.
+    pub sram_writes: u64,
+    /// Tmp Reg accesses (each compute step reading or writing it).
+    pub tmp_accesses: u64,
+    /// Shifter/adder activations (one per compute cycle).
+    pub acc_ops: u64,
+    /// Host I/O row transfers (loading images / reading results); kept
+    /// separate because the paper excludes I/O from the per-frame energy.
+    pub host_io_rows: u64,
+    /// Macro-op histogram.
+    pub op_histogram: BTreeMap<OpClass, u64>,
+}
+
+impl ExecStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a macro op in the histogram.
+    pub(crate) fn record_op(&mut self, class: OpClass) {
+        *self.op_histogram.entry(class).or_insert(0) += 1;
+    }
+
+    /// Difference `self - earlier`, for scoped measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not a prefix of `self` (counters must be
+    /// monotone).
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        let mut hist = BTreeMap::new();
+        for (k, v) in &self.op_histogram {
+            let prev = earlier.op_histogram.get(k).copied().unwrap_or(0);
+            assert!(*v >= prev, "op histogram went backwards");
+            if *v > prev {
+                hist.insert(*k, *v - prev);
+            }
+        }
+        ExecStats {
+            cycles: self.cycles - earlier.cycles,
+            sram_reads: self.sram_reads - earlier.sram_reads,
+            sram_writes: self.sram_writes - earlier.sram_writes,
+            tmp_accesses: self.tmp_accesses - earlier.tmp_accesses,
+            acc_ops: self.acc_ops - earlier.acc_ops,
+            host_io_rows: self.host_io_rows - earlier.host_io_rows,
+            op_histogram: hist,
+        }
+    }
+
+    /// Adds another stats block (for aggregating independent traces).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.cycles += other.cycles;
+        self.sram_reads += other.sram_reads;
+        self.sram_writes += other.sram_writes;
+        self.tmp_accesses += other.tmp_accesses;
+        self.acc_ops += other.acc_ops;
+        self.host_io_rows += other.host_io_rows;
+        for (k, v) in &other.op_histogram {
+            *self.op_histogram.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// Scales every counter by an integer factor (used to extrapolate a
+    /// measured per-batch trace to a full feature set; valid because the
+    /// PIM op sequences are data-independent).
+    pub fn scaled(&self, factor: u64) -> ExecStats {
+        let mut hist = BTreeMap::new();
+        for (k, v) in &self.op_histogram {
+            hist.insert(*k, v * factor);
+        }
+        ExecStats {
+            cycles: self.cycles * factor,
+            sram_reads: self.sram_reads * factor,
+            sram_writes: self.sram_writes * factor,
+            tmp_accesses: self.tmp_accesses * factor,
+            acc_ops: self.acc_ops * factor,
+            host_io_rows: self.host_io_rows * factor,
+            op_histogram: hist,
+        }
+    }
+
+    /// Divides every counter by an integer factor (integer division;
+    /// used to split a traced stage across logical batches that share
+    /// it, e.g. two half-batches packed into one word line).
+    pub fn scaled_div(&self, den: u64) -> ExecStats {
+        assert!(den > 0, "division by zero");
+        let mut hist = BTreeMap::new();
+        for (k, v) in &self.op_histogram {
+            hist.insert(*k, v / den);
+        }
+        ExecStats {
+            cycles: self.cycles / den,
+            sram_reads: self.sram_reads / den,
+            sram_writes: self.sram_writes / den,
+            tmp_accesses: self.tmp_accesses / den,
+            acc_ops: self.acc_ops / den,
+            host_io_rows: self.host_io_rows / den,
+            op_histogram: hist,
+        }
+    }
+
+    /// Subtracts another stats block, saturating at zero (used to
+    /// retract a shared-stage charge).
+    pub fn retract(&mut self, other: &ExecStats) {
+        self.cycles = self.cycles.saturating_sub(other.cycles);
+        self.sram_reads = self.sram_reads.saturating_sub(other.sram_reads);
+        self.sram_writes = self.sram_writes.saturating_sub(other.sram_writes);
+        self.tmp_accesses = self.tmp_accesses.saturating_sub(other.tmp_accesses);
+        self.acc_ops = self.acc_ops.saturating_sub(other.acc_ops);
+        self.host_io_rows = self.host_io_rows.saturating_sub(other.host_io_rows);
+        for (k, v) in &other.op_histogram {
+            if let Some(mine) = self.op_histogram.get_mut(k) {
+                *mine = mine.saturating_sub(*v);
+            }
+        }
+    }
+
+    /// Energy decomposition per component (Fig. 10-a).
+    pub fn energy(&self, cost: &CostModel) -> EnergyBreakdown {
+        let sram = (self.sram_reads as f64) * cost.sram_read_pj
+            + (self.sram_writes as f64) * cost.sram_write_pj;
+        let shifter_adder = (self.acc_ops as f64) * cost.shifter_adder_pj;
+        let tmp_reg = (self.tmp_accesses as f64) * cost.tmp_reg_pj;
+        EnergyBreakdown {
+            sram_pj: sram,
+            shifter_adder_pj: shifter_adder,
+            tmp_reg_pj: tmp_reg,
+        }
+    }
+
+    /// Memory-access decomposition (Fig. 10-b).
+    pub fn mem_accesses(&self) -> MemAccessBreakdown {
+        MemAccessBreakdown {
+            sram_reads: self.sram_reads,
+            sram_writes: self.sram_writes,
+            tmp_accesses: self.tmp_accesses,
+        }
+    }
+
+    /// Wall-clock time at the cost model's clock, in seconds.
+    pub fn seconds(&self, cost: &CostModel) -> f64 {
+        self.cycles as f64 / cost.clock_hz
+    }
+}
+
+/// Per-component energy (Fig. 10-a).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Energy consumed in the SRAM array, pJ.
+    pub sram_pj: f64,
+    /// Energy consumed in the shifter/adder datapath, pJ.
+    pub shifter_adder_pj: f64,
+    /// Energy consumed in the Tmp Reg, pJ.
+    pub tmp_reg_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.sram_pj + self.shifter_adder_pj + self.tmp_reg_pj
+    }
+
+    /// Total energy in mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() * 1e-9
+    }
+
+    /// Fraction of the total consumed by the SRAM array (paper: ≈86 %).
+    pub fn sram_share(&self) -> f64 {
+        let t = self.total_pj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.sram_pj / t
+        }
+    }
+}
+
+/// Memory-access decomposition (Fig. 10-b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemAccessBreakdown {
+    /// SRAM row reads.
+    pub sram_reads: u64,
+    /// SRAM row writes (paper: ≈7 % of accesses after Tmp-Reg
+    /// optimization).
+    pub sram_writes: u64,
+    /// Tmp Reg accesses.
+    pub tmp_accesses: u64,
+}
+
+impl MemAccessBreakdown {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.sram_reads + self.sram_writes + self.tmp_accesses
+    }
+
+    /// Write share of all accesses.
+    pub fn write_share(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.sram_writes as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let mut a = ExecStats::new();
+        a.cycles = 10;
+        a.sram_reads = 4;
+        a.record_op(OpClass::Mul);
+        let mut b = a.clone();
+        b.cycles = 25;
+        b.sram_reads = 6;
+        b.record_op(OpClass::Mul);
+        b.record_op(OpClass::Div);
+        let d = b.since(&a);
+        assert_eq!(d.cycles, 15);
+        assert_eq!(d.sram_reads, 2);
+        assert_eq!(d.op_histogram[&OpClass::Mul], 1);
+        assert_eq!(d.op_histogram[&OpClass::Div], 1);
+    }
+
+    #[test]
+    fn energy_breakdown_sums() {
+        let mut s = ExecStats::new();
+        s.sram_reads = 10;
+        s.sram_writes = 2;
+        s.acc_ops = 30;
+        s.tmp_accesses = 40;
+        let cost = CostModel::default();
+        let e = s.energy(&cost);
+        assert!(e.total_pj() > 0.0);
+        assert!(e.sram_share() > 0.5);
+        assert!(
+            (e.total_pj()
+                - (12.0 * 944.8 + 30.0 * cost.shifter_adder_pj + 40.0 * cost.tmp_reg_pj))
+                .abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let mut s = ExecStats::new();
+        s.cycles = 7;
+        s.tmp_accesses = 3;
+        s.record_op(OpClass::Avg);
+        let t = s.scaled(4);
+        assert_eq!(t.cycles, 28);
+        assert_eq!(t.tmp_accesses, 12);
+        assert_eq!(t.op_histogram[&OpClass::Avg], 4);
+    }
+
+    #[test]
+    fn mem_access_write_share() {
+        let m = MemAccessBreakdown {
+            sram_reads: 80,
+            sram_writes: 10,
+            tmp_accesses: 60,
+        };
+        assert_eq!(m.total(), 150);
+        assert!((m.write_share() - 10.0 / 150.0).abs() < 1e-12);
+    }
+}

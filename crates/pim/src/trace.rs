@@ -1,0 +1,162 @@
+//! Instruction tracing for the PIM machine.
+//!
+//! When enabled ([`crate::PimMachine::set_tracing`]), every macro
+//! operation is appended to an in-memory trace with its operands, cycle
+//! span and SRAM footprint — a disassembly-style view of what a kernel
+//! actually does on the array, used to debug mappings and to audit the
+//! cost model.
+
+use crate::isa::OpClass;
+use std::fmt;
+
+/// One traced macro operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sequence number within the trace.
+    pub seq: u64,
+    /// Macro-op class.
+    pub class: OpClass,
+    /// Human-readable mnemonic with operands (e.g. `mul_signed r12, r13`).
+    pub mnemonic: String,
+    /// Cycle counter before the op.
+    pub cycle_start: u64,
+    /// Cycles the op consumed.
+    pub cycles: u64,
+    /// SRAM row activations performed by the op.
+    pub sram_reads: u64,
+    /// SRAM row write-backs performed by the op.
+    pub sram_writes: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>6}  @{:<8} {:<28} {:>3} cyc  {:>2} rd {:>2} wr",
+            self.seq, self.cycle_start, self.mnemonic, self.cycles, self.sram_reads, self.sram_writes
+        )
+    }
+}
+
+/// An in-memory instruction trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Mutable access to the most recent event (multi-step macro ops
+    /// extend their first step's record).
+    pub(crate) fn last_mut(&mut self) -> Option<&mut TraceEvent> {
+        self.events.last_mut()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// A disassembly-style listing of the whole trace.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Cycle totals per op class, most expensive first.
+    pub fn cycles_by_class(&self) -> Vec<(OpClass, u64)> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<OpClass, u64> = BTreeMap::new();
+        for e in &self.events {
+            *map.entry(e.class).or_insert(0) += e.cycles;
+        }
+        let mut v: Vec<(OpClass, u64)> = map.into_iter().collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayConfig, LaneWidth, Operand, PimMachine, Signedness};
+
+    #[test]
+    fn records_ops_with_cycle_spans() {
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.set_tracing(true);
+        m.host_write_lanes(0, &[3, 4]);
+        m.host_write_lanes(1, &[5, 6]);
+        m.add(Operand::Row(0), Operand::Row(1));
+        m.mul(Operand::Row(0), Operand::Row(1));
+        m.writeback(2);
+        let trace = m.trace().expect("tracing enabled");
+        assert_eq!(trace.len(), 3);
+        let e = &trace.events()[1];
+        assert_eq!(e.class, crate::OpClass::Mul);
+        assert_eq!(e.cycles, 9); // 8-bit mul: n+1 before write-back
+        assert!(e.mnemonic.contains("mul"));
+        // cycle spans are contiguous
+        assert_eq!(
+            trace.events()[0].cycle_start + trace.events()[0].cycles,
+            trace.events()[1].cycle_start
+        );
+    }
+
+    #[test]
+    fn listing_and_class_summary() {
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.set_lanes(LaneWidth::W16, Signedness::Signed);
+        m.set_tracing(true);
+        m.host_write_lanes(0, &[7]);
+        m.host_write_lanes(1, &[9]);
+        m.mul_signed(Operand::Row(0), Operand::Row(1));
+        m.add(Operand::Tmp, Operand::Tmp);
+        let trace = m.trace().unwrap().clone();
+        let listing = trace.listing();
+        assert_eq!(listing.lines().count(), 2);
+        let by_class = trace.cycles_by_class();
+        assert_eq!(by_class[0].0, crate::OpClass::Mul); // mul dominates
+    }
+
+    #[test]
+    fn tracing_off_by_default_and_clearable() {
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.host_write_lanes(0, &[1]);
+        m.load(Operand::Row(0));
+        assert!(m.trace().is_none());
+        m.set_tracing(true);
+        m.load(Operand::Row(0));
+        assert_eq!(m.trace().unwrap().len(), 1);
+        m.set_tracing(false);
+        assert!(m.trace().is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! Loading real RGB-D data from disk (TUM-style directory layout).
+//!
+//! Expected layout, mirroring a TUM RGB-D sequence converted to PGM
+//! (see [`crate::pgm`] for the conversion notes):
+//!
+//! ```text
+//! <dir>/associated.txt      # "timestamp gray/xxx.pgm timestamp depth/xxx.pgm"
+//! <dir>/groundtruth.txt     # optional, TUM trajectory format
+//! <dir>/gray/*.pgm          # 8-bit grayscale frames
+//! <dir>/depth/*.pgm         # 16-bit depth frames (5000 units/m)
+//! ```
+
+use crate::pgm::{read_pgm_depth, read_pgm_gray};
+use crate::sequences::Frame;
+use crate::trajectory::Trajectory;
+use crate::tum::parse_tum;
+use pimvo_vomath::SE3;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Error loading a dataset directory.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// I/O failure reading a file.
+    Io(PathBuf, std::io::Error),
+    /// A file's contents could not be parsed.
+    Parse(PathBuf, String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(p, e) => write!(f, "reading {}: {e}", p.display()),
+            DatasetError::Parse(p, e) => write!(f, "parsing {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A dataset loaded from disk: frames plus the ground-truth trajectory
+/// when `groundtruth.txt` is present.
+#[derive(Debug, Clone)]
+pub struct DiskDataset {
+    /// Frames in time order (ground-truth poses are identity when no
+    /// trajectory file is present; check [`DiskDataset::ground_truth`]).
+    pub frames: Vec<Frame>,
+    /// Ground-truth trajectory, if available.
+    pub ground_truth: Option<Trajectory>,
+}
+
+/// Loads a TUM-style directory (see the module docs for the layout).
+///
+/// # Errors
+///
+/// Returns [`DatasetError`] on missing/unreadable files or malformed
+/// association lines, PGMs or trajectories.
+pub fn load_tum_dir(dir: impl AsRef<Path>) -> Result<DiskDataset, DatasetError> {
+    let dir = dir.as_ref();
+    let assoc_path = dir.join("associated.txt");
+    let assoc = std::fs::read_to_string(&assoc_path)
+        .map_err(|e| DatasetError::Io(assoc_path.clone(), e))?;
+
+    let gt_path = dir.join("groundtruth.txt");
+    let ground_truth = if gt_path.exists() {
+        let text =
+            std::fs::read_to_string(&gt_path).map_err(|e| DatasetError::Io(gt_path.clone(), e))?;
+        Some(parse_tum(&text).map_err(|e| DatasetError::Parse(gt_path.clone(), e))?)
+    } else {
+        None
+    };
+
+    let mut frames = Vec::new();
+    for (lineno, line) in assoc.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(DatasetError::Parse(
+                assoc_path.clone(),
+                format!("line {}: expected 4 fields, got {}", lineno + 1, fields.len()),
+            ));
+        }
+        let time: f64 = fields[0].parse().map_err(|e| {
+            DatasetError::Parse(assoc_path.clone(), format!("line {}: {e}", lineno + 1))
+        })?;
+        let gray_path = dir.join(fields[1]);
+        let depth_path = dir.join(fields[3]);
+        let gray_bytes =
+            std::fs::read(&gray_path).map_err(|e| DatasetError::Io(gray_path.clone(), e))?;
+        let depth_bytes =
+            std::fs::read(&depth_path).map_err(|e| DatasetError::Io(depth_path.clone(), e))?;
+        let gray =
+            read_pgm_gray(&gray_bytes).map_err(|e| DatasetError::Parse(gray_path.clone(), e))?;
+        let depth = read_pgm_depth(&depth_bytes)
+            .map_err(|e| DatasetError::Parse(depth_path.clone(), e))?;
+        let gt_wc = ground_truth
+            .as_ref()
+            .and_then(|gt| nearest_pose(gt, time))
+            .unwrap_or(SE3::IDENTITY);
+        frames.push(Frame {
+            index: frames.len(),
+            time,
+            gray,
+            depth,
+            gt_wc,
+        });
+    }
+    Ok(DiskDataset {
+        frames,
+        ground_truth,
+    })
+}
+
+/// Ground-truth pose nearest in time to `t`.
+fn nearest_pose(gt: &Trajectory, t: f64) -> Option<SE3> {
+    gt.samples
+        .iter()
+        .min_by(|(ta, _), (tb, _)| {
+            (ta - t).abs().partial_cmp(&(tb - t).abs()).expect("finite")
+        })
+        .map(|(_, p)| *p)
+}
+
+/// Writes a sequence to disk in the layout [`load_tum_dir`] reads —
+/// used to export synthetic sequences for external tools and in tests
+/// to round-trip the loader against the generator.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on any write failure.
+pub fn write_tum_dir(
+    dir: impl AsRef<Path>,
+    frames: &[Frame],
+    ground_truth: Option<&Trajectory>,
+) -> Result<(), DatasetError> {
+    use crate::pgm::{write_pgm_depth, write_pgm_gray};
+    let dir = dir.as_ref();
+    let io = |p: &Path, e: std::io::Error| DatasetError::Io(p.to_path_buf(), e);
+    for sub in ["gray", "depth"] {
+        let p = dir.join(sub);
+        std::fs::create_dir_all(&p).map_err(|e| io(&p, e))?;
+    }
+    let mut assoc = String::new();
+    for f in frames {
+        let gname = format!("gray/{:06}.pgm", f.index);
+        let dname = format!("depth/{:06}.pgm", f.index);
+        let gp = dir.join(&gname);
+        std::fs::write(&gp, write_pgm_gray(&f.gray)).map_err(|e| io(&gp, e))?;
+        let dp = dir.join(&dname);
+        std::fs::write(&dp, write_pgm_depth(&f.depth)).map_err(|e| io(&dp, e))?;
+        assoc.push_str(&format!("{:.6} {gname} {:.6} {dname}\n", f.time, f.time));
+    }
+    let ap = dir.join("associated.txt");
+    std::fs::write(&ap, assoc).map_err(|e| io(&ap, e))?;
+    if let Some(gt) = ground_truth {
+        let gp = dir.join("groundtruth.txt");
+        std::fs::write(&gp, crate::tum::format_tum(gt)).map_err(|e| io(&gp, e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequences::{Sequence, SequenceKind};
+
+    #[test]
+    fn export_import_roundtrip() {
+        let seq = Sequence::generate(SequenceKind::Desk, 3);
+        let dir = std::env::temp_dir().join("pimvo_dataset_roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_tum_dir(&dir, &seq.frames, Some(&seq.ground_truth)).unwrap();
+        let loaded = load_tum_dir(&dir).unwrap();
+        assert_eq!(loaded.frames.len(), 3);
+        assert!(loaded.ground_truth.is_some());
+        // grayscale round-trips exactly; depth within the TUM scale LSB
+        assert_eq!(loaded.frames[1].gray, seq.frames[1].gray);
+        for y in (0..240).step_by(17) {
+            for x in (0..320).step_by(13) {
+                let (a, b) = (
+                    seq.frames[2].depth.get(x, y),
+                    loaded.frames[2].depth.get(x, y),
+                );
+                assert!((a - b).abs() < 2.0 / 5000.0 + 1e-6, "({x},{y}): {a} vs {b}");
+            }
+        }
+        // ground-truth poses attach to the frames
+        let diff = loaded.frames[2]
+            .gt_wc
+            .compose(&seq.frames[2].gt_wc.inverse());
+        assert!(diff.translation_norm() < 1e-4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        assert!(load_tum_dir("/nonexistent/pimvo_dataset").is_err());
+    }
+}

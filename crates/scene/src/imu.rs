@@ -1,0 +1,205 @@
+//! Synthetic inertial measurements — the substrate for the paper's
+//! stated future-work direction ("support more VO/vSLAM models, such as
+//! VIO").
+//!
+//! Samples are derived from the analytic ground-truth trajectory by
+//! finite differences and corrupted with bias and noise, following the
+//! usual MEMS-gyro error model. The tracker consumes only the gyroscope
+//! (rotation prediction for warm starts); accelerometer samples are
+//! generated too for completeness.
+
+use crate::sequences::{pose_at, SequenceKind};
+use pimvo_vomath::Vec3;
+
+/// One IMU sample in the body (camera) frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuSample {
+    /// Timestamp, seconds.
+    pub time: f64,
+    /// Angular velocity, rad/s.
+    pub gyro: Vec3,
+    /// Specific force (linear acceleration minus gravity), m/s².
+    pub accel: Vec3,
+}
+
+/// MEMS-grade error model for the synthetic IMU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuNoise {
+    /// Constant gyroscope bias, rad/s.
+    pub gyro_bias: Vec3,
+    /// Gyroscope white-noise standard deviation, rad/s.
+    pub gyro_sigma: f64,
+    /// Accelerometer white-noise standard deviation, m/s².
+    pub accel_sigma: f64,
+}
+
+impl Default for ImuNoise {
+    fn default() -> Self {
+        ImuNoise {
+            gyro_bias: Vec3::new(2e-3, -1.5e-3, 1e-3),
+            gyro_sigma: 2e-3,
+            accel_sigma: 2e-2,
+        }
+    }
+}
+
+impl ImuNoise {
+    /// A perfect IMU (for testing the integration math in isolation).
+    pub fn none() -> Self {
+        ImuNoise {
+            gyro_bias: Vec3::ZERO,
+            gyro_sigma: 0.0,
+            accel_sigma: 0.0,
+        }
+    }
+}
+
+/// Deterministic unit-ish Gaussian via the sum of hashed uniforms.
+fn noise1(seed: u64) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..4u64 {
+        let mut x = seed.wrapping_add(k.wrapping_mul(0x9E3779B97F4A7C15));
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+        x ^= x >> 33;
+        acc += (x as f64) / (u64::MAX as f64) - 0.5;
+    }
+    acc * (12.0f64 / 4.0).sqrt()
+}
+
+fn noise3(seed: u64) -> Vec3 {
+    Vec3::new(noise1(seed), noise1(seed ^ 0xA5A5), noise1(seed ^ 0x5A5A))
+}
+
+/// Generates IMU samples for a sequence profile at `rate_hz` over
+/// `duration_s`, with the given error model.
+///
+/// Angular velocity is expressed in the body frame:
+/// `ω = log(R_wcᵀ(t) · R_wc(t + dt)) / dt`; specific force includes the
+/// gravity reaction `g = (0, -9.81, 0)` world-down convention mapped
+/// into the body frame (world y points down in our scenes, so gravity
+/// is +y and the reaction force -y).
+pub fn generate_imu(
+    kind: SequenceKind,
+    duration_s: f64,
+    rate_hz: f64,
+    noise: &ImuNoise,
+) -> Vec<ImuSample> {
+    assert!(rate_hz > 0.0 && duration_s > 0.0, "positive rate/duration");
+    let dt = 1.0 / rate_hz;
+    let n = (duration_s * rate_hz).ceil() as usize;
+    let eps = dt.min(1e-3);
+    let gravity_world = Vec3::new(0.0, 9.81, 0.0); // y-down world
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * dt;
+            let p0 = pose_at(kind, t);
+            let p1 = pose_at(kind, t + eps);
+            // body-frame angular velocity
+            let rel = p0.rotation.inverse().compose(&p1.rotation);
+            let gyro_true = rel.log().scale(1.0 / eps);
+            // linear acceleration by central difference of position
+            // (shift the stencil centre away from t = 0 so the
+            // three-point formula stays valid at the sequence start)
+            let tc = t.max(eps);
+            let pc = pose_at(kind, tc);
+            let pp = pose_at(kind, tc + eps);
+            let pm = pose_at(kind, tc - eps);
+            let a_world = (pp.translation - pc.translation.scale(2.0) + pm.translation)
+                .scale(1.0 / (eps * eps));
+            // specific force in the body frame: a - g, rotated
+            let f_world = a_world - gravity_world;
+            let accel_true = p0.rotation.inverse().rotate(f_world);
+            let seed = (i as u64).wrapping_mul(0x2545F4914F6CDD1D);
+            ImuSample {
+                time: t,
+                gyro: gyro_true + noise.gyro_bias + noise3(seed).scale(noise.gyro_sigma),
+                accel: accel_true + noise3(seed ^ 0xBEEF).scale(noise.accel_sigma),
+            }
+        })
+        .collect()
+}
+
+/// Integrates the gyroscope between two timestamps into a rotation
+/// increment (body frame), the prediction a VIO front-end feeds the
+/// tracker's warm start.
+pub fn integrate_gyro(samples: &[ImuSample], t0: f64, t1: f64) -> pimvo_vomath::SO3 {
+    use pimvo_vomath::SO3;
+    let mut r = SO3::IDENTITY;
+    let mut prev_t: Option<f64> = None;
+    for s in samples {
+        if s.time < t0 || s.time > t1 {
+            continue;
+        }
+        let dt = match prev_t {
+            Some(p) => s.time - p,
+            None => s.time - t0,
+        };
+        if dt > 0.0 {
+            r = r.compose(&SO3::exp(s.gyro.scale(dt)));
+        }
+        prev_t = Some(s.time);
+    }
+    if let Some(p) = prev_t {
+        if t1 > p {
+            // extend the last sample to t1
+            if let Some(last) = samples.iter().rev().find(|s| s.time <= t1 && s.time >= t0) {
+                r = r.compose(&SO3::exp(last.gyro.scale(t1 - p)));
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn noiseless_gyro_integrates_to_ground_truth_rotation() {
+        let kind = SequenceKind::Xyz;
+        let samples = generate_imu(kind, 1.0, 400.0, &ImuNoise::none());
+        let (t0, t1) = (0.2, 0.5);
+        let r_int = integrate_gyro(&samples, t0, t1);
+        let gt = pose_at(kind, t0)
+            .rotation
+            .inverse()
+            .compose(&pose_at(kind, t1).rotation);
+        let err = gt.inverse().compose(&r_int).log().norm();
+        assert!(err < 2e-3, "integration error {err} rad");
+    }
+
+    #[test]
+    fn bias_accumulates_linearly() {
+        let noise = ImuNoise {
+            gyro_bias: Vec3::new(0.01, 0.0, 0.0),
+            gyro_sigma: 0.0,
+            accel_sigma: 0.0,
+        };
+        let samples = generate_imu(SequenceKind::Desk, 1.0, 200.0, &noise);
+        let r1 = integrate_gyro(&samples, 0.0, 0.5);
+        let gt1 = pose_at(SequenceKind::Desk, 0.0)
+            .rotation
+            .inverse()
+            .compose(&pose_at(SequenceKind::Desk, 0.5).rotation);
+        let drift = gt1.inverse().compose(&r1).log().norm();
+        // ~0.01 rad/s * 0.5 s = 5 mrad of bias drift
+        assert!((0.002..0.02).contains(&drift), "drift {drift}");
+    }
+
+    #[test]
+    fn samples_are_deterministic() {
+        let a = generate_imu(SequenceKind::Xyz, 0.2, 100.0, &ImuNoise::default());
+        let b = generate_imu(SequenceKind::Xyz, 0.2, 100.0, &ImuNoise::default());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn gravity_dominates_specific_force_at_rest_attitude() {
+        let samples = generate_imu(SequenceKind::StrNtexFar, 0.5, 100.0, &ImuNoise::none());
+        // the profile's accelerations are centimeters/s²; gravity is ~9.81
+        for s in &samples {
+            assert!((s.accel.norm() - 9.81).abs() < 1.0, "{:?}", s.accel);
+        }
+    }
+}

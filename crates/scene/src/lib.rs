@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Synthetic RGB-D dataset substrate.
+//!
+//! The paper evaluates on the TUM RGB-D benchmark, which cannot be
+//! redistributed here; this crate provides the substitute documented in
+//! `DESIGN.md`: a deterministic procedural renderer producing
+//! grayscale and depth frames with exact ground-truth poses, plus
+//! three sequence profiles whose motion and texture statistics mimic
+//! the sequences the paper reports on.
+//!
+//! * [`SequenceKind::Xyz`] — fast hand-held translation in a richly
+//!   textured room (stands in for `fr1_xyz`);
+//! * [`SequenceKind::Desk`] — a slow arc around a cluttered desk scene
+//!   (stands in for `fr2_desk`);
+//! * [`SequenceKind::StrNtexFar`] — distant, texture-poor structural
+//!   panels (stands in for `fr3_str_ntex_far`).
+//!
+//! Evaluation (relative pose error, absolute trajectory error) follows
+//! the TUM benchmark definitions, and trajectories can be written in the
+//! TUM text format for external tooling.
+//!
+//! ```
+//! use pimvo_scene::{Sequence, SequenceKind};
+//!
+//! let seq = Sequence::generate(SequenceKind::Desk, 4);
+//! assert_eq!(seq.frames.len(), 4);
+//! let f = &seq.frames[0];
+//! assert_eq!(f.gray.width(), 320);
+//! ```
+
+mod dataset;
+mod imu;
+mod pgm;
+mod plot;
+mod render;
+mod rpe;
+mod sequences;
+mod texture;
+mod trajectory;
+mod tum;
+
+pub use dataset::{load_tum_dir, write_tum_dir, DatasetError, DiskDataset};
+pub use imu::{generate_imu, integrate_gyro, ImuNoise, ImuSample};
+pub use plot::{plot_trajectories_svg, PlotPlane};
+pub use pgm::{read_pgm_depth, read_pgm_gray, write_pgm_depth, write_pgm_gray, TUM_DEPTH_SCALE};
+pub use render::{Aabb, Plane, RenderOptions, Scene};
+pub use rpe::{ate_rmse, rpe_rmse, RpeResult};
+pub use sequences::{build_scene, pose_at, Frame, Sequence, SequenceKind};
+pub use texture::Texture;
+pub use trajectory::Trajectory;
+pub use tum::{format_tum, parse_tum};

@@ -1,0 +1,194 @@
+//! PGM (portable graymap, binary `P5`) image I/O.
+//!
+//! The hook for running the pipeline on real data: TUM RGB-D frames
+//! convert losslessly to 8-bit grayscale + 16-bit depth PGMs (e.g.
+//! `convert rgb/xyz.png -colorspace gray gray/xyz.pgm`), which this
+//! module reads without any external image dependency. Depth maps use
+//! the TUM convention of 16-bit values at 5000 units per meter.
+
+use pimvo_kernels::{DepthImage, GrayImage};
+
+/// TUM depth scale: raw 16-bit value per meter.
+pub const TUM_DEPTH_SCALE: f32 = 5000.0;
+
+/// Serializes an 8-bit grayscale image as binary PGM (`P5`, maxval 255).
+pub fn write_pgm_gray(img: &GrayImage) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", img.width(), img.height()).into_bytes();
+    out.extend_from_slice(img.pixels());
+    out
+}
+
+/// Serializes a depth image as 16-bit binary PGM (`P5`, maxval 65535,
+/// big-endian samples per the netpbm spec), at [`TUM_DEPTH_SCALE`].
+pub fn write_pgm_depth(img: &DepthImage) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n65535\n", img.width(), img.height()).into_bytes();
+    for &d in img.pixels() {
+        let raw = if d.is_finite() && d > 0.0 {
+            (d * TUM_DEPTH_SCALE).round().clamp(0.0, 65535.0) as u16
+        } else {
+            0
+        };
+        out.extend_from_slice(&raw.to_be_bytes());
+    }
+    out
+}
+
+/// Parses a binary PGM into an 8-bit grayscale image. 16-bit inputs are
+/// rescaled to 8 bits.
+///
+/// # Errors
+///
+/// Returns a description of the malformed header or truncated data.
+pub fn read_pgm_gray(bytes: &[u8]) -> Result<GrayImage, String> {
+    let (w, h, maxval, data) = parse_pgm(bytes)?;
+    let mut img = GrayImage::new(w, h);
+    if maxval <= 255 {
+        if data.len() < (w * h) as usize {
+            return Err("truncated 8-bit pixel data".into());
+        }
+        for (i, px) in img.pixels_mut().iter_mut().enumerate() {
+            *px = data[i];
+        }
+    } else {
+        if data.len() < 2 * (w * h) as usize {
+            return Err("truncated 16-bit pixel data".into());
+        }
+        for (i, px) in img.pixels_mut().iter_mut().enumerate() {
+            let v = u16::from_be_bytes([data[2 * i], data[2 * i + 1]]);
+            *px = (v as u32 * 255 / maxval) as u8;
+        }
+    }
+    Ok(img)
+}
+
+/// Parses a 16-bit binary PGM into a depth image at [`TUM_DEPTH_SCALE`].
+/// Zero raw values mean "no measurement" (invalid depth).
+///
+/// # Errors
+///
+/// Returns a description of the malformed header or truncated data.
+pub fn read_pgm_depth(bytes: &[u8]) -> Result<DepthImage, String> {
+    let (w, h, maxval, data) = parse_pgm(bytes)?;
+    if maxval <= 255 {
+        return Err("depth PGMs must be 16-bit (maxval > 255)".into());
+    }
+    if data.len() < 2 * (w * h) as usize {
+        return Err("truncated 16-bit depth data".into());
+    }
+    let mut img = DepthImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let i = (y * w + x) as usize;
+            let raw = u16::from_be_bytes([data[2 * i], data[2 * i + 1]]);
+            img.set(x, y, raw as f32 / TUM_DEPTH_SCALE);
+        }
+    }
+    Ok(img)
+}
+
+/// Shared header parser: returns `(width, height, maxval, pixel data)`.
+fn parse_pgm(bytes: &[u8]) -> Result<(u32, u32, u32, &[u8]), String> {
+    if bytes.len() < 2 || &bytes[..2] != b"P5" {
+        return Err("not a binary PGM (missing P5 magic)".into());
+    }
+    let mut pos = 2usize;
+    let mut fields = [0u32; 3];
+    for field in &mut fields {
+        // skip whitespace and comments
+        loop {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err("malformed PGM header".into());
+        }
+        *field = std::str::from_utf8(&bytes[start..pos])
+            .map_err(|_| "non-UTF8 header")?
+            .parse::<u32>()
+            .map_err(|e| format!("bad header number: {e}"))?;
+    }
+    // exactly one whitespace byte separates the header from the data
+    if pos >= bytes.len() || !bytes[pos].is_ascii_whitespace() {
+        return Err("missing header/data separator".into());
+    }
+    pos += 1;
+    let (w, h, maxval) = (fields[0], fields[1], fields[2]);
+    if w == 0 || h == 0 {
+        return Err("zero image dimension".into());
+    }
+    if maxval == 0 || maxval > 65535 {
+        return Err(format!("unsupported maxval {maxval}"));
+    }
+    Ok((w, h, maxval, &bytes[pos..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_roundtrip() {
+        let img = GrayImage::from_fn(17, 9, |x, y| (x * 13 + y * 7) as u8);
+        let bytes = write_pgm_gray(&img);
+        let back = read_pgm_gray(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn depth_roundtrip_within_scale() {
+        let img = DepthImage::from_fn(8, 6, |x, y| {
+            if x == 0 {
+                0.0 // invalid
+            } else {
+                0.5 + (x + y) as f32 * 0.37
+            }
+        });
+        let bytes = write_pgm_depth(&img);
+        let back = read_pgm_depth(&bytes).unwrap();
+        for y in 0..6 {
+            for x in 0..8 {
+                let (a, b) = (img.get(x, y), back.get(x, y));
+                assert!((a - b).abs() < 1.0 / TUM_DEPTH_SCALE + 1e-6, "({x},{y})");
+                assert_eq!(img.is_valid(x, y), back.is_valid(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_pgm_gray(b"P6\n1 1\n255\n\0").is_err());
+        assert!(read_pgm_gray(b"P5\n0 1\n255\n").is_err());
+        assert!(read_pgm_gray(b"P5\n4 4\n255\nshort").is_err());
+        assert!(read_pgm_depth(&write_pgm_gray(&GrayImage::new(2, 2))).is_err());
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let mut bytes = b"P5\n# a comment\n2 2\n255\n".to_vec();
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        let img = read_pgm_gray(&bytes).unwrap();
+        assert_eq!(img.get(1, 1), 4);
+    }
+
+    #[test]
+    fn sixteen_bit_gray_rescales() {
+        let depth = DepthImage::from_fn(2, 2, |x, y| (1 + x + y) as f32);
+        let bytes = write_pgm_depth(&depth);
+        let gray = read_pgm_gray(&bytes).unwrap();
+        assert_eq!(gray.width(), 2);
+        // monotone mapping preserved
+        assert!(gray.get(1, 1) > gray.get(0, 0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Dependency-free SVG trajectory plots — the visual half of Fig. 8
+//! (estimated trajectory overlaid on ground truth).
+
+use crate::trajectory::Trajectory;
+
+/// A 2D projection plane for the top-down plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlotPlane {
+    /// World x (right) vs z (forward) — the usual top-down view.
+    #[default]
+    Xz,
+    /// World x vs y.
+    Xy,
+}
+
+impl PlotPlane {
+    fn project(self, t: pimvo_vomath::Vec3) -> (f64, f64) {
+        match self {
+            PlotPlane::Xz => (t.x, t.z),
+            PlotPlane::Xy => (t.x, t.y),
+        }
+    }
+}
+
+/// Renders the estimate (green, as in the paper's Fig. 8) over the
+/// ground truth (red) as a standalone SVG document. The estimate is
+/// first-pose aligned to the ground truth.
+///
+/// # Panics
+///
+/// Panics if either trajectory is empty or lengths differ.
+pub fn plot_trajectories_svg(
+    estimate: &Trajectory,
+    ground_truth: &Trajectory,
+    plane: PlotPlane,
+    title: &str,
+) -> String {
+    assert!(!estimate.is_empty() && !ground_truth.is_empty(), "empty trajectory");
+    assert_eq!(estimate.len(), ground_truth.len(), "length mismatch");
+    let est = estimate.aligned_to(ground_truth);
+
+    // bounds over both curves
+    let points = |t: &Trajectory| -> Vec<(f64, f64)> {
+        t.samples
+            .iter()
+            .map(|(_, p)| plane.project(p.translation))
+            .collect()
+    };
+    let pe = points(&est);
+    let pg = points(ground_truth);
+    let (mut min_x, mut max_x) = (f64::MAX, f64::MIN);
+    let (mut min_y, mut max_y) = (f64::MAX, f64::MIN);
+    for &(x, y) in pe.iter().chain(&pg) {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let span = (max_x - min_x).max(max_y - min_y).max(0.02);
+    let pad = span * 0.1;
+    let (w, h) = (640.0, 640.0);
+    let scale = (w - 40.0) / (span + 2.0 * pad);
+    let to_px = |x: f64, y: f64| -> (f64, f64) {
+        (
+            20.0 + (x - min_x + pad) * scale,
+            h - 20.0 - (y - min_y + pad) * scale,
+        )
+    };
+    let polyline = |pts: &[(f64, f64)], color: &str| -> String {
+        let coords: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| {
+                let (px, py) = to_px(x, y);
+                format!("{px:.1},{py:.1}")
+            })
+            .collect();
+        format!(
+            "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" points=\"{}\"/>",
+            coords.join(" ")
+        )
+    };
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\">\n"
+    ));
+    svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    svg.push_str(&format!(
+        "<text x=\"20\" y=\"18\" font-family=\"sans-serif\" font-size=\"14\">{title} \
+         (green: estimate, red: ground truth; span {span:.2} m)</text>\n"
+    ));
+    svg.push_str(&polyline(&pg, "#cc2222"));
+    svg.push('\n');
+    svg.push_str(&polyline(&pe, "#22aa44"));
+    svg.push('\n');
+    // start marker
+    let (sx, sy) = to_px(pg[0].0, pg[0].1);
+    svg.push_str(&format!(
+        "<circle cx=\"{sx:.1}\" cy=\"{sy:.1}\" r=\"4\" fill=\"#2244cc\"/>\n"
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimvo_vomath::SE3;
+
+    fn line(n: usize, speed: f64) -> Trajectory {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / 30.0;
+                (t, SE3::exp(&[speed * t, 0.0, 0.1 * t, 0.0, 0.0, 0.0]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let gt = line(30, 0.3);
+        let est = line(30, 0.32);
+        let svg = plot_trajectories_svg(&est, &gt, PlotPlane::Xz, "test");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("#22aa44") && svg.contains("#cc2222"));
+    }
+
+    #[test]
+    fn degenerate_static_trajectory_still_plots() {
+        let gt: Trajectory = (0..5).map(|i| (i as f64, SE3::IDENTITY)).collect();
+        let svg = plot_trajectories_svg(&gt, &gt, PlotPlane::Xy, "static");
+        assert!(svg.contains("<polyline"));
+        // no NaN/inf coordinates
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = line(5, 0.1);
+        let b = line(6, 0.1);
+        let _ = plot_trajectories_svg(&a, &b, PlotPlane::Xz, "bad");
+    }
+}

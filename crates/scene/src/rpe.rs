@@ -1,0 +1,144 @@
+//! Trajectory evaluation: relative pose error (RPE) and absolute
+//! trajectory error (ATE), after Sturm et al., *A Benchmark for the
+//! Evaluation of RGB-D SLAM Systems* (the paper's reference [24]).
+//!
+//! Table 1 of the paper reports the RMSE of the RPE per second:
+//! translational drift in m/s and rotational drift in °/s.
+
+use crate::trajectory::Trajectory;
+
+/// RPE RMSE over a trajectory pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpeResult {
+    /// Translational drift RMSE, m/s.
+    pub trans_mps: f64,
+    /// Rotational drift RMSE, °/s.
+    pub rot_dps: f64,
+    /// Number of relative-pose pairs evaluated.
+    pub pairs: usize,
+}
+
+/// Computes the RPE RMSE between an estimated and a ground-truth
+/// trajectory over a time window `delta_s` (the benchmark's standard is
+/// 1 s). Trajectories must be sampled at the same timestamps
+/// (frame-aligned, as our tracker produces).
+///
+/// # Panics
+///
+/// Panics if the trajectories have different lengths or fewer than two
+/// samples span `delta_s`.
+pub fn rpe_rmse(estimate: &Trajectory, ground_truth: &Trajectory, delta_s: f64) -> RpeResult {
+    assert_eq!(
+        estimate.len(),
+        ground_truth.len(),
+        "trajectories must be frame-aligned"
+    );
+    let n = estimate.len();
+    assert!(n >= 2, "need at least two poses");
+    // frame step corresponding to delta_s
+    let dt = if n >= 2 {
+        ground_truth.samples[1].0 - ground_truth.samples[0].0
+    } else {
+        1.0 / 30.0
+    };
+    let step = ((delta_s / dt).round() as usize).clamp(1, n - 1);
+    let actual_delta = step as f64 * dt;
+
+    let mut sum_t2 = 0.0;
+    let mut sum_r2 = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n - step {
+        let q_rel = ground_truth.pose(i).inverse().compose(ground_truth.pose(i + step));
+        let p_rel = estimate.pose(i).inverse().compose(estimate.pose(i + step));
+        let err = q_rel.inverse().compose(&p_rel);
+        let te = err.translation_norm() / actual_delta;
+        let re = err.rotation_angle().to_degrees() / actual_delta;
+        sum_t2 += te * te;
+        sum_r2 += re * re;
+        pairs += 1;
+    }
+    RpeResult {
+        trans_mps: (sum_t2 / pairs as f64).sqrt(),
+        rot_dps: (sum_r2 / pairs as f64).sqrt(),
+        pairs,
+    }
+}
+
+/// Absolute trajectory error RMSE (meters) after first-pose alignment
+/// (the tracker starts at the identity while the ground truth starts at
+/// an arbitrary pose; a rigid re-basing on the first pose removes that
+/// gauge freedom, as the TUM evaluation tooling does).
+///
+/// # Panics
+///
+/// Panics if the trajectories have different lengths or are empty.
+pub fn ate_rmse(estimate: &Trajectory, ground_truth: &Trajectory) -> f64 {
+    assert_eq!(estimate.len(), ground_truth.len());
+    assert!(!estimate.is_empty());
+    let estimate = estimate.aligned_to(ground_truth);
+    let sum2: f64 = estimate
+        .samples
+        .iter()
+        .zip(&ground_truth.samples)
+        .map(|((_, e), (_, g))| (e.translation - g.translation).dot(e.translation - g.translation))
+        .sum();
+    (sum2 / estimate.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimvo_vomath::SE3;
+
+    fn straight_line(n: usize, speed: f64) -> Trajectory {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / 30.0;
+                (t, SE3::exp(&[speed * t, 0.0, 0.0, 0.0, 0.0, 0.0]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_error() {
+        let gt = straight_line(90, 0.3);
+        let res = rpe_rmse(&gt, &gt, 1.0);
+        assert!(res.trans_mps < 1e-12);
+        assert!(res.rot_dps < 1e-12);
+        assert!(res.pairs > 0);
+        assert!(ate_rmse(&gt, &gt) < 1e-12);
+    }
+
+    #[test]
+    fn constant_velocity_bias_measured_exactly() {
+        let gt = straight_line(90, 0.3);
+        let est = straight_line(90, 0.33); // 10% speed bias
+        let res = rpe_rmse(&est, &gt, 1.0);
+        // relative translation error per second: 0.03 m/s
+        assert!((res.trans_mps - 0.03).abs() < 1e-9, "{}", res.trans_mps);
+    }
+
+    #[test]
+    fn short_sequences_clamp_delta() {
+        let gt = straight_line(10, 0.3); // only 1/3 second
+        let est = straight_line(10, 0.36);
+        let res = rpe_rmse(&est, &gt, 1.0);
+        assert!(res.pairs >= 1);
+        assert!((res.trans_mps - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotational_drift_in_degrees_per_second() {
+        let gt: Trajectory = (0..61)
+            .map(|i| (i as f64 / 30.0, SE3::IDENTITY))
+            .collect();
+        let est: Trajectory = (0..61)
+            .map(|i| {
+                let t = i as f64 / 30.0;
+                (t, SE3::exp(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.01 * t]))
+            })
+            .collect();
+        let res = rpe_rmse(&est, &gt, 1.0);
+        assert!((res.rot_dps - 0.01f64.to_degrees()).abs() < 1e-6, "{}", res.rot_dps);
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic procedural textures for the synthetic scenes.
+
+/// Integer hash (Wang hash variant) → uniform `[0, 1)`.
+fn hash01(mut x: u32) -> f64 {
+    x = x.wrapping_mul(0x9E3779B9) ^ (x >> 16);
+    x = x.wrapping_mul(0x85EBCA6B) ^ (x >> 13);
+    x = x.wrapping_mul(0xC2B2AE35) ^ (x >> 16);
+    (x as f64) / (u32::MAX as f64 + 1.0)
+}
+
+fn lattice(ix: i64, iy: i64, seed: u32) -> f64 {
+    let h = (ix as u32)
+        .wrapping_mul(0x27D4EB2F)
+        .wrapping_add((iy as u32).wrapping_mul(0x165667B1))
+        .wrapping_add(seed.wrapping_mul(0x9E3779B9));
+    hash01(h)
+}
+
+/// Smoothstep-interpolated 2D value noise in `[0, 1)`.
+fn value_noise(u: f64, v: f64, seed: u32) -> f64 {
+    let (iu, iv) = (u.floor(), v.floor());
+    let (fu, fv) = (u - iu, v - iv);
+    let (iu, iv) = (iu as i64, iv as i64);
+    let s = |t: f64| t * t * (3.0 - 2.0 * t);
+    let (su, sv) = (s(fu), s(fv));
+    let n00 = lattice(iu, iv, seed);
+    let n10 = lattice(iu + 1, iv, seed);
+    let n01 = lattice(iu, iv + 1, seed);
+    let n11 = lattice(iu + 1, iv + 1, seed);
+    n00 * (1.0 - su) * (1.0 - sv) + n10 * su * (1.0 - sv) + n01 * (1.0 - su) * sv + n11 * su * sv
+}
+
+/// A procedural surface texture, sampled in surface coordinates
+/// (meters). Intensities are in gray levels around a base value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Texture {
+    /// Uniform intensity (texture-poor surfaces).
+    Flat {
+        /// Base gray level.
+        base: f64,
+    },
+    /// Multi-octave value noise: `base ± amplitude`.
+    Noise {
+        /// Base gray level.
+        base: f64,
+        /// Peak-to-peak amplitude in gray levels.
+        amplitude: f64,
+        /// Feature size in meters (smaller = finer detail).
+        scale: f64,
+        /// Noise seed (different surfaces decorrelate).
+        seed: u32,
+        /// Number of octaves (1-4).
+        octaves: u32,
+    },
+    /// Checkerboard of two intensities.
+    Checker {
+        /// First cell gray level.
+        a: f64,
+        /// Second cell gray level.
+        b: f64,
+        /// Cell edge length in meters.
+        cell: f64,
+    },
+    /// Axis-aligned rectangular panels of distinct flat intensities on a
+    /// flat background — strong structural edges with no interior
+    /// texture (the `str_ntex` profile).
+    Panels {
+        /// Background gray level.
+        base: f64,
+        /// Panel edge length in meters.
+        cell: f64,
+        /// Gap between panels, meters.
+        gap: f64,
+        /// Seed choosing per-panel intensities.
+        seed: u32,
+    },
+}
+
+impl Texture {
+    /// Samples the intensity (gray levels, unclamped) at surface
+    /// coordinates `(u, v)` in meters.
+    pub fn sample(&self, u: f64, v: f64) -> f64 {
+        match *self {
+            Texture::Flat { base } => base,
+            Texture::Noise {
+                base,
+                amplitude,
+                scale,
+                seed,
+                octaves,
+            } => {
+                let mut acc = 0.0;
+                let mut amp = 1.0;
+                let mut freq = 1.0 / scale.max(1e-6);
+                let mut norm = 0.0;
+                for o in 0..octaves.clamp(1, 4) {
+                    acc += amp * value_noise(u * freq, v * freq, seed.wrapping_add(o * 7919));
+                    norm += amp;
+                    amp *= 0.5;
+                    freq *= 2.1;
+                }
+                base + (acc / norm - 0.5) * amplitude
+            }
+            Texture::Checker { a, b, cell } => {
+                let cu = (u / cell).floor() as i64;
+                let cv = (v / cell).floor() as i64;
+                if (cu + cv).rem_euclid(2) == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            Texture::Panels {
+                base,
+                cell,
+                gap,
+                seed,
+            } => {
+                let period = cell + gap;
+                let cu = (u / period).floor();
+                let cv = (v / period).floor();
+                let fu = u - cu * period;
+                let fv = v - cv * period;
+                if fu < cell && fv < cell {
+                    let h = lattice(cu as i64, cv as i64, seed);
+                    base + 40.0 + h * 140.0
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let t = Texture::Noise {
+            base: 100.0,
+            amplitude: 60.0,
+            scale: 0.2,
+            seed: 42,
+            octaves: 3,
+        };
+        let a = t.sample(0.37, 1.25);
+        let b = t.sample(0.37, 1.25);
+        assert_eq!(a, b);
+        for i in 0..200 {
+            let v = t.sample(i as f64 * 0.031, i as f64 * 0.047);
+            assert!((40.0..=160.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn noise_varies_spatially() {
+        let t = Texture::Noise {
+            base: 100.0,
+            amplitude: 80.0,
+            scale: 0.1,
+            seed: 7,
+            octaves: 2,
+        };
+        let samples: Vec<f64> = (0..50).map(|i| t.sample(i as f64 * 0.05, 0.0)).collect();
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 10.0, "texture too flat: {min}..{max}");
+    }
+
+    #[test]
+    fn checker_alternates() {
+        let t = Texture::Checker {
+            a: 20.0,
+            b: 200.0,
+            cell: 0.5,
+        };
+        assert_eq!(t.sample(0.1, 0.1), 20.0);
+        assert_eq!(t.sample(0.6, 0.1), 200.0);
+        assert_eq!(t.sample(0.6, 0.6), 20.0);
+        // negative coordinates keep alternating (rem_euclid)
+        assert_eq!(t.sample(-0.1, 0.1), 200.0);
+    }
+
+    #[test]
+    fn panels_have_flat_interiors() {
+        let t = Texture::Panels {
+            base: 50.0,
+            cell: 1.0,
+            gap: 0.3,
+            seed: 3,
+        };
+        let inside1 = t.sample(0.3, 0.3);
+        let inside2 = t.sample(0.7, 0.6);
+        assert_eq!(inside1, inside2, "panel interior must be flat");
+        assert!(inside1 > 50.0);
+        assert_eq!(t.sample(1.1, 0.3), 50.0); // gap
+    }
+}

@@ -1,0 +1,101 @@
+use pimvo_vomath::SE3;
+
+/// A timestamped camera trajectory. Poses are **camera-to-world**
+/// transforms `T_wc`, matching the TUM ground-truth convention.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trajectory {
+    /// `(timestamp_seconds, T_wc)` samples in time order.
+    pub samples: Vec<(f64, SE3)>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    /// Appends a pose sample.
+    pub fn push(&mut self, t: f64, pose: SE3) {
+        self.samples.push((t, pose));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Pose at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn pose(&self, i: usize) -> &SE3 {
+        &self.samples[i].1
+    }
+
+    /// Returns this trajectory rigidly re-based so its first pose
+    /// coincides with `other`'s first pose (the standard first-pose
+    /// alignment before computing absolute errors: a tracker starts at
+    /// the identity, the ground truth starts wherever the generator
+    /// put the camera).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either trajectory is empty.
+    pub fn aligned_to(&self, other: &Trajectory) -> Trajectory {
+        assert!(!self.is_empty() && !other.is_empty(), "empty trajectory");
+        let align = other.samples[0].1.compose(&self.samples[0].1.inverse());
+        Trajectory {
+            samples: self
+                .samples
+                .iter()
+                .map(|(t, p)| (*t, align.compose(p)))
+                .collect(),
+        }
+    }
+
+    /// Total path length (meters) — sum of inter-sample translations.
+    pub fn path_length(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| (w[1].1.translation - w[0].1.translation).norm())
+            .sum()
+    }
+}
+
+impl FromIterator<(f64, SE3)> for Trajectory {
+    fn from_iter<T: IntoIterator<Item = (f64, SE3)>>(iter: T) -> Self {
+        Trajectory {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_length_sums_steps() {
+        let mut t = Trajectory::new();
+        t.push(0.0, SE3::IDENTITY);
+        t.push(1.0, SE3::exp(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        t.push(2.0, SE3::exp(&[1.0, 1.0, 0.0, 0.0, 0.0, 0.0]));
+        assert!((t.path_length() - 2.0).abs() < 1e-12);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: Trajectory = (0..5)
+            .map(|i| (i as f64 / 30.0, SE3::IDENTITY))
+            .collect();
+        assert_eq!(t.len(), 5);
+    }
+}

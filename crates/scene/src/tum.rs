@@ -1,0 +1,99 @@
+//! TUM RGB-D trajectory text format:
+//! `timestamp tx ty tz qx qy qz qw`, one pose per line, `#` comments.
+
+use crate::trajectory::Trajectory;
+use pimvo_vomath::{Quaternion, Vec3, SE3};
+use std::fmt::Write as _;
+
+/// Formats a trajectory in the TUM text format (poses are
+/// camera-to-world, quaternion order `qx qy qz qw`).
+pub fn format_tum(traj: &Trajectory) -> String {
+    let mut out = String::new();
+    out.push_str("# timestamp tx ty tz qx qy qz qw\n");
+    for (t, pose) in &traj.samples {
+        let p = pose.translation;
+        let q = pose.rotation.to_quaternion();
+        writeln!(
+            out,
+            "{t:.6} {:.6} {:.6} {:.6} {:.6} {:.6} {:.6} {:.6}",
+            p.x, p.y, p.z, q.x, q.y, q.z, q.w
+        )
+        .expect("string write cannot fail");
+    }
+    out
+}
+
+/// Parses a TUM-format trajectory. Lines starting with `#` and blank
+/// lines are skipped.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_tum(text: &str) -> Result<Trajectory, String> {
+    let mut traj = Trajectory::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<f64> = line
+            .split_whitespace()
+            .map(|f| f.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if fields.len() != 8 {
+            return Err(format!(
+                "line {}: expected 8 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let q = Quaternion {
+            x: fields[4],
+            y: fields[5],
+            z: fields[6],
+            w: fields[7],
+        };
+        traj.push(
+            fields[0],
+            SE3::new(q.to_so3(), Vec3::new(fields[1], fields[2], fields[3])),
+        );
+    }
+    Ok(traj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut traj = Trajectory::new();
+        for i in 0..5 {
+            let t = i as f64 / 30.0;
+            traj.push(
+                t,
+                SE3::exp(&[0.1 * t, -0.05 * t, 0.2 * t, 0.02 * t, 0.0, -0.01 * t]),
+            );
+        }
+        let text = format_tum(&traj);
+        let parsed = parse_tum(&text).unwrap();
+        assert_eq!(parsed.len(), traj.len());
+        for i in 0..traj.len() {
+            let (ta, a) = &traj.samples[i];
+            let (tb, b) = &parsed.samples[i];
+            assert!((ta - tb).abs() < 1e-5); // %.6 text precision
+            let diff = a.inverse().compose(b);
+            assert!(diff.translation_norm() < 1e-5, "frame {i}");
+            assert!(diff.rotation_angle() < 1e-5, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_rejects_malformed() {
+        let good = "# header\n\n0.0 0 0 0 0 0 0 1\n";
+        assert_eq!(parse_tum(good).unwrap().len(), 1);
+        assert!(parse_tum("0.0 1 2 3\n").is_err());
+        assert!(parse_tum("0.0 a b c d e f g\n").is_err());
+    }
+}

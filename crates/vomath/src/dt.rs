@@ -1,0 +1,261 @@
+//! Euclidean distance transform of a binary edge mask, after
+//! Felzenszwalb & Huttenlocher, *Distance Transforms of Sampled
+//! Functions* (the algorithm the paper cites as reference [6]).
+//!
+//! EBVO pre-computes, for every keyframe, the distance from each pixel
+//! to the nearest edge pixel (`DT_k`) plus its gradient maps, so that
+//! the warp residual and part of the Jacobian become table lookups.
+
+/// A distance map over an image grid: for every pixel, the Euclidean
+/// distance (in pixels) to the nearest edge pixel, clamped to
+/// [`DistanceMap::MAX_DIST`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMap {
+    width: u32,
+    height: u32,
+    data: Vec<f32>,
+}
+
+impl DistanceMap {
+    /// Distances are clamped here; residuals beyond this are
+    /// uninformative for alignment (and the clamp bounds the Q-format
+    /// range needed on the PIM side).
+    pub const MAX_DIST: f32 = 30.0;
+
+    /// Map width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Map height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Distance at an integer pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Bilinearly interpolated distance at a sub-pixel location.
+    /// Coordinates are clamped to the valid interpolation region.
+    pub fn sample(&self, u: f64, v: f64) -> f32 {
+        let u = u.clamp(0.0, (self.width - 1) as f64);
+        let v = v.clamp(0.0, (self.height - 1) as f64);
+        let x0 = (u.floor() as u32).min(self.width - 2);
+        let y0 = (v.floor() as u32).min(self.height - 2);
+        let fx = (u - x0 as f64) as f32;
+        let fy = (v - y0 as f64) as f32;
+        let d00 = self.get(x0, y0);
+        let d10 = self.get(x0 + 1, y0);
+        let d01 = self.get(x0, y0 + 1);
+        let d11 = self.get(x0 + 1, y0 + 1);
+        d00 * (1.0 - fx) * (1.0 - fy)
+            + d10 * fx * (1.0 - fy)
+            + d01 * (1.0 - fx) * fy
+            + d11 * fx * fy
+    }
+
+    /// Raw data, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// Computes the Euclidean distance transform of `mask` (nonzero pixels
+/// are sites). Uses the exact two-pass lower-envelope algorithm on
+/// squared distances, then takes square roots.
+///
+/// # Panics
+///
+/// Panics if `mask.len() != width * height` or either dimension is 0.
+pub fn distance_transform(mask: &[u8], width: u32, height: u32) -> DistanceMap {
+    assert!(width > 0 && height > 0, "dimensions must be nonzero");
+    assert_eq!(mask.len(), (width * height) as usize, "mask size mismatch");
+    let (w, h) = (width as usize, height as usize);
+    const INF: f64 = 1e18;
+
+    // column pass: 1D squared distance along each column
+    let mut g = vec![0.0f64; w * h];
+    let mut f = vec![0.0f64; h.max(w)];
+    let mut d = vec![0.0f64; h.max(w)];
+    let mut vbuf = vec![0usize; h.max(w)];
+    let mut zbuf = vec![0.0f64; h.max(w) + 1];
+
+    for x in 0..w {
+        for y in 0..h {
+            f[y] = if mask[y * w + x] != 0 { 0.0 } else { INF };
+        }
+        dt_1d(&f[..h], &mut d[..h], &mut vbuf, &mut zbuf);
+        for y in 0..h {
+            g[y * w + x] = d[y];
+        }
+    }
+    // row pass
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        f[..w].copy_from_slice(&g[y * w..(y + 1) * w]);
+        dt_1d(&f[..w], &mut d[..w], &mut vbuf, &mut zbuf);
+        for x in 0..w {
+            out[y * w + x] = (d[x].sqrt() as f32).min(DistanceMap::MAX_DIST);
+        }
+    }
+    DistanceMap {
+        width,
+        height,
+        data: out,
+    }
+}
+
+/// 1D squared-distance transform (lower envelope of parabolas).
+fn dt_1d(f: &[f64], d: &mut [f64], v: &mut [usize], z: &mut [f64]) {
+    let n = f.len();
+    let mut k = 0usize;
+    v[0] = 0;
+    z[0] = -1e18;
+    z[1] = 1e18;
+    for q in 1..n {
+        loop {
+            let p = v[k];
+            let s = ((f[q] + (q * q) as f64) - (f[p] + (p * p) as f64))
+                / (2.0 * q as f64 - 2.0 * p as f64);
+            if s <= z[k] {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            } else {
+                k += 1;
+                v[k] = q;
+                z[k] = s;
+                z[k + 1] = 1e18;
+                break;
+            }
+        }
+    }
+    let mut k = 0usize;
+    for (q, dq) in d.iter_mut().enumerate() {
+        while z[k + 1] < q as f64 {
+            k += 1;
+        }
+        let p = v[k];
+        let diff = q as f64 - p as f64;
+        *dq = diff * diff + f[p];
+    }
+}
+
+/// Central-difference gradient maps `(∂DT/∂u, ∂DT/∂v)` of a distance
+/// map — pre-computed per keyframe so the Jacobian's `(I_u, I_v)` terms
+/// become lookups.
+pub fn gradient_maps(dt: &DistanceMap) -> (Vec<f32>, Vec<f32>) {
+    let (w, h) = (dt.width(), dt.height());
+    let mut gx = vec![0.0f32; (w * h) as usize];
+    let mut gy = vec![0.0f32; (w * h) as usize];
+    for y in 0..h {
+        for x in 0..w {
+            let xm = x.saturating_sub(1);
+            let xp = (x + 1).min(w - 1);
+            let ym = y.saturating_sub(1);
+            let yp = (y + 1).min(h - 1);
+            let idx = (y * w + x) as usize;
+            gx[idx] = (dt.get(xp, y) - dt.get(xm, y)) / (xp - xm).max(1) as f32;
+            gy[idx] = (dt.get(x, yp) - dt.get(x, ym)) / (yp - ym).max(1) as f32;
+        }
+    }
+    (gx, gy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(mask: &[u8], w: u32, h: u32) -> Vec<f32> {
+        let mut out = vec![DistanceMap::MAX_DIST; (w * h) as usize];
+        let sites: Vec<(i64, i64)> = (0..h as i64)
+            .flat_map(|y| (0..w as i64).map(move |x| (x, y)))
+            .filter(|&(x, y)| mask[(y * w as i64 + x) as usize] != 0)
+            .collect();
+        for y in 0..h as i64 {
+            for x in 0..w as i64 {
+                let mut best = f64::INFINITY;
+                for &(sx, sy) in &sites {
+                    let d2 = ((x - sx) * (x - sx) + (y - sy) * (y - sy)) as f64;
+                    best = best.min(d2);
+                }
+                if best.is_finite() {
+                    out[(y * w as i64 + x) as usize] =
+                        (best.sqrt() as f32).min(DistanceMap::MAX_DIST);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_masks() {
+        let (w, h) = (23u32, 17u32);
+        for seed in 0..5u32 {
+            let mask: Vec<u8> = (0..w * h)
+                .map(|i| u8::from((i.wrapping_mul(2654435761).wrapping_add(seed * 997)) % 31 == 0))
+                .collect();
+            if mask.iter().all(|&m| m == 0) {
+                continue;
+            }
+            let dt = distance_transform(&mask, w, h);
+            let bf = brute_force(&mask, w, h);
+            for (i, (&got, &want)) in dt.data().iter().zip(&bf).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-4,
+                    "seed {seed} pixel {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_at_sites() {
+        let (w, h) = (10u32, 10u32);
+        let mut mask = vec![0u8; 100];
+        mask[5 * 10 + 5] = 255;
+        let dt = distance_transform(&mask, w, h);
+        assert_eq!(dt.get(5, 5), 0.0);
+        assert!((dt.get(5, 8) - 3.0).abs() < 1e-6);
+        assert!((dt.get(8, 9) - 25.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_mask_clamps_to_max() {
+        let dt = distance_transform(&[0u8; 64], 8, 8);
+        assert!(dt.data().iter().all(|&d| d == DistanceMap::MAX_DIST));
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let mut mask = vec![0u8; 64];
+        mask[0] = 1; // site at (0,0)
+        let dt = distance_transform(&mask, 8, 8);
+        let mid = dt.sample(1.5, 0.0);
+        assert!((mid - 1.5).abs() < 1e-5);
+        // clamps outside
+        let far = dt.sample(-3.0, -3.0);
+        assert_eq!(far, dt.get(0, 0));
+    }
+
+    #[test]
+    fn gradient_points_away_from_site() {
+        let mut mask = vec![0u8; 15 * 15];
+        mask[7 * 15 + 7] = 1;
+        let dt = distance_transform(&mask, 15, 15);
+        let (gx, gy) = gradient_maps(&dt);
+        // right of the site: distance increases with x
+        assert!(gx[(7 * 15 + 10) as usize] > 0.5);
+        // above the site (smaller y): distance decreases with y
+        assert!(gy[(4 * 15 + 7) as usize] < -0.5);
+    }
+}

@@ -1,0 +1,152 @@
+use std::fmt;
+
+/// Error from the small linear solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinSolveError {
+    /// The system is singular or too ill-conditioned to solve.
+    Singular,
+}
+
+impl fmt::Display for LinSolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinSolveError::Singular => write!(f, "matrix is singular or ill-conditioned"),
+        }
+    }
+}
+
+impl std::error::Error for LinSolveError {}
+
+/// Solves the symmetric 6x6 system `A x = b` by Gaussian elimination
+/// with partial pivoting.
+///
+/// This is the one step of the LM iteration the paper keeps on the CPU
+/// ("the linear solver of a small matrix of 6x6 … can hardly benefit
+/// from the parallel computing of PIM").
+///
+/// # Errors
+///
+/// Returns [`LinSolveError::Singular`] when a pivot falls below
+/// `1e-12 * max|A|` — the caller treats this as an LM solver failure
+/// (which is exactly what the paper observes with 16-bit quantized
+/// Hessians).
+pub fn solve_sym6(a: &[[f64; 6]; 6], b: &[f64; 6]) -> Result<[f64; 6], LinSolveError> {
+    let mut m = *a;
+    let mut rhs = *b;
+    let scale = m
+        .iter()
+        .flatten()
+        .fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    if !(scale.is_finite()) || scale == 0.0 {
+        return Err(LinSolveError::Singular);
+    }
+    let eps = 1e-12 * scale;
+
+    for col in 0..6 {
+        // partial pivot
+        let mut piv = col;
+        for row in col + 1..6 {
+            if m[row][col].abs() > m[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if m[piv][col].abs() < eps {
+            return Err(LinSolveError::Singular);
+        }
+        if piv != col {
+            m.swap(piv, col);
+            rhs.swap(piv, col);
+        }
+        let inv = 1.0 / m[col][col];
+        let pivot_row = m[col];
+        for row in col + 1..6 {
+            let factor = m[row][col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for (k, &pk) in pivot_row.iter().enumerate().skip(col) {
+                m[row][k] -= factor * pk;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // back substitution
+    let mut x = [0.0f64; 6];
+    for row in (0..6).rev() {
+        let mut s = rhs[row];
+        for k in row + 1..6 {
+            s -= m[row][k] * x[k];
+        }
+        x[row] = s / m[row][row];
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(LinSolveError::Singular);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(a: &[[f64; 6]; 6], x: &[f64; 6]) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                out[i] += a[i][j] * x[j];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut a = [[0.0; 6]; 6];
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(solve_sym6(&a, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        // A = L L^T with a simple lower-triangular L
+        let mut l = [[0.0f64; 6]; 6];
+        for (i, row) in l.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate().take(i + 1) {
+                *v = 1.0 + (i * 6 + j) as f64 * 0.1;
+            }
+        }
+        let mut a = [[0.0f64; 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                for (k, _) in l.iter().enumerate() {
+                    a[i][j] += l[i][k] * l[j][k];
+                }
+            }
+        }
+        let x_true = [0.5, -1.0, 2.0, 0.0, 3.5, -0.25];
+        let b = mat_vec(&a, &x_true);
+        let x = solve_sym6(&a, &b).unwrap();
+        for i in 0..6 {
+            assert!((x[i] - x_true[i]).abs() < 1e-8, "{i}");
+        }
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = [[1.0; 6]; 6]; // rank 1
+        let b = [1.0; 6];
+        assert_eq!(solve_sym6(&a, &b), Err(LinSolveError::Singular));
+        let zero = [[0.0; 6]; 6];
+        assert_eq!(solve_sym6(&zero, &b), Err(LinSolveError::Singular));
+    }
+
+    #[test]
+    fn rejects_nonfinite() {
+        let mut a = [[0.0; 6]; 6];
+        a[0][0] = f64::NAN;
+        assert!(solve_sym6(&a, &[0.0; 6]).is_err());
+    }
+}

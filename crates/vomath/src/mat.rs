@@ -1,0 +1,219 @@
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-vector of `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in the same direction; `None` for (near-)zero input.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(self * (1.0 / n))
+        }
+    }
+
+    /// Component-wise scaling.
+    #[inline]
+    pub fn scale(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        self.scale(s)
+    }
+}
+
+/// A row-major 3x3 matrix of `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Row-major entries.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// Identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Zero matrix.
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+
+    /// Creates a matrix from row-major entries.
+    #[inline]
+    pub fn from_rows(r0: [f64; 3], r1: [f64; 3], r2: [f64; 3]) -> Self {
+        Mat3 { m: [r0, r1, r2] }
+    }
+
+    /// The skew-symmetric (hat) matrix of `v`: `hat(v) * w == v × w`.
+    pub fn hat(v: Vec3) -> Mat3 {
+        Mat3::from_rows([0.0, -v.z, v.y], [v.z, 0.0, -v.x], [-v.y, v.x, 0.0])
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat3 {
+        let mut t = Mat3::ZERO;
+        for i in 0..3 {
+            for j in 0..3 {
+                t.m[i][j] = self.m[j][i];
+            }
+        }
+        t
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Matrix-matrix product.
+    pub fn mul_mat(&self, o: &Mat3) -> Mat3 {
+        let mut r = Mat3::ZERO;
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for (k, ok) in o.m.iter().enumerate() {
+                    s += self.m[i][k] * ok[j];
+                }
+                r.m[i][j] = s;
+            }
+        }
+        r
+    }
+
+    /// Scales every entry.
+    pub fn scale(&self, s: f64) -> Mat3 {
+        let mut r = *self;
+        for row in &mut r.m {
+            for v in row {
+                *v *= s;
+            }
+        }
+        r
+    }
+
+    /// Entry-wise sum.
+    pub fn add_mat(&self, o: &Mat3) -> Mat3 {
+        let mut r = *self;
+        for i in 0..3 {
+            for j in 0..3 {
+                r.m[i][j] += o.m[i][j];
+            }
+        }
+        r
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> f64 {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a.dot(b), -1.0 + 1.0 + 6.0);
+        let c = a.cross(b);
+        // orthogonal to both
+        assert!(c.dot(a).abs() < 1e-12 && c.dot(b).abs() < 1e-12);
+        assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < 1e-12);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn hat_encodes_cross_product() {
+        let v = Vec3::new(0.3, -0.7, 1.1);
+        let w = Vec3::new(2.0, 0.1, -0.4);
+        let via_hat = Mat3::hat(v).mul_vec(w);
+        let direct = v.cross(w);
+        assert!((via_hat - direct).norm() < 1e-12);
+    }
+
+    #[test]
+    fn mat_mul_and_transpose() {
+        let a = Mat3::from_rows([1.0, 2.0, 0.0], [0.0, 1.0, 3.0], [4.0, 0.0, 1.0]);
+        let id = a.mul_mat(&Mat3::IDENTITY);
+        assert_eq!(id, a);
+        let t = a.transpose();
+        assert_eq!(t.m[0][2], 4.0);
+        assert_eq!(a.trace(), 3.0);
+    }
+}

@@ -1,0 +1,353 @@
+use crate::mat::{Mat3, Vec3};
+use crate::Twist;
+
+/// A rotation in SO(3), stored as an orthonormal matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SO3 {
+    r: Mat3,
+}
+
+impl SO3 {
+    /// The identity rotation.
+    pub const IDENTITY: SO3 = SO3 { r: Mat3::IDENTITY };
+
+    /// Wraps a rotation matrix. The caller must supply an orthonormal
+    /// matrix; use [`SO3::exp`] to build rotations safely.
+    pub fn from_matrix_unchecked(r: Mat3) -> Self {
+        SO3 { r }
+    }
+
+    /// Exponential map: axis-angle vector → rotation (Rodrigues).
+    pub fn exp(w: Vec3) -> SO3 {
+        let theta = w.norm();
+        if theta < 1e-12 {
+            // second-order series keeps exp/log consistent near zero
+            let k = Mat3::hat(w);
+            let r = Mat3::IDENTITY.add_mat(&k).add_mat(&k.mul_mat(&k).scale(0.5));
+            return SO3 { r };
+        }
+        let k = Mat3::hat(w.scale(1.0 / theta));
+        let (s, c) = theta.sin_cos();
+        let r = Mat3::IDENTITY
+            .add_mat(&k.scale(s))
+            .add_mat(&k.mul_mat(&k).scale(1.0 - c));
+        SO3 { r }
+    }
+
+    /// Logarithm map: rotation → axis-angle vector.
+    pub fn log(&self) -> Vec3 {
+        let tr = self.r.trace();
+        let cos_theta = ((tr - 1.0) * 0.5).clamp(-1.0, 1.0);
+        let theta = cos_theta.acos();
+        let m = &self.r.m;
+        let axis_unscaled = Vec3::new(m[2][1] - m[1][2], m[0][2] - m[2][0], m[1][0] - m[0][1]);
+        if theta < 1e-9 {
+            return axis_unscaled.scale(0.5);
+        }
+        if (std::f64::consts::PI - theta) < 1e-6 {
+            // near pi: extract the axis from the symmetric part
+            let mut axis = Vec3::new(
+                (m[0][0] + 1.0).max(0.0).sqrt(),
+                (m[1][1] + 1.0).max(0.0).sqrt(),
+                (m[2][2] + 1.0).max(0.0).sqrt(),
+            )
+            .scale(1.0 / std::f64::consts::SQRT_2);
+            // fix signs from the off-diagonal entries
+            if m[0][1] + m[1][0] < 0.0 {
+                axis.y = -axis.y;
+            }
+            if m[0][2] + m[2][0] < 0.0 {
+                axis.z = -axis.z;
+            }
+            return axis.scale(theta / axis.norm().max(1e-12));
+        }
+        axis_unscaled.scale(theta / (2.0 * theta.sin()))
+    }
+
+    /// The rotation matrix.
+    pub fn matrix(&self) -> &Mat3 {
+        &self.r
+    }
+
+    /// Rotates a vector.
+    pub fn rotate(&self, v: Vec3) -> Vec3 {
+        self.r.mul_vec(v)
+    }
+
+    /// Composition `self ∘ other`.
+    pub fn compose(&self, other: &SO3) -> SO3 {
+        SO3 {
+            r: self.r.mul_mat(&other.r),
+        }
+    }
+
+    /// Inverse rotation (transpose).
+    pub fn inverse(&self) -> SO3 {
+        SO3 {
+            r: self.r.transpose(),
+        }
+    }
+
+    /// Unit quaternion `(w, x, y, z)` of this rotation.
+    pub fn to_quaternion(&self) -> Quaternion {
+        let m = &self.r.m;
+        let tr = self.r.trace();
+        let (w, x, y, z);
+        if tr > 0.0 {
+            let s = (tr + 1.0).sqrt() * 2.0;
+            w = 0.25 * s;
+            x = (m[2][1] - m[1][2]) / s;
+            y = (m[0][2] - m[2][0]) / s;
+            z = (m[1][0] - m[0][1]) / s;
+        } else if m[0][0] > m[1][1] && m[0][0] > m[2][2] {
+            let s = (1.0 + m[0][0] - m[1][1] - m[2][2]).sqrt() * 2.0;
+            w = (m[2][1] - m[1][2]) / s;
+            x = 0.25 * s;
+            y = (m[0][1] + m[1][0]) / s;
+            z = (m[0][2] + m[2][0]) / s;
+        } else if m[1][1] > m[2][2] {
+            let s = (1.0 + m[1][1] - m[0][0] - m[2][2]).sqrt() * 2.0;
+            w = (m[0][2] - m[2][0]) / s;
+            x = (m[0][1] + m[1][0]) / s;
+            y = 0.25 * s;
+            z = (m[1][2] + m[2][1]) / s;
+        } else {
+            let s = (1.0 + m[2][2] - m[0][0] - m[1][1]).sqrt() * 2.0;
+            w = (m[1][0] - m[0][1]) / s;
+            x = (m[0][2] + m[2][0]) / s;
+            y = (m[1][2] + m[2][1]) / s;
+            z = 0.25 * s;
+        }
+        Quaternion { w, x, y, z }
+    }
+}
+
+/// A unit quaternion `(w, x, y, z)` — used for TUM-format trajectory I/O.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quaternion {
+    /// Scalar part.
+    pub w: f64,
+    /// X imaginary part.
+    pub x: f64,
+    /// Y imaginary part.
+    pub y: f64,
+    /// Z imaginary part.
+    pub z: f64,
+}
+
+impl Quaternion {
+    /// The rotation this quaternion represents.
+    pub fn to_so3(&self) -> SO3 {
+        let Quaternion { w, x, y, z } = *self;
+        let n = (w * w + x * x + y * y + z * z).sqrt();
+        let (w, x, y, z) = (w / n, x / n, y / n, z / n);
+        let r = Mat3::from_rows(
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        );
+        SO3::from_matrix_unchecked(r)
+    }
+}
+
+/// A rigid-body transform in SE(3): `p' = R p + t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SE3 {
+    /// Rotation part.
+    pub rotation: SO3,
+    /// Translation part.
+    pub translation: Vec3,
+}
+
+impl SE3 {
+    /// The identity transform.
+    pub const IDENTITY: SE3 = SE3 {
+        rotation: SO3::IDENTITY,
+        translation: Vec3::ZERO,
+    };
+
+    /// Builds a transform from parts.
+    pub fn new(rotation: SO3, translation: Vec3) -> Self {
+        SE3 {
+            rotation,
+            translation,
+        }
+    }
+
+    /// Exponential map of a twist `[v; w]`.
+    pub fn exp(xi: &Twist) -> SE3 {
+        let v = Vec3::new(xi[0], xi[1], xi[2]);
+        let w = Vec3::new(xi[3], xi[4], xi[5]);
+        let rotation = SO3::exp(w);
+        let theta = w.norm();
+        let k = Mat3::hat(w);
+        let k2 = k.mul_mat(&k);
+        // left Jacobian V: t = V v
+        let vmat = if theta < 1e-9 {
+            Mat3::IDENTITY
+                .add_mat(&k.scale(0.5))
+                .add_mat(&k2.scale(1.0 / 6.0))
+        } else {
+            let (s, c) = theta.sin_cos();
+            Mat3::IDENTITY
+                .add_mat(&k.scale((1.0 - c) / (theta * theta)))
+                .add_mat(&k2.scale((theta - s) / (theta * theta * theta)))
+        };
+        SE3 {
+            rotation,
+            translation: vmat.mul_vec(v),
+        }
+    }
+
+    /// Logarithm map: transform → twist.
+    pub fn log(&self) -> Twist {
+        let w = self.rotation.log();
+        let theta = w.norm();
+        let k = Mat3::hat(w);
+        let k2 = k.mul_mat(&k);
+        let vinv = if theta < 1e-9 {
+            Mat3::IDENTITY
+                .add_mat(&k.scale(-0.5))
+                .add_mat(&k2.scale(1.0 / 12.0))
+        } else {
+            let half = theta * 0.5;
+            let cot = half / half.tan();
+            Mat3::IDENTITY
+                .add_mat(&k.scale(-0.5))
+                .add_mat(&k2.scale((1.0 - cot) / (theta * theta)))
+        };
+        let v = vinv.mul_vec(self.translation);
+        [v.x, v.y, v.z, w.x, w.y, w.z]
+    }
+
+    /// Applies the transform to a point.
+    pub fn transform(&self, p: Vec3) -> Vec3 {
+        self.rotation.rotate(p) + self.translation
+    }
+
+    /// Composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &SE3) -> SE3 {
+        SE3 {
+            rotation: self.rotation.compose(&other.rotation),
+            translation: self.rotation.rotate(other.translation) + self.translation,
+        }
+    }
+
+    /// Inverse transform.
+    pub fn inverse(&self) -> SE3 {
+        let rinv = self.rotation.inverse();
+        SE3 {
+            rotation: rinv,
+            translation: -rinv.rotate(self.translation),
+        }
+    }
+
+    /// Rotation angle (radians) of the transform.
+    pub fn rotation_angle(&self) -> f64 {
+        self.rotation.log().norm()
+    }
+
+    /// Translation magnitude of the transform.
+    pub fn translation_norm(&self) -> f64 {
+        self.translation.norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn so3_exp_log_roundtrip() {
+        for w in [
+            Vec3::new(0.1, -0.2, 0.3),
+            Vec3::new(1.5, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1e-10),
+            Vec3::new(-0.7, 0.9, 2.0),
+        ] {
+            let r = SO3::exp(w);
+            let w2 = r.log();
+            assert!((w - w2).norm() < 1e-9, "w={w:?} w2={w2:?}");
+        }
+    }
+
+    #[test]
+    fn so3_is_orthonormal() {
+        let r = SO3::exp(Vec3::new(0.4, -1.1, 0.2));
+        let rt_r = r.matrix().transpose().mul_mat(r.matrix());
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(close(rt_r.m[i][j], want, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn se3_exp_log_roundtrip() {
+        let xi: Twist = [0.3, -0.1, 0.5, 0.2, -0.4, 0.1];
+        let t = SE3::exp(&xi);
+        let xi2 = t.log();
+        for i in 0..6 {
+            assert!(close(xi[i], xi2[i], 1e-9), "{i}: {} vs {}", xi[i], xi2[i]);
+        }
+    }
+
+    #[test]
+    fn se3_compose_inverse_is_identity() {
+        let t = SE3::exp(&[0.2, 0.1, -0.3, 0.5, 0.0, -0.2]);
+        let id = t.compose(&t.inverse());
+        assert!(id.translation.norm() < 1e-12);
+        assert!(id.rotation_angle() < 1e-12);
+    }
+
+    #[test]
+    fn transform_matches_compose() {
+        let a = SE3::exp(&[0.1, 0.0, 0.0, 0.0, 0.3, 0.0]);
+        let b = SE3::exp(&[0.0, -0.2, 0.1, 0.1, 0.0, 0.0]);
+        let p = Vec3::new(0.5, -1.0, 2.0);
+        let via_compose = a.compose(&b).transform(p);
+        let sequential = a.transform(b.transform(p));
+        assert!((via_compose - sequential).norm() < 1e-12);
+    }
+
+    #[test]
+    fn quaternion_roundtrip() {
+        for w in [
+            Vec3::new(0.3, 0.4, -0.5),
+            Vec3::new(2.5, -1.0, 0.7),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(3.0, 0.1, 0.0), // near-pi rotation
+        ] {
+            let r = SO3::exp(w);
+            let q = r.to_quaternion();
+            let r2 = q.to_so3();
+            let diff = r.inverse().compose(&r2).log().norm();
+            assert!(diff < 1e-9, "w={w:?} diff={diff}");
+        }
+    }
+
+    #[test]
+    fn small_motion_twist_is_linear() {
+        let xi: Twist = [1e-6, 2e-6, -1e-6, 3e-7, 0.0, -2e-7];
+        let t = SE3::exp(&xi);
+        assert!(close(t.translation.x, 1e-6, 1e-12));
+        assert!(close(t.rotation_angle(), (9e-14_f64 + 4e-14).sqrt(), 1e-10));
+    }
+}

@@ -1,0 +1,73 @@
+//! Edge detection on the PIM, end to end: renders a frame, runs the
+//! optimized LPF → HPF → NMS mappings on the simulated array, prints an
+//! ASCII rendering of the edge mask, and compares the cycle bill
+//! against the naive mapping and the MCU baseline.
+//!
+//! ```sh
+//! cargo run --release --example edge_detect
+//! ```
+
+use pimvo::kernels::{pim_naive, pim_opt, EdgeConfig, GrayImage};
+use pimvo::mcu::CostCounter;
+use pimvo::pim::{ArrayConfig, PimMachine};
+use pimvo::scene::{Sequence, SequenceKind};
+
+fn ascii_render(mask: &GrayImage, cols: u32, rows: u32) {
+    let sx = mask.width() / cols;
+    let sy = mask.height() / rows;
+    for by in 0..rows {
+        let mut line = String::new();
+        for bx in 0..cols {
+            let mut n = 0;
+            for y in by * sy..(by + 1) * sy {
+                for x in bx * sx..(bx + 1) * sx {
+                    n += (mask.get(x, y) != 0) as u32;
+                }
+            }
+            line.push(match n {
+                0 => ' ',
+                1..=2 => '.',
+                3..=6 => '+',
+                _ => '#',
+            });
+        }
+        println!("{line}");
+    }
+}
+
+fn main() {
+    let seq = Sequence::generate(SequenceKind::Desk, 1);
+    let gray = &seq.frames[0].gray;
+    let cfg = EdgeConfig::default();
+
+    // optimized PIM mapping
+    let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+    let maps = pim_opt::edge_detect(&mut m, gray, &cfg);
+    let opt_cycles = m.stats().cycles;
+
+    println!("edge mask ({} edge pixels):", maps.edge_count());
+    ascii_render(&maps.mask, 80, 30);
+
+    // naive PIM mapping (identical output, more cycles)
+    let mut mn = PimMachine::new(ArrayConfig::qvga_banks(6));
+    let naive = pim_naive::edge_detect(&mut mn, gray, &cfg);
+    assert_eq!(naive.mask, maps.mask, "mappings must agree bit-for-bit");
+
+    // MCU baseline
+    let mut counter = CostCounter::new();
+    let mcu = pimvo::mcu::edge_detect_counted(gray, &cfg, &mut counter);
+    assert_eq!(mcu.mask, maps.mask);
+
+    println!();
+    println!("cycles: PIM optimized {:>10}", opt_cycles);
+    println!(
+        "        PIM naive     {:>10}  ({:.2}x)",
+        mn.stats().cycles,
+        mn.stats().cycles as f64 / opt_cycles as f64
+    );
+    println!(
+        "        MCU baseline  {:>10}  ({:.0}x slower than PIM)",
+        counter.cycles(),
+        counter.cycles() as f64 / opt_cycles as f64
+    );
+}

@@ -1,0 +1,43 @@
+//! Gyro-aided tracking — the first step toward the paper's future-work
+//! VIO: a synthetic MEMS gyroscope (with bias and noise) predicts the
+//! inter-frame rotation, warm-starting the PIM edge alignment through a
+//! whip-pan that defeats vision-only tracking.
+//!
+//! ```sh
+//! cargo run --release --example gyro_aided
+//! ```
+
+use pimvo::core::{BackendKind, Tracker, TrackerConfig};
+use pimvo::scene::{generate_imu, integrate_gyro, ImuNoise, Sequence, SequenceKind};
+
+fn main() {
+    // the fast-pan profile, consumed at 6 Hz (every 5th frame): the
+    // inter-frame rotation reaches ~20 px of image motion
+    let full = Sequence::generate(SequenceKind::Pan, 60);
+    let imu = generate_imu(SequenceKind::Pan, 2.0, 200.0, &ImuNoise::default());
+    let frames: Vec<_> = full.frames.iter().step_by(5).collect();
+
+    for use_gyro in [false, true] {
+        let mut tracker = Tracker::new(TrackerConfig::default(), BackendKind::Pim);
+        let mut worst_rot: f64 = 0.0;
+        let mut worst_t: f64 = 0.0;
+        let mut prev_time = frames[0].time;
+        for f in &frames {
+            let delta = (use_gyro && f.time > prev_time)
+                .then(|| integrate_gyro(&imu, prev_time, f.time));
+            let r = tracker.process_frame_with_gyro(&f.gray, &f.depth, delta);
+            // compare against the first-pose-aligned ground truth
+            let gt_rel = frames[0].gt_wc.inverse().compose(&f.gt_wc);
+            let err = r.pose_wc.compose(&gt_rel.inverse());
+            worst_rot = worst_rot.max(err.rotation_angle());
+            worst_t = worst_t.max(err.translation_norm());
+            prev_time = f.time;
+        }
+        println!(
+            "{}: worst rotation error {:.4} rad, worst translation error {:.4} m",
+            if use_gyro { "gyro-aided " } else { "vision-only" },
+            worst_rot,
+            worst_t
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Drive the bit-parallel SRAM-PIM machine directly: reproduces the
+//! arithmetic walk-throughs of Fig. 7 of the paper (absolute
+//! difference, branch-free min/max, shift-accumulate multiplication,
+//! restoring division) and shows the cycle/energy ledger the simulator
+//! keeps.
+//!
+//! ```sh
+//! cargo run --release --example pim_playground
+//! ```
+
+use pimvo::pim::{ArrayConfig, CostModel, LaneWidth, Operand, PimMachine, Signedness};
+use Operand::{Row, Tmp};
+
+fn main() {
+    let mut m = PimMachine::new(ArrayConfig::qvga());
+    m.set_tracing(true);
+    println!(
+        "array: {} rows x {} bits ({} lanes at 8-bit)",
+        m.config().rows,
+        m.config().row_bits,
+        m.config().lanes(LaneWidth::W8)
+    );
+    println!();
+
+    // Fig. 7-a: absolute difference |A - B|
+    m.host_write_lanes(0, &[121, 12]);
+    m.host_write_lanes(1, &[106, 22]);
+    m.abs_diff(Row(0), Row(1));
+    println!("Fig.7-a |[121,12] - [106,22]| = {:?}", &m.tmp_lanes()[..2]);
+
+    // Fig. 7-b: branch-free min/max
+    m.min(Row(0), Row(1));
+    let min2 = m.tmp_lanes()[..2].to_vec();
+    m.max(Row(0), Row(1));
+    println!(
+        "Fig.7-b min = {:?}, max = {:?}",
+        min2,
+        &m.tmp_lanes()[..2]
+    );
+
+    // Fig. 7-c: multiplication 13 x 11 = 143 (n+2 cycles at 8 bits)
+    m.host_write_lanes(2, &[13]);
+    m.host_write_lanes(3, &[11]);
+    let c0 = m.stats().cycles;
+    m.mul(Row(2), Row(3));
+    m.writeback(4);
+    println!(
+        "Fig.7-c 13 x 11 = {} in {} cycles (paper: n+2 = 10)",
+        m.host_read_lanes(4)[0],
+        m.stats().cycles - c0
+    );
+
+    // Fig. 7-d: division 15 / 6 = 2 rem 3
+    m.host_write_lanes(2, &[15]);
+    m.host_write_lanes(3, &[6]);
+    m.div(Row(2), Row(3));
+    let q = m.tmp_lanes()[0];
+    m.rem(Row(2), Row(3));
+    println!("Fig.7-d 15 / 6 = {} rem {}", q, m.tmp_lanes()[0]);
+    println!();
+
+    // a taste of the SIMD width: 320 pixel averages in one cycle
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    let a: Vec<i64> = (0..320).map(|i| (i % 251) as i64).collect();
+    let b: Vec<i64> = (0..320).map(|i| ((i * 7) % 251) as i64).collect();
+    m.host_write_lanes(10, &a);
+    m.host_write_lanes(11, &b);
+    let c1 = m.stats().cycles;
+    m.avg(Row(10), Row(11));
+    m.avg_sh(Tmp, Tmp, 1); // fused shift-average (Fig. 2's LPF step)
+    println!(
+        "320-lane 2x2 box filter step: {} cycles for 640 pixel averages",
+        m.stats().cycles - c1
+    );
+    println!();
+
+    // instruction trace (disassembly-style)
+    if let Some(trace) = m.trace() {
+        println!("last instructions:");
+        for e in trace.events().iter().rev().take(5).rev() {
+            println!("  {e}");
+        }
+        println!();
+    }
+
+    // the ledger
+    let s = m.stats();
+    let e = s.energy(&CostModel::default());
+    println!("ledger: {} cycles, {} SRAM reads, {} writes, {} Tmp accesses",
+        s.cycles, s.sram_reads, s.sram_writes, s.tmp_accesses);
+    println!(
+        "energy: {:.1} nJ (SRAM {:.0} %, datapath {:.0} %)",
+        e.total_pj() / 1e3,
+        100.0 * e.sram_share(),
+        100.0 * (1.0 - e.sram_share())
+    );
+}

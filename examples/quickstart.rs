@@ -1,0 +1,57 @@
+//! Quickstart: track a short synthetic RGB-D sequence on the simulated
+//! SRAM-PIM accelerator and print per-frame pose estimates plus the
+//! accelerator's cycle/energy bill.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pimvo::core::{BackendKind, Tracker, TrackerConfig};
+use pimvo::scene::{Sequence, SequenceKind};
+
+fn main() {
+    // 1. generate a short desk sequence (stands in for TUM fr2_desk)
+    let seq = Sequence::generate(SequenceKind::Desk, 12);
+
+    // 2. create a tracker on the PIM backend
+    let mut tracker = Tracker::new(TrackerConfig::default(), BackendKind::Pim);
+
+    // 3. feed frames and print the pose estimates
+    println!("frame | est translation (m)           | feats | iters | kf");
+    for frame in &seq.frames {
+        let r = tracker.process_frame(&frame.gray, &frame.depth);
+        let t = r.pose_wc.translation;
+        println!(
+            "{:>5} | ({:+.4}, {:+.4}, {:+.4}) | {:>5} | {:>5} | {}",
+            r.index,
+            t.x,
+            t.y,
+            t.z,
+            r.features,
+            r.iterations,
+            if r.is_keyframe { "*" } else { " " }
+        );
+    }
+
+    // 4. what did it cost on the accelerator?
+    let stats = tracker.stats();
+    println!();
+    println!(
+        "PIM cycles: {} edge + {} pose estimation over {} frames",
+        stats.edge_cycles, stats.lm_cycles, stats.frames
+    );
+    println!(
+        "energy: {:.3} mJ total ({:.3} mJ/frame)",
+        stats.energy_mj,
+        stats.energy_mj / stats.frames as f64
+    );
+    if let Some(pim) = &stats.pim {
+        let e = pim.energy(&pimvo::pim::CostModel::default());
+        println!(
+            "energy split: SRAM {:.1} %, shifter/adder {:.1} %, Tmp Reg {:.1} %",
+            100.0 * e.sram_pj / e.total_pj(),
+            100.0 * e.shifter_adder_pj / e.total_pj(),
+            100.0 * e.tmp_reg_pj / e.total_pj()
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! System-level integration of the PIM array as a *general-purpose*
+//! accelerator (the paper's §6 framing): visual odometry, CNN inference
+//! and raw kernel work time-sharing one simulated machine, with one
+//! coherent cycle/energy ledger.
+
+use pimvo::cnn::{render_shape, Shape, SmallNet};
+use pimvo::core::pim_exec::{run_batch, BATCH};
+use pimvo::core::{extract_features, Keyframe, QFeature, QPose};
+use pimvo::kernels::{pim_multireg, pim_opt, EdgeConfig};
+use pimvo::pim::{ArrayConfig, CostModel, OpClass, PimMachine};
+use pimvo::scene::{Sequence, SequenceKind};
+use pimvo::vomath::{Pinhole, SE3};
+
+#[test]
+fn one_machine_runs_vo_and_cnn_workloads() {
+    let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+    let cam = Pinhole::qvga();
+    let cfg = EdgeConfig::default();
+    let seq = Sequence::generate(SequenceKind::Desk, 1);
+    let frame = &seq.frames[0];
+
+    // 1. edge detection on the array
+    let maps = pim_opt::edge_detect(&mut m, &frame.gray, &cfg);
+    assert!(maps.edge_count() > 1000);
+
+    // 2. one pose-estimation batch on the same array (pose staging rows
+    //    live above the edge regions)
+    let features = extract_features(&maps.mask, &frame.depth, &cam, 2000, 0.3, 8.0);
+    let kf = Keyframe::build(0, SE3::IDENTITY, maps.mask.clone(), &cam);
+    let qpose = QPose::quantize(&SE3::IDENTITY);
+    let qfeats: Vec<QFeature> = features.iter().map(QFeature::quantize).collect();
+    let out = run_batch(
+        &mut m,
+        5 * 256 + 64,
+        &qfeats[..BATCH.min(qfeats.len())],
+        &qpose,
+        &kf.q_tables,
+        &cam,
+    );
+    assert!(out.valid.iter().filter(|&&v| v).count() > 40);
+
+    // 3. CNN inference in a spare bank of the same array
+    let mut net = SmallNet::untrained();
+    let _ = net.train_head(15, 5, 8);
+    let img = render_shape(Shape::Triangle, 7);
+    let pim_logits = net.forward_pim(&mut m, 4 * 256, &img);
+    assert_eq!(pim_logits, net.forward_scalar(&img), "CNN must stay exact");
+
+    // 4. one coherent ledger over all three workloads
+    let stats = m.stats();
+    assert!(stats.cycles > 20_000);
+    let energy = stats.energy(&CostModel::default());
+    assert!(energy.sram_share() > 0.7);
+    // the op mix spans image kernels, pose math and CNN layers
+    for class in [OpClass::Avg, OpClass::Mul, OpClass::Div, OpClass::Gather] {
+        assert!(
+            stats.op_histogram.get(&class).copied().unwrap_or(0) > 0,
+            "missing {class:?} in the combined workload"
+        );
+    }
+}
+
+#[test]
+fn multireg_and_single_reg_machines_agree_end_to_end() {
+    let seq = Sequence::generate(SequenceKind::Xyz, 1);
+    let cfg = EdgeConfig::default();
+
+    let mut m1 = PimMachine::new(ArrayConfig::qvga_banks(6));
+    let single = pim_opt::edge_detect(&mut m1, &seq.frames[0].gray, &cfg);
+
+    let mut m4 = PimMachine::new(ArrayConfig::qvga_banks(6));
+    m4.set_tmp_regs(pim_multireg::REGS_REQUIRED);
+    let multi = pim_multireg::edge_detect(&mut m4, &seq.frames[0].gray, &cfg);
+
+    assert_eq!(single.mask, multi.mask);
+    let e1 = m1.stats().energy(&CostModel::default());
+    let e4 = m4.stats().energy(&CostModel::default());
+    assert!(
+        e4.total_pj() < 0.7 * e1.total_pj(),
+        "multireg energy {} vs {}",
+        e4.total_pj(),
+        e1.total_pj()
+    );
+}
+
+#[test]
+fn trace_covers_a_full_edge_detection() {
+    let seq = Sequence::generate(SequenceKind::Desk, 1);
+    let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+    m.set_tracing(true);
+    let _ = pim_opt::edge_detect(&mut m, &seq.frames[0].gray, &EdgeConfig::default());
+    let trace = m.trace().expect("tracing on");
+    assert!(trace.len() > 3_000, "trace events {}", trace.len());
+    // the trace's cycle accounting must agree with the machine ledger
+    let traced_cycles: u64 = trace.events().iter().map(|e| e.cycles).sum();
+    assert_eq!(traced_cycles, m.stats().cycles);
+    let traced_writes: u64 = trace.events().iter().map(|e| e.sram_writes).sum();
+    assert_eq!(traced_writes, m.stats().sram_writes);
+}
+
+#[test]
+fn trace_ledger_agrees_on_the_multireg_pipeline_too() {
+    let seq = Sequence::generate(SequenceKind::Desk, 1);
+    let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+    m.set_tmp_regs(pim_multireg::REGS_REQUIRED);
+    m.set_tracing(true);
+    let _ = pim_multireg::edge_detect(&mut m, &seq.frames[0].gray, &EdgeConfig::default());
+    let trace = m.trace().expect("tracing on");
+    let traced_cycles: u64 = trace.events().iter().map(|e| e.cycles).sum();
+    assert_eq!(traced_cycles, m.stats().cycles);
+}
