@@ -11,8 +11,8 @@ fn machine(width: LaneWidth, sign: Signedness) -> PimMachine {
     let lanes = m.lanes();
     let a: Vec<i64> = (0..lanes as i64).map(|i| i * 3 + 1).collect();
     let b: Vec<i64> = (0..lanes as i64).map(|i| i * 7 + 2).collect();
-    m.host_write_lanes(0, &a);
-    m.host_write_lanes(1, &b);
+    m.host_write_lanes(0, &a).unwrap();
+    m.host_write_lanes(1, &b).unwrap();
     m
 }
 

@@ -1,0 +1,7 @@
+//! Experiment E12: array-scaling sweep of the sharded `PimArrayPool`
+//! (1/2/4/8 arrays, QVGA edge detection + LM linearizations).
+
+fn main() {
+    let (_, report) = pimvo_bench::reports::scaling();
+    print!("{report}");
+}

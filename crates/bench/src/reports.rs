@@ -561,6 +561,9 @@ pub fn all(frames: usize) -> String {
     out.push_str(&pyramid_ablation());
     out.push('\n');
     out.push_str(&area());
+    out.push('\n');
+    let (_, sc) = scaling();
+    out.push_str(&sc);
     out
 }
 
@@ -770,4 +773,124 @@ pub fn noise_sweep(frames: usize) -> String {
     )
     .unwrap();
     out
+}
+
+/// One point of the array-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Pool size (number of PIM arrays).
+    pub arrays: usize,
+    /// Edge-detection wall cycles for one QVGA frame.
+    pub edge_wall: u64,
+    /// Pose-estimation wall cycles for [`LM_ITERS`] LM iterations.
+    pub lm_wall: u64,
+    /// Total energy in mJ (the compute work is conserved — only the
+    /// wall clock shrinks with more arrays).
+    pub energy_mj: f64,
+    /// Whether every output is bit-identical to the single-array run.
+    pub identical: bool,
+}
+
+/// Array-scaling experiment: the sharded [`pimvo_pim::PimArrayPool`]
+/// on 1/2/4/8 arrays running QVGA edge detection plus [`LM_ITERS`] LM
+/// linearizations. Wall cycles per phase are the slowest shard plus
+/// the inter-array sync overhead; outputs must stay bit-identical to
+/// the single-array execution.
+pub fn scaling() -> (Vec<ScalingPoint>, String) {
+    use pimvo_core::{PimBackend, TrackerBackend};
+
+    let (gray, depth) = canonical_frame();
+    let cam = Pinhole::qvga();
+    let cfg = EdgeConfig::default();
+    let pose = SE3::exp(&[0.01, -0.005, 0.008, 0.002, -0.004, 0.001]);
+
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    let mut reference: Option<(pimvo_kernels::EdgeMaps, usize, f64)> = None;
+    for arrays in [1usize, 2, 4, 8] {
+        let mut be = PimBackend::with_pool(arrays);
+        let maps = be.detect_edges(&gray, &cfg);
+        let features = extract_features(&maps.mask, &depth, &cam, 6000, 0.3, 8.0);
+        let kf = Keyframe::build(0, SE3::IDENTITY, maps.mask.clone(), &cam);
+        let mut eq = None;
+        for _ in 0..LM_ITERS {
+            eq = Some(be.linearize(&features, &kf, &cam, &pose));
+        }
+        let eq = eq.expect("at least one LM iteration");
+        let stats = be.stats();
+        let identical = match &reference {
+            None => {
+                reference = Some((maps, eq.count, eq.cost));
+                true
+            }
+            Some((rm, rc, rcost)) => *rm == maps && *rc == eq.count && *rcost == eq.cost,
+        };
+        points.push(ScalingPoint {
+            arrays,
+            edge_wall: stats.edge_cycles,
+            lm_wall: stats.lm_cycles,
+            energy_mj: stats.energy_mj,
+            identical,
+        });
+    }
+
+    let total0 = points[0].edge_wall + points[0].lm_wall;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Array scaling: sharded PimArrayPool (QVGA edge detection + {LM_ITERS} LM iterations)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:<7} {:>12} {:>12} {:>12} {:>8} {:>12} {:>10}",
+        "arrays", "edge wall", "LM wall", "total wall", "speedup", "energy (mJ)", "identical"
+    )
+    .unwrap();
+    for p in &points {
+        let total = p.edge_wall + p.lm_wall;
+        writeln!(
+            out,
+            "  {:<7} {:>12} {:>12} {:>12} {:>7.2}x {:>12.4} {:>10}",
+            p.arrays,
+            fmt_cycles(p.edge_wall),
+            fmt_cycles(p.lm_wall),
+            fmt_cycles(total),
+            total0 as f64 / total as f64,
+            p.energy_mj,
+            if p.identical { "yes" } else { "NO" }
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  (wall = slowest shard per phase + {} sync cycles per barrier; compute work,\n   energy and outputs are conserved — only elapsed time shrinks)",
+        CostModel::default().pool_sync_cycles
+    )
+    .unwrap();
+    (points, out)
+}
+
+#[cfg(test)]
+mod scaling_tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_monotone_and_bit_identical() {
+        let (points, _) = scaling();
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.identical, "{} arrays diverged from single-array", p.arrays);
+        }
+        for w in points.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            assert!(
+                b.edge_wall + b.lm_wall < a.edge_wall + a.lm_wall,
+                "total wall cycles must shrink: {} arrays {} vs {} arrays {}",
+                a.arrays,
+                a.edge_wall + a.lm_wall,
+                b.arrays,
+                b.edge_wall + b.lm_wall
+            );
+        }
+    }
 }

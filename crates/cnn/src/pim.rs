@@ -84,7 +84,7 @@ impl<'m> PimCnn<'m> {
         self.machine.set_lanes(LaneWidth::W32, Signedness::Signed);
         for y in 0..map.height() {
             let lanes: Vec<i64> = (0..map.width()).map(|x| map.get(x, y) as i64).collect();
-            self.machine.host_write_lanes(base + y as usize, &lanes);
+            self.machine.host_write_lanes(base + y as usize, &lanes).expect("host I/O row in range");
         }
     }
 
@@ -115,12 +115,12 @@ impl<'m> PimCnn<'m> {
         // broadcast constants once per layer (host I/O)
         for (ky, wrow) in conv.weights.iter().enumerate() {
             for (kx, &wt) in wrow.iter().enumerate() {
-                m.host_broadcast(rows.r(CnnRows::WEIGHTS + 3 * ky + kx), wt as i64);
+                m.host_broadcast(rows.r(CnnRows::WEIGHTS + 3 * ky + kx), wt as i64).expect("host I/O row in range");
             }
         }
-        m.host_broadcast(rows.r(CnnRows::BIAS), conv.bias as i64);
-        m.host_broadcast(rows.r(CnnRows::ZERO), 0);
-        m.host_broadcast(rows.r(CnnRows::C255), 255);
+        m.host_broadcast(rows.r(CnnRows::BIAS), conv.bias as i64).expect("host I/O row in range");
+        m.host_broadcast(rows.r(CnnRows::ZERO), 0).expect("host I/O row in range");
+        m.host_broadcast(rows.r(CnnRows::C255), 255).expect("host I/O row in range");
 
         for y in 0..h as i64 {
             // acc starts at the bias
@@ -200,14 +200,14 @@ impl<'m> PimCnn<'m> {
         let m = &mut *self.machine;
         m.set_lanes(LaneWidth::W32, Signedness::Signed);
         let in_lanes: Vec<i64> = input.iter().map(|&v| v as i64).collect();
-        m.host_write_lanes(rows.r(CnnRows::INPUT), &in_lanes);
+        m.host_write_lanes(rows.r(CnnRows::INPUT), &in_lanes).expect("host I/O row in range");
         layer
             .weights
             .iter()
             .zip(&layer.bias)
             .map(|(wrow, &b)| {
                 let w_lanes: Vec<i64> = wrow.iter().map(|&w| w as i64).collect();
-                m.host_write_lanes(rows.r(CnnRows::SHIFTED), &w_lanes);
+                m.host_write_lanes(rows.r(CnnRows::SHIFTED), &w_lanes).expect("host I/O row in range");
                 m.mul_signed(Row(rows.r(CnnRows::INPUT)), Row(rows.r(CnnRows::SHIFTED)));
                 b as i64 + m.reduce_sum()
             })

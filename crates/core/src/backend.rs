@@ -5,13 +5,13 @@
 use crate::feature::Feature;
 use crate::hessian::QNormalEquations;
 use crate::keyframe::Keyframe;
-use crate::pim_exec::{self, BATCH};
+use crate::pim_exec::{self, BatchOptions, BatchRunner, BATCH};
 use crate::quant::{Interp, QFeature, QKeyframe, QPose};
 use crate::warp::project_q;
 use crate::jacobian::jacobian_q;
-use pimvo_kernels::{pim_opt, EdgeConfig, EdgeMaps, GrayImage};
+use pimvo_kernels::{pim_pool, EdgeConfig, EdgeMaps, GrayImage};
 use pimvo_mcu::{CostCounter, FloatFeature};
-use pimvo_pim::{ArrayConfig, EnergyBreakdown, ExecStats, MemAccessBreakdown, PimMachine};
+use pimvo_pim::{EnergyBreakdown, ExecStats, MemAccessBreakdown, PimArrayPool, PimMachine};
 use pimvo_vomath::{NormalEquations, Pinhole, SE3};
 
 /// Which backend drives the tracker.
@@ -166,15 +166,19 @@ impl TrackerBackend for FloatBackend {
 
 /// The PIM-accelerated backend.
 ///
-/// Edge detection executes on the simulated array for real. Pose
-/// estimation evaluates the quantized pipeline with the fast scalar
-/// path (bit-identical to the machine execution — property-tested in
-/// [`crate::pim_exec`]) and charges cycles/energy from a machine-traced
-/// calibration batch scaled by the batch count, which is exact because
-/// the instruction sequence is data-independent.
+/// Edge detection executes on the simulated array pool for real
+/// ([`pimvo_kernels::pim_pool`] shards image strips across the arrays).
+/// Pose estimation evaluates the quantized pipeline with the fast
+/// scalar path (bit-identical to the machine execution —
+/// property-tested in [`crate::pim_exec`]) and charges cycles/energy
+/// from a machine-traced calibration batch scaled by the batch count,
+/// which is exact because the instruction sequence is
+/// data-independent. With a multi-array pool the wall-clock charge per
+/// linearization drops to `ceil(batches / arrays)` barrier sections of
+/// one batch cost plus the inter-array sync overhead, while the summed
+/// energy stays that of all batches.
 pub struct PimBackend {
-    machine: PimMachine,
-    interp: Interp,
+    runner: BatchRunner,
     /// Per-batch calibration trace (lazy).
     batch_trace: Option<ExecStats>,
     edge_cycles: u64,
@@ -186,21 +190,41 @@ pub struct PimBackend {
 }
 
 impl PimBackend {
-    /// Scratch base row for the pose-estimation stage (above the
-    /// edge-detection regions).
-    const POSE_BASE: usize = 5 * 256 + 64;
-
-    /// Creates the PIM backend with a 6-bank QVGA array.
+    /// Creates the PIM backend with a single 6-bank QVGA array.
     pub fn new() -> Self {
-        Self::with_interp(Interp::Bilinear)
+        Self::with_options(BatchOptions::default())
     }
 
     /// Creates the backend with an explicit residual-interpolation
     /// mode (the lookup ablation).
     pub fn with_interp(interp: Interp) -> Self {
-        PimBackend {
-            machine: PimMachine::new(ArrayConfig::qvga_banks(6)),
+        Self::with_options(BatchOptions {
             interp,
+            ..Default::default()
+        })
+    }
+
+    /// Creates the backend with a pool of `n` arrays: edge-detection
+    /// strips and LM feature batches are sharded across them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_pool(n: usize) -> Self {
+        Self::with_options(BatchOptions {
+            pool: n,
+            ..Default::default()
+        })
+    }
+
+    /// Creates the backend from full [`BatchOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.pool` is zero.
+    pub fn with_options(options: BatchOptions) -> Self {
+        PimBackend {
+            runner: BatchRunner::new(options),
             batch_trace: None,
             edge_cycles: 0,
             lm_cycles: 0,
@@ -210,9 +234,18 @@ impl PimBackend {
         }
     }
 
-    /// Access to the underlying machine (stats inspection).
+    /// Access to the first underlying machine (stats inspection).
     pub fn machine(&self) -> &PimMachine {
-        &self.machine
+        self.runner.pool().array(0)
+    }
+
+    /// Access to the underlying array pool.
+    pub fn pool(&self) -> &PimArrayPool {
+        self.runner.pool()
+    }
+
+    fn interp(&self) -> Interp {
+        self.runner.options().interp
     }
 
     /// Traces one calibration batch to learn the per-batch cost.
@@ -220,7 +253,10 @@ impl PimBackend {
         if let Some(t) = &self.batch_trace {
             return t.clone();
         }
-        let before = self.machine.stats().clone();
+        let interp = self.interp();
+        let base_row = self.runner.base_row();
+        let m = self.runner.pool_mut().array_mut(0);
+        let before = m.stats().clone();
         // dummy features: the op sequence (and therefore the cost) is
         // data-independent
         let feats = vec![
@@ -232,19 +268,11 @@ impl PimBackend {
             };
             BATCH
         ];
-        let _ = pim_exec::run_batch_with(
-            &mut self.machine,
-            Self::POSE_BASE,
-            &feats,
-            pose,
-            kf,
-            cam,
-            self.interp,
-        );
-        let delta = self.machine.stats().since(&before);
+        let _ = pim_exec::run_batch_with(m, base_row, &feats, pose, kf, cam, interp);
+        let delta = m.stats().since(&before);
         // the calibration run itself should not count toward the
         // workload totals
-        self.machine.retract_stats(&delta);
+        m.retract_stats(&delta);
         self.batch_trace = Some(delta.clone());
         delta
     }
@@ -258,17 +286,17 @@ impl Default for PimBackend {
 
 impl TrackerBackend for PimBackend {
     fn detect_edges(&mut self, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
-        let before = self.machine.stats().cycles;
-        let maps = pim_opt::edge_detect(&mut self.machine, img, cfg);
-        self.edge_cycles += self.machine.stats().cycles - before;
+        let before = self.runner.pool().wall_cycles();
+        let maps = pim_pool::edge_detect(self.runner.pool_mut(), img, cfg);
+        self.edge_cycles += self.runner.pool().wall_cycles() - before;
         self.frames += 1;
         maps
     }
 
     fn downsample(&mut self, img: &GrayImage) -> GrayImage {
-        let before = self.machine.stats().cycles;
-        let out = pim_opt::downsample2x(&mut self.machine, img);
-        self.edge_cycles += self.machine.stats().cycles - before;
+        let before = self.runner.pool().wall_cycles();
+        let out = pim_pool::downsample2x(self.runner.pool_mut(), img);
+        self.edge_cycles += self.runner.pool().wall_cycles() - before;
         out
     }
 
@@ -290,7 +318,7 @@ impl TrackerBackend for PimBackend {
             let Some(w) = project_q(&qf, &qpose, cam) else {
                 continue;
             };
-            let Some((r, gu, gv)) = qkf.lookup_with(w.u_raw, w.v_raw, self.interp) else {
+            let Some((r, gu, gv)) = qkf.lookup_with(w.u_raw, w.v_raw, self.interp()) else {
                 continue;
             };
             let j = jacobian_q(w.qx, w.qy, w.iz_real, gu as i64, gv as i64);
@@ -299,21 +327,30 @@ impl TrackerBackend for PimBackend {
         }
         let _ = valid;
 
-        // cost accounting: calibrated per-batch trace x batch count
+        // cost accounting: calibrated per-batch trace x batch count.
+        // Energy / op totals cover every batch; the wall-clock charge is
+        // one batch cost per barrier section of `pool` parallel batches
+        // (plus the inter-array sync when the pool is sharded).
         let trace = self.batch_cost(qkf, &qpose, cam);
         let batches = features.len().div_ceil(BATCH) as u64;
-        let scaled = trace.scaled(batches);
-        self.lm_cycles += scaled.cycles;
-        self.scaled.merge(&scaled);
+        let n = self.runner.pool().len() as u64;
+        let sections = batches.div_ceil(n);
+        let sync = if n > 1 {
+            self.runner.pool().sync_cycles()
+        } else {
+            0
+        };
+        self.lm_cycles += sections * (trace.cycles + sync);
+        self.scaled.merge(&trace.scaled(batches));
         self.lm_iterations += 1;
 
         eq.to_normal_equations()
     }
 
     fn stats(&self) -> BackendStats {
-        let mut pim = self.machine.stats().clone();
+        let mut pim = self.runner.pool().merged_stats();
         pim.merge(&self.scaled);
-        let energy = pim.energy(self.machine.cost_model());
+        let energy = pim.energy(self.machine().cost_model());
         BackendStats {
             edge_cycles: self.edge_cycles,
             lm_cycles: self.lm_cycles,
@@ -325,7 +362,7 @@ impl TrackerBackend for PimBackend {
     }
 
     fn reset_stats(&mut self) {
-        self.machine.reset_stats();
+        self.runner.pool_mut().reset_stats();
         self.scaled = ExecStats::new();
         self.edge_cycles = 0;
         self.lm_cycles = 0;
@@ -337,6 +374,7 @@ impl TrackerBackend for PimBackend {
 impl std::fmt::Debug for PimBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PimBackend")
+            .field("arrays", &self.runner.pool().len())
             .field("edge_cycles", &self.edge_cycles)
             .field("lm_cycles", &self.lm_cycles)
             .field("calibrated", &self.batch_trace.is_some())
@@ -416,6 +454,44 @@ mod tests {
         assert!(sf.edge_cycles > 20 * sp.edge_cycles, "edge speedup");
         assert!(sf.lm_cycles > 3 * sp.lm_cycles, "LM speedup");
         assert!(sp.pim.is_some());
+    }
+
+    #[test]
+    fn pooled_backend_matches_single_array_and_is_faster() {
+        let (gray, depth) = synthetic_frame();
+        let cam = Pinhole::qvga();
+        let cfg = EdgeConfig::default();
+
+        let mut p1 = PimBackend::new();
+        let mut p4 = PimBackend::with_pool(4);
+        let maps1 = p1.detect_edges(&gray, &cfg);
+        let maps4 = p4.detect_edges(&gray, &cfg);
+        assert_eq!(maps1.mask, maps4.mask, "pooling must not change the maps");
+        assert_eq!(maps1.lpf, maps4.lpf);
+        assert_eq!(maps1.hpf, maps4.hpf);
+
+        let kf = keyframe_from(&maps1);
+        let feats =
+            crate::feature::extract_features(&maps1.mask, &depth, &cam, 4000, 0.3, 8.0);
+        let pose = SE3::exp(&[0.01, -0.005, 0.008, 0.002, -0.004, 0.001]);
+        let eq1 = p1.linearize(&feats, &kf, &cam, &pose);
+        let eq4 = p4.linearize(&feats, &kf, &cam, &pose);
+        assert_eq!(eq1.count, eq4.count);
+        assert_eq!(eq1.cost, eq4.cost);
+
+        let (s1, s4) = (p1.stats(), p4.stats());
+        assert!(
+            s4.edge_cycles < s1.edge_cycles,
+            "edge wall cycles must shrink: {} vs {}",
+            s4.edge_cycles,
+            s1.edge_cycles
+        );
+        assert!(
+            s4.lm_cycles < s1.lm_cycles,
+            "LM wall cycles must shrink: {} vs {}",
+            s4.lm_cycles,
+            s1.lm_cycles
+        );
     }
 
     #[test]

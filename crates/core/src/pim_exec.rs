@@ -30,13 +30,155 @@
 
 use crate::hessian::{tri_idx, QNormalEquations};
 use crate::quant::{Interp, QFeature, QKeyframe, QPose, PIX_FRAC, POSE_FRAC, RATIO_FRAC};
-use pimvo_pim::{LaneWidth, Operand, PimMachine, Signedness};
+use pimvo_pim::{
+    ArrayConfig, LaneWidth, Operand, PimArrayPool, PimMachine, PimMachineBuilder, Signedness,
+};
 use pimvo_vomath::Pinhole;
 
 use Operand::{Row, Tmp};
 
 /// Features per machine batch (32-bit lanes per word line).
 pub const BATCH: usize = 80;
+
+/// Default scratch base row for the pose-estimation stage: in the
+/// scratch bank, above the edge-detection regions.
+pub const POSE_BASE: usize = 5 * 256 + 64;
+
+/// Which machine mapping evaluates a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMapping {
+    /// The paper's optimized schedule: Tmp-Reg chaining, the Fig. 5-d
+    /// shared-subexpression pipeline and packed gathers.
+    #[default]
+    Opt,
+    /// The naive mapping of Fig. 9-b's `LM*` group: identical values,
+    /// but every intermediate round-trips through SRAM, shared terms
+    /// are recomputed and gathers are unpacked.
+    Naive,
+}
+
+/// Options of a [`BatchRunner`]: mapping, residual interpolation and
+/// pool size in one place.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Machine mapping (optimized or naive schedule).
+    pub mapping: BatchMapping,
+    /// Residual-interpolation mode of the keyframe lookup.
+    pub interp: Interp,
+    /// Number of PIM arrays batches are sharded across.
+    pub pool: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            mapping: BatchMapping::Opt,
+            interp: Interp::Bilinear,
+            pool: 1,
+        }
+    }
+}
+
+/// Unified submission front end for the pose-estimation pipeline.
+///
+/// The runner owns a [`PimArrayPool`] and executes whole feature sets:
+/// [`BatchRunner::submit`] splits the features into [`BATCH`]-sized
+/// chunks and shards them across the pool's arrays in sections of
+/// `pool` batches, one pool barrier per section. The legacy free
+/// functions [`run_batch`], [`run_batch_with`] and [`run_batch_naive`]
+/// are thin wrappers over the same single-batch core.
+///
+/// ```
+/// use pimvo_core::pim_exec::{BatchOptions, BatchRunner};
+///
+/// let runner = BatchRunner::new(BatchOptions { pool: 2, ..Default::default() });
+/// assert_eq!(runner.pool().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct BatchRunner {
+    pool: PimArrayPool,
+    base_row: usize,
+    options: BatchOptions,
+}
+
+impl BatchRunner {
+    /// Creates a runner over `options.pool` six-bank QVGA arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.pool` is zero.
+    pub fn new(options: BatchOptions) -> Self {
+        Self::from_builder(&PimMachine::builder(ArrayConfig::qvga_banks(6)), options)
+    }
+
+    /// Creates a runner whose arrays are stamped from an explicit
+    /// builder configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.pool` is zero.
+    pub fn from_builder(builder: &PimMachineBuilder, options: BatchOptions) -> Self {
+        BatchRunner {
+            pool: builder.build_pool(options.pool),
+            base_row: POSE_BASE,
+            options,
+        }
+    }
+
+    /// Overrides the scratch base row (default [`POSE_BASE`]).
+    pub fn with_base_row(mut self, base_row: usize) -> Self {
+        self.base_row = base_row;
+        self
+    }
+
+    /// The runner's options.
+    pub fn options(&self) -> &BatchOptions {
+        &self.options
+    }
+
+    /// The scratch base row batches stage through.
+    pub fn base_row(&self) -> usize {
+        self.base_row
+    }
+
+    /// Shared view of the underlying array pool.
+    pub fn pool(&self) -> &PimArrayPool {
+        &self.pool
+    }
+
+    /// Exclusive access to the underlying array pool (edge kernels,
+    /// calibration, stats reset).
+    pub fn pool_mut(&mut self) -> &mut PimArrayPool {
+        &mut self.pool
+    }
+
+    /// Executes a whole feature set: chunks of [`BATCH`] features are
+    /// sharded across the pool's arrays, one parallel phase per section
+    /// of `pool.len()` batches. Returns the per-batch outputs in
+    /// feature order — bit-identical to running the chunks sequentially
+    /// on a single array.
+    pub fn submit(
+        &mut self,
+        feats: &[QFeature],
+        pose: &QPose,
+        kf: &QKeyframe,
+        cam: &Pinhole,
+    ) -> Vec<BatchOutput> {
+        let chunks: Vec<&[QFeature]> = feats.chunks(BATCH).collect();
+        let n = self.pool.len();
+        let (base_row, opts) = (self.base_row, self.options);
+        let mut outputs = Vec::with_capacity(chunks.len());
+        for section in chunks.chunks(n) {
+            let results = self.pool.run_phase(|i, m| {
+                section
+                    .get(i)
+                    .map(|c| exec_batch(m, base_row, c, pose, kf, cam, opts.interp, opts.mapping))
+            });
+            outputs.extend(results.into_iter().flatten());
+        }
+        outputs
+    }
+}
 
 /// Row allocation for the pose-estimation stage (in the scratch bank,
 /// above the edge-detection regions).
@@ -118,6 +260,7 @@ pub struct BatchOutput {
 ///
 /// Panics if more than [`BATCH`] features are supplied or the machine
 /// lacks `base_row + 40` rows.
+#[inline]
 pub fn run_batch(
     m: &mut PimMachine,
     base_row: usize,
@@ -126,7 +269,7 @@ pub fn run_batch(
     kf: &QKeyframe,
     cam: &Pinhole,
 ) -> BatchOutput {
-    run_batch_with(m, base_row, feats, pose, kf, cam, Interp::Bilinear)
+    exec_batch(m, base_row, feats, pose, kf, cam, Interp::Bilinear, BatchMapping::Opt)
 }
 
 /// [`run_batch`] with an explicit residual-interpolation mode.
@@ -134,6 +277,7 @@ pub fn run_batch(
 /// # Panics
 ///
 /// Same conditions as [`run_batch`].
+#[inline]
 pub fn run_batch_with(
     m: &mut PimMachine,
     base_row: usize,
@@ -142,6 +286,23 @@ pub fn run_batch_with(
     kf: &QKeyframe,
     cam: &Pinhole,
     interp: Interp,
+) -> BatchOutput {
+    exec_batch(m, base_row, feats, pose, kf, cam, interp, BatchMapping::Opt)
+}
+
+/// Single-batch core behind [`BatchRunner`] and the `run_batch*`
+/// wrappers: executes one chunk of ≤ [`BATCH`] features with the given
+/// interpolation and mapping.
+#[allow(clippy::too_many_arguments)]
+fn exec_batch(
+    m: &mut PimMachine,
+    base_row: usize,
+    feats: &[QFeature],
+    pose: &QPose,
+    kf: &QKeyframe,
+    cam: &Pinhole,
+    interp: Interp,
+    mapping: BatchMapping,
 ) -> BatchOutput {
     assert!(feats.len() <= BATCH, "batch too large: {}", feats.len());
     assert!(
@@ -157,24 +318,24 @@ pub fn run_batch_with(
     let av: Vec<i64> = feats.iter().map(|f| f.a as i64).collect();
     let bv: Vec<i64> = feats.iter().map(|f| f.b as i64).collect();
     let cv: Vec<i64> = feats.iter().map(|f| f.c as i64).collect();
-    m.host_write_lanes(rows.r(PoseRows::A), &av);
-    m.host_write_lanes(rows.r(PoseRows::B), &bv);
-    m.host_write_lanes(rows.r(PoseRows::C), &cv);
-    m.host_broadcast(rows.r(PoseRows::ONE), 1 << ff);
+    m.host_write_lanes(rows.r(PoseRows::A), &av).expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::B), &bv).expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::C), &cv).expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::ONE), 1 << ff).expect("host I/O row in range");
     for (k, &r) in pose.r.iter().enumerate() {
-        m.host_broadcast(rows.r(PoseRows::POSE0 + k), r as i64);
+        m.host_broadcast(rows.r(PoseRows::POSE0 + k), r as i64).expect("host I/O row in range");
     }
     // the homogeneous rotation column r*2 is pre-shifted by the host to
     // the warp accumulator format (a per-iteration constant)
     for (k, &t) in pose.t.iter().enumerate() {
-        m.host_broadcast(rows.r(PoseRows::POSE0 + 9 + k), t as i64);
+        m.host_broadcast(rows.r(PoseRows::POSE0 + 9 + k), t as i64).expect("host I/O row in range");
     }
     let f_q = (cam.f * (1 << PIX_FRAC) as f64).round() as i64;
     let cx_q = (cam.cx * (1 << PIX_FRAC) as f64).round() as i64;
     let cy_q = (cam.cy * (1 << PIX_FRAC) as f64).round() as i64;
-    m.host_broadcast(rows.r(PoseRows::CONST_F), f_q);
-    m.host_broadcast(rows.r(PoseRows::CONST_CX), cx_q);
-    m.host_broadcast(rows.r(PoseRows::CONST_CY), cy_q);
+    m.host_broadcast(rows.r(PoseRows::CONST_F), f_q).expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::CONST_CX), cx_q).expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::CONST_CY), cy_q).expect("host I/O row in range");
 
     // ---- warp: X/Y/Z = r0*a + r1*b + r2*1 + t*c (Fig. 5-b) -------------
     let warp_coord = |m: &mut PimMachine, r0: usize, r1: usize, r2: usize, t: usize, dst: usize| {
@@ -221,8 +382,8 @@ pub fn run_batch_with(
     // are masked, branch-free), combined with a low-half constant so the
     // 32-bit-stored Q14.2 values reinterpret cleanly as 16-bit lanes in
     // the Hessian stage
-    m.host_broadcast(rows.r(PoseRows::SCRATCH), 0);
-    m.host_broadcast(rows.r(PoseRows::LOWHALF), 0xFFFF);
+    m.host_broadcast(rows.r(PoseRows::SCRATCH), 0).expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::LOWHALF), 0xFFFF).expect("host I/O row in range");
     m.cmp_gt(Row(rows.r(PoseRows::Z12)), Row(rows.r(PoseRows::SCRATCH)));
     m.logic(
         pimvo_pim::LogicFunc::And,
@@ -234,7 +395,7 @@ pub fn run_batch_with(
     // ---- residual / gradient gather (host-addressed) -------------------
     if interp == Interp::Bilinear {
         // fractional weights wu, wv (Q0.6): a single AND with 0x3F
-        m.host_broadcast(rows.r(PoseRows::SCRATCH), (1 << PIX_FRAC) - 1);
+        m.host_broadcast(rows.r(PoseRows::SCRATCH), (1 << PIX_FRAC) - 1).expect("host I/O row in range");
         m.logic(
             pimvo_pim::LogicFunc::And,
             Row(rows.r(PoseRows::U)),
@@ -304,16 +465,16 @@ pub fn run_batch_with(
     // interleaved gradients); nearest: two (DT + gradients)
     charge_gather(m, n, if interp == Interp::Bilinear { 3 } else { 2 });
     m.set_lanes(LaneWidth::W32, Signedness::Signed);
-    m.host_write_lanes(rows.r(PoseRows::D00), &d00);
-    m.host_write_lanes(rows.r(PoseRows::D10), &d10);
-    m.host_write_lanes(rows.r(PoseRows::D01), &d01);
-    m.host_write_lanes(rows.r(PoseRows::D11), &d11);
-    m.host_write_lanes(rows.r(PoseRows::GU), &gu);
-    m.host_write_lanes(rows.r(PoseRows::GV), &gv);
+    m.host_write_lanes(rows.r(PoseRows::D00), &d00).expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::D10), &d10).expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::D01), &d01).expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::D11), &d11).expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::GU), &gu).expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::GV), &gv).expect("host I/O row in range");
 
     if interp == Interp::Nearest {
         // the gathered values are the residuals; place them in RES
-        m.host_write_lanes(rows.r(PoseRows::RES), &d00);
+        m.host_write_lanes(rows.r(PoseRows::RES), &d00).expect("host I/O row in range");
         m.load(Row(rows.r(PoseRows::RES)));
         m.writeback(rows.r(PoseRows::RES));
     }
@@ -468,6 +629,10 @@ pub fn run_batch_with(
     let hess = m.stats().since(&before);
     m.retract_stats(&hess.scaled_div(2));
 
+    if mapping == BatchMapping::Naive {
+        charge_naive_extras(m, feats.len());
+    }
+
     BatchOutput {
         u_raw: u_raw[..n].to_vec(),
         v_raw: v_raw[..n].to_vec(),
@@ -516,6 +681,7 @@ fn charge_gather(m: &mut PimMachine, lanes: usize, tables: usize) {
 /// # Panics
 ///
 /// Same conditions as [`run_batch`].
+#[inline]
 pub fn run_batch_naive(
     m: &mut PimMachine,
     base_row: usize,
@@ -524,25 +690,28 @@ pub fn run_batch_naive(
     kf: &QKeyframe,
     cam: &Pinhole,
 ) -> BatchOutput {
-    // correctness comes from the optimized path (the values are
-    // identical by construction); the naive schedule is modeled by
-    // charging the extra staging on top of a real optimized run
-    let out = run_batch(m, base_row, feats, pose, kf, cam);
+    exec_batch(m, base_row, feats, pose, kf, cam, Interp::Bilinear, BatchMapping::Naive)
+}
 
-    // Extra cost of the naive schedule, derived from the op sequence:
-    //  * no shared-subexpression pipeline (Fig. 5-d): the s term is
-    //    recomputed for J3/J4/J5 (3 x (2 muls + shift + add) at W32)
-    //    and the inverse-depth division is recomputed for J2/J3
-    //    (2 extra 32-bit fractional divisions);
-    //  * no Tmp-Reg chaining: the 14 chained intermediate results and
-    //    the 3 lerp stages round-trip through SRAM;
-    //  * no gather packing: the DT corners and gradients are fetched
-    //    with one serialized access per element (6/feature instead of
-    //    the packed 3/feature).
+/// Charges the extra cost of the naive schedule, derived from the op
+/// sequence (correctness comes from the optimized path — the values are
+/// identical by construction, so the naive schedule is modeled by
+/// charging the extra staging on top of a real optimized run):
+///
+///  * no shared-subexpression pipeline (Fig. 5-d): the s term is
+///    recomputed for J3/J4/J5 (3 x (2 muls + shift + add) at W32)
+///    and the inverse-depth division is recomputed for J2/J3
+///    (2 extra 32-bit fractional divisions);
+///  * no Tmp-Reg chaining: the 14 chained intermediate results and
+///    the 3 lerp stages round-trip through SRAM;
+///  * no gather packing: the DT corners and gradients are fetched
+///    with one serialized access per element (6/feature instead of
+///    the packed 3/feature).
+fn charge_naive_extras(m: &mut PimMachine, n_feats: usize) {
     let s_recompute = 3 * (2 * 38 + 2);
     let div_recompute = 2 * 50;
     let roundtrips = (14 + 3) * 2;
-    let unpacked_gathers = 3 * feats.len() as u64;
+    let unpacked_gathers = 3 * n_feats as u64;
     let mut extra = pimvo_pim::ExecStats::new();
     extra.cycles = s_recompute + div_recompute + roundtrips + unpacked_gathers;
     extra.sram_writes = 17;
@@ -550,7 +719,6 @@ pub fn run_batch_naive(
     extra.acc_ops = s_recompute + div_recompute + roundtrips;
     extra.tmp_accesses = extra.acc_ops + unpacked_gathers;
     m.merge_extra_stats(&extra);
-    out
 }
 
 #[cfg(test)]
@@ -716,6 +884,77 @@ mod tests {
             mn.stats().cycles,
             mb.stats().cycles
         );
+    }
+
+    #[test]
+    fn sharded_submit_matches_sequential_batches() {
+        let cam = Pinhole::qvga();
+        let kf = test_kf(&cam);
+        let feats = test_features(&cam, 200);
+        let pose = QPose::quantize(&SE3::exp(&[0.02, -0.01, 0.03, 0.005, -0.002, 0.01]));
+
+        let mut runner = BatchRunner::new(BatchOptions {
+            pool: 3,
+            ..Default::default()
+        });
+        let sharded = runner.submit(&feats, &pose, &kf, &cam);
+
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let sequential: Vec<BatchOutput> = feats
+            .chunks(BATCH)
+            .map(|c| run_batch(&mut m, POSE_BASE, c, &pose, &kf, &cam))
+            .collect();
+
+        assert_eq!(sharded, sequential, "sharding must not change values");
+        // the distributed compute work equals the sequential work exactly
+        let merged = runner.pool().merged_stats();
+        assert_eq!(merged.cycles, m.stats().cycles);
+        assert_eq!(merged.acc_ops, m.stats().acc_ops);
+        assert_eq!(merged.op_histogram, m.stats().op_histogram);
+    }
+
+    #[test]
+    fn sharded_wall_cycles_are_sections_times_batch_cost() {
+        let cam = Pinhole::qvga();
+        let kf = test_kf(&cam);
+        // 4 full batches on 2 arrays -> 2 barrier sections
+        let feats = test_features(&cam, 4 * BATCH);
+        let pose = QPose::quantize(&SE3::IDENTITY);
+
+        let mut runner = BatchRunner::new(BatchOptions {
+            pool: 2,
+            ..Default::default()
+        });
+        let _ = runner.submit(&feats, &pose, &kf, &cam);
+
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let _ = run_batch(&mut m, POSE_BASE, &feats[..BATCH], &pose, &kf, &cam);
+        let per_batch = m.stats().cycles;
+
+        assert_eq!(
+            runner.pool().wall_cycles(),
+            2 * (per_batch + runner.pool().sync_cycles())
+        );
+        assert_eq!(runner.pool().barriers(), 2);
+    }
+
+    #[test]
+    fn naive_mapping_via_runner_matches_wrapper() {
+        let cam = Pinhole::qvga();
+        let kf = test_kf(&cam);
+        let feats = test_features(&cam, BATCH);
+        let pose = QPose::quantize(&SE3::IDENTITY);
+
+        let mut runner = BatchRunner::new(BatchOptions {
+            mapping: BatchMapping::Naive,
+            ..Default::default()
+        });
+        let outs = runner.submit(&feats, &pose, &kf, &cam);
+
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let reference = run_batch_naive(&mut m, POSE_BASE, &feats, &pose, &kf, &cam);
+        assert_eq!(outs, vec![reference]);
+        assert_eq!(runner.pool().merged_stats().cycles, m.stats().cycles);
     }
 
     #[test]

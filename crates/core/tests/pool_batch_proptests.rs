@@ -1,0 +1,78 @@
+//! Property tests of the sharded pose-estimation runner: for random
+//! poses, feature sets and pool sizes, [`BatchRunner::submit`] is
+//! bit-identical to running the batches sequentially on one array,
+//! and the distributed compute work is conserved exactly.
+
+use pimvo_core::pim_exec::{run_batch, BatchOptions, BatchRunner, BatchOutput, BATCH, POSE_BASE};
+use pimvo_core::{Feature, QFeature, QKeyframe, QPose};
+use pimvo_mcu::KeyframeTables;
+use pimvo_pim::{ArrayConfig, PimMachine};
+use pimvo_vomath::{distance_transform, gradient_maps, Pinhole, SE3};
+use proptest::prelude::*;
+
+fn test_kf(cam: &Pinhole) -> QKeyframe {
+    let (w, h) = (320u32, 240u32);
+    let mut mask = vec![0u8; (w * h) as usize];
+    for y in (8..h).step_by(16) {
+        for x in (8..w).step_by(14) {
+            mask[(y * w + x) as usize] = 255;
+        }
+    }
+    let dt = distance_transform(&mask, w, h);
+    let (grad_x, grad_y) = gradient_maps(&dt);
+    QKeyframe::quantize(&KeyframeTables { dt, grad_x, grad_y }, cam)
+}
+
+fn features(cam: &Pinhole, n: usize, seed: u64) -> Vec<QFeature> {
+    (0..n)
+        .map(|i| {
+            let k = (i as u64).wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
+            let u = 10.0 + (k % 300) as f64;
+            let v = 10.0 + ((k >> 16) % 220) as f64;
+            let d = 0.8 + ((k >> 32) % 500) as f64 * 0.01;
+            let (a, b, c) = cam.inverse_depth_coords(u, v, d);
+            QFeature::quantize(&Feature { u, v, depth: d, a, b, c })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharded warp/Jacobian/Hessian batches are bit-identical to the
+    /// sequential single-array execution for any pose, feature set and
+    /// pool size, and the merged compute stats are conserved.
+    #[test]
+    fn sharded_batches_equal_sequential(
+        seed in any::<u64>(),
+        n_feats in 1usize..260,
+        n_arrays in 1usize..5,
+        tx in -0.05f64..0.05,
+        ty in -0.05f64..0.05,
+        wz in -0.03f64..0.03,
+    ) {
+        let cam = Pinhole::qvga();
+        let kf = test_kf(&cam);
+        let feats = features(&cam, n_feats, seed);
+        let pose = QPose::quantize(&SE3::exp(&[tx, ty, 0.01, 0.0, 0.005, wz]));
+
+        let mut runner = BatchRunner::new(BatchOptions {
+            pool: n_arrays,
+            ..Default::default()
+        });
+        let sharded = runner.submit(&feats, &pose, &kf, &cam);
+
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let sequential: Vec<BatchOutput> = feats
+            .chunks(BATCH)
+            .map(|c| run_batch(&mut m, POSE_BASE, c, &pose, &kf, &cam))
+            .collect();
+
+        prop_assert_eq!(&sharded, &sequential);
+        let merged = runner.pool().merged_stats();
+        prop_assert_eq!(merged.cycles, m.stats().cycles);
+        prop_assert_eq!(merged.acc_ops, m.stats().acc_ops);
+        prop_assert_eq!(merged.sram_reads, m.stats().sram_reads);
+        prop_assert_eq!(&merged.op_histogram, &m.stats().op_histogram);
+    }
+}

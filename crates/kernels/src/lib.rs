@@ -31,6 +31,7 @@ mod image;
 pub mod pim_multireg;
 pub mod pim_naive;
 pub mod pim_opt;
+pub mod pim_pool;
 pub mod pim_util;
 pub mod scalar;
 

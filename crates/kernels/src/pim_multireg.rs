@@ -81,7 +81,7 @@ fn check_regs(m: &PimMachine) {
 /// one SRAM write-back per row (the output itself).
 fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0);
+    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     for y in 0..h as i64 {
         let a = row_or_zero(r, src, y - 1, h);
@@ -117,9 +117,9 @@ fn nms_rows(
     cfg: &EdgeConfig,
 ) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0);
-    m.host_broadcast(r.th(0), cfg.th1 as i64);
-    m.host_broadcast(r.th(1), cfg.th2 as i64);
+    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+    m.host_broadcast(r.th(0), cfg.th1 as i64).expect("host I/O row in range");
+    m.host_broadcast(r.th(1), cfg.th2 as i64).expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     for y in 0..h as i64 {
         let a = row_or_zero(r, src, y - 1, h);

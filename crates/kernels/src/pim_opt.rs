@@ -81,21 +81,38 @@ pub fn nms(m: &mut PimMachine, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayIma
 pub fn downsample2x(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
     let regions = Regions::for_machine(m, img.height());
     let _ = load_image(m, regions.input, img);
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
     let (w, h) = (img.width() / 2, img.height() / 2);
     assert!(w > 0 && h > 0, "image too small to downsample");
+    let rows = downsample_strip(m, &regions, 0, h);
     let mut out = GrayImage::new(w, h);
-    for oy in 0..h {
-        let r0 = regions.input + (2 * oy) as usize;
-        m.avg(Row(r0), Row(r0 + 1)); // vertical pair average
-        m.avg_sh(Tmp, Tmp, 1); // horizontal fused average (even lanes)
-        m.writeback(regions.aux1 + oy as usize);
-        let lanes = m.host_read_lanes(regions.aux1 + oy as usize);
+    for (oy, lanes) in rows.iter().enumerate() {
         for ox in 0..w {
-            out.set(ox, oy, lanes[(2 * ox) as usize] as u8);
+            out.set(ox, oy as u32, lanes[(2 * ox) as usize] as u8);
         }
     }
     out
+}
+
+/// Downsample compute for output rows `oy0..oy1`: 3 cycles per output
+/// row, returning each produced row's lane values (host-read, for the
+/// decimating repack). Shard-safe: only touches input rows
+/// `2*oy0..2*oy1` and scratch rows `aux1 + oy0..oy1`.
+pub(crate) fn downsample_strip(
+    m: &mut PimMachine,
+    r: &Regions,
+    oy0: u32,
+    oy1: u32,
+) -> Vec<Vec<i64>> {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    let mut rows = Vec::with_capacity((oy1 - oy0) as usize);
+    for oy in oy0..oy1 {
+        let r0 = r.input + (2 * oy) as usize;
+        m.avg(Row(r0), Row(r0 + 1)); // vertical pair average
+        m.avg_sh(Tmp, Tmp, 1); // horizontal fused average (even lanes)
+        m.writeback(r.aux1 + oy as usize);
+        rows.push(m.host_read_lanes(r.aux1 + oy as usize));
+    }
+    rows
 }
 
 /// LPF (Fig. 2): the 3x3 binomial decomposed into two 2x2 averaging
@@ -103,18 +120,47 @@ pub fn downsample2x(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
 /// fused shift-average on the Tmp Reg, one write-back — 3 cycles.
 fn lpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0);
+    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
-    // pass 1 (anchored top-left) into aux1
-    for y in 0..h as i64 {
+    lpf_pass1_strip(m, r, src, h, 0, h as i64);
+    lpf_pass2_strip(m, r, dst, h, mask, 0, h as i64);
+}
+
+/// LPF pass 1 (anchored top-left) for output rows `y0..y1`, into
+/// `aux1`. Row `y` reads `src` rows `y` and `y + 1` — a shard therefore
+/// needs one halo input row below its strip.
+pub(crate) fn lpf_pass1_strip(
+    m: &mut PimMachine,
+    r: &Regions,
+    src: usize,
+    h: u32,
+    y0: i64,
+    y1: i64,
+) {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    for y in y0..y1 {
         let a = row_or_zero(r, src, y, h);
         let b = row_or_zero(r, src, y + 1, h);
         m.avg(Row(a), Row(b)); // C = (A + B) / 2
         m.avg_sh(Tmp, Tmp, 1); // E = (C + C<<1pix) / 2
         m.writeback(r.aux1 + y as usize);
     }
-    // pass 2 (anchored bottom-right) into dst
-    for y in 0..h as i64 {
+}
+
+/// LPF pass 2 (anchored bottom-right) for output rows `y0..y1`, reading
+/// `aux1` rows `y - 1` and `y` — a shard needs one halo pass-1 row
+/// above its strip (exchanged between pool arrays by the host).
+pub(crate) fn lpf_pass2_strip(
+    m: &mut PimMachine,
+    r: &Regions,
+    dst: usize,
+    h: u32,
+    mask: Option<usize>,
+    y0: i64,
+    y1: i64,
+) {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    for y in y0..y1 {
         let a = row_or_zero(r, r.aux1, y - 1, h);
         let b = row_or_zero(r, r.aux1, y, h);
         m.avg(Row(a), Row(b));
@@ -129,10 +175,25 @@ fn lpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: 
 /// absolute-difference and saturating-add steps; only the three
 /// direction maps consumed out of order are written to scratch.
 fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0);
+    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
-    for y in 0..h as i64 {
+    hpf_strip(m, r, src, dst, h, mask, 0, h as i64);
+}
+
+/// HPF compute for output rows `y0..y1`. Row `y` reads `src` rows
+/// `y - 1 .. y + 1` — a shard needs one halo row on each side.
+pub(crate) fn hpf_strip(
+    m: &mut PimMachine,
+    r: &Regions,
+    src: usize,
+    dst: usize,
+    h: u32,
+    mask: Option<usize>,
+    y0: i64,
+    y1: i64,
+) {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    for y in y0..y1 {
         let a = row_or_zero(r, src, y - 1, h); // row above
         let b = row_or_zero(r, src, y, h); // centre row
         let c = row_or_zero(r, src, y + 1, h); // row below
@@ -168,11 +229,28 @@ fn nms_rows(
     cfg: &EdgeConfig,
 ) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0);
-    m.host_broadcast(r.th(0), cfg.th1 as i64);
-    m.host_broadcast(r.th(1), cfg.th2 as i64);
+    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+    m.host_broadcast(r.th(0), cfg.th1 as i64).expect("host I/O row in range");
+    m.host_broadcast(r.th(1), cfg.th2 as i64).expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
-    for y in 0..h as i64 {
+    nms_strip(m, r, src, dst, h, mask, 0, h as i64);
+}
+
+/// NMS compute for output rows `y0..y1` (threshold rows must already be
+/// hosted). Row `y` reads `src` rows `y - 1 .. y + 1` — a shard needs
+/// one halo row on each side.
+pub(crate) fn nms_strip(
+    m: &mut PimMachine,
+    r: &Regions,
+    src: usize,
+    dst: usize,
+    h: u32,
+    mask: Option<usize>,
+    y0: i64,
+    y1: i64,
+) {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    for y in y0..y1 {
         let a = row_or_zero(r, src, y - 1, h);
         let b = row_or_zero(r, src, y, h);
         let c = row_or_zero(r, src, y + 1, h);

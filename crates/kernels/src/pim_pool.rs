@@ -1,0 +1,367 @@
+//! Sharded edge-detection kernels on a [`PimArrayPool`]: each array
+//! processes a contiguous strip of image rows, running the optimized
+//! [`crate::pim_opt`] mappings in parallel.
+//!
+//! # Sharding model
+//!
+//! Rows keep their **global** indices inside every array (an image row
+//! `y` lives at `region_base + y` on whichever array owns it), so a
+//! shard executes exactly the instruction sequence the single-array
+//! kernel would for those rows. Neighbour data crosses strip borders in
+//! two host-mediated ways:
+//!
+//! * **input halos** — rows adjacent to a strip are host-loaded along
+//!   with the strip itself (host I/O, no compute cycles);
+//! * **boundary exchanges** — when a phase consumes the *previous*
+//!   phase's output (LPF pass 2 after pass 1, HPF after LPF, NMS after
+//!   HPF), the host copies each strip-edge row from the array that
+//!   computed it into the neighbour that reads it, between the two
+//!   [`PimArrayPool::run_phase`] barriers.
+//!
+//! Both mechanisms touch only `host_io_rows`; the merged compute
+//! statistics (cycles, SRAM traffic, op histogram) are **bit-identical**
+//! to single-array execution, as are the produced maps — property tests
+//! in `crates/kernels/tests/` enforce this. Wall cycles shrink by the
+//! strip factor, paying one [`pimvo_pim::CostModel::pool_sync_cycles`]
+//! per barrier.
+
+use crate::pim_opt::{
+    downsample_strip, hpf_strip, lpf_pass1_strip, lpf_pass2_strip, nms_strip,
+};
+use crate::pim_util::{ghost_mask, load_image_rows, partition_rows, Regions};
+use crate::{EdgeConfig, EdgeMaps, GrayImage};
+use pimvo_pim::{LaneWidth, PimArrayPool, Signedness};
+
+/// Runs the full optimized pipeline (LPF → HPF → NMS) sharded across
+/// the pool's arrays; output is bit-identical to
+/// [`crate::pim_opt::edge_detect`].
+///
+/// # Panics
+///
+/// Panics if the pool's arrays have fewer than 6 banks of 256 rows.
+pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
+    let r = Regions::for_machine(pool.array(0), img.height());
+    let h = img.height();
+    let w = img.width() as usize;
+    let strips = partition_rows(h, pool.len());
+
+    // host setup per array: padding/threshold rows, ghost mask, input
+    // strip + one halo row below (LPF pass 1 reads y and y + 1)
+    let mut mask = None;
+    for (i, &(y0, y1)) in strips.iter().enumerate() {
+        let m = pool.array_mut(i);
+        m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+        m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+        m.host_broadcast(r.th(0), cfg.th1 as i64).expect("host I/O row in range");
+        m.host_broadcast(r.th(1), cfg.th2 as i64).expect("host I/O row in range");
+        mask = ghost_mask(m, &r, w);
+        let lo = y0 as u32;
+        let hi = (y1 as u32 + 1).min(h);
+        if lo < hi {
+            load_image_rows(m, r.input, img, lo, hi);
+        }
+    }
+
+    pool.run_phase(|i, m| {
+        let (y0, y1) = strips[i];
+        lpf_pass1_strip(m, &r, r.input, h, y0, y1);
+    });
+    exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
+    pool.run_phase(|i, m| {
+        let (y0, y1) = strips[i];
+        lpf_pass2_strip(m, &r, r.aux2, h, mask, y0, y1);
+    });
+    let lpf = collect_image(pool, &strips, r.aux2, img.width(), h);
+
+    exchange_boundary_rows(pool, &strips, r.aux2, h, true, true);
+    pool.run_phase(|i, m| {
+        let (y0, y1) = strips[i];
+        hpf_strip(m, &r, r.aux2, r.aux3, h, mask, y0, y1);
+    });
+    let hpf = collect_image(pool, &strips, r.aux3, img.width(), h);
+
+    exchange_boundary_rows(pool, &strips, r.aux3, h, true, true);
+    pool.run_phase(|i, m| {
+        let (y0, y1) = strips[i];
+        nms_strip(m, &r, r.aux3, r.out, h, mask, y0, y1);
+    });
+    let mut mask_img = collect_image(pool, &strips, r.out, img.width(), h);
+    mask_img.clear_border(cfg.border);
+
+    EdgeMaps { lpf, hpf, mask: mask_img }
+}
+
+/// Sharded LPF; bit-identical to [`crate::pim_opt::lpf`].
+pub fn lpf(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
+    let r = Regions::for_machine(pool.array(0), img.height());
+    let h = img.height();
+    let w = img.width() as usize;
+    let strips = partition_rows(h, pool.len());
+    let mut mask = None;
+    for (i, &(y0, y1)) in strips.iter().enumerate() {
+        let m = pool.array_mut(i);
+        m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+        m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+        mask = ghost_mask(m, &r, w);
+        let lo = y0 as u32;
+        let hi = (y1 as u32 + 1).min(h);
+        if lo < hi {
+            load_image_rows(m, r.input, img, lo, hi);
+        }
+    }
+    pool.run_phase(|i, m| {
+        let (y0, y1) = strips[i];
+        lpf_pass1_strip(m, &r, r.input, h, y0, y1);
+    });
+    exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
+    pool.run_phase(|i, m| {
+        let (y0, y1) = strips[i];
+        lpf_pass2_strip(m, &r, r.aux2, h, mask, y0, y1);
+    });
+    collect_image(pool, &strips, r.aux2, img.width(), h)
+}
+
+/// Sharded HPF on a low-pass map; bit-identical to
+/// [`crate::pim_opt::hpf`].
+pub fn hpf(pool: &mut PimArrayPool, lpf_map: &GrayImage) -> GrayImage {
+    let r = Regions::for_machine(pool.array(0), lpf_map.height());
+    let h = lpf_map.height();
+    let w = lpf_map.width() as usize;
+    let strips = partition_rows(h, pool.len());
+    let mut mask = None;
+    for (i, &(y0, y1)) in strips.iter().enumerate() {
+        let m = pool.array_mut(i);
+        m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+        m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+        mask = ghost_mask(m, &r, w);
+        // strip plus one halo row on each side (3-row stencil)
+        if y0 < y1 {
+            let lo = (y0 - 1).max(0) as u32;
+            let hi = (y1 as u32 + 1).min(h);
+            load_image_rows(m, r.aux2, lpf_map, lo, hi);
+        }
+    }
+    pool.run_phase(|i, m| {
+        let (y0, y1) = strips[i];
+        hpf_strip(m, &r, r.aux2, r.aux3, h, mask, y0, y1);
+    });
+    collect_image(pool, &strips, r.aux3, lpf_map.width(), h)
+}
+
+/// Sharded NMS on a high-pass map; bit-identical to
+/// [`crate::pim_opt::nms`].
+pub fn nms(pool: &mut PimArrayPool, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
+    let r = Regions::for_machine(pool.array(0), hpf_map.height());
+    let h = hpf_map.height();
+    let w = hpf_map.width() as usize;
+    let strips = partition_rows(h, pool.len());
+    let mut mask = None;
+    for (i, &(y0, y1)) in strips.iter().enumerate() {
+        let m = pool.array_mut(i);
+        m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+        m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+        m.host_broadcast(r.th(0), cfg.th1 as i64).expect("host I/O row in range");
+        m.host_broadcast(r.th(1), cfg.th2 as i64).expect("host I/O row in range");
+        mask = ghost_mask(m, &r, w);
+        if y0 < y1 {
+            let lo = (y0 - 1).max(0) as u32;
+            let hi = (y1 as u32 + 1).min(h);
+            load_image_rows(m, r.aux3, hpf_map, lo, hi);
+        }
+    }
+    pool.run_phase(|i, m| {
+        let (y0, y1) = strips[i];
+        nms_strip(m, &r, r.aux3, r.out, h, mask, y0, y1);
+    });
+    let mut out = collect_image(pool, &strips, r.out, hpf_map.width(), h);
+    out.clear_border(cfg.border);
+    out
+}
+
+/// Sharded downsample-by-2; bit-identical to
+/// [`crate::pim_opt::downsample2x`]. Output rows partition trivially —
+/// each output row reads its own input row pair, so no halos or
+/// exchanges are needed.
+pub fn downsample2x(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
+    let r = Regions::for_machine(pool.array(0), img.height());
+    let (w, h) = (img.width() / 2, img.height() / 2);
+    assert!(w > 0 && h > 0, "image too small to downsample");
+    let strips = partition_rows(h, pool.len());
+    for (i, &(oy0, oy1)) in strips.iter().enumerate() {
+        let m = pool.array_mut(i);
+        let lo = 2 * oy0 as u32;
+        let hi = (2 * oy1 as u32).min(img.height());
+        if lo < hi {
+            load_image_rows(m, r.input, img, lo, hi);
+        }
+    }
+    let shard_rows = pool.run_phase(|i, m| {
+        let (oy0, oy1) = strips[i];
+        downsample_strip(m, &r, oy0 as u32, oy1 as u32)
+    });
+    let mut out = GrayImage::new(w, h);
+    for (&(oy0, _), rows) in strips.iter().zip(&shard_rows) {
+        for (k, lanes) in rows.iter().enumerate() {
+            let oy = oy0 as u32 + k as u32;
+            for ox in 0..w {
+                out.set(ox, oy, lanes[(2 * ox) as usize] as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Copies strip-edge rows of the map at `base` between neighbouring
+/// arrays: with `above`, each array receives row `y0 - 1` from its
+/// predecessor; with `below`, row `y1` from its successor. Pure host
+/// I/O — the transferred rows were computed exactly once, so compute
+/// statistics stay conserved.
+fn exchange_boundary_rows(
+    pool: &mut PimArrayPool,
+    strips: &[(i64, i64)],
+    base: usize,
+    h: u32,
+    above: bool,
+    below: bool,
+) {
+    for i in 0..strips.len() {
+        let (y0, y1) = strips[i];
+        if y0 >= y1 {
+            continue; // empty strip
+        }
+        let mut wanted: Vec<i64> = Vec::new();
+        if above && y0 > 0 {
+            wanted.push(y0 - 1);
+        }
+        if below && (y1 as u32) < h {
+            wanted.push(y1);
+        }
+        for y in wanted {
+            // find the array whose strip produced row y
+            let owner = strips
+                .iter()
+                .position(|&(a, b)| y >= a && y < b)
+                .expect("boundary row inside some strip");
+            if owner == i {
+                continue;
+            }
+            let row = base + y as usize;
+            let src = pool.array_mut(owner);
+            src.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+            let lanes = src.host_read_lanes(row);
+            pool.array_mut(i)
+                .host_write_lanes(row, &lanes)
+                .expect("host I/O row in range");
+        }
+    }
+}
+
+/// Assembles the output map by host-reading each strip from the array
+/// that computed it.
+fn collect_image(
+    pool: &mut PimArrayPool,
+    strips: &[(i64, i64)],
+    base: usize,
+    width: u32,
+    h: u32,
+) -> GrayImage {
+    let mut out = GrayImage::new(width, h);
+    for (i, &(y0, y1)) in strips.iter().enumerate() {
+        let m = pool.array_mut(i);
+        m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+        for y in y0..y1 {
+            let lanes = m.host_read_lanes(base + y as usize);
+            for x in 0..width {
+                out.set(x, y as u32, lanes[x as usize] as u8);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pim_opt;
+    use pimvo_pim::{ArrayConfig, PimMachine, PimMachineBuilder};
+
+    fn pool(n: usize) -> PimArrayPool {
+        PimMachineBuilder::new(ArrayConfig::qvga_banks(6)).build_pool(n)
+    }
+
+    fn test_image() -> GrayImage {
+        GrayImage::from_fn(64, 48, |x, y| {
+            ((x * 31 + y * 17).wrapping_mul(2654435761) >> 11) as u8
+        })
+    }
+
+    #[test]
+    fn pooled_edge_detect_matches_single_array() {
+        let img = test_image();
+        let cfg = EdgeConfig::default();
+        let mut single = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let want = pim_opt::edge_detect(&mut single, &img, &cfg);
+        for n in [1, 2, 3, 4, 8] {
+            let mut p = pool(n);
+            let got = edge_detect(&mut p, &img, &cfg);
+            assert_eq!(got.lpf, want.lpf, "lpf mismatch at n={n}");
+            assert_eq!(got.hpf, want.hpf, "hpf mismatch at n={n}");
+            assert_eq!(got.mask, want.mask, "mask mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn pooled_edge_detect_conserves_compute_ops() {
+        let img = test_image();
+        let cfg = EdgeConfig::default();
+        let mut single = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let _ = pim_opt::edge_detect(&mut single, &img, &cfg);
+        let want = single.stats().clone();
+        for n in [2, 4] {
+            let mut p = pool(n);
+            let _ = edge_detect(&mut p, &img, &cfg);
+            let got = p.merged_stats();
+            assert_eq!(got.cycles, want.cycles, "cycles at n={n}");
+            assert_eq!(got.acc_ops, want.acc_ops, "acc_ops at n={n}");
+            assert_eq!(got.sram_reads, want.sram_reads, "reads at n={n}");
+            assert_eq!(got.sram_writes, want.sram_writes, "writes at n={n}");
+            assert_eq!(got.op_histogram, want.op_histogram, "histogram at n={n}");
+        }
+    }
+
+    #[test]
+    fn pooled_wall_cycles_shrink_monotonically() {
+        let img = GrayImage::from_fn(64, 48, |x, y| (x * 3 + y * 5) as u8);
+        let cfg = EdgeConfig::default();
+        let mut walls = Vec::new();
+        for n in [1usize, 2, 4, 8] {
+            let mut p = pool(n);
+            let _ = edge_detect(&mut p, &img, &cfg);
+            walls.push(p.wall_cycles());
+        }
+        for pair in walls.windows(2) {
+            assert!(pair[1] < pair[0], "wall cycles not monotone: {walls:?}");
+        }
+    }
+
+    #[test]
+    fn pooled_downsample_matches_single_array() {
+        let img = test_image();
+        let mut single = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let want = pim_opt::downsample2x(&mut single, &img);
+        for n in [1, 2, 5] {
+            let mut p = pool(n);
+            assert_eq!(downsample2x(&mut p, &img), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pool_larger_than_image_degrades_gracefully() {
+        // 10 rows over 16 arrays: 6 empty strips
+        let img = GrayImage::from_fn(32, 10, |x, y| (x ^ y) as u8);
+        let mut single = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let want = pim_opt::lpf(&mut single, &img);
+        let mut p = pool(16);
+        assert_eq!(lpf(&mut p, &img), want);
+    }
+}

@@ -90,9 +90,52 @@ pub fn load_image(m: &mut PimMachine, base: usize, img: &GrayImage) -> usize {
     );
     for y in 0..img.height() {
         let lanes: Vec<i64> = img.row(y).iter().map(|&p| p as i64).collect();
-        m.host_write_lanes(base + y as usize, &lanes);
+        m.host_write_lanes(base + y as usize, &lanes).expect("host I/O row in range");
     }
     w
+}
+
+/// Loads image rows `y0..y1` into rows `base + y0 .. base + y1` (same
+/// global row addressing as [`load_image`], so a strip-loaded shard is
+/// row-for-row identical to the full load). Returns the image width.
+pub fn load_image_rows(
+    m: &mut PimMachine,
+    base: usize,
+    img: &GrayImage,
+    y0: u32,
+    y1: u32,
+) -> usize {
+    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+    let w = img.width() as usize;
+    assert!(
+        w <= m.lanes(),
+        "image width {w} exceeds {} lanes",
+        m.lanes()
+    );
+    assert!(y1 <= img.height(), "strip {y0}..{y1} exceeds image height");
+    for y in y0..y1 {
+        let lanes: Vec<i64> = img.row(y).iter().map(|&p| p as i64).collect();
+        m.host_write_lanes(base + y as usize, &lanes).expect("host I/O row in range");
+    }
+    w
+}
+
+/// Partitions `h` rows into `n` contiguous strips `[y0, y1)` of
+/// near-equal height (the first `h % n` strips get one extra row).
+/// Strips beyond the row count come out empty, so a pool larger than
+/// the image degrades gracefully.
+pub fn partition_rows(h: u32, n: usize) -> Vec<(i64, i64)> {
+    assert!(n >= 1, "at least one strip");
+    let (h, n) = (h as i64, n as i64);
+    let (base, extra) = (h / n, h % n);
+    let mut strips = Vec::with_capacity(n as usize);
+    let mut y = 0;
+    for i in 0..n {
+        let len = base + i64::from(i < extra);
+        strips.push((y, y + len));
+        y += len;
+    }
+    strips
 }
 
 /// Reads a map back from consecutive rows starting at `base`.
@@ -136,7 +179,7 @@ pub fn ghost_mask(m: &mut PimMachine, regions: &Regions, width: usize) -> Option
     let vals: Vec<i64> = (0..m.lanes())
         .map(|i| if i < width { 0xFF } else { 0 })
         .collect();
-    m.host_write_lanes(row, &vals);
+    m.host_write_lanes(row, &vals).expect("host I/O row in range");
     Some(row)
 }
 

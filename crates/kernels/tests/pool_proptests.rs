@@ -1,0 +1,95 @@
+//! Property tests of the sharded multi-array pool: for random images
+//! and pool sizes, every pooled kernel is bit-identical to the
+//! single-array optimized mapping, and the distributed compute work
+//! (cycles, op mix, SRAM traffic) is conserved exactly — only host
+//! I/O (halo loads, boundary exchanges) may differ.
+
+use pimvo_kernels::{pim_opt, pim_pool, scalar, EdgeConfig, GrayImage};
+use pimvo_pim::{ArrayConfig, PimMachine};
+use proptest::prelude::*;
+
+fn random_image(seed: u64, w: u32, h: u32) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| {
+        let v = (x as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+            .wrapping_add(seed)
+            .wrapping_mul(0xD6E8FEB86659FD93);
+        (v >> 56) as u8
+    })
+}
+
+fn pool(n: usize) -> pimvo_pim::PimArrayPool {
+    PimMachine::builder(ArrayConfig::qvga_banks(6)).build_pool(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Pooled LPF is bit-identical to the single-array mapping for any
+    /// image and pool size (including pools larger than the image).
+    #[test]
+    fn pooled_lpf_equals_single(seed in any::<u64>(), w in 12u32..72, h in 8u32..56, n in 1usize..7) {
+        let img = random_image(seed, w, h);
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let want = pim_opt::lpf(&mut m, &img);
+        let mut p = pool(n);
+        let got = pim_pool::lpf(&mut p, &img);
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(&got, &scalar::lpf(&img));
+    }
+
+    /// Pooled HPF is bit-identical to the single-array mapping.
+    #[test]
+    fn pooled_hpf_equals_single(seed in any::<u64>(), w in 12u32..72, h in 8u32..56, n in 1usize..7) {
+        let lpf_map = scalar::lpf(&random_image(seed, w, h));
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let want = pim_opt::hpf(&mut m, &lpf_map);
+        let mut p = pool(n);
+        let got = pim_pool::hpf(&mut p, &lpf_map);
+        prop_assert_eq!(&got, &want);
+    }
+
+    /// Pooled NMS is bit-identical to the single-array mapping.
+    #[test]
+    fn pooled_nms_equals_single(seed in any::<u64>(), w in 12u32..72, h in 8u32..56, n in 1usize..7) {
+        let cfg = EdgeConfig::default();
+        let hpf_map = scalar::hpf(&scalar::lpf(&random_image(seed, w, h)));
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let want = pim_opt::nms(&mut m, &hpf_map, &cfg);
+        let mut p = pool(n);
+        let got = pim_pool::nms(&mut p, &hpf_map, &cfg);
+        prop_assert_eq!(&got, &want);
+    }
+
+    /// The full pooled pipeline conserves the compute-op accounting
+    /// exactly: merged cycles, ALU ops, SRAM traffic and the op
+    /// histogram all equal the single-array run (host I/O rows are the
+    /// only legitimate difference), and the wall clock never exceeds
+    /// the single-array cycle count plus the sync overheads.
+    #[test]
+    fn pooled_pipeline_conserves_compute(seed in any::<u64>(), w in 16u32..64, h in 12u32..48, n in 2usize..6) {
+        let img = random_image(seed, w, h);
+        let cfg = EdgeConfig::default();
+        let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let want = pim_opt::edge_detect(&mut m, &img, &cfg);
+        let mut p = pool(n);
+        let got = pim_pool::edge_detect(&mut p, &img, &cfg);
+        prop_assert_eq!(&got.lpf, &want.lpf);
+        prop_assert_eq!(&got.hpf, &want.hpf);
+        prop_assert_eq!(&got.mask, &want.mask);
+        let merged = p.merged_stats();
+        prop_assert_eq!(merged.cycles, m.stats().cycles);
+        prop_assert_eq!(merged.acc_ops, m.stats().acc_ops);
+        prop_assert_eq!(merged.sram_reads, m.stats().sram_reads);
+        prop_assert_eq!(merged.sram_writes, m.stats().sram_writes);
+        prop_assert_eq!(&merged.op_histogram, &m.stats().op_histogram);
+        let budget = m.stats().cycles + p.barriers() * p.sync_cycles();
+        prop_assert!(
+            p.wall_cycles() <= budget,
+            "wall {} exceeds single-array budget {}",
+            p.wall_cycles(),
+            budget
+        );
+    }
+}

@@ -31,6 +31,12 @@ pub struct CostModel {
     /// Nominal clock frequency, Hz (216 MHz, matching the STM32F7
     /// baseline so cycle counts compare directly).
     pub clock_hz: f64,
+    /// Cycles charged per inter-array synchronisation barrier when a
+    /// kernel phase is sharded across a [`crate::PimArrayPool`]: the
+    /// wall-clock cost of draining the per-array command queues and
+    /// merging results before the next phase may start. Charged once per
+    /// parallel phase, only when the pool has more than one array.
+    pub pool_sync_cycles: u64,
 }
 
 impl CostModel {
@@ -45,6 +51,10 @@ impl CostModel {
             area_sa_um2: 5.60e4,
             area_logic_um2: 1.80e5,
             clock_hz: 216.0e6,
+            // one row-transfer round trip through the host port at the
+            // 216 MHz domain: conservative for an on-die H-tree, cheap
+            // enough that sharding QVGA strips stays profitable
+            pool_sync_cycles: 32,
         }
     }
 

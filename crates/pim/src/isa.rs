@@ -48,6 +48,63 @@ impl Operand {
     }
 }
 
+/// Lane pre-shift applied to operand `b` of an ALU submission.
+///
+/// The architecture's shifter sits in front of the accumulator, so any
+/// binary operation can consume its `b` operand shifted by a whole
+/// number of lanes in the same cycle (the `<< 1pix` of Fig. 2). This
+/// replaces the historical `op`/`op_sh` method duplication on
+/// [`crate::PimMachine`] with a single argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Shift {
+    /// Operand `b` is used as stored.
+    #[default]
+    None,
+    /// Lane `i + pix` of operand `b` feeds lane `i` (positive `pix`
+    /// shifts towards lane 0; zeros shift in at the border).
+    Pix(i32),
+}
+
+impl Shift {
+    /// The shift amount in lanes (`None` ≡ `Pix(0)`).
+    #[inline]
+    pub fn pix(self) -> i32 {
+        match self {
+            Shift::None => 0,
+            Shift::Pix(p) => p,
+        }
+    }
+}
+
+/// Single-submission ALU operation selector for
+/// [`crate::PimMachine::alu`] — every shift-capable binary macro-op of
+/// the datapath. Multi-cycle sequences (abs-diff 3 cycles, min/max 2)
+/// keep their paper-faithful costs; the selector only unifies the call
+/// surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Bit-wise logic through the sense amplifiers.
+    Logic(LogicFunc),
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction `a - b`.
+    Sub,
+    /// Saturating addition.
+    SatAdd,
+    /// Saturating subtraction `sat(a - b)`.
+    SatSub,
+    /// Average `(a + b) >> 1`.
+    Avg,
+    /// Absolute difference `|a - b|` (3 cycles, Fig. 7-a).
+    AbsDiff,
+    /// Branch-free maximum (2 cycles, Fig. 7-b).
+    Max,
+    /// Branch-free minimum (2 cycles).
+    Min,
+    /// Per-lane `a > b` mask.
+    CmpGt,
+}
+
 /// Bit-wise logic function computed by the sense amplifiers plus the
 /// derived gates (Fig. 6-a): AND and NOR come straight from the two SAs,
 /// XOR from a NOR of the two, OR from a NOT of the NOR output.

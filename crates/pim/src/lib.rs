@@ -43,24 +43,31 @@
 //! use pimvo_pim::{PimMachine, Operand, ArrayConfig};
 //!
 //! let mut pim = PimMachine::new(ArrayConfig::qvga());
-//! pim.host_write_lanes(0, &[10, 20, 30]);
-//! pim.host_write_lanes(1, &[1, 2, 3]);
+//! pim.host_write_lanes(0, &[10, 20, 30]).unwrap();
+//! pim.host_write_lanes(1, &[1, 2, 3]).unwrap();
 //! pim.add(Operand::Row(0), Operand::Row(1));
 //! assert_eq!(&pim.tmp_lanes()[..3], &[11, 22, 33]);
 //! assert_eq!(pim.stats().cycles, 1);
 //! ```
+//!
+//! Multi-array deployments are modeled by [`PimArrayPool`]: N identical
+//! arrays executing disjoint shards of a kernel in parallel, with merged
+//! energy statistics and wall-cycles taken as the slowest shard plus a
+//! configurable inter-array synchronisation overhead.
 
 pub mod bitexact;
 mod config;
 mod cost;
 mod isa;
 mod machine;
+mod pool;
 mod stats;
 mod trace;
 
 pub use config::{ArrayConfig, LaneWidth, Signedness};
 pub use cost::{AreaReport, CostModel};
-pub use isa::{LogicFunc, OpClass, Operand};
-pub use machine::{PimError, PimMachine};
+pub use isa::{AluOp, LogicFunc, OpClass, Operand, Shift};
+pub use machine::{PimError, PimMachine, PimMachineBuilder};
+pub use pool::PimArrayPool;
 pub use stats::{EnergyBreakdown, ExecStats, MemAccessBreakdown};
 pub use trace::{Trace, TraceEvent};

@@ -1,6 +1,6 @@
 use crate::config::{ArrayConfig, LaneWidth, Signedness};
 use crate::cost::CostModel;
-use crate::isa::{LogicFunc, OpClass, Operand};
+use crate::isa::{AluOp, LogicFunc, OpClass, Operand, Shift};
 use crate::stats::ExecStats;
 use crate::trace::{Trace, TraceEvent};
 use pimvo_fixed::sat;
@@ -71,10 +71,93 @@ pub struct PimMachine {
     trace: Option<Trace>,
 }
 
+/// Fluent constructor for [`PimMachine`], replacing the historical
+/// `new`/`with_cost` + post-hoc `set_lanes`/`set_tmp_regs`/`set_tracing`
+/// dance with one declarative description of the array:
+///
+/// ```
+/// use pimvo_pim::{ArrayConfig, LaneWidth, PimMachineBuilder, Signedness};
+///
+/// let m = PimMachineBuilder::new(ArrayConfig::qvga())
+///     .lanes(LaneWidth::W16, Signedness::Signed)
+///     .tmp_regs(2)
+///     .build();
+/// assert_eq!(m.tmp_reg_count(), 2);
+/// ```
+///
+/// [`crate::PimArrayPool`] construction reuses the same builder, so a
+/// pool's member arrays are guaranteed to be configured identically.
+#[derive(Debug, Clone)]
+pub struct PimMachineBuilder {
+    config: ArrayConfig,
+    cost: CostModel,
+    width: LaneWidth,
+    sign: Signedness,
+    tmp_regs: u8,
+    tracing: bool,
+}
+
+impl PimMachineBuilder {
+    /// Starts a builder with the paper's defaults: 90 nm cost model,
+    /// 8-bit unsigned lanes, one Tmp register, tracing off.
+    pub fn new(config: ArrayConfig) -> Self {
+        PimMachineBuilder {
+            config,
+            cost: CostModel::default(),
+            width: LaneWidth::W8,
+            sign: Signedness::Unsigned,
+            tmp_regs: 1,
+            tracing: false,
+        }
+    }
+
+    /// Uses an explicit cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the initial lane width and signedness.
+    pub fn lanes(mut self, width: LaneWidth, sign: Signedness) -> Self {
+        self.width = width;
+        self.sign = sign;
+        self
+    }
+
+    /// Enables `n` temporary registers (1..=8; see
+    /// [`PimMachine::set_tmp_regs`]).
+    pub fn tmp_regs(mut self, n: u8) -> Self {
+        assert!((1..=8).contains(&n), "1..=8 temporary registers");
+        self.tmp_regs = n;
+        self
+    }
+
+    /// Enables instruction tracing from the first operation.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Constructs the machine. The builder is reusable (`&self`), which
+    /// is what lets a pool stamp out N identical arrays.
+    pub fn build(&self) -> PimMachine {
+        let mut m = PimMachine::with_cost(self.config.clone(), self.cost.clone());
+        m.set_lanes(self.width, self.sign);
+        m.set_tmp_regs(self.tmp_regs);
+        m.set_tracing(self.tracing);
+        m
+    }
+}
+
 impl PimMachine {
     /// Creates a machine with the default 90 nm cost model.
     pub fn new(config: ArrayConfig) -> Self {
         Self::with_cost(config, CostModel::default())
+    }
+
+    /// Starts a [`PimMachineBuilder`] for this geometry.
+    pub fn builder(config: ArrayConfig) -> PimMachineBuilder {
+        PimMachineBuilder::new(config)
     }
 
     /// Creates a machine with an explicit cost model.
@@ -244,19 +327,20 @@ impl PimMachine {
     ///
     /// Values are wrapped to the lane width. Unfilled lanes become zero.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a bad row index or too many values (host setup is
-    /// kernel-author controlled).
-    pub fn host_write_lanes(&mut self, row: usize, values: &[i64]) {
+    /// Returns [`PimError::RowOutOfRange`] for a bad row index or
+    /// [`PimError::TooManyLanes`] when `values` exceeds the lane count —
+    /// the same contract as [`PimMachine::host_write_bytes`].
+    pub fn host_write_lanes(&mut self, row: usize, values: &[i64]) -> Result<(), PimError> {
         let lanes = self.lanes();
-        assert!(
-            values.len() <= lanes,
-            "{} values exceed {} lanes",
-            values.len(),
-            lanes
-        );
-        self.check_row(row).expect("row out of range");
+        if values.len() > lanes {
+            return Err(PimError::TooManyLanes {
+                got: values.len(),
+                lanes,
+            });
+        }
+        self.check_row(row)?;
         let bits = self.width.bits();
         let bytes = self.width.bytes();
         let row_data = &mut self.rows[row];
@@ -267,13 +351,18 @@ impl PimMachine {
                 .copy_from_slice(&raw.to_le_bytes()[..bytes]);
         }
         self.stats.host_io_rows += 1;
+        Ok(())
     }
 
     /// Fills every lane of a row with a constant (threshold rows etc.).
-    pub fn host_broadcast(&mut self, row: usize, value: i64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::RowOutOfRange`] for a bad row index.
+    pub fn host_broadcast(&mut self, row: usize, value: i64) -> Result<(), PimError> {
         let lanes = self.lanes();
         let vals = vec![value; lanes];
-        self.host_write_lanes(row, &vals);
+        self.host_write_lanes(row, &vals)
     }
 
     /// Reads a row's lane values at the current configuration.
@@ -298,19 +387,90 @@ impl PimMachine {
     // Compute macro-ops
     // ------------------------------------------------------------------
 
+    /// Unified submission point for every shift-capable binary ALU
+    /// macro-op: one call selects the operation ([`AluOp`]), the two
+    /// operands, and the lane pre-shift applied to `b` ([`Shift`]).
+    ///
+    /// Cycle/energy accounting is identical to the historical per-op
+    /// methods (which remain as `#[inline]` wrappers): single-cycle ops
+    /// stay single-cycle, abs-diff charges its two Tmp-resident fixup
+    /// steps, min/max their one.
+    pub fn alu(&mut self, op: AluOp, a: Operand, b: Operand, shift: Shift) {
+        let b_pix = shift.pix();
+        let bits = self.op_bits(a, b);
+        let sign = self.sign;
+        match op {
+            AluOp::Logic(f) => {
+                let mask = width_mask(bits);
+                self.binop(OpClass::Logic, a, b, b_pix, bits, move |x, y, _| {
+                    let r = f.apply(x as u64 & mask, y as u64 & mask) & mask;
+                    r as i64
+                });
+            }
+            AluOp::Add => {
+                self.binop(OpClass::AddSub, a, b, b_pix, bits, move |x, y, _| {
+                    wrap(x + y, bits, sign)
+                });
+            }
+            AluOp::Sub => {
+                self.binop(OpClass::AddSub, a, b, b_pix, bits, move |x, y, _| {
+                    wrap(x - y, bits, sign)
+                });
+            }
+            AluOp::SatAdd => {
+                self.binop(OpClass::SatAddSub, a, b, b_pix, bits, move |x, y, _| {
+                    clamp(x + y, bits, sign)
+                });
+            }
+            AluOp::SatSub => {
+                self.binop(OpClass::SatAddSub, a, b, b_pix, bits, move |x, y, _| {
+                    clamp(x - y, bits, sign)
+                });
+            }
+            AluOp::Avg => {
+                self.binop(OpClass::Avg, a, b, b_pix, bits, |x, y, _| (x + y) >> 1);
+            }
+            AluOp::AbsDiff => {
+                // Step 1: M = a - b (+ carry extension), SRAM-touching.
+                // Steps 2-3: Tmp-resident single-cycle fixups (Fig. 7-a).
+                self.binop(OpClass::AbsDiff, a, b, b_pix, bits, move |x, y, _| {
+                    clamp((x - y).abs(), bits, sign)
+                });
+                self.charge_tmp_steps(2);
+            }
+            AluOp::Max => {
+                // max(a, b) = sat(a - b) + b (Fig. 7-b)
+                self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.max(y));
+                self.charge_tmp_steps(1);
+            }
+            AluOp::Min => {
+                // min(a, b) = a - sat(a - b)
+                self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.min(y));
+                self.charge_tmp_steps(1);
+            }
+            AluOp::CmpGt => {
+                let mask = width_mask(bits) as i64;
+                self.binop(OpClass::Cmp, a, b, b_pix, bits, move |x, y, _| {
+                    if x > y {
+                        mask
+                    } else {
+                        0
+                    }
+                });
+            }
+        }
+    }
+
     /// Bit-wise logic of two operands (1 cycle).
+    #[inline]
     pub fn logic(&mut self, f: LogicFunc, a: Operand, b: Operand) {
-        self.logic_sh(f, a, b, 0)
+        self.alu(AluOp::Logic(f), a, b, Shift::None)
     }
 
     /// Bit-wise logic with operand `b` pre-shifted by `b_pix` lanes.
+    #[inline]
     pub fn logic_sh(&mut self, f: LogicFunc, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        let mask = width_mask(bits);
-        self.binop(OpClass::Logic, a, b, b_pix, bits, |x, y, _| {
-            let r = f.apply(x as u64 & mask, y as u64 & mask) & mask;
-            r as i64
-        });
+        self.alu(AluOp::Logic(f), a, b, Shift::Pix(b_pix))
     }
 
     /// Loads an operand into the Tmp Reg (1 cycle; an `OR` with itself).
@@ -319,117 +479,105 @@ impl PimMachine {
     }
 
     /// Wrapping addition (1 cycle).
+    #[inline]
     pub fn add(&mut self, a: Operand, b: Operand) {
-        self.add_sh(a, b, 0)
+        self.alu(AluOp::Add, a, b, Shift::None)
     }
 
     /// Wrapping addition with `b` pre-shifted by `b_pix` lanes
     /// (shift-and-accumulate is the architecture's native single-cycle
     /// operation).
+    #[inline]
     pub fn add_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        let sign = self.sign;
-        self.binop(OpClass::AddSub, a, b, b_pix, bits, move |x, y, _| {
-            wrap(x + y, bits, sign)
-        });
+        self.alu(AluOp::Add, a, b, Shift::Pix(b_pix))
     }
 
     /// Wrapping subtraction `a - b` (1 cycle).
+    #[inline]
     pub fn sub(&mut self, a: Operand, b: Operand) {
-        self.sub_sh(a, b, 0)
+        self.alu(AluOp::Sub, a, b, Shift::None)
     }
 
     /// Wrapping subtraction with `b` pre-shifted.
+    #[inline]
     pub fn sub_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        let sign = self.sign;
-        self.binop(OpClass::AddSub, a, b, b_pix, bits, move |x, y, _| {
-            wrap(x - y, bits, sign)
-        });
+        self.alu(AluOp::Sub, a, b, Shift::Pix(b_pix))
     }
 
     /// Saturating addition (1 cycle; the carry extension applies the
     /// clamp in the same cycle).
+    #[inline]
     pub fn sat_add(&mut self, a: Operand, b: Operand) {
-        self.sat_add_sh(a, b, 0)
+        self.alu(AluOp::SatAdd, a, b, Shift::None)
     }
 
     /// Saturating addition with `b` pre-shifted.
+    #[inline]
     pub fn sat_add_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        let sign = self.sign;
-        self.binop(OpClass::SatAddSub, a, b, b_pix, bits, move |x, y, _| {
-            clamp(x + y, bits, sign)
-        });
+        self.alu(AluOp::SatAdd, a, b, Shift::Pix(b_pix))
     }
 
     /// Saturating subtraction `sat(a - b)` (1 cycle).
+    #[inline]
     pub fn sat_sub(&mut self, a: Operand, b: Operand) {
-        self.sat_sub_sh(a, b, 0)
+        self.alu(AluOp::SatSub, a, b, Shift::None)
     }
 
     /// Saturating subtraction with `b` pre-shifted.
+    #[inline]
     pub fn sat_sub_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        let sign = self.sign;
-        self.binop(OpClass::SatAddSub, a, b, b_pix, bits, move |x, y, _| {
-            clamp(x - y, bits, sign)
-        });
+        self.alu(AluOp::SatSub, a, b, Shift::Pix(b_pix))
     }
 
     /// Average `(a + b) >> 1` (1 cycle: add with the result shifter
     /// dropping the LSB; the carry extension supplies bit n).
+    #[inline]
     pub fn avg(&mut self, a: Operand, b: Operand) {
-        self.avg_sh(a, b, 0)
+        self.alu(AluOp::Avg, a, b, Shift::None)
     }
 
     /// Average with `b` pre-shifted by `b_pix` lanes.
+    #[inline]
     pub fn avg_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        self.binop(OpClass::Avg, a, b, b_pix, bits, |x, y, _| (x + y) >> 1);
+        self.alu(AluOp::Avg, a, b, Shift::Pix(b_pix))
     }
 
     /// Absolute difference `|a - b|` — the 3-step sequence of Fig. 7-a:
     /// `M = a - b` with carry extension `N`, `M += N`, `M ^= N`.
+    #[inline]
     pub fn abs_diff(&mut self, a: Operand, b: Operand) {
-        self.abs_diff_sh(a, b, 0)
+        self.alu(AluOp::AbsDiff, a, b, Shift::None)
     }
 
     /// Absolute difference with `b` pre-shifted.
+    #[inline]
     pub fn abs_diff_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        let sign = self.sign;
-        // Step 1: M = a - b (+ carry extension), SRAM-touching.
-        // Steps 2-3: Tmp-resident single-cycle fixups.
-        self.binop(OpClass::AbsDiff, a, b, b_pix, bits, move |x, y, _| {
-            clamp((x - y).abs(), bits, sign)
-        });
-        self.charge_tmp_steps(2);
+        self.alu(AluOp::AbsDiff, a, b, Shift::Pix(b_pix))
     }
 
     /// Branch-free maximum `max(a, b) = sat(a - b) + b` (2 cycles,
     /// Fig. 7-b).
+    #[inline]
     pub fn max(&mut self, a: Operand, b: Operand) {
-        self.max_sh(a, b, 0)
+        self.alu(AluOp::Max, a, b, Shift::None)
     }
 
     /// Maximum with `b` pre-shifted.
+    #[inline]
     pub fn max_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.max(y));
-        self.charge_tmp_steps(1);
+        self.alu(AluOp::Max, a, b, Shift::Pix(b_pix))
     }
 
     /// Branch-free minimum `min(a, b) = a - sat(a - b)` (2 cycles).
+    #[inline]
     pub fn min(&mut self, a: Operand, b: Operand) {
-        self.min_sh(a, b, 0)
+        self.alu(AluOp::Min, a, b, Shift::None)
     }
 
     /// Minimum with `b` pre-shifted.
+    #[inline]
     pub fn min_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.min(y));
-        self.charge_tmp_steps(1);
+        self.alu(AluOp::Min, a, b, Shift::Pix(b_pix))
     }
 
     /// Stand-alone lane shift by `pix` positions (1 cycle). Positive
@@ -466,21 +614,15 @@ impl PimMachine {
 
     /// Per-lane comparison `a > b`, leaving an all-ones/zero mask in the
     /// Tmp Reg (1 cycle: subtraction + carry-extension mask).
+    #[inline]
     pub fn cmp_gt(&mut self, a: Operand, b: Operand) {
-        self.cmp_gt_sh(a, b, 0)
+        self.alu(AluOp::CmpGt, a, b, Shift::None)
     }
 
     /// Comparison with `b` pre-shifted.
+    #[inline]
     pub fn cmp_gt_sh(&mut self, a: Operand, b: Operand, b_pix: i32) {
-        let bits = self.op_bits(a, b);
-        let mask = width_mask(bits) as i64;
-        self.binop(OpClass::Cmp, a, b, b_pix, bits, move |x, y, _| {
-            if x > y {
-                mask
-            } else {
-                0
-            }
-        });
+        self.alu(AluOp::CmpGt, a, b, Shift::Pix(b_pix))
     }
 
     /// Unsigned multiplication (Fig. 7-c): `n + 1` compute cycles for
@@ -1000,8 +1142,8 @@ mod tests {
     #[test]
     fn add_and_cycle_count() {
         let mut m = machine();
-        m.host_write_lanes(0, &[1, 2, 250]);
-        m.host_write_lanes(1, &[10, 20, 30]);
+        m.host_write_lanes(0, &[1, 2, 250]).unwrap();
+        m.host_write_lanes(1, &[10, 20, 30]).unwrap();
         m.add(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..3], &[11, 22, 24]); // 280 wraps to 24
         assert_eq!(m.stats().cycles, 1);
@@ -1011,8 +1153,8 @@ mod tests {
     #[test]
     fn sat_add_clamps_unsigned() {
         let mut m = machine();
-        m.host_write_lanes(0, &[250, 5]);
-        m.host_write_lanes(1, &[10, 10]);
+        m.host_write_lanes(0, &[250, 5]).unwrap();
+        m.host_write_lanes(1, &[10, 10]).unwrap();
         m.sat_add(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..2], &[255, 15]);
     }
@@ -1021,8 +1163,8 @@ mod tests {
     fn signed_lanes() {
         let mut m = machine();
         m.set_lanes(LaneWidth::W16, Signedness::Signed);
-        m.host_write_lanes(0, &[-100, 30000]);
-        m.host_write_lanes(1, &[50, 10000]);
+        m.host_write_lanes(0, &[-100, 30000]).unwrap();
+        m.host_write_lanes(1, &[50, 10000]).unwrap();
         m.sat_add(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..2], &[-50, 32767]);
         m.sub(Operand::Row(0), Operand::Row(1));
@@ -1032,8 +1174,8 @@ mod tests {
     #[test]
     fn avg_matches_paper_lpf_step() {
         let mut m = machine();
-        m.host_write_lanes(0, &[10, 20, 30, 40]);
-        m.host_write_lanes(1, &[20, 40, 10, 0]);
+        m.host_write_lanes(0, &[10, 20, 30, 40]).unwrap();
+        m.host_write_lanes(1, &[20, 40, 10, 0]).unwrap();
         m.avg(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..4], &[15, 30, 20, 20]);
         // fused shifted average: (C[i] + C[i+1]) / 2
@@ -1045,8 +1187,8 @@ mod tests {
     #[test]
     fn abs_diff_and_multi_cycle_cost() {
         let mut m = machine();
-        m.host_write_lanes(0, &[10, 200]);
-        m.host_write_lanes(1, &[30, 50]);
+        m.host_write_lanes(0, &[10, 200]).unwrap();
+        m.host_write_lanes(1, &[30, 50]).unwrap();
         let before = m.stats().cycles;
         m.abs_diff(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..2], &[20, 150]);
@@ -1056,8 +1198,8 @@ mod tests {
     #[test]
     fn min_max_two_cycles() {
         let mut m = machine();
-        m.host_write_lanes(0, &[10, 200]);
-        m.host_write_lanes(1, &[30, 50]);
+        m.host_write_lanes(0, &[10, 200]).unwrap();
+        m.host_write_lanes(1, &[30, 50]).unwrap();
         let c0 = m.stats().cycles;
         m.max(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..2], &[30, 200]);
@@ -1069,8 +1211,8 @@ mod tests {
     #[test]
     fn mul_cost_is_n_plus_one_before_writeback() {
         let mut m = machine();
-        m.host_write_lanes(0, &[13, 7]);
-        m.host_write_lanes(1, &[11, 9]);
+        m.host_write_lanes(0, &[13, 7]).unwrap();
+        m.host_write_lanes(1, &[11, 9]).unwrap();
         let c0 = m.stats().cycles;
         m.mul(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..2], &[143, 63]);
@@ -1084,8 +1226,8 @@ mod tests {
     fn mul_signed_values() {
         let mut m = machine();
         m.set_lanes(LaneWidth::W16, Signedness::Signed);
-        m.host_write_lanes(0, &[-300, 250]);
-        m.host_write_lanes(1, &[40, -40]);
+        m.host_write_lanes(0, &[-300, 250]).unwrap();
+        m.host_write_lanes(1, &[40, -40]).unwrap();
         m.mul_signed(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..2], &[-12000, -10000]);
         assert_eq!(m.tmp_bits(), 32);
@@ -1094,8 +1236,8 @@ mod tests {
     #[test]
     fn div_matches_fig7d() {
         let mut m = machine();
-        m.host_write_lanes(0, &[15, 143]);
-        m.host_write_lanes(1, &[6, 11]);
+        m.host_write_lanes(0, &[15, 143]).unwrap();
+        m.host_write_lanes(1, &[6, 11]).unwrap();
         m.div(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..2], &[2, 13]);
         m.rem(Operand::Row(0), Operand::Row(1));
@@ -1105,8 +1247,8 @@ mod tests {
     #[test]
     fn div_by_zero_saturates() {
         let mut m = machine();
-        m.host_write_lanes(0, &[15]);
-        m.host_write_lanes(1, &[0]);
+        m.host_write_lanes(0, &[15]).unwrap();
+        m.host_write_lanes(1, &[0]).unwrap();
         m.div(Operand::Row(0), Operand::Row(1));
         assert_eq!(m.tmp_lanes()[0], 255);
     }
@@ -1114,7 +1256,7 @@ mod tests {
     #[test]
     fn shift_pix_semantics() {
         let mut m = machine();
-        m.host_write_lanes(0, &[1, 2, 3, 4]);
+        m.host_write_lanes(0, &[1, 2, 3, 4]).unwrap();
         m.shift_pix(Operand::Row(0), 1);
         assert_eq!(&m.tmp_lanes()[..4], &[2, 3, 4, 5 - 5]);
         m.shift_pix(Operand::Row(0), -1);
@@ -1124,8 +1266,8 @@ mod tests {
     #[test]
     fn cmp_produces_mask() {
         let mut m = machine();
-        m.host_write_lanes(0, &[10, 50]);
-        m.host_write_lanes(1, &[30, 20]);
+        m.host_write_lanes(0, &[10, 50]).unwrap();
+        m.host_write_lanes(1, &[30, 20]).unwrap();
         m.cmp_gt(Operand::Row(0), Operand::Row(1));
         assert_eq!(&m.tmp_lanes()[..2], &[0, 255]);
     }
@@ -1133,7 +1275,7 @@ mod tests {
     #[test]
     fn tmp_chaining_avoids_sram_reads() {
         let mut m = machine();
-        m.host_write_lanes(0, &[1, 2]);
+        m.host_write_lanes(0, &[1, 2]).unwrap();
         m.load(Operand::Row(0));
         let r0 = m.stats().sram_reads;
         m.add(Operand::Tmp, Operand::Tmp);
@@ -1144,7 +1286,7 @@ mod tests {
     #[test]
     fn writeback_persists_and_costs() {
         let mut m = machine();
-        m.host_write_lanes(0, &[7, 8]);
+        m.host_write_lanes(0, &[7, 8]).unwrap();
         m.load(Operand::Row(0));
         m.writeback(3);
         assert_eq!(m.stats().sram_writes, 1);
@@ -1156,7 +1298,7 @@ mod tests {
         let mut m = machine();
         m.set_lanes(LaneWidth::W32, Signedness::Signed);
         let vals: Vec<i64> = (1..=80).collect();
-        m.host_write_lanes(0, &vals);
+        m.host_write_lanes(0, &vals).unwrap();
         m.load(Operand::Row(0));
         let s = m.reduce_sum();
         assert_eq!(s, 80 * 81 / 2);
@@ -1168,7 +1310,7 @@ mod tests {
     #[test]
     fn gather_costs_one_cycle_per_element() {
         let mut m = machine();
-        m.host_write_lanes(4, &[9, 8, 7]);
+        m.host_write_lanes(4, &[9, 8, 7]).unwrap();
         let c0 = m.stats().cycles;
         let vals = m.gather(&[(4, 0), (4, 2)]);
         assert_eq!(vals, vec![9, 7]);
@@ -1202,8 +1344,8 @@ mod multireg_tests {
         let mut m = PimMachine::new(ArrayConfig::qvga());
         m.set_tmp_regs(2);
         assert_eq!(m.tmp_reg_count(), 2);
-        m.host_write_lanes(0, &[5, 9]);
-        m.host_write_lanes(1, &[2, 3]);
+        m.host_write_lanes(0, &[5, 9]).unwrap();
+        m.host_write_lanes(1, &[2, 3]).unwrap();
         m.add(Operand::Row(0), Operand::Row(1)); // tmp = [7, 12]
         m.save_tmp(1);
         m.sub(Operand::Row(0), Operand::Row(1)); // tmp = [3, 6]
@@ -1215,7 +1357,7 @@ mod multireg_tests {
     fn save_tmp_costs_one_register_cycle_no_sram() {
         let mut m = PimMachine::new(ArrayConfig::qvga());
         m.set_tmp_regs(3);
-        m.host_write_lanes(0, &[1]);
+        m.host_write_lanes(0, &[1]).unwrap();
         m.load(Operand::Row(0));
         let (c0, r0, w0) = (m.stats().cycles, m.stats().sram_reads, m.stats().sram_writes);
         m.save_tmp(2);
@@ -1230,8 +1372,8 @@ mod multireg_tests {
         // writeback + re-read
         let mut with_reg = PimMachine::new(ArrayConfig::qvga());
         with_reg.set_tmp_regs(2);
-        with_reg.host_write_lanes(0, &[10, 20]);
-        with_reg.host_write_lanes(1, &[1, 2]);
+        with_reg.host_write_lanes(0, &[10, 20]).unwrap();
+        with_reg.host_write_lanes(1, &[1, 2]).unwrap();
         with_reg.add(Operand::Row(0), Operand::Row(1));
         with_reg.save_tmp(1);
         with_reg.sub(Operand::Row(0), Operand::Row(1));
@@ -1239,8 +1381,8 @@ mod multireg_tests {
         let a = with_reg.tmp_lanes()[..2].to_vec();
 
         let mut with_wb = PimMachine::new(ArrayConfig::qvga());
-        with_wb.host_write_lanes(0, &[10, 20]);
-        with_wb.host_write_lanes(1, &[1, 2]);
+        with_wb.host_write_lanes(0, &[10, 20]).unwrap();
+        with_wb.host_write_lanes(1, &[1, 2]).unwrap();
         with_wb.add(Operand::Row(0), Operand::Row(1));
         with_wb.writeback(5);
         with_wb.sub(Operand::Row(0), Operand::Row(1));
@@ -1257,7 +1399,7 @@ mod multireg_tests {
     #[should_panic(expected = "not enabled")]
     fn unenabled_register_panics() {
         let mut m = PimMachine::new(ArrayConfig::qvga());
-        m.host_write_lanes(0, &[1]);
+        m.host_write_lanes(0, &[1]).unwrap();
         m.load(Operand::Row(0));
         m.save_tmp(1);
     }
@@ -1267,7 +1409,7 @@ mod multireg_tests {
     fn reading_empty_register_panics() {
         let mut m = PimMachine::new(ArrayConfig::qvga());
         m.set_tmp_regs(2);
-        m.host_write_lanes(0, &[1]);
+        m.host_write_lanes(0, &[1]).unwrap();
         m.add(Operand::Row(0), Operand::Reg(1));
     }
 }

@@ -1,0 +1,264 @@
+//! Sharded multi-array execution: [`PimArrayPool`].
+//!
+//! The paper evaluates a single (320·8)×256-bit macro, but a deployed
+//! PIM cache tiles many of them. The pool owns N independent
+//! [`PimMachine`] arrays and runs *phases* — closures over disjoint
+//! shards of a kernel — on scoped worker threads, one per array.
+//!
+//! Accounting stays deterministic and paper-faithful:
+//!
+//! * **Energy / op counts** are the per-array [`ExecStats`] merged by
+//!   summation ([`PimArrayPool::merged_stats`]); the work performed is
+//!   identical to single-array execution, it is only distributed.
+//! * **Wall cycles** ([`PimArrayPool::wall_cycles`]) advance per phase
+//!   by the *maximum* per-array cycle delta (the barrier waits for the
+//!   slowest shard), plus [`CostModel::pool_sync_cycles`] per barrier
+//!   when more than one array participates — so a pool of one is
+//!   cycle-identical to a bare machine.
+//!
+//! Thread scheduling can never perturb results: each closure owns its
+//! array exclusively for the duration of the phase, and cycle deltas
+//! are computed from per-array counters after the barrier, in array
+//! order.
+
+use crate::machine::{PimMachine, PimMachineBuilder};
+use crate::stats::ExecStats;
+
+/// A pool of N identical PIM arrays executing kernel shards in parallel.
+///
+/// Construct through [`PimMachineBuilder::build_pool`] so every member
+/// array shares one configuration:
+///
+/// ```
+/// use pimvo_pim::{ArrayConfig, Operand, PimMachineBuilder};
+///
+/// let mut pool = PimMachineBuilder::new(ArrayConfig::qvga()).build_pool(2);
+/// pool.array_mut(0).host_write_lanes(0, &[1, 2]).unwrap();
+/// pool.array_mut(1).host_write_lanes(0, &[3, 4]).unwrap();
+/// let sums: Vec<i64> = pool.run_phase(|_idx, m| {
+///     m.add(Operand::Row(0), Operand::Row(0));
+///     m.tmp_lanes()[0]
+/// });
+/// assert_eq!(sums, vec![2, 6]);
+/// // both shards ran one cycle; the barrier charges one sync overhead
+/// assert_eq!(pool.wall_cycles(), 1 + pool.sync_cycles());
+/// ```
+#[derive(Debug)]
+pub struct PimArrayPool {
+    arrays: Vec<PimMachine>,
+    wall_cycles: u64,
+    sync_cycles: u64,
+    barriers: u64,
+}
+
+impl PimArrayPool {
+    /// Builds a pool of `n` arrays stamped from one builder
+    /// configuration. Prefer the [`PimMachineBuilder::build_pool`]
+    /// spelling.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n == 0`.
+    pub fn from_builder(builder: &PimMachineBuilder, n: usize) -> Self {
+        assert!(n >= 1, "a pool needs at least one array");
+        let arrays: Vec<PimMachine> = (0..n).map(|_| builder.build()).collect();
+        let sync_cycles = arrays[0].cost_model().pool_sync_cycles;
+        PimArrayPool {
+            arrays,
+            wall_cycles: 0,
+            sync_cycles,
+            barriers: 0,
+        }
+    }
+
+    /// Number of arrays in the pool.
+    pub fn len(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// True for an (impossible) empty pool; present for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.is_empty()
+    }
+
+    /// Shared view of array `i`.
+    pub fn array(&self, i: usize) -> &PimMachine {
+        &self.arrays[i]
+    }
+
+    /// Exclusive access to array `i` — host-side setup (image strip
+    /// loads, halo rows, boundary exchanges) between phases goes through
+    /// here and costs host I/O only, never compute cycles.
+    pub fn array_mut(&mut self, i: usize) -> &mut PimMachine {
+        &mut self.arrays[i]
+    }
+
+    /// The per-barrier synchronisation overhead in cycles (from the
+    /// cost model the pool was built with).
+    pub fn sync_cycles(&self) -> u64 {
+        self.sync_cycles
+    }
+
+    /// Number of multi-array barriers charged so far.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Wall-clock cycles so far: per phase, the slowest shard's cycle
+    /// delta, plus one sync overhead per multi-array barrier.
+    pub fn wall_cycles(&self) -> u64 {
+        self.wall_cycles
+    }
+
+    /// Per-array statistics merged by summation: total energy, SRAM
+    /// traffic and op counts of the distributed execution. The `cycles`
+    /// field is the summed *compute* cycles (total work); use
+    /// [`PimArrayPool::wall_cycles`] for elapsed time.
+    pub fn merged_stats(&self) -> ExecStats {
+        let mut merged = ExecStats::new();
+        for m in &self.arrays {
+            merged.merge(m.stats());
+        }
+        merged
+    }
+
+    /// Resets statistics and the wall-cycle clock on every array
+    /// (array contents are preserved).
+    pub fn reset_stats(&mut self) {
+        for m in &mut self.arrays {
+            m.reset_stats();
+        }
+        self.wall_cycles = 0;
+        self.barriers = 0;
+    }
+
+    /// Runs one parallel phase: `f(index, machine)` executes on every
+    /// array concurrently (scoped worker threads; inline for a pool of
+    /// one), with each closure owning its array exclusively. Returns the
+    /// per-array results in array order.
+    ///
+    /// The phase forms a barrier: wall cycles advance by the maximum
+    /// per-array cycle delta, plus the sync overhead when the pool has
+    /// more than one array.
+    pub fn run_phase<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut PimMachine) -> R + Sync,
+    {
+        let before: Vec<u64> = self.arrays.iter().map(|m| m.stats().cycles).collect();
+        let results: Vec<R> = if self.arrays.len() == 1 {
+            vec![f(0, &mut self.arrays[0])]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .arrays
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, m)| {
+                        let f = &f;
+                        s.spawn(move || f(i, m))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pool shard thread panicked"))
+                    .collect()
+            })
+        };
+        let max_delta = self
+            .arrays
+            .iter()
+            .zip(&before)
+            .map(|(m, &b)| m.stats().cycles - b)
+            .max()
+            .unwrap_or(0);
+        self.wall_cycles += max_delta;
+        if self.arrays.len() > 1 {
+            self.wall_cycles += self.sync_cycles;
+            self.barriers += 1;
+        }
+        results
+    }
+}
+
+impl PimMachineBuilder {
+    /// Builds a [`PimArrayPool`] of `n` arrays with this configuration.
+    pub fn build_pool(&self, n: usize) -> PimArrayPool {
+        PimArrayPool::from_builder(self, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArrayConfig;
+    use crate::isa::Operand;
+
+    fn pool(n: usize) -> PimArrayPool {
+        PimMachineBuilder::new(ArrayConfig::qvga()).build_pool(n)
+    }
+
+    #[test]
+    fn wall_cycles_are_max_plus_sync() {
+        let mut p = pool(3);
+        for i in 0..3 {
+            p.array_mut(i).host_write_lanes(0, &[1, 2, 3]).unwrap();
+        }
+        // shard i performs i+1 single-cycle adds: deltas 1, 2, 3
+        p.run_phase(|i, m| {
+            for _ in 0..=i {
+                m.add(Operand::Row(0), Operand::Row(0));
+            }
+        });
+        assert_eq!(p.wall_cycles(), 3 + p.sync_cycles());
+        assert_eq!(p.barriers(), 1);
+        // compute work is conserved: 1 + 2 + 3 summed cycles
+        assert_eq!(p.merged_stats().cycles, 6);
+    }
+
+    #[test]
+    fn single_array_pool_matches_bare_machine() {
+        let mut p = pool(1);
+        p.array_mut(0).host_write_lanes(0, &[5, 6]).unwrap();
+        p.run_phase(|_, m| {
+            m.add(Operand::Row(0), Operand::Row(0));
+            m.writeback(1);
+        });
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.host_write_lanes(0, &[5, 6]).unwrap();
+        m.add(Operand::Row(0), Operand::Row(0));
+        m.writeback(1);
+        // no sync overhead, identical cycles and stats
+        assert_eq!(p.wall_cycles(), m.stats().cycles);
+        assert_eq!(p.barriers(), 0);
+        assert_eq!(p.merged_stats(), *m.stats());
+    }
+
+    #[test]
+    fn phase_results_in_array_order() {
+        let mut p = pool(4);
+        let ids = p.run_phase(|i, _| i);
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reset_clears_wall_clock() {
+        let mut p = pool(2);
+        p.run_phase(|_, m| {
+            m.host_broadcast(0, 7).unwrap();
+            m.load(Operand::Row(0));
+        });
+        assert!(p.wall_cycles() > 0);
+        p.reset_stats();
+        assert_eq!(p.wall_cycles(), 0);
+        assert_eq!(p.merged_stats().cycles, 0);
+        // array contents survive the reset
+        assert_eq!(p.array_mut(0).host_read_lanes(0)[0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one array")]
+    fn empty_pool_rejected() {
+        pool(0);
+    }
+}

@@ -113,8 +113,8 @@ mod tests {
     fn records_ops_with_cycle_spans() {
         let mut m = PimMachine::new(ArrayConfig::qvga());
         m.set_tracing(true);
-        m.host_write_lanes(0, &[3, 4]);
-        m.host_write_lanes(1, &[5, 6]);
+        m.host_write_lanes(0, &[3, 4]).unwrap();
+        m.host_write_lanes(1, &[5, 6]).unwrap();
         m.add(Operand::Row(0), Operand::Row(1));
         m.mul(Operand::Row(0), Operand::Row(1));
         m.writeback(2);
@@ -136,8 +136,8 @@ mod tests {
         let mut m = PimMachine::new(ArrayConfig::qvga());
         m.set_lanes(LaneWidth::W16, Signedness::Signed);
         m.set_tracing(true);
-        m.host_write_lanes(0, &[7]);
-        m.host_write_lanes(1, &[9]);
+        m.host_write_lanes(0, &[7]).unwrap();
+        m.host_write_lanes(1, &[9]).unwrap();
         m.mul_signed(Operand::Row(0), Operand::Row(1));
         m.add(Operand::Tmp, Operand::Tmp);
         let trace = m.trace().unwrap().clone();
@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn tracing_off_by_default_and_clearable() {
         let mut m = PimMachine::new(ArrayConfig::qvga());
-        m.host_write_lanes(0, &[1]);
+        m.host_write_lanes(0, &[1]).unwrap();
         m.load(Operand::Row(0));
         assert!(m.trace().is_none());
         m.set_tracing(true);

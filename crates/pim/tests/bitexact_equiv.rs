@@ -10,8 +10,8 @@ fn machine_with(width: LaneWidth, a: &[u64], b: &[u64]) -> PimMachine {
     m.set_lanes(width, Signedness::Unsigned);
     let ai: Vec<i64> = a.iter().map(|&v| v as i64).collect();
     let bi: Vec<i64> = b.iter().map(|&v| v as i64).collect();
-    m.host_write_lanes(0, &ai);
-    m.host_write_lanes(1, &bi);
+    m.host_write_lanes(0, &ai).unwrap();
+    m.host_write_lanes(1, &bi).unwrap();
     m
 }
 

@@ -23,8 +23,8 @@ fn main() {
     println!();
 
     // Fig. 7-a: absolute difference |A - B|
-    m.host_write_lanes(0, &[121, 12]);
-    m.host_write_lanes(1, &[106, 22]);
+    m.host_write_lanes(0, &[121, 12]).unwrap();
+    m.host_write_lanes(1, &[106, 22]).unwrap();
     m.abs_diff(Row(0), Row(1));
     println!("Fig.7-a |[121,12] - [106,22]| = {:?}", &m.tmp_lanes()[..2]);
 
@@ -39,8 +39,8 @@ fn main() {
     );
 
     // Fig. 7-c: multiplication 13 x 11 = 143 (n+2 cycles at 8 bits)
-    m.host_write_lanes(2, &[13]);
-    m.host_write_lanes(3, &[11]);
+    m.host_write_lanes(2, &[13]).unwrap();
+    m.host_write_lanes(3, &[11]).unwrap();
     let c0 = m.stats().cycles;
     m.mul(Row(2), Row(3));
     m.writeback(4);
@@ -51,8 +51,8 @@ fn main() {
     );
 
     // Fig. 7-d: division 15 / 6 = 2 rem 3
-    m.host_write_lanes(2, &[15]);
-    m.host_write_lanes(3, &[6]);
+    m.host_write_lanes(2, &[15]).unwrap();
+    m.host_write_lanes(3, &[6]).unwrap();
     m.div(Row(2), Row(3));
     let q = m.tmp_lanes()[0];
     m.rem(Row(2), Row(3));
@@ -63,8 +63,8 @@ fn main() {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
     let a: Vec<i64> = (0..320).map(|i| (i % 251) as i64).collect();
     let b: Vec<i64> = (0..320).map(|i| ((i * 7) % 251) as i64).collect();
-    m.host_write_lanes(10, &a);
-    m.host_write_lanes(11, &b);
+    m.host_write_lanes(10, &a).unwrap();
+    m.host_write_lanes(11, &b).unwrap();
     let c1 = m.stats().cycles;
     m.avg(Row(10), Row(11));
     m.avg_sh(Tmp, Tmp, 1); // fused shift-average (Fig. 2's LPF step)
