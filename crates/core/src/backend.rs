@@ -82,6 +82,12 @@ pub trait TrackerBackend {
 
     /// Resets the cost statistics.
     fn reset_stats(&mut self);
+
+    /// Fault/quarantine health report of the backing array pool, for
+    /// backends that have one (`None` on the MCU baseline).
+    fn pool_health(&self) -> Option<pimvo_pim::PoolHealth> {
+        None
+    }
 }
 
 /// The PicoVO-class baseline backend.
@@ -234,6 +240,25 @@ impl PimBackend {
         }
     }
 
+    /// Creates the backend with arrays stamped from an explicit machine
+    /// builder — the way to attach a [`pimvo_pim::FaultModel`] /
+    /// [`pimvo_pim::Protection`] configuration to every array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.pool` is zero.
+    pub fn from_builder(builder: &pimvo_pim::PimMachineBuilder, options: BatchOptions) -> Self {
+        PimBackend {
+            runner: BatchRunner::from_builder(builder, options),
+            batch_trace: None,
+            edge_cycles: 0,
+            lm_cycles: 0,
+            lm_iterations: 0,
+            frames: 0,
+            scaled: ExecStats::new(),
+        }
+    }
+
     /// Access to the first underlying machine (stats inspection).
     pub fn machine(&self) -> &PimMachine {
         self.runner.pool().array(0)
@@ -242,6 +267,12 @@ impl PimBackend {
     /// Access to the underlying array pool.
     pub fn pool(&self) -> &PimArrayPool {
         self.runner.pool()
+    }
+
+    /// Exclusive access to the underlying array pool (fault status
+    /// reset, retry-policy configuration, manual quarantine).
+    pub fn pool_mut(&mut self) -> &mut PimArrayPool {
+        self.runner.pool_mut()
     }
 
     fn interp(&self) -> Interp {
@@ -309,6 +340,30 @@ impl TrackerBackend for PimBackend {
     ) -> NormalEquations {
         let qpose = QPose::quantize(pose);
         let qkf = &keyframe.q_tables;
+
+        if self.runner.options().on_machine {
+            // real machine execution: faults (if any) corrupt the
+            // normal equations, recovery runs at the pool layer
+            let qfeats: Vec<QFeature> = features.iter().map(QFeature::quantize).collect();
+            let wall_before = self.runner.pool().wall_cycles();
+            match self.runner.try_submit(&qfeats, &qpose, qkf, cam) {
+                Ok(outs) => {
+                    let mut eq = QNormalEquations::zero();
+                    for out in &outs {
+                        pim_exec::fold_batch(&mut eq, out);
+                    }
+                    self.lm_cycles += self.runner.pool().wall_cycles() - wall_before;
+                    self.lm_iterations += 1;
+                    return eq.to_normal_equations();
+                }
+                Err(_) => {
+                    // every array quarantined: degrade to the scalar
+                    // path below so tracking can continue host-side
+                    self.lm_cycles += self.runner.pool().wall_cycles() - wall_before;
+                }
+            }
+        }
+
         // fast path: scalar-quantized evaluation, identical values to
         // the machine execution
         let mut eq = QNormalEquations::zero();
@@ -368,6 +423,10 @@ impl TrackerBackend for PimBackend {
         self.lm_cycles = 0;
         self.lm_iterations = 0;
         self.frames = 0;
+    }
+
+    fn pool_health(&self) -> Option<pimvo_pim::PoolHealth> {
+        Some(self.runner.pool().health())
     }
 }
 

@@ -26,6 +26,39 @@ impl Default for KeyframePolicy {
     }
 }
 
+/// Graceful-degradation thresholds of the tracker's
+/// [`crate::TrackingState`] machine.
+///
+/// A frame is *bad* when the LM solve diverged, produced no residuals,
+/// warped too few features into the keyframe, or left an implausibly
+/// large mean residual. Bad frames fall back to the constant-velocity /
+/// gyro motion prior instead of trusting the solver, and after
+/// [`RecoveryConfig::max_bad_frames`] of them the tracker declares
+/// itself Lost and re-seeds at the last keyframe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Mean squared residual (pixels²) above which a solve is rejected
+    /// as corrupted rather than merely poor.
+    pub max_mean_residual: f64,
+    /// Minimum fraction of extracted features that must contribute a
+    /// residual; below it the alignment has too little support.
+    pub min_valid_fraction: f64,
+    /// Consecutive bad frames tolerated (coasting on the motion prior)
+    /// before the state machine drops to Lost and re-seeds from the
+    /// last keyframe.
+    pub max_bad_frames: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_mean_residual: 1e4,
+            min_valid_fraction: 0.15,
+            max_bad_frames: 3,
+        }
+    }
+}
+
 /// Configuration of the EBVO tracker.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrackerConfig {
@@ -37,6 +70,8 @@ pub struct TrackerConfig {
     pub lm: LmConfig,
     /// Keyframe promotion policy.
     pub keyframe: KeyframePolicy,
+    /// Graceful-degradation thresholds (tracking-lost recovery).
+    pub recovery: RecoveryConfig,
     /// Coarse-to-fine pyramid levels (1 = the paper's single-level
     /// tracking; 2-3 enlarge the convergence basin for faster motion at
     /// ~1/4 extra edge-detection cost per level).
@@ -62,6 +97,7 @@ impl Default for TrackerConfig {
             edge: EdgeConfig::default(),
             lm: LmConfig::default(),
             keyframe: KeyframePolicy::default(),
+            recovery: RecoveryConfig::default(),
             pyramid_levels: 1,
             build_map: false,
             map_voxel_m: 0.02,

@@ -56,12 +56,12 @@ mod tracker;
 mod warp;
 
 pub use backend::{BackendKind, BackendStats, FloatBackend, PimBackend, TrackerBackend};
-pub use config::{KeyframePolicy, TrackerConfig};
+pub use config::{KeyframePolicy, RecoveryConfig, TrackerConfig};
 pub use feature::{extract_features, Feature};
 pub use hessian::{accumulate_batch_q, QNormalEquations};
 pub use jacobian::{jacobian_float, jacobian_q};
 pub use keyframe::Keyframe;
 pub use mapping::EdgeMap3d;
 pub use quant::{Interp, QFeature, QKeyframe, QPose, GRAD_FRAC, PIX_FRAC, RES_FRAC};
-pub use tracker::{FrameResult, Tracker};
+pub use tracker::{FrameResult, Tracker, TrackingState};
 pub use warp::{project_q, warp_float, warp_q, WarpQ};

@@ -31,7 +31,8 @@
 use crate::hessian::{tri_idx, QNormalEquations};
 use crate::quant::{Interp, QFeature, QKeyframe, QPose, PIX_FRAC, POSE_FRAC, RATIO_FRAC};
 use pimvo_pim::{
-    ArrayConfig, LaneWidth, Operand, PimArrayPool, PimMachine, PimMachineBuilder, Signedness,
+    ArrayConfig, LaneWidth, Operand, PimArrayPool, PimError, PimMachine, PimMachineBuilder,
+    Signedness,
 };
 use pimvo_vomath::Pinhole;
 
@@ -67,6 +68,12 @@ pub struct BatchOptions {
     pub interp: Interp,
     /// Number of PIM arrays batches are sharded across.
     pub pool: usize,
+    /// When true, [`crate::PimBackend::linearize`] executes every batch
+    /// on the machines (through [`BatchRunner::try_submit`]) instead of
+    /// the calibrated fast scalar path. Slower to simulate but required
+    /// for fault-injection studies: injected upsets then actually
+    /// corrupt the normal equations.
+    pub on_machine: bool,
 }
 
 impl Default for BatchOptions {
@@ -75,6 +82,7 @@ impl Default for BatchOptions {
             mapping: BatchMapping::Opt,
             interp: Interp::Bilinear,
             pool: 1,
+            on_machine: false,
         }
     }
 }
@@ -157,6 +165,11 @@ impl BatchRunner {
     /// of `pool.len()` batches. Returns the per-batch outputs in
     /// feature order — bit-identical to running the chunks sequentially
     /// on a single array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every pool array has been quarantined (see
+    /// [`BatchRunner::try_submit`] for the fallible variant).
     pub fn submit(
         &mut self,
         feats: &[QFeature],
@@ -164,19 +177,47 @@ impl BatchRunner {
         kf: &QKeyframe,
         cam: &Pinhole,
     ) -> Vec<BatchOutput> {
+        self.try_submit(feats, pose, kf, cam)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible, fault-resilient [`BatchRunner::submit`]: sections are
+    /// sized to the pool's *healthy* array count and run through
+    /// [`PimArrayPool::run_phase_resilient`], so a shard whose array
+    /// reports detected errors is retried and — on a persistent defect —
+    /// re-dispatched to another array (each `exec_batch` is
+    /// self-contained: it host-writes every input it reads, making
+    /// re-execution on any array safe). With inert fault models the
+    /// outputs, cycles and energy are bit-identical to [`BatchRunner::submit`]
+    /// before the resilience layer existed.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::AllArraysQuarantined`] once no healthy array remains.
+    pub fn try_submit(
+        &mut self,
+        feats: &[QFeature],
+        pose: &QPose,
+        kf: &QKeyframe,
+        cam: &Pinhole,
+    ) -> Result<Vec<BatchOutput>, PimError> {
         let chunks: Vec<&[QFeature]> = feats.chunks(BATCH).collect();
-        let n = self.pool.len();
         let (base_row, opts) = (self.base_row, self.options);
         let mut outputs = Vec::with_capacity(chunks.len());
-        for section in chunks.chunks(n) {
-            let results = self.pool.run_phase(|i, m| {
+        let mut next = 0;
+        while next < chunks.len() {
+            // re-sized every section: recovery may quarantine arrays
+            let n = self.pool.healthy_len();
+            let section = &chunks[next..chunks.len().min(next + n.max(1))];
+            let results = self.pool.run_phase_resilient(|shard, m| {
                 section
-                    .get(i)
+                    .get(shard)
                     .map(|c| exec_batch(m, base_row, c, pose, kf, cam, opts.interp, opts.mapping))
-            });
+            })?;
             outputs.extend(results.into_iter().flatten());
+            next += section.len();
         }
-        outputs
+        Ok(outputs)
     }
 }
 

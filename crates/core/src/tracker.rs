@@ -9,6 +9,36 @@ use crate::mapping::EdgeMap3d;
 use pimvo_kernels::{DepthImage, GrayImage};
 use pimvo_vomath::{LmOutcome, LmProblem, LmSolver, NormalEquations, Pinhole, SE3, SO3};
 
+/// Tracking quality state of the [`Tracker`] — the graceful-degradation
+/// ladder:
+///
+/// ```text
+///        good frame                 bad frame
+///   Ok ───────────▶ Ok        Ok ────────────▶ Degraded
+///   Degraded ──────▶ Ok       Degraded ───┬──▶ Degraded   (< N bad)
+///   Lost ──────────▶ Ok                   └──▶ Lost       (≥ N bad,
+///                                               re-seed at keyframe)
+/// ```
+///
+/// A *bad* frame (diverged solve, no residual support, exploding cost —
+/// see [`crate::RecoveryConfig`]) never overwrites the pose with solver
+/// output: the tracker coasts on the constant-velocity / gyro motion
+/// prior. After `max_bad_frames` consecutive bad frames the tracker is
+/// Lost: the pose is re-seeded at the last keyframe, from which the
+/// next well-supported alignment re-localizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrackingState {
+    /// The last frame aligned with healthy support.
+    #[default]
+    Ok,
+    /// Recent frames were rejected; pose is extrapolated from the
+    /// motion prior.
+    Degraded,
+    /// Too many consecutive rejections; pose re-seeded at the last
+    /// keyframe until alignment recovers.
+    Lost,
+}
+
 /// Result of processing one frame.
 #[derive(Debug, Clone)]
 pub struct FrameResult {
@@ -26,6 +56,8 @@ pub struct FrameResult {
     pub iterations: usize,
     /// Final mean squared residual (pixels²).
     pub mean_residual: f64,
+    /// Tracking quality after this frame.
+    pub state: TrackingState,
 }
 
 struct AlignmentProblem<'a> {
@@ -58,6 +90,15 @@ pub struct Tracker {
     frame_index: usize,
     /// Semi-dense world map (when `config.build_map`).
     map: Option<EdgeMap3d>,
+    /// Tracking quality state (graceful degradation).
+    state: TrackingState,
+    /// Consecutive bad frames seen in the current Degraded stretch.
+    bad_frames: usize,
+    /// Inter-frame camera motion `T_c_prev <- c_curr` of the last good
+    /// alignment (the constant-velocity prior).
+    motion: SE3,
+    /// World-from-camera pose of the previous frame (prior anchor).
+    prev_pose_wc: SE3,
 }
 
 impl Tracker {
@@ -91,7 +132,16 @@ impl Tracker {
             pose_kc: SE3::IDENTITY,
             frame_index: 0,
             map,
+            state: TrackingState::Ok,
+            bad_frames: 0,
+            motion: SE3::IDENTITY,
+            prev_pose_wc: SE3::IDENTITY,
         }
+    }
+
+    /// Current tracking quality state.
+    pub fn state(&self) -> TrackingState {
+        self.state
     }
 
     /// Tracker configuration.
@@ -102,6 +152,12 @@ impl Tracker {
     /// Backend cost statistics.
     pub fn stats(&self) -> BackendStats {
         self.backend.stats()
+    }
+
+    /// Fault/quarantine health of the backend's array pool (`None` on
+    /// backends without one, e.g. the MCU baseline).
+    pub fn pool_health(&self) -> Option<pimvo_pim::PoolHealth> {
+        self.backend.pool_health()
     }
 
     /// Current full-resolution keyframe, if any.
@@ -181,6 +237,7 @@ impl Tracker {
                 map.integrate_keyframe(&features[0], &self.pose_wc);
             }
             self.pose_kc = SE3::IDENTITY;
+            self.prev_pose_wc = self.pose_wc;
             return FrameResult {
                 index,
                 pose_wc: self.pose_wc,
@@ -189,6 +246,7 @@ impl Tracker {
                 features: features[0].len(),
                 iterations: 0,
                 mean_residual: 0.0,
+                state: self.state,
             };
         };
 
@@ -217,16 +275,67 @@ impl Tracker {
             outcome = Some(out);
         }
         let outcome = outcome.expect("at least one pyramid level");
-        self.pose_kc = pose;
-        // pose_kc = T_keyframe<-camera, so T_world<-camera composes directly
-        self.pose_wc = keyframes[0].pose_wk.compose(&self.pose_kc);
 
-        // keyframe policy (evaluated at the finest level)
+        // ---- graceful degradation: accept or reject the solve ---------
         let overlap = if features[0].is_empty() {
             0.0
         } else {
             outcome.residual_count as f64 / features[0].len() as f64
         };
+        let rec = self.config.recovery;
+        let bad = outcome.diverged
+            || outcome.residual_count == 0
+            || overlap < rec.min_valid_fraction
+            || !outcome.final_cost.is_finite()
+            || outcome.final_cost > rec.max_mean_residual;
+
+        if bad {
+            // never trust a rejected solve: coast on the motion prior
+            // (gyro rotation when available, constant velocity otherwise)
+            self.bad_frames += 1;
+            self.state = if self.bad_frames >= rec.max_bad_frames {
+                TrackingState::Lost
+            } else {
+                TrackingState::Degraded
+            };
+            if self.state == TrackingState::Lost {
+                // re-seed at the last keyframe: the next well-supported
+                // alignment starts from a pose the keyframe tables can
+                // actually explain
+                self.pose_kc = SE3::IDENTITY;
+                self.pose_wc = keyframes[0].pose_wk;
+                self.motion = SE3::IDENTITY;
+            } else {
+                let prior = match gyro_delta {
+                    Some(r) => SE3::new(r, self.motion.translation),
+                    None => self.motion,
+                };
+                self.pose_wc = self.prev_pose_wc.compose(&prior);
+                self.pose_kc = keyframes[0].pose_wk.inverse().compose(&self.pose_wc);
+            }
+            self.prev_pose_wc = self.pose_wc;
+            return FrameResult {
+                index,
+                pose_wc: self.pose_wc,
+                pose_kc: self.pose_kc,
+                is_keyframe: false, // a rejected frame never seeds a keyframe
+                features: features[0].len(),
+                iterations: total_iterations,
+                mean_residual: outcome.final_cost,
+                state: self.state,
+            };
+        }
+        self.state = TrackingState::Ok;
+        self.bad_frames = 0;
+
+        self.pose_kc = pose;
+        // pose_kc = T_keyframe<-camera, so T_world<-camera composes directly
+        self.pose_wc = keyframes[0].pose_wk.compose(&self.pose_kc);
+        // constant-velocity prior update: T_c_prev <- c_curr
+        self.motion = self.prev_pose_wc.inverse().compose(&self.pose_wc);
+        self.prev_pose_wc = self.pose_wc;
+
+        // keyframe policy (evaluated at the finest level)
         let needs_new_kf = self.pose_kc.translation_norm() > self.config.keyframe.max_translation
             || self.pose_kc.rotation_angle() > self.config.keyframe.max_rotation
             || overlap < self.config.keyframe.min_overlap;
@@ -246,6 +355,7 @@ impl Tracker {
             features: features[0].len(),
             iterations: total_iterations,
             mean_residual: outcome.final_cost,
+            state: self.state,
         }
     }
 }
@@ -348,6 +458,58 @@ mod tests {
             r.pose_wc.translation
         );
         assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn blank_frames_degrade_then_lose_then_relocalize() {
+        let mut t = Tracker::new(TrackerConfig::default(), BackendKind::Float);
+        let (g, d) = textured_frame(0.0);
+        t.process_frame(&g, &d);
+        assert_eq!(t.state(), TrackingState::Ok);
+
+        // a burst of featureless frames: no residual support at all
+        let blank_g = GrayImage::from_fn(320, 240, |_, _| 128);
+        let max_bad = t.config().recovery.max_bad_frames;
+        let mut last = None;
+        for _ in 0..max_bad {
+            last = Some(t.process_frame(&blank_g, &d));
+        }
+        let last = last.expect("ran at least one blank frame");
+        assert_eq!(last.state, TrackingState::Lost);
+        assert!(!last.is_keyframe, "garbage frames must not seed keyframes");
+        // Lost re-seeds at the keyframe: identity here
+        assert!(last.pose_kc.translation_norm() < 1e-12);
+
+        // texture returns: the tracker re-localizes within a frame
+        let r = t.process_frame(&g, &d);
+        assert_eq!(r.state, TrackingState::Ok);
+        assert!(r.pose_wc.translation_norm() < 5e-3, "{:?}", r.pose_wc);
+    }
+
+    #[test]
+    fn degraded_frames_coast_on_motion_prior() {
+        let mut t = Tracker::new(TrackerConfig::default(), BackendKind::Float);
+        let (g0, d) = textured_frame(0.0);
+        t.process_frame(&g0, &d);
+        // establish a constant lateral velocity of 1 px/frame
+        let (g1, _) = textured_frame(1.0);
+        t.process_frame(&g1, &d);
+        let (g2, _) = textured_frame(2.0);
+        let r2 = t.process_frame(&g2, &d);
+        assert_eq!(r2.state, TrackingState::Ok);
+        let v = r2.pose_wc.translation - t.prev_pose_wc.translation; // == 0, anchor updated
+        let _ = v;
+
+        // one blank frame: the pose must extrapolate, not jump to junk
+        let blank_g = GrayImage::from_fn(320, 240, |_, _| 128);
+        let r3 = t.process_frame(&blank_g, &d);
+        assert_eq!(r3.state, TrackingState::Degraded);
+        let step = (r3.pose_wc.translation - r2.pose_wc.translation).norm();
+        let per_frame = 2.0 / 265.0; // ~2 px/frame at 2 m, f ≈ 265
+        assert!(
+            step < 3.0 * per_frame + 1e-3,
+            "prior step {step} should stay near the recent velocity"
+        );
     }
 
     #[test]

@@ -182,6 +182,7 @@ fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: 
 
 /// HPF compute for output rows `y0..y1`. Row `y` reads `src` rows
 /// `y - 1 .. y + 1` — a shard needs one halo row on each side.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn hpf_strip(
     m: &mut PimMachine,
     r: &Regions,
@@ -239,6 +240,7 @@ fn nms_rows(
 /// NMS compute for output rows `y0..y1` (threshold rows must already be
 /// hosted). Row `y` reads `src` rows `y - 1 .. y + 1` — a shard needs
 /// one halo row on each side.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn nms_strip(
     m: &mut PimMachine,
     r: &Regions,

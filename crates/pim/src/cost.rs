@@ -37,6 +37,27 @@ pub struct CostModel {
     /// merging results before the next phase may start. Charged once per
     /// parallel phase, only when the pool has more than one array.
     pub pool_sync_cycles: u64,
+    /// Energy of one per-word parity check across a row read/write
+    /// under [`crate::Protection::Parity`], in pJ. Estimated at ~1 % of
+    /// a row activation (XOR trees beside the sense amplifiers).
+    pub parity_check_pj: f64,
+    /// Cycles charged per parity-checked compute access. Zero: the
+    /// parity tree fits in the sense-amplifier timing slack.
+    pub parity_check_cycles: u64,
+    /// Energy of one per-word ECC syndrome computation across a row
+    /// access under [`crate::Protection::Ecc`], in pJ. Estimated at
+    /// ~2.5 % of a row activation (SECDED Hsiao code over 32-bit
+    /// words; check-bit storage overhead is not modeled).
+    pub ecc_check_pj: f64,
+    /// Cycles charged per ECC-checked compute access (syndrome
+    /// generation pipelines one extra cycle onto every protected
+    /// activation).
+    pub ecc_check_cycles: u64,
+    /// Energy of one ECC single-bit correction (syndrome decode +
+    /// flip), in pJ.
+    pub ecc_correct_pj: f64,
+    /// Cycles per ECC single-bit correction on the compute path.
+    pub ecc_correct_cycles: u64,
 }
 
 impl CostModel {
@@ -55,6 +76,15 @@ impl CostModel {
             // 216 MHz domain: conservative for an on-die H-tree, cheap
             // enough that sharding QVGA strips stays profitable
             pool_sync_cycles: 32,
+            // protection overheads are estimates relative to the row
+            // activation energy (the paper does not characterize ECC);
+            // see DESIGN.md §9 for the derivation
+            parity_check_pj: 9.4,
+            parity_check_cycles: 0,
+            ecc_check_pj: 23.6,
+            ecc_check_cycles: 1,
+            ecc_correct_pj: 47.2,
+            ecc_correct_cycles: 2,
         }
     }
 

@@ -54,10 +54,24 @@
 //! arrays executing disjoint shards of a kernel in parallel, with merged
 //! energy statistics and wall-cycles taken as the slowest shard plus a
 //! configurable inter-array synchronisation overhead.
+//!
+//! # Fault injection & resilience
+//!
+//! The [`fault`] module adds a deterministic, seeded [`FaultModel`]
+//! (transient read upsets, stuck-at cells) and word [`Protection`]
+//! (parity / SECDED ECC) whose detect/correct overhead is charged
+//! through the [`CostModel`]. The pool layer reacts to detected errors
+//! with bounded retry, shard re-dispatch and array quarantine
+//! ([`PoolHealth`], [`RetryPolicy`]). All of it is inert by default:
+//! with [`FaultModel::none`] and [`Protection::None`] every output,
+//! cycle and picojoule is identical to a build without the layer.
+//! Constructing an *active* fault model requires the `fault` cargo
+//! feature.
 
 pub mod bitexact;
 mod config;
 mod cost;
+pub mod fault;
 mod isa;
 mod machine;
 mod pool;
@@ -66,8 +80,9 @@ mod trace;
 
 pub use config::{ArrayConfig, LaneWidth, Signedness};
 pub use cost::{AreaReport, CostModel};
+pub use fault::{FaultModel, FaultStatus, Protection, StuckBit};
 pub use isa::{AluOp, LogicFunc, OpClass, Operand, Shift};
 pub use machine::{PimError, PimMachine, PimMachineBuilder};
-pub use pool::PimArrayPool;
+pub use pool::{PimArrayPool, PoolHealth, RetryPolicy};
 pub use stats::{EnergyBreakdown, ExecStats, MemAccessBreakdown};
 pub use trace::{Trace, TraceEvent};

@@ -1,12 +1,22 @@
 use crate::config::{ArrayConfig, LaneWidth, Signedness};
 use crate::cost::CostModel;
+use crate::fault::{FaultModel, FaultStatus, FaultUnit, Protection};
 use crate::isa::{AluOp, LogicFunc, OpClass, Operand, Shift};
 use crate::stats::ExecStats;
 use crate::trace::{Trace, TraceEvent};
 use pimvo_fixed::sat;
+use std::collections::BTreeMap;
 use std::fmt;
 
-/// Error returned by the host-side API of [`PimMachine`].
+/// Error returned by the fallible API of [`PimMachine`] and
+/// [`crate::PimArrayPool`].
+///
+/// Every compute macro-op has a `try_*` variant returning
+/// `Result<_, PimError>`; the historical infallible methods remain as
+/// thin wrappers that panic with the error's `Display` message, so
+/// kernel code with static row layouts keeps its simple spelling while
+/// runtime-reachable paths (host-fed geometry, pool dispatch) can
+/// propagate errors instead of crashing the tracker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PimError {
     /// A row index exceeds the array geometry.
@@ -23,6 +33,29 @@ pub enum PimError {
         /// Lanes available at the current width.
         lanes: usize,
     },
+    /// The Tmp Reg was consumed before any compute op wrote it.
+    TmpEmpty,
+    /// `Operand::Reg(0)` / `save_tmp(0)` — register 0 is the implicit
+    /// result register, addressed as [`Operand::Tmp`].
+    RegisterZero,
+    /// An extra register index beyond the enabled count was addressed.
+    RegisterNotEnabled {
+        /// Offending register index.
+        idx: u8,
+        /// Registers currently enabled (including the implicit Tmp).
+        enabled: u8,
+    },
+    /// An extra register was read before being written.
+    RegisterEmpty {
+        /// Offending register index.
+        idx: u8,
+    },
+    /// Every array of a pool has been quarantined; no healthy array is
+    /// left to dispatch a shard to.
+    AllArraysQuarantined {
+        /// Total arrays in the pool.
+        arrays: usize,
+    },
 }
 
 impl fmt::Display for PimError {
@@ -33,6 +66,24 @@ impl fmt::Display for PimError {
             }
             PimError::TooManyLanes { got, lanes } => {
                 write!(f, "{got} lane values supplied but only {lanes} lanes available")
+            }
+            PimError::TmpEmpty => {
+                write!(f, "Tmp Reg used before being written")
+            }
+            PimError::RegisterZero => {
+                write!(f, "register 0 is the implicit result register (Operand::Tmp)")
+            }
+            PimError::RegisterNotEnabled { idx, enabled } => {
+                write!(
+                    f,
+                    "register {idx} not enabled (call set_tmp_regs; {enabled} enabled)"
+                )
+            }
+            PimError::RegisterEmpty { idx } => {
+                write!(f, "register {idx} read before being written")
+            }
+            PimError::AllArraysQuarantined { arrays } => {
+                write!(f, "all {arrays} pool arrays are quarantined")
             }
         }
     }
@@ -69,6 +120,7 @@ pub struct PimMachine {
     sign: Signedness,
     stats: ExecStats,
     trace: Option<Trace>,
+    fault: FaultUnit,
 }
 
 /// Fluent constructor for [`PimMachine`], replacing the historical
@@ -95,6 +147,8 @@ pub struct PimMachineBuilder {
     sign: Signedness,
     tmp_regs: u8,
     tracing: bool,
+    fault: FaultModel,
+    protection: Protection,
 }
 
 impl PimMachineBuilder {
@@ -108,6 +162,8 @@ impl PimMachineBuilder {
             sign: Signedness::Unsigned,
             tmp_regs: 1,
             tracing: false,
+            fault: FaultModel::none(),
+            protection: Protection::None,
         }
     }
 
@@ -138,6 +194,23 @@ impl PimMachineBuilder {
         self
     }
 
+    /// Plugs in a [`FaultModel`]. The default is [`FaultModel::none`];
+    /// active models require the `fault` cargo feature to construct.
+    /// Pool member arrays stamped from this builder fork the model's
+    /// fault stream per array index (see [`PimMachine::reseed_faults`]).
+    pub fn fault(mut self, model: FaultModel) -> Self {
+        self.fault = model;
+        self
+    }
+
+    /// Selects a word [`Protection`] mode (parity / ECC). Protected
+    /// compute accesses charge check/correction overhead through the
+    /// cost model; the default [`Protection::None`] is free.
+    pub fn protection(mut self, p: Protection) -> Self {
+        self.protection = p;
+        self
+    }
+
     /// Constructs the machine. The builder is reusable (`&self`), which
     /// is what lets a pool stamp out N identical arrays.
     pub fn build(&self) -> PimMachine {
@@ -145,6 +218,7 @@ impl PimMachineBuilder {
         m.set_lanes(self.width, self.sign);
         m.set_tmp_regs(self.tmp_regs);
         m.set_tracing(self.tracing);
+        m.fault = FaultUnit::new(self.fault.clone(), self.protection);
         m
     }
 }
@@ -175,6 +249,7 @@ impl PimMachine {
             sign: Signedness::Unsigned,
             stats: ExecStats::new(),
             trace: None,
+            fault: FaultUnit::inert(),
         }
     }
 
@@ -224,6 +299,64 @@ impl PimMachine {
         self.stats.merge(delta);
     }
 
+    // ------------------------------------------------------------------
+    // Fault model & word protection
+    // ------------------------------------------------------------------
+
+    /// The word [`Protection`] mode in effect.
+    pub fn protection(&self) -> Protection {
+        self.fault.protection()
+    }
+
+    /// Switches the word protection mode (parity / ECC) at run time.
+    pub fn set_protection(&mut self, p: Protection) {
+        self.fault.set_protection(p);
+    }
+
+    /// The configured [`FaultModel`].
+    pub fn fault_model(&self) -> &FaultModel {
+        self.fault.model()
+    }
+
+    /// Replaces the fault model, restarting its deterministic stream.
+    /// Counters ([`PimMachine::fault_status`]) are preserved.
+    pub fn set_fault_model(&mut self, model: FaultModel) {
+        self.fault.set_model(model);
+    }
+
+    /// Cumulative fault counters: flips observed by the datapath,
+    /// ECC-corrected words, and detected-but-uncorrected words.
+    pub fn fault_status(&self) -> FaultStatus {
+        self.fault.status()
+    }
+
+    /// Clears the fault counters and the per-row syndrome log.
+    pub fn reset_fault_status(&mut self) {
+        self.fault.reset_status();
+    }
+
+    /// Detected (uncorrected) error events per row — the syndrome log a
+    /// memory controller keeps. Repeated detections on one row are the
+    /// pool's evidence of a persistent stuck-at defect (vs. a transient
+    /// upset storm), and drive its quarantine decision.
+    pub fn fault_row_log(&self) -> &BTreeMap<usize, u64> {
+        self.fault.row_log()
+    }
+
+    /// Forks the transient-fault stream with `salt`, so pool member
+    /// arrays stamped from one builder observe independent fault
+    /// patterns. Deterministic: the same salt reproduces the same
+    /// stream. A no-op for the inert default model.
+    pub fn reseed_faults(&mut self, salt: u64) {
+        self.fault.reseed(salt);
+    }
+
+    /// Injects a persistent stuck-at cell fault at (`row`, `bit`).
+    #[cfg(feature = "fault")]
+    pub fn inject_stuck_bit(&mut self, row: usize, bit: usize, value: bool) {
+        self.fault.add_stuck_bit(row, bit, value);
+    }
+
     /// Configures lane width and signedness for subsequent operations
     /// (run-time carry control, Fig. 6-c). Free: the carry masks are set
     /// by the instruction word.
@@ -259,15 +392,33 @@ impl PimMachine {
     ///
     /// # Panics
     ///
-    /// Panics if register `idx` is not enabled or `idx == 0`.
+    /// Panics if register `idx` is not enabled or `idx == 0`; see
+    /// [`PimMachine::try_save_tmp`] for the fallible variant.
     pub fn save_tmp(&mut self, idx: u8) {
-        assert!(idx >= 1, "register 0 is the implicit result register");
+        self.try_save_tmp(idx).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::save_tmp`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::RegisterZero`] for `idx == 0`,
+    /// [`PimError::RegisterNotEnabled`] beyond the enabled count, or
+    /// [`PimError::TmpEmpty`] when the Tmp Reg holds no value.
+    pub fn try_save_tmp(&mut self, idx: u8) -> Result<(), PimError> {
+        if idx == 0 {
+            return Err(PimError::RegisterZero);
+        }
         let slot = (idx - 1) as usize;
-        assert!(
-            slot < self.extra_regs.len(),
-            "register {idx} not enabled (call set_tmp_regs)"
-        );
-        assert!(!self.tmp.is_empty(), "save of empty Tmp Reg");
+        if slot >= self.extra_regs.len() {
+            return Err(PimError::RegisterNotEnabled {
+                idx,
+                enabled: self.tmp_reg_count(),
+            });
+        }
+        if self.tmp.is_empty() {
+            return Err(PimError::TmpEmpty);
+        }
         self.extra_regs[slot] = (self.tmp.clone(), self.tmp_bits);
         let cycle_start = self.stats.cycles;
         self.stats.cycles += 1;
@@ -281,6 +432,7 @@ impl PimMachine {
             0,
             0,
         );
+        Ok(())
     }
 
     /// Current lane width.
@@ -366,10 +518,24 @@ impl PimMachine {
     }
 
     /// Reads a row's lane values at the current configuration.
-    pub fn host_read_lanes(&mut self, row: usize) -> Vec<i64> {
-        self.check_row(row).expect("row out of range");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::RowOutOfRange`] for a bad row index.
+    pub fn try_host_read_lanes(&mut self, row: usize) -> Result<Vec<i64>, PimError> {
+        self.check_row(row)?;
         self.stats.host_io_rows += 1;
-        self.decode_row(row)
+        Ok(self.read_row(row, true))
+    }
+
+    /// Reads a row's lane values at the current configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a bad row index; see
+    /// [`PimMachine::try_host_read_lanes`] for the fallible variant.
+    pub fn host_read_lanes(&mut self, row: usize) -> Vec<i64> {
+        self.try_host_read_lanes(row).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Inspects the Tmp Reg lane values (no cost: debugging/verification
@@ -395,7 +561,31 @@ impl PimMachine {
     /// methods (which remain as `#[inline]` wrappers): single-cycle ops
     /// stay single-cycle, abs-diff charges its two Tmp-resident fixup
     /// steps, min/max their one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on operand misuse (bad row, empty Tmp/register); see
+    /// [`PimMachine::try_alu`] for the fallible variant.
     pub fn alu(&mut self, op: AluOp, a: Operand, b: Operand, shift: Shift) {
+        self.try_alu(op, a, b, shift).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::alu`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::RowOutOfRange`] for a bad row operand,
+    /// [`PimError::TmpEmpty`] / [`PimError::RegisterEmpty`] for a
+    /// register consumed before being written, or
+    /// [`PimError::RegisterZero`] / [`PimError::RegisterNotEnabled`]
+    /// for a bad register index.
+    pub fn try_alu(
+        &mut self,
+        op: AluOp,
+        a: Operand,
+        b: Operand,
+        shift: Shift,
+    ) -> Result<(), PimError> {
         let b_pix = shift.pix();
         let bits = self.op_bits(a, b);
         let sign = self.sign;
@@ -405,47 +595,47 @@ impl PimMachine {
                 self.binop(OpClass::Logic, a, b, b_pix, bits, move |x, y, _| {
                     let r = f.apply(x as u64 & mask, y as u64 & mask) & mask;
                     r as i64
-                });
+                })?;
             }
             AluOp::Add => {
                 self.binop(OpClass::AddSub, a, b, b_pix, bits, move |x, y, _| {
                     wrap(x + y, bits, sign)
-                });
+                })?;
             }
             AluOp::Sub => {
                 self.binop(OpClass::AddSub, a, b, b_pix, bits, move |x, y, _| {
                     wrap(x - y, bits, sign)
-                });
+                })?;
             }
             AluOp::SatAdd => {
                 self.binop(OpClass::SatAddSub, a, b, b_pix, bits, move |x, y, _| {
                     clamp(x + y, bits, sign)
-                });
+                })?;
             }
             AluOp::SatSub => {
                 self.binop(OpClass::SatAddSub, a, b, b_pix, bits, move |x, y, _| {
                     clamp(x - y, bits, sign)
-                });
+                })?;
             }
             AluOp::Avg => {
-                self.binop(OpClass::Avg, a, b, b_pix, bits, |x, y, _| (x + y) >> 1);
+                self.binop(OpClass::Avg, a, b, b_pix, bits, |x, y, _| (x + y) >> 1)?;
             }
             AluOp::AbsDiff => {
                 // Step 1: M = a - b (+ carry extension), SRAM-touching.
                 // Steps 2-3: Tmp-resident single-cycle fixups (Fig. 7-a).
                 self.binop(OpClass::AbsDiff, a, b, b_pix, bits, move |x, y, _| {
                     clamp((x - y).abs(), bits, sign)
-                });
+                })?;
                 self.charge_tmp_steps(2);
             }
             AluOp::Max => {
                 // max(a, b) = sat(a - b) + b (Fig. 7-b)
-                self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.max(y));
+                self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.max(y))?;
                 self.charge_tmp_steps(1);
             }
             AluOp::Min => {
                 // min(a, b) = a - sat(a - b)
-                self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.min(y));
+                self.binop(OpClass::MinMax, a, b, b_pix, bits, |x, y, _| x.min(y))?;
                 self.charge_tmp_steps(1);
             }
             AluOp::CmpGt => {
@@ -456,9 +646,10 @@ impl PimMachine {
                     } else {
                         0
                     }
-                });
+                })?;
             }
         }
+        Ok(())
     }
 
     /// Bit-wise logic of two operands (1 cycle).
@@ -584,13 +775,31 @@ impl PimMachine {
     /// `pix` moves lane `i+pix` into lane `i` (the `<< 1pix` of Fig. 2);
     /// zeros shift in at the border.
     pub fn shift_pix(&mut self, a: Operand, pix: i32) {
+        self.try_shift_pix(a, pix).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::shift_pix`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_shift_pix(&mut self, a: Operand, pix: i32) -> Result<(), PimError> {
         let bits = self.op_bits(a, a);
-        self.unop(OpClass::Shift, a, bits, move |vals| shift_lanes(vals, pix));
+        self.unop(OpClass::Shift, a, bits, move |vals| shift_lanes(vals, pix))
     }
 
     /// Arithmetic/logical right shift of every lane by `k` bits
     /// (1 cycle; used to rescale products between Q-formats).
     pub fn shr_bits(&mut self, a: Operand, k: u32) {
+        self.try_shr_bits(a, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::shr_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_shr_bits(&mut self, a: Operand, k: u32) -> Result<(), PimError> {
         let bits = self.op_bits(a, a);
         let sign = self.sign;
         self.unop(OpClass::Shift, a, bits, move |vals| {
@@ -600,16 +809,25 @@ impl PimMachine {
                     Signedness::Unsigned => ((v as u64) >> k) as i64,
                 })
                 .collect()
-        });
+        })
     }
 
     /// Left shift of every lane by `k` bits, wrapping (1 cycle).
     pub fn shl_bits(&mut self, a: Operand, k: u32) {
+        self.try_shl_bits(a, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::shl_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_shl_bits(&mut self, a: Operand, k: u32) -> Result<(), PimError> {
         let bits = self.op_bits(a, a);
         let sign = self.sign;
         self.unop(OpClass::Shift, a, bits, move |vals| {
             vals.iter().map(|&v| wrap(v << k, bits, sign)).collect()
-        });
+        })
     }
 
     /// Per-lane comparison `a > b`, leaving an all-ones/zero mask in the
@@ -634,16 +852,26 @@ impl PimMachine {
     /// The product is left in the Tmp Reg at double width
     /// ([`PimMachine::tmp_bits`] becomes `2n`).
     pub fn mul(&mut self, a: Operand, b: Operand) {
+        self.try_mul(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::mul`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_mul(&mut self, a: Operand, b: Operand) -> Result<(), PimError> {
         let n = self.width.bits();
         let mask = width_mask(n);
         let bits = n; // operands at lane width
         self.binop(OpClass::Mul, a, b, 0, bits, move |x, y, _| {
             let p = (x as u64 & mask).wrapping_mul(y as u64 & mask);
             p as i64 // 2n <= 64 bits
-        });
+        })?;
         self.tmp_bits = (2 * n).min(64);
         // n-1 further shift-accumulate steps + final correction
         self.charge_muldiv_steps((n - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+        Ok(())
     }
 
     /// Signed multiplication: sign extraction and conditional inversion
@@ -652,16 +880,25 @@ impl PimMachine {
     /// Costs 5 extra cycles over [`PimMachine::mul`], independent of the
     /// data (the inversions are mask-applied on all lanes).
     pub fn mul_signed(&mut self, a: Operand, b: Operand) {
+        self.try_mul_signed(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::mul_signed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_mul_signed(&mut self, a: Operand, b: Operand) -> Result<(), PimError> {
         let n = self.width.bits();
         self.binop(OpClass::Mul, a, b, 0, n, move |x, y, _| {
-            let p = (x as i128 * y as i128) as i64; // 2n <= 64 bits exact
-            p
-        });
+            (x as i128 * y as i128) as i64 // 2n <= 64 bits exact
+        })?;
         self.tmp_bits = (2 * n).min(64);
         // unsigned core steps (re-reading the row operand) + 5 cycles
         // of Tmp-resident sign pre/post processing
         self.charge_muldiv_steps((n - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
         self.charge_tmp_steps(5);
+        Ok(())
     }
 
     /// Unsigned restoring division `a / b` (Fig. 7-d): `n + 1` compute
@@ -669,8 +906,17 @@ impl PimMachine {
     /// remainder in the Tmp Reg and quotient bits stacked in the LSBs);
     /// write-back adds the `n + 2`nd cycle. Quotient is left in the Tmp
     /// Reg; lanes dividing by zero produce the all-ones pattern.
-    #[allow(clippy::manual_checked_ops)] // divide-by-zero yields the divider's all-ones pattern, not None
     pub fn div(&mut self, a: Operand, b: Operand) {
+        self.try_div(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::div`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    #[allow(clippy::manual_checked_ops)] // divide-by-zero yields the divider's all-ones pattern, not None
+    pub fn try_div(&mut self, a: Operand, b: Operand) -> Result<(), PimError> {
         let n = self.width.bits();
         let mask = width_mask(n);
         self.binop(OpClass::Div, a, b, 0, n, move |x, y, _| {
@@ -680,14 +926,24 @@ impl PimMachine {
             } else {
                 (x / y) as i64
             }
-        });
+        })?;
         self.tmp_bits = n;
         self.charge_muldiv_steps((n - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+        Ok(())
     }
 
     /// Unsigned division remainder `a % b` — same restoring sequence as
     /// [`PimMachine::div`], keeping the partial remainder instead.
     pub fn rem(&mut self, a: Operand, b: Operand) {
+        self.try_rem(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::rem`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_rem(&mut self, a: Operand, b: Operand) -> Result<(), PimError> {
         let n = self.width.bits();
         let mask = width_mask(n);
         self.binop(OpClass::Div, a, b, 0, n, move |x, y, _| {
@@ -697,9 +953,10 @@ impl PimMachine {
             } else {
                 (x % y) as i64
             }
-        });
+        })?;
         self.tmp_bits = n;
         self.charge_muldiv_steps((n - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+        Ok(())
     }
 
     /// Signed division (truncating toward zero), with the same 5-cycle
@@ -707,20 +964,30 @@ impl PimMachine {
     /// dividing by zero yield the saturated maximum with the dividend's
     /// sign.
     pub fn div_signed(&mut self, a: Operand, b: Operand) {
+        self.try_div_signed(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::div_signed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_div_signed(&mut self, a: Operand, b: Operand) -> Result<(), PimError> {
         let n = self.width.bits();
         self.binop(OpClass::Div, a, b, 0, n, move |x, y, _| {
             if y == 0 {
                 if x >= 0 {
-                    (1i64 << (n - 1)) - 1 
+                    (1i64 << (n - 1)) - 1
                 } else {
                     -(1i64 << (n - 1))
                 }
             } else {
                 wrap(x / y, n, Signedness::Signed)
             }
-        });
+        })?;
         self.tmp_bits = n;
         self.charge_tmp_steps((n - 1) as u64 + 1 + 5);
+        Ok(())
     }
 
     /// Fractional-quotient unsigned division: `(a << frac) / b`, i.e.
@@ -728,8 +995,17 @@ impl PimMachine {
     /// steps to produce fractional quotient bits (the dividend extends
     /// into the double-width Tmp Reg exactly as the multiplier's
     /// partial products do). Costs `n + frac + 1` compute cycles.
-    #[allow(clippy::manual_checked_ops)] // divide-by-zero yields the divider's all-ones pattern, not None
     pub fn div_frac(&mut self, a: Operand, b: Operand, frac: u32) {
+        self.try_div_frac(a, b, frac).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::div_frac`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    #[allow(clippy::manual_checked_ops)] // divide-by-zero yields the divider's all-ones pattern, not None
+    pub fn try_div_frac(&mut self, a: Operand, b: Operand, frac: u32) -> Result<(), PimError> {
         let n = self.width.bits();
         let mask = width_mask(n);
         self.binop(OpClass::Div, a, b, 0, n + frac, move |x, y, _| {
@@ -739,9 +1015,10 @@ impl PimMachine {
             } else {
                 ((x << frac) / y) as i64
             }
-        });
+        })?;
         self.tmp_bits = (n + frac).min(64);
         self.charge_muldiv_steps((n + frac - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+        Ok(())
     }
 
     /// Signed fractional-quotient division `(a << frac) / b`, truncating
@@ -749,6 +1026,20 @@ impl PimMachine {
     /// Division by zero yields the saturated extreme of the dividend's
     /// sign.
     pub fn div_frac_signed(&mut self, a: Operand, b: Operand, frac: u32) {
+        self.try_div_frac_signed(a, b, frac).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::div_frac_signed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_div_frac_signed(
+        &mut self,
+        a: Operand,
+        b: Operand,
+        frac: u32,
+    ) -> Result<(), PimError> {
         let n = self.width.bits();
         let out_bits = (n + frac).min(64);
         self.binop(OpClass::Div, a, b, 0, out_bits, move |x, y, _| {
@@ -762,37 +1053,73 @@ impl PimMachine {
             } else {
                 (((x as i128) << frac) / y as i128) as i64
             }
-        });
+        })?;
         self.tmp_bits = out_bits;
         self.charge_muldiv_steps((n + frac - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
         self.charge_tmp_steps(5);
+        Ok(())
     }
 
     /// Arithmetic negation of every lane (1 cycle: invert + carry-in).
     pub fn neg(&mut self, a: Operand) {
+        self.try_neg(a).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::neg`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_neg(&mut self, a: Operand) -> Result<(), PimError> {
         let bits = self.op_bits(a, a);
         let sign = self.sign;
         self.unop(OpClass::AddSub, a, bits, move |vals| {
             vals.iter().map(|&v| wrap(-v, bits, sign)).collect()
-        });
+        })
     }
 
     /// Saturating narrowing of the Tmp/row contents to `bits` wide
     /// signed values (1 cycle: the carry-extension clamp at a narrower
     /// carry-control setting).
     pub fn sat_narrow(&mut self, a: Operand, bits: u32) {
+        self.try_sat_narrow(a, bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::sat_narrow`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand errors (see [`PimMachine::try_alu`]).
+    pub fn try_sat_narrow(&mut self, a: Operand, bits: u32) -> Result<(), PimError> {
         self.unop(OpClass::SatAddSub, a, bits, move |vals| {
             vals.iter().map(|&v| sat::clamp_signed(v, bits)).collect()
-        });
+        })
     }
 
     /// Writes the Tmp Reg back to an SRAM row (1 cycle + write energy).
     /// Contents are wrapped to the lane width.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a bad row or an empty Tmp Reg; see
+    /// [`PimMachine::try_writeback`] for the fallible variant.
     pub fn writeback(&mut self, dst: usize) {
-        self.check_row(dst).expect("row out of range");
+        self.try_writeback(dst).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::writeback`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::RowOutOfRange`] for a bad destination row or
+    /// [`PimError::TmpEmpty`] when the Tmp Reg holds no value.
+    pub fn try_writeback(&mut self, dst: usize) -> Result<(), PimError> {
+        self.check_row(dst)?;
         let bits = self.width.bits();
         let bytes = self.width.bytes();
-        assert!(!self.tmp.is_empty(), "write-back of empty Tmp Reg");
+        if self.tmp.is_empty() {
+            return Err(PimError::TmpEmpty);
+        }
         let lanes = self.lanes();
         let mut data = vec![0u8; self.config.row_bytes()];
         for (i, &v) in self.tmp.iter().take(lanes).enumerate() {
@@ -806,13 +1133,32 @@ impl PimMachine {
         self.stats.tmp_accesses += 1;
         self.stats.record_op(OpClass::WriteBack);
         self.record_trace(OpClass::WriteBack, format!("writeback r{dst}"), cycle_start, 1, 0, 1);
+        // protected writes re-encode the check bits on the way in
+        self.charge_protection(1);
+        Ok(())
     }
 
     /// Reduces the Tmp Reg lanes to their sum by `ceil(log2(lanes))`
     /// shift-accumulate steps (each single-cycle, Tmp-resident). The sum
     /// (wrapped at the Tmp width) is returned and left in lane 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty Tmp Reg; see [`PimMachine::try_reduce_sum`]
+    /// for the fallible variant.
     pub fn reduce_sum(&mut self) -> i64 {
-        assert!(!self.tmp.is_empty(), "reduce of empty Tmp Reg");
+        self.try_reduce_sum().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::reduce_sum`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::TmpEmpty`] when the Tmp Reg holds no value.
+    pub fn try_reduce_sum(&mut self) -> Result<i64, PimError> {
+        if self.tmp.is_empty() {
+            return Err(PimError::TmpEmpty);
+        }
         let lanes = self.tmp.len();
         let steps = (usize::BITS - (lanes - 1).leading_zeros()) as u64;
         let bits = self.tmp_bits;
@@ -831,7 +1177,7 @@ impl PimMachine {
         self.stats.tmp_accesses += 2 * steps;
         self.stats.record_op(OpClass::Reduce);
         self.record_trace(OpClass::Reduce, format!("reduce_sum x{lanes}"), cycle_start, steps, 0, 0);
-        self.tmp[0]
+        Ok(self.tmp[0])
     }
 
     /// Gathers `addresses.len()` lane values at arbitrary
@@ -839,11 +1185,28 @@ impl PimMachine {
     /// lookups of the pose-estimation step. Random access cannot use the
     /// SIMD datapath, so each element costs one serialized read cycle
     /// and one SRAM activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range row; see [`PimMachine::try_gather`]
+    /// for the fallible variant.
     pub fn gather(&mut self, addresses: &[(usize, usize)]) -> Vec<i64> {
+        self.try_gather(addresses).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PimMachine::gather`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::RowOutOfRange`] for a bad address row (checked
+    /// before any cost is charged).
+    pub fn try_gather(&mut self, addresses: &[(usize, usize)]) -> Result<Vec<i64>, PimError> {
+        for &(row, _) in addresses {
+            self.check_row(row)?;
+        }
         let mut out = Vec::with_capacity(addresses.len());
         for &(row, lane) in addresses {
-            self.check_row(row).expect("gather row out of range");
-            let vals = self.decode_row(row);
+            let vals = self.read_row(row, false);
             let v = vals.get(lane).copied().unwrap_or(0);
             out.push(v);
         }
@@ -854,7 +1217,8 @@ impl PimMachine {
         self.stats.tmp_accesses += n;
         self.stats.record_op(OpClass::Gather);
         self.record_trace(OpClass::Gather, format!("gather x{n}"), cycle_start, n, n, 0);
-        out
+        self.charge_protection(n);
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -872,11 +1236,10 @@ impl PimMachine {
         }
     }
 
-    fn decode_row(&self, row: usize) -> Vec<i64> {
+    fn decode_bytes(&self, data: &[u8]) -> Vec<i64> {
         let bits = self.width.bits();
         let bytes = self.width.bytes();
         let lanes = self.lanes();
-        let data = &self.rows[row];
         let mut out = Vec::with_capacity(lanes);
         for i in 0..lanes {
             let mut buf = [0u8; 8];
@@ -891,28 +1254,82 @@ impl PimMachine {
         out
     }
 
-    fn operand_values(&self, op: Operand) -> Vec<i64> {
+    fn decode_row(&self, row: usize) -> Vec<i64> {
+        self.decode_bytes(&self.rows[row])
+    }
+
+    /// Reads a row through the sense amplifiers, applying the fault
+    /// model and word protection when configured. The default (inert
+    /// fault unit) takes the historical fast path untouched — bit- and
+    /// cycle-identical to a build without the fault layer. Transient
+    /// upsets corrupt the *sensed copy* only; cell contents stay intact.
+    fn read_row(&mut self, row: usize, host: bool) -> Vec<i64> {
+        debug_assert!(row < self.config.rows, "read_row caller must check_row");
+        if self.fault.is_inert() {
+            return self.decode_row(row);
+        }
+        let mut data = self.rows[row].clone();
+        self.fault.apply_to_read(row, &mut data, host);
+        self.decode_bytes(&data)
+    }
+
+    /// Charges the word-protection overhead of `accesses` protected
+    /// SRAM accesses on the compute path (check cycles/energy per
+    /// access, plus any ECC corrections performed since the last
+    /// charge), extending the current trace event so cycle spans stay
+    /// contiguous. Free under [`Protection::None`].
+    fn charge_protection(&mut self, accesses: u64) {
+        match self.fault.protection() {
+            Protection::None => {}
+            Protection::Parity => {
+                self.stats.parity_checks += accesses;
+                let c = self.cost.parity_check_cycles * accesses;
+                self.stats.cycles += c;
+                self.extend_trace(c, 0);
+            }
+            Protection::Ecc => {
+                self.stats.ecc_checks += accesses;
+                let c = self.cost.ecc_check_cycles * accesses;
+                self.stats.cycles += c;
+                self.extend_trace(c, 0);
+            }
+        }
+        let corrections = self.fault.take_pending_corrections();
+        if corrections > 0 {
+            self.stats.ecc_corrections += corrections;
+            let c = self.cost.ecc_correct_cycles * corrections;
+            self.stats.cycles += c;
+            self.extend_trace(c, 0);
+        }
+    }
+
+    fn operand_values(&mut self, op: Operand) -> Result<Vec<i64>, PimError> {
         match op {
             Operand::Row(r) => {
-                assert!(r < self.config.rows, "row {r} out of range");
-                self.decode_row(r)
+                self.check_row(r)?;
+                Ok(self.read_row(r, false))
             }
             Operand::Tmp => {
-                assert!(!self.tmp.is_empty(), "Tmp Reg used before being written");
-                self.tmp.clone()
+                if self.tmp.is_empty() {
+                    return Err(PimError::TmpEmpty);
+                }
+                Ok(self.tmp.clone())
             }
             Operand::Reg(i) => {
-                assert!(i >= 1, "Reg(0) is Operand::Tmp");
+                if i == 0 {
+                    return Err(PimError::RegisterZero);
+                }
                 let slot = (i - 1) as usize;
-                assert!(
-                    slot < self.extra_regs.len(),
-                    "register {i} not enabled (call set_tmp_regs)"
-                );
-                assert!(
-                    !self.extra_regs[slot].0.is_empty(),
-                    "register {i} read before being written"
-                );
-                self.extra_regs[slot].0.clone()
+                if slot >= self.extra_regs.len() {
+                    return Err(PimError::RegisterNotEnabled {
+                        idx: i,
+                        enabled: self.tmp_reg_count(),
+                    });
+                }
+                if self.extra_regs[slot].0.is_empty() {
+                    return Err(PimError::RegisterEmpty { idx: i });
+                }
+                Ok(self.extra_regs[slot].0.clone())
             }
         }
     }
@@ -953,9 +1370,9 @@ impl PimMachine {
         b_pix: i32,
         out_bits: u32,
         f: impl Fn(i64, i64, usize) -> i64,
-    ) {
-        let av = self.operand_values(a);
-        let bv_raw = self.operand_values(b);
+    ) -> Result<(), PimError> {
+        let av = self.operand_values(a)?;
+        let bv_raw = self.operand_values(b)?;
         let bv = if b_pix != 0 {
             shift_lanes(&bv_raw, b_pix)
         } else {
@@ -979,6 +1396,8 @@ impl PimMachine {
         self.stats.tmp_accesses += tmp_reads + 1; // + result write
         self.stats.record_op(class);
         self.record_trace(class, format!("{} {}, {}", op_name(class), fmt_op(a), fmt_op(b)), cycle_start, 1, sram, 0);
+        self.charge_protection(sram);
+        Ok(())
     }
 
     /// Executes one single-cycle unary micro step.
@@ -988,8 +1407,8 @@ impl PimMachine {
         a: Operand,
         out_bits: u32,
         f: impl Fn(&[i64]) -> Vec<i64>,
-    ) {
-        let av = self.operand_values(a);
+    ) -> Result<(), PimError> {
+        let av = self.operand_values(a)?;
         self.tmp = f(&av);
         self.tmp_bits = out_bits;
         let cycle_start = self.stats.cycles;
@@ -1000,6 +1419,8 @@ impl PimMachine {
         self.stats.tmp_accesses += a.is_reg() as u64 + 1;
         self.stats.record_op(class);
         self.record_trace(class, format!("{} {}", op_name(class), fmt_op(a)), cycle_start, 1, sram, 0);
+        self.charge_protection(sram);
+        Ok(())
     }
 
     /// Charges extra Tmp-resident cycles of a multi-step macro op (the
@@ -1024,6 +1445,10 @@ impl PimMachine {
         let sram = if rereads_sram { steps } else { 0 };
         self.stats.sram_reads += sram;
         self.extend_trace(steps, sram);
+        // every re-read of the row operand passes the word checker too
+        // (faults on re-reads themselves are not modeled: the product
+        // was computed from the first sensed copy)
+        self.charge_protection(sram);
     }
 
     /// Appends a trace event when tracing is enabled.

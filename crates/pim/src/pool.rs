@@ -20,9 +20,90 @@
 //! array exclusively for the duration of the phase, and cycle deltas
 //! are computed from per-array counters after the barrier, in array
 //! order.
+//!
+//! # Fault resilience
+//!
+//! When arrays carry a [`crate::FaultModel`] with word
+//! [`crate::Protection`], the pool is the recovery layer:
+//! [`PimArrayPool::run_phase_resilient`] runs *self-contained* shard
+//! closures, checks each array's detected-error counter after the
+//! barrier, retries dirty shards on the same array (bounded by
+//! [`RetryPolicy::max_retries`]), and — when the per-row syndrome log
+//! says the failure is persistent (a stuck-at defect, not a transient
+//! storm) — quarantines the array and re-dispatches the shard to a
+//! healthy one. [`PimArrayPool::health`] reports the per-array fault
+//! counters, the quarantined set and the retry/re-dispatch totals.
+//! Arrays can also be quarantined manually ([`PimArrayPool::quarantine`])
+//! e.g. from a manufacturing test; dispatch then simply skips them.
 
-use crate::machine::{PimMachine, PimMachineBuilder};
+use crate::fault::FaultStatus;
+use crate::machine::{PimError, PimMachine, PimMachineBuilder};
 use crate::stats::ExecStats;
+use std::collections::BTreeMap;
+
+/// Retry/quarantine policy of [`PimArrayPool::run_phase_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Bounded retries of a dirty shard on the *same* array before the
+    /// pool considers stronger measures.
+    pub max_retries: u32,
+    /// Detected-error events on one row (within a single phase,
+    /// including its retries) at which the failure is classified as
+    /// persistent — a stuck-at defect — and the array is quarantined.
+    /// Below the threshold a still-dirty shard is accepted as degraded
+    /// output (a transient upset storm cannot be retried away).
+    pub stuck_row_threshold: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            stuck_row_threshold: 3,
+        }
+    }
+}
+
+/// Health report of a [`PimArrayPool`]: per-array fault counters, the
+/// quarantined set, and the pool's recovery activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Per-array cumulative [`FaultStatus`] (injected / corrected /
+    /// detected counters), in array order.
+    pub arrays: Vec<FaultStatus>,
+    /// Which arrays are quarantined (excluded from dispatch).
+    pub quarantined: Vec<bool>,
+    /// Shard retries performed (same-array and re-dispatch attempts
+    /// beyond the first).
+    pub retries: u64,
+    /// Shards re-dispatched to a different array after a quarantine.
+    pub redispatches: u64,
+    /// Shards accepted with detected-but-uncorrected errors after
+    /// retries were exhausted on a non-persistent (transient) failure.
+    pub dirty_accepted: u64,
+}
+
+impl PoolHealth {
+    /// Number of quarantined arrays.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
+    /// Number of arrays still accepting work.
+    pub fn healthy_count(&self) -> usize {
+        self.quarantined.len() - self.quarantined_count()
+    }
+
+    /// Total detected (uncorrected) error events across arrays.
+    pub fn total_detected(&self) -> u64 {
+        self.arrays.iter().map(|s| s.detected).sum()
+    }
+
+    /// Total ECC-corrected words across arrays.
+    pub fn total_corrected(&self) -> u64 {
+        self.arrays.iter().map(|s| s.corrected).sum()
+    }
+}
 
 /// A pool of N identical PIM arrays executing kernel shards in parallel.
 ///
@@ -49,6 +130,11 @@ pub struct PimArrayPool {
     wall_cycles: u64,
     sync_cycles: u64,
     barriers: u64,
+    quarantined: Vec<bool>,
+    policy: RetryPolicy,
+    retries: u64,
+    redispatches: u64,
+    dirty_accepted: u64,
 }
 
 impl PimArrayPool {
@@ -61,13 +147,23 @@ impl PimArrayPool {
     /// Panics for `n == 0`.
     pub fn from_builder(builder: &PimMachineBuilder, n: usize) -> Self {
         assert!(n >= 1, "a pool needs at least one array");
-        let arrays: Vec<PimMachine> = (0..n).map(|_| builder.build()).collect();
+        let mut arrays: Vec<PimMachine> = (0..n).map(|_| builder.build()).collect();
+        // fork the fault stream per array: physically distinct macros do
+        // not see identical upset sequences (a no-op for inert models)
+        for (i, m) in arrays.iter_mut().enumerate() {
+            m.reseed_faults(i as u64);
+        }
         let sync_cycles = arrays[0].cost_model().pool_sync_cycles;
         PimArrayPool {
+            quarantined: vec![false; n],
             arrays,
             wall_cycles: 0,
             sync_cycles,
             barriers: 0,
+            policy: RetryPolicy::default(),
+            retries: 0,
+            redispatches: 0,
+            dirty_accepted: 0,
         }
     }
 
@@ -179,6 +275,232 @@ impl PimArrayPool {
         }
         results
     }
+
+    /// Current retry/quarantine policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Replaces the retry/quarantine policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Manually quarantines array `i`: [`PimArrayPool::run_phase_resilient`]
+    /// stops dispatching shards to it. Contents and statistics are kept.
+    pub fn quarantine(&mut self, i: usize) {
+        self.quarantined[i] = true;
+    }
+
+    /// True if array `i` is quarantined.
+    pub fn is_quarantined(&self, i: usize) -> bool {
+        self.quarantined[i]
+    }
+
+    /// Indices of the arrays still accepting work, in array order.
+    pub fn healthy_arrays(&self) -> Vec<usize> {
+        (0..self.arrays.len())
+            .filter(|&i| !self.quarantined[i])
+            .collect()
+    }
+
+    /// Number of arrays still accepting work.
+    pub fn healthy_len(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| !q).count()
+    }
+
+    /// Snapshot of the pool's fault/recovery state.
+    pub fn health(&self) -> PoolHealth {
+        PoolHealth {
+            arrays: self.arrays.iter().map(|m| m.fault_status()).collect(),
+            quarantined: self.quarantined.clone(),
+            retries: self.retries,
+            redispatches: self.redispatches,
+            dirty_accepted: self.dirty_accepted,
+        }
+    }
+
+    /// Runs one parallel phase over the *healthy* arrays with fault
+    /// detection and recovery. `f(shard, machine)` receives the shard
+    /// index `shard` (position among the healthy arrays, `0..healthy_len()`),
+    /// and must be **self-contained**: it writes every input it reads, so
+    /// re-running it — on the same or on a different array — reproduces
+    /// the shard from scratch. Returns per-shard results in shard order.
+    ///
+    /// Recovery, per shard whose array reported newly *detected*
+    /// (uncorrected) errors during the phase:
+    ///
+    /// 1. retry on the same array, up to [`RetryPolicy::max_retries`]
+    ///    times, accepting the first clean run;
+    /// 2. if still dirty, consult the per-row syndrome log: a row with
+    ///    ≥ [`RetryPolicy::stuck_row_threshold`] detections within this
+    ///    phase marks a persistent defect — the array is quarantined and
+    ///    the shard re-dispatched to another healthy array (which gets
+    ///    its own retry budget);
+    /// 3. a still-dirty shard on a *non*-persistent (transient-storm)
+    ///    array is accepted as degraded output and counted in
+    ///    [`PoolHealth::dirty_accepted`] — retrying a memoryless upset
+    ///    process forever has no expected benefit.
+    ///
+    /// Accounting matches [`PimArrayPool::run_phase`] exactly when no
+    /// recovery triggers (max healthy-shard delta + sync when more than
+    /// one healthy array); retries and re-dispatches are serial and add
+    /// their full cycle delta to the wall clock.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::AllArraysQuarantined`] when no healthy array remains,
+    /// on entry or after quarantines during recovery.
+    pub fn run_phase_resilient<R, F>(&mut self, f: F) -> Result<Vec<R>, PimError>
+    where
+        R: Send,
+        F: Fn(usize, &mut PimMachine) -> R + Sync,
+    {
+        let healthy = self.healthy_arrays();
+        if healthy.is_empty() {
+            return Err(PimError::AllArraysQuarantined {
+                arrays: self.arrays.len(),
+            });
+        }
+        let det_before: Vec<u64> = healthy
+            .iter()
+            .map(|&i| self.arrays[i].fault_status().detected)
+            .collect();
+        let log_before: Vec<BTreeMap<usize, u64>> = healthy
+            .iter()
+            .map(|&i| self.arrays[i].fault_row_log().clone())
+            .collect();
+        let cyc_before: Vec<u64> = healthy
+            .iter()
+            .map(|&i| self.arrays[i].stats().cycles)
+            .collect();
+
+        let mut results: Vec<R> = if healthy.len() == 1 {
+            vec![f(0, &mut self.arrays[healthy[0]])]
+        } else {
+            let quarantined = &self.quarantined;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .arrays
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(i, _)| !quarantined[*i])
+                    .enumerate()
+                    .map(|(shard, (_i, m))| {
+                        let f = &f;
+                        s.spawn(move || f(shard, m))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pool shard thread panicked"))
+                    .collect()
+            })
+        };
+        let max_delta = healthy
+            .iter()
+            .zip(&cyc_before)
+            .map(|(&i, &b)| self.arrays[i].stats().cycles - b)
+            .max()
+            .unwrap_or(0);
+        self.wall_cycles += max_delta;
+        if healthy.len() > 1 {
+            self.wall_cycles += self.sync_cycles;
+            self.barriers += 1;
+        }
+
+        // serial recovery pass, in shard order (deterministic)
+        for shard in 0..healthy.len() {
+            let i = healthy[shard];
+            if self.arrays[i].fault_status().detected == det_before[shard] {
+                continue;
+            }
+            let mut clean = false;
+            for _ in 0..self.policy.max_retries {
+                self.retries += 1;
+                let (r, ok) = self.rerun_shard(&f, shard, i);
+                results[shard] = r;
+                if ok {
+                    clean = true;
+                    break;
+                }
+            }
+            if clean {
+                continue;
+            }
+            if !self.is_persistent(i, &log_before[shard]) {
+                // transient storm: accept the last run as degraded output
+                self.dirty_accepted += 1;
+                continue;
+            }
+            // persistent defect: quarantine and re-dispatch
+            self.quarantined[i] = true;
+            let mut placed = false;
+            for j in 0..self.arrays.len() {
+                if self.quarantined[j] {
+                    continue;
+                }
+                self.redispatches += 1;
+                let log_j = self.arrays[j].fault_row_log().clone();
+                let mut ok = false;
+                for attempt in 0..=self.policy.max_retries {
+                    if attempt > 0 {
+                        self.retries += 1;
+                    }
+                    let (r, c) = self.rerun_shard(&f, shard, j);
+                    results[shard] = r;
+                    if c {
+                        ok = true;
+                        break;
+                    }
+                }
+                if ok {
+                    placed = true;
+                    break;
+                }
+                if self.is_persistent(j, &log_j) {
+                    self.quarantined[j] = true;
+                } else {
+                    self.dirty_accepted += 1;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(PimError::AllArraysQuarantined {
+                    arrays: self.arrays.len(),
+                });
+            }
+        }
+        Ok(results)
+    }
+
+    /// Re-runs shard `shard` on array `i` serially, charging its full
+    /// cycle delta to the wall clock. Returns the result and whether the
+    /// run finished without newly detected errors.
+    fn rerun_shard<R>(
+        &mut self,
+        f: &(impl Fn(usize, &mut PimMachine) -> R + Sync),
+        shard: usize,
+        i: usize,
+    ) -> (R, bool) {
+        let det0 = self.arrays[i].fault_status().detected;
+        let cyc0 = self.arrays[i].stats().cycles;
+        let r = f(shard, &mut self.arrays[i]);
+        self.wall_cycles += self.arrays[i].stats().cycles - cyc0;
+        (r, self.arrays[i].fault_status().detected == det0)
+    }
+
+    /// True if some row of array `i` accumulated at least
+    /// [`RetryPolicy::stuck_row_threshold`] detections since `log_before`
+    /// was snapshotted — the signature of a stuck-at defect rather than
+    /// independent transient upsets.
+    fn is_persistent(&self, i: usize, log_before: &BTreeMap<usize, u64>) -> bool {
+        self.arrays[i].fault_row_log().iter().any(|(row, &count)| {
+            let before = log_before.get(row).copied().unwrap_or(0);
+            count.saturating_sub(before) >= self.policy.stuck_row_threshold
+        })
+    }
 }
 
 impl PimMachineBuilder {
@@ -260,5 +582,131 @@ mod tests {
     #[should_panic(expected = "at least one array")]
     fn empty_pool_rejected() {
         pool(0);
+    }
+
+    #[test]
+    fn resilient_phase_matches_run_phase_when_inert() {
+        let mut a = pool(3);
+        let mut b = pool(3);
+        let shard = |i: usize, m: &mut PimMachine| {
+            m.host_write_lanes(0, &[i as i64 + 1, 2]).unwrap();
+            m.add(Operand::Row(0), Operand::Row(0));
+            m.writeback(1);
+            m.host_read_lanes(1)[0]
+        };
+        let ra = a.run_phase(shard);
+        let rb = b.run_phase_resilient(shard).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.wall_cycles(), b.wall_cycles());
+        assert_eq!(a.barriers(), b.barriers());
+        assert_eq!(a.merged_stats(), b.merged_stats());
+        let h = b.health();
+        assert_eq!(h.retries, 0);
+        assert_eq!(h.redispatches, 0);
+        assert_eq!(h.dirty_accepted, 0);
+        assert_eq!(h.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn quarantined_arrays_are_skipped() {
+        let mut p = pool(3);
+        p.quarantine(1);
+        assert!(p.is_quarantined(1));
+        assert_eq!(p.healthy_arrays(), vec![0, 2]);
+        assert_eq!(p.healthy_len(), 2);
+        // shard indices are dense over the healthy subset
+        let ids = p.run_phase_resilient(|shard, _| shard).unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(p.health().healthy_count(), 2);
+    }
+
+    #[test]
+    fn single_healthy_array_charges_no_sync() {
+        let mut p = pool(2);
+        p.quarantine(0);
+        p.run_phase_resilient(|_, m| {
+            m.host_write_lanes(0, &[1]).unwrap();
+            m.add(Operand::Row(0), Operand::Row(0));
+        })
+        .unwrap();
+        assert_eq!(p.wall_cycles(), 1);
+        assert_eq!(p.barriers(), 0);
+    }
+
+    #[test]
+    fn all_quarantined_is_an_error() {
+        let mut p = pool(2);
+        p.quarantine(0);
+        p.quarantine(1);
+        let err = p.run_phase_resilient(|_, _| ()).unwrap_err();
+        assert!(matches!(err, PimError::AllArraysQuarantined { arrays: 2 }));
+        assert!(err.to_string().contains("quarantined"));
+    }
+
+    #[cfg(feature = "fault")]
+    mod injected {
+        use super::*;
+        use crate::fault::{FaultModel, Protection};
+
+        /// A stuck-at pair in one 32-bit word is uncorrectable under ECC:
+        /// every read of the row detects it, so retries fail, the syndrome
+        /// log marks the row persistent, and the pool quarantines the
+        /// array and re-dispatches the shard to a clean one.
+        #[test]
+        fn stuck_word_quarantines_and_redispatches() {
+            let builder = PimMachineBuilder::new(ArrayConfig::qvga())
+                .fault(
+                    FaultModel::none()
+                        .with_stuck_bit(0, 0, true)
+                        .with_stuck_bit(0, 1, true),
+                )
+                .protection(Protection::Ecc);
+            let mut p = builder.build_pool(2);
+            // array 1's copy of the model is equally stuck, so clear its
+            // defect to model a single bad macro
+            assert!(!p.array(0).fault_model().is_none());
+            p.array_mut(1).set_fault_model(FaultModel::none());
+            let out = p
+                .run_phase_resilient(|shard, m| {
+                    // self-contained: write rows 0/1 (zeros, so the stuck
+                    // bits differ from the stored data), then compute
+                    m.host_write_lanes(0, &[0, 0]).unwrap();
+                    m.host_write_lanes(1, &[3, 4]).unwrap();
+                    m.add(Operand::Row(0), Operand::Row(1));
+                    m.writeback(2);
+                    (shard, m.host_read_lanes(2)[0])
+                })
+                .unwrap();
+            // shard 0 was re-dispatched to array 1 and computed cleanly
+            assert_eq!(out, vec![(0, 3), (1, 3)]);
+            let h = p.health();
+            assert!(p.is_quarantined(0));
+            assert!(!p.is_quarantined(1));
+            assert!(h.retries > 0, "bounded retry must run before quarantine");
+            assert_eq!(h.redispatches, 1);
+            assert!(h.total_detected() > 0);
+            // further phases keep running on the surviving array
+            let again = p.run_phase_resilient(|shard, _| shard).unwrap();
+            assert_eq!(again, vec![0]);
+        }
+
+        /// Arrays get forked fault streams: the same seed must not
+        /// produce the same upset sequence on every pool member.
+        #[test]
+        fn pool_members_see_forked_fault_streams() {
+            let builder = PimMachineBuilder::new(ArrayConfig::qvga())
+                .fault(FaultModel::transient(7, 0.02))
+                .protection(Protection::Parity);
+            let mut p = builder.build_pool(2);
+            let lanes = p.run_phase(|_, m| {
+                m.host_write_lanes(0, &[11, 22, 33, 44]).unwrap();
+                m.load(Operand::Row(0));
+                m.tmp_lanes()[..4].to_vec()
+            });
+            assert_ne!(
+                lanes[0], lanes[1],
+                "independent arrays must not replay identical upsets"
+            );
+        }
     }
 }

@@ -23,6 +23,14 @@ pub struct ExecStats {
     /// Host I/O row transfers (loading images / reading results); kept
     /// separate because the paper excludes I/O from the per-frame energy.
     pub host_io_rows: u64,
+    /// Per-word parity checks on protected compute accesses
+    /// ([`crate::Protection::Parity`]); zero without protection.
+    pub parity_checks: u64,
+    /// Per-access ECC syndrome checks on protected compute accesses
+    /// ([`crate::Protection::Ecc`]); zero without protection.
+    pub ecc_checks: u64,
+    /// ECC single-bit corrections performed on the compute path.
+    pub ecc_corrections: u64,
     /// Macro-op histogram.
     pub op_histogram: BTreeMap<OpClass, u64>,
 }
@@ -60,6 +68,9 @@ impl ExecStats {
             tmp_accesses: self.tmp_accesses - earlier.tmp_accesses,
             acc_ops: self.acc_ops - earlier.acc_ops,
             host_io_rows: self.host_io_rows - earlier.host_io_rows,
+            parity_checks: self.parity_checks - earlier.parity_checks,
+            ecc_checks: self.ecc_checks - earlier.ecc_checks,
+            ecc_corrections: self.ecc_corrections - earlier.ecc_corrections,
             op_histogram: hist,
         }
     }
@@ -72,6 +83,9 @@ impl ExecStats {
         self.tmp_accesses += other.tmp_accesses;
         self.acc_ops += other.acc_ops;
         self.host_io_rows += other.host_io_rows;
+        self.parity_checks += other.parity_checks;
+        self.ecc_checks += other.ecc_checks;
+        self.ecc_corrections += other.ecc_corrections;
         for (k, v) in &other.op_histogram {
             *self.op_histogram.entry(*k).or_insert(0) += v;
         }
@@ -92,6 +106,9 @@ impl ExecStats {
             tmp_accesses: self.tmp_accesses * factor,
             acc_ops: self.acc_ops * factor,
             host_io_rows: self.host_io_rows * factor,
+            parity_checks: self.parity_checks * factor,
+            ecc_checks: self.ecc_checks * factor,
+            ecc_corrections: self.ecc_corrections * factor,
             op_histogram: hist,
         }
     }
@@ -112,6 +129,9 @@ impl ExecStats {
             tmp_accesses: self.tmp_accesses / den,
             acc_ops: self.acc_ops / den,
             host_io_rows: self.host_io_rows / den,
+            parity_checks: self.parity_checks / den,
+            ecc_checks: self.ecc_checks / den,
+            ecc_corrections: self.ecc_corrections / den,
             op_histogram: hist,
         }
     }
@@ -125,6 +145,9 @@ impl ExecStats {
         self.tmp_accesses = self.tmp_accesses.saturating_sub(other.tmp_accesses);
         self.acc_ops = self.acc_ops.saturating_sub(other.acc_ops);
         self.host_io_rows = self.host_io_rows.saturating_sub(other.host_io_rows);
+        self.parity_checks = self.parity_checks.saturating_sub(other.parity_checks);
+        self.ecc_checks = self.ecc_checks.saturating_sub(other.ecc_checks);
+        self.ecc_corrections = self.ecc_corrections.saturating_sub(other.ecc_corrections);
         for (k, v) in &other.op_histogram {
             if let Some(mine) = self.op_histogram.get_mut(k) {
                 *mine = mine.saturating_sub(*v);
@@ -138,10 +161,14 @@ impl ExecStats {
             + (self.sram_writes as f64) * cost.sram_write_pj;
         let shifter_adder = (self.acc_ops as f64) * cost.shifter_adder_pj;
         let tmp_reg = (self.tmp_accesses as f64) * cost.tmp_reg_pj;
+        let ecc = (self.parity_checks as f64) * cost.parity_check_pj
+            + (self.ecc_checks as f64) * cost.ecc_check_pj
+            + (self.ecc_corrections as f64) * cost.ecc_correct_pj;
         EnergyBreakdown {
             sram_pj: sram,
             shifter_adder_pj: shifter_adder,
             tmp_reg_pj: tmp_reg,
+            ecc_pj: ecc,
         }
     }
 
@@ -169,12 +196,15 @@ pub struct EnergyBreakdown {
     pub shifter_adder_pj: f64,
     /// Energy consumed in the Tmp Reg, pJ.
     pub tmp_reg_pj: f64,
+    /// Energy consumed by word protection (parity/ECC checks and
+    /// corrections), pJ. Zero without [`crate::Protection`].
+    pub ecc_pj: f64,
 }
 
 impl EnergyBreakdown {
     /// Total energy in pJ.
     pub fn total_pj(&self) -> f64 {
-        self.sram_pj + self.shifter_adder_pj + self.tmp_reg_pj
+        self.sram_pj + self.shifter_adder_pj + self.tmp_reg_pj + self.ecc_pj
     }
 
     /// Total energy in mJ.

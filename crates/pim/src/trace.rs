@@ -106,7 +106,6 @@ impl Trace {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{ArrayConfig, LaneWidth, Operand, PimMachine, Signedness};
 
     #[test]

@@ -10,33 +10,67 @@
 //! <dir>/depth/*.pgm         # 16-bit depth frames (5000 units/m)
 //! ```
 
-use crate::pgm::{read_pgm_depth, read_pgm_gray};
+use crate::pgm::{read_pgm_depth, read_pgm_gray, PgmError};
 use crate::sequences::Frame;
 use crate::trajectory::Trajectory;
-use crate::tum::parse_tum;
+use crate::tum::{parse_tum, TumError};
 use pimvo_vomath::SE3;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Error loading a dataset directory.
+///
+/// Every variant names the file involved, and [`std::error::Error::source`]
+/// exposes the underlying [`std::io::Error`] / [`PgmError`] /
+/// [`TumError`] for callers that match on the cause. Truncated or
+/// corrupt files therefore surface as `Err` values — never panics —
+/// before any frame reaches the tracker.
 #[derive(Debug)]
 pub enum DatasetError {
-    /// I/O failure reading a file.
+    /// I/O failure reading or writing a file.
     Io(PathBuf, std::io::Error),
-    /// A file's contents could not be parsed.
-    Parse(PathBuf, String),
+    /// A PGM image file is malformed or truncated.
+    Pgm(PathBuf, PgmError),
+    /// A trajectory file is malformed.
+    Trajectory(PathBuf, TumError),
+    /// An `associated.txt` line is malformed (1-based line number).
+    Assoc(PathBuf, usize, String),
 }
 
 impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatasetError::Io(p, e) => write!(f, "reading {}: {e}", p.display()),
-            DatasetError::Parse(p, e) => write!(f, "parsing {}: {e}", p.display()),
+            DatasetError::Pgm(p, e) => write!(f, "parsing {}: {e}", p.display()),
+            DatasetError::Trajectory(p, e) => write!(f, "parsing {}: {e}", p.display()),
+            DatasetError::Assoc(p, line, msg) => {
+                write!(f, "parsing {} line {line}: {msg}", p.display())
+            }
         }
     }
 }
 
-impl std::error::Error for DatasetError {}
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(_, e) => Some(e),
+            DatasetError::Pgm(_, e) => Some(e),
+            DatasetError::Trajectory(_, e) => Some(e),
+            DatasetError::Assoc(..) => None,
+        }
+    }
+}
+
+impl From<DatasetError> for std::io::Error {
+    fn from(e: DatasetError) -> Self {
+        match e {
+            DatasetError::Io(_, io) => io,
+            DatasetError::Pgm(_, pgm) => pgm.into(),
+            DatasetError::Trajectory(_, tum) => tum.into(),
+            DatasetError::Assoc(..) => std::io::Error::new(std::io::ErrorKind::InvalidData, e),
+        }
+    }
+}
 
 /// A dataset loaded from disk: frames plus the ground-truth trajectory
 /// when `groundtruth.txt` is present.
@@ -65,7 +99,7 @@ pub fn load_tum_dir(dir: impl AsRef<Path>) -> Result<DiskDataset, DatasetError> 
     let ground_truth = if gt_path.exists() {
         let text =
             std::fs::read_to_string(&gt_path).map_err(|e| DatasetError::Io(gt_path.clone(), e))?;
-        Some(parse_tum(&text).map_err(|e| DatasetError::Parse(gt_path.clone(), e))?)
+        Some(parse_tum(&text).map_err(|e| DatasetError::Trajectory(gt_path.clone(), e))?)
     } else {
         None
     };
@@ -78,13 +112,14 @@ pub fn load_tum_dir(dir: impl AsRef<Path>) -> Result<DiskDataset, DatasetError> 
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 4 {
-            return Err(DatasetError::Parse(
+            return Err(DatasetError::Assoc(
                 assoc_path.clone(),
-                format!("line {}: expected 4 fields, got {}", lineno + 1, fields.len()),
+                lineno + 1,
+                format!("expected 4 fields, got {}", fields.len()),
             ));
         }
         let time: f64 = fields[0].parse().map_err(|e| {
-            DatasetError::Parse(assoc_path.clone(), format!("line {}: {e}", lineno + 1))
+            DatasetError::Assoc(assoc_path.clone(), lineno + 1, format!("{e}"))
         })?;
         let gray_path = dir.join(fields[1]);
         let depth_path = dir.join(fields[3]);
@@ -93,9 +128,9 @@ pub fn load_tum_dir(dir: impl AsRef<Path>) -> Result<DiskDataset, DatasetError> 
         let depth_bytes =
             std::fs::read(&depth_path).map_err(|e| DatasetError::Io(depth_path.clone(), e))?;
         let gray =
-            read_pgm_gray(&gray_bytes).map_err(|e| DatasetError::Parse(gray_path.clone(), e))?;
-        let depth = read_pgm_depth(&depth_bytes)
-            .map_err(|e| DatasetError::Parse(depth_path.clone(), e))?;
+            read_pgm_gray(&gray_bytes).map_err(|e| DatasetError::Pgm(gray_path.clone(), e))?;
+        let depth =
+            read_pgm_depth(&depth_bytes).map_err(|e| DatasetError::Pgm(depth_path.clone(), e))?;
         let gt_wc = ground_truth
             .as_ref()
             .and_then(|gt| nearest_pose(gt, time))
@@ -114,13 +149,12 @@ pub fn load_tum_dir(dir: impl AsRef<Path>) -> Result<DiskDataset, DatasetError> 
     })
 }
 
-/// Ground-truth pose nearest in time to `t`.
+/// Ground-truth pose nearest in time to `t`. Total order over the time
+/// deltas (NaN sorts last), so a corrupt timestamp cannot panic here.
 fn nearest_pose(gt: &Trajectory, t: f64) -> Option<SE3> {
     gt.samples
         .iter()
-        .min_by(|(ta, _), (tb, _)| {
-            (ta - t).abs().partial_cmp(&(tb - t).abs()).expect("finite")
-        })
+        .min_by(|(ta, _), (tb, _)| (ta - t).abs().total_cmp(&(tb - t).abs()))
         .map(|(_, p)| *p)
 }
 
@@ -198,5 +232,42 @@ mod tests {
     #[test]
     fn missing_directory_errors() {
         assert!(load_tum_dir("/nonexistent/pimvo_dataset").is_err());
+    }
+
+    #[test]
+    fn truncated_frame_errors_instead_of_panicking() {
+        let seq = Sequence::generate(SequenceKind::Desk, 2);
+        let dir = std::env::temp_dir().join("pimvo_dataset_truncated");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_tum_dir(&dir, &seq.frames, Some(&seq.ground_truth)).unwrap();
+        // Chop the second gray frame mid-payload, as a failed copy would.
+        let victim = dir.join("gray/000001.pgm");
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_tum_dir(&dir).unwrap_err();
+        match &err {
+            DatasetError::Pgm(p, PgmError::Truncated { .. }) => {
+                assert!(p.ends_with("gray/000001.pgm"), "{}", p.display());
+            }
+            other => panic!("expected truncated-PGM error, got {other}"),
+        }
+        // and it degrades to a plain io::Error for generic callers
+        let io: std::io::Error = err.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::UnexpectedEof);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_groundtruth_errors_with_line_number() {
+        let seq = Sequence::generate(SequenceKind::Desk, 1);
+        let dir = std::env::temp_dir().join("pimvo_dataset_badgt");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_tum_dir(&dir, &seq.frames, Some(&seq.ground_truth)).unwrap();
+        std::fs::write(dir.join("groundtruth.txt"), "# ok\n0.0 1 2\n").unwrap();
+        match load_tum_dir(&dir).unwrap_err() {
+            DatasetError::Trajectory(_, e) => assert_eq!(e.line, 2),
+            other => panic!("expected trajectory error, got {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -7,9 +7,62 @@
 //! the TUM convention of 16-bit values at 5000 units per meter.
 
 use pimvo_kernels::{DepthImage, GrayImage};
+use std::fmt;
 
 /// TUM depth scale: raw 16-bit value per meter.
 pub const TUM_DEPTH_SCALE: f32 = 5000.0;
+
+/// Error decoding a PGM byte stream.
+///
+/// Converts into [`std::io::Error`] (kind `UnexpectedEof` for
+/// [`PgmError::Truncated`], `InvalidData` otherwise) so dataset loaders
+/// can surface it through ordinary I/O error plumbing instead of
+/// panicking on a short read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgmError {
+    /// The byte stream does not start with the binary-PGM `P5` magic.
+    NotPgm,
+    /// The width/height/maxval header is malformed.
+    Header(String),
+    /// The header declares an unsupported sample range.
+    Maxval(u32),
+    /// The pixel payload is shorter than the header promises.
+    Truncated {
+        /// Bytes the header implies (`width * height * bytes/sample`).
+        expected: usize,
+        /// Bytes actually present after the header.
+        actual: usize,
+    },
+    /// The sample depth does not match what the caller requires
+    /// (e.g. an 8-bit image passed to the 16-bit depth reader).
+    BitDepth(String),
+}
+
+impl fmt::Display for PgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgmError::NotPgm => write!(f, "not a binary PGM (missing P5 magic)"),
+            PgmError::Header(msg) => write!(f, "malformed PGM header: {msg}"),
+            PgmError::Maxval(v) => write!(f, "unsupported maxval {v}"),
+            PgmError::Truncated { expected, actual } => {
+                write!(f, "truncated pixel data: expected {expected} bytes, got {actual}")
+            }
+            PgmError::BitDepth(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PgmError {}
+
+impl From<PgmError> for std::io::Error {
+    fn from(e: PgmError) -> Self {
+        let kind = match e {
+            PgmError::Truncated { .. } => std::io::ErrorKind::UnexpectedEof,
+            _ => std::io::ErrorKind::InvalidData,
+        };
+        std::io::Error::new(kind, e)
+    }
+}
 
 /// Serializes an 8-bit grayscale image as binary PGM (`P5`, maxval 255).
 pub fn write_pgm_gray(img: &GrayImage) -> Vec<u8> {
@@ -38,20 +91,27 @@ pub fn write_pgm_depth(img: &DepthImage) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns a description of the malformed header or truncated data.
-pub fn read_pgm_gray(bytes: &[u8]) -> Result<GrayImage, String> {
+/// Returns a [`PgmError`] describing the malformed header or truncated
+/// data.
+pub fn read_pgm_gray(bytes: &[u8]) -> Result<GrayImage, PgmError> {
     let (w, h, maxval, data) = parse_pgm(bytes)?;
     let mut img = GrayImage::new(w, h);
     if maxval <= 255 {
         if data.len() < (w * h) as usize {
-            return Err("truncated 8-bit pixel data".into());
+            return Err(PgmError::Truncated {
+                expected: (w * h) as usize,
+                actual: data.len(),
+            });
         }
         for (i, px) in img.pixels_mut().iter_mut().enumerate() {
             *px = data[i];
         }
     } else {
         if data.len() < 2 * (w * h) as usize {
-            return Err("truncated 16-bit pixel data".into());
+            return Err(PgmError::Truncated {
+                expected: 2 * (w * h) as usize,
+                actual: data.len(),
+            });
         }
         for (i, px) in img.pixels_mut().iter_mut().enumerate() {
             let v = u16::from_be_bytes([data[2 * i], data[2 * i + 1]]);
@@ -66,14 +126,20 @@ pub fn read_pgm_gray(bytes: &[u8]) -> Result<GrayImage, String> {
 ///
 /// # Errors
 ///
-/// Returns a description of the malformed header or truncated data.
-pub fn read_pgm_depth(bytes: &[u8]) -> Result<DepthImage, String> {
+/// Returns a [`PgmError`] describing the malformed header or truncated
+/// data.
+pub fn read_pgm_depth(bytes: &[u8]) -> Result<DepthImage, PgmError> {
     let (w, h, maxval, data) = parse_pgm(bytes)?;
     if maxval <= 255 {
-        return Err("depth PGMs must be 16-bit (maxval > 255)".into());
+        return Err(PgmError::BitDepth(
+            "depth PGMs must be 16-bit (maxval > 255)".into(),
+        ));
     }
     if data.len() < 2 * (w * h) as usize {
-        return Err("truncated 16-bit depth data".into());
+        return Err(PgmError::Truncated {
+            expected: 2 * (w * h) as usize,
+            actual: data.len(),
+        });
     }
     let mut img = DepthImage::new(w, h);
     for y in 0..h {
@@ -87,9 +153,9 @@ pub fn read_pgm_depth(bytes: &[u8]) -> Result<DepthImage, String> {
 }
 
 /// Shared header parser: returns `(width, height, maxval, pixel data)`.
-fn parse_pgm(bytes: &[u8]) -> Result<(u32, u32, u32, &[u8]), String> {
+fn parse_pgm(bytes: &[u8]) -> Result<(u32, u32, u32, &[u8]), PgmError> {
     if bytes.len() < 2 || &bytes[..2] != b"P5" {
-        return Err("not a binary PGM (missing P5 magic)".into());
+        return Err(PgmError::NotPgm);
     }
     let mut pos = 2usize;
     let mut fields = [0u32; 3];
@@ -112,24 +178,24 @@ fn parse_pgm(bytes: &[u8]) -> Result<(u32, u32, u32, &[u8]), String> {
             pos += 1;
         }
         if start == pos {
-            return Err("malformed PGM header".into());
+            return Err(PgmError::Header("missing numeric field".into()));
         }
         *field = std::str::from_utf8(&bytes[start..pos])
-            .map_err(|_| "non-UTF8 header")?
+            .map_err(|_| PgmError::Header("non-UTF8 header".into()))?
             .parse::<u32>()
-            .map_err(|e| format!("bad header number: {e}"))?;
+            .map_err(|e| PgmError::Header(format!("bad number: {e}")))?;
     }
     // exactly one whitespace byte separates the header from the data
     if pos >= bytes.len() || !bytes[pos].is_ascii_whitespace() {
-        return Err("missing header/data separator".into());
+        return Err(PgmError::Header("missing header/data separator".into()));
     }
     pos += 1;
     let (w, h, maxval) = (fields[0], fields[1], fields[2]);
     if w == 0 || h == 0 {
-        return Err("zero image dimension".into());
+        return Err(PgmError::Header("zero image dimension".into()));
     }
     if maxval == 0 || maxval > 65535 {
-        return Err(format!("unsupported maxval {maxval}"));
+        return Err(PgmError::Maxval(maxval));
     }
     Ok((w, h, maxval, &bytes[pos..]))
 }
@@ -168,10 +234,31 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        assert!(read_pgm_gray(b"P6\n1 1\n255\n\0").is_err());
-        assert!(read_pgm_gray(b"P5\n0 1\n255\n").is_err());
-        assert!(read_pgm_gray(b"P5\n4 4\n255\nshort").is_err());
-        assert!(read_pgm_depth(&write_pgm_gray(&GrayImage::new(2, 2))).is_err());
+        assert_eq!(read_pgm_gray(b"P6\n1 1\n255\n\0"), Err(PgmError::NotPgm));
+        assert!(matches!(
+            read_pgm_gray(b"P5\n0 1\n255\n"),
+            Err(PgmError::Header(_))
+        ));
+        assert_eq!(
+            read_pgm_gray(b"P5\n4 4\n255\nshort"),
+            Err(PgmError::Truncated {
+                expected: 16,
+                actual: 5
+            })
+        );
+        assert!(matches!(
+            read_pgm_depth(&write_pgm_gray(&GrayImage::new(2, 2))),
+            Err(PgmError::BitDepth(_))
+        ));
+    }
+
+    #[test]
+    fn errors_convert_to_io_errors() {
+        let trunc = read_pgm_gray(b"P5\n4 4\n255\nshort").unwrap_err();
+        let io: std::io::Error = trunc.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::UnexpectedEof);
+        let bad: std::io::Error = PgmError::NotPgm.into();
+        assert_eq!(bad.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

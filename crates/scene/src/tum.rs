@@ -3,7 +3,54 @@
 
 use crate::trajectory::Trajectory;
 use pimvo_vomath::{Quaternion, Vec3, SE3};
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Error parsing a TUM trajectory file, pointing at the offending
+/// 1-based line. Converts into [`std::io::Error`] (`InvalidData`) so a
+/// corrupt `groundtruth.txt` surfaces as an ordinary read failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TumError {
+    /// 1-based line number of the first malformed line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: TumErrorKind,
+}
+
+/// What made a TUM trajectory line unparsable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TumErrorKind {
+    /// A field failed to parse as a number.
+    Number(std::num::ParseFloatError),
+    /// The line did not have exactly 8 whitespace-separated fields.
+    FieldCount(usize),
+}
+
+impl fmt::Display for TumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TumErrorKind::Number(e) => write!(f, "line {}: {e}", self.line),
+            TumErrorKind::FieldCount(n) => {
+                write!(f, "line {}: expected 8 fields, got {n}", self.line)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TumError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            TumErrorKind::Number(e) => Some(e),
+            TumErrorKind::FieldCount(_) => None,
+        }
+    }
+}
+
+impl From<TumError> for std::io::Error {
+    fn from(e: TumError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
 
 /// Formats a trajectory in the TUM text format (poses are
 /// camera-to-world, quaternion order `qx qy qz qw`).
@@ -28,8 +75,8 @@ pub fn format_tum(traj: &Trajectory) -> String {
 ///
 /// # Errors
 ///
-/// Returns a description of the first malformed line.
-pub fn parse_tum(text: &str) -> Result<Trajectory, String> {
+/// Returns a [`TumError`] locating the first malformed line.
+pub fn parse_tum(text: &str) -> Result<Trajectory, TumError> {
     let mut traj = Trajectory::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -40,13 +87,15 @@ pub fn parse_tum(text: &str) -> Result<Trajectory, String> {
             .split_whitespace()
             .map(|f| f.parse::<f64>())
             .collect::<Result<_, _>>()
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            .map_err(|e| TumError {
+                line: lineno + 1,
+                kind: TumErrorKind::Number(e),
+            })?;
         if fields.len() != 8 {
-            return Err(format!(
-                "line {}: expected 8 fields, got {}",
-                lineno + 1,
-                fields.len()
-            ));
+            return Err(TumError {
+                line: lineno + 1,
+                kind: TumErrorKind::FieldCount(fields.len()),
+            });
         }
         let q = Quaternion {
             x: fields[4],
@@ -93,7 +142,17 @@ mod tests {
     fn skips_comments_and_rejects_malformed() {
         let good = "# header\n\n0.0 0 0 0 0 0 0 1\n";
         assert_eq!(parse_tum(good).unwrap().len(), 1);
-        assert!(parse_tum("0.0 1 2 3\n").is_err());
-        assert!(parse_tum("0.0 a b c d e f g\n").is_err());
+        assert_eq!(
+            parse_tum("0.0 1 2 3\n").unwrap_err(),
+            TumError {
+                line: 1,
+                kind: TumErrorKind::FieldCount(4)
+            }
+        );
+        let err = parse_tum("# c\n0.0 a b c d e f g\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, TumErrorKind::Number(_)));
+        let io: std::io::Error = err.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -75,6 +75,10 @@ pub struct LmConfig {
     pub min_delta_norm: f64,
     /// Relative cost-decrease threshold for convergence.
     pub min_rel_decrease: f64,
+    /// Upper bound on λ: repeated rejections (e.g. from corrupted
+    /// residuals) cannot drive the damping to infinity, which would
+    /// shrink every step to numerical noise while never terminating.
+    pub lambda_max: f64,
 }
 
 impl Default for LmConfig {
@@ -86,6 +90,7 @@ impl Default for LmConfig {
             lambda_down: 3.0,
             min_delta_norm: 1e-7,
             min_rel_decrease: 1e-6,
+            lambda_max: 1e10,
         }
     }
 }
@@ -105,6 +110,10 @@ pub struct LmOutcome {
     pub converged: bool,
     /// Number of 6x6 solves that failed (singular damped Hessian).
     pub solver_failures: usize,
+    /// True when the solve hit the divergence guard: a non-finite or
+    /// exploding cost/update was rejected (corrupted residuals, broken
+    /// linearization). The returned pose is the last healthy iterate.
+    pub diverged: bool,
 }
 
 /// The Levenberg-Marquardt driver: repeatedly linearize, solve the
@@ -131,6 +140,20 @@ impl LmSolver {
         let mut iterations = 0;
         let mut converged = false;
         let mut solver_failures = 0;
+        let mut diverged = false;
+
+        if !eq.mean_cost().is_finite() {
+            // nothing to optimize against: refuse rather than chase NaNs
+            return LmOutcome {
+                pose,
+                iterations: 0,
+                final_cost: f64::INFINITY,
+                residual_count: eq.count,
+                converged: false,
+                solver_failures: 0,
+                diverged: true,
+            };
+        }
 
         while iterations < cfg.max_iterations {
             iterations += 1;
@@ -150,13 +173,28 @@ impl LmSolver {
                     }
                     Err(LinSolveError::Singular) => {
                         solver_failures += 1;
-                        lambda *= cfg.lambda_up;
+                        lambda = (lambda * cfg.lambda_up).min(cfg.lambda_max);
                         continue;
                     }
                 };
+                // divergence guard: a non-finite update (corrupted H/b)
+                // is rejected like a failed solve
+                if delta.iter().any(|v| !v.is_finite()) {
+                    solver_failures += 1;
+                    diverged = true;
+                    lambda = (lambda * cfg.lambda_up).min(cfg.lambda_max);
+                    continue;
+                }
                 let delta_norm = delta.iter().map(|v| v * v).sum::<f64>().sqrt();
                 let candidate = SE3::exp(&delta).compose(&pose);
                 let new_eq = problem.build(&candidate);
+                // non-finite or exploding candidate cost: reject the
+                // step, keep the last healthy iterate
+                if !new_eq.mean_cost().is_finite() {
+                    diverged = true;
+                    lambda = (lambda * cfg.lambda_up).min(cfg.lambda_max);
+                    continue;
+                }
                 if new_eq.count > 0 && new_eq.mean_cost() < eq.mean_cost() {
                     let rel = (eq.mean_cost() - new_eq.mean_cost()) / eq.mean_cost().max(1e-300);
                     pose = candidate;
@@ -168,7 +206,7 @@ impl LmSolver {
                     }
                     break;
                 }
-                lambda *= cfg.lambda_up;
+                lambda = (lambda * cfg.lambda_up).min(cfg.lambda_max);
             }
             if !accepted {
                 // no acceptable step at any damping: treat as converged
@@ -186,6 +224,7 @@ impl LmSolver {
             residual_count: eq.count,
             converged,
             solver_failures,
+            diverged,
         }
     }
 }
@@ -269,6 +308,88 @@ mod tests {
         let out = LmSolver::default().solve(&mut problem, SE3::IDENTITY);
         assert!(out.iterations <= LmConfig::default().max_iterations);
         assert!(out.final_cost.is_finite());
+    }
+
+    /// A problem whose residuals are NaN everywhere except at the
+    /// starting pose — models a corrupted linearization.
+    struct PoisonedAway {
+        inner: CloudAlign,
+        builds: usize,
+    }
+
+    impl LmProblem for PoisonedAway {
+        fn build(&mut self, pose: &SE3) -> NormalEquations {
+            self.builds += 1;
+            if self.builds == 1 {
+                return self.inner.build(pose);
+            }
+            let mut eq = self.inner.build(pose);
+            eq.cost = f64::NAN;
+            eq
+        }
+    }
+
+    #[test]
+    fn non_finite_candidate_cost_is_rejected_not_propagated() {
+        let truth = SE3::exp(&[0.05, -0.03, 0.08, 0.04, -0.06, 0.02]);
+        let src: Vec<Vec3> = (0..20)
+            .map(|i| {
+                let f = i as f64;
+                Vec3::new((f * 0.37).sin(), (f * 0.61).cos(), 2.0 + (f * 0.13).sin())
+            })
+            .collect();
+        let dst: Vec<Vec3> = src.iter().map(|&p| truth.transform(p)).collect();
+        let mut problem = PoisonedAway {
+            inner: CloudAlign { src, dst },
+            builds: 0,
+        };
+        let out = LmSolver::default().solve(&mut problem, SE3::IDENTITY);
+        assert!(out.diverged, "poisoned rebuilds must trip the guard");
+        assert!(out.final_cost.is_finite(), "cost stays the healthy one");
+        // the pose never moved: every candidate was rejected
+        let drift = out.pose.compose(&SE3::IDENTITY.inverse());
+        assert!(drift.translation_norm() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_initial_cost_refuses_to_solve() {
+        struct AlwaysNan;
+        impl LmProblem for AlwaysNan {
+            fn build(&mut self, _pose: &SE3) -> NormalEquations {
+                let mut eq = NormalEquations::zero();
+                eq.accumulate(&[1.0; 6], f64::NAN, 1.0);
+                eq
+            }
+        }
+        let out = LmSolver::default().solve(&mut AlwaysNan, SE3::IDENTITY);
+        assert!(out.diverged);
+        assert_eq!(out.iterations, 0);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn lambda_growth_is_capped() {
+        // a problem that rejects every step keeps multiplying λ; the cap
+        // keeps it finite so the outcome is well-defined
+        struct NeverBetter;
+        impl LmProblem for NeverBetter {
+            fn build(&mut self, pose: &SE3) -> NormalEquations {
+                let mut eq = NormalEquations::zero();
+                // constant cost regardless of pose: no step ever accepted
+                let t = pose.translation_norm();
+                eq.accumulate(&[1.0, 0.5, 0.2, 0.1, 0.3, 0.6], 1.0 + 0.0 * t, 1.0);
+                eq
+            }
+        }
+        let solver = LmSolver::new(LmConfig {
+            max_iterations: 50,
+            lambda_up: 1e6,
+            lambda_max: 1e8,
+            ..LmConfig::default()
+        });
+        let out = solver.solve(&mut NeverBetter, SE3::IDENTITY);
+        assert!(out.final_cost.is_finite());
+        assert!(!out.diverged);
     }
 
     #[test]
