@@ -24,7 +24,9 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function("lpf", |b| b.iter(|| scalar::lpf(&img)));
     g.bench_function("hpf", |b| b.iter(|| scalar::hpf(&lpf_map)));
     g.bench_function("nms", |b| b.iter(|| scalar::nms(&hpf_map, &cfg)));
-    g.bench_function("full_pipeline", |b| b.iter(|| scalar::edge_detect(&img, &cfg)));
+    g.bench_function("full_pipeline", |b| {
+        b.iter(|| scalar::edge_detect(&img, &cfg))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("edge_kernels_pim_simulated");

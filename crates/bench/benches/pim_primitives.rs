@@ -20,17 +20,11 @@ fn bench_primitives(c: &mut Criterion) {
     let mut g = c.benchmark_group("pim_primitives");
     for (name, width) in [("w8", LaneWidth::W8), ("w32", LaneWidth::W32)] {
         let mut m = machine(width, Signedness::Unsigned);
-        g.bench_function(format!("add_{name}"), |b| {
-            b.iter(|| m.add(Row(0), Row(1)))
-        });
+        g.bench_function(format!("add_{name}"), |b| b.iter(|| m.add(Row(0), Row(1))));
         let mut m = machine(width, Signedness::Unsigned);
-        g.bench_function(format!("mul_{name}"), |b| {
-            b.iter(|| m.mul(Row(0), Row(1)))
-        });
+        g.bench_function(format!("mul_{name}"), |b| b.iter(|| m.mul(Row(0), Row(1))));
         let mut m = machine(width, Signedness::Unsigned);
-        g.bench_function(format!("div_{name}"), |b| {
-            b.iter(|| m.div(Row(0), Row(1)))
-        });
+        g.bench_function(format!("div_{name}"), |b| b.iter(|| m.div(Row(0), Row(1))));
         let mut m = machine(width, Signedness::Unsigned);
         g.bench_function(format!("abs_diff_{name}"), |b| {
             b.iter(|| m.abs_diff(Row(0), Row(1)))

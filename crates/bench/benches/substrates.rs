@@ -42,7 +42,9 @@ fn bench_substrates(c: &mut Criterion) {
     let mut net = SmallNet::untrained();
     let _ = net.train_head(20, 5, 8);
     let img = render_shape(Shape::Circle, 42);
-    g.bench_function("cnn_inference_scalar", |b| b.iter(|| net.forward_scalar(&img)));
+    g.bench_function("cnn_inference_scalar", |b| {
+        b.iter(|| net.forward_scalar(&img))
+    });
     g.bench_function("cnn_inference_pim_simulated", |b| {
         let mut m = PimMachine::new(ArrayConfig::qvga());
         b.iter(|| net.forward_pim(&mut m, 0, &img))

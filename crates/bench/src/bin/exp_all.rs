@@ -1,11 +1,45 @@
 //! Runs every experiment (E1-E11 except the Fig. 8 file dump) and
-//! prints one consolidated report. Optional argument: frame count for
-//! the accuracy runs (default 90).
+//! prints one consolidated report, plus machine-readable
+//! `BENCH_<experiment>.json` snapshots in the current directory.
+//!
+//! ```text
+//! cargo run --release --bin exp_all [frames] [--out <dir>]
+//! ```
+
+use pimvo_bench::sink::TelemetrySink;
 
 fn main() {
-    let frames = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(pimvo_bench::DEFAULT_FRAMES);
-    print!("{}", pimvo_bench::reports::all(frames));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut frames = pimvo_bench::DEFAULT_FRAMES;
+    let mut out_dir = String::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory argument");
+                    std::process::exit(2);
+                });
+            }
+            a => {
+                frames = a.parse().unwrap_or_else(|_| {
+                    eprintln!("unrecognized argument: {a} (expected a frame count or --out <dir>)");
+                    std::process::exit(2);
+                });
+            }
+        }
+        i += 1;
+    }
+
+    let (reports, text) = pimvo_bench::reports::all_with_reports(frames);
+    print!("{text}");
+
+    let mut sink = TelemetrySink::new(&out_dir);
+    for report in &reports {
+        match sink.emit(report) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", report.file_name()),
+        }
+    }
 }

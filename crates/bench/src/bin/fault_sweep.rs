@@ -11,6 +11,7 @@
 //! cargo run --release --features fault --bin fault_sweep [frames]
 //! ```
 
+use pimvo_bench::sink::{BenchReport, TelemetrySink};
 use pimvo_core::pim_exec::BatchOptions;
 use pimvo_core::{PimBackend, Tracker, TrackerConfig, TrackingState};
 use pimvo_pim::{ArrayConfig, CostModel, FaultModel, PimMachine, PoolHealth, Protection};
@@ -105,19 +106,65 @@ fn main() {
     );
     println!(
         "{:<10} {:>9} {:>10} {:>11} {:>9} {:>10} {:>9} {:>9} {:>6} {:>9}",
-        "protect", "rate", "ate_m", "energy_mJ", "ecc_uJ", "escaped", "corrected", "detected",
-        "dirty", "state"
+        "protect",
+        "rate",
+        "ate_m",
+        "energy_mJ",
+        "ecc_uJ",
+        "escaped",
+        "corrected",
+        "detected",
+        "dirty",
+        "state"
+    );
+
+    let started = std::time::Instant::now();
+    let mut report = BenchReport::new("fault_sweep");
+    report.note(
+        "config",
+        &format!("{frames} Desk frames, {POOL}-array pool, on-machine LM"),
     );
 
     let mut baseline_mj = None;
     for protection in [Protection::None, Protection::Parity, Protection::Ecc] {
         for rate in [0.0, 1e-6, 1e-5] {
             let r = track(&seq, protected_tracker(protection, rate, 0xFA57_C0DE));
+            let key = format!("{}_rate{:e}", protection_name(protection), rate);
+            report
+                .metric(&format!("{key}_ate_m"), r.ate_m)
+                .metric(&format!("{key}_energy_mj"), r.energy_mj)
+                .metric(&format!("{key}_ecc_uj"), r.ecc_pj / 1e6)
+                .metric(
+                    &format!("{key}_injected"),
+                    r.health.arrays.iter().map(|a| a.injected).sum::<u64>() as f64,
+                )
+                .metric(
+                    &format!("{key}_corrected"),
+                    r.health.total_corrected() as f64,
+                )
+                .metric(&format!("{key}_detected"), r.health.total_detected() as f64)
+                .metric(
+                    &format!("{key}_dirty_accepted"),
+                    r.health.dirty_accepted as f64,
+                )
+                .metric(
+                    &format!("{key}_tracking_ok"),
+                    if r.state == TrackingState::Lost {
+                        0.0
+                    } else {
+                        1.0
+                    },
+                );
             if protection == Protection::None && rate == 0.0 {
                 baseline_mj = Some(r.energy_mj);
             }
             let overhead = baseline_mj
-                .map(|b| format!(" ({:+.2}% energy vs clean)", (r.energy_mj / b - 1.0) * 100.0))
+                .map(|b| {
+                    format!(
+                        " ({:+.2}% energy vs clean)",
+                        (r.energy_mj / b - 1.0) * 100.0
+                    )
+                })
                 .unwrap_or_default();
             println!(
                 "{:<10} {:>9.0e} {:>10.4} {:>11.4} {:>9.3} {:>10} {:>9} {:>9} {:>6} {:>9?}{overhead}",
@@ -162,7 +209,10 @@ fn main() {
     // share one 32-bit protection word, so ECC cannot correct the row.
     let row = pimvo_core::pim_exec::POSE_BASE + 2;
     for bit in 64..68 {
-        backend.pool_mut().array_mut(0).inject_stuck_bit(row, bit, true);
+        backend
+            .pool_mut()
+            .array_mut(0)
+            .inject_stuck_bit(row, bit, true);
     }
     let mut tracker = Tracker::with_backend(config(), Box::new(backend));
     for f in &seq.frames {
@@ -181,4 +231,24 @@ fn main() {
         health.quarantined_count() >= 1 && health.retries > 0 && health.redispatches > 0,
         "stuck-at defect must drive quarantine + re-dispatch"
     );
+
+    report
+        .metric("stuckat_quarantined", health.quarantined_count() as f64)
+        .metric("stuckat_retries", health.retries as f64)
+        .metric("stuckat_redispatches", health.redispatches as f64)
+        .metric("stuckat_detected", health.total_detected() as f64)
+        .metric(
+            "stuckat_tracking_ok",
+            if tracker.state() == TrackingState::Lost {
+                0.0
+            } else {
+                1.0
+            },
+        )
+        .metric("wall_seconds", started.elapsed().as_secs_f64());
+    let mut sink = TelemetrySink::new(".");
+    match sink.emit(&report) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", report.file_name()),
+    }
 }

@@ -124,3 +124,4 @@ mod tests {
 }
 
 pub mod reports;
+pub mod sink;

@@ -5,8 +5,7 @@
 use crate::{canonical_frame, fmt_cycles, run_sequence, SequenceRun, DEFAULT_FRAMES};
 use pimvo_core::pim_exec::{run_batch, run_batch_naive, BATCH};
 use pimvo_core::{
-    ablation, extract_features, BackendKind, Keyframe, QFeature, QPose, Tracker,
-    TrackerConfig,
+    ablation, extract_features, BackendKind, Keyframe, QFeature, QPose, Tracker, TrackerConfig,
 };
 use pimvo_kernels::{pim_naive, pim_opt, EdgeConfig};
 use pimvo_mcu::{
@@ -70,7 +69,11 @@ pub fn table1(frames: usize) -> (Vec<SequenceRun>, String) {
 pub fn fig8(frames: usize) -> (Vec<(String, String, String, String)>, String) {
     let mut files = Vec::new();
     let mut out = String::new();
-    writeln!(out, "Fig. 8: trajectory + reconstruction vs ground truth (PIM backend)").unwrap();
+    writeln!(
+        out,
+        "Fig. 8: trajectory + reconstruction vs ground truth (PIM backend)"
+    )
+    .unwrap();
     for kind in [SequenceKind::Desk, SequenceKind::StrNtexFar] {
         let run = run_sequence(kind, BackendKind::Pim, frames);
         let ate = pimvo_scene::ate_rmse(&run.estimate, &run.ground_truth);
@@ -210,7 +213,12 @@ pub fn fig9a() -> (Fig9aResult, String) {
         features: features.len(),
     };
     let mut out = String::new();
-    writeln!(out, "Fig. 9-a: computing cycles per frame ({} features)", res.features).unwrap();
+    writeln!(
+        out,
+        "Fig. 9-a: computing cycles per frame ({} features)",
+        res.features
+    )
+    .unwrap();
     writeln!(out, "  {:<18} {:>12} {:>12}", "", "baseline", "PIM").unwrap();
     writeln!(
         out,
@@ -291,7 +299,11 @@ pub fn fig9b() -> (Fig9bResult, String) {
     let (lpf_o, hpf_o, nms_o) = measure_edge(false);
 
     // LM: one iteration, naive vs optimized batch schedule
-    let maps = pim_opt::edge_detect(&mut PimMachine::new(ArrayConfig::qvga_banks(6)), &gray, &cfg);
+    let maps = pim_opt::edge_detect(
+        &mut PimMachine::new(ArrayConfig::qvga_banks(6)),
+        &gray,
+        &cfg,
+    );
     let features = extract_features(&maps.mask, &depth, &cam, 6000, 0.3, 8.0);
     let kf = Keyframe::build(0, SE3::IDENTITY, maps.mask.clone(), &cam);
     let qpose = QPose::quantize(&SE3::IDENTITY);
@@ -319,7 +331,12 @@ pub fn fig9b() -> (Fig9bResult, String) {
     };
     let mut out = String::new();
     writeln!(out, "Fig. 9-b: naive vs optimized PIM mappings (cycles)").unwrap();
-    writeln!(out, "  {:<8} {:>10} {:>10} {:>8}", "kernel", "naive", "opt", "ratio").unwrap();
+    writeln!(
+        out,
+        "  {:<8} {:>10} {:>10} {:>8}",
+        "kernel", "naive", "opt", "ratio"
+    )
+    .unwrap();
     for (name, (n, o)) in [
         ("LPF", res.lpf),
         ("HPF", res.hpf),
@@ -365,14 +382,24 @@ pub fn fig10a() -> (pimvo_pim::EnergyBreakdown, String) {
     let total = e.total_pj();
     let mut out = String::new();
     writeln!(out, "Fig. 10-a: PIM energy decomposition ({frames} frames)").unwrap();
-    writeln!(out, "  SRAM array     : {:>6.1} %  (paper: 86 %)", 100.0 * e.sram_pj / total).unwrap();
+    writeln!(
+        out,
+        "  SRAM array     : {:>6.1} %  (paper: 86 %)",
+        100.0 * e.sram_pj / total
+    )
+    .unwrap();
     writeln!(
         out,
         "  shifter & adder: {:>6.1} %",
         100.0 * e.shifter_adder_pj / total
     )
     .unwrap();
-    writeln!(out, "  Tmp Reg        : {:>6.1} %", 100.0 * e.tmp_reg_pj / total).unwrap();
+    writeln!(
+        out,
+        "  Tmp Reg        : {:>6.1} %",
+        100.0 * e.tmp_reg_pj / total
+    )
+    .unwrap();
     (e, out)
 }
 
@@ -382,15 +409,29 @@ pub fn fig10b() -> (pimvo_pim::MemAccessBreakdown, String) {
     let m = stats.mem_accesses();
     let total = m.total() as f64;
     let mut out = String::new();
-    writeln!(out, "Fig. 10-b: memory-access decomposition ({frames} frames)").unwrap();
-    writeln!(out, "  SRAM reads : {:>6.1} %", 100.0 * m.sram_reads as f64 / total).unwrap();
+    writeln!(
+        out,
+        "Fig. 10-b: memory-access decomposition ({frames} frames)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  SRAM reads : {:>6.1} %",
+        100.0 * m.sram_reads as f64 / total
+    )
+    .unwrap();
     writeln!(
         out,
         "  SRAM writes: {:>6.1} %  (paper: ~7 % after Tmp-Reg optimization)",
         100.0 * m.sram_writes as f64 / total
     )
     .unwrap();
-    writeln!(out, "  Tmp Reg    : {:>6.1} %", 100.0 * m.tmp_accesses as f64 / total).unwrap();
+    writeln!(
+        out,
+        "  Tmp Reg    : {:>6.1} %",
+        100.0 * m.tmp_accesses as f64 / total
+    )
+    .unwrap();
     (m, out)
 }
 
@@ -443,7 +484,11 @@ pub fn instr_mix() -> (InstructionMix, String) {
     }
     let mix = InstructionMix::from_counter(&c);
     let mut out = String::new();
-    writeln!(out, "§1 motivation: instruction mix of a portable EBVO frame").unwrap();
+    writeln!(
+        out,
+        "§1 motivation: instruction mix of a portable EBVO frame"
+    )
+    .unwrap();
     writeln!(
         out,
         "  data movement: {:.1} % of {} instructions (paper: 43 % x86 / 51 % ARM)",
@@ -465,14 +510,15 @@ pub fn instr_mix() -> (InstructionMix, String) {
 pub fn quant_ablation() -> String {
     let cam = Pinhole::qvga();
     let pose = SE3::exp(&[0.05, -0.02, 0.03, 0.02, -0.01, 0.015]);
-    let sweep = ablation::warp_error_sweep(
-        &cam,
-        &pose,
-        &[(16, 12), (12, 8), (10, 6), (8, 4)],
-    );
+    let sweep = ablation::warp_error_sweep(&cam, &pose, &[(16, 12), (12, 8), (10, 6), (8, 4)]);
     let mut out = String::new();
     writeln!(out, "§3.3 ablation: feature-quantization warp error").unwrap();
-    writeln!(out, "  {:<8} {:>12} {:>12}", "format", "max err(px)", "mean err(px)").unwrap();
+    writeln!(
+        out,
+        "  {:<8} {:>12} {:>12}",
+        "format", "max err(px)", "mean err(px)"
+    )
+    .unwrap();
     for s in &sweep {
         writeln!(
             out,
@@ -498,7 +544,11 @@ pub fn quant_ablation() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "  (paper: 32-bit Q29.3 works, 16-bit breaks the solver)").unwrap();
+    writeln!(
+        out,
+        "  (paper: 32-bit Q29.3 works, 16-bit breaks the solver)"
+    )
+    .unwrap();
     out
 }
 
@@ -508,8 +558,18 @@ pub fn area() -> String {
     let a = cost.area_report();
     let mut out = String::new();
     writeln!(out, "§5.1: 90 nm area model").unwrap();
-    writeln!(out, "  SRAM array      : {:.3e} µm²  (paper: 3.48e6)", a.array_um2).unwrap();
-    writeln!(out, "  sense amplifiers: {:.3e} µm²  (paper: 5.60e4)", a.sa_um2).unwrap();
+    writeln!(
+        out,
+        "  SRAM array      : {:.3e} µm²  (paper: 3.48e6)",
+        a.array_um2
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  sense amplifiers: {:.3e} µm²  (paper: 5.60e4)",
+        a.sa_um2
+    )
+    .unwrap();
     writeln!(
         out,
         "  computing logic : {:.3e} µm² = {:.1} % of the array (paper: 5.1 %)",
@@ -530,28 +590,151 @@ pub fn area() -> String {
 /// Runs the cheap experiments plus a reduced Table 1 (used by
 /// `exp_all`). `frames` bounds the accuracy runs.
 pub fn all(frames: usize) -> String {
+    all_with_reports(frames).1
+}
+
+/// Backend name used in machine-readable metric keys.
+fn backend_slug(backend: BackendKind) -> &'static str {
+    match backend {
+        BackendKind::Float => "float",
+        BackendKind::Pim => "pim",
+    }
+}
+
+/// Builds the machine-readable summary for one set of accuracy runs
+/// (used for both Table 1 and the fault-free part of `fault_sweep`).
+pub fn sequence_report(name: &str, runs: &[SequenceRun]) -> crate::sink::BenchReport {
+    let mut r = crate::sink::BenchReport::new(name);
+    for run in runs {
+        let prefix = format!("{}_{}", run.kind.name(), backend_slug(run.backend));
+        r.metric(&format!("{prefix}_rpe_trans_mps"), run.rpe.trans_mps)
+            .metric(&format!("{prefix}_rpe_rot_dps"), run.rpe.rot_dps)
+            .metric(
+                &format!("{prefix}_ate_m"),
+                pimvo_scene::ate_rmse(&run.estimate, &run.ground_truth),
+            )
+            .metric(
+                &format!("{prefix}_cycles_total"),
+                run.stats.total_cycles() as f64,
+            )
+            .metric(&format!("{prefix}_energy_mj"), run.stats.energy_mj)
+            .metric(&format!("{prefix}_keyframes"), run.keyframes as f64)
+            .metric(&format!("{prefix}_mean_features"), run.mean_features)
+            .metric(&format!("{prefix}_mean_lm_iterations"), run.mean_iterations);
+    }
+    r
+}
+
+/// Runs the same experiments as [`all`] and additionally returns one
+/// [`BenchReport`](crate::sink::BenchReport) per experiment — cycles,
+/// energy, accuracy, and wall-clock seconds in a flat numeric map —
+/// so `exp_all` can drop `BENCH_*.json` snapshots next to the
+/// human-readable tables.
+pub fn all_with_reports(frames: usize) -> (Vec<crate::sink::BenchReport>, String) {
+    use crate::sink::BenchReport;
+    use std::time::Instant;
+
+    let mut reports = Vec::new();
     let mut out = String::new();
-    let (_, t1) = table1(frames.min(DEFAULT_FRAMES));
+    let started = Instant::now();
+
+    let t0 = Instant::now();
+    let (runs, t1) = table1(frames.min(DEFAULT_FRAMES));
     out.push_str(&t1);
     out.push('\n');
-    let (_, f9a) = fig9a();
-    out.push_str(&f9a);
+    let mut r = sequence_report("table1", &runs);
+    r.metric("wall_seconds", t0.elapsed().as_secs_f64())
+        .note("paper", "Table 1: RPE RMSE, baseline vs PIM EBVO");
+    reports.push(r);
+
+    let t0 = Instant::now();
+    let (f9a, text) = fig9a();
+    out.push_str(&text);
     out.push('\n');
-    let (_, f9b) = fig9b();
-    out.push_str(&f9b);
+    let mut r = BenchReport::new("fig9a");
+    r.metric("mcu_edge_cycles", f9a.mcu_edge as f64)
+        .metric("mcu_lm8_cycles", f9a.mcu_lm8 as f64)
+        .metric("pim_edge_cycles", f9a.pim_edge as f64)
+        .metric("pim_lm8_cycles", f9a.pim_lm8 as f64)
+        .metric("features", f9a.features as f64)
+        .metric("edge_speedup", f9a.edge_speedup())
+        .metric("lm_speedup", f9a.lm_speedup())
+        .metric("overall_speedup", f9a.overall_speedup())
+        .metric("wall_seconds", t0.elapsed().as_secs_f64())
+        .note("paper", "Fig. 9-a: 48x edge, 11x LM, 24x overall");
+    reports.push(r);
+
+    let t0 = Instant::now();
+    let (f9b, text) = fig9b();
+    out.push_str(&text);
     out.push('\n');
-    let (_, f10a) = fig10a();
-    out.push_str(&f10a);
+    let mut r = BenchReport::new("fig9b");
+    for (name, (naive, optimized)) in [
+        ("lpf", f9b.lpf),
+        ("hpf", f9b.hpf),
+        ("nms", f9b.nms),
+        ("lm", f9b.lm),
+    ] {
+        r.metric(&format!("{name}_naive_cycles"), naive as f64)
+            .metric(&format!("{name}_optimized_cycles"), optimized as f64);
+    }
+    r.metric("wall_seconds", t0.elapsed().as_secs_f64())
+        .note("paper", "Fig. 9-b: naive vs optimized PIM mappings");
+    reports.push(r);
+
+    let t0 = Instant::now();
+    let (f10a, text) = fig10a();
+    out.push_str(&text);
     out.push('\n');
-    let (_, f10b) = fig10b();
-    out.push_str(&f10b);
+    let mut r = BenchReport::new("fig10a");
+    r.metric("sram_pj", f10a.sram_pj)
+        .metric("shifter_adder_pj", f10a.shifter_adder_pj)
+        .metric("tmp_reg_pj", f10a.tmp_reg_pj)
+        .metric("ecc_pj", f10a.ecc_pj)
+        .metric("total_pj", f10a.total_pj())
+        .metric("sram_share", f10a.sram_share())
+        .metric("wall_seconds", t0.elapsed().as_secs_f64())
+        .note("paper", "Fig. 10-a: SRAM ~86 % of PIM energy");
+    reports.push(r);
+
+    let t0 = Instant::now();
+    let (f10b, text) = fig10b();
+    out.push_str(&text);
     out.push('\n');
-    let (_, e) = energy();
-    out.push_str(&e);
+    let mut r = BenchReport::new("fig10b");
+    r.metric("sram_reads", f10b.sram_reads as f64)
+        .metric("sram_writes", f10b.sram_writes as f64)
+        .metric("tmp_accesses", f10b.tmp_accesses as f64)
+        .metric("total_accesses", f10b.total() as f64)
+        .metric("wall_seconds", t0.elapsed().as_secs_f64())
+        .note("paper", "Fig. 10-b: writes ~7 % after Tmp-Reg optimization");
+    reports.push(r);
+
+    let t0 = Instant::now();
+    let ((mcu_mj, pim_mj), text) = energy();
+    out.push_str(&text);
     out.push('\n');
-    let (_, mix) = instr_mix();
-    out.push_str(&mix);
+    let mut r = BenchReport::new("energy");
+    r.metric("mcu_mj_per_frame", mcu_mj)
+        .metric("pim_mj_per_frame", pim_mj)
+        .metric("improvement_x", mcu_mj / pim_mj)
+        .metric("wall_seconds", t0.elapsed().as_secs_f64())
+        .note("paper", "10.3 mJ vs 0.495 mJ per frame (20.8x)");
+    reports.push(r);
+
+    let t0 = Instant::now();
+    let (mix, text) = instr_mix();
+    out.push_str(&text);
     out.push('\n');
+    let mut r = BenchReport::new("instr_mix");
+    r.metric("total_instructions", mix.total as f64)
+        .metric("memory_instructions", mix.memory as f64)
+        .metric("arithmetic_instructions", mix.arithmetic as f64)
+        .metric("control_instructions", mix.control as f64)
+        .metric("wall_seconds", t0.elapsed().as_secs_f64())
+        .note("paper", "§1 motivation: data-movement share");
+    reports.push(r);
+
     out.push_str(&quant_ablation());
     out.push('\n');
     out.push_str(&tmpreg_ablation());
@@ -562,9 +745,34 @@ pub fn all(frames: usize) -> String {
     out.push('\n');
     out.push_str(&area());
     out.push('\n');
-    let (_, sc) = scaling();
-    out.push_str(&sc);
-    out
+
+    let t0 = Instant::now();
+    let (points, text) = scaling();
+    out.push_str(&text);
+    let mut r = BenchReport::new("scaling");
+    for p in &points {
+        let prefix = format!("arrays_{}", p.arrays);
+        r.metric(&format!("{prefix}_edge_wall_cycles"), p.edge_wall as f64)
+            .metric(&format!("{prefix}_lm_wall_cycles"), p.lm_wall as f64)
+            .metric(&format!("{prefix}_energy_mj"), p.energy_mj)
+            .metric(
+                &format!("{prefix}_bit_identical"),
+                if p.identical { 1.0 } else { 0.0 },
+            );
+    }
+    r.metric("wall_seconds", t0.elapsed().as_secs_f64())
+        .note("paper", "extension: sharded pool scaling, 1-8 arrays");
+    reports.push(r);
+
+    let mut summary = BenchReport::new("summary");
+    summary
+        .metric("experiments", reports.len() as f64)
+        .metric("frames", frames.min(DEFAULT_FRAMES) as f64)
+        .metric("wall_seconds", started.elapsed().as_secs_f64())
+        .note("tool", "pimvo-bench exp_all");
+    reports.push(summary);
+
+    (reports, out)
 }
 
 /// §5.4 extension ablation: Tmp-register count (the paper: "we could
@@ -586,8 +794,17 @@ pub fn tmpreg_ablation() -> String {
     let (s1, s4) = (m1.stats(), m4.stats());
     let (e1, e4) = (s1.energy(&cost), s4.energy(&cost));
     let mut out = String::new();
-    writeln!(out, "§5.4 extension: Tmp-register count (edge detection, one frame)").unwrap();
-    writeln!(out, "  {:<22} {:>12} {:>12}", "", "1 register", "4 registers").unwrap();
+    writeln!(
+        out,
+        "§5.4 extension: Tmp-register count (edge detection, one frame)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:<22} {:>12} {:>12}",
+        "", "1 register", "4 registers"
+    )
+    .unwrap();
     writeln!(
         out,
         "  {:<22} {:>12} {:>12}",
@@ -640,7 +857,11 @@ pub fn interp_ablation(frames: usize) -> String {
 
     let seq = Sequence::generate(SequenceKind::Xyz, frames);
     let mut out = String::new();
-    writeln!(out, "residual-lookup ablation (xyz, {frames} frames, PIM backend)").unwrap();
+    writeln!(
+        out,
+        "residual-lookup ablation (xyz, {frames} frames, PIM backend)"
+    )
+    .unwrap();
     writeln!(
         out,
         "  {:<10} {:>12} {:>12} {:>14}",
@@ -685,7 +906,11 @@ pub fn pyramid_ablation() -> String {
     let opts = RenderOptions::default();
     let (g0, d0) = scene.render(&cam, &SE3::IDENTITY, &opts, 0);
     let mut out = String::new();
-    writeln!(out, "extension: coarse-to-fine pyramid (lateral jump recovery)").unwrap();
+    writeln!(
+        out,
+        "extension: coarse-to-fine pyramid (lateral jump recovery)"
+    )
+    .unwrap();
     writeln!(
         out,
         "  {:<10} {:>9} {:>9} {:>9} {:>14}",
@@ -730,7 +955,11 @@ pub fn noise_sweep(frames: usize) -> String {
     use pimvo_scene::{rpe_rmse, RenderOptions, Trajectory};
 
     let mut out = String::new();
-    writeln!(out, "robustness: RPE vs sensor noise (desk, {frames} frames, PIM backend)").unwrap();
+    writeln!(
+        out,
+        "robustness: RPE vs sensor noise (desk, {frames} frames, PIM backend)"
+    )
+    .unwrap();
     let track = |opts: RenderOptions| -> (f64, f64) {
         let scene = pimvo_scene::build_scene(SequenceKind::Desk);
         let cam = Pinhole::qvga();
@@ -750,7 +979,12 @@ pub fn noise_sweep(frames: usize) -> String {
     };
 
     writeln!(out, "  intensity noise sweep (range noise at default):").unwrap();
-    writeln!(out, "  {:<12} {:>10} {:>10}", "σ (gray)", "t (m/s)", "rot (°/s)").unwrap();
+    writeln!(
+        out,
+        "  {:<12} {:>10} {:>10}",
+        "σ (gray)", "t (m/s)", "rot (°/s)"
+    )
+    .unwrap();
     for sigma in [0.0, 1.2, 3.0, 6.0, 10.0] {
         let (t, r) = track(RenderOptions {
             noise_sigma: sigma,
@@ -759,7 +993,12 @@ pub fn noise_sweep(frames: usize) -> String {
         writeln!(out, "  {:<12} {:>10.4} {:>10.3}", sigma, t, r).unwrap();
     }
     writeln!(out, "  range noise sweep (intensity noise at default):").unwrap();
-    writeln!(out, "  {:<12} {:>10} {:>10}", "σd@4m (m)", "t (m/s)", "rot (°/s)").unwrap();
+    writeln!(
+        out,
+        "  {:<12} {:>10} {:>10}",
+        "σd@4m (m)", "t (m/s)", "rot (°/s)"
+    )
+    .unwrap();
     for coeff in [0.0, 0.0015, 0.005, 0.010] {
         let (t, r) = track(RenderOptions {
             depth_noise_coeff: coeff,
@@ -879,7 +1118,11 @@ mod scaling_tests {
         let (points, _) = scaling();
         assert_eq!(points.len(), 4);
         for p in &points {
-            assert!(p.identical, "{} arrays diverged from single-array", p.arrays);
+            assert!(
+                p.identical,
+                "{} arrays diverged from single-array",
+                p.arrays
+            );
         }
         for w in points.windows(2) {
             let (a, b) = (&w[0], &w[1]);

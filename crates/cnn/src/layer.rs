@@ -127,8 +127,8 @@ impl Conv3x3 {
                 let mut acc: i64 = self.bias as i64;
                 for (ky, row) in self.weights.iter().enumerate() {
                     for (kx, &wt) in row.iter().enumerate() {
-                        acc += wt as i64
-                            * input.get_zero(x + kx as i64 - 1, y + ky as i64 - 1) as i64;
+                        acc +=
+                            wt as i64 * input.get_zero(x + kx as i64 - 1, y + ky as i64 - 1) as i64;
                     }
                 }
                 let v = (acc >> self.shift).clamp(0, 255);

@@ -12,9 +12,9 @@
 //! head accumulates its handful of logits on the CPU, mirroring the
 //! paper's treatment of the 6x6 solver.
 
-use crate::layer::{Conv3x3, Dense, FeatureMap};
 #[cfg(test)]
 use crate::layer::MaxPool2x2;
+use crate::layer::{Conv3x3, Dense, FeatureMap};
 use pimvo_pim::{LaneWidth, Operand, PimMachine, Signedness};
 
 use Operand::{Row, Tmp};
@@ -84,7 +84,9 @@ impl<'m> PimCnn<'m> {
         self.machine.set_lanes(LaneWidth::W32, Signedness::Signed);
         for y in 0..map.height() {
             let lanes: Vec<i64> = (0..map.width()).map(|x| map.get(x, y) as i64).collect();
-            self.machine.host_write_lanes(base + y as usize, &lanes).expect("host I/O row in range");
+            self.machine
+                .host_write_lanes(base + y as usize, &lanes)
+                .expect("host I/O row in range");
         }
     }
 
@@ -115,12 +117,16 @@ impl<'m> PimCnn<'m> {
         // broadcast constants once per layer (host I/O)
         for (ky, wrow) in conv.weights.iter().enumerate() {
             for (kx, &wt) in wrow.iter().enumerate() {
-                m.host_broadcast(rows.r(CnnRows::WEIGHTS + 3 * ky + kx), wt as i64).expect("host I/O row in range");
+                m.host_broadcast(rows.r(CnnRows::WEIGHTS + 3 * ky + kx), wt as i64)
+                    .expect("host I/O row in range");
             }
         }
-        m.host_broadcast(rows.r(CnnRows::BIAS), conv.bias as i64).expect("host I/O row in range");
-        m.host_broadcast(rows.r(CnnRows::ZERO), 0).expect("host I/O row in range");
-        m.host_broadcast(rows.r(CnnRows::C255), 255).expect("host I/O row in range");
+        m.host_broadcast(rows.r(CnnRows::BIAS), conv.bias as i64)
+            .expect("host I/O row in range");
+        m.host_broadcast(rows.r(CnnRows::ZERO), 0)
+            .expect("host I/O row in range");
+        m.host_broadcast(rows.r(CnnRows::C255), 255)
+            .expect("host I/O row in range");
 
         for y in 0..h as i64 {
             // acc starts at the bias
@@ -168,7 +174,9 @@ impl<'m> PimCnn<'m> {
         assert!(w % 2 == 0 && h % 2 == 0, "pooling needs even dimensions");
         assert!(w <= 80 && h <= 80, "map exceeds the staging area");
         self.load_map(self.rows.r(CnnRows::INPUT), input);
-        let rows = CnnRows { base: self.rows.base };
+        let rows = CnnRows {
+            base: self.rows.base,
+        };
         let m = &mut *self.machine;
         m.set_lanes(LaneWidth::W32, Signedness::Signed);
         let mut out = FeatureMap::new(w / 2, h / 2);
@@ -196,18 +204,22 @@ impl<'m> PimCnn<'m> {
     pub fn dense(&mut self, layer: &Dense, input: &[u8]) -> Vec<i64> {
         assert!(input.len() <= 80, "dense input exceeds one word line");
         assert_eq!(input.len(), layer.inputs(), "input size mismatch");
-        let rows = CnnRows { base: self.rows.base };
+        let rows = CnnRows {
+            base: self.rows.base,
+        };
         let m = &mut *self.machine;
         m.set_lanes(LaneWidth::W32, Signedness::Signed);
         let in_lanes: Vec<i64> = input.iter().map(|&v| v as i64).collect();
-        m.host_write_lanes(rows.r(CnnRows::INPUT), &in_lanes).expect("host I/O row in range");
+        m.host_write_lanes(rows.r(CnnRows::INPUT), &in_lanes)
+            .expect("host I/O row in range");
         layer
             .weights
             .iter()
             .zip(&layer.bias)
             .map(|(wrow, &b)| {
                 let w_lanes: Vec<i64> = wrow.iter().map(|&w| w as i64).collect();
-                m.host_write_lanes(rows.r(CnnRows::SHIFTED), &w_lanes).expect("host I/O row in range");
+                m.host_write_lanes(rows.r(CnnRows::SHIFTED), &w_lanes)
+                    .expect("host I/O row in range");
                 m.mul_signed(Row(rows.r(CnnRows::INPUT)), Row(rows.r(CnnRows::SHIFTED)));
                 b as i64 + m.reduce_sum()
             })

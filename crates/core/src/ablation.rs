@@ -138,12 +138,11 @@ pub fn hessian_width_ablation(widths: &[u32]) -> Vec<HessianAblation> {
                 eq.accumulate(j, r);
             }
             let bound = (1i64 << (bits - 1)) - 1;
-            let saturated = eq
-                .h
-                .iter()
-                .chain(eq.b.iter())
-                .filter(|&&v| v.abs() >= bound)
-                .count();
+            let saturated =
+                eq.h.iter()
+                    .chain(eq.b.iter())
+                    .filter(|&&v| v.abs() >= bound)
+                    .count();
             let saturated_share = saturated as f64 / 27.0;
             let f = eq.to_normal_equations();
             let mut damped = f.h;

@@ -4,14 +4,15 @@
 
 use crate::feature::Feature;
 use crate::hessian::QNormalEquations;
+use crate::jacobian::jacobian_q;
 use crate::keyframe::Keyframe;
 use crate::pim_exec::{self, BatchOptions, BatchRunner, BATCH};
 use crate::quant::{Interp, QFeature, QKeyframe, QPose};
 use crate::warp::project_q;
-use crate::jacobian::jacobian_q;
 use pimvo_kernels::{pim_pool, EdgeConfig, EdgeMaps, GrayImage};
 use pimvo_mcu::{CostCounter, FloatFeature};
 use pimvo_pim::{EnergyBreakdown, ExecStats, MemAccessBreakdown, PimArrayPool, PimMachine};
+use pimvo_telemetry::Telemetry;
 use pimvo_vomath::{NormalEquations, Pinhole, SE3};
 
 /// Which backend drives the tracker.
@@ -88,6 +89,15 @@ pub trait TrackerBackend {
     fn pool_health(&self) -> Option<pimvo_pim::PoolHealth> {
         None
     }
+
+    /// Attaches a telemetry handle. Backends with an array pool forward
+    /// it so pool phases record spans and recovery events; the default
+    /// implementation (MCU baseline) ignores it.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
+
+    /// Publishes backend health as telemetry gauges (pool health for
+    /// PIM backends). Default: no-op.
+    fn export_health_telemetry(&self) {}
 }
 
 /// The PicoVO-class baseline backend.
@@ -428,6 +438,14 @@ impl TrackerBackend for PimBackend {
     fn pool_health(&self) -> Option<pimvo_pim::PoolHealth> {
         Some(self.runner.pool().health())
     }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.runner.pool_mut().set_telemetry(telemetry);
+    }
+
+    fn export_health_telemetry(&self) {
+        self.runner.pool().export_health_telemetry();
+    }
 }
 
 impl std::fmt::Debug for PimBackend {
@@ -456,12 +474,7 @@ mod tests {
     }
 
     fn keyframe_from(maps: &EdgeMaps) -> Keyframe {
-        Keyframe::build(
-            0,
-            SE3::IDENTITY,
-            maps.mask.clone(),
-            &Pinhole::qvga(),
-        )
+        Keyframe::build(0, SE3::IDENTITY, maps.mask.clone(), &Pinhole::qvga())
     }
 
     #[test]
@@ -472,8 +485,7 @@ mod tests {
         let mut be = FloatBackend::new();
         let maps = be.detect_edges(&gray, &cfg);
         let kf = keyframe_from(&maps);
-        let feats =
-            crate::feature::extract_features(&maps.mask, &depth, &cam, 4000, 0.3, 8.0);
+        let feats = crate::feature::extract_features(&maps.mask, &depth, &cam, 4000, 0.3, 8.0);
         assert!(!feats.is_empty());
         let eq = be.linearize(&feats, &kf, &cam, &SE3::IDENTITY);
         assert!(eq.count > 0);
@@ -497,8 +509,7 @@ mod tests {
         assert_eq!(maps_f.mask, maps_p.mask, "edge maps must be identical");
 
         let kf = keyframe_from(&maps_f);
-        let feats =
-            crate::feature::extract_features(&maps_f.mask, &depth, &cam, 2000, 0.3, 8.0);
+        let feats = crate::feature::extract_features(&maps_f.mask, &depth, &cam, 2000, 0.3, 8.0);
         let pose = SE3::exp(&[0.01, -0.005, 0.008, 0.002, -0.004, 0.001]);
         let eq_f = fb.linearize(&feats, &kf, &cam, &pose);
         let eq_p = pb.linearize(&feats, &kf, &cam, &pose);
@@ -506,7 +517,12 @@ mod tests {
         // the quantized normal equations approximate the float ones
         assert!(eq_p.count > eq_f.count / 2);
         let rel = (eq_p.cost - eq_f.cost).abs() / eq_f.cost.max(1e-9);
-        assert!(rel < 0.35, "cost mismatch {rel}: {} vs {}", eq_p.cost, eq_f.cost);
+        assert!(
+            rel < 0.35,
+            "cost mismatch {rel}: {} vs {}",
+            eq_p.cost,
+            eq_f.cost
+        );
 
         // PIM is much faster than the MCU on both stages
         let (sf, sp) = (fb.stats(), pb.stats());
@@ -530,8 +546,7 @@ mod tests {
         assert_eq!(maps1.hpf, maps4.hpf);
 
         let kf = keyframe_from(&maps1);
-        let feats =
-            crate::feature::extract_features(&maps1.mask, &depth, &cam, 4000, 0.3, 8.0);
+        let feats = crate::feature::extract_features(&maps1.mask, &depth, &cam, 4000, 0.3, 8.0);
         let pose = SE3::exp(&[0.01, -0.005, 0.008, 0.002, -0.004, 0.001]);
         let eq1 = p1.linearize(&feats, &kf, &cam, &pose);
         let eq4 = p4.linearize(&feats, &kf, &cam, &pose);
@@ -561,8 +576,7 @@ mod tests {
         let mut pb = PimBackend::new();
         let maps = pb.detect_edges(&gray, &cfg);
         let kf = keyframe_from(&maps);
-        let feats =
-            crate::feature::extract_features(&maps.mask, &depth, &cam, 4000, 0.3, 8.0);
+        let feats = crate::feature::extract_features(&maps.mask, &depth, &cam, 4000, 0.3, 8.0);
         let n_all = feats.len();
 
         let c0 = pb.stats().lm_cycles;

@@ -137,11 +137,7 @@ fn rescale(v: i64, shift: i64) -> i64 {
 }
 
 /// Accumulates a whole batch of Jacobian rows and residuals.
-pub fn accumulate_batch_q(
-    eq: &mut QNormalEquations,
-    rows: &[[i64; 6]],
-    residuals: &[i64],
-) {
+pub fn accumulate_batch_q(eq: &mut QNormalEquations, rows: &[[i64; 6]], residuals: &[i64]) {
     assert_eq!(rows.len(), residuals.len(), "rows/residuals mismatch");
     for (j, &r) in rows.iter().zip(residuals) {
         eq.accumulate(j, r);

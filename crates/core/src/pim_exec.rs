@@ -209,11 +209,13 @@ impl BatchRunner {
             // re-sized every section: recovery may quarantine arrays
             let n = self.pool.healthy_len();
             let section = &chunks[next..chunks.len().min(next + n.max(1))];
-            let results = self.pool.run_phase_resilient(|shard, m| {
-                section
-                    .get(shard)
-                    .map(|c| exec_batch(m, base_row, c, pose, kf, cam, opts.interp, opts.mapping))
-            })?;
+            let results = self
+                .pool
+                .run_phase_resilient_labeled("lm_batch", |shard, m| {
+                    section.get(shard).map(|c| {
+                        exec_batch(m, base_row, c, pose, kf, cam, opts.interp, opts.mapping)
+                    })
+                })?;
             outputs.extend(results.into_iter().flatten());
             next += section.len();
         }
@@ -310,7 +312,16 @@ pub fn run_batch(
     kf: &QKeyframe,
     cam: &Pinhole,
 ) -> BatchOutput {
-    exec_batch(m, base_row, feats, pose, kf, cam, Interp::Bilinear, BatchMapping::Opt)
+    exec_batch(
+        m,
+        base_row,
+        feats,
+        pose,
+        kf,
+        cam,
+        Interp::Bilinear,
+        BatchMapping::Opt,
+    )
 }
 
 /// [`run_batch`] with an explicit residual-interpolation mode.
@@ -359,24 +370,33 @@ fn exec_batch(
     let av: Vec<i64> = feats.iter().map(|f| f.a as i64).collect();
     let bv: Vec<i64> = feats.iter().map(|f| f.b as i64).collect();
     let cv: Vec<i64> = feats.iter().map(|f| f.c as i64).collect();
-    m.host_write_lanes(rows.r(PoseRows::A), &av).expect("host I/O row in range");
-    m.host_write_lanes(rows.r(PoseRows::B), &bv).expect("host I/O row in range");
-    m.host_write_lanes(rows.r(PoseRows::C), &cv).expect("host I/O row in range");
-    m.host_broadcast(rows.r(PoseRows::ONE), 1 << ff).expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::A), &av)
+        .expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::B), &bv)
+        .expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::C), &cv)
+        .expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::ONE), 1 << ff)
+        .expect("host I/O row in range");
     for (k, &r) in pose.r.iter().enumerate() {
-        m.host_broadcast(rows.r(PoseRows::POSE0 + k), r as i64).expect("host I/O row in range");
+        m.host_broadcast(rows.r(PoseRows::POSE0 + k), r as i64)
+            .expect("host I/O row in range");
     }
     // the homogeneous rotation column r*2 is pre-shifted by the host to
     // the warp accumulator format (a per-iteration constant)
     for (k, &t) in pose.t.iter().enumerate() {
-        m.host_broadcast(rows.r(PoseRows::POSE0 + 9 + k), t as i64).expect("host I/O row in range");
+        m.host_broadcast(rows.r(PoseRows::POSE0 + 9 + k), t as i64)
+            .expect("host I/O row in range");
     }
     let f_q = (cam.f * (1 << PIX_FRAC) as f64).round() as i64;
     let cx_q = (cam.cx * (1 << PIX_FRAC) as f64).round() as i64;
     let cy_q = (cam.cy * (1 << PIX_FRAC) as f64).round() as i64;
-    m.host_broadcast(rows.r(PoseRows::CONST_F), f_q).expect("host I/O row in range");
-    m.host_broadcast(rows.r(PoseRows::CONST_CX), cx_q).expect("host I/O row in range");
-    m.host_broadcast(rows.r(PoseRows::CONST_CY), cy_q).expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::CONST_F), f_q)
+        .expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::CONST_CX), cx_q)
+        .expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::CONST_CY), cy_q)
+        .expect("host I/O row in range");
 
     // ---- warp: X/Y/Z = r0*a + r1*b + r2*1 + t*c (Fig. 5-b) -------------
     let warp_coord = |m: &mut PimMachine, r0: usize, r1: usize, r2: usize, t: usize, dst: usize| {
@@ -385,10 +405,16 @@ fn exec_batch(
         m.mul_signed(Row(rows.r(PoseRows::POSE0 + r1)), Row(rows.r(PoseRows::B)));
         m.add(Tmp, Row(rows.r(PoseRows::SCRATCH)));
         m.writeback(rows.r(PoseRows::SCRATCH));
-        m.mul_signed(Row(rows.r(PoseRows::POSE0 + r2)), Row(rows.r(PoseRows::ONE)));
+        m.mul_signed(
+            Row(rows.r(PoseRows::POSE0 + r2)),
+            Row(rows.r(PoseRows::ONE)),
+        );
         m.add(Tmp, Row(rows.r(PoseRows::SCRATCH)));
         m.writeback(rows.r(PoseRows::SCRATCH));
-        m.mul_signed(Row(rows.r(PoseRows::POSE0 + 9 + t)), Row(rows.r(PoseRows::C)));
+        m.mul_signed(
+            Row(rows.r(PoseRows::POSE0 + 9 + t)),
+            Row(rows.r(PoseRows::C)),
+        );
         m.add(Tmp, Row(rows.r(PoseRows::SCRATCH)));
         m.writeback(dst);
     };
@@ -397,9 +423,17 @@ fn exec_batch(
     warp_coord(m, 6, 7, 8, 2, rows.r(PoseRows::Z));
 
     // ---- projection ----------------------------------------------------
-    m.div_frac_signed(Row(rows.r(PoseRows::X)), Row(rows.r(PoseRows::Z)), RATIO_FRAC);
+    m.div_frac_signed(
+        Row(rows.r(PoseRows::X)),
+        Row(rows.r(PoseRows::Z)),
+        RATIO_FRAC,
+    );
     m.writeback(rows.r(PoseRows::QX));
-    m.div_frac_signed(Row(rows.r(PoseRows::Y)), Row(rows.r(PoseRows::Z)), RATIO_FRAC);
+    m.div_frac_signed(
+        Row(rows.r(PoseRows::Y)),
+        Row(rows.r(PoseRows::Z)),
+        RATIO_FRAC,
+    );
     m.writeback(rows.r(PoseRows::QY));
     m.mul_signed(Row(rows.r(PoseRows::CONST_F)), Row(rows.r(PoseRows::QX)));
     m.shr_bits(Tmp, RATIO_FRAC);
@@ -423,8 +457,10 @@ fn exec_batch(
     // are masked, branch-free), combined with a low-half constant so the
     // 32-bit-stored Q14.2 values reinterpret cleanly as 16-bit lanes in
     // the Hessian stage
-    m.host_broadcast(rows.r(PoseRows::SCRATCH), 0).expect("host I/O row in range");
-    m.host_broadcast(rows.r(PoseRows::LOWHALF), 0xFFFF).expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::SCRATCH), 0)
+        .expect("host I/O row in range");
+    m.host_broadcast(rows.r(PoseRows::LOWHALF), 0xFFFF)
+        .expect("host I/O row in range");
     m.cmp_gt(Row(rows.r(PoseRows::Z12)), Row(rows.r(PoseRows::SCRATCH)));
     m.logic(
         pimvo_pim::LogicFunc::And,
@@ -436,7 +472,8 @@ fn exec_batch(
     // ---- residual / gradient gather (host-addressed) -------------------
     if interp == Interp::Bilinear {
         // fractional weights wu, wv (Q0.6): a single AND with 0x3F
-        m.host_broadcast(rows.r(PoseRows::SCRATCH), (1 << PIX_FRAC) - 1).expect("host I/O row in range");
+        m.host_broadcast(rows.r(PoseRows::SCRATCH), (1 << PIX_FRAC) - 1)
+            .expect("host I/O row in range");
         m.logic(
             pimvo_pim::LogicFunc::And,
             Row(rows.r(PoseRows::U)),
@@ -469,10 +506,8 @@ fn exec_batch(
                 let y0 = v_raw[i] >> PIX_FRAC;
                 let wu = u_raw[i] & ((1 << PIX_FRAC) - 1);
                 let wv = v_raw[i] & ((1 << PIX_FRAC) - 1);
-                let in_map = x0 >= 0
-                    && y0 >= 0
-                    && x0 + 1 < kf.width as i64
-                    && y0 + 1 < kf.height as i64;
+                let in_map =
+                    x0 >= 0 && y0 >= 0 && x0 + 1 < kf.width as i64 && y0 + 1 < kf.height as i64;
                 valid[i] = in_front && in_map;
                 if valid[i] {
                     let w = kf.width as usize;
@@ -506,16 +541,23 @@ fn exec_batch(
     // interleaved gradients); nearest: two (DT + gradients)
     charge_gather(m, n, if interp == Interp::Bilinear { 3 } else { 2 });
     m.set_lanes(LaneWidth::W32, Signedness::Signed);
-    m.host_write_lanes(rows.r(PoseRows::D00), &d00).expect("host I/O row in range");
-    m.host_write_lanes(rows.r(PoseRows::D10), &d10).expect("host I/O row in range");
-    m.host_write_lanes(rows.r(PoseRows::D01), &d01).expect("host I/O row in range");
-    m.host_write_lanes(rows.r(PoseRows::D11), &d11).expect("host I/O row in range");
-    m.host_write_lanes(rows.r(PoseRows::GU), &gu).expect("host I/O row in range");
-    m.host_write_lanes(rows.r(PoseRows::GV), &gv).expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::D00), &d00)
+        .expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::D10), &d10)
+        .expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::D01), &d01)
+        .expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::D11), &d11)
+        .expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::GU), &gu)
+        .expect("host I/O row in range");
+    m.host_write_lanes(rows.r(PoseRows::GV), &gv)
+        .expect("host I/O row in range");
 
     if interp == Interp::Nearest {
         // the gathered values are the residuals; place them in RES
-        m.host_write_lanes(rows.r(PoseRows::RES), &d00).expect("host I/O row in range");
+        m.host_write_lanes(rows.r(PoseRows::RES), &d00)
+            .expect("host I/O row in range");
         m.load(Row(rows.r(PoseRows::RES)));
         m.writeback(rows.r(PoseRows::RES));
     }
@@ -575,9 +617,30 @@ fn exec_batch(
             m.sat_narrow(Tmp, 16);
             m.writeback(dst);
         };
-    mul_shift_store(m, rows.r(PoseRows::GU), rows.r(PoseRows::IZ), 12, false, rows.r(PoseRows::J0));
-    mul_shift_store(m, rows.r(PoseRows::GV), rows.r(PoseRows::IZ), 12, false, rows.r(PoseRows::J0) + 1);
-    mul_shift_store(m, rows.r(PoseRows::S), rows.r(PoseRows::IZ), 12, true, rows.r(PoseRows::J0) + 2);
+    mul_shift_store(
+        m,
+        rows.r(PoseRows::GU),
+        rows.r(PoseRows::IZ),
+        12,
+        false,
+        rows.r(PoseRows::J0),
+    );
+    mul_shift_store(
+        m,
+        rows.r(PoseRows::GV),
+        rows.r(PoseRows::IZ),
+        12,
+        false,
+        rows.r(PoseRows::J0) + 1,
+    );
+    mul_shift_store(
+        m,
+        rows.r(PoseRows::S),
+        rows.r(PoseRows::IZ),
+        12,
+        true,
+        rows.r(PoseRows::J0) + 2,
+    );
     // J4 = -((qy*s >> 14) + gv)
     m.mul_signed(Row(rows.r(PoseRows::QY)), Row(rows.r(PoseRows::S)));
     m.shr_bits(Tmp, RATIO_FRAC);
@@ -731,7 +794,16 @@ pub fn run_batch_naive(
     kf: &QKeyframe,
     cam: &Pinhole,
 ) -> BatchOutput {
-    exec_batch(m, base_row, feats, pose, kf, cam, Interp::Bilinear, BatchMapping::Naive)
+    exec_batch(
+        m,
+        base_row,
+        feats,
+        pose,
+        kf,
+        cam,
+        Interp::Bilinear,
+        BatchMapping::Naive,
+    )
 }
 
 /// Charges the extra cost of the naive schedule, derived from the op
@@ -884,7 +956,11 @@ mod tests {
             })
             .collect();
         let _ = run_batch(&mut m2, 1280, &feats2, &pose2, &kf, &cam);
-        assert_eq!(c1, m2.stats().cycles, "op sequence must be data-independent");
+        assert_eq!(
+            c1,
+            m2.stats().cycles,
+            "op sequence must be data-independent"
+        );
     }
 
     #[test]

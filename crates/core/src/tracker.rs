@@ -7,6 +7,7 @@ use crate::feature::{extract_features, Feature};
 use crate::keyframe::Keyframe;
 use crate::mapping::EdgeMap3d;
 use pimvo_kernels::{DepthImage, GrayImage};
+use pimvo_telemetry::{Severity, Telemetry, TimeDomain};
 use pimvo_vomath::{LmOutcome, LmProblem, LmSolver, NormalEquations, Pinhole, SE3, SO3};
 
 /// Tracking quality state of the [`Tracker`] — the graceful-degradation
@@ -99,6 +100,8 @@ pub struct Tracker {
     motion: SE3,
     /// World-from-camera pose of the previous frame (prior anchor).
     prev_pose_wc: SE3,
+    /// Telemetry handle (off by default; see [`Tracker::set_telemetry`]).
+    telemetry: Telemetry,
 }
 
 impl Tracker {
@@ -136,7 +139,24 @@ impl Tracker {
             bad_frames: 0,
             motion: SE3::IDENTITY,
             prev_pose_wc: SE3::IDENTITY,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle to the tracker and its backend: each
+    /// frame then records wall-time and PIM-cycle spans (frame → stage;
+    /// the backend's pool adds pool-phase → shard underneath), per-frame
+    /// counters/gauges (features, LM iterations, residual), and
+    /// state-transition events on the graceful-degradation ladder. The
+    /// default handle is off and costs one branch per frame.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.backend.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (off by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Current tracking quality state.
@@ -199,6 +219,109 @@ impl Tracker {
         depth: &DepthImage,
         gyro_delta: Option<SO3>,
     ) -> FrameResult {
+        if !self.telemetry.is_enabled() {
+            return self.process_inner(gray, depth, gyro_delta);
+        }
+        let prev_state = self.state;
+        self.telemetry.set_frame(self.frame_index as u64);
+        let cyc_start = self.backend.stats().total_cycles();
+        let wall = self.telemetry.span("tracker", "frame");
+        let result = self.process_inner(gray, depth, gyro_delta);
+        drop(wall);
+        let cyc_end = self.backend.stats().total_cycles();
+        self.telemetry.record_span(
+            TimeDomain::Cycles,
+            "tracker",
+            "frame",
+            cyc_start,
+            cyc_end - cyc_start,
+            &[
+                ("features", result.features.to_string()),
+                ("iterations", result.iterations.to_string()),
+                ("state", format!("{:?}", result.state)),
+            ],
+        );
+        self.telemetry.counter_add("pimvo_frames_total", 1.0);
+        if result.is_keyframe {
+            self.telemetry.counter_add("pimvo_keyframes_total", 1.0);
+        }
+        self.telemetry
+            .counter_add("pimvo_lm_iterations_total", result.iterations as f64);
+        self.telemetry
+            .gauge_set("pimvo_frame_features", result.features as f64);
+        self.telemetry
+            .gauge_set("pimvo_mean_residual", result.mean_residual);
+        if result.state != prev_state {
+            self.note_state_transition(prev_state, result.state, &result);
+        }
+        self.backend.export_health_telemetry();
+        result
+    }
+
+    /// Records the state-transition counter and a severity-matched
+    /// event when the graceful-degradation ladder moves.
+    fn note_state_transition(&self, from: TrackingState, to: TrackingState, r: &FrameResult) {
+        let name = |s: TrackingState| match s {
+            TrackingState::Ok => "ok",
+            TrackingState::Degraded => "degraded",
+            TrackingState::Lost => "lost",
+        };
+        self.telemetry.counter_add_labeled(
+            "pimvo_tracking_transitions_total",
+            &[("from", name(from)), ("to", name(to))],
+            1.0,
+        );
+        let severity = match to {
+            TrackingState::Ok => Severity::Info,
+            TrackingState::Degraded => Severity::Warn,
+            TrackingState::Lost => Severity::Error,
+        };
+        self.telemetry.log(
+            severity,
+            "tracking state changed",
+            &[
+                ("from", name(from).to_string()),
+                ("to", name(to).to_string()),
+                ("mean_residual", format!("{}", r.mean_residual)),
+                ("features", r.features.to_string()),
+            ],
+        );
+    }
+
+    /// Cycle-domain stage span helper: `start` is the backend's total
+    /// cycle counter at stage entry.
+    fn record_stage_cycles(&self, name: &str, start: u64) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let end = self.backend.stats().total_cycles();
+        if end > start {
+            self.telemetry.record_span(
+                TimeDomain::Cycles,
+                "tracker",
+                name,
+                start,
+                end - start,
+                &[],
+            );
+        }
+    }
+
+    /// Backend cycle counter, read only when telemetry is on.
+    fn stage_cycles_start(&self) -> u64 {
+        if self.telemetry.is_enabled() {
+            self.backend.stats().total_cycles()
+        } else {
+            0
+        }
+    }
+
+    fn process_inner(
+        &mut self,
+        gray: &GrayImage,
+        depth: &DepthImage,
+        gyro_delta: Option<SO3>,
+    ) -> FrameResult {
         assert_eq!(gray.width(), self.config.camera.width, "width mismatch");
         assert_eq!(gray.height(), self.config.camera.height, "height mismatch");
         let index = self.frame_index;
@@ -206,14 +329,20 @@ impl Tracker {
 
         // build the image pyramid (level 0 = full resolution)
         let levels = self.config.pyramid_levels;
+        let cyc = self.stage_cycles_start();
+        let wall = self.telemetry.span("tracker", "pyramid");
         let mut grays = vec![gray.clone()];
         let mut depths = vec![depth.clone()];
         for l in 1..levels {
             grays.push(self.backend.downsample(&grays[l - 1]));
             depths.push(downsample_depth(&depths[l - 1]));
         }
+        drop(wall);
+        self.record_stage_cycles("pyramid", cyc);
 
         // edge detection + feature extraction per level
+        let cyc = self.stage_cycles_start();
+        let wall = self.telemetry.span("tracker", "edges+features");
         let mut masks = Vec::with_capacity(levels);
         let mut features: Vec<Vec<crate::feature::Feature>> = Vec::with_capacity(levels);
         for l in 0..levels {
@@ -229,6 +358,8 @@ impl Tracker {
             ));
             masks.push(maps.mask);
         }
+        drop(wall);
+        self.record_stage_cycles("edges+features", cyc);
 
         // bootstrap: first frame becomes the keyframe at the origin
         let Some(keyframes) = &self.keyframes else {
@@ -258,6 +389,8 @@ impl Tracker {
             Some(r) => self.pose_kc.compose(&SE3::new(r, pimvo_vomath::Vec3::ZERO)),
             None => self.pose_kc,
         };
+        let cyc = self.stage_cycles_start();
+        let wall = self.telemetry.span("tracker", "align");
         let mut outcome: Option<LmOutcome> = None;
         let mut total_iterations = 0usize;
         for l in (0..levels).rev() {
@@ -275,6 +408,8 @@ impl Tracker {
             outcome = Some(out);
         }
         let outcome = outcome.expect("at least one pyramid level");
+        drop(wall);
+        self.record_stage_cycles("align", cyc);
 
         // ---- graceful degradation: accept or reject the solve ---------
         let overlap = if features[0].is_empty() {
@@ -409,7 +544,8 @@ mod tests {
         // shift * z / f meters
         let gray = GrayImage::from_fn(320, 240, |x, y| {
             let xs = x as f64 + shift;
-            let v = ((xs * 0.55).sin() + (y as f64 * 0.41).sin()
+            let v = ((xs * 0.55).sin()
+                + (y as f64 * 0.41).sin()
                 + (xs * 0.13).sin() * (y as f64 * 0.09).cos())
                 * 50.0
                 + 120.0;

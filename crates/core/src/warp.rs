@@ -41,10 +41,7 @@ pub fn warp_q(f: &QFeature, pose: &QPose) -> Option<(i64, i64, i64)> {
     // X = r00 a + r01 b + r02 + t0 c  (raw frac = POSE_FRAC + ff)
     let one = 1i64 << ff; // the homogeneous 1 in the feature's format
     let dot = |r0: i32, r1: i32, r2: i32, t: i32| -> i64 {
-        r0 as i64 * f.a as i64
-            + r1 as i64 * f.b as i64
-            + r2 as i64 * one
-            + t as i64 * f.c as i64
+        r0 as i64 * f.a as i64 + r1 as i64 * f.b as i64 + r2 as i64 * one + t as i64 * f.c as i64
     };
     let x = dot(pose.r[0], pose.r[1], pose.r[2], pose.t[0]);
     let y = dot(pose.r[3], pose.r[4], pose.r[5], pose.t[1]);
@@ -81,7 +78,11 @@ pub fn project_q(f: &QFeature, pose: &QPose, cam: &Pinhole) -> Option<WarpQ> {
     // 1/Z_real = c / Z, Q4.12: (c << 12) has frac ff+12; divide by
     // z_q12 (frac 12) -> frac ff; rescale to 12
     let iz = qdiv((f.c as i64) << 12, z_q12, 32);
-    let iz_real = if ff >= 12 { iz >> (ff - 12) } else { iz << (12 - ff) };
+    let iz_real = if ff >= 12 {
+        iz >> (ff - 12)
+    } else {
+        iz << (12 - ff)
+    };
     Some(WarpQ {
         u_raw,
         v_raw,
@@ -99,10 +100,7 @@ pub fn warp_float(f: &Feature, pose: &SE3, cam: &Pinhole) -> Option<(f64, f64)> 
     if p.z <= 1e-12 {
         return None;
     }
-    Some((
-        cam.f * p.x / p.z + cam.cx,
-        cam.f * p.y / p.z + cam.cy,
-    ))
+    Some((cam.f * p.x / p.z + cam.cx, cam.f * p.y / p.z + cam.cy))
 }
 
 #[cfg(test)]

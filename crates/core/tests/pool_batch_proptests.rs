@@ -3,7 +3,7 @@
 //! bit-identical to running the batches sequentially on one array,
 //! and the distributed compute work is conserved exactly.
 
-use pimvo_core::pim_exec::{run_batch, BatchOptions, BatchRunner, BatchOutput, BATCH, POSE_BASE};
+use pimvo_core::pim_exec::{run_batch, BatchOptions, BatchOutput, BatchRunner, BATCH, POSE_BASE};
 use pimvo_core::{Feature, QFeature, QKeyframe, QPose};
 use pimvo_mcu::KeyframeTables;
 use pimvo_pim::{ArrayConfig, PimMachine};
@@ -26,12 +26,21 @@ fn test_kf(cam: &Pinhole) -> QKeyframe {
 fn features(cam: &Pinhole, n: usize, seed: u64) -> Vec<QFeature> {
     (0..n)
         .map(|i| {
-            let k = (i as u64).wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
+            let k = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E3779B97F4A7C15);
             let u = 10.0 + (k % 300) as f64;
             let v = 10.0 + ((k >> 16) % 220) as f64;
             let d = 0.8 + ((k >> 32) % 500) as f64 * 0.01;
             let (a, b, c) = cam.inverse_depth_coords(u, v, d);
-            QFeature::quantize(&Feature { u, v, depth: d, a, b, c })
+            QFeature::quantize(&Feature {
+                u,
+                v,
+                depth: d,
+                a,
+                b,
+                c,
+            })
         })
         .collect()
 }

@@ -3,7 +3,7 @@
 //! `--features fault`) end-to-end tracker recovery from an injected
 //! fault burst.
 
-use pimvo_core::pim_exec::{run_batch, BatchOptions, BatchRunner, BatchOutput, BATCH, POSE_BASE};
+use pimvo_core::pim_exec::{run_batch, BatchOptions, BatchOutput, BatchRunner, BATCH, POSE_BASE};
 use pimvo_core::{Feature, QFeature, QKeyframe, QPose};
 use pimvo_mcu::KeyframeTables;
 use pimvo_pim::{ArrayConfig, PimMachine, Protection};
@@ -26,12 +26,21 @@ fn test_kf(cam: &Pinhole) -> QKeyframe {
 fn features(cam: &Pinhole, n: usize, seed: u64) -> Vec<QFeature> {
     (0..n)
         .map(|i| {
-            let k = (i as u64).wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
+            let k = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E3779B97F4A7C15);
             let u = 10.0 + (k % 300) as f64;
             let v = 10.0 + ((k >> 16) % 220) as f64;
             let d = 0.8 + ((k >> 32) % 500) as f64 * 0.01;
             let (a, b, c) = cam.inverse_depth_coords(u, v, d);
-            QFeature::quantize(&Feature { u, v, depth: d, a, b, c })
+            QFeature::quantize(&Feature {
+                u,
+                v,
+                depth: d,
+                a,
+                b,
+                c,
+            })
         })
         .collect()
 }
@@ -103,7 +112,10 @@ fn ecc_overhead_is_charged_but_values_unchanged() {
                 "ECC check latency must be charged"
             );
             let cost = pimvo_pim::CostModel::default();
-            assert!(stats.energy(&cost).ecc_pj > 0.0, "ECC energy must be visible");
+            assert!(
+                stats.energy(&cost).ecc_pj > 0.0,
+                "ECC energy must be visible"
+            );
         } else {
             assert!(stats.parity_checks > 0, "parity checks must be counted");
             // parity is combinational in the sense amps: zero extra cycles
@@ -120,9 +132,7 @@ fn ecc_overhead_is_charged_but_values_unchanged() {
 #[cfg(feature = "fault")]
 mod injected {
     use pimvo_core::pim_exec::BatchOptions;
-    use pimvo_core::{
-        PimBackend, Tracker, TrackerBackend, TrackerConfig, TrackingState,
-    };
+    use pimvo_core::{PimBackend, Tracker, TrackerBackend, TrackerConfig, TrackingState};
     use pimvo_kernels::{EdgeConfig, EdgeMaps, GrayImage};
     use pimvo_pim::{ArrayConfig, FaultModel, PimMachine, Protection};
     use pimvo_scene::{Sequence, SequenceKind};

@@ -1,0 +1,148 @@
+//! Telemetry integration: the observability layer must never perturb
+//! the simulation (cycle/energy numbers bit-identical with the sink on
+//! or off) and must itself be deterministic (byte-identical exports for
+//! the same sequence under an injected clock).
+
+use pimvo_core::{BackendKind, Tracker, TrackerConfig, TrackingState};
+use pimvo_kernels::{DepthImage, GrayImage};
+use pimvo_telemetry::{ManualClock, Telemetry, TimeDomain};
+
+fn textured_frame(shift: f64) -> (GrayImage, DepthImage) {
+    let gray = GrayImage::from_fn(320, 240, |x, y| {
+        let xs = x as f64 + shift;
+        let v = ((xs * 0.55).sin()
+            + (y as f64 * 0.41).sin()
+            + (xs * 0.13).sin() * (y as f64 * 0.09).cos())
+            * 50.0
+            + 120.0;
+        v.clamp(0.0, 255.0) as u8
+    });
+    let depth = DepthImage::from_fn(320, 240, |_, _| 2.0);
+    (gray, depth)
+}
+
+fn run_sequence(tracker: &mut Tracker, frames: usize) {
+    for i in 0..frames {
+        let (g, d) = textured_frame(0.7 * i as f64);
+        tracker.process_frame(&g, &d);
+    }
+}
+
+/// Telemetry is observation only: with the sink attached, every
+/// simulated number (cycles, energy, op counts, poses) is bit-identical
+/// to a run with the sink off.
+#[test]
+fn telemetry_does_not_perturb_simulation() {
+    let mut plain = Tracker::new(TrackerConfig::default(), BackendKind::Pim);
+    run_sequence(&mut plain, 4);
+
+    let tele = Telemetry::with_clock(Box::new(ManualClock::with_step(1_000)));
+    let mut observed = Tracker::new(TrackerConfig::default(), BackendKind::Pim);
+    observed.set_telemetry(tele.clone());
+    run_sequence(&mut observed, 4);
+
+    let (a, b) = (plain.stats(), observed.stats());
+    assert_eq!(a.edge_cycles, b.edge_cycles);
+    assert_eq!(a.lm_cycles, b.lm_cycles);
+    assert_eq!(a.lm_iterations, b.lm_iterations);
+    assert_eq!(a.energy_mj.to_bits(), b.energy_mj.to_bits());
+    assert_eq!(a.pim, b.pim, "ExecStats must be bit-identical");
+    assert!(tele.is_enabled());
+    assert!(!tele.snapshot().spans.is_empty());
+}
+
+/// Same seed + same frame sequence + one injectable clock source ⇒
+/// byte-identical Perfetto JSON and metrics snapshot.
+#[test]
+fn exports_are_byte_deterministic() {
+    let export = || {
+        let tele = Telemetry::with_clock(Box::new(ManualClock::with_step(500)));
+        let mut t = Tracker::new(TrackerConfig::default(), BackendKind::Pim);
+        t.set_telemetry(tele.clone());
+        run_sequence(&mut t, 3);
+        (tele.perfetto_json(), tele.metrics_text(), tele.log_jsonl())
+    };
+    let (p1, m1, l1) = export();
+    let (p2, m2, l2) = export();
+    assert_eq!(p1, p2, "Perfetto export must be byte-identical");
+    assert_eq!(m1, m2, "metrics snapshot must be byte-identical");
+    assert_eq!(l1, l2, "JSONL log must be byte-identical");
+}
+
+/// A short tracked sequence produces the span hierarchy the trace
+/// viewer relies on: frame → stage spans on the tracker lane, pool
+/// phases and per-shard spans underneath, in both time domains.
+#[test]
+fn trace_contains_frame_stage_pool_hierarchy() {
+    let tele = Telemetry::with_clock(Box::new(ManualClock::with_step(1_000)));
+    let mut t = Tracker::new(TrackerConfig::default(), BackendKind::Pim);
+    t.set_telemetry(tele.clone());
+    run_sequence(&mut t, 3);
+
+    let snap = tele.snapshot();
+    let frames_cyc: Vec<_> = snap
+        .spans
+        .iter()
+        .filter(|s| s.track == "tracker" && s.name == "frame" && s.domain == TimeDomain::Cycles)
+        .collect();
+    assert_eq!(frames_cyc.len(), 3, "one cycle-domain frame span per frame");
+    for (i, f) in frames_cyc.iter().enumerate() {
+        assert_eq!(f.frame, Some(i as u64));
+    }
+    // stages nest inside their frame (time containment on the lane)
+    for stage in ["edges+features", "align"] {
+        let s = snap
+            .spans
+            .iter()
+            .find(|s| s.track == "tracker" && s.name == stage && s.domain == TimeDomain::Cycles)
+            .unwrap_or_else(|| panic!("missing {stage} span"));
+        let owner = frames_cyc
+            .iter()
+            .find(|f| f.frame == s.frame)
+            .expect("stage has a frame");
+        assert!(s.start >= owner.start && s.start + s.dur <= owner.start + owner.dur);
+    }
+    // the pool recorded labeled phases and per-shard spans
+    assert!(snap
+        .spans
+        .iter()
+        .any(|s| s.track == "pool" && s.name == "lpf_pass1" && s.domain == TimeDomain::Cycles));
+    assert!(snap.spans.iter().any(|s| s.track == "array 0"));
+    // both domains present for the same stage names
+    assert!(snap
+        .spans
+        .iter()
+        .any(|s| s.track == "tracker" && s.name == "frame" && s.domain == TimeDomain::Wall));
+
+    // counters and gauges made it into the metrics snapshot
+    let metrics = tele.metrics_text();
+    assert!(metrics.contains("pimvo_frames_total 3"));
+    assert!(metrics.contains("pimvo_lm_iterations_total"));
+    assert!(metrics.contains("pimvo_pool_healthy_arrays"));
+    assert!(metrics.contains("pimvo_frame_features"));
+}
+
+/// Degrading the tracker emits warning/error transition events and the
+/// transition counter.
+#[test]
+fn state_transitions_are_logged() {
+    let tele = Telemetry::with_clock(Box::new(ManualClock::with_step(1_000)));
+    let mut t = Tracker::new(TrackerConfig::default(), BackendKind::Float);
+    t.set_telemetry(tele.clone());
+    let (g, d) = textured_frame(0.0);
+    t.process_frame(&g, &d);
+    let blank = GrayImage::from_fn(320, 240, |_, _| 128);
+    let max_bad = t.config().recovery.max_bad_frames;
+    for _ in 0..max_bad {
+        t.process_frame(&blank, &d);
+    }
+    assert_eq!(t.state(), TrackingState::Lost);
+    let snap = tele.snapshot();
+    assert!(snap
+        .logs
+        .iter()
+        .any(|l| l.message == "tracking state changed"));
+    let metrics = tele.metrics_text();
+    assert!(metrics.contains("pimvo_tracking_transitions_total{from=\"ok\",to=\"degraded\"} 1"));
+    assert!(metrics.contains("to=\"lost\"} 1"));
+}

@@ -19,11 +19,9 @@ pub enum FixedError {
 impl fmt::Display for FixedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FixedError::OutOfRange { value, bits, frac } => write!(
-                f,
-                "value {value} out of range for Q{}.{frac}",
-                bits - frac
-            ),
+            FixedError::OutOfRange { value, bits, frac } => {
+                write!(f, "value {value} out of range for Q{}.{frac}", bits - frac)
+            }
             FixedError::NotFinite => write!(f, "value is not finite"),
         }
     }

@@ -205,10 +205,7 @@ impl<const I: u32, const F: u32> Q<I, F> {
     /// round-half-up on the discarded bits) into the requested output
     /// format, saturating on overflow.
     #[inline]
-    pub fn mul_rescale<const IO: u32, const FO: u32>(
-        self,
-        rhs: impl Into<RawQ>,
-    ) -> Q<IO, FO> {
+    pub fn mul_rescale<const IO: u32, const FO: u32>(self, rhs: impl Into<RawQ>) -> Q<IO, FO> {
         let rhs = rhs.into();
         let prod = self.0 * rhs.raw;
         let prod_frac = F + rhs.frac;
@@ -481,9 +478,11 @@ mod tests {
 
     #[test]
     fn ordering_follows_value() {
-        let mut v = [Q4_12::from_f64(1.5),
+        let mut v = [
+            Q4_12::from_f64(1.5),
             Q4_12::from_f64(-3.0),
-            Q4_12::from_f64(0.0)];
+            Q4_12::from_f64(0.0),
+        ];
         v.sort();
         assert_eq!(v[0].to_f64(), -3.0);
         assert_eq!(v[2].to_f64(), 1.5);

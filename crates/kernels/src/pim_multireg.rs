@@ -52,7 +52,14 @@ pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage) -> GrayImage {
     check_regs(m);
     let regions = Regions::for_machine(m, lpf_map.height());
     let w = load_image(m, regions.aux2, lpf_map) as u32;
-    hpf_rows(m, &regions, regions.aux2, regions.aux3, lpf_map.height(), w as usize);
+    hpf_rows(
+        m,
+        &regions,
+        regions.aux2,
+        regions.aux3,
+        lpf_map.height(),
+        w as usize,
+    );
     read_image(m, regions.aux3, w, lpf_map.height())
 }
 
@@ -61,7 +68,15 @@ pub fn nms(m: &mut PimMachine, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayIma
     check_regs(m);
     let regions = Regions::for_machine(m, hpf_map.height());
     let w = load_image(m, regions.aux3, hpf_map) as u32;
-    nms_rows(m, &regions, regions.aux3, regions.out, hpf_map.height(), w as usize, cfg);
+    nms_rows(
+        m,
+        &regions,
+        regions.aux3,
+        regions.out,
+        hpf_map.height(),
+        w as usize,
+        cfg,
+    );
     let mut mask = read_image(m, regions.out, w, hpf_map.height());
     mask.clear_border(cfg.border);
     mask
@@ -81,7 +96,8 @@ fn check_regs(m: &PimMachine) {
 /// one SRAM write-back per row (the output itself).
 fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+    m.host_broadcast(r.zero_row(), 0)
+        .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     for y in 0..h as i64 {
         let a = row_or_zero(r, src, y - 1, h);
@@ -117,9 +133,12 @@ fn nms_rows(
     cfg: &EdgeConfig,
 ) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
-    m.host_broadcast(r.th(0), cfg.th1 as i64).expect("host I/O row in range");
-    m.host_broadcast(r.th(1), cfg.th2 as i64).expect("host I/O row in range");
+    m.host_broadcast(r.zero_row(), 0)
+        .expect("host I/O row in range");
+    m.host_broadcast(r.th(0), cfg.th1 as i64)
+        .expect("host I/O row in range");
+    m.host_broadcast(r.th(1), cfg.th2 as i64)
+        .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     for y in 0..h as i64 {
         let a = row_or_zero(r, src, y - 1, h);

@@ -50,7 +50,14 @@ pub fn edge_detect(m: &mut PimMachine, img: &GrayImage, cfg: &EdgeConfig) -> Edg
 pub fn lpf(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
     let regions = Regions::for_machine(m, img.height());
     let w = load_image(m, regions.input, img) as u32;
-    lpf_rows(m, &regions, regions.input, regions.aux2, img.height(), w as usize);
+    lpf_rows(
+        m,
+        &regions,
+        regions.input,
+        regions.aux2,
+        img.height(),
+        w as usize,
+    );
     read_image(m, regions.aux2, w, img.height())
 }
 
@@ -58,7 +65,14 @@ pub fn lpf(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
 pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage) -> GrayImage {
     let regions = Regions::for_machine(m, lpf_map.height());
     let w = load_image(m, regions.aux2, lpf_map) as u32;
-    hpf_rows(m, &regions, regions.aux2, regions.aux3, lpf_map.height(), w as usize);
+    hpf_rows(
+        m,
+        &regions,
+        regions.aux2,
+        regions.aux3,
+        lpf_map.height(),
+        w as usize,
+    );
     read_image(m, regions.aux3, w, lpf_map.height())
 }
 
@@ -66,7 +80,15 @@ pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage) -> GrayImage {
 pub fn nms(m: &mut PimMachine, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
     let regions = Regions::for_machine(m, hpf_map.height());
     let w = load_image(m, regions.aux3, hpf_map) as u32;
-    nms_rows(m, &regions, regions.aux3, regions.out, hpf_map.height(), w as usize, cfg);
+    nms_rows(
+        m,
+        &regions,
+        regions.aux3,
+        regions.out,
+        hpf_map.height(),
+        w as usize,
+        cfg,
+    );
     let mut mask = read_image(m, regions.out, w, hpf_map.height());
     mask.clear_border(cfg.border);
     mask
@@ -78,7 +100,8 @@ pub fn nms(m: &mut PimMachine, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayIma
 /// Tmp-Reg value with a fused shift.
 fn lpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+    m.host_broadcast(r.zero_row(), 0)
+        .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     // pass 1 into aux1
     for y in 0..h as i64 {
@@ -112,7 +135,8 @@ fn lpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: 
 /// Tmp Reg.
 fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+    m.host_broadcast(r.zero_row(), 0)
+        .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     for y in 0..h as i64 {
         let a = row_or_zero(r, src, y - 1, h);
@@ -176,9 +200,12 @@ fn nms_rows(
     cfg: &EdgeConfig,
 ) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
-    m.host_broadcast(r.th(0), cfg.th1 as i64).expect("host I/O row in range");
-    m.host_broadcast(r.th(1), cfg.th2 as i64).expect("host I/O row in range");
+    m.host_broadcast(r.zero_row(), 0)
+        .expect("host I/O row in range");
+    m.host_broadcast(r.th(0), cfg.th1 as i64)
+        .expect("host I/O row in range");
+    m.host_broadcast(r.th(1), cfg.th2 as i64)
+        .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     for y in 0..h as i64 {
         let a = row_or_zero(r, src, y - 1, h);
@@ -194,12 +221,8 @@ fn nms_rows(
         //   pair 2: (a2, c2) = (A[i+1], C[i+1])
         //   pair 3: (a3, c1) = (A[i+2], C[i])
         //   pair 4: (b1, b3) = (B[i],   B[i+2])
-        let pairs: [(usize, i32, usize, i32); 4] = [
-            (a, 0, c, 2),
-            (a, 1, c, 1),
-            (a, 2, c, 0),
-            (b, 0, b, 2),
-        ];
+        let pairs: [(usize, i32, usize, i32); 4] =
+            [(a, 0, c, 2), (a, 1, c, 1), (a, 2, c, 0), (b, 0, b, 2)];
         // s(6) accumulates the OR of the pair masks
         m.logic(LogicFunc::And, Row(r.zero_row()), Row(r.zero_row()));
         m.writeback(r.s(6));

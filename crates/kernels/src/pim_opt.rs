@@ -51,7 +51,14 @@ pub fn edge_detect(m: &mut PimMachine, img: &GrayImage, cfg: &EdgeConfig) -> Edg
 pub fn lpf(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
     let regions = Regions::for_machine(m, img.height());
     let w = load_image(m, regions.input, img) as u32;
-    lpf_rows(m, &regions, regions.input, regions.aux2, img.height(), w as usize);
+    lpf_rows(
+        m,
+        &regions,
+        regions.input,
+        regions.aux2,
+        img.height(),
+        w as usize,
+    );
     read_image(m, regions.aux2, w, img.height())
 }
 
@@ -59,7 +66,14 @@ pub fn lpf(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
 pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage) -> GrayImage {
     let regions = Regions::for_machine(m, lpf_map.height());
     let w = load_image(m, regions.aux2, lpf_map) as u32;
-    hpf_rows(m, &regions, regions.aux2, regions.aux3, lpf_map.height(), w as usize);
+    hpf_rows(
+        m,
+        &regions,
+        regions.aux2,
+        regions.aux3,
+        lpf_map.height(),
+        w as usize,
+    );
     read_image(m, regions.aux3, w, lpf_map.height())
 }
 
@@ -67,7 +81,15 @@ pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage) -> GrayImage {
 pub fn nms(m: &mut PimMachine, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
     let regions = Regions::for_machine(m, hpf_map.height());
     let w = load_image(m, regions.aux3, hpf_map) as u32;
-    nms_rows(m, &regions, regions.aux3, regions.out, hpf_map.height(), w as usize, cfg);
+    nms_rows(
+        m,
+        &regions,
+        regions.aux3,
+        regions.out,
+        hpf_map.height(),
+        w as usize,
+        cfg,
+    );
     let mut mask = read_image(m, regions.out, w, hpf_map.height());
     mask.clear_border(cfg.border);
     mask
@@ -120,7 +142,8 @@ pub(crate) fn downsample_strip(
 /// fused shift-average on the Tmp Reg, one write-back — 3 cycles.
 fn lpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+    m.host_broadcast(r.zero_row(), 0)
+        .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     lpf_pass1_strip(m, r, src, h, 0, h as i64);
     lpf_pass2_strip(m, r, dst, h, mask, 0, h as i64);
@@ -175,7 +198,8 @@ pub(crate) fn lpf_pass2_strip(
 /// absolute-difference and saturating-add steps; only the three
 /// direction maps consumed out of order are written to scratch.
 fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
-    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+    m.host_broadcast(r.zero_row(), 0)
+        .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     hpf_strip(m, r, src, dst, h, mask, 0, h as i64);
 }
@@ -230,9 +254,12 @@ fn nms_rows(
     cfg: &EdgeConfig,
 ) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
-    m.host_broadcast(r.th(0), cfg.th1 as i64).expect("host I/O row in range");
-    m.host_broadcast(r.th(1), cfg.th2 as i64).expect("host I/O row in range");
+    m.host_broadcast(r.zero_row(), 0)
+        .expect("host I/O row in range");
+    m.host_broadcast(r.th(0), cfg.th1 as i64)
+        .expect("host I/O row in range");
+    m.host_broadcast(r.th(1), cfg.th2 as i64)
+        .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     nms_strip(m, r, src, dst, h, mask, 0, h as i64);
 }
@@ -351,7 +378,10 @@ mod tests {
         let mut m2 = machine();
         let _ = lpf(&mut m2, &img32);
         let per32 = m2.stats().cycles;
-        assert!(per32 > per16 && per32 <= 2 * per16 + 8, "{per16} vs {per32}");
+        assert!(
+            per32 > per16 && per32 <= 2 * per16 + 8,
+            "{per16} vs {per32}"
+        );
     }
 }
 

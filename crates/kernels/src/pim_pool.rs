@@ -25,9 +25,7 @@
 //! strip factor, paying one [`pimvo_pim::CostModel::pool_sync_cycles`]
 //! per barrier.
 
-use crate::pim_opt::{
-    downsample_strip, hpf_strip, lpf_pass1_strip, lpf_pass2_strip, nms_strip,
-};
+use crate::pim_opt::{downsample_strip, hpf_strip, lpf_pass1_strip, lpf_pass2_strip, nms_strip};
 use crate::pim_util::{ghost_mask, load_image_rows, partition_rows, Regions};
 use crate::{EdgeConfig, EdgeMaps, GrayImage};
 use pimvo_pim::{LaneWidth, PimArrayPool, Signedness};
@@ -51,9 +49,12 @@ pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -
     for (i, &(y0, y1)) in strips.iter().enumerate() {
         let m = pool.array_mut(i);
         m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-        m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
-        m.host_broadcast(r.th(0), cfg.th1 as i64).expect("host I/O row in range");
-        m.host_broadcast(r.th(1), cfg.th2 as i64).expect("host I/O row in range");
+        m.host_broadcast(r.zero_row(), 0)
+            .expect("host I/O row in range");
+        m.host_broadcast(r.th(0), cfg.th1 as i64)
+            .expect("host I/O row in range");
+        m.host_broadcast(r.th(1), cfg.th2 as i64)
+            .expect("host I/O row in range");
         mask = ghost_mask(m, &r, w);
         let lo = y0 as u32;
         let hi = (y1 as u32 + 1).min(h);
@@ -62,33 +63,37 @@ pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -
         }
     }
 
-    pool.run_phase(|i, m| {
+    pool.run_phase_labeled("lpf_pass1", |i, m| {
         let (y0, y1) = strips[i];
         lpf_pass1_strip(m, &r, r.input, h, y0, y1);
     });
     exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
-    pool.run_phase(|i, m| {
+    pool.run_phase_labeled("lpf_pass2", |i, m| {
         let (y0, y1) = strips[i];
         lpf_pass2_strip(m, &r, r.aux2, h, mask, y0, y1);
     });
     let lpf = collect_image(pool, &strips, r.aux2, img.width(), h);
 
     exchange_boundary_rows(pool, &strips, r.aux2, h, true, true);
-    pool.run_phase(|i, m| {
+    pool.run_phase_labeled("hpf", |i, m| {
         let (y0, y1) = strips[i];
         hpf_strip(m, &r, r.aux2, r.aux3, h, mask, y0, y1);
     });
     let hpf = collect_image(pool, &strips, r.aux3, img.width(), h);
 
     exchange_boundary_rows(pool, &strips, r.aux3, h, true, true);
-    pool.run_phase(|i, m| {
+    pool.run_phase_labeled("nms", |i, m| {
         let (y0, y1) = strips[i];
         nms_strip(m, &r, r.aux3, r.out, h, mask, y0, y1);
     });
     let mut mask_img = collect_image(pool, &strips, r.out, img.width(), h);
     mask_img.clear_border(cfg.border);
 
-    EdgeMaps { lpf, hpf, mask: mask_img }
+    EdgeMaps {
+        lpf,
+        hpf,
+        mask: mask_img,
+    }
 }
 
 /// Sharded LPF; bit-identical to [`crate::pim_opt::lpf`].
@@ -101,7 +106,8 @@ pub fn lpf(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
     for (i, &(y0, y1)) in strips.iter().enumerate() {
         let m = pool.array_mut(i);
         m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-        m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+        m.host_broadcast(r.zero_row(), 0)
+            .expect("host I/O row in range");
         mask = ghost_mask(m, &r, w);
         let lo = y0 as u32;
         let hi = (y1 as u32 + 1).min(h);
@@ -109,12 +115,12 @@ pub fn lpf(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
             load_image_rows(m, r.input, img, lo, hi);
         }
     }
-    pool.run_phase(|i, m| {
+    pool.run_phase_labeled("lpf_pass1", |i, m| {
         let (y0, y1) = strips[i];
         lpf_pass1_strip(m, &r, r.input, h, y0, y1);
     });
     exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
-    pool.run_phase(|i, m| {
+    pool.run_phase_labeled("lpf_pass2", |i, m| {
         let (y0, y1) = strips[i];
         lpf_pass2_strip(m, &r, r.aux2, h, mask, y0, y1);
     });
@@ -132,7 +138,8 @@ pub fn hpf(pool: &mut PimArrayPool, lpf_map: &GrayImage) -> GrayImage {
     for (i, &(y0, y1)) in strips.iter().enumerate() {
         let m = pool.array_mut(i);
         m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-        m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
+        m.host_broadcast(r.zero_row(), 0)
+            .expect("host I/O row in range");
         mask = ghost_mask(m, &r, w);
         // strip plus one halo row on each side (3-row stencil)
         if y0 < y1 {
@@ -141,7 +148,7 @@ pub fn hpf(pool: &mut PimArrayPool, lpf_map: &GrayImage) -> GrayImage {
             load_image_rows(m, r.aux2, lpf_map, lo, hi);
         }
     }
-    pool.run_phase(|i, m| {
+    pool.run_phase_labeled("hpf", |i, m| {
         let (y0, y1) = strips[i];
         hpf_strip(m, &r, r.aux2, r.aux3, h, mask, y0, y1);
     });
@@ -159,9 +166,12 @@ pub fn nms(pool: &mut PimArrayPool, hpf_map: &GrayImage, cfg: &EdgeConfig) -> Gr
     for (i, &(y0, y1)) in strips.iter().enumerate() {
         let m = pool.array_mut(i);
         m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-        m.host_broadcast(r.zero_row(), 0).expect("host I/O row in range");
-        m.host_broadcast(r.th(0), cfg.th1 as i64).expect("host I/O row in range");
-        m.host_broadcast(r.th(1), cfg.th2 as i64).expect("host I/O row in range");
+        m.host_broadcast(r.zero_row(), 0)
+            .expect("host I/O row in range");
+        m.host_broadcast(r.th(0), cfg.th1 as i64)
+            .expect("host I/O row in range");
+        m.host_broadcast(r.th(1), cfg.th2 as i64)
+            .expect("host I/O row in range");
         mask = ghost_mask(m, &r, w);
         if y0 < y1 {
             let lo = (y0 - 1).max(0) as u32;
@@ -169,7 +179,7 @@ pub fn nms(pool: &mut PimArrayPool, hpf_map: &GrayImage, cfg: &EdgeConfig) -> Gr
             load_image_rows(m, r.aux3, hpf_map, lo, hi);
         }
     }
-    pool.run_phase(|i, m| {
+    pool.run_phase_labeled("nms", |i, m| {
         let (y0, y1) = strips[i];
         nms_strip(m, &r, r.aux3, r.out, h, mask, y0, y1);
     });
@@ -195,7 +205,7 @@ pub fn downsample2x(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
             load_image_rows(m, r.input, img, lo, hi);
         }
     }
-    let shard_rows = pool.run_phase(|i, m| {
+    let shard_rows = pool.run_phase_labeled("downsample", |i, m| {
         let (oy0, oy1) = strips[i];
         downsample_strip(m, &r, oy0 as u32, oy1 as u32)
     });

@@ -90,7 +90,8 @@ pub fn load_image(m: &mut PimMachine, base: usize, img: &GrayImage) -> usize {
     );
     for y in 0..img.height() {
         let lanes: Vec<i64> = img.row(y).iter().map(|&p| p as i64).collect();
-        m.host_write_lanes(base + y as usize, &lanes).expect("host I/O row in range");
+        m.host_write_lanes(base + y as usize, &lanes)
+            .expect("host I/O row in range");
     }
     w
 }
@@ -115,7 +116,8 @@ pub fn load_image_rows(
     assert!(y1 <= img.height(), "strip {y0}..{y1} exceeds image height");
     for y in y0..y1 {
         let lanes: Vec<i64> = img.row(y).iter().map(|&p| p as i64).collect();
-        m.host_write_lanes(base + y as usize, &lanes).expect("host I/O row in range");
+        m.host_write_lanes(base + y as usize, &lanes)
+            .expect("host I/O row in range");
     }
     w
 }
@@ -179,7 +181,8 @@ pub fn ghost_mask(m: &mut PimMachine, regions: &Regions, width: usize) -> Option
     let vals: Vec<i64> = (0..m.lanes())
         .map(|i| if i < width { 0xFF } else { 0 })
         .collect();
-    m.host_write_lanes(row, &vals).expect("host I/O row in range");
+    m.host_write_lanes(row, &vals)
+        .expect("host I/O row in range");
     Some(row)
 }
 
@@ -187,6 +190,10 @@ pub fn ghost_mask(m: &mut PimMachine, regions: &Regions, width: usize) -> Option
 /// single AND cycle, only incurred for sub-width images).
 pub fn apply_ghost_mask(m: &mut PimMachine, mask: Option<usize>) {
     if let Some(row) = mask {
-        m.logic(pimvo_pim::LogicFunc::And, pimvo_pim::Operand::Tmp, pimvo_pim::Operand::Row(row));
+        m.logic(
+            pimvo_pim::LogicFunc::And,
+            pimvo_pim::Operand::Tmp,
+            pimvo_pim::Operand::Row(row),
+        );
     }
 }

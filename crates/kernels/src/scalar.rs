@@ -76,14 +76,8 @@ pub fn hpf(lpf_map: &GrayImage) -> GrayImage {
                 lpf_map.get_zero(xi + 1, yi - 1),
                 lpf_map.get_zero(xi - 1, yi + 1),
             );
-            let d_vert = abs_diff_u8(
-                lpf_map.get_zero(xi, yi - 1),
-                lpf_map.get_zero(xi, yi + 1),
-            );
-            let d_horiz = abs_diff_u8(
-                lpf_map.get_zero(xi - 1, yi),
-                lpf_map.get_zero(xi + 1, yi),
-            );
+            let d_vert = abs_diff_u8(lpf_map.get_zero(xi, yi - 1), lpf_map.get_zero(xi, yi + 1));
+            let d_horiz = abs_diff_u8(lpf_map.get_zero(xi - 1, yi), lpf_map.get_zero(xi + 1, yi));
             let s = avg_u8(avg_u8(d_diag1, d_diag2), avg_u8(d_vert, d_horiz));
             out.set(x, y, s);
         }
@@ -126,9 +120,15 @@ pub fn nms(hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
         for x in 0..w {
             let (xi, yi) = (x as i64, y as i64);
             let b2 = hpf_map.get_zero(xi, yi);
-            let m1 = max_u8(hpf_map.get_zero(xi - 1, yi - 1), hpf_map.get_zero(xi + 1, yi + 1));
+            let m1 = max_u8(
+                hpf_map.get_zero(xi - 1, yi - 1),
+                hpf_map.get_zero(xi + 1, yi + 1),
+            );
             let m2 = max_u8(hpf_map.get_zero(xi, yi - 1), hpf_map.get_zero(xi, yi + 1));
-            let m3 = max_u8(hpf_map.get_zero(xi + 1, yi - 1), hpf_map.get_zero(xi - 1, yi + 1));
+            let m3 = max_u8(
+                hpf_map.get_zero(xi + 1, yi - 1),
+                hpf_map.get_zero(xi - 1, yi + 1),
+            );
             let m4 = max_u8(hpf_map.get_zero(xi - 1, yi), hpf_map.get_zero(xi + 1, yi));
             let k = min_u8(min_u8(m1, m2), min_u8(m3, m4));
             let l = sat_sub_u8(b2, cfg.th1);
@@ -214,7 +214,10 @@ mod tests {
                 let exact = (sum / 16) as i32;
                 let got = out.get(x as u32, y as u32) as i32;
                 // three truncating averages lose at most 3 LSBs total
-                assert!((got - exact).abs() <= 3, "({x},{y}) got {got} want ~{exact}");
+                assert!(
+                    (got - exact).abs() <= 3,
+                    "({x},{y}) got {got} want ~{exact}"
+                );
             }
         }
     }

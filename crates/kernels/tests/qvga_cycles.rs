@@ -13,7 +13,11 @@ use pimvo_pim::{ArrayConfig, PimMachine};
 fn qvga_image() -> GrayImage {
     GrayImage::from_fn(320, 240, |x, y| {
         let t = ((x * 13 + y * 7).wrapping_mul(2654435761) >> 9) as u8;
-        let block = if ((x / 40) + (y / 40)) % 2 == 0 { 90 } else { 0 };
+        let block = if ((x / 40) + (y / 40)) % 2 == 0 {
+            90
+        } else {
+            0
+        };
         (t / 3).wrapping_add(block)
     })
 }

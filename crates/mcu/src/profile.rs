@@ -70,7 +70,8 @@ mod tests {
         });
         let cfg = EdgeConfig::default();
         let mut c = CostCounter::new();
-        let maps = edge_detect_counted_with(&img, &cfg, &mut c, crate::CodegenModel::PortableScalar);
+        let maps =
+            edge_detect_counted_with(&img, &cfg, &mut c, crate::CodegenModel::PortableScalar);
 
         let cam = Pinhole::qvga();
         let dt = distance_transform(maps.mask.pixels(), 320, 240);
@@ -87,7 +88,14 @@ mod tests {
             })
             .collect();
         for _ in 0..8 {
-            let _ = linearize_counted_with(&features, &tables, &cam, &SE3::IDENTITY, &mut c, crate::CodegenModel::PortableScalar);
+            let _ = linearize_counted_with(
+                &features,
+                &tables,
+                &cam,
+                &SE3::IDENTITY,
+                &mut c,
+                crate::CodegenModel::PortableScalar,
+            );
         }
 
         let mix = InstructionMix::from_counter(&c);

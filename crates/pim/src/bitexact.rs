@@ -74,7 +74,12 @@ pub struct AccumulatorOut {
 ///
 /// `carry_in` seeds each lane's LSB carry (used to form two's-complement
 /// subtraction: `a - b = a + !b + 1`).
-pub fn accumulate(row_a: &[bool], row_b: &[bool], width: LaneWidth, carry_in: bool) -> AccumulatorOut {
+pub fn accumulate(
+    row_a: &[bool],
+    row_b: &[bool],
+    width: LaneWidth,
+    carry_in: bool,
+) -> AccumulatorOut {
     assert_eq!(row_a.len(), row_b.len());
     let lane_bits = width.bits() as usize;
     assert_eq!(

@@ -65,13 +65,19 @@ impl fmt::Display for PimError {
                 write!(f, "row {row} out of range (array has {rows} rows)")
             }
             PimError::TooManyLanes { got, lanes } => {
-                write!(f, "{got} lane values supplied but only {lanes} lanes available")
+                write!(
+                    f,
+                    "{got} lane values supplied but only {lanes} lanes available"
+                )
             }
             PimError::TmpEmpty => {
                 write!(f, "Tmp Reg used before being written")
             }
             PimError::RegisterZero => {
-                write!(f, "register 0 is the implicit result register (Operand::Tmp)")
+                write!(
+                    f,
+                    "register 0 is the implicit result register (Operand::Tmp)"
+                )
             }
             PimError::RegisterNotEnabled { idx, enabled } => {
                 write!(
@@ -120,6 +126,9 @@ pub struct PimMachine {
     sign: Signedness,
     stats: ExecStats,
     trace: Option<Trace>,
+    /// Retention limit applied to the trace when tracing is enabled
+    /// (`None` = unbounded). See [`Trace::set_capacity`].
+    trace_capacity: Option<usize>,
     fault: FaultUnit,
 }
 
@@ -249,6 +258,7 @@ impl PimMachine {
             sign: Signedness::Unsigned,
             stats: ExecStats::new(),
             trace: None,
+            trace_capacity: None,
             fault: FaultUnit::inert(),
         }
     }
@@ -284,7 +294,21 @@ impl PimMachine {
     /// Enables or disables instruction tracing (disabling discards the
     /// recorded trace). See [`crate::Trace`].
     pub fn set_tracing(&mut self, on: bool) {
-        self.trace = on.then(Trace::new);
+        self.trace = on.then(|| match self.trace_capacity {
+            Some(cap) => Trace::with_capacity(cap),
+            None => Trace::new(),
+        });
+    }
+
+    /// Bounds the instruction trace to at most `capacity` events
+    /// (drop-oldest ring buffer; `None` restores the unbounded
+    /// default). Applies immediately to a live trace and to any trace
+    /// started by a later [`PimMachine::set_tracing`].
+    pub fn set_trace_capacity(&mut self, capacity: Option<usize>) {
+        self.trace_capacity = capacity;
+        if let Some(trace) = &mut self.trace {
+            trace.set_capacity(capacity);
+        }
     }
 
     /// The recorded instruction trace, when tracing is enabled.
@@ -376,8 +400,7 @@ impl PimMachine {
     /// realistic register count).
     pub fn set_tmp_regs(&mut self, n: u8) {
         assert!((1..=8).contains(&n), "1..=8 temporary registers");
-        self.extra_regs
-            .resize((n - 1) as usize, (Vec::new(), 8));
+        self.extra_regs.resize((n - 1) as usize, (Vec::new(), 8));
     }
 
     /// Number of temporary registers (≥ 1).
@@ -499,8 +522,7 @@ impl PimMachine {
         row_data.fill(0);
         for (i, &v) in values.iter().enumerate() {
             let raw = sat::wrap_unsigned(v, bits);
-            row_data[i * bytes..(i + 1) * bytes]
-                .copy_from_slice(&raw.to_le_bytes()[..bytes]);
+            row_data[i * bytes..(i + 1) * bytes].copy_from_slice(&raw.to_le_bytes()[..bytes]);
         }
         self.stats.host_io_rows += 1;
         Ok(())
@@ -535,7 +557,8 @@ impl PimMachine {
     /// Panics for a bad row index; see
     /// [`PimMachine::try_host_read_lanes`] for the fallible variant.
     pub fn host_read_lanes(&mut self, row: usize) -> Vec<i64> {
-        self.try_host_read_lanes(row).unwrap_or_else(|e| panic!("{e}"))
+        self.try_host_read_lanes(row)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Inspects the Tmp Reg lane values (no cost: debugging/verification
@@ -567,7 +590,8 @@ impl PimMachine {
     /// Panics on operand misuse (bad row, empty Tmp/register); see
     /// [`PimMachine::try_alu`] for the fallible variant.
     pub fn alu(&mut self, op: AluOp, a: Operand, b: Operand, shift: Shift) {
-        self.try_alu(op, a, b, shift).unwrap_or_else(|e| panic!("{e}"))
+        self.try_alu(op, a, b, shift)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible [`PimMachine::alu`].
@@ -996,7 +1020,8 @@ impl PimMachine {
     /// into the double-width Tmp Reg exactly as the multiplier's
     /// partial products do). Costs `n + frac + 1` compute cycles.
     pub fn div_frac(&mut self, a: Operand, b: Operand, frac: u32) {
-        self.try_div_frac(a, b, frac).unwrap_or_else(|e| panic!("{e}"))
+        self.try_div_frac(a, b, frac)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible [`PimMachine::div_frac`].
@@ -1017,7 +1042,10 @@ impl PimMachine {
             }
         })?;
         self.tmp_bits = (n + frac).min(64);
-        self.charge_muldiv_steps((n + frac - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+        self.charge_muldiv_steps(
+            (n + frac - 1) as u64 + 1,
+            a.touches_sram() || b.touches_sram(),
+        );
         Ok(())
     }
 
@@ -1026,7 +1054,8 @@ impl PimMachine {
     /// Division by zero yields the saturated extreme of the dividend's
     /// sign.
     pub fn div_frac_signed(&mut self, a: Operand, b: Operand, frac: u32) {
-        self.try_div_frac_signed(a, b, frac).unwrap_or_else(|e| panic!("{e}"))
+        self.try_div_frac_signed(a, b, frac)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible [`PimMachine::div_frac_signed`].
@@ -1055,7 +1084,10 @@ impl PimMachine {
             }
         })?;
         self.tmp_bits = out_bits;
-        self.charge_muldiv_steps((n + frac - 1) as u64 + 1, a.touches_sram() || b.touches_sram());
+        self.charge_muldiv_steps(
+            (n + frac - 1) as u64 + 1,
+            a.touches_sram() || b.touches_sram(),
+        );
         self.charge_tmp_steps(5);
         Ok(())
     }
@@ -1082,7 +1114,8 @@ impl PimMachine {
     /// signed values (1 cycle: the carry-extension clamp at a narrower
     /// carry-control setting).
     pub fn sat_narrow(&mut self, a: Operand, bits: u32) {
-        self.try_sat_narrow(a, bits).unwrap_or_else(|e| panic!("{e}"))
+        self.try_sat_narrow(a, bits)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible [`PimMachine::sat_narrow`].
@@ -1132,7 +1165,14 @@ impl PimMachine {
         self.stats.sram_writes += 1;
         self.stats.tmp_accesses += 1;
         self.stats.record_op(OpClass::WriteBack);
-        self.record_trace(OpClass::WriteBack, format!("writeback r{dst}"), cycle_start, 1, 0, 1);
+        self.record_trace(
+            OpClass::WriteBack,
+            format!("writeback r{dst}"),
+            cycle_start,
+            1,
+            0,
+            1,
+        );
         // protected writes re-encode the check bits on the way in
         self.charge_protection(1);
         Ok(())
@@ -1166,7 +1206,11 @@ impl PimMachine {
         let mut stride = 1usize;
         while stride < lanes {
             for i in (0..lanes).step_by(stride * 2) {
-                let other = if i + stride < lanes { self.tmp[i + stride] } else { 0 };
+                let other = if i + stride < lanes {
+                    self.tmp[i + stride]
+                } else {
+                    0
+                };
                 self.tmp[i] = wrap(self.tmp[i] + other, bits, sign);
             }
             stride *= 2;
@@ -1176,7 +1220,14 @@ impl PimMachine {
         self.stats.acc_ops += steps;
         self.stats.tmp_accesses += 2 * steps;
         self.stats.record_op(OpClass::Reduce);
-        self.record_trace(OpClass::Reduce, format!("reduce_sum x{lanes}"), cycle_start, steps, 0, 0);
+        self.record_trace(
+            OpClass::Reduce,
+            format!("reduce_sum x{lanes}"),
+            cycle_start,
+            steps,
+            0,
+            0,
+        );
         Ok(self.tmp[0])
     }
 
@@ -1216,7 +1267,14 @@ impl PimMachine {
         self.stats.sram_reads += n;
         self.stats.tmp_accesses += n;
         self.stats.record_op(OpClass::Gather);
-        self.record_trace(OpClass::Gather, format!("gather x{n}"), cycle_start, n, n, 0);
+        self.record_trace(
+            OpClass::Gather,
+            format!("gather x{n}"),
+            cycle_start,
+            n,
+            n,
+            0,
+        );
         self.charge_protection(n);
         Ok(out)
     }
@@ -1395,7 +1453,14 @@ impl PimMachine {
         let tmp_reads = a.is_reg() as u64 + b.is_reg() as u64;
         self.stats.tmp_accesses += tmp_reads + 1; // + result write
         self.stats.record_op(class);
-        self.record_trace(class, format!("{} {}, {}", op_name(class), fmt_op(a), fmt_op(b)), cycle_start, 1, sram, 0);
+        self.record_trace(
+            class,
+            format!("{} {}, {}", op_name(class), fmt_op(a), fmt_op(b)),
+            cycle_start,
+            1,
+            sram,
+            0,
+        );
         self.charge_protection(sram);
         Ok(())
     }
@@ -1418,7 +1483,14 @@ impl PimMachine {
         self.stats.sram_reads += sram;
         self.stats.tmp_accesses += a.is_reg() as u64 + 1;
         self.stats.record_op(class);
-        self.record_trace(class, format!("{} {}", op_name(class), fmt_op(a)), cycle_start, 1, sram, 0);
+        self.record_trace(
+            class,
+            format!("{} {}", op_name(class), fmt_op(a)),
+            cycle_start,
+            1,
+            sram,
+            0,
+        );
         self.charge_protection(sram);
         Ok(())
     }
@@ -1462,7 +1534,7 @@ impl PimMachine {
         sram_writes: u64,
     ) {
         if let Some(trace) = &mut self.trace {
-            let seq = trace.len() as u64;
+            let seq = trace.next_seq();
             trace.push(TraceEvent {
                 seq,
                 class,
@@ -1784,7 +1856,11 @@ mod multireg_tests {
         m.set_tmp_regs(3);
         m.host_write_lanes(0, &[1]).unwrap();
         m.load(Operand::Row(0));
-        let (c0, r0, w0) = (m.stats().cycles, m.stats().sram_reads, m.stats().sram_writes);
+        let (c0, r0, w0) = (
+            m.stats().cycles,
+            m.stats().sram_reads,
+            m.stats().sram_writes,
+        );
         m.save_tmp(2);
         assert_eq!(m.stats().cycles - c0, 1);
         assert_eq!(m.stats().sram_reads, r0);
@@ -1816,7 +1892,12 @@ mod multireg_tests {
 
         let er = with_reg.stats().energy(&crate::CostModel::default());
         let ew = with_wb.stats().energy(&crate::CostModel::default());
-        assert!(er.total_pj() < ew.total_pj(), "{} vs {}", er.total_pj(), ew.total_pj());
+        assert!(
+            er.total_pj() < ew.total_pj(),
+            "{} vs {}",
+            er.total_pj(),
+            ew.total_pj()
+        );
         assert!(with_reg.stats().sram_writes < with_wb.stats().sram_writes);
     }
 

@@ -39,6 +39,7 @@
 use crate::fault::FaultStatus;
 use crate::machine::{PimError, PimMachine, PimMachineBuilder};
 use crate::stats::ExecStats;
+use pimvo_telemetry::{Severity, Telemetry, TimeDomain};
 use std::collections::BTreeMap;
 
 /// Retry/quarantine policy of [`PimArrayPool::run_phase_resilient`].
@@ -135,6 +136,7 @@ pub struct PimArrayPool {
     retries: u64,
     redispatches: u64,
     dirty_accepted: u64,
+    telemetry: Telemetry,
 }
 
 impl PimArrayPool {
@@ -164,7 +166,21 @@ impl PimArrayPool {
             retries: 0,
             redispatches: 0,
             dirty_accepted: 0,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle: labeled phases then record
+    /// pool-phase and per-shard cycle-domain spans, and the resilient
+    /// path records retry/quarantine/re-dispatch events. The default
+    /// handle is off ([`Telemetry::off`]) and costs one branch per phase.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (off by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of arrays in the pool.
@@ -241,6 +257,21 @@ impl PimArrayPool {
         R: Send,
         F: Fn(usize, &mut PimMachine) -> R + Sync,
     {
+        self.run_phase_labeled("phase", f)
+    }
+
+    /// [`PimArrayPool::run_phase`] with a phase label for telemetry:
+    /// when a handle is attached ([`PimArrayPool::set_telemetry`]), the
+    /// phase records one wall-time span and, in the cycle domain, a
+    /// pool-phase span plus one span per participating array (so the
+    /// trace shows the barrier waiting on the slowest shard).
+    pub fn run_phase_labeled<R, F>(&mut self, label: &str, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut PimMachine) -> R + Sync,
+    {
+        let _wall = self.telemetry.span("pool", label);
+        let wall_start = self.wall_cycles;
         let before: Vec<u64> = self.arrays.iter().map(|m| m.stats().cycles).collect();
         let results: Vec<R> = if self.arrays.len() == 1 {
             vec![f(0, &mut self.arrays[0])]
@@ -273,7 +304,45 @@ impl PimArrayPool {
             self.wall_cycles += self.sync_cycles;
             self.barriers += 1;
         }
+        if self.telemetry.is_enabled() {
+            let participants: Vec<(usize, u64)> = self
+                .arrays
+                .iter()
+                .zip(&before)
+                .enumerate()
+                .map(|(i, (m, &b))| (i, m.stats().cycles - b))
+                .collect();
+            self.record_phase_spans(label, wall_start, &participants);
+        }
         results
+    }
+
+    /// Records the cycle-domain spans of one completed phase: the pool
+    /// span (`wall_start..wall_cycles`, including sync and any serial
+    /// recovery) and one span per participating array, all starting at
+    /// the barrier entry so the viewer shows the slowest shard gating
+    /// the phase. Called from the main thread after the barrier.
+    fn record_phase_spans(&self, label: &str, wall_start: u64, participants: &[(usize, u64)]) {
+        self.telemetry.record_span(
+            TimeDomain::Cycles,
+            "pool",
+            label,
+            wall_start,
+            self.wall_cycles - wall_start,
+            &[("arrays", participants.len().to_string())],
+        );
+        for &(i, delta) in participants {
+            if delta > 0 {
+                self.telemetry.record_span(
+                    TimeDomain::Cycles,
+                    &format!("array {i}"),
+                    label,
+                    wall_start,
+                    delta,
+                    &[],
+                );
+            }
+        }
     }
 
     /// Current retry/quarantine policy.
@@ -356,6 +425,25 @@ impl PimArrayPool {
         R: Send,
         F: Fn(usize, &mut PimMachine) -> R + Sync,
     {
+        self.run_phase_resilient_labeled("phase", f)
+    }
+
+    /// [`PimArrayPool::run_phase_resilient`] with a phase label for
+    /// telemetry. Besides the spans of [`PimArrayPool::run_phase_labeled`],
+    /// recovery activity records warning/error events (shard retries,
+    /// quarantines, re-dispatches, degraded accepts) and bumps the
+    /// matching `pimvo_pool_*_total` counters.
+    pub fn run_phase_resilient_labeled<R, F>(
+        &mut self,
+        label: &str,
+        f: F,
+    ) -> Result<Vec<R>, PimError>
+    where
+        R: Send,
+        F: Fn(usize, &mut PimMachine) -> R + Sync,
+    {
+        let _wall = self.telemetry.span("pool", label);
+        let wall_start = self.wall_cycles;
         let healthy = self.healthy_arrays();
         if healthy.is_empty() {
             return Err(PimError::AllArraysQuarantined {
@@ -418,6 +506,7 @@ impl PimArrayPool {
             let mut clean = false;
             for _ in 0..self.policy.max_retries {
                 self.retries += 1;
+                self.event_retry(label, shard, i);
                 let (r, ok) = self.rerun_shard(&f, shard, i);
                 results[shard] = r;
                 if ok {
@@ -431,21 +520,25 @@ impl PimArrayPool {
             if !self.is_persistent(i, &log_before[shard]) {
                 // transient storm: accept the last run as degraded output
                 self.dirty_accepted += 1;
+                self.event_dirty_accepted(label, shard, i);
                 continue;
             }
             // persistent defect: quarantine and re-dispatch
             self.quarantined[i] = true;
+            self.event_quarantine(label, i);
             let mut placed = false;
             for j in 0..self.arrays.len() {
                 if self.quarantined[j] {
                     continue;
                 }
                 self.redispatches += 1;
+                self.event_redispatch(label, shard, i, j);
                 let log_j = self.arrays[j].fault_row_log().clone();
                 let mut ok = false;
                 for attempt in 0..=self.policy.max_retries {
                     if attempt > 0 {
                         self.retries += 1;
+                        self.event_retry(label, shard, j);
                     }
                     let (r, c) = self.rerun_shard(&f, shard, j);
                     results[shard] = r;
@@ -460,8 +553,10 @@ impl PimArrayPool {
                 }
                 if self.is_persistent(j, &log_j) {
                     self.quarantined[j] = true;
+                    self.event_quarantine(label, j);
                 } else {
                     self.dirty_accepted += 1;
+                    self.event_dirty_accepted(label, shard, j);
                     placed = true;
                     break;
                 }
@@ -472,7 +567,104 @@ impl PimArrayPool {
                 });
             }
         }
+        if self.telemetry.is_enabled() {
+            let participants: Vec<(usize, u64)> = healthy
+                .iter()
+                .zip(&cyc_before)
+                .map(|(&i, &b)| (i, self.arrays[i].stats().cycles - b))
+                .collect();
+            self.record_phase_spans(label, wall_start, &participants);
+        }
         Ok(results)
+    }
+
+    fn event_retry(&self, label: &str, shard: usize, array: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.counter_add("pimvo_pool_retries_total", 1.0);
+        self.telemetry.log(
+            Severity::Warn,
+            "pool shard retry",
+            &[
+                ("phase", label.to_string()),
+                ("shard", shard.to_string()),
+                ("array", array.to_string()),
+            ],
+        );
+    }
+
+    fn event_quarantine(&self, label: &str, array: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_add("pimvo_pool_quarantines_total", 1.0);
+        self.telemetry.log(
+            Severity::Error,
+            "pool array quarantined",
+            &[("phase", label.to_string()), ("array", array.to_string())],
+        );
+    }
+
+    fn event_redispatch(&self, label: &str, shard: usize, from: usize, to: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_add("pimvo_pool_redispatches_total", 1.0);
+        self.telemetry.log(
+            Severity::Warn,
+            "pool shard re-dispatched",
+            &[
+                ("phase", label.to_string()),
+                ("shard", shard.to_string()),
+                ("from_array", from.to_string()),
+                ("to_array", to.to_string()),
+            ],
+        );
+    }
+
+    fn event_dirty_accepted(&self, label: &str, shard: usize, array: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_add("pimvo_pool_dirty_accepted_total", 1.0);
+        self.telemetry.log(
+            Severity::Warn,
+            "pool shard accepted with uncorrected errors",
+            &[
+                ("phase", label.to_string()),
+                ("shard", shard.to_string()),
+                ("array", array.to_string()),
+            ],
+        );
+    }
+
+    /// Publishes the pool's health and clock state as telemetry gauges
+    /// (`pimvo_pool_*`): healthy/quarantined array counts, detected and
+    /// corrected error totals, recovery activity and wall cycles. A
+    /// no-op without an attached handle.
+    pub fn export_health_telemetry(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let h = self.health();
+        let t = &self.telemetry;
+        t.gauge_set("pimvo_pool_arrays", self.arrays.len() as f64);
+        t.gauge_set("pimvo_pool_healthy_arrays", h.healthy_count() as f64);
+        t.gauge_set(
+            "pimvo_pool_quarantined_arrays",
+            h.quarantined_count() as f64,
+        );
+        t.gauge_set("pimvo_pool_faults_detected", h.total_detected() as f64);
+        t.gauge_set("pimvo_pool_faults_corrected", h.total_corrected() as f64);
+        t.gauge_set("pimvo_pool_retries", h.retries as f64);
+        t.gauge_set("pimvo_pool_redispatches", h.redispatches as f64);
+        t.gauge_set("pimvo_pool_dirty_accepted", h.dirty_accepted as f64);
+        t.gauge_set("pimvo_pool_wall_cycles", self.wall_cycles as f64);
+        t.gauge_set("pimvo_pool_barriers", self.barriers as f64);
     }
 
     /// Re-runs shard `shard` on array `i` serially, charging its full
@@ -582,6 +774,77 @@ mod tests {
     #[should_panic(expected = "at least one array")]
     fn empty_pool_rejected() {
         pool(0);
+    }
+
+    #[test]
+    fn labeled_phase_records_pool_and_shard_spans() {
+        let tele = Telemetry::with_clock(Box::new(pimvo_telemetry::ManualClock::with_step(10)));
+        let mut p = pool(2);
+        p.set_telemetry(tele.clone());
+        for i in 0..2 {
+            p.array_mut(i).host_write_lanes(0, &[1, 2]).unwrap();
+        }
+        p.run_phase_labeled("lpf_pass1", |i, m| {
+            for _ in 0..=i {
+                m.add(Operand::Row(0), Operand::Row(0));
+            }
+        });
+        let snap = tele.snapshot();
+        let pool_span = snap
+            .spans
+            .iter()
+            .find(|s| s.track == "pool" && s.domain == TimeDomain::Cycles)
+            .expect("pool cycle span");
+        assert_eq!(pool_span.name, "lpf_pass1");
+        assert_eq!(pool_span.start, 0);
+        assert_eq!(pool_span.dur, 2 + p.sync_cycles());
+        let a0 = snap.spans.iter().find(|s| s.track == "array 0").unwrap();
+        let a1 = snap.spans.iter().find(|s| s.track == "array 1").unwrap();
+        assert_eq!(a0.dur, 1);
+        assert_eq!(a1.dur, 2);
+        // a wall-domain span is recorded too (RAII guard)
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.track == "pool" && s.domain == TimeDomain::Wall && s.name == "lpf_pass1"));
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_accounting() {
+        let shard = |i: usize, m: &mut PimMachine| {
+            m.host_write_lanes(0, &[i as i64 + 1, 2]).unwrap();
+            m.add(Operand::Row(0), Operand::Row(0));
+            m.writeback(1);
+            m.host_read_lanes(1)[0]
+        };
+        let mut off = pool(3);
+        let r_off = off.run_phase_labeled("s", shard);
+        let mut on = pool(3);
+        on.set_telemetry(Telemetry::with_clock(Box::new(
+            pimvo_telemetry::ManualClock::with_step(1),
+        )));
+        let r_on = on.run_phase_labeled("s", shard);
+        assert_eq!(r_off, r_on);
+        assert_eq!(off.wall_cycles(), on.wall_cycles());
+        assert_eq!(off.merged_stats(), on.merged_stats());
+    }
+
+    #[test]
+    fn health_exports_as_gauges() {
+        let tele = Telemetry::with_clock(Box::new(pimvo_telemetry::ManualClock::with_step(1)));
+        let mut p = pool(3);
+        p.set_telemetry(tele.clone());
+        p.quarantine(1);
+        p.run_phase_labeled("s", |_, m| {
+            m.host_broadcast(0, 1).unwrap();
+            m.load(Operand::Row(0));
+        });
+        p.export_health_telemetry();
+        let text = tele.metrics_text();
+        assert!(text.contains("pimvo_pool_arrays 3"));
+        assert!(text.contains("pimvo_pool_healthy_arrays 2"));
+        assert!(text.contains("pimvo_pool_quarantined_arrays 1"));
+        assert!(text.contains("pimvo_pool_wall_cycles"));
     }
 
     #[test]

@@ -51,28 +51,47 @@ impl ExecStats {
     /// # Panics
     ///
     /// Panics if `earlier` is not a prefix of `self` (counters must be
-    /// monotone).
+    /// monotone) — use [`ExecStats::try_since`] when `earlier` may come
+    /// from a different measurement scope (e.g. after a
+    /// [`ExecStats::retract`] or a stats reset in between).
     pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        self.try_since(earlier).unwrap_or_else(|| {
+            panic!(
+                "ExecStats::since: counters went backwards — `earlier` is not a \
+                 prefix of `self` (was reset_stats/retract_stats called between \
+                 the two snapshots?)\n  earlier: {earlier:?}\n  self: {self:?}"
+            )
+        })
+    }
+
+    /// Difference `self - earlier` with every subtraction checked;
+    /// returns `None` if any counter (including the op histogram) went
+    /// backwards instead of wrapping around.
+    pub fn try_since(&self, earlier: &ExecStats) -> Option<ExecStats> {
         let mut hist = BTreeMap::new();
+        for (k, v) in &earlier.op_histogram {
+            let now = self.op_histogram.get(k).copied().unwrap_or(0);
+            now.checked_sub(*v)?;
+        }
         for (k, v) in &self.op_histogram {
             let prev = earlier.op_histogram.get(k).copied().unwrap_or(0);
-            assert!(*v >= prev, "op histogram went backwards");
-            if *v > prev {
-                hist.insert(*k, *v - prev);
+            let d = v.checked_sub(prev)?;
+            if d > 0 {
+                hist.insert(*k, d);
             }
         }
-        ExecStats {
-            cycles: self.cycles - earlier.cycles,
-            sram_reads: self.sram_reads - earlier.sram_reads,
-            sram_writes: self.sram_writes - earlier.sram_writes,
-            tmp_accesses: self.tmp_accesses - earlier.tmp_accesses,
-            acc_ops: self.acc_ops - earlier.acc_ops,
-            host_io_rows: self.host_io_rows - earlier.host_io_rows,
-            parity_checks: self.parity_checks - earlier.parity_checks,
-            ecc_checks: self.ecc_checks - earlier.ecc_checks,
-            ecc_corrections: self.ecc_corrections - earlier.ecc_corrections,
+        Some(ExecStats {
+            cycles: self.cycles.checked_sub(earlier.cycles)?,
+            sram_reads: self.sram_reads.checked_sub(earlier.sram_reads)?,
+            sram_writes: self.sram_writes.checked_sub(earlier.sram_writes)?,
+            tmp_accesses: self.tmp_accesses.checked_sub(earlier.tmp_accesses)?,
+            acc_ops: self.acc_ops.checked_sub(earlier.acc_ops)?,
+            host_io_rows: self.host_io_rows.checked_sub(earlier.host_io_rows)?,
+            parity_checks: self.parity_checks.checked_sub(earlier.parity_checks)?,
+            ecc_checks: self.ecc_checks.checked_sub(earlier.ecc_checks)?,
+            ecc_corrections: self.ecc_corrections.checked_sub(earlier.ecc_corrections)?,
             op_histogram: hist,
-        }
+        })
     }
 
     /// Adds another stats block (for aggregating independent traces).
@@ -275,6 +294,32 @@ mod tests {
     }
 
     #[test]
+    fn try_since_catches_underflow() {
+        let mut a = ExecStats::new();
+        a.cycles = 30;
+        a.record_op(OpClass::Mul);
+        let mut b = ExecStats::new();
+        b.cycles = 10; // went backwards (e.g. reset in between)
+        assert_eq!(b.try_since(&a), None);
+
+        // histogram-only regression is caught too, even with equal cycles
+        let mut c = ExecStats::new();
+        c.cycles = 30;
+        assert_eq!(c.try_since(&a), None);
+        c.record_op(OpClass::Mul);
+        assert_eq!(c.try_since(&a), Some(ExecStats::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "counters went backwards")]
+    fn since_panics_with_clear_message_on_underflow() {
+        let mut a = ExecStats::new();
+        a.sram_reads = 5;
+        let b = ExecStats::new();
+        let _ = b.since(&a);
+    }
+
+    #[test]
     fn energy_breakdown_sums() {
         let mut s = ExecStats::new();
         s.sram_reads = 10;
@@ -286,8 +331,7 @@ mod tests {
         assert!(e.total_pj() > 0.0);
         assert!(e.sram_share() > 0.5);
         assert!(
-            (e.total_pj()
-                - (12.0 * 944.8 + 30.0 * cost.shifter_adder_pj + 40.0 * cost.tmp_reg_pj))
+            (e.total_pj() - (12.0 * 944.8 + 30.0 * cost.shifter_adder_pj + 40.0 * cost.tmp_reg_pj))
                 .abs()
                 < 1e-6
         );

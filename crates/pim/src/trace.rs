@@ -5,8 +5,17 @@
 //! span and SRAM footprint — a disassembly-style view of what a kernel
 //! actually does on the array, used to debug mappings and to audit the
 //! cost model.
+//!
+//! The trace is unbounded by default (faithful disassembly of short
+//! kernels). For long captures — a full TUM sequence is hundreds of
+//! millions of macro ops — give it a capacity
+//! ([`Trace::with_capacity`] / [`crate::PimMachine::set_trace_capacity`]):
+//! the trace becomes a drop-oldest ring buffer and counts what it
+//! sheds in [`Trace::dropped`], so memory stays bounded and the loss is
+//! visible instead of silent.
 
 use crate::isa::OpClass;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// One traced macro operation.
@@ -33,57 +42,123 @@ impl fmt::Display for TraceEvent {
         write!(
             f,
             "{:>6}  @{:<8} {:<28} {:>3} cyc  {:>2} rd {:>2} wr",
-            self.seq, self.cycle_start, self.mnemonic, self.cycles, self.sram_reads, self.sram_writes
+            self.seq,
+            self.cycle_start,
+            self.mnemonic,
+            self.cycles,
+            self.sram_reads,
+            self.sram_writes
         )
     }
 }
 
-/// An in-memory instruction trace.
+/// An in-memory instruction trace, optionally bounded as a drop-oldest
+/// ring buffer.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
+    /// Maximum retained events; `None` = unbounded (the default).
+    capacity: Option<usize>,
+    /// Events shed by the ring buffer since the last [`Trace::clear`].
+    dropped: u64,
+    /// Total events ever recorded (drives `seq` numbering even after
+    /// old events were shed).
+    recorded: u64,
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty, unbounded trace.
     pub fn new() -> Self {
         Trace::default()
     }
 
-    /// Appends an event.
-    pub(crate) fn push(&mut self, event: TraceEvent) {
-        self.events.push(event);
+    /// Creates an empty trace that retains at most `capacity` events,
+    /// dropping the oldest beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            capacity: Some(capacity),
+            ..Trace::default()
+        }
     }
 
-    /// The recorded events.
-    pub fn events(&self) -> &[TraceEvent] {
+    /// The retention limit, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Sets (or removes, with `None`) the retention limit. Shrinking
+    /// below the current length sheds the oldest events immediately.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        self.enforce_capacity();
+    }
+
+    /// Events shed by the ring buffer since the last clear.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn enforce_capacity(&mut self) {
+        if let Some(cap) = self.capacity {
+            while self.events.len() > cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Appends an event.
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        self.recorded += 1;
+        self.events.push_back(event);
+        self.enforce_capacity();
+    }
+
+    /// Next sequence number (total events ever recorded).
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The recorded events, oldest first. With a capacity set this is
+    /// the most recent window; check [`Trace::dropped`] for what was
+    /// shed before it.
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
         &self.events
     }
 
     /// Mutable access to the most recent event (multi-step macro ops
     /// extend their first step's record).
     pub(crate) fn last_mut(&mut self) -> Option<&mut TraceEvent> {
-        self.events.last_mut()
+        self.events.back_mut()
     }
 
-    /// Number of events.
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// True when nothing was recorded.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// Clears the trace.
+    /// Clears the trace (retained events, the dropped counter and the
+    /// sequence numbering; the capacity is kept).
     pub fn clear(&mut self) {
         self.events.clear();
+        self.dropped = 0;
+        self.recorded = 0;
     }
 
     /// A disassembly-style listing of the whole trace.
     pub fn listing(&self) -> String {
         let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "... {} earlier event(s) dropped by the ring buffer ...\n",
+                self.dropped
+            ));
+        }
         for e in &self.events {
             out.push_str(&e.to_string());
             out.push('\n');
@@ -102,10 +177,44 @@ impl Trace {
         v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v
     }
+
+    /// Exports every retained macro op as a cycle-domain telemetry span
+    /// on `track` (op class + cycles + SRAM footprint per span), the
+    /// finest level of the frame → stage → pool-phase → shard → macro-op
+    /// hierarchy. `cycle_offset` shifts the spans onto a shared cycle
+    /// timeline (e.g. the pool wall clock at the start of the capture).
+    pub fn export_telemetry(
+        &self,
+        tele: &pimvo_telemetry::Telemetry,
+        track: &str,
+        cycle_offset: u64,
+    ) {
+        if !tele.is_enabled() {
+            return;
+        }
+        for e in &self.events {
+            tele.record_span(
+                pimvo_telemetry::TimeDomain::Cycles,
+                track,
+                &e.mnemonic,
+                cycle_offset + e.cycle_start,
+                e.cycles,
+                &[
+                    ("class", format!("{:?}", e.class)),
+                    ("sram_reads", e.sram_reads.to_string()),
+                    ("sram_writes", e.sram_writes.to_string()),
+                ],
+            );
+        }
+        if self.dropped > 0 {
+            tele.counter_add("pimvo_trace_dropped_total", self.dropped as f64);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::{ArrayConfig, LaneWidth, Operand, PimMachine, Signedness};
 
     #[test]
@@ -157,5 +266,81 @@ mod tests {
         assert_eq!(m.trace().unwrap().len(), 1);
         m.set_tracing(false);
         assert!(m.trace().is_none());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.set_trace_capacity(Some(4));
+        m.set_tracing(true);
+        m.host_write_lanes(0, &[1, 2]).unwrap();
+        for _ in 0..10 {
+            m.add(Operand::Row(0), Operand::Row(0));
+        }
+        let trace = m.trace().expect("tracing enabled");
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.dropped(), 6);
+        // the retained window is the most recent ops, seq keeps counting
+        assert_eq!(trace.events()[0].seq, 6);
+        assert_eq!(trace.events()[3].seq, 9);
+        assert!(trace.listing().contains("6 earlier event(s) dropped"));
+    }
+
+    #[test]
+    fn unlimited_by_default_and_capacity_shrinks_live() {
+        let mut t = Trace::new();
+        assert_eq!(t.capacity(), None);
+        for i in 0..8 {
+            t.push(TraceEvent {
+                seq: i,
+                class: OpClass::AddSub,
+                mnemonic: "add".to_string(),
+                cycle_start: i,
+                cycles: 1,
+                sram_reads: 0,
+                sram_writes: 0,
+            });
+        }
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.dropped(), 0);
+        t.set_capacity(Some(3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 5);
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), Some(3));
+    }
+
+    #[test]
+    fn multi_step_ops_extend_into_the_ring() {
+        // a capacity-1 trace must still extend the (single) retained
+        // event for multi-step macro ops
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.set_trace_capacity(Some(1));
+        m.set_tracing(true);
+        m.host_write_lanes(0, &[3]).unwrap();
+        m.host_write_lanes(1, &[5]).unwrap();
+        m.mul(Operand::Row(0), Operand::Row(1));
+        let trace = m.trace().unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events()[0].cycles, 9);
+    }
+
+    #[test]
+    fn exports_macro_op_spans() {
+        let tele = pimvo_telemetry::Telemetry::with_clock(Box::new(
+            pimvo_telemetry::ManualClock::with_step(1),
+        ));
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.set_tracing(true);
+        m.host_write_lanes(0, &[3, 4]).unwrap();
+        m.add(Operand::Row(0), Operand::Row(0));
+        m.writeback(1);
+        m.trace().unwrap().export_telemetry(&tele, "array 0", 100);
+        let snap = tele.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].domain, pimvo_telemetry::TimeDomain::Cycles);
+        assert_eq!(snap.spans[0].start, 100);
+        assert!(snap.spans[1].name.contains("writeback"));
     }
 }

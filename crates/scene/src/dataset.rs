@@ -118,9 +118,9 @@ pub fn load_tum_dir(dir: impl AsRef<Path>) -> Result<DiskDataset, DatasetError> 
                 format!("expected 4 fields, got {}", fields.len()),
             ));
         }
-        let time: f64 = fields[0].parse().map_err(|e| {
-            DatasetError::Assoc(assoc_path.clone(), lineno + 1, format!("{e}"))
-        })?;
+        let time: f64 = fields[0]
+            .parse()
+            .map_err(|e| DatasetError::Assoc(assoc_path.clone(), lineno + 1, format!("{e}")))?;
         let gray_path = dir.join(fields[1]);
         let depth_path = dir.join(fields[3]);
         let gray_bytes =

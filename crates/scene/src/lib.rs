@@ -42,10 +42,10 @@ mod tum;
 
 pub use dataset::{load_tum_dir, write_tum_dir, DatasetError, DiskDataset};
 pub use imu::{generate_imu, integrate_gyro, ImuNoise, ImuSample};
-pub use plot::{plot_trajectories_svg, PlotPlane};
 pub use pgm::{
     read_pgm_depth, read_pgm_gray, write_pgm_depth, write_pgm_gray, PgmError, TUM_DEPTH_SCALE,
 };
+pub use plot::{plot_trajectories_svg, PlotPlane};
 pub use render::{Aabb, Plane, RenderOptions, Scene};
 pub use rpe::{ate_rmse, rpe_rmse, RpeResult};
 pub use sequences::{build_scene, pose_at, Frame, Sequence, SequenceKind};

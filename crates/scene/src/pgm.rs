@@ -45,7 +45,10 @@ impl fmt::Display for PgmError {
             PgmError::Header(msg) => write!(f, "malformed PGM header: {msg}"),
             PgmError::Maxval(v) => write!(f, "unsupported maxval {v}"),
             PgmError::Truncated { expected, actual } => {
-                write!(f, "truncated pixel data: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "truncated pixel data: expected {expected} bytes, got {actual}"
+                )
             }
             PgmError::BitDepth(msg) => write!(f, "{msg}"),
         }

@@ -35,7 +35,10 @@ pub fn plot_trajectories_svg(
     plane: PlotPlane,
     title: &str,
 ) -> String {
-    assert!(!estimate.is_empty() && !ground_truth.is_empty(), "empty trajectory");
+    assert!(
+        !estimate.is_empty() && !ground_truth.is_empty(),
+        "empty trajectory"
+    );
     assert_eq!(estimate.len(), ground_truth.len(), "length mismatch");
     let est = estimate.aligned_to(ground_truth);
 

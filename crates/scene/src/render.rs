@@ -292,19 +292,43 @@ fn intersect_aabb(b: &Aabb, origin: Vec3, dir: Vec3) -> Option<(f64, Vec3, f64, 
     let eps = 1e-6;
     let (n, tu, tv) = if (hit.x - b.min.x).abs() < eps || (hit.x - b.max.x).abs() < eps {
         (
-            Vec3::new(if (hit.x - b.min.x).abs() < eps { -1.0 } else { 1.0 }, 0.0, 0.0),
+            Vec3::new(
+                if (hit.x - b.min.x).abs() < eps {
+                    -1.0
+                } else {
+                    1.0
+                },
+                0.0,
+                0.0,
+            ),
             hit.y,
             hit.z,
         )
     } else if (hit.y - b.min.y).abs() < eps || (hit.y - b.max.y).abs() < eps {
         (
-            Vec3::new(0.0, if (hit.y - b.min.y).abs() < eps { -1.0 } else { 1.0 }, 0.0),
+            Vec3::new(
+                0.0,
+                if (hit.y - b.min.y).abs() < eps {
+                    -1.0
+                } else {
+                    1.0
+                },
+                0.0,
+            ),
             hit.x,
             hit.z,
         )
     } else {
         (
-            Vec3::new(0.0, 0.0, if (hit.z - b.min.z).abs() < eps { -1.0 } else { 1.0 }),
+            Vec3::new(
+                0.0,
+                0.0,
+                if (hit.z - b.min.z).abs() < eps {
+                    -1.0
+                } else {
+                    1.0
+                },
+            ),
             hit.x,
             hit.y,
         )

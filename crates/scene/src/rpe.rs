@@ -48,7 +48,10 @@ pub fn rpe_rmse(estimate: &Trajectory, ground_truth: &Trajectory, delta_s: f64) 
     let mut sum_r2 = 0.0;
     let mut pairs = 0usize;
     for i in 0..n - step {
-        let q_rel = ground_truth.pose(i).inverse().compose(ground_truth.pose(i + step));
+        let q_rel = ground_truth
+            .pose(i)
+            .inverse()
+            .compose(ground_truth.pose(i + step));
         let p_rel = estimate.pose(i).inverse().compose(estimate.pose(i + step));
         let err = q_rel.inverse().compose(&p_rel);
         let te = err.translation_norm() / actual_delta;
@@ -129,9 +132,7 @@ mod tests {
 
     #[test]
     fn rotational_drift_in_degrees_per_second() {
-        let gt: Trajectory = (0..61)
-            .map(|i| (i as f64 / 30.0, SE3::IDENTITY))
-            .collect();
+        let gt: Trajectory = (0..61).map(|i| (i as f64 / 30.0, SE3::IDENTITY)).collect();
         let est: Trajectory = (0..61)
             .map(|i| {
                 let t = i as f64 / 30.0;
@@ -139,6 +140,10 @@ mod tests {
             })
             .collect();
         let res = rpe_rmse(&est, &gt, 1.0);
-        assert!((res.rot_dps - 0.01f64.to_degrees()).abs() < 1e-6, "{}", res.rot_dps);
+        assert!(
+            (res.rot_dps - 0.01f64.to_degrees()).abs() < 1e-6,
+            "{}",
+            res.rot_dps
+        );
     }
 }

@@ -38,7 +38,11 @@ impl SequenceKind {
 
     /// All profiles, in the order of the paper's Table 1.
     pub fn all() -> [SequenceKind; 3] {
-        [SequenceKind::Xyz, SequenceKind::Desk, SequenceKind::StrNtexFar]
+        [
+            SequenceKind::Xyz,
+            SequenceKind::Desk,
+            SequenceKind::StrNtexFar,
+        ]
     }
 }
 
@@ -148,7 +152,11 @@ pub fn pose_at(kind: SequenceKind, t: f64) -> SE3 {
                 0.05 * (TAU * 0.05 * t + 0.5).sin(),
                 0.08 * (TAU * 0.04 * t + 1.2).sin(),
             );
-            let w = Vec3::new(0.0, 0.025 * (TAU * 0.06 * t).sin(), 0.008 * (TAU * 0.1 * t).sin());
+            let w = Vec3::new(
+                0.0,
+                0.025 * (TAU * 0.06 * t).sin(),
+                0.008 * (TAU * 0.1 * t).sin(),
+            );
             SE3::new(SO3::exp(w), p)
         }
     }
@@ -188,11 +196,31 @@ pub fn build_scene(kind: SequenceKind) -> Scene {
             Scene {
                 planes: vec![
                     // front wall, floor, ceiling, side walls (y down)
-                    Plane::new(Vec3::new(0.0, 0.0, 3.0), Vec3::new(0.0, 0.0, -1.0), noise(120.0, 130.0, 0.07, 11)),
-                    Plane::new(Vec3::new(0.0, 1.3, 0.0), Vec3::new(0.0, -1.0, 0.0), noise(100.0, 110.0, 0.08, 22)),
-                    Plane::new(Vec3::new(0.0, -1.3, 0.0), Vec3::new(0.0, 1.0, 0.0), noise(140.0, 90.0, 0.1, 33)),
-                    Plane::new(Vec3::new(-2.2, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), noise(110.0, 120.0, 0.08, 44)),
-                    Plane::new(Vec3::new(2.2, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0), noise(125.0, 115.0, 0.09, 55)),
+                    Plane::new(
+                        Vec3::new(0.0, 0.0, 3.0),
+                        Vec3::new(0.0, 0.0, -1.0),
+                        noise(120.0, 130.0, 0.07, 11),
+                    ),
+                    Plane::new(
+                        Vec3::new(0.0, 1.3, 0.0),
+                        Vec3::new(0.0, -1.0, 0.0),
+                        noise(100.0, 110.0, 0.08, 22),
+                    ),
+                    Plane::new(
+                        Vec3::new(0.0, -1.3, 0.0),
+                        Vec3::new(0.0, 1.0, 0.0),
+                        noise(140.0, 90.0, 0.1, 33),
+                    ),
+                    Plane::new(
+                        Vec3::new(-2.2, 0.0, 0.0),
+                        Vec3::new(1.0, 0.0, 0.0),
+                        noise(110.0, 120.0, 0.08, 44),
+                    ),
+                    Plane::new(
+                        Vec3::new(2.2, 0.0, 0.0),
+                        Vec3::new(-1.0, 0.0, 0.0),
+                        noise(125.0, 115.0, 0.09, 55),
+                    ),
                 ],
                 boxes: vec![
                     Aabb {
@@ -203,7 +231,11 @@ pub fn build_scene(kind: SequenceKind) -> Scene {
                     Aabb {
                         min: Vec3::new(0.5, 0.1, 2.3),
                         max: Vec3::new(1.2, 1.3, 2.9),
-                        texture: Texture::Checker { a: 70.0, b: 190.0, cell: 0.15 },
+                        texture: Texture::Checker {
+                            a: 70.0,
+                            b: 190.0,
+                            cell: 0.15,
+                        },
                     },
                 ],
             }
@@ -219,14 +251,26 @@ pub fn build_scene(kind: SequenceKind) -> Scene {
             Scene {
                 planes: vec![
                     // desk surface and back wall
-                    Plane::new(Vec3::new(0.0, 0.55, 0.0), Vec3::new(0.0, -1.0, 0.0), noise(135.0, 70.0, 0.09, 7)),
-                    Plane::new(Vec3::new(0.0, 0.0, 3.2), Vec3::new(0.0, 0.0, -1.0), noise(95.0, 85.0, 0.1, 8)),
+                    Plane::new(
+                        Vec3::new(0.0, 0.55, 0.0),
+                        Vec3::new(0.0, -1.0, 0.0),
+                        noise(135.0, 70.0, 0.09, 7),
+                    ),
+                    Plane::new(
+                        Vec3::new(0.0, 0.0, 3.2),
+                        Vec3::new(0.0, 0.0, -1.0),
+                        noise(95.0, 85.0, 0.1, 8),
+                    ),
                 ],
                 boxes: vec![
                     Aabb {
                         min: Vec3::new(-0.55, 0.15, 1.7),
                         max: Vec3::new(-0.15, 0.55, 2.1),
-                        texture: Texture::Checker { a: 60.0, b: 200.0, cell: 0.08 },
+                        texture: Texture::Checker {
+                            a: 60.0,
+                            b: 200.0,
+                            cell: 0.08,
+                        },
                     },
                     Aabb {
                         min: Vec3::new(0.05, 0.25, 1.8),
@@ -377,9 +421,9 @@ mod tests {
                 / n
         };
         let _ = variance; // texture-poor panels still have high variance
-        // what separates the profiles is the *density* of gradient
-        // pixels: rich noise textures put gradients almost everywhere,
-        // flat panels only at their boundaries
+                          // what separates the profiles is the *density* of gradient
+                          // pixels: rich noise textures put gradients almost everywhere,
+                          // flat panels only at their boundaries
         let grad_density = |img: &GrayImage| {
             let mut n = 0usize;
             for y in 0..img.height() {

@@ -93,9 +93,7 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let t: Trajectory = (0..5)
-            .map(|i| (i as f64 / 30.0, SE3::IDENTITY))
-            .collect();
+        let t: Trajectory = (0..5).map(|i| (i as f64 / 30.0, SE3::IDENTITY)).collect();
         assert_eq!(t.len(), 5);
     }
 }

@@ -1,0 +1,63 @@
+//! Minimal hand-rolled JSON formatting helpers (the workspace is
+//! vendored-offline; no serde). Only what the exporters need: string
+//! escaping and deterministic number formatting.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON string literal of `s`.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str_escaped(&mut out, s);
+    out
+}
+
+/// Formats `v` as a JSON number: integers without a fraction,
+/// non-finite values as `null` (JSON has no NaN/Inf).
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escaped("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escaped("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(3.5), "3.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

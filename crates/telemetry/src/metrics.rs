@@ -1,0 +1,85 @@
+//! Prometheus-style text snapshot of counters and gauges.
+//!
+//! The exposition format is the plain-text scrape format: one
+//! `# TYPE` line per metric family followed by `name{labels} value`
+//! samples. Keys iterate from `BTreeMap`s, so the snapshot is
+//! deterministically ordered — the determinism tests compare it
+//! byte-for-byte across runs.
+
+use crate::TelemetrySnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Builds the full metric key for a labeled sample:
+/// `name{k1="v1",k2="v2"}`.
+pub fn labeled_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::from(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Family (metric name without labels) of a sample key.
+fn family(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+fn export_kind(out: &mut String, kind: &str, samples: &BTreeMap<String, f64>) {
+    let mut last_family = "";
+    for (key, value) in samples {
+        let fam = family(key);
+        if fam != last_family {
+            let _ = writeln!(out, "# TYPE {fam} {kind}");
+            last_family = fam;
+        }
+        let _ = writeln!(out, "{key} {value}");
+    }
+}
+
+/// Serializes the snapshot's counters and gauges as Prometheus text.
+pub fn export(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    export_kind(&mut out, "counter", &snap.counters);
+    export_kind(&mut out, "gauge", &snap.gauges);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_keys_escape_quotes() {
+        assert_eq!(labeled_key("a_total", &[]), "a_total");
+        assert_eq!(
+            labeled_key("a_total", &[("s", "he\"llo")]),
+            "a_total{s=\"he\\\"llo\"}"
+        );
+    }
+
+    #[test]
+    fn exports_type_lines_once_per_family() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters.insert("x_total{a=\"1\"}".to_string(), 2.0);
+        snap.counters.insert("x_total{a=\"2\"}".to_string(), 3.0);
+        snap.gauges.insert("g".to_string(), 0.5);
+        let s = export(&snap);
+        assert_eq!(s.matches("# TYPE x_total counter").count(), 1);
+        assert!(s.contains("x_total{a=\"1\"} 2"));
+        assert!(s.contains("x_total{a=\"2\"} 3"));
+        assert!(s.contains("# TYPE g gauge\ng 0.5"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Chrome/Perfetto trace-event JSON export.
+//!
+//! The snapshot renders as two "processes": pid 1 carries the
+//! wall-time tracks (microsecond timestamps) and pid 2 the PIM-cycle
+//! tracks (one trace µs per simulated cycle, so the viewer's time axis
+//! reads directly in cycles). Each distinct track name becomes one
+//! thread lane; Perfetto nests complete (`"ph":"X"`) events on a lane
+//! by time containment, which is how frame → stage → pool-phase →
+//! shard → macro-op hierarchies appear without explicit parent links.
+//! Log events render as instant (`"ph":"i"`) markers on a `log` lane.
+
+use crate::json;
+use crate::record::TimeDomain;
+use crate::TelemetrySnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+const WALL_PID: u32 = 1;
+const CYCLES_PID: u32 = 2;
+const LOG_TID: u32 = 0;
+
+/// Serializes a snapshot as Chrome trace-event JSON (a `traceEvents`
+/// wrapper object, loadable at `ui.perfetto.dev`).
+pub fn export(snap: &TelemetrySnapshot) -> String {
+    // assign tids per (pid, track) in order of first appearance so the
+    // output is deterministic for a deterministic recording order
+    let mut tids: BTreeMap<(u32, &str), u32> = BTreeMap::new();
+    let mut order: Vec<(u32, &str)> = Vec::new();
+    let mut next: BTreeMap<u32, u32> = BTreeMap::new();
+    next.insert(WALL_PID, LOG_TID + 1);
+    next.insert(CYCLES_PID, 1);
+    for s in &snap.spans {
+        let pid = pid_of(s.domain);
+        let key = (pid, s.track.as_str());
+        if let std::collections::btree_map::Entry::Vacant(e) = tids.entry(key) {
+            let n = next.get_mut(&pid).expect("pid preseeded");
+            e.insert(*n);
+            order.push(key);
+            *n += 1;
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&ev);
+    };
+
+    // metadata: process and thread names
+    for (pid, name) in [(WALL_PID, "wall time"), (CYCLES_PID, "PIM cycles")] {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":{}}}}}",
+                json::escaped(name)
+            ),
+        );
+    }
+    push(
+        &mut out,
+        &mut first,
+        format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{WALL_PID},\"tid\":{LOG_TID},\"args\":{{\"name\":\"log\"}}}}"
+        ),
+    );
+    for &(pid, track) in &order {
+        let tid = tids[&(pid, track)];
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+                json::escaped(track)
+            ),
+        );
+    }
+
+    for s in &snap.spans {
+        let pid = pid_of(s.domain);
+        let tid = tids[&(pid, s.track.as_str())];
+        let (ts, dur) = match s.domain {
+            // wall ns -> trace µs with ns precision kept as decimals
+            TimeDomain::Wall => (us(s.start), us(s.dur)),
+            // one trace µs per cycle: the axis reads in cycles
+            TimeDomain::Cycles => (format!("{}", s.start), format!("{}", s.dur)),
+        };
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":{{",
+            json::escaped(&s.name),
+            json::escaped(domain_cat(s.domain)),
+        );
+        let mut first_arg = true;
+        if let Some(f) = s.frame {
+            let _ = write!(ev, "\"frame\":{f}");
+            first_arg = false;
+        }
+        for (k, v) in &s.args {
+            if !first_arg {
+                ev.push(',');
+            }
+            first_arg = false;
+            json::push_str_escaped(&mut ev, k);
+            ev.push(':');
+            json::push_str_escaped(&mut ev, v);
+        }
+        ev.push_str("}}");
+        push(&mut out, &mut first, ev);
+    }
+
+    for e in &snap.logs {
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{WALL_PID},\"tid\":{LOG_TID},\"args\":{{",
+            json::escaped(&e.message),
+            json::escaped(e.severity.as_str()),
+            us(e.ts_ns),
+        );
+        let mut first_arg = true;
+        if let Some(f) = e.frame {
+            let _ = write!(ev, "\"frame\":{f}");
+            first_arg = false;
+        }
+        for (k, v) in &e.fields {
+            if !first_arg {
+                ev.push(',');
+            }
+            first_arg = false;
+            json::push_str_escaped(&mut ev, k);
+            ev.push(':');
+            json::push_str_escaped(&mut ev, v);
+        }
+        ev.push_str("}}");
+        push(&mut out, &mut first, ev);
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn pid_of(domain: TimeDomain) -> u32 {
+    match domain {
+        TimeDomain::Wall => WALL_PID,
+        TimeDomain::Cycles => CYCLES_PID,
+    }
+}
+
+fn domain_cat(domain: TimeDomain) -> &'static str {
+    match domain {
+        TimeDomain::Wall => "wall",
+        TimeDomain::Cycles => "cycles",
+    }
+}
+
+/// Nanoseconds rendered as microseconds with fixed three decimals
+/// (deterministic formatting).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{LogRecord, Severity, SpanRecord};
+
+    fn span(domain: TimeDomain, track: &str, name: &str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            domain,
+            track: track.to_string(),
+            name: name.to_string(),
+            start,
+            dur,
+            frame: Some(3),
+            args: vec![("k".to_string(), "v".to_string())],
+        }
+    }
+
+    #[test]
+    fn exports_both_domains_with_metadata() {
+        let snap = TelemetrySnapshot {
+            spans: vec![
+                span(TimeDomain::Wall, "tracker", "frame", 1_500, 2_000),
+                span(TimeDomain::Cycles, "pool", "lpf", 10, 90),
+            ],
+            logs: vec![LogRecord {
+                ts_ns: 2_000,
+                severity: Severity::Warn,
+                frame: Some(3),
+                message: "degraded".to_string(),
+                fields: vec![],
+            }],
+            ..Default::default()
+        };
+        let s = export(&snap);
+        assert!(s.contains("\"traceEvents\""));
+        assert!(s.contains("\"name\":\"process_name\""));
+        assert!(s.contains("\"name\":\"PIM cycles\""));
+        assert!(s.contains("\"ts\":1.500,\"dur\":2.000,\"pid\":1"));
+        assert!(s.contains("\"ts\":10,\"dur\":90,\"pid\":2"));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"frame\":3"));
+        // track lanes are named
+        assert!(s.contains("\"args\":{\"name\":\"tracker\"}"));
+        assert!(s.contains("\"args\":{\"name\":\"pool\"}"));
+    }
+
+    #[test]
+    fn deterministic_for_same_snapshot() {
+        let snap = TelemetrySnapshot {
+            spans: vec![span(TimeDomain::Cycles, "shard 0", "nms", 0, 5)],
+            ..Default::default()
+        };
+        assert_eq!(export(&snap), export(&snap));
+    }
+}

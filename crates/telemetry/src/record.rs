@@ -1,0 +1,133 @@
+//! Recorded data: spans, log events and their JSONL serialization.
+
+use crate::json;
+use crate::TelemetrySnapshot;
+
+/// Which clock a span's `start`/`dur` are measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimeDomain {
+    /// Host nanoseconds from the registry's [`crate::Clock`].
+    Wall,
+    /// Simulated PIM cycles (`ExecStats::cycles` /
+    /// `PimArrayPool::wall_cycles` deltas).
+    Cycles,
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Time domain of `start` and `dur`.
+    pub domain: TimeDomain,
+    /// Track (rendered as a thread lane in Perfetto); spans on one
+    /// track nest by time containment.
+    pub track: String,
+    /// Span name.
+    pub name: String,
+    /// Start time: nanoseconds ([`TimeDomain::Wall`]) or cycles.
+    pub start: u64,
+    /// Duration in the same unit as `start`.
+    pub dur: u64,
+    /// Frame id current when the span was recorded.
+    pub frame: Option<u64>,
+    /// Key/value arguments shown by the trace viewer.
+    pub args: Vec<(String, String)>,
+}
+
+/// Severity of a structured log event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Routine progress.
+    Info,
+    /// Degradation that recovery is expected to absorb.
+    Warn,
+    /// Loss of service (tracking lost, pool exhausted).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One structured event in the JSONL log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Wall timestamp, nanoseconds from the registry clock.
+    pub ts_ns: u64,
+    /// Event severity.
+    pub severity: Severity,
+    /// Frame id current when the event was recorded.
+    pub frame: Option<u64>,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured fields.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Serializes the snapshot's log as JSON Lines: one object per event
+/// with `ts_ns`, `severity`, `frame` (when known), `msg` and every
+/// structured field inlined.
+pub fn export_jsonl(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for e in &snap.logs {
+        out.push('{');
+        out.push_str(&format!("\"ts_ns\":{}", e.ts_ns));
+        out.push_str(",\"severity\":");
+        json::push_str_escaped(&mut out, e.severity.as_str());
+        if let Some(f) = e.frame {
+            out.push_str(&format!(",\"frame\":{f}"));
+        }
+        out.push_str(",\"msg\":");
+        json::push_str_escaped(&mut out, &e.message);
+        for (k, v) in &e.fields {
+            out.push(',');
+            json::push_str_escaped(&mut out, k);
+            out.push(':');
+            json::push_str_escaped(&mut out, v);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let snap = TelemetrySnapshot {
+            logs: vec![
+                LogRecord {
+                    ts_ns: 5,
+                    severity: Severity::Info,
+                    frame: Some(1),
+                    message: "frame ok".to_string(),
+                    fields: vec![("features".to_string(), "120".to_string())],
+                },
+                LogRecord {
+                    ts_ns: 9,
+                    severity: Severity::Error,
+                    frame: None,
+                    message: "lost".to_string(),
+                    fields: vec![],
+                },
+            ],
+            ..Default::default()
+        };
+        let s = export_jsonl(&snap);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"ts_ns\":5,\"severity\":\"info\",\"frame\":1,\"msg\":\"frame ok\",\"features\":\"120\"}"
+        );
+        assert!(lines[1].contains("\"severity\":\"error\""));
+    }
+}

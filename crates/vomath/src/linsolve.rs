@@ -33,10 +33,7 @@ impl std::error::Error for LinSolveError {}
 pub fn solve_sym6(a: &[[f64; 6]; 6], b: &[f64; 6]) -> Result<[f64; 6], LinSolveError> {
     let mut m = *a;
     let mut rhs = *b;
-    let scale = m
-        .iter()
-        .flatten()
-        .fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    let scale = m.iter().flatten().fold(0.0f64, |acc, &v| acc.max(v.abs()));
     if !(scale.is_finite()) || scale == 0.0 {
         return Err(LinSolveError::Singular);
     }

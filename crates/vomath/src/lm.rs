@@ -268,7 +268,11 @@ mod tests {
         let src: Vec<Vec3> = (0..30)
             .map(|i| {
                 let f = i as f64;
-                Vec3::new((f * 0.37).sin() * 2.0, (f * 0.61).cos() * 1.5, 2.0 + (f * 0.13).sin())
+                Vec3::new(
+                    (f * 0.37).sin() * 2.0,
+                    (f * 0.61).cos() * 1.5,
+                    2.0 + (f * 0.13).sin(),
+                )
             })
             .collect();
         let dst: Vec<Vec3> = src.iter().map(|&p| truth.transform(p)).collect();

@@ -23,7 +23,9 @@ impl SO3 {
         if theta < 1e-12 {
             // second-order series keeps exp/log consistent near zero
             let k = Mat3::hat(w);
-            let r = Mat3::IDENTITY.add_mat(&k).add_mat(&k.mul_mat(&k).scale(0.5));
+            let r = Mat3::IDENTITY
+                .add_mat(&k)
+                .add_mat(&k.mul_mat(&k).scale(0.5));
             return SO3 { r };
         }
         let k = Mat3::hat(w.scale(1.0 / theta));

@@ -23,8 +23,8 @@ fn main() {
         let mut worst_t: f64 = 0.0;
         let mut prev_time = frames[0].time;
         for f in &frames {
-            let delta = (use_gyro && f.time > prev_time)
-                .then(|| integrate_gyro(&imu, prev_time, f.time));
+            let delta =
+                (use_gyro && f.time > prev_time).then(|| integrate_gyro(&imu, prev_time, f.time));
             let r = tracker.process_frame_with_gyro(&f.gray, &f.depth, delta);
             // compare against the first-pose-aligned ground truth
             let gt_rel = frames[0].gt_wc.inverse().compose(&f.gt_wc);
@@ -35,7 +35,11 @@ fn main() {
         }
         println!(
             "{}: worst rotation error {:.4} rad, worst translation error {:.4} m",
-            if use_gyro { "gyro-aided " } else { "vision-only" },
+            if use_gyro {
+                "gyro-aided "
+            } else {
+                "vision-only"
+            },
             worst_rot,
             worst_t
         );

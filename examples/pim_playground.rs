@@ -32,11 +32,7 @@ fn main() {
     m.min(Row(0), Row(1));
     let min2 = m.tmp_lanes()[..2].to_vec();
     m.max(Row(0), Row(1));
-    println!(
-        "Fig.7-b min = {:?}, max = {:?}",
-        min2,
-        &m.tmp_lanes()[..2]
-    );
+    println!("Fig.7-b min = {:?}, max = {:?}", min2, &m.tmp_lanes()[..2]);
 
     // Fig. 7-c: multiplication 13 x 11 = 143 (n+2 cycles at 8 bits)
     m.host_write_lanes(2, &[13]).unwrap();
@@ -86,8 +82,10 @@ fn main() {
     // the ledger
     let s = m.stats();
     let e = s.energy(&CostModel::default());
-    println!("ledger: {} cycles, {} SRAM reads, {} writes, {} Tmp accesses",
-        s.cycles, s.sram_reads, s.sram_writes, s.tmp_accesses);
+    println!(
+        "ledger: {} cycles, {} SRAM reads, {} writes, {} Tmp accesses",
+        s.cycles, s.sram_reads, s.sram_writes, s.tmp_accesses
+    );
     println!(
         "energy: {:.1} nJ (SRAM {:.0} %, datapath {:.0} %)",
         e.total_pj() / 1e3,

@@ -1,40 +1,70 @@
 //! Full sequence tracking with evaluation: generates one of the three
 //! synthetic sequence profiles, tracks it with the chosen backend, and
 //! reports RPE/ATE plus the backend's cycle/energy bill. Optionally
-//! writes the trajectories in TUM format.
+//! writes the trajectories in TUM format and, with the telemetry
+//! flags, a Perfetto trace / metrics snapshot / JSONL event log of the
+//! whole run.
 //!
 //! ```sh
 //! cargo run --release --example track_sequence -- desk pim 90
 //! cargo run --release --example track_sequence -- xyz float 60 out/ 3   # 3 pyramid levels
+//! cargo run --release --example track_sequence -- desk pim 30 \
+//!     --trace-out trace.json --metrics-out metrics.txt --log-jsonl events.jsonl
 //! ```
+//!
+//! Open `trace.json` at <https://ui.perfetto.dev> to see the
+//! frame → stage → pool-phase → shard span hierarchy in both the
+//! wall-time and PIM-cycle tracks.
 
 use pimvo::core::{BackendKind, Tracker, TrackerConfig};
 use pimvo::scene::{ate_rmse, format_tum, rpe_rmse, Sequence, SequenceKind, Trajectory};
+use pimvo::telemetry::Telemetry;
 use std::env;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: track_sequence [xyz|desk|str_ntex_far|pan] [float|pim] [frames>=2] [out_dir] [pyramid_levels]"
+        "usage: track_sequence [xyz|desk|str_ntex_far|pan] [float|pim] [frames>=2] \
+         [out_dir] [pyramid_levels]\n       \
+         [--trace-out FILE] [--metrics-out FILE] [--log-jsonl FILE]"
     );
     std::process::exit(2)
 }
 
 fn main() {
-    let args: Vec<String> = env::args().collect();
-    let kind = match args.get(1).map(String::as_str) {
+    // split "--flag value" pairs from the positional arguments
+    let mut positional: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut log_jsonl: Option<String> = None;
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut flag = |dst: &mut Option<String>| match args.next() {
+            Some(v) => *dst = Some(v),
+            None => usage(),
+        };
+        match a.as_str() {
+            "--trace-out" => flag(&mut trace_out),
+            "--metrics-out" => flag(&mut metrics_out),
+            "--log-jsonl" => flag(&mut log_jsonl),
+            "--help" | "-h" => usage(),
+            _ => positional.push(a),
+        }
+    }
+
+    let kind = match positional.first().map(String::as_str) {
         Some("xyz") | None => SequenceKind::Xyz,
         Some("desk") => SequenceKind::Desk,
         Some("str_ntex_far") => SequenceKind::StrNtexFar,
         Some("pan") => SequenceKind::Pan,
         Some(_) => usage(),
     };
-    let backend = match args.get(2).map(String::as_str) {
+    let backend = match positional.get(1).map(String::as_str) {
         Some("float") => BackendKind::Float,
         Some("pim") | None => BackendKind::Pim,
         Some(_) => usage(),
     };
-    let frames: usize = args
-        .get(3)
+    let frames: usize = positional
+        .get(2)
         .map(|a| a.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(90);
     if frames < 2 {
@@ -42,8 +72,8 @@ fn main() {
         usage();
     }
 
-    let levels: usize = args
-        .get(5)
+    let levels: usize = positional
+        .get(4)
         .map(|a| a.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(1);
 
@@ -52,10 +82,17 @@ fn main() {
 
     let config = TrackerConfig {
         pyramid_levels: levels,
-        build_map: args.get(4).is_some(), // reconstruct when exporting
+        build_map: positional.get(3).is_some(), // reconstruct when exporting
         ..TrackerConfig::default()
     };
     let mut tracker = Tracker::new(config, backend);
+    let telemetry = if trace_out.is_some() || metrics_out.is_some() || log_jsonl.is_some() {
+        let t = Telemetry::new();
+        tracker.set_telemetry(t.clone());
+        Some(t)
+    } else {
+        None
+    };
     let mut estimate = Trajectory::new();
     let mut keyframes = 0;
     for f in &seq.frames {
@@ -69,8 +106,14 @@ fn main() {
     println!();
     println!("backend        : {backend:?}");
     println!("keyframes      : {keyframes}");
-    println!("RPE (1 s)      : {:.4} m/s, {:.3} °/s", rpe.trans_mps, rpe.rot_dps);
-    println!("ATE RMSE       : {ate:.4} m over a {:.2} m path", seq.ground_truth.path_length());
+    println!(
+        "RPE (1 s)      : {:.4} m/s, {:.3} °/s",
+        rpe.trans_mps, rpe.rot_dps
+    );
+    println!(
+        "ATE RMSE       : {ate:.4} m over a {:.2} m path",
+        seq.ground_truth.path_length()
+    );
 
     let stats = tracker.stats();
     println!(
@@ -84,7 +127,7 @@ fn main() {
     let fps = 216.0e6 / ((stats.total_cycles() as f64) / stats.frames.max(1) as f64);
     println!("throughput     : {fps:.0} frames/s at a 216 MHz clock");
 
-    if let Some(dir) = args.get(4) {
+    if let Some(dir) = positional.get(3) {
         std::fs::create_dir_all(dir).expect("create output dir");
         let est = format!("{dir}/{}_estimate.txt", kind.name());
         let gt = format!("{dir}/{}_groundtruth.txt", kind.name());
@@ -108,5 +151,20 @@ fn main() {
         )
         .expect("write plot");
         println!("wrote {svg}");
+    }
+
+    if let Some(t) = telemetry {
+        if let Some(path) = trace_out {
+            std::fs::write(&path, t.perfetto_json()).expect("write trace");
+            println!("wrote {path} (open at https://ui.perfetto.dev)");
+        }
+        if let Some(path) = metrics_out {
+            std::fs::write(&path, t.metrics_text()).expect("write metrics");
+            println!("wrote {path}");
+        }
+        if let Some(path) = log_jsonl {
+            std::fs::write(&path, t.log_jsonl()).expect("write event log");
+            println!("wrote {path}");
+        }
     }
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable benchmark snapshots (BENCH_*.json)
+# at the repo root. Runs a reduced frame count so the cycle-accurate
+# simulation stays affordable; pass a frame count to override.
+#
+#   scripts/bench_snapshot.sh [frames]
+#
+# exp_all writes one BENCH_<experiment>.json per experiment plus
+# BENCH_summary.json; the fault build adds BENCH_fault_sweep.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRAMES="${1:-30}"
+
+cargo run --release -p pimvo-bench --bin exp_all -- "$FRAMES" --out .
+cargo run --release -p pimvo-bench --features fault --bin fault_sweep -- 10
+
+echo
+echo "bench snapshot written:"
+ls -1 BENCH_*.json

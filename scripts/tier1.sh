@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: what every PR must keep green.
 #
-#   build (release) -> workspace tests -> fault-feature tests -> clippy
+#   fmt check -> build (release) -> workspace tests -> fault-feature
+#   tests -> clippy (-D warnings)
 #
-# Clippy is advisory (soft-fail): a lint regression prints a warning but
-# does not fail the gate, so toolchain lint churn cannot block a merge.
-# Everything before it is mandatory.
+# Every step is mandatory. The formatter and clippy gates run the
+# pinned workspace toolchain, so lint results are reproducible.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,16 +19,12 @@ step() {
     fi
 }
 
+step cargo fmt --check
 step cargo build --release
 step cargo test -q --workspace
 # the fault-injection layer is feature-gated off by default; test it too
 step cargo test -q --features fault -p pimvo-pim -p pimvo-core
-
-echo
-echo "==> cargo clippy --all-targets -- -D warnings (advisory)"
-if ! cargo clippy --all-targets -- -D warnings; then
-    echo "WARNING: clippy reported lints (advisory, not failing tier-1)" >&2
-fi
+step cargo clippy --all-targets --all-features -- -D warnings
 
 if [ "$fail" -ne 0 ]; then
     echo

@@ -25,7 +25,11 @@ fn tracks_textured_sequence_with_low_drift() {
     assert!(keyframes >= 1);
     // ~1.5 cm/s drift budget on the rich-texture profile (the paper's
     // regime is 0.02-0.04 m/s on real TUM data)
-    assert!(rpe.trans_mps < 0.03, "translational drift {}", rpe.trans_mps);
+    assert!(
+        rpe.trans_mps < 0.03,
+        "translational drift {}",
+        rpe.trans_mps
+    );
     assert!(rpe.rot_dps < 1.0, "rotational drift {}", rpe.rot_dps);
 }
 

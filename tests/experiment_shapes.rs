@@ -48,7 +48,11 @@ fn lm_speedup_and_overall_shape() {
     assert!(features.len() > 2000, "features {}", features.len());
     let floats: Vec<FloatFeature> = features
         .iter()
-        .map(|f| FloatFeature { a: f.a, b: f.b, c: f.c })
+        .map(|f| FloatFeature {
+            a: f.a,
+            b: f.b,
+            c: f.c,
+        })
         .collect();
     let kf = Keyframe::build(0, SE3::IDENTITY, maps.mask.clone(), &cam);
     counter.reset();
@@ -60,8 +64,10 @@ fn lm_speedup_and_overall_shape() {
     let _ = pim_opt::edge_detect(&mut m, &gray, &cfg);
     let pim_edge = m.stats().cycles - c0;
     let qpose = pimvo::core::QPose::quantize(&SE3::IDENTITY);
-    let qfeats: Vec<pimvo::core::QFeature> =
-        features.iter().map(pimvo::core::QFeature::quantize).collect();
+    let qfeats: Vec<pimvo::core::QFeature> = features
+        .iter()
+        .map(pimvo::core::QFeature::quantize)
+        .collect();
     let c1 = m.stats().cycles;
     let _ = pimvo::core::pim_exec::run_batch(
         &mut m,
@@ -109,7 +115,11 @@ fn energy_shape() {
     let e = pim.energy(&CostModel::default());
     assert!(e.sram_share() > 0.75, "SRAM share {}", e.sram_share());
     let mem = pim.mem_accesses();
-    assert!(mem.write_share() < 0.10, "write share {}", mem.write_share());
+    assert!(
+        mem.write_share() < 0.10,
+        "write share {}",
+        mem.write_share()
+    );
 }
 
 #[test]

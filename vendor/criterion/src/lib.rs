@@ -74,21 +74,34 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs and reports one benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
         let id = id.into();
         // warm-up pass, then the timed samples
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
         for _ in 0..self.sample_size {
-            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             total += b.elapsed;
             iters += b.iters;
         }
         let mean = total.as_nanos() as f64 / iters.max(1) as f64;
-        println!("{}/{}: mean {:.1} ns/iter ({} samples)", self.name, id, mean, self.sample_size);
+        println!(
+            "{}/{}: mean {:.1} ns/iter ({} samples)",
+            self.name, id, mean, self.sample_size
+        );
         self
     }
 
@@ -103,11 +116,19 @@ pub struct Criterion {}
 impl Criterion {
     /// Begins a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: 10, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
     }
 
     /// Runs one stand-alone benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         self.benchmark_group("bench").bench_function(id, f);
         self
     }

@@ -118,7 +118,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -141,7 +144,12 @@ pub mod collection {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = self.size.hi - self.size.lo;
-            let len = self.size.lo + if span > 1 { rng.next_u64() as usize % span } else { 0 };
+            let len = self.size.lo
+                + if span > 1 {
+                    rng.next_u64() as usize % span
+                } else {
+                    0
+                };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
