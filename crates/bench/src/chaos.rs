@@ -1,0 +1,469 @@
+//! Deterministic chaos-soak harness for the supervisor/recovery layer.
+//!
+//! [`run_chaos`] drives a [`Tracker`] over a procedurally generated
+//! sequence while a seeded RNG interleaves the failure modes the
+//! robustness PR is supposed to survive:
+//!
+//! * **kill-and-restore** — the tracker is dropped and a fresh one is
+//!   restored from the last on-disk checkpoint;
+//! * **checkpoint corruption** — a random bit of the snapshot file is
+//!   flipped, so the next restore must fail with a typed
+//!   [`pimvo_core::CheckpointError`] and fall back to re-initialization;
+//! * **budget squeezes** — the per-frame cycle budget is slashed for a
+//!   few frames, forcing the tracker down the degradation ladder;
+//! * **quarantine storms** — a subset of PIM arrays is quarantined and
+//!   later released (PIM backend only);
+//! * **fault bursts** — a transient bit-upset model is attached to one
+//!   array for a few frames. The model is installed on every build so
+//!   the RNG stream is identical with and without the `fault` feature;
+//!   actual upsets are only injected when the feature is enabled.
+//!
+//! After every frame the harness checks the invariants shared with the
+//! core test-suite: the pose stays finite, the
+//! [`TrackingState`] transition is legal per
+//! [`pimvo_core::transition_legal`], and backend cycle counters are
+//! monotonic within a tracker incarnation.
+//!
+//! Everything — frames, event schedule, corruption offsets — derives
+//! from [`ChaosConfig::seed`] through [`SplitMix64`], and the report
+//! carries no wall-clock measurements, so the emitted
+//! `BENCH_chaos_soak.json` is byte-identical for a fixed seed.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use pimvo_core::checkpoint::pose_finite;
+use pimvo_core::{
+    transition_legal, BackendKind, CheckpointError, FrameResult, PimBackend, Tracker,
+    TrackerConfig, TrackingState,
+};
+use pimvo_kernels::{DepthImage, GrayImage};
+use pimvo_pim::FaultModel;
+use pimvo_vomath::Pinhole;
+
+use crate::sink::BenchReport;
+
+/// Sebastiano Vigna's SplitMix64 — a tiny, zero-dependency PRNG with a
+/// 64-bit state. Used for every chaos decision so a seed fully
+/// determines the run.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose whole future is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`; modulo bias is irrelevant at
+    /// the event rates used here).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Parameters of a chaos-soak run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for every chaos decision and procedural frame.
+    pub seed: u64,
+    /// Number of frames to drive.
+    pub frames: usize,
+    /// Backend under test.
+    pub backend: BackendKind,
+    /// PIM arrays in the pool (PIM backend only).
+    pub arrays: usize,
+    /// Periodic checkpoint interval in frames (0 disables periodic
+    /// snapshots, which also disables kill-and-restore).
+    pub checkpoint_every: usize,
+    /// Scratch directory for checkpoint files. Its path never enters
+    /// the report, so it does not affect determinism.
+    pub workdir: PathBuf,
+}
+
+impl ChaosConfig {
+    /// A run with the default event mix.
+    pub fn new(seed: u64, frames: usize, workdir: impl Into<PathBuf>) -> Self {
+        ChaosConfig {
+            seed,
+            frames,
+            backend: BackendKind::Pim,
+            arrays: 4,
+            checkpoint_every: 25,
+            workdir: workdir.into(),
+        }
+    }
+}
+
+/// Outcome of a chaos-soak run: the deterministic report plus any
+/// invariant violations (empty on a healthy run).
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Deterministic metrics; serialize with [`BenchReport::to_json`].
+    pub report: BenchReport,
+    /// Human-readable invariant violations, in frame order.
+    pub violations: Vec<String>,
+}
+
+impl ChaosOutcome {
+    /// True when every per-frame invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The tracker configuration used by the soak: a quarter-QVGA camera
+/// so a 500-frame PIM run stays cheap.
+pub fn chaos_tracker_config() -> TrackerConfig {
+    TrackerConfig {
+        camera: Pinhole::qvga().halved(),
+        max_features: 3000,
+        ..TrackerConfig::default()
+    }
+}
+
+/// Procedural textured-wall frame `i` of the chaos sequence: a fixed
+/// multi-frequency texture at 2 m depth, translated laterally by a
+/// smooth deterministic shift.
+pub fn chaos_frame(cam: &Pinhole, i: usize) -> (GrayImage, DepthImage) {
+    let shift = (i as f64 * 0.23).sin() * 2.5;
+    let gray = GrayImage::from_fn(cam.width, cam.height, |x, y| {
+        let xs = x as f64 + shift;
+        let v = ((xs * 0.55).sin()
+            + (y as f64 * 0.41).sin()
+            + (xs * 0.13).sin() * (y as f64 * 0.09).cos())
+            * 50.0
+            + 120.0;
+        v.clamp(0.0, 255.0) as u8
+    });
+    let depth = DepthImage::from_fn(cam.width, cam.height, |_, _| 2.0);
+    (gray, depth)
+}
+
+/// Per-frame invariants shared with the core supervision tests: finite
+/// pose and a legal [`TrackingState`] transition. Returns a
+/// human-readable description per violated invariant.
+pub fn check_frame(
+    prev_state: TrackingState,
+    result: &FrameResult,
+    max_bad_frames: usize,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !pose_finite(&result.pose_wc) {
+        violations.push(format!("frame {}: non-finite pose_wc", result.index));
+    }
+    if !transition_legal(prev_state, result.state, max_bad_frames) {
+        violations.push(format!(
+            "frame {}: illegal transition {:?} -> {:?}",
+            result.index, prev_state, result.state
+        ));
+    }
+    violations
+}
+
+fn make_tracker(cfg: &ChaosConfig, tracker_cfg: &TrackerConfig) -> Tracker {
+    match cfg.backend {
+        BackendKind::Pim => Tracker::with_backend(
+            tracker_cfg.clone(),
+            Box::new(PimBackend::with_pool(cfg.arrays)),
+        ),
+        _ => Tracker::new(tracker_cfg.clone(), cfg.backend),
+    }
+}
+
+fn ckpt_io(e: CheckpointError) -> io::Error {
+    match e {
+        CheckpointError::Io(e) => e,
+        other => io::Error::other(other.to_string()),
+    }
+}
+
+/// Flips one RNG-chosen bit of the file at `path`.
+fn corrupt_file(path: &PathBuf, rng: &mut SplitMix64) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let offset = rng.below(bytes.len() as u64) as usize;
+    let bit = rng.below(8) as u8;
+    bytes[offset] ^= 1 << bit;
+    fs::write(path, bytes)
+}
+
+fn backend_name(kind: BackendKind) -> &'static str {
+    match kind {
+        BackendKind::Float => "float",
+        BackendKind::Pim => "pim",
+    }
+}
+
+/// Drives the chaos soak described in the module docs. The only
+/// fallible operations are checkpoint-file reads/writes in
+/// `cfg.workdir`; every tracker-level failure (typed checkpoint
+/// rejection, quarantine exhaustion, deadline overrun) is part of the
+/// experiment and recorded rather than propagated.
+pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
+    fs::create_dir_all(&cfg.workdir)?;
+    let tracker_cfg = chaos_tracker_config();
+    let cam = tracker_cfg.camera;
+    let max_bad = tracker_cfg.recovery.max_bad_frames;
+    let ckpt_path = cfg.workdir.join(format!("chaos_{:016x}.ckpt", cfg.seed));
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut tracker = make_tracker(cfg, &tracker_cfg);
+
+    let mut have_ckpt = false;
+    let mut squeeze_left = 0usize;
+    let mut storm_left = 0usize;
+    let mut burst_left = 0usize;
+    let mut burst_array = 0usize;
+
+    let mut restores = 0u64;
+    let mut reinits = 0u64;
+    let mut corruptions = 0u64;
+    let mut typed_rejections = 0u64;
+    let mut squeezes = 0u64;
+    let mut storms = 0u64;
+    let mut bursts = 0u64;
+    let mut ok_frames = 0u64;
+    let mut degraded_frames = 0u64;
+    let mut lost_frames = 0u64;
+    let mut keyframes = 0u64;
+
+    let mut prev_state = tracker.state();
+    let mut prev_cycles = 0u64;
+    let mut frame_cycles_ema = 0u64;
+    let mut violations = Vec::new();
+
+    for i in 0..cfg.frames {
+        // Periodic snapshot — the restart point for later kills.
+        if cfg.checkpoint_every > 0 && i > 0 && i % cfg.checkpoint_every == 0 {
+            tracker.save_checkpoint(&ckpt_path).map_err(ckpt_io)?;
+            have_ckpt = true;
+        }
+
+        // Snapshot corruption: flip a bit so the *next* restore must be
+        // rejected with a typed error.
+        if have_ckpt && rng.chance(1, 47) {
+            corrupt_file(&ckpt_path, &mut rng)?;
+            corruptions += 1;
+        }
+
+        // Kill-and-restore: drop the live tracker, bring up a fresh one
+        // from disk. A rejected (corrupt) snapshot must never panic —
+        // the harness falls back to re-initialization, exactly like a
+        // supervisor would.
+        if have_ckpt && rng.chance(1, 31) {
+            let mut fresh = make_tracker(cfg, &tracker_cfg);
+            match fresh.restore_from_file(&ckpt_path) {
+                Ok(()) => restores += 1,
+                Err(_typed) => {
+                    typed_rejections += 1;
+                    reinits += 1;
+                    have_ckpt = false;
+                }
+            }
+            tracker = fresh;
+            prev_state = tracker.state();
+            prev_cycles = 0;
+        }
+
+        // Budget squeeze: slash the per-frame cycle budget to a
+        // fraction of the recently observed frame cost for a few
+        // frames, then lift it again. Scaling to the observed cost
+        // (rather than an absolute number) makes the squeeze bite on
+        // both backends, whose per-frame cycle counts differ by orders
+        // of magnitude.
+        if squeeze_left == 0 && rng.chance(1, 23) {
+            squeeze_left = 4 + rng.below(8) as usize;
+            let typical = frame_cycles_ema.max(1);
+            tracker.set_frame_budget_cycles(Some(typical / 4 + rng.below(typical)));
+            squeezes += 1;
+        } else if squeeze_left > 0 {
+            squeeze_left -= 1;
+            if squeeze_left == 0 {
+                tracker.set_frame_budget_cycles(None);
+            }
+        }
+
+        if let Some(pool) = tracker.pool_mut() {
+            // Quarantine storm: sideline some arrays (always leaving at
+            // least one healthy) and release them a few frames later.
+            if storm_left == 0 && rng.chance(1, 29) {
+                let n = pool.len();
+                let k = 1 + rng.below(n.saturating_sub(1).max(1) as u64) as usize;
+                for j in 0..k.min(n.saturating_sub(1)) {
+                    let _ = pool.try_quarantine(j);
+                }
+                storm_left = 3 + rng.below(6) as usize;
+                storms += 1;
+            } else if storm_left > 0 {
+                storm_left -= 1;
+                if storm_left == 0 {
+                    for j in 0..pool.len() {
+                        let _ = pool.unquarantine(j);
+                    }
+                }
+            }
+
+            // Fault burst: attach a transient upset model to one array.
+            // The model is installed unconditionally (keeping the RNG
+            // stream build-independent); upsets only fire under the
+            // `fault` feature.
+            if burst_left == 0 && rng.chance(1, 37) {
+                burst_array = rng.below(pool.len() as u64) as usize;
+                let seed = rng.next_u64();
+                #[cfg(feature = "fault")]
+                let model = FaultModel::transient(seed, 1e-7);
+                #[cfg(not(feature = "fault"))]
+                let model = {
+                    let _ = seed;
+                    FaultModel::none()
+                };
+                pool.array_mut(burst_array).set_fault_model(model);
+                burst_left = 2 + rng.below(5) as usize;
+                bursts += 1;
+            } else if burst_left > 0 {
+                burst_left -= 1;
+                if burst_left == 0 {
+                    pool.array_mut(burst_array)
+                        .set_fault_model(FaultModel::none());
+                }
+            }
+        }
+
+        let (gray, depth) = chaos_frame(&cam, i);
+        let result = tracker.process_frame(&gray, &depth);
+
+        violations.extend(check_frame(prev_state, &result, max_bad));
+        let stats = tracker.stats();
+        let cycles = stats.edge_cycles + stats.lm_cycles;
+        if cycles < prev_cycles {
+            violations.push(format!(
+                "frame {}: cycle counter went backwards ({} -> {})",
+                result.index, prev_cycles, cycles
+            ));
+        }
+        let spent = cycles.saturating_sub(prev_cycles);
+        if spent > 0 {
+            frame_cycles_ema = if frame_cycles_ema == 0 {
+                spent
+            } else {
+                (frame_cycles_ema * 7 + spent) / 8
+            };
+        }
+        prev_cycles = cycles;
+        prev_state = result.state;
+        match result.state {
+            TrackingState::Ok => ok_frames += 1,
+            TrackingState::Degraded => degraded_frames += 1,
+            TrackingState::Lost => lost_frames += 1,
+        }
+        if result.is_keyframe {
+            keyframes += 1;
+        }
+    }
+
+    let budget = tracker.budget_status();
+    let stats = tracker.stats();
+    let t = tracker.checkpoint().pose_wc.translation;
+    let mut report = BenchReport::new("chaos_soak");
+    report
+        .note("seed", &format!("{:#018x}", cfg.seed))
+        .note("backend", backend_name(cfg.backend))
+        .metric("frames", cfg.frames as f64)
+        .metric("checkpoint_every", cfg.checkpoint_every as f64)
+        .metric("restores", restores as f64)
+        .metric("reinit_fallbacks", reinits as f64)
+        .metric("corruptions", corruptions as f64)
+        .metric("typed_rejections", typed_rejections as f64)
+        .metric("budget_squeezes", squeezes as f64)
+        .metric("quarantine_storms", storms as f64)
+        .metric("fault_bursts", bursts as f64)
+        .metric("frames_ok", ok_frames as f64)
+        .metric("frames_degraded", degraded_frames as f64)
+        .metric("frames_lost", lost_frames as f64)
+        .metric("keyframes", keyframes as f64)
+        .metric("deadline_misses", budget.deadline_misses as f64)
+        .metric("coasted_frames", budget.coasted_frames as f64)
+        .metric("final_cycles", (stats.edge_cycles + stats.lm_cycles) as f64)
+        .metric("final_energy_mj", stats.energy_mj)
+        .metric("final_translation_norm", t.norm())
+        .metric("invariant_violations", violations.len() as f64);
+
+    let _ = fs::remove_file(&ckpt_path);
+    Ok(ChaosOutcome { report, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pimvo_chaos_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = SplitMix64::new(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn chaos_soak_is_byte_identical_for_a_fixed_seed() {
+        let mut cfg = ChaosConfig::new(3, 40, temp_dir("det_a"));
+        cfg.backend = BackendKind::Float;
+        cfg.checkpoint_every = 8;
+        let a = run_chaos(&cfg).expect("run a");
+        cfg.workdir = temp_dir("det_b");
+        let b = run_chaos(&cfg).expect("run b");
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.report.to_json(), b.report.to_json());
+        assert!(a.report.metrics()["restores"] + a.report.metrics()["reinit_fallbacks"] > 0.0);
+        for d in [&cfg.workdir, &temp_dir("det_a")] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut cfg = ChaosConfig::new(1, 30, temp_dir("seed_a"));
+        cfg.backend = BackendKind::Float;
+        cfg.checkpoint_every = 6;
+        let a = run_chaos(&cfg).expect("run a");
+        cfg.seed = 2;
+        cfg.workdir = temp_dir("seed_b");
+        let b = run_chaos(&cfg).expect("run b");
+        assert!(a.passed() && b.passed());
+        assert_ne!(a.report.to_json(), b.report.to_json());
+        for d in [&temp_dir("seed_a"), &temp_dir("seed_b")] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+}

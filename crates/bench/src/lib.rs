@@ -123,5 +123,6 @@ mod tests {
     }
 }
 
+pub mod chaos;
 pub mod reports;
 pub mod sink;

@@ -64,6 +64,16 @@ pub trait TrackerBackend {
     /// model.
     fn detect_edges(&mut self, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps;
 
+    /// Edge detection with the NMS refinement pass skipped — the
+    /// deadline supervisor's [`crate::DegradeRung::SkipNmsRefinement`]
+    /// rung. The mask is the thresholded HPF response (`H > th2`, border
+    /// cleared): a superset of the refined mask at LPF + HPF cost only.
+    /// The default falls back to full detection, so backends without a
+    /// cheap path stay correct.
+    fn detect_edges_fast(&mut self, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
+        self.detect_edges(img, cfg)
+    }
+
     /// Downsamples an image by 2 (pyramid construction), charging the
     /// backend's cost model.
     fn downsample(&mut self, img: &GrayImage) -> GrayImage;
@@ -90,6 +100,13 @@ pub trait TrackerBackend {
         None
     }
 
+    /// Exclusive access to the backing array pool for backends that
+    /// have one (`None` on the MCU baseline). Checkpoint restore uses
+    /// it to re-import the quarantine set.
+    fn pool_mut(&mut self) -> Option<&mut PimArrayPool> {
+        None
+    }
+
     /// Attaches a telemetry handle. Backends with an array pool forward
     /// it so pool phases record spans and recovery events; the default
     /// implementation (MCU baseline) ignores it.
@@ -98,6 +115,19 @@ pub trait TrackerBackend {
     /// Publishes backend health as telemetry gauges (pool health for
     /// PIM backends). Default: no-op.
     fn export_health_telemetry(&self) {}
+}
+
+/// Thresholded-HPF edge mask (`H > th2`, border cleared) — the skip-NMS
+/// degraded mask both backends share.
+fn threshold_hpf_mask(hpf: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
+    let data = hpf
+        .pixels()
+        .iter()
+        .map(|&p| if p > cfg.th2 { 255 } else { 0 })
+        .collect();
+    let mut mask = GrayImage::from_raw(hpf.width(), hpf.height(), data);
+    mask.clear_border(cfg.border);
+    mask
 }
 
 /// The PicoVO-class baseline backend.
@@ -124,6 +154,38 @@ impl TrackerBackend for FloatBackend {
         self.edge_cycles += self.counter.cycles() - before;
         self.frames += 1;
         maps
+    }
+
+    fn detect_edges_fast(&mut self, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
+        let before = self.counter.cycles();
+        let lpf_map = pimvo_kernels::scalar::lpf(img);
+        let hpf_map = pimvo_kernels::scalar::hpf(&lpf_map);
+        let mask = threshold_hpf_mask(&hpf_map, cfg);
+        // the LPF and HPF charges mirror `pimvo_mcu::edge_detect_counted`;
+        // NMS is replaced by a 1-load compare/select threshold pass
+        let groups = ((img.width() as u64) / 4) * (img.height() as u64);
+        for _pass in 0..2 {
+            self.counter.load(3 * groups);
+            self.counter.alu(2 * groups);
+            self.counter.store(groups);
+            self.counter.branch(groups / 4);
+        }
+        self.counter.load(6 * groups);
+        self.counter.alu((4 * 2 + 3) * groups);
+        self.counter.store(groups);
+        self.counter.branch(groups / 4);
+        self.counter.load(groups);
+        self.counter.alu(2 * groups);
+        self.counter.store(groups);
+        self.counter.branch(groups / 4);
+        self.counter.call(3 * img.height() as u64);
+        self.edge_cycles += self.counter.cycles() - before;
+        self.frames += 1;
+        EdgeMaps {
+            lpf: lpf_map,
+            hpf: hpf_map,
+            mask,
+        }
     }
 
     fn downsample(&mut self, img: &GrayImage) -> GrayImage {
@@ -310,7 +372,13 @@ impl PimBackend {
             BATCH
         ];
         let _ = pim_exec::run_batch_with(m, base_row, &feats, pose, kf, cam, interp);
-        let delta = m.stats().since(&before);
+        // try_since: a restored checkpoint may have reset the machine's
+        // counters below the captured baseline; fall back to the
+        // absolute stats rather than panicking mid-calibration
+        let delta = m
+            .stats()
+            .try_since(&before)
+            .unwrap_or_else(|| m.stats().clone());
         // the calibration run itself should not count toward the
         // workload totals
         m.retract_stats(&delta);
@@ -332,6 +400,22 @@ impl TrackerBackend for PimBackend {
         self.edge_cycles += self.runner.pool().wall_cycles() - before;
         self.frames += 1;
         maps
+    }
+
+    fn detect_edges_fast(&mut self, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
+        let before = self.runner.pool().wall_cycles();
+        let lpf_map = pim_pool::lpf(self.runner.pool_mut(), img);
+        let hpf_map = pim_pool::hpf(self.runner.pool_mut(), &lpf_map);
+        self.edge_cycles += self.runner.pool().wall_cycles() - before;
+        self.frames += 1;
+        // the threshold runs host-side (a byte compare is not a PIM op)
+        // and is negligible next to the array phases; it charges nothing
+        let mask = threshold_hpf_mask(&hpf_map, cfg);
+        EdgeMaps {
+            lpf: lpf_map,
+            hpf: hpf_map,
+            mask,
+        }
     }
 
     fn downsample(&mut self, img: &GrayImage) -> GrayImage {
@@ -437,6 +521,10 @@ impl TrackerBackend for PimBackend {
 
     fn pool_health(&self) -> Option<pimvo_pim::PoolHealth> {
         Some(self.runner.pool().health())
+    }
+
+    fn pool_mut(&mut self) -> Option<&mut PimArrayPool> {
+        Some(self.runner.pool_mut())
     }
 
     fn set_telemetry(&mut self, telemetry: Telemetry) {
@@ -566,6 +654,36 @@ mod tests {
             s4.lm_cycles,
             s1.lm_cycles
         );
+    }
+
+    #[test]
+    fn fast_edges_superset_of_refined_and_cheaper() {
+        let (gray, _) = synthetic_frame();
+        let cfg = EdgeConfig::default();
+
+        let mut full_be = PimBackend::new();
+        let mut fast_be = PimBackend::new();
+        let full = full_be.detect_edges(&gray, &cfg);
+        let fast = fast_be.detect_edges_fast(&gray, &cfg);
+        // NMS only *removes* pixels from the thresholded-HPF response
+        for (m, f) in full.mask.pixels().iter().zip(fast.mask.pixels()) {
+            assert!(*m == 0 || *f == 255, "refined edge missing from fast mask");
+        }
+        assert!(
+            fast_be.stats().edge_cycles < full_be.stats().edge_cycles,
+            "{} vs {}",
+            fast_be.stats().edge_cycles,
+            full_be.stats().edge_cycles
+        );
+
+        let mut ffull = FloatBackend::new();
+        let mut ffast = FloatBackend::new();
+        let full_f = ffull.detect_edges(&gray, &cfg);
+        let fast_f = ffast.detect_edges_fast(&gray, &cfg);
+        // the float fast path produces the same mask as the PIM one
+        assert_eq!(fast_f.mask, fast.mask);
+        let _ = full_f;
+        assert!(ffast.stats().edge_cycles < ffull.stats().edge_cycles);
     }
 
     #[test]

@@ -1,0 +1,791 @@
+//! Versioned, checksummed tracker snapshots — zero-external-dep binary
+//! serialization for kill-and-restore.
+//!
+//! A [`Checkpoint`] captures everything the tracker needs to resume a
+//! sequence mid-stream: poses, motion prior, recovery state, the
+//! degradation-ladder rung, the keyframe edge masks (the quantized
+//! lookup tables are *rebuilt* deterministically from the masks by
+//! [`crate::Keyframe::build`], so the snapshot stays compact and the
+//! restored tables are bit-identical), the 3D map points, and the
+//! array pool's quarantine set. All floating-point state round-trips
+//! through `f64::to_bits`, so a restored run replays the uninterrupted
+//! run exactly.
+//!
+//! # On-disk format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "PIMVOCKP"
+//! 8       2     version (u16 LE)
+//! 10      8     config hash (u64 LE, FNV-1a over the estimator config)
+//! 18      8     payload length (u64 LE)
+//! 26      n     payload (see the field list in the source)
+//! 26+n    4     CRC-32 (IEEE) over bytes [0, 26+n)
+//! ```
+//!
+//! Writers are atomic: the file is written to a `.tmp` sibling and
+//! renamed into place, so a crash mid-write never leaves a truncated
+//! snapshot under the real name. Readers reject damage with typed
+//! [`CheckpointError`]s — wrong magic, unsupported version, truncation,
+//! checksum mismatch, config mismatch — and never panic on foreign
+//! bytes.
+
+use crate::supervisor::DegradeRung;
+use crate::tracker::TrackingState;
+use pimvo_kernels::GrayImage;
+use pimvo_vomath::{Mat3, Vec3, SE3, SO3};
+use std::fmt;
+use std::path::Path;
+
+/// Magic prefix of every checkpoint file.
+pub const MAGIC: [u8; 8] = *b"PIMVOCKP";
+/// Current (and only) format version.
+pub const VERSION: u16 = 1;
+/// Fixed header size: magic + version + config hash + payload length.
+const HEADER_LEN: usize = 8 + 2 + 8 + 8;
+/// Sanity bound on keyframe pyramid levels in a snapshot.
+const MAX_LEVELS: usize = 8;
+/// Sanity bound on image dimensions in a snapshot.
+const MAX_DIM: u32 = 1 << 14;
+
+/// Why a snapshot could not be written or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or writing the snapshot.
+    Io(std::io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        got: u16,
+        /// Highest version this build supports.
+        supported: u16,
+    },
+    /// The file ends before the announced payload (+ checksum) does.
+    Truncated {
+        /// Bytes the format required.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The stored CRC-32 does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the file.
+        computed: u32,
+    },
+    /// The snapshot was taken under a different tracker configuration.
+    ConfigMismatch {
+        /// Config hash stored in the snapshot.
+        snapshot: u64,
+        /// Config hash of the restoring tracker.
+        current: u64,
+    },
+    /// The payload is internally inconsistent (invalid enum tag,
+    /// non-finite pose, absurd dimensions, trailing bytes).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a pimvo checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion { got, supported } => {
+                write!(f, "checkpoint version {got} unsupported (max {supported})")
+            }
+            CheckpointError::Truncated { expected, got } => {
+                write!(f, "checkpoint truncated: need {expected} bytes, have {got}")
+            }
+            CheckpointError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checkpoint checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            CheckpointError::ConfigMismatch { snapshot, current } => {
+                write!(
+                    f,
+                    "checkpoint config hash {snapshot:#018x} does not match tracker {current:#018x}"
+                )
+            }
+            CheckpointError::Malformed(what) => write!(f, "checkpoint malformed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Keyframe state in a snapshot: the per-level edge masks plus the
+/// shared pose. Lookup tables (distance transform, gradients, quantized
+/// forms) are rebuilt deterministically on restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyframeSnapshot {
+    /// Frame index the keyframe was promoted at.
+    pub frame_index: usize,
+    /// World-from-keyframe pose.
+    pub pose_wk: SE3,
+    /// Per-pyramid-level binary edge masks (index 0 = full resolution).
+    pub masks: Vec<GrayImage>,
+}
+
+/// Map state in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapSnapshot {
+    /// Deduplication voxel size (meters).
+    pub voxel_m: f64,
+    /// World-frame map points.
+    pub points: Vec<Vec3>,
+}
+
+/// Array-pool health in a snapshot: the quarantine set and the pool's
+/// recovery counters (per-array fault counters describe the physical
+/// arrays' past and are not carried across a restore).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Which arrays were quarantined, in array order.
+    pub quarantined: Vec<bool>,
+    /// Shard retries performed.
+    pub retries: u64,
+    /// Shards re-dispatched after a quarantine.
+    pub redispatches: u64,
+    /// Shards accepted with detected-but-uncorrected errors.
+    pub dirty_accepted: u64,
+}
+
+/// A complete tracker snapshot — build with [`crate::Tracker::checkpoint`],
+/// apply with [`crate::Tracker::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Hash of the estimator configuration the snapshot was taken
+    /// under; restore refuses a mismatch.
+    pub config_hash: u64,
+    /// Next frame index the tracker will process.
+    pub frame_index: usize,
+    /// Tracking quality state.
+    pub state: TrackingState,
+    /// Consecutive bad frames in the current degraded stretch.
+    pub bad_frames: usize,
+    /// World-from-camera pose of the latest frame.
+    pub pose_wc: SE3,
+    /// Keyframe-from-camera pose of the latest frame.
+    pub pose_kc: SE3,
+    /// World-from-camera pose of the previous frame.
+    pub prev_pose_wc: SE3,
+    /// Constant-velocity motion prior.
+    pub motion: SE3,
+    /// Degradation-ladder rung the supervisor will start the next
+    /// frame at.
+    pub rung: DegradeRung,
+    /// Deadline misses accumulated so far.
+    pub deadline_misses: u64,
+    /// Frames coasted by the supervisor so far.
+    pub coasted_frames: u64,
+    /// Keyframe state (absent before bootstrap).
+    pub keyframes: Option<KeyframeSnapshot>,
+    /// 3D map state (absent when map building is off).
+    pub map: Option<MapSnapshot>,
+    /// Array-pool health (absent on backends without a pool).
+    pub pool: Option<PoolSnapshot>,
+}
+
+// ---------------------------------------------------------------- CRC32
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ------------------------------------------------------- config hashing
+
+/// FNV-1a accumulator for the config hash.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Deterministic, RNG-free hash of the *estimator* configuration —
+/// every field that affects what poses a sequence produces. The
+/// deadline budget is deliberately excluded: it is a runtime QoS knob
+/// (chaos harnesses and `--frame-budget-cycles` adjust it mid-run),
+/// and a snapshot taken under a squeezed budget must restore into a
+/// tracker whose budget has since changed.
+pub fn config_hash(cfg: &crate::TrackerConfig) -> u64 {
+    let mut h = Fnv::new();
+    // camera
+    h.f64(cfg.camera.f);
+    h.f64(cfg.camera.cx);
+    h.f64(cfg.camera.cy);
+    h.u64(cfg.camera.width as u64);
+    h.u64(cfg.camera.height as u64);
+    // edge thresholds
+    h.bytes(&[cfg.edge.th1, cfg.edge.th2]);
+    h.u64(cfg.edge.border as u64);
+    // LM solver
+    h.u64(cfg.lm.max_iterations as u64);
+    h.f64(cfg.lm.initial_lambda);
+    h.f64(cfg.lm.lambda_up);
+    h.f64(cfg.lm.lambda_down);
+    h.f64(cfg.lm.min_delta_norm);
+    h.f64(cfg.lm.min_rel_decrease);
+    h.f64(cfg.lm.lambda_max);
+    // keyframe policy
+    h.f64(cfg.keyframe.max_translation);
+    h.f64(cfg.keyframe.max_rotation);
+    h.f64(cfg.keyframe.min_overlap);
+    // recovery
+    h.f64(cfg.recovery.max_mean_residual);
+    h.f64(cfg.recovery.min_valid_fraction);
+    h.u64(cfg.recovery.max_bad_frames as u64);
+    // pipeline shape
+    h.u64(cfg.pyramid_levels as u64);
+    h.u64(cfg.max_features as u64);
+    h.bytes(&[cfg.build_map as u8]);
+    h.f64(cfg.map_voxel_m);
+    h.f64(cfg.min_depth);
+    h.f64(cfg.max_depth);
+    h.0
+}
+
+// --------------------------------------------------------------- codec
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn vec3(&mut self, v: &Vec3) {
+        self.f64(v.x);
+        self.f64(v.y);
+        self.f64(v.z);
+    }
+    fn se3(&mut self, p: &SE3) {
+        for row in &p.rotation.matrix().m {
+            for &e in row {
+                self.f64(e);
+            }
+        }
+        self.vec3(&p.translation);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CheckpointError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated {
+                expected: end,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn vec3(&mut self) -> Result<Vec3, CheckpointError> {
+        Ok(Vec3::new(self.f64()?, self.f64()?, self.f64()?))
+    }
+    fn se3(&mut self) -> Result<SE3, CheckpointError> {
+        let mut m = [[0.0f64; 3]; 3];
+        for row in &mut m {
+            for e in row.iter_mut() {
+                *e = self.f64()?;
+            }
+        }
+        let t = self.vec3()?;
+        let pose = SE3::new(SO3::from_matrix_unchecked(Mat3 { m }), t);
+        if !pose_finite(&pose) {
+            return Err(CheckpointError::Malformed("non-finite pose"));
+        }
+        Ok(pose)
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Every component of the pose is a finite number.
+pub fn pose_finite(p: &SE3) -> bool {
+    p.rotation
+        .matrix()
+        .m
+        .iter()
+        .flatten()
+        .all(|e| e.is_finite())
+        && p.translation.x.is_finite()
+        && p.translation.y.is_finite()
+        && p.translation.z.is_finite()
+}
+
+impl Checkpoint {
+    /// Serializes the snapshot into the versioned, checksummed format
+    /// described in the module docs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.frame_index as u64);
+        w.u8(match self.state {
+            TrackingState::Ok => 0,
+            TrackingState::Degraded => 1,
+            TrackingState::Lost => 2,
+        });
+        w.u64(self.bad_frames as u64);
+        w.se3(&self.pose_wc);
+        w.se3(&self.pose_kc);
+        w.se3(&self.prev_pose_wc);
+        w.se3(&self.motion);
+        w.u8(self.rung.index() as u8);
+        w.u64(self.deadline_misses);
+        w.u64(self.coasted_frames);
+
+        match &self.keyframes {
+            None => w.u8(0),
+            Some(kf) => {
+                w.u8(1);
+                w.u64(kf.frame_index as u64);
+                w.se3(&kf.pose_wk);
+                w.u8(kf.masks.len() as u8);
+                for mask in &kf.masks {
+                    w.u32(mask.width());
+                    w.u32(mask.height());
+                    w.buf.extend_from_slice(mask.pixels());
+                }
+            }
+        }
+        match &self.map {
+            None => w.u8(0),
+            Some(m) => {
+                w.u8(1);
+                w.f64(m.voxel_m);
+                w.u64(m.points.len() as u64);
+                for p in &m.points {
+                    w.vec3(p);
+                }
+            }
+        }
+        match &self.pool {
+            None => w.u8(0),
+            Some(p) => {
+                w.u8(1);
+                w.u32(p.quarantined.len() as u32);
+                for &q in &p.quarantined {
+                    w.u8(q as u8);
+                }
+                w.u64(p.retries);
+                w.u64(p.redispatches);
+                w.u64(p.dirty_accepted);
+            }
+        }
+
+        let payload = w.buf;
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.config_hash.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a snapshot. Checks run in order — magic,
+    /// version, length, checksum, payload — so each class of damage
+    /// maps to its own [`CheckpointError`] variant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        if bytes.len() < MAGIC.len() {
+            return Err(CheckpointError::Truncated {
+                expected: HEADER_LEN + 4,
+                got: bytes.len(),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(CheckpointError::Truncated {
+                expected: HEADER_LEN + 4,
+                got: bytes.len(),
+            });
+        }
+        let version = u16::from_le_bytes(bytes[8..10].try_into().expect("2"));
+        if version > VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                got: version,
+                supported: VERSION,
+            });
+        }
+        let config_hash = u64::from_le_bytes(bytes[10..18].try_into().expect("8"));
+        let payload_len = u64::from_le_bytes(bytes[18..26].try_into().expect("8")) as usize;
+        let total = HEADER_LEN
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(4))
+            .ok_or(CheckpointError::Malformed("length overflow"))?;
+        if bytes.len() < total {
+            return Err(CheckpointError::Truncated {
+                expected: total,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > total {
+            return Err(CheckpointError::Malformed("trailing bytes"));
+        }
+        let stored = u32::from_le_bytes(bytes[total - 4..].try_into().expect("4"));
+        let computed = crc32(&bytes[..total - 4]);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut r = Reader::new(&bytes[HEADER_LEN..total - 4]);
+        let frame_index = r.u64()? as usize;
+        let state = match r.u8()? {
+            0 => TrackingState::Ok,
+            1 => TrackingState::Degraded,
+            2 => TrackingState::Lost,
+            _ => return Err(CheckpointError::Malformed("invalid tracking state")),
+        };
+        let bad_frames = r.u64()? as usize;
+        let pose_wc = r.se3()?;
+        let pose_kc = r.se3()?;
+        let prev_pose_wc = r.se3()?;
+        let motion = r.se3()?;
+        let rung_idx = r.u8()? as usize;
+        if rung_idx >= DegradeRung::LADDER.len() {
+            return Err(CheckpointError::Malformed("invalid degrade rung"));
+        }
+        let rung = DegradeRung::from_index(rung_idx);
+        let deadline_misses = r.u64()?;
+        let coasted_frames = r.u64()?;
+
+        let keyframes = match r.u8()? {
+            0 => None,
+            1 => {
+                let kf_index = r.u64()? as usize;
+                let pose_wk = r.se3()?;
+                let levels = r.u8()? as usize;
+                if levels == 0 || levels > MAX_LEVELS {
+                    return Err(CheckpointError::Malformed("invalid pyramid level count"));
+                }
+                let mut masks = Vec::with_capacity(levels);
+                for _ in 0..levels {
+                    let w = r.u32()?;
+                    let h = r.u32()?;
+                    if w == 0 || h == 0 || w > MAX_DIM || h > MAX_DIM {
+                        return Err(CheckpointError::Malformed("invalid mask dimensions"));
+                    }
+                    let data = r.take((w as usize) * (h as usize))?.to_vec();
+                    masks.push(GrayImage::from_raw(w, h, data));
+                }
+                Some(KeyframeSnapshot {
+                    frame_index: kf_index,
+                    pose_wk,
+                    masks,
+                })
+            }
+            _ => return Err(CheckpointError::Malformed("invalid keyframe tag")),
+        };
+
+        let map = match r.u8()? {
+            0 => None,
+            1 => {
+                let voxel_m = r.f64()?;
+                if !(voxel_m.is_finite() && voxel_m > 0.0) {
+                    return Err(CheckpointError::Malformed("invalid voxel size"));
+                }
+                let count = r.u64()? as usize;
+                if count > r.remaining() / 24 {
+                    return Err(CheckpointError::Truncated {
+                        expected: total,
+                        got: bytes.len(),
+                    });
+                }
+                let mut points = Vec::with_capacity(count);
+                for _ in 0..count {
+                    points.push(r.vec3()?);
+                }
+                Some(MapSnapshot { voxel_m, points })
+            }
+            _ => return Err(CheckpointError::Malformed("invalid map tag")),
+        };
+
+        let pool = match r.u8()? {
+            0 => None,
+            1 => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return Err(CheckpointError::Truncated {
+                        expected: total,
+                        got: bytes.len(),
+                    });
+                }
+                let mut quarantined = Vec::with_capacity(n);
+                for _ in 0..n {
+                    quarantined.push(match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(CheckpointError::Malformed("invalid quarantine flag")),
+                    });
+                }
+                Some(PoolSnapshot {
+                    quarantined,
+                    retries: r.u64()?,
+                    redispatches: r.u64()?,
+                    dirty_accepted: r.u64()?,
+                })
+            }
+            _ => return Err(CheckpointError::Malformed("invalid pool tag")),
+        };
+
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Malformed("trailing payload bytes"));
+        }
+
+        Ok(Checkpoint {
+            config_hash,
+            frame_index,
+            state,
+            bad_frames,
+            pose_wc,
+            pose_kc,
+            prev_pose_wc,
+            motion,
+            rung,
+            deadline_misses,
+            coasted_frames,
+            keyframes,
+            map,
+            pool,
+        })
+    }
+
+    /// Writes the snapshot atomically: serialize to `<path>.tmp`, then
+    /// rename over `path`. A crash mid-write leaves either the previous
+    /// snapshot or a stray `.tmp`, never a truncated file under the
+    /// real name.
+    pub fn write_atomic(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot file.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let pose = SE3::exp(&[0.1, -0.2, 0.05, 0.01, 0.02, -0.03]);
+        let mask = GrayImage::from_fn(8, 6, |x, y| if (x + y) % 3 == 0 { 255 } else { 0 });
+        Checkpoint {
+            config_hash: 0xDEAD_BEEF_CAFE_F00D,
+            frame_index: 42,
+            state: TrackingState::Degraded,
+            bad_frames: 2,
+            pose_wc: pose,
+            pose_kc: SE3::IDENTITY,
+            prev_pose_wc: pose,
+            motion: SE3::exp(&[0.0, 0.0, 0.001, 0.0, 0.0, 0.0]),
+            rung: DegradeRung::ReduceFeatures,
+            deadline_misses: 3,
+            coasted_frames: 1,
+            keyframes: Some(KeyframeSnapshot {
+                frame_index: 40,
+                pose_wk: pose,
+                masks: vec![mask],
+            }),
+            map: Some(MapSnapshot {
+                voxel_m: 0.02,
+                points: vec![Vec3::new(1.0, -2.0, 3.0), Vec3::new(0.5, 0.25, 7.0)],
+            }),
+            pool: Some(PoolSnapshot {
+                quarantined: vec![false, true, false],
+                retries: 5,
+                redispatches: 1,
+                dirty_accepted: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let ckpt = sample();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn every_bitflip_class_is_detected() {
+        let bytes = sample().to_bytes();
+        // flip one byte in the payload -> checksum mismatch
+        let mut b = bytes.clone();
+        b[HEADER_LEN + 5] ^= 0x40;
+        assert!(matches!(
+            Checkpoint::from_bytes(&b),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        // wrong magic
+        let mut b = bytes.clone();
+        b[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&b),
+            Err(CheckpointError::BadMagic)
+        ));
+        // future version
+        let mut b = bytes.clone();
+        b[8] = 0xFF;
+        assert!(matches!(
+            Checkpoint::from_bytes(&b),
+            Err(CheckpointError::UnsupportedVersion { .. })
+        ));
+        // truncation at every prefix length parses to a typed error,
+        // never a panic
+        for cut in [0, 4, 9, 17, 25, HEADER_LEN + 3, bytes.len() - 5] {
+            let err = Checkpoint::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated { .. } | CheckpointError::BadMagic
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+        // trailing garbage
+        let mut b = bytes.clone();
+        b.push(0);
+        assert!(matches!(
+            Checkpoint::from_bytes(&b),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_pose_rejected() {
+        let mut ckpt = sample();
+        ckpt.pose_wc.translation.x = f64::NAN;
+        let bytes = ckpt.to_bytes();
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Malformed("non-finite pose"))
+        ));
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // the classic check value for CRC-32/IEEE
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_sensitive() {
+        let a = crate::TrackerConfig::default();
+        let mut b = a.clone();
+        assert_eq!(config_hash(&a), config_hash(&b));
+        b.max_features -= 1;
+        assert_ne!(config_hash(&a), config_hash(&b));
+        let mut c = a.clone();
+        c.lm.initial_lambda *= 2.0;
+        assert_ne!(config_hash(&a), config_hash(&c));
+    }
+}

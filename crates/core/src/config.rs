@@ -1,3 +1,4 @@
+use crate::supervisor::BudgetConfig;
 use pimvo_kernels::EdgeConfig;
 use pimvo_vomath::{LmConfig, Pinhole};
 
@@ -72,6 +73,12 @@ pub struct TrackerConfig {
     pub keyframe: KeyframePolicy,
     /// Graceful-degradation thresholds (tracking-lost recovery).
     pub recovery: RecoveryConfig,
+    /// Per-frame compute budget for the deadline supervisor. The
+    /// default disables enforcement, in which case the tracker takes
+    /// the exact unsupervised code path (bit-identical cycle/energy
+    /// numbers). Excluded from the checkpoint config hash: it is a
+    /// runtime QoS knob, not an estimator parameter.
+    pub budget: BudgetConfig,
     /// Coarse-to-fine pyramid levels (1 = the paper's single-level
     /// tracking; 2-3 enlarge the convergence basin for faster motion at
     /// ~1/4 extra edge-detection cost per level).
@@ -98,6 +105,7 @@ impl Default for TrackerConfig {
             lm: LmConfig::default(),
             keyframe: KeyframePolicy::default(),
             recovery: RecoveryConfig::default(),
+            budget: BudgetConfig::default(),
             pyramid_levels: 1,
             build_map: false,
             map_voxel_m: 0.02,

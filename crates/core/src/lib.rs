@@ -43,6 +43,7 @@
 
 pub mod ablation;
 mod backend;
+pub mod checkpoint;
 mod config;
 mod feature;
 mod hessian;
@@ -52,10 +53,12 @@ pub mod mapping;
 pub mod pim_exec;
 mod qmath;
 mod quant;
+pub mod supervisor;
 mod tracker;
 mod warp;
 
 pub use backend::{BackendKind, BackendStats, FloatBackend, PimBackend, TrackerBackend};
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{KeyframePolicy, RecoveryConfig, TrackerConfig};
 pub use feature::{extract_features, Feature};
 pub use hessian::{accumulate_batch_q, QNormalEquations};
@@ -63,5 +66,6 @@ pub use jacobian::{jacobian_float, jacobian_q};
 pub use keyframe::Keyframe;
 pub use mapping::EdgeMap3d;
 pub use quant::{Interp, QFeature, QKeyframe, QPose, GRAD_FRAC, PIX_FRAC, RES_FRAC};
+pub use supervisor::{transition_legal, BudgetConfig, BudgetStatus, DegradeRung};
 pub use tracker::{FrameResult, Tracker, TrackingState};
 pub use warp::{project_q, warp_float, warp_q, WarpQ};

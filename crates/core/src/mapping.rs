@@ -52,6 +52,37 @@ impl EdgeMap3d {
         &self.points
     }
 
+    /// The deduplication voxel size (meters).
+    pub fn voxel_m(&self) -> f64 {
+        self.voxel
+    }
+
+    /// Rebuilds a map from a snapshot's point list: the voxel occupancy
+    /// grid is reconstructed from the points themselves, so a
+    /// checkpointed map deduplicates future integrations exactly as the
+    /// original did. Returns `None` for a non-positive or non-finite
+    /// voxel size.
+    pub fn from_points(voxel_m: f64, points: Vec<Vec3>) -> Option<Self> {
+        if !(voxel_m.is_finite() && voxel_m > 0.0) {
+            return None;
+        }
+        let occupied = points
+            .iter()
+            .map(|p| {
+                (
+                    (p.x / voxel_m).floor() as i32,
+                    (p.y / voxel_m).floor() as i32,
+                    (p.z / voxel_m).floor() as i32,
+                )
+            })
+            .collect();
+        Some(EdgeMap3d {
+            points,
+            occupied,
+            voxel: voxel_m,
+        })
+    }
+
     /// Integrates a keyframe's edge features: each feature back-projects
     /// to a world point through `pose_wk` (world-from-keyframe). Points
     /// landing in an occupied voxel are skipped. Returns how many points

@@ -729,9 +729,12 @@ fn exec_batch(
     m.mul_signed(Row(rows.r(PoseRows::RES)), Row(rows.r(PoseRows::RES)));
     let cost_partial = m.reduce_sum();
     // halve the hessian-stage charge: two 80-feature half-batches pack
-    // one 160-lane word line, so each pays half of the traced stage
-    let hess = m.stats().since(&before);
-    m.retract_stats(&hess.scaled_div(2));
+    // one 160-lane word line, so each pays half of the traced stage.
+    // try_since: counters restored from a checkpoint can sit below the
+    // captured baseline; skip the retraction instead of panicking
+    if let Some(hess) = m.stats().try_since(&before) {
+        m.retract_stats(&hess.scaled_div(2));
+    }
 
     if mapping == BatchMapping::Naive {
         charge_naive_extras(m, feats.len());

@@ -1,0 +1,437 @@
+//! Deadline supervision: per-frame compute budgets and the graceful
+//! degradation ladder.
+//!
+//! The paper's pitch is *real-time* EBVO under a hard latency envelope;
+//! this module is the layer that enforces it. A [`BudgetConfig`] gives
+//! each frame a budget in PIM/backend cycles and/or wall time. The
+//! tracker checks the spend at its phase boundaries (pyramid → edge
+//! detection + features → alignment) and, when the budget is at risk,
+//! sheds work in the fixed [`DegradeRung`] order. The rung actually
+//! used is recorded in every [`crate::FrameResult`] and exported as
+//! telemetry gauges; overruns emit a typed
+//! [`pimvo_telemetry::EventKind::DeadlineMiss`] event.
+//!
+//! With the budget disabled (the default) none of this runs: the
+//! tracker takes the exact pre-supervision code path, so cycle and
+//! energy numbers are bit-identical — asserted by the test-suite.
+
+use crate::tracker::TrackingState;
+use pimvo_telemetry::{EventKind, Telemetry};
+
+/// One rung of the degradation ladder, in escalation order. Each rung
+/// includes the shedding of every rung above it (e.g.
+/// `SkipNmsRefinement` also caps LM iterations and the feature count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum DegradeRung {
+    /// Full-quality processing; nothing shed.
+    #[default]
+    Full,
+    /// LM iterations capped at [`BudgetConfig::capped_lm_iterations`].
+    CapLmIterations,
+    /// Feature cap divided by [`BudgetConfig::feature_divisor`].
+    ReduceFeatures,
+    /// Edge detection skips the NMS refinement pass: the mask is the
+    /// thresholded HPF response (LPF + HPF cycles only).
+    SkipNmsRefinement,
+    /// The frame is not aligned at all: the pose coasts on the motion
+    /// prior (gyro rotation when available, constant velocity
+    /// otherwise) and the tracker reports `Degraded`.
+    Coast,
+}
+
+impl DegradeRung {
+    /// All rungs, in escalation order.
+    pub const LADDER: [DegradeRung; 5] = [
+        DegradeRung::Full,
+        DegradeRung::CapLmIterations,
+        DegradeRung::ReduceFeatures,
+        DegradeRung::SkipNmsRefinement,
+        DegradeRung::Coast,
+    ];
+
+    /// Ladder position (0 = `Full` … 4 = `Coast`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Rung from a ladder position, clamping past the end.
+    pub fn from_index(i: usize) -> DegradeRung {
+        *Self::LADDER.get(i).unwrap_or(&DegradeRung::Coast)
+    }
+
+    /// One rung harsher (saturating at `Coast`).
+    pub fn escalate(self) -> DegradeRung {
+        Self::from_index(self.index() + 1)
+    }
+
+    /// One rung gentler (saturating at `Full`).
+    pub fn relax(self) -> DegradeRung {
+        Self::from_index(self.index().saturating_sub(1))
+    }
+
+    /// Stable lower-snake-case name for telemetry and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeRung::Full => "full",
+            DegradeRung::CapLmIterations => "cap_lm_iterations",
+            DegradeRung::ReduceFeatures => "reduce_features",
+            DegradeRung::SkipNmsRefinement => "skip_nms_refinement",
+            DegradeRung::Coast => "coast",
+        }
+    }
+}
+
+/// Per-frame compute budget. `Default` disables enforcement entirely.
+///
+/// Budgets compose: a frame misses its deadline when it exceeds the
+/// cycle budget *or* the wall-time budget, whichever is configured.
+/// Cycle budgets are fully deterministic (they read the backend's
+/// simulated cycle counters); wall budgets depend on the host and are
+/// meant for interactive use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetConfig {
+    /// Backend cycles allowed per frame (`None` = no cycle budget).
+    pub cycles_per_frame: Option<u64>,
+    /// Host wall time allowed per frame, nanoseconds (`None` = no wall
+    /// budget).
+    pub wall_ns_per_frame: Option<u64>,
+    /// A frame spending less than this fraction of its budget lets the
+    /// ladder relax one rung for the next frame (hysteresis so the
+    /// controller does not oscillate on the miss boundary).
+    pub relax_fraction: f64,
+    /// LM iteration cap at [`DegradeRung::CapLmIterations`] and below.
+    pub capped_lm_iterations: usize,
+    /// Feature-cap divisor at [`DegradeRung::ReduceFeatures`] and below.
+    pub feature_divisor: usize,
+}
+
+impl Default for BudgetConfig {
+    fn default() -> Self {
+        BudgetConfig {
+            cycles_per_frame: None,
+            wall_ns_per_frame: None,
+            relax_fraction: 0.5,
+            capped_lm_iterations: 3,
+            feature_divisor: 4,
+        }
+    }
+}
+
+impl BudgetConfig {
+    /// True when any budget is configured.
+    pub fn enabled(&self) -> bool {
+        self.cycles_per_frame.is_some() || self.wall_ns_per_frame.is_some()
+    }
+}
+
+/// Point-in-time budget status of a tracker, from
+/// [`crate::Tracker::budget_status`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetStatus {
+    /// Rung the *next* frame will start at.
+    pub rung: DegradeRung,
+    /// Rung the last completed frame ran at (after any mid-frame
+    /// escalation).
+    pub last_rung: DegradeRung,
+    /// Backend cycles the last completed frame spent.
+    pub last_frame_cycles: u64,
+    /// Cycle headroom of the last frame: `budget - spent` (negative on
+    /// an overrun; `None` without a cycle budget).
+    pub headroom_cycles: Option<i64>,
+    /// Deadline misses so far.
+    pub deadline_misses: u64,
+    /// Frames the supervisor coasted (rung `Coast`, whether scheduled
+    /// or escalated mid-frame).
+    pub coasted_frames: u64,
+}
+
+/// The deadline supervisor a [`crate::Tracker`] embeds: a deterministic
+/// ladder controller plus miss accounting.
+///
+/// Per frame:
+/// 1. [`DeadlineSupervisor::begin_frame`] returns the rung to run at
+///    (chosen from the previous frame's outcome — deterministic,
+///    feedback-controlled).
+/// 2. The tracker calls [`DeadlineSupervisor::over_cycle_budget`] at
+///    each phase boundary; once the spend crosses the budget the frame
+///    escalates straight to [`DegradeRung::Coast`], so an overrun is
+///    bounded by the cost of the one phase that was already running.
+/// 3. [`DeadlineSupervisor::end_frame`] records the outcome, emits the
+///    `DeadlineMiss` event / gauges, and moves the ladder: one rung
+///    harsher after a miss, one rung gentler after a frame that used
+///    less than [`BudgetConfig::relax_fraction`] of its budget.
+#[derive(Debug, Clone)]
+pub struct DeadlineSupervisor {
+    config: BudgetConfig,
+    rung: DegradeRung,
+    last_rung: DegradeRung,
+    last_frame_cycles: u64,
+    deadline_misses: u64,
+    coasted_frames: u64,
+}
+
+impl DeadlineSupervisor {
+    /// Creates the supervisor from a budget configuration.
+    pub fn new(config: BudgetConfig) -> Self {
+        DeadlineSupervisor {
+            config,
+            rung: DegradeRung::Full,
+            last_rung: DegradeRung::Full,
+            last_frame_cycles: 0,
+            deadline_misses: 0,
+            coasted_frames: 0,
+        }
+    }
+
+    /// True when any budget is configured; when false the tracker must
+    /// not call into the supervisor at all (bit-identity with the
+    /// unsupervised pipeline).
+    pub fn enabled(&self) -> bool {
+        self.config.enabled()
+    }
+
+    /// The active budget configuration.
+    pub fn config(&self) -> &BudgetConfig {
+        &self.config
+    }
+
+    /// Replaces the budget at runtime (QoS knob; does not reset the
+    /// ladder or the miss counters).
+    pub fn set_config(&mut self, config: BudgetConfig) {
+        self.config = config;
+        if !self.config.enabled() {
+            self.rung = DegradeRung::Full;
+        }
+    }
+
+    /// Rung the next frame starts at.
+    pub fn begin_frame(&self) -> DegradeRung {
+        self.rung
+    }
+
+    /// Phase-boundary check: true once `spent_cycles` has crossed the
+    /// cycle budget, at which point the frame must stop starting phases
+    /// and coast.
+    pub fn over_cycle_budget(&self, spent_cycles: u64) -> bool {
+        matches!(self.config.cycles_per_frame, Some(b) if spent_cycles > b)
+    }
+
+    /// Wall-time variant of [`DeadlineSupervisor::over_cycle_budget`].
+    pub fn over_wall_budget(&self, spent_ns: u64) -> bool {
+        matches!(self.config.wall_ns_per_frame, Some(b) if spent_ns > b)
+    }
+
+    /// Records a completed frame: `rung` is the rung the frame actually
+    /// ran at (after mid-frame escalation), `spent_cycles`/`spent_ns`
+    /// what it cost. Updates the ladder for the next frame, bumps the
+    /// miss counters and emits the telemetry gauges and the typed
+    /// `DeadlineMiss` event. Returns true when the frame missed its
+    /// deadline.
+    pub fn end_frame(
+        &mut self,
+        rung: DegradeRung,
+        spent_cycles: u64,
+        spent_ns: u64,
+        frame_index: usize,
+        telemetry: &Telemetry,
+    ) -> bool {
+        self.last_rung = rung;
+        self.last_frame_cycles = spent_cycles;
+        if rung == DegradeRung::Coast {
+            self.coasted_frames += 1;
+        }
+        let cycle_miss = self.over_cycle_budget(spent_cycles);
+        let wall_miss = self.over_wall_budget(spent_ns);
+        let miss = cycle_miss || wall_miss;
+
+        // deterministic ladder feedback: harsher after a miss, gentler
+        // after a comfortably cheap frame, otherwise hold
+        let prev = self.rung;
+        if miss {
+            self.rung = rung.escalate();
+            self.deadline_misses += 1;
+        } else {
+            let comfortable = match self.config.cycles_per_frame {
+                Some(b) => (spent_cycles as f64) < self.config.relax_fraction * (b as f64),
+                // wall-only budgets relax on any met deadline
+                None => true,
+            };
+            if comfortable {
+                self.rung = rung.relax();
+            } else {
+                self.rung = rung;
+            }
+        }
+
+        if telemetry.is_enabled() {
+            if let Some(b) = self.config.cycles_per_frame {
+                telemetry.gauge_set(
+                    "pimvo_budget_headroom_cycles",
+                    b as f64 - spent_cycles as f64,
+                );
+            }
+            telemetry.gauge_set("pimvo_degrade_rung", rung.index() as f64);
+            if miss {
+                telemetry.counter_add("pimvo_deadline_miss_total", 1.0);
+                telemetry.event(
+                    EventKind::DeadlineMiss,
+                    &[
+                        ("frame", frame_index.to_string()),
+                        ("rung", rung.name().to_string()),
+                        ("spent_cycles", spent_cycles.to_string()),
+                        (
+                            "budget_cycles",
+                            self.config
+                                .cycles_per_frame
+                                .map_or("none".to_string(), |b| b.to_string()),
+                        ),
+                        ("wall_miss", wall_miss.to_string()),
+                    ],
+                );
+            }
+            if self.rung != prev {
+                telemetry.event(
+                    EventKind::DegradeRungChanged,
+                    &[
+                        ("from", prev.name().to_string()),
+                        ("to", self.rung.name().to_string()),
+                    ],
+                );
+            }
+        }
+        miss
+    }
+
+    /// Point-in-time status for reports and the chaos harness.
+    pub fn status(&self) -> BudgetStatus {
+        BudgetStatus {
+            rung: self.rung,
+            last_rung: self.last_rung,
+            last_frame_cycles: self.last_frame_cycles,
+            headroom_cycles: self
+                .config
+                .cycles_per_frame
+                .map(|b| b as i64 - self.last_frame_cycles as i64),
+            deadline_misses: self.deadline_misses,
+            coasted_frames: self.coasted_frames,
+        }
+    }
+
+    /// Restores controller state from a checkpoint (the rung persists
+    /// across a kill-and-restore; per-frame spend does not).
+    pub(crate) fn restore(&mut self, rung: DegradeRung, deadline_misses: u64, coasts: u64) {
+        self.rung = rung;
+        self.last_rung = rung;
+        self.deadline_misses = deadline_misses;
+        self.coasted_frames = coasts;
+    }
+}
+
+/// Legality of a [`TrackingState`] transition under the tracker's
+/// recovery state machine — the single table both the unit tests and
+/// the chaos-soak invariant checker consult.
+///
+/// Structurally illegal, independent of configuration:
+/// `Lost → Degraded` (once Lost, consecutive bad frames keep the
+/// tracker Lost; only a good frame leaves, and it goes to `Ok`).
+///
+/// Config-dependent edge: `Ok → Lost` requires
+/// `max_bad_frames <= 1` (a single bad frame exhausts the coast
+/// window); with a longer window the tracker must pass through
+/// `Degraded` first.
+pub fn transition_legal(from: TrackingState, to: TrackingState, max_bad_frames: usize) -> bool {
+    use TrackingState::{Degraded, Lost, Ok};
+    // (from, to) pairs that are legal under every configuration.
+    // Ok → Degraded is always reachable: even with a zero-length coast
+    // window the deadline supervisor's Coast rung degrades a frame
+    // without consuming the bad-frame budget.
+    const ALWAYS_LEGAL: [(TrackingState, TrackingState); 7] = [
+        (Ok, Ok),
+        (Ok, Degraded),
+        (Degraded, Ok),
+        (Degraded, Degraded),
+        (Degraded, Lost),
+        (Lost, Ok),
+        (Lost, Lost),
+    ];
+    ALWAYS_LEGAL.contains(&(from, to)) || ((from, to) == (Ok, Lost) && max_bad_frames <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_is_fixed() {
+        let mut r = DegradeRung::Full;
+        let seen: Vec<DegradeRung> = std::iter::from_fn(|| {
+            let cur = r;
+            r = r.escalate();
+            Some(cur)
+        })
+        .take(5)
+        .collect();
+        assert_eq!(seen, DegradeRung::LADDER);
+        assert_eq!(DegradeRung::Coast.escalate(), DegradeRung::Coast);
+        assert_eq!(DegradeRung::Full.relax(), DegradeRung::Full);
+        assert_eq!(DegradeRung::Coast.relax(), DegradeRung::SkipNmsRefinement);
+    }
+
+    #[test]
+    fn controller_escalates_on_miss_and_relaxes_on_headroom() {
+        let mut s = DeadlineSupervisor::new(BudgetConfig {
+            cycles_per_frame: Some(1000),
+            ..BudgetConfig::default()
+        });
+        let t = Telemetry::off();
+        // miss -> one rung harsher
+        assert!(s.end_frame(DegradeRung::Full, 1500, 0, 0, &t));
+        assert_eq!(s.begin_frame(), DegradeRung::CapLmIterations);
+        // met but tight (above the relax fraction) -> hold
+        assert!(!s.end_frame(DegradeRung::CapLmIterations, 900, 0, 1, &t));
+        assert_eq!(s.begin_frame(), DegradeRung::CapLmIterations);
+        // comfortable -> one rung gentler
+        assert!(!s.end_frame(DegradeRung::CapLmIterations, 300, 0, 2, &t));
+        assert_eq!(s.begin_frame(), DegradeRung::Full);
+        assert_eq!(s.status().deadline_misses, 1);
+    }
+
+    #[test]
+    fn wall_budget_counts_as_miss() {
+        let mut s = DeadlineSupervisor::new(BudgetConfig {
+            wall_ns_per_frame: Some(1_000_000),
+            ..BudgetConfig::default()
+        });
+        let t = Telemetry::off();
+        assert!(s.end_frame(DegradeRung::Full, 0, 2_000_000, 0, &t));
+        assert_eq!(s.status().deadline_misses, 1);
+        assert_eq!(s.status().headroom_cycles, None);
+    }
+
+    #[test]
+    fn disabled_budget_never_flags() {
+        let s = DeadlineSupervisor::new(BudgetConfig::default());
+        assert!(!s.enabled());
+        assert!(!s.over_cycle_budget(u64::MAX));
+        assert!(!s.over_wall_budget(u64::MAX));
+    }
+
+    #[test]
+    fn transition_table_matches_state_machine() {
+        use TrackingState::{Degraded, Lost, Ok};
+        let states = [Ok, Degraded, Lost];
+        for max_bad in [0usize, 1, 3] {
+            for &from in &states {
+                for &to in &states {
+                    let legal = transition_legal(from, to, max_bad);
+                    let expected = match (from, to) {
+                        (Lost, Degraded) => false,
+                        (Ok, Lost) => max_bad <= 1,
+                        _ => true,
+                    };
+                    assert_eq!(legal, expected, "{from:?}->{to:?} max_bad={max_bad}");
+                }
+            }
+        }
+    }
+}

@@ -2,13 +2,18 @@
 //! alignment against the keyframe (Fig. 1 of the paper).
 
 use crate::backend::{BackendKind, BackendStats, FloatBackend, PimBackend, TrackerBackend};
+use crate::checkpoint::{
+    self, Checkpoint, CheckpointError, KeyframeSnapshot, MapSnapshot, PoolSnapshot,
+};
 use crate::config::TrackerConfig;
 use crate::feature::{extract_features, Feature};
 use crate::keyframe::Keyframe;
 use crate::mapping::EdgeMap3d;
+use crate::supervisor::{BudgetConfig, BudgetStatus, DeadlineSupervisor, DegradeRung};
 use pimvo_kernels::{DepthImage, GrayImage};
-use pimvo_telemetry::{Severity, Telemetry, TimeDomain};
+use pimvo_telemetry::{EventKind, Severity, Telemetry, TimeDomain};
 use pimvo_vomath::{LmOutcome, LmProblem, LmSolver, NormalEquations, Pinhole, SE3, SO3};
+use std::path::Path;
 
 /// Tracking quality state of the [`Tracker`] — the graceful-degradation
 /// ladder:
@@ -59,6 +64,10 @@ pub struct FrameResult {
     pub mean_residual: f64,
     /// Tracking quality after this frame.
     pub state: TrackingState,
+    /// Degradation-ladder rung the frame actually ran at (after any
+    /// mid-frame escalation). Always [`DegradeRung::Full`] when the
+    /// deadline supervisor is disabled.
+    pub rung: DegradeRung,
 }
 
 struct AlignmentProblem<'a> {
@@ -102,6 +111,8 @@ pub struct Tracker {
     prev_pose_wc: SE3,
     /// Telemetry handle (off by default; see [`Tracker::set_telemetry`]).
     telemetry: Telemetry,
+    /// Deadline supervisor (disabled unless `config.budget` sets one).
+    supervisor: DeadlineSupervisor,
 }
 
 impl Tracker {
@@ -126,6 +137,7 @@ impl Tracker {
             cameras.push(cameras.last().expect("nonempty").halved());
         }
         let map = config.build_map.then(|| EdgeMap3d::new(config.map_voxel_m));
+        let supervisor = DeadlineSupervisor::new(config.budget);
         Tracker {
             config,
             backend,
@@ -140,6 +152,7 @@ impl Tracker {
             motion: SE3::IDENTITY,
             prev_pose_wc: SE3::IDENTITY,
             telemetry: Telemetry::off(),
+            supervisor,
         }
     }
 
@@ -180,6 +193,13 @@ impl Tracker {
         self.backend.pool_health()
     }
 
+    /// Mutable access to the backend's array pool (`None` on backends
+    /// without one). Lets a supervisor or chaos harness quarantine
+    /// arrays and swap fault models between frames.
+    pub fn pool_mut(&mut self) -> Option<&mut pimvo_pim::PimArrayPool> {
+        self.backend.pool_mut()
+    }
+
     /// Current full-resolution keyframe, if any.
     pub fn keyframe(&self) -> Option<&Keyframe> {
         self.keyframes.as_ref().map(|k| &k[0])
@@ -188,6 +208,196 @@ impl Tracker {
     /// The semi-dense 3D edge map (when map building is enabled).
     pub fn map(&self) -> Option<&EdgeMap3d> {
         self.map.as_ref()
+    }
+
+    /// Replaces the per-frame budget at runtime (QoS knob). Setting a
+    /// disabled budget returns the tracker to the exact unsupervised
+    /// code path.
+    pub fn set_budget(&mut self, budget: BudgetConfig) {
+        self.config.budget = budget;
+        self.supervisor.set_config(budget);
+    }
+
+    /// Convenience: sets only the per-frame cycle budget, keeping the
+    /// rest of the budget configuration.
+    pub fn set_frame_budget_cycles(&mut self, cycles: Option<u64>) {
+        let mut b = self.config.budget;
+        b.cycles_per_frame = cycles;
+        self.set_budget(b);
+    }
+
+    /// Point-in-time deadline-supervisor status (rung, headroom, miss
+    /// counters).
+    pub fn budget_status(&self) -> BudgetStatus {
+        self.supervisor.status()
+    }
+
+    /// Snapshots the complete tracker state for kill-and-restore.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let b = self.supervisor.status();
+        Checkpoint {
+            config_hash: checkpoint::config_hash(&self.config),
+            frame_index: self.frame_index,
+            state: self.state,
+            bad_frames: self.bad_frames,
+            pose_wc: self.pose_wc,
+            pose_kc: self.pose_kc,
+            prev_pose_wc: self.prev_pose_wc,
+            motion: self.motion,
+            rung: b.rung,
+            deadline_misses: b.deadline_misses,
+            coasted_frames: b.coasted_frames,
+            keyframes: self.keyframes.as_ref().map(|kfs| KeyframeSnapshot {
+                frame_index: kfs[0].frame_index,
+                pose_wk: kfs[0].pose_wk,
+                masks: kfs.iter().map(|k| k.edge_mask.clone()).collect(),
+            }),
+            map: self.map.as_ref().map(|m| MapSnapshot {
+                voxel_m: m.voxel_m(),
+                points: m.points().to_vec(),
+            }),
+            pool: self.backend.pool_health().map(|h| PoolSnapshot {
+                quarantined: h.quarantined,
+                retries: h.retries,
+                redispatches: h.redispatches,
+                dirty_accepted: h.dirty_accepted,
+            }),
+        }
+    }
+
+    /// Snapshots the tracker and writes it atomically to `path`
+    /// (temp + rename; see [`Checkpoint::write_atomic`]).
+    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        self.checkpoint().write_atomic(path)?;
+        self.telemetry.event(
+            EventKind::CheckpointWritten,
+            &[("frame", self.frame_index.to_string())],
+        );
+        Ok(())
+    }
+
+    /// Restores the tracker from a snapshot, resuming the sequence
+    /// mid-stream: poses, keyframe tables (rebuilt deterministically
+    /// from the stored edge masks), map, degradation rung and the
+    /// pool's quarantine set all come back, so the restored run
+    /// replays the uninterrupted run. The snapshot must have been taken
+    /// under the same estimator configuration
+    /// ([`CheckpointError::ConfigMismatch`] otherwise); on any error
+    /// the tracker is left unchanged — fall back to re-initialization
+    /// by simply continuing to feed frames.
+    pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        match self.restore_inner(ckpt) {
+            Ok(()) => {
+                self.telemetry.event(
+                    EventKind::CheckpointRestored,
+                    &[("frame", self.frame_index.to_string())],
+                );
+                Ok(())
+            }
+            Err(e) => {
+                self.telemetry
+                    .event(EventKind::CheckpointRejected, &[("reason", e.to_string())]);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads a snapshot file and restores from it; rejection of a
+    /// corrupt, truncated or mismatched file is a typed error and
+    /// leaves the tracker unchanged.
+    pub fn restore_from_file(&mut self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let ckpt = match Checkpoint::read_file(path) {
+            Ok(c) => c,
+            Err(e) => {
+                self.telemetry
+                    .event(EventKind::CheckpointRejected, &[("reason", e.to_string())]);
+                return Err(e);
+            }
+        };
+        self.restore(&ckpt)
+    }
+
+    fn restore_inner(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        let current = checkpoint::config_hash(&self.config);
+        if ckpt.config_hash != current {
+            return Err(CheckpointError::ConfigMismatch {
+                snapshot: ckpt.config_hash,
+                current,
+            });
+        }
+        for p in [
+            &ckpt.pose_wc,
+            &ckpt.pose_kc,
+            &ckpt.prev_pose_wc,
+            &ckpt.motion,
+        ] {
+            if !checkpoint::pose_finite(p) {
+                return Err(CheckpointError::Malformed("non-finite pose"));
+            }
+        }
+        // validate and rebuild everything side-effect-free first, so a
+        // rejected snapshot leaves the tracker untouched
+        let keyframes = match &ckpt.keyframes {
+            None => None,
+            Some(kf) => {
+                if !checkpoint::pose_finite(&kf.pose_wk) {
+                    return Err(CheckpointError::Malformed("non-finite pose"));
+                }
+                if kf.masks.len() != self.cameras.len() {
+                    return Err(CheckpointError::Malformed("pyramid level count mismatch"));
+                }
+                let mut kfs = Vec::with_capacity(kf.masks.len());
+                for (mask, cam) in kf.masks.iter().zip(&self.cameras) {
+                    if mask.width() != cam.width || mask.height() != cam.height {
+                        return Err(CheckpointError::Malformed(
+                            "mask dimensions do not match the camera",
+                        ));
+                    }
+                    kfs.push(Keyframe::build(
+                        kf.frame_index,
+                        kf.pose_wk,
+                        mask.clone(),
+                        cam,
+                    ));
+                }
+                Some(kfs)
+            }
+        };
+        let map = if self.config.build_map {
+            Some(match &ckpt.map {
+                Some(m) => EdgeMap3d::from_points(m.voxel_m, m.points.clone())
+                    .ok_or(CheckpointError::Malformed("invalid voxel size"))?,
+                // a snapshot without map state under a map-building
+                // config restarts the map empty rather than failing
+                None => EdgeMap3d::new(self.config.map_voxel_m),
+            })
+        } else {
+            None
+        };
+        if let (Some(snap), Some(pool)) = (&ckpt.pool, self.backend.pool_mut()) {
+            let health = pimvo_pim::PoolHealth {
+                arrays: vec![pimvo_pim::FaultStatus::default(); snap.quarantined.len()],
+                quarantined: snap.quarantined.clone(),
+                retries: snap.retries,
+                redispatches: snap.redispatches,
+                dirty_accepted: snap.dirty_accepted,
+            };
+            pool.import_health(&health)
+                .map_err(|_| CheckpointError::Malformed("pool size mismatch"))?;
+        }
+
+        self.keyframes = keyframes;
+        self.map = map;
+        self.frame_index = ckpt.frame_index;
+        self.state = ckpt.state;
+        self.bad_frames = ckpt.bad_frames;
+        self.pose_wc = ckpt.pose_wc;
+        self.pose_kc = ckpt.pose_kc;
+        self.prev_pose_wc = ckpt.prev_pose_wc;
+        self.motion = ckpt.motion;
+        self.supervisor
+            .restore(ckpt.rung, ckpt.deadline_misses, ckpt.coasted_frames);
+        Ok(())
     }
 
     /// Processes one RGB-D frame and returns the pose estimate.
@@ -322,10 +532,94 @@ impl Tracker {
         depth: &DepthImage,
         gyro_delta: Option<SO3>,
     ) -> FrameResult {
+        if !self.supervisor.enabled() {
+            // no budget: the exact unsupervised code path, bit-identical
+            // cycle/energy numbers to a build without the supervisor
+            return self.process_core(gray, depth, gyro_delta, DegradeRung::Full, false);
+        }
+        let wall_start = std::time::Instant::now();
+        let cyc_start = self.backend.stats().total_cycles();
+        // the bootstrap frame always runs at full quality: without a
+        // keyframe there is nothing to coast on
+        let rung = if self.keyframes.is_some() {
+            self.supervisor.begin_frame()
+        } else {
+            DegradeRung::Full
+        };
+        let result = self.process_core(gray, depth, gyro_delta, rung, true);
+        let spent_cycles = self
+            .backend
+            .stats()
+            .total_cycles()
+            .saturating_sub(cyc_start);
+        let spent_ns = wall_start.elapsed().as_nanos() as u64;
+        self.supervisor.end_frame(
+            result.rung,
+            spent_cycles,
+            spent_ns,
+            result.index,
+            &self.telemetry,
+        );
+        result
+    }
+
+    /// Sheds the rest of the frame: the pose extrapolates on the motion
+    /// prior and the alignment is skipped entirely. This is deliberate
+    /// load shedding, not a tracking failure — the bad-frame counter is
+    /// untouched; the state reports `Degraded` (or stays `Lost`).
+    fn coast_frame(
+        &mut self,
+        index: usize,
+        gyro_delta: Option<SO3>,
+        features: usize,
+        rung: DegradeRung,
+    ) -> FrameResult {
+        let pose_wk = self.keyframes.as_ref().expect("coast requires a keyframe")[0].pose_wk;
+        let prior = match gyro_delta {
+            Some(r) => SE3::new(r, self.motion.translation),
+            None => self.motion,
+        };
+        self.pose_wc = self.prev_pose_wc.compose(&prior);
+        self.pose_kc = pose_wk.inverse().compose(&self.pose_wc);
+        self.prev_pose_wc = self.pose_wc;
+        if self.state != TrackingState::Lost {
+            self.state = TrackingState::Degraded;
+        }
+        FrameResult {
+            index,
+            pose_wc: self.pose_wc,
+            pose_kc: self.pose_kc,
+            is_keyframe: false,
+            features,
+            iterations: 0,
+            mean_residual: 0.0,
+            state: self.state,
+            rung,
+        }
+    }
+
+    fn process_core(
+        &mut self,
+        gray: &GrayImage,
+        depth: &DepthImage,
+        gyro_delta: Option<SO3>,
+        mut rung: DegradeRung,
+        supervised: bool,
+    ) -> FrameResult {
         assert_eq!(gray.width(), self.config.camera.width, "width mismatch");
         assert_eq!(gray.height(), self.config.camera.height, "height mismatch");
         let index = self.frame_index;
         self.frame_index += 1;
+
+        let cyc_frame = if supervised {
+            self.backend.stats().total_cycles()
+        } else {
+            0
+        };
+        // scheduled coast: shed the whole frame before any work
+        if rung == DegradeRung::Coast && self.keyframes.is_some() {
+            return self.coast_frame(index, gyro_delta, 0, rung);
+        }
 
         // build the image pyramid (level 0 = full resolution)
         let levels = self.config.pyramid_levels;
@@ -340,14 +634,39 @@ impl Tracker {
         drop(wall);
         self.record_stage_cycles("pyramid", cyc);
 
-        // edge detection + feature extraction per level
+        // phase boundary: once over budget, stop starting phases and
+        // coast — bounding an overrun to the one phase already running
+        if supervised && self.keyframes.is_some() {
+            let spent = self
+                .backend
+                .stats()
+                .total_cycles()
+                .saturating_sub(cyc_frame);
+            if self.supervisor.over_cycle_budget(spent) {
+                rung = DegradeRung::Coast;
+                return self.coast_frame(index, gyro_delta, 0, rung);
+            }
+        }
+
+        // edge detection + feature extraction per level, shedding per
+        // the frame's rung
+        let skip_nms = rung >= DegradeRung::SkipNmsRefinement;
+        let feature_budget = if rung >= DegradeRung::ReduceFeatures {
+            self.config.max_features / self.supervisor.config().feature_divisor.max(1)
+        } else {
+            self.config.max_features
+        };
         let cyc = self.stage_cycles_start();
         let wall = self.telemetry.span("tracker", "edges+features");
         let mut masks = Vec::with_capacity(levels);
         let mut features: Vec<Vec<crate::feature::Feature>> = Vec::with_capacity(levels);
         for l in 0..levels {
-            let maps = self.backend.detect_edges(&grays[l], &self.config.edge);
-            let cap = self.config.max_features >> (2 * l);
+            let maps = if skip_nms {
+                self.backend.detect_edges_fast(&grays[l], &self.config.edge)
+            } else {
+                self.backend.detect_edges(&grays[l], &self.config.edge)
+            };
+            let cap = feature_budget >> (2 * l);
             features.push(extract_features(
                 &maps.mask,
                 &depths[l],
@@ -360,6 +679,21 @@ impl Tracker {
         }
         drop(wall);
         self.record_stage_cycles("edges+features", cyc);
+
+        // phase boundary: edges + features done (a bootstrap frame
+        // never coasts — it has no keyframe to coast on)
+        if supervised && self.keyframes.is_some() {
+            let spent = self
+                .backend
+                .stats()
+                .total_cycles()
+                .saturating_sub(cyc_frame);
+            if self.supervisor.over_cycle_budget(spent) {
+                let n = features[0].len();
+                rung = DegradeRung::Coast;
+                return self.coast_frame(index, gyro_delta, n, rung);
+            }
+        }
 
         // bootstrap: first frame becomes the keyframe at the origin
         let Some(keyframes) = &self.keyframes else {
@@ -378,6 +712,7 @@ impl Tracker {
                 iterations: 0,
                 mean_residual: 0.0,
                 state: self.state,
+                rung,
             };
         };
 
@@ -389,6 +724,12 @@ impl Tracker {
             Some(r) => self.pose_kc.compose(&SE3::new(r, pimvo_vomath::Vec3::ZERO)),
             None => self.pose_kc,
         };
+        let mut lm_cfg = self.config.lm;
+        if rung >= DegradeRung::CapLmIterations {
+            lm_cfg.max_iterations = lm_cfg
+                .max_iterations
+                .min(self.supervisor.config().capped_lm_iterations);
+        }
         let cyc = self.stage_cycles_start();
         let wall = self.telemetry.span("tracker", "align");
         let mut outcome: Option<LmOutcome> = None;
@@ -401,7 +742,7 @@ impl Tracker {
                     keyframe: &keyframes[l],
                     camera: &self.cameras[l],
                 };
-                LmSolver::new(self.config.lm).solve(&mut problem, pose)
+                LmSolver::new(lm_cfg).solve(&mut problem, pose)
             };
             pose = out.pose;
             total_iterations += out.iterations;
@@ -458,6 +799,7 @@ impl Tracker {
                 iterations: total_iterations,
                 mean_residual: outcome.final_cost,
                 state: self.state,
+                rung,
             };
         }
         self.state = TrackingState::Ok;
@@ -491,6 +833,7 @@ impl Tracker {
             iterations: total_iterations,
             mean_residual: outcome.final_cost,
             state: self.state,
+            rung,
         }
     }
 }

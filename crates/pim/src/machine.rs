@@ -56,6 +56,22 @@ pub enum PimError {
         /// Total arrays in the pool.
         arrays: usize,
     },
+    /// An array index exceeds the pool size (host-driven quarantine /
+    /// health import addressed a non-existent array).
+    ArrayOutOfRange {
+        /// Offending array index.
+        index: usize,
+        /// Arrays in the pool.
+        arrays: usize,
+    },
+    /// An imported pool-health snapshot describes a different pool
+    /// geometry than the one it is applied to.
+    PoolSizeMismatch {
+        /// Arrays described by the snapshot.
+        got: usize,
+        /// Arrays in this pool.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for PimError {
@@ -90,6 +106,15 @@ impl fmt::Display for PimError {
             }
             PimError::AllArraysQuarantined { arrays } => {
                 write!(f, "all {arrays} pool arrays are quarantined")
+            }
+            PimError::ArrayOutOfRange { index, arrays } => {
+                write!(f, "array {index} out of range (pool has {arrays} arrays)")
+            }
+            PimError::PoolSizeMismatch { got, expected } => {
+                write!(
+                    f,
+                    "health snapshot describes {got} arrays but the pool has {expected}"
+                )
             }
         }
     }

@@ -357,13 +357,83 @@ impl PimArrayPool {
 
     /// Manually quarantines array `i`: [`PimArrayPool::run_phase_resilient`]
     /// stops dispatching shards to it. Contents and statistics are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range; host code driven by external
+    /// input (chaos drivers, health imports) should use
+    /// [`PimArrayPool::try_quarantine`].
     pub fn quarantine(&mut self, i: usize) {
-        self.quarantined[i] = true;
+        self.try_quarantine(i)
+            .unwrap_or_else(|e| panic!("quarantine: {e}"));
+    }
+
+    /// Fallible [`PimArrayPool::quarantine`]: rejects an out-of-range
+    /// array index with [`PimError::ArrayOutOfRange`] instead of
+    /// panicking, so host-driven callers (checkpoint restore, chaos
+    /// harnesses) can recover.
+    pub fn try_quarantine(&mut self, i: usize) -> Result<(), PimError> {
+        match self.quarantined.get_mut(i) {
+            Some(q) => {
+                *q = true;
+                Ok(())
+            }
+            None => Err(PimError::ArrayOutOfRange {
+                index: i,
+                arrays: self.arrays.len(),
+            }),
+        }
+    }
+
+    /// Lifts the quarantine on array `i`, returning it to the dispatch
+    /// set (e.g. after an external repair action, or a chaos harness
+    /// ending a quarantine storm). Fault counters are kept.
+    pub fn unquarantine(&mut self, i: usize) -> Result<(), PimError> {
+        match self.quarantined.get_mut(i) {
+            Some(q) => {
+                *q = false;
+                Ok(())
+            }
+            None => Err(PimError::ArrayOutOfRange {
+                index: i,
+                arrays: self.arrays.len(),
+            }),
+        }
     }
 
     /// True if array `i` is quarantined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
     pub fn is_quarantined(&self, i: usize) -> bool {
         self.quarantined[i]
+    }
+
+    /// Applies a previously exported health snapshot: the quarantine
+    /// flags and pool-level recovery counters of
+    /// [`PimArrayPool::health`]. Per-array [`FaultStatus`] counters
+    /// describe the *physical* arrays' past and are deliberately not
+    /// imported. Used by checkpoint restore so a resumed run keeps
+    /// avoiding arrays quarantined before the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::PoolSizeMismatch`] if the snapshot's quarantine
+    /// vector does not match this pool's array count; the pool is left
+    /// unchanged.
+    pub fn import_health(&mut self, health: &PoolHealth) -> Result<(), PimError> {
+        if health.quarantined.len() != self.arrays.len() {
+            return Err(PimError::PoolSizeMismatch {
+                got: health.quarantined.len(),
+                expected: self.arrays.len(),
+            });
+        }
+        self.quarantined.copy_from_slice(&health.quarantined);
+        self.retries = health.retries;
+        self.redispatches = health.redispatches;
+        self.dirty_accepted = health.dirty_accepted;
+        Ok(())
     }
 
     /// Indices of the arrays still accepting work, in array order.
@@ -753,6 +823,56 @@ mod tests {
         let mut p = pool(4);
         let ids = p.run_phase(|i, _| i);
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_quarantine_rejects_out_of_range() {
+        let mut p = pool(2);
+        assert!(p.try_quarantine(1).is_ok());
+        assert!(p.is_quarantined(1));
+        match p.try_quarantine(5) {
+            Err(PimError::ArrayOutOfRange {
+                index: 5,
+                arrays: 2,
+            }) => {}
+            other => panic!("expected ArrayOutOfRange, got {other:?}"),
+        }
+        p.unquarantine(1).unwrap();
+        assert!(!p.is_quarantined(1));
+        assert!(matches!(
+            p.unquarantine(9),
+            Err(PimError::ArrayOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn import_health_round_trips_and_checks_size() {
+        let mut p = pool(3);
+        p.quarantine(2);
+        let mut h = p.health();
+        h.retries = 7;
+        h.redispatches = 2;
+        h.dirty_accepted = 1;
+
+        let mut q = pool(3);
+        q.import_health(&h).unwrap();
+        assert!(q.is_quarantined(2));
+        assert!(!q.is_quarantined(0));
+        let hq = q.health();
+        assert_eq!(hq.retries, 7);
+        assert_eq!(hq.redispatches, 2);
+        assert_eq!(hq.dirty_accepted, 1);
+
+        let mut small = pool(2);
+        assert!(matches!(
+            small.import_health(&h),
+            Err(PimError::PoolSizeMismatch {
+                got: 3,
+                expected: 2
+            })
+        ));
+        // rejected import leaves the pool untouched
+        assert_eq!(small.health().quarantined, vec![false, false]);
     }
 
     #[test]

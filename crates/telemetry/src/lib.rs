@@ -50,7 +50,7 @@ mod perfetto;
 mod record;
 
 pub use clock::{Clock, ManualClock, WallClock};
-pub use record::{LogRecord, Severity, SpanRecord, TimeDomain};
+pub use record::{EventKind, LogRecord, Severity, SpanRecord, TimeDomain};
 
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -239,6 +239,22 @@ impl Telemetry {
                     .collect(),
             });
         }
+    }
+
+    /// Records a typed supervision event: a structured log entry whose
+    /// first field is the stable `kind` wire name, plus a bump of the
+    /// `pimvo_events_total{kind=...}` counter. The severity comes from
+    /// the kind, so every `DeadlineMiss` is a warning and every
+    /// `CheckpointRejected` an error regardless of the call site.
+    pub fn event(&self, kind: EventKind, fields: &[(&str, String)]) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.counter_add_labeled("pimvo_events_total", &[("kind", kind.as_str())], 1.0);
+        let mut all: Vec<(&str, String)> = Vec::with_capacity(fields.len() + 1);
+        all.push(("kind", kind.as_str().to_string()));
+        all.extend_from_slice(fields);
+        self.log(kind.severity(), kind.as_str(), &all);
     }
 
     /// Copies out everything recorded so far. Returns an empty snapshot

@@ -55,6 +55,53 @@ impl Severity {
     }
 }
 
+/// Typed supervision events — the fixed vocabulary the deadline
+/// supervisor and checkpoint layer emit through [`Telemetry::event`],
+/// so consumers can match on a stable `kind` field instead of parsing
+/// free-form messages. Each kind carries a canonical wire name and a
+/// severity.
+///
+/// [`Telemetry::event`]: crate::Telemetry::event
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A frame exceeded its compute budget (cycles and/or wall time).
+    DeadlineMiss,
+    /// The degradation ladder moved to a different rung.
+    DegradeRungChanged,
+    /// A tracker snapshot was written (atomically) to disk.
+    CheckpointWritten,
+    /// Tracker state was restored from a snapshot.
+    CheckpointRestored,
+    /// A snapshot was rejected (corrupt, truncated, wrong version or
+    /// config mismatch) and the tracker fell back to re-initialization.
+    CheckpointRejected,
+}
+
+impl EventKind {
+    /// Stable lower-snake-case wire name (the `kind` log field and the
+    /// `pimvo_events_total` counter label).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::DeadlineMiss => "deadline_miss",
+            EventKind::DegradeRungChanged => "degrade_rung_changed",
+            EventKind::CheckpointWritten => "checkpoint_written",
+            EventKind::CheckpointRestored => "checkpoint_restored",
+            EventKind::CheckpointRejected => "checkpoint_rejected",
+        }
+    }
+
+    /// Severity the event is logged at.
+    pub fn severity(self) -> Severity {
+        match self {
+            EventKind::DeadlineMiss => Severity::Warn,
+            EventKind::DegradeRungChanged => Severity::Info,
+            EventKind::CheckpointWritten => Severity::Info,
+            EventKind::CheckpointRestored => Severity::Info,
+            EventKind::CheckpointRejected => Severity::Error,
+        }
+    }
+}
+
 /// One structured event in the JSONL log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogRecord {

@@ -16,7 +16,7 @@
 //! frame → stage → pool-phase → shard span hierarchy in both the
 //! wall-time and PIM-cycle tracks.
 
-use pimvo::core::{BackendKind, Tracker, TrackerConfig};
+use pimvo::core::{BackendKind, Checkpoint, Tracker, TrackerConfig};
 use pimvo::scene::{ate_rmse, format_tum, rpe_rmse, Sequence, SequenceKind, Trajectory};
 use pimvo::telemetry::Telemetry;
 use std::env;
@@ -25,7 +25,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: track_sequence [xyz|desk|str_ntex_far|pan] [float|pim] [frames>=2] \
          [out_dir] [pyramid_levels]\n       \
-         [--trace-out FILE] [--metrics-out FILE] [--log-jsonl FILE]"
+         [--trace-out FILE] [--metrics-out FILE] [--log-jsonl FILE]\n       \
+         [--checkpoint-every N] [--resume FILE] [--frame-budget-cycles K]"
     );
     std::process::exit(2)
 }
@@ -36,6 +37,9 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut log_jsonl: Option<String> = None;
+    let mut checkpoint_every: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut frame_budget: Option<String> = None;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         let mut flag = |dst: &mut Option<String>| match args.next() {
@@ -46,10 +50,16 @@ fn main() {
             "--trace-out" => flag(&mut trace_out),
             "--metrics-out" => flag(&mut metrics_out),
             "--log-jsonl" => flag(&mut log_jsonl),
+            "--checkpoint-every" => flag(&mut checkpoint_every),
+            "--resume" => flag(&mut resume),
+            "--frame-budget-cycles" => flag(&mut frame_budget),
             "--help" | "-h" => usage(),
             _ => positional.push(a),
         }
     }
+    let checkpoint_every: Option<usize> =
+        checkpoint_every.map(|v| v.parse().unwrap_or_else(|_| usage()));
+    let frame_budget: Option<u64> = frame_budget.map(|v| v.parse().unwrap_or_else(|_| usage()));
 
     let kind = match positional.first().map(String::as_str) {
         Some("xyz") | None => SequenceKind::Xyz,
@@ -93,16 +103,75 @@ fn main() {
     } else {
         None
     };
+    if let Some(cycles) = frame_budget {
+        tracker.set_frame_budget_cycles(Some(cycles));
+        println!("frame budget   : {cycles} PIM/MCU cycles per frame");
+    }
+
+    // Resume mid-sequence from a snapshot: restore the tracker and skip
+    // the frames it has already processed.
+    let mut skip = 0;
+    if let Some(path) = &resume {
+        let ckpt = Checkpoint::read_file(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read snapshot {path}: {e}");
+            std::process::exit(1);
+        });
+        tracker.restore(&ckpt).unwrap_or_else(|e| {
+            eprintln!("error: cannot restore from {path}: {e}");
+            std::process::exit(1);
+        });
+        skip = ckpt.frame_index + 1;
+        println!("resumed from {path} at frame {}", ckpt.frame_index);
+    }
+
+    let ckpt_path = format!(
+        "{}/track_sequence.ckpt",
+        positional.get(3).map(String::as_str).unwrap_or(".")
+    );
     let mut estimate = Trajectory::new();
     let mut keyframes = 0;
-    for f in &seq.frames {
+    for (i, f) in seq.frames.iter().enumerate().skip(skip) {
         let r = tracker.process_frame(&f.gray, &f.depth);
         estimate.push(f.time, r.pose_wc);
         keyframes += r.is_keyframe as usize;
+        if let Some(every) = checkpoint_every {
+            if every > 0 && (i + 1) % every == 0 {
+                if let Some(dir) = positional.get(3) {
+                    std::fs::create_dir_all(dir).expect("create output dir");
+                }
+                tracker.save_checkpoint(&ckpt_path).expect("write snapshot");
+            }
+        }
+    }
+    if checkpoint_every.is_some() {
+        println!("checkpoints    : latest snapshot at {ckpt_path}");
+    }
+    if estimate.len() < 2 {
+        println!(
+            "resumed at frame {} of {}; fewer than 2 frames left to track — nothing to evaluate",
+            skip,
+            seq.frames.len()
+        );
+        return;
     }
 
-    let rpe = rpe_rmse(&estimate, &seq.ground_truth, 1.0);
-    let ate = ate_rmse(&estimate, &seq.ground_truth);
+    // A resumed run only covers the tail of the sequence; evaluate
+    // against the matching ground-truth window.
+    let ground_truth = if skip > 0 {
+        Trajectory {
+            samples: seq
+                .ground_truth
+                .samples
+                .iter()
+                .skip(skip)
+                .copied()
+                .collect(),
+        }
+    } else {
+        seq.ground_truth.clone()
+    };
+    let rpe = rpe_rmse(&estimate, &ground_truth, 1.0);
+    let ate = ate_rmse(&estimate, &ground_truth);
     println!();
     println!("backend        : {backend:?}");
     println!("keyframes      : {keyframes}");
@@ -126,13 +195,22 @@ fn main() {
     );
     let fps = 216.0e6 / ((stats.total_cycles() as f64) / stats.frames.max(1) as f64);
     println!("throughput     : {fps:.0} frames/s at a 216 MHz clock");
+    if frame_budget.is_some() {
+        let b = tracker.budget_status();
+        println!(
+            "deadline       : {} misses, {} coasted frames, final rung {}",
+            b.deadline_misses,
+            b.coasted_frames,
+            b.rung.name()
+        );
+    }
 
     if let Some(dir) = positional.get(3) {
         std::fs::create_dir_all(dir).expect("create output dir");
         let est = format!("{dir}/{}_estimate.txt", kind.name());
         let gt = format!("{dir}/{}_groundtruth.txt", kind.name());
         std::fs::write(&est, format_tum(&estimate)).expect("write estimate");
-        std::fs::write(&gt, format_tum(&seq.ground_truth)).expect("write ground truth");
+        std::fs::write(&gt, format_tum(&ground_truth)).expect("write ground truth");
         println!("wrote {est} and {gt}");
         if let Some(map) = tracker.map() {
             let ply = format!("{dir}/{}_map.ply", kind.name());
@@ -144,7 +222,7 @@ fn main() {
             &svg,
             pimvo::scene::plot_trajectories_svg(
                 &estimate,
-                &seq.ground_truth,
+                &ground_truth,
                 pimvo::scene::PlotPlane::Xz,
                 kind.name(),
             ),

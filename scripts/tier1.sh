@@ -26,6 +26,19 @@ step cargo test -q --workspace
 step cargo test -q --features fault -p pimvo-pim -p pimvo-core
 step cargo clippy --all-targets --all-features -- -D warnings
 
+# bounded chaos smoke: kill-and-restore, snapshot corruption, budget
+# squeezes and quarantine storms must hold every invariant (exit 0)
+chaos_out="$(mktemp -d)"
+step cargo run -q --release -p pimvo-bench --bin chaos_soak -- \
+    --frames 30 --seed 1 --out "$chaos_out"
+# checkpoint round trip through the example: snapshot a run, resume it
+# (interval chosen so the last snapshot leaves frames to replay)
+step cargo run -q --release --example track_sequence -- \
+    xyz pim 20 "$chaos_out" 1 --checkpoint-every 8
+step cargo run -q --release --example track_sequence -- \
+    xyz pim 20 "$chaos_out" 1 --resume "$chaos_out/track_sequence.ckpt"
+rm -rf "$chaos_out"
+
 if [ "$fail" -ne 0 ]; then
     echo
     echo "tier-1: FAILED" >&2
