@@ -5,8 +5,8 @@
 //! cycle counts printed by the `exp_*` binaries.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use pimvo_kernels::{pim_naive, pim_opt, scalar, EdgeConfig, GrayImage};
-use pimvo_pim::{ArrayConfig, PimMachine};
+use pimvo_kernels::{ir, scalar, EdgeConfig, GrayImage};
+use pimvo_pim::{ArrayConfig, LowerLevel, PimMachine};
 
 fn qvga_image() -> GrayImage {
     GrayImage::from_fn(320, 240, |x, y| {
@@ -34,14 +34,14 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function("optimized", |b| {
         b.iter_batched(
             || PimMachine::new(ArrayConfig::qvga_banks(6)),
-            |mut m| pim_opt::edge_detect(&mut m, &img, &cfg),
+            |mut m| ir::edge_detect(&mut m, &img, &cfg, LowerLevel::Opt),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("naive", |b| {
         b.iter_batched(
             || PimMachine::new(ArrayConfig::qvga_banks(6)),
-            |mut m| pim_naive::edge_detect(&mut m, &img, &cfg),
+            |mut m| ir::edge_detect(&mut m, &img, &cfg, LowerLevel::Naive),
             BatchSize::LargeInput,
         )
     });
@@ -52,7 +52,14 @@ fn bench_kernels(c: &mut Criterion) {
                 m.set_tmp_regs(pimvo_kernels::pim_multireg::REGS_REQUIRED);
                 m
             },
-            |mut m| pimvo_kernels::pim_multireg::edge_detect(&mut m, &img, &cfg),
+            |mut m| {
+                ir::edge_detect(
+                    &mut m,
+                    &img,
+                    &cfg,
+                    LowerLevel::MultiReg(pimvo_kernels::pim_multireg::REGS_REQUIRED),
+                )
+            },
             BatchSize::LargeInput,
         )
     });

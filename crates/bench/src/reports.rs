@@ -7,12 +7,12 @@ use pimvo_core::pim_exec::{run_batch, run_batch_naive, BATCH};
 use pimvo_core::{
     ablation, extract_features, BackendKind, Keyframe, QFeature, QPose, Tracker, TrackerConfig,
 };
-use pimvo_kernels::{pim_naive, pim_opt, EdgeConfig};
+use pimvo_kernels::{ir, EdgeConfig};
 use pimvo_mcu::{
     edge_detect_counted, edge_detect_counted_with, linearize_counted, CodegenModel, CostCounter,
     FloatFeature, InstructionMix,
 };
-use pimvo_pim::{ArrayConfig, CostModel, PimMachine};
+use pimvo_pim::{ArrayConfig, CostModel, LowerLevel, PimMachine};
 use pimvo_scene::{format_tum, SequenceKind};
 use pimvo_vomath::{Pinhole, SE3};
 use std::fmt::Write as _;
@@ -188,7 +188,7 @@ pub fn fig9a() -> (Fig9aResult, String) {
     // PIM side
     let mut machine = PimMachine::new(ArrayConfig::qvga_banks(6));
     let c0 = machine.stats().cycles;
-    let _ = pim_opt::edge_detect(&mut machine, &gray, &cfg);
+    let _ = ir::edge_detect(&mut machine, &gray, &cfg, LowerLevel::Opt);
     let pim_edge = machine.stats().cycles - c0;
     let qpose = QPose::quantize(&SE3::IDENTITY);
     let qfeats: Vec<QFeature> = features.iter().map(QFeature::quantize).collect();
@@ -275,23 +275,16 @@ pub fn fig9b() -> (Fig9bResult, String) {
     let measure_edge = |naive: bool| -> (u64, u64, u64) {
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
         let c0 = m.stats().cycles;
-        let lpf_map = if naive {
-            pim_naive::lpf(&mut m, &gray)
+        let level = if naive {
+            LowerLevel::Naive
         } else {
-            pim_opt::lpf(&mut m, &gray)
+            LowerLevel::Opt
         };
+        let lpf_map = ir::lpf(&mut m, &gray, level);
         let c1 = m.stats().cycles;
-        let hpf_map = if naive {
-            pim_naive::hpf(&mut m, &lpf_map)
-        } else {
-            pim_opt::hpf(&mut m, &lpf_map)
-        };
+        let hpf_map = ir::hpf(&mut m, &lpf_map, level);
         let c2 = m.stats().cycles;
-        if naive {
-            let _ = pim_naive::nms(&mut m, &hpf_map, &cfg);
-        } else {
-            let _ = pim_opt::nms(&mut m, &hpf_map, &cfg);
-        }
+        let _ = ir::nms(&mut m, &hpf_map, &cfg, level);
         let c3 = m.stats().cycles;
         (c1 - c0, c2 - c1, c3 - c2)
     };
@@ -299,10 +292,11 @@ pub fn fig9b() -> (Fig9bResult, String) {
     let (lpf_o, hpf_o, nms_o) = measure_edge(false);
 
     // LM: one iteration, naive vs optimized batch schedule
-    let maps = pim_opt::edge_detect(
+    let maps = ir::edge_detect(
         &mut PimMachine::new(ArrayConfig::qvga_banks(6)),
         &gray,
         &cfg,
+        LowerLevel::Opt,
     );
     let features = extract_features(&maps.mask, &depth, &cam, 6000, 0.3, 8.0);
     let kf = Keyframe::build(0, SE3::IDENTITY, maps.mask.clone(), &cam);
@@ -785,10 +779,15 @@ pub fn tmpreg_ablation() -> String {
     let cost = CostModel::default();
 
     let mut m1 = PimMachine::new(ArrayConfig::qvga_banks(6));
-    let single = pimvo_kernels::pim_opt::edge_detect(&mut m1, &gray, &cfg);
+    let single = ir::edge_detect(&mut m1, &gray, &cfg, LowerLevel::Opt);
     let mut m4 = PimMachine::new(ArrayConfig::qvga_banks(6));
     m4.set_tmp_regs(pimvo_kernels::pim_multireg::REGS_REQUIRED);
-    let multi = pimvo_kernels::pim_multireg::edge_detect(&mut m4, &gray, &cfg);
+    let multi = ir::edge_detect(
+        &mut m4,
+        &gray,
+        &cfg,
+        LowerLevel::MultiReg(pimvo_kernels::pim_multireg::REGS_REQUIRED),
+    );
     assert_eq!(single.mask, multi.mask, "outputs must be identical");
 
     let (s1, s4) = (m1.stats(), m4.stats());

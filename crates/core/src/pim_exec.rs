@@ -16,13 +16,19 @@
 //! # Schedule
 //!
 //! One batch covers up to 80 features (32-bit lanes of one word line).
-//! Warp, projection and Jacobian run at `W32` (the paper: "the LM
-//! solver incurs a lot of 32-bit mul/div operations, which has ... 4x
-//! less throughput than the 8-bit image processing"). The
-//! Hessian/steepest-descent products run at `W16` on the Q14.2
-//! Jacobians, packing two 80-feature half-batches per word line — the
-//! design reason the paper quantizes `J` to 16 bits — so their traced
-//! cost is charged at half per half-batch.
+//! The pipeline is written once as five macro-op programs
+//! ([`pimvo_pim::PimProgram`]) — warp/projection/validity, fractional
+//! weights, residual, Jacobian and Hessian — and lowered onto the
+//! machine by [`pimvo_pim::lower()`] at the [`LowerLevel`] the
+//! [`BatchMapping`] selects; host stages (lane writes, broadcasts,
+//! gathers, readbacks) run between the programs. Warp, projection and
+//! Jacobian run at `W32` (the paper: "the LM solver incurs a lot of
+//! 32-bit mul/div operations, which has ... 4x less throughput than
+//! the 8-bit image processing"). The Hessian/steepest-descent products
+//! run at `W16` on the Q14.2 Jacobians, packing two 80-feature
+//! half-batches per word line — the design reason the paper quantizes
+//! `J` to 16 bits — so their traced cost is charged at half per
+//! half-batch.
 //!
 //! Residual/gradient lookups are host-addressed gathers
 //! ([`PimMachine::gather`]): one serialized read cycle per element, as
@@ -31,12 +37,12 @@
 use crate::hessian::{tri_idx, QNormalEquations};
 use crate::quant::{Interp, QFeature, QKeyframe, QPose, PIX_FRAC, POSE_FRAC, RATIO_FRAC};
 use pimvo_pim::{
-    ArrayConfig, LaneWidth, Operand, PimArrayPool, PimError, PimMachine, PimMachineBuilder,
-    Signedness,
+    lower, ArrayConfig, LaneWidth, LowerLevel, PimArrayPool, PimError, PimMachine,
+    PimMachineBuilder, PimProgram, ScratchRows, Signedness, VReg, Val,
 };
 use pimvo_vomath::Pinhole;
 
-use Operand::{Row, Tmp};
+use Val::Row;
 
 /// Features per machine batch (32-bit lanes per word line).
 pub const BATCH: usize = 80;
@@ -46,16 +52,33 @@ pub const BATCH: usize = 80;
 pub const POSE_BASE: usize = 5 * 256 + 64;
 
 /// Which machine mapping evaluates a batch.
+///
+/// The pipeline is written once as macro-op programs
+/// ([`pimvo_pim::PimProgram`]); the mapping picks the
+/// [`LowerLevel`] they are lowered at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BatchMapping {
-    /// The paper's optimized schedule: Tmp-Reg chaining, the Fig. 5-d
-    /// shared-subexpression pipeline and packed gathers.
+    /// The paper's optimized schedule ([`LowerLevel::Opt`]): Tmp-Reg
+    /// chaining, the Fig. 5-d shared-subexpression pipeline and packed
+    /// gathers.
     #[default]
     Opt,
-    /// The naive mapping of Fig. 9-b's `LM*` group: identical values,
-    /// but every intermediate round-trips through SRAM, shared terms
-    /// are recomputed and gathers are unpacked.
+    /// The naive mapping of Fig. 9-b's `LM*` group
+    /// ([`LowerLevel::Naive`]): identical values, but every
+    /// intermediate round-trips through SRAM; on top of the naive
+    /// lowering, shared terms are charged as recomputed and gathers as
+    /// unpacked (see `charge_naive_extras`).
     Naive,
+}
+
+impl BatchMapping {
+    /// The lowering level this mapping runs the pose programs at.
+    fn level(self) -> LowerLevel {
+        match self {
+            BatchMapping::Opt => LowerLevel::Opt,
+            BatchMapping::Naive => LowerLevel::Naive,
+        }
+    }
 }
 
 /// Options of a [`BatchRunner`]: mapping, residual interpolation and
@@ -68,7 +91,8 @@ pub struct BatchOptions {
     pub interp: Interp,
     /// Number of PIM arrays batches are sharded across.
     pub pool: usize,
-    /// When true, [`crate::PimBackend::linearize`] executes every batch
+    /// When true, [`crate::TrackerBackend::linearize`] on the PIM
+    /// backend executes every batch
     /// on the machines (through [`BatchRunner::try_submit`]) instead of
     /// the calibrated fast scalar path. Slower to simulate but required
     /// for fault-injection studies: injected upsets then actually
@@ -239,19 +263,14 @@ impl PoseRows {
     const CONST_F: usize = 16; // focal length, Q10.6
     const CONST_CX: usize = 17;
     const CONST_CY: usize = 18;
-    const X: usize = 19;
-    const Y: usize = 20;
-    const Z: usize = 21;
     const QX: usize = 22;
     const QY: usize = 23;
     const U: usize = 24;
     const V: usize = 25;
-    const Z12: usize = 26;
     const IZ: usize = 27;
     const GU: usize = 28;
     const GV: usize = 29;
     const RES: usize = 30;
-    const S: usize = 31;
     const J0: usize = 32; // J0..J5 -> rows 32..37
     const SCRATCH: usize = 38;
     const ZMASK: usize = 39;
@@ -262,7 +281,11 @@ impl PoseRows {
     const D10: usize = 44;
     const D01: usize = 45;
     const D11: usize = 46;
-    const DX0: usize = 47;
+    // Scratch pool the lowering pass spills into (rows 47..54; the
+    // warp / X / Y / Z / S intermediates of the old hand schedule now
+    // live in virtual registers and materialize here only on spill).
+    const LOWER: usize = 47;
+    const LOWER_LEN: usize = 8;
 
     fn new(base: usize) -> Self {
         PoseRows { base }
@@ -270,6 +293,256 @@ impl PoseRows {
     fn r(&self, off: usize) -> usize {
         self.base + off
     }
+
+    /// Scratch rows handed to [`lower`] for register spills.
+    fn lower_scratch(&self) -> ScratchRows {
+        ScratchRows::contiguous(self.r(Self::LOWER), Self::LOWER_LEN)
+    }
+}
+
+/// Lowers `prog` at `level` and executes it, returning the in-array
+/// reduction results in program order.
+///
+/// # Panics
+///
+/// Panics if the program fails to lower (a bug in the builders below)
+/// or references rows outside the machine.
+fn run_pose_program(
+    m: &mut PimMachine,
+    prog: &PimProgram,
+    level: LowerLevel,
+    scratch: &ScratchRows,
+) -> Vec<i64> {
+    let lowered = lower(prog, level, scratch)
+        .unwrap_or_else(|e| panic!("lowering {} at {level}: {e}", prog.name()));
+    m.run_program(&lowered)
+        .unwrap_or_else(|e| panic!("running {}: {e}", prog.name()))
+}
+
+/// Warp, projection and depth-validity program (Fig. 5-b):
+/// `X/Y/Z = r0*a + r1*b + r2*1 + t*c`, the pinhole projection to
+/// `(u, v)`, the inverse real depth `c/Z` and the combined Z-positive /
+/// low-half lane mask. Stores `QX, QY, U, V, IZ, ZMASK`; everything
+/// else stays in virtual registers.
+fn warp_program(rows: &PoseRows, ff: u32) -> PimProgram {
+    let mut p = PimProgram::new("pose_warp");
+    p.set_lanes(LaneWidth::W32, Signedness::Signed);
+    let coord = |p: &mut PimProgram, r0: usize, r1: usize, r2: usize, t: usize| -> VReg {
+        let m1 = p.mul_signed(Row(rows.r(PoseRows::POSE0 + r0)), Row(rows.r(PoseRows::A)));
+        let m2 = p.mul_signed(Row(rows.r(PoseRows::POSE0 + r1)), Row(rows.r(PoseRows::B)));
+        let s1 = p.add(m2.into(), m1.into());
+        let m3 = p.mul_signed(
+            Row(rows.r(PoseRows::POSE0 + r2)),
+            Row(rows.r(PoseRows::ONE)),
+        );
+        let s2 = p.add(m3.into(), s1.into());
+        // the homogeneous rotation column r*2 is pre-shifted by the
+        // host to the warp accumulator format (a per-iteration
+        // constant)
+        let m4 = p.mul_signed(
+            Row(rows.r(PoseRows::POSE0 + 9 + t)),
+            Row(rows.r(PoseRows::C)),
+        );
+        p.add(m4.into(), s2.into())
+    };
+    let x = coord(&mut p, 0, 1, 2, 0);
+    let y = coord(&mut p, 3, 4, 5, 1);
+    let z = coord(&mut p, 6, 7, 8, 2);
+
+    // projection
+    let qx = p.div_frac_signed(x.into(), z.into(), RATIO_FRAC);
+    p.store(qx, rows.r(PoseRows::QX));
+    let qy = p.div_frac_signed(y.into(), z.into(), RATIO_FRAC);
+    p.store(qy, rows.r(PoseRows::QY));
+    let u1 = p.mul_signed(Row(rows.r(PoseRows::CONST_F)), qx.into());
+    let u2 = p.shr_bits(u1.into(), RATIO_FRAC);
+    let u = p.add(u2.into(), Row(rows.r(PoseRows::CONST_CX)));
+    p.store(u, rows.r(PoseRows::U));
+    let v1 = p.mul_signed(Row(rows.r(PoseRows::CONST_F)), qy.into());
+    let v2 = p.shr_bits(v1.into(), RATIO_FRAC);
+    let v = p.add(v2.into(), Row(rows.r(PoseRows::CONST_CY)));
+    p.store(v, rows.r(PoseRows::V));
+
+    // Z rescaled to Q4.12 and the inverse real depth c/Z (Q4.12)
+    let z12 = p.shr_bits(z.into(), POSE_FRAC + ff - 12);
+    let iz0 = p.div_frac_signed(Row(rows.r(PoseRows::C)), z12.into(), 12);
+    let iz = match ff.cmp(&12) {
+        std::cmp::Ordering::Greater => p.shr_bits(iz0.into(), ff - 12),
+        std::cmp::Ordering::Less => p.shl_bits(iz0.into(), 12 - ff),
+        std::cmp::Ordering::Equal => iz0,
+    };
+    p.store(iz, rows.r(PoseRows::IZ));
+
+    // validity mask: Z12 > 0 (behind-camera and degenerate-depth lanes
+    // are masked, branch-free), combined with a low-half constant so
+    // the 32-bit-stored Q14.2 values reinterpret cleanly as 16-bit
+    // lanes in the Hessian stage
+    let zm0 = p.cmp_gt(z12.into(), Row(rows.r(PoseRows::SCRATCH)));
+    let zm = p.and(zm0.into(), Row(rows.r(PoseRows::LOWHALF)));
+    p.store(zm, rows.r(PoseRows::ZMASK));
+    p
+}
+
+/// Bilinear fractional weights `wu, wv` (Q0.6): one AND with the 0x3F
+/// constant the host broadcast into the scratch row.
+fn frac_weights_program(rows: &PoseRows) -> PimProgram {
+    let mut p = PimProgram::new("pose_frac");
+    p.set_lanes(LaneWidth::W32, Signedness::Signed);
+    let wu = p.and(Row(rows.r(PoseRows::U)), Row(rows.r(PoseRows::SCRATCH)));
+    p.store(wu, rows.r(PoseRows::WU));
+    let wv = p.and(Row(rows.r(PoseRows::V)), Row(rows.r(PoseRows::SCRATCH)));
+    p.store(wv, rows.r(PoseRows::WV));
+    p
+}
+
+/// Residual program: bilinear interpolation of the gathered DT corners
+/// (`dx0 = d00 + ((d10 - d00) * wu >> 6)`, likewise `dx1`, then the
+/// vertical lerp), or a plain masked copy in nearest mode where the
+/// gathered value *is* the residual. Either way the Z/low-half mask is
+/// folded in before the single store to the residual row.
+fn residual_program(rows: &PoseRows, interp: Interp) -> PimProgram {
+    let mut p = PimProgram::new("pose_residual");
+    p.set_lanes(LaneWidth::W32, Signedness::Signed);
+    let r = match interp {
+        Interp::Bilinear => {
+            let lerp = |p: &mut PimProgram, a: Val, b: Val, w: Val| -> VReg {
+                let d = p.sub(b, a);
+                let mq = p.mul_signed(d.into(), w);
+                let s = p.shr_bits(mq.into(), PIX_FRAC);
+                p.add(s.into(), a)
+            };
+            let dx0 = lerp(
+                &mut p,
+                Row(rows.r(PoseRows::D00)),
+                Row(rows.r(PoseRows::D10)),
+                Row(rows.r(PoseRows::WU)),
+            );
+            let dx1 = lerp(
+                &mut p,
+                Row(rows.r(PoseRows::D01)),
+                Row(rows.r(PoseRows::D11)),
+                Row(rows.r(PoseRows::WU)),
+            );
+            lerp(&mut p, dx0.into(), dx1.into(), Row(rows.r(PoseRows::WV)))
+        }
+        Interp::Nearest => p.load(Row(rows.r(PoseRows::RES))),
+    };
+    let rm = p.and(r.into(), Row(rows.r(PoseRows::ZMASK)));
+    p.store(rm, rows.r(PoseRows::RES));
+    p
+}
+
+/// Jacobian program (the Fig. 5-d shared-subexpression pipeline): the
+/// shared `s = (qx*gu + qy*gv) >> RATIO_FRAC` term feeds J2, J3 and
+/// J4; each row is saturated to 16 bits, masked by the combined
+/// Z/low-half mask and stored packed for the W16 Hessian stage.
+fn jacobian_program(rows: &PoseRows) -> PimProgram {
+    let mut p = PimProgram::new("pose_jacobian");
+    p.set_lanes(LaneWidth::W32, Signedness::Signed);
+    let qx = Row(rows.r(PoseRows::QX));
+    let qy = Row(rows.r(PoseRows::QY));
+    let gu = Row(rows.r(PoseRows::GU));
+    let gv = Row(rows.r(PoseRows::GV));
+    let iz = Row(rows.r(PoseRows::IZ));
+    let zmask = Row(rows.r(PoseRows::ZMASK));
+
+    // s = (qx*gu + qy*gv) >> RATIO_FRAC
+    let t1 = p.mul_signed(qx, gu);
+    let t2 = p.shr_bits(t1.into(), RATIO_FRAC);
+    let t3 = p.mul_signed(qy, gv);
+    let t4 = p.shr_bits(t3.into(), RATIO_FRAC);
+    let s = p.add(t4.into(), t2.into());
+
+    let mask_store = |p: &mut PimProgram, v: VReg, k: usize| {
+        let n = p.sat_narrow(v.into(), 16);
+        let m = p.and(n.into(), zmask);
+        p.store(m, rows.r(PoseRows::J0) + k);
+    };
+    // J0 = (gu * iz) >> 12 ; J1 likewise ; J2 = -(s * iz) >> 12
+    let j0 = p.mul_signed(gu, iz);
+    let j0 = p.shr_bits(j0.into(), 12);
+    mask_store(&mut p, j0, 0);
+    let j1 = p.mul_signed(gv, iz);
+    let j1 = p.shr_bits(j1.into(), 12);
+    mask_store(&mut p, j1, 1);
+    let j2 = p.mul_signed(s.into(), iz);
+    let j2 = p.shr_bits(j2.into(), 12);
+    let j2 = p.neg(j2.into());
+    mask_store(&mut p, j2, 2);
+    // J3 = -((qy*s >> 14) + gv)
+    let j3 = p.mul_signed(qy, s.into());
+    let j3 = p.shr_bits(j3.into(), RATIO_FRAC);
+    let j3 = p.add(j3.into(), gv);
+    let j3 = p.neg(j3.into());
+    mask_store(&mut p, j3, 3);
+    // J4 = (qx*s >> 14) + gu
+    let j4 = p.mul_signed(qx, s.into());
+    let j4 = p.shr_bits(j4.into(), RATIO_FRAC);
+    let j4 = p.add(j4.into(), gu);
+    mask_store(&mut p, j4, 4);
+    // J5 = (qx*gv >> 14) - (qy*gu >> 14)
+    let t5 = p.mul_signed(qx, gv);
+    let t6 = p.shr_bits(t5.into(), RATIO_FRAC);
+    let t7 = p.mul_signed(qy, gu);
+    let t8 = p.shr_bits(t7.into(), RATIO_FRAC);
+    let t9 = p.neg(t8.into());
+    let j5 = p.add(t9.into(), t6.into());
+    mask_store(&mut p, j5, 5);
+    p
+}
+
+/// Hessian / steepest-descent / cost program at `W16` on the packed
+/// Q14.2 Jacobians: 21 upper-triangle `J_i · J_k` products (Q28.4 →
+/// Q29.3), six `J_i · r` products (Q26.6 → Q29.3) and the squared
+/// residual (Q24.8), each folded by an in-array reduction. The 28
+/// reduce results come back in exactly this order.
+fn hessian_program(rows: &PoseRows) -> PimProgram {
+    let mut p = PimProgram::new("pose_hessian");
+    p.set_lanes(LaneWidth::W16, Signedness::Signed);
+    let res = Row(rows.r(PoseRows::RES));
+    for i in 0..6 {
+        for k in i..6 {
+            let v = p.mul_signed(Row(rows.r(PoseRows::J0) + i), Row(rows.r(PoseRows::J0) + k));
+            let w = p.shr_bits(v.into(), 1); // Q28.4 -> Q29.3
+            p.reduce(w.into());
+        }
+        let v = p.mul_signed(Row(rows.r(PoseRows::J0) + i), res);
+        let w = p.shr_bits(v.into(), 3); // Q26.6 -> Q29.3
+        p.reduce(w.into());
+    }
+    // cost partial: sum r^2 (Q24.8)
+    let v = p.mul_signed(res, res);
+    p.reduce(v.into());
+    p
+}
+
+/// The five pose-estimation macro-op programs in submission order
+/// (warp/projection, fractional weights, residual, Jacobian, Hessian),
+/// built against staging rows at `base_row` for feature fraction `ff`.
+///
+/// This is the introspection entry point behind `examples/dump_ir.rs`
+/// and the tier-1 golden-program snapshots: the returned programs are
+/// exactly what [`run_batch`] lowers and executes, but detached from
+/// any machine so they can be listed or lowered standalone (pair with
+/// [`pose_scratch`]).
+#[must_use]
+pub fn pose_programs(base_row: usize, ff: u32, interp: Interp) -> Vec<PimProgram> {
+    let rows = PoseRows::new(base_row);
+    vec![
+        warp_program(&rows, ff),
+        frac_weights_program(&rows),
+        residual_program(&rows, interp),
+        jacobian_program(&rows),
+        hessian_program(&rows),
+    ]
+}
+
+/// The scratch-row pool the pose-program lowering spills into, for
+/// staging rows at `base_row` — lowers [`pose_programs`] outside
+/// [`run_batch`].
+#[must_use]
+pub fn pose_scratch(base_row: usize) -> ScratchRows {
+    PoseRows::new(base_row).lower_scratch()
 }
 
 /// Output of one machine batch: everything the host needs to fold the
@@ -358,12 +631,14 @@ fn exec_batch(
 ) -> BatchOutput {
     assert!(feats.len() <= BATCH, "batch too large: {}", feats.len());
     assert!(
-        base_row + 48 <= m.config().rows,
+        base_row + PoseRows::LOWER + PoseRows::LOWER_LEN <= m.config().rows,
         "machine too small for pose rows"
     );
     let rows = PoseRows::new(base_row);
     let n = feats.len();
     let ff = feats.first().map(|f| f.frac).unwrap_or(12);
+    let level = mapping.level();
+    let scratch = rows.lower_scratch();
 
     // ---- host setup (I/O, not compute) --------------------------------
     m.set_lanes(LaneWidth::W32, Signedness::Signed);
@@ -398,94 +673,19 @@ fn exec_batch(
     m.host_broadcast(rows.r(PoseRows::CONST_CY), cy_q)
         .expect("host I/O row in range");
 
-    // ---- warp: X/Y/Z = r0*a + r1*b + r2*1 + t*c (Fig. 5-b) -------------
-    let warp_coord = |m: &mut PimMachine, r0: usize, r1: usize, r2: usize, t: usize, dst: usize| {
-        m.mul_signed(Row(rows.r(PoseRows::POSE0 + r0)), Row(rows.r(PoseRows::A)));
-        m.writeback(rows.r(PoseRows::SCRATCH));
-        m.mul_signed(Row(rows.r(PoseRows::POSE0 + r1)), Row(rows.r(PoseRows::B)));
-        m.add(Tmp, Row(rows.r(PoseRows::SCRATCH)));
-        m.writeback(rows.r(PoseRows::SCRATCH));
-        m.mul_signed(
-            Row(rows.r(PoseRows::POSE0 + r2)),
-            Row(rows.r(PoseRows::ONE)),
-        );
-        m.add(Tmp, Row(rows.r(PoseRows::SCRATCH)));
-        m.writeback(rows.r(PoseRows::SCRATCH));
-        m.mul_signed(
-            Row(rows.r(PoseRows::POSE0 + 9 + t)),
-            Row(rows.r(PoseRows::C)),
-        );
-        m.add(Tmp, Row(rows.r(PoseRows::SCRATCH)));
-        m.writeback(dst);
-    };
-    warp_coord(m, 0, 1, 2, 0, rows.r(PoseRows::X));
-    warp_coord(m, 3, 4, 5, 1, rows.r(PoseRows::Y));
-    warp_coord(m, 6, 7, 8, 2, rows.r(PoseRows::Z));
-
-    // ---- projection ----------------------------------------------------
-    m.div_frac_signed(
-        Row(rows.r(PoseRows::X)),
-        Row(rows.r(PoseRows::Z)),
-        RATIO_FRAC,
-    );
-    m.writeback(rows.r(PoseRows::QX));
-    m.div_frac_signed(
-        Row(rows.r(PoseRows::Y)),
-        Row(rows.r(PoseRows::Z)),
-        RATIO_FRAC,
-    );
-    m.writeback(rows.r(PoseRows::QY));
-    m.mul_signed(Row(rows.r(PoseRows::CONST_F)), Row(rows.r(PoseRows::QX)));
-    m.shr_bits(Tmp, RATIO_FRAC);
-    m.add(Tmp, Row(rows.r(PoseRows::CONST_CX)));
-    m.writeback(rows.r(PoseRows::U));
-    m.mul_signed(Row(rows.r(PoseRows::CONST_F)), Row(rows.r(PoseRows::QY)));
-    m.shr_bits(Tmp, RATIO_FRAC);
-    m.add(Tmp, Row(rows.r(PoseRows::CONST_CY)));
-    m.writeback(rows.r(PoseRows::V));
-    // Z rescaled to Q4.12 and the inverse real depth c/Z (Q4.12)
-    m.shr_bits(Row(rows.r(PoseRows::Z)), POSE_FRAC + ff - 12);
-    m.writeback(rows.r(PoseRows::Z12));
-    m.div_frac_signed(Row(rows.r(PoseRows::C)), Row(rows.r(PoseRows::Z12)), 12);
-    match ff.cmp(&12) {
-        std::cmp::Ordering::Greater => m.shr_bits(Tmp, ff - 12),
-        std::cmp::Ordering::Less => m.shl_bits(Tmp, 12 - ff),
-        std::cmp::Ordering::Equal => {}
-    }
-    m.writeback(rows.r(PoseRows::IZ));
-    // validity mask: Z12 > 0 (behind-camera and degenerate-depth lanes
-    // are masked, branch-free), combined with a low-half constant so the
-    // 32-bit-stored Q14.2 values reinterpret cleanly as 16-bit lanes in
-    // the Hessian stage
+    // ---- warp / projection / validity mask (Fig. 5-b) ------------------
     m.host_broadcast(rows.r(PoseRows::SCRATCH), 0)
         .expect("host I/O row in range");
     m.host_broadcast(rows.r(PoseRows::LOWHALF), 0xFFFF)
         .expect("host I/O row in range");
-    m.cmp_gt(Row(rows.r(PoseRows::Z12)), Row(rows.r(PoseRows::SCRATCH)));
-    m.logic(
-        pimvo_pim::LogicFunc::And,
-        Tmp,
-        Row(rows.r(PoseRows::LOWHALF)),
-    );
-    m.writeback(rows.r(PoseRows::ZMASK));
+    let _ = run_pose_program(m, &warp_program(&rows, ff), level, &scratch);
 
     // ---- residual / gradient gather (host-addressed) -------------------
     if interp == Interp::Bilinear {
         // fractional weights wu, wv (Q0.6): a single AND with 0x3F
         m.host_broadcast(rows.r(PoseRows::SCRATCH), (1 << PIX_FRAC) - 1)
             .expect("host I/O row in range");
-        m.logic(
-            pimvo_pim::LogicFunc::And,
-            Row(rows.r(PoseRows::U)),
-            Row(rows.r(PoseRows::SCRATCH)),
-        );
-        m.writeback(rows.r(PoseRows::WU));
-        m.logic(
-            pimvo_pim::LogicFunc::And,
-            Row(rows.r(PoseRows::V)),
-            Row(rows.r(PoseRows::SCRATCH)),
-        );
-        m.writeback(rows.r(PoseRows::WV));
+        let _ = run_pose_program(m, &frac_weights_program(&rows), level, &scratch);
     }
 
     let u_raw = m.host_read_lanes(rows.r(PoseRows::U));
@@ -558,132 +758,17 @@ fn exec_batch(
         // the gathered values are the residuals; place them in RES
         m.host_write_lanes(rows.r(PoseRows::RES), &d00)
             .expect("host I/O row in range");
-        m.load(Row(rows.r(PoseRows::RES)));
-        m.writeback(rows.r(PoseRows::RES));
     }
 
-    // lerp pipeline: dx0 = d00 + ((d10 - d00) * wu >> 6), dx1 likewise,
-    // r = dx0 + ((dx1 - dx0) * wv >> 6)
-    let lerp = |m: &mut PimMachine, a: usize, b: usize, w: usize, dst: usize| {
-        m.sub(Row(b), Row(a));
-        m.writeback(rows.r(PoseRows::SCRATCH));
-        m.mul_signed(Row(rows.r(PoseRows::SCRATCH)), Row(w));
-        m.shr_bits(Tmp, PIX_FRAC);
-        m.add(Tmp, Row(a));
-        m.writeback(dst);
-    };
-    if interp == Interp::Bilinear {
-        lerp(
-            m,
-            rows.r(PoseRows::D00),
-            rows.r(PoseRows::D10),
-            rows.r(PoseRows::WU),
-            rows.r(PoseRows::DX0),
-        );
-        lerp(
-            m,
-            rows.r(PoseRows::D01),
-            rows.r(PoseRows::D11),
-            rows.r(PoseRows::WU),
-            rows.r(PoseRows::D11),
-        );
-        lerp(
-            m,
-            rows.r(PoseRows::DX0),
-            rows.r(PoseRows::D11),
-            rows.r(PoseRows::WV),
-            rows.r(PoseRows::RES),
-        );
-    }
+    // residual: bilinear lerp pipeline (or the nearest staging copy),
+    // with the validity mask folded in before the store — zeroed and
+    // packed for the W16 hessian stage
+    let _ = run_pose_program(m, &residual_program(&rows, interp), level, &scratch);
 
     // ---- Jacobian (Fig. 5-d shared-subexpression pipeline) -------------
-    // s = (qx*gu + qy*gv) >> RATIO_FRAC
-    m.mul_signed(Row(rows.r(PoseRows::QX)), Row(rows.r(PoseRows::GU)));
-    m.shr_bits(Tmp, RATIO_FRAC);
-    m.writeback(rows.r(PoseRows::SCRATCH));
-    m.mul_signed(Row(rows.r(PoseRows::QY)), Row(rows.r(PoseRows::GV)));
-    m.shr_bits(Tmp, RATIO_FRAC);
-    m.add(Tmp, Row(rows.r(PoseRows::SCRATCH)));
-    m.writeback(rows.r(PoseRows::S));
-
-    // J1 = (gu * iz) >> 12 ; J2 likewise ; J3 = -(s * iz) >> 12
-    let mul_shift_store =
-        |m: &mut PimMachine, a: usize, b: usize, shift: u32, neg: bool, dst: usize| {
-            m.mul_signed(Row(a), Row(b));
-            m.shr_bits(Tmp, shift);
-            if neg {
-                m.neg(Tmp);
-            }
-            m.sat_narrow(Tmp, 16);
-            m.writeback(dst);
-        };
-    mul_shift_store(
-        m,
-        rows.r(PoseRows::GU),
-        rows.r(PoseRows::IZ),
-        12,
-        false,
-        rows.r(PoseRows::J0),
-    );
-    mul_shift_store(
-        m,
-        rows.r(PoseRows::GV),
-        rows.r(PoseRows::IZ),
-        12,
-        false,
-        rows.r(PoseRows::J0) + 1,
-    );
-    mul_shift_store(
-        m,
-        rows.r(PoseRows::S),
-        rows.r(PoseRows::IZ),
-        12,
-        true,
-        rows.r(PoseRows::J0) + 2,
-    );
-    // J4 = -((qy*s >> 14) + gv)
-    m.mul_signed(Row(rows.r(PoseRows::QY)), Row(rows.r(PoseRows::S)));
-    m.shr_bits(Tmp, RATIO_FRAC);
-    m.add(Tmp, Row(rows.r(PoseRows::GV)));
-    m.neg(Tmp);
-    m.sat_narrow(Tmp, 16);
-    m.writeback(rows.r(PoseRows::J0) + 3);
-    // J5 = (qx*s >> 14) + gu
-    m.mul_signed(Row(rows.r(PoseRows::QX)), Row(rows.r(PoseRows::S)));
-    m.shr_bits(Tmp, RATIO_FRAC);
-    m.add(Tmp, Row(rows.r(PoseRows::GU)));
-    m.sat_narrow(Tmp, 16);
-    m.writeback(rows.r(PoseRows::J0) + 4);
-    // J6 = (qx*gv >> 14) - (qy*gu >> 14)
-    m.mul_signed(Row(rows.r(PoseRows::QX)), Row(rows.r(PoseRows::GV)));
-    m.shr_bits(Tmp, RATIO_FRAC);
-    m.writeback(rows.r(PoseRows::SCRATCH));
-    m.mul_signed(Row(rows.r(PoseRows::QY)), Row(rows.r(PoseRows::GU)));
-    m.shr_bits(Tmp, RATIO_FRAC);
-    m.neg(Tmp);
-    m.add(Tmp, Row(rows.r(PoseRows::SCRATCH)));
-    m.sat_narrow(Tmp, 16);
-    m.writeback(rows.r(PoseRows::J0) + 5);
-
-    // mask invalid lanes' Jacobians and residual row (branch-free):
-    // multiply by the 0/-1 Z mask would flip signs; instead AND with it
-    for k in 0..6 {
-        m.logic(
-            pimvo_pim::LogicFunc::And,
-            Row(rows.r(PoseRows::J0) + k),
-            Row(rows.r(PoseRows::ZMASK)),
-        );
-        m.writeback(rows.r(PoseRows::J0) + k);
-    }
-
-    // pack the residual row for the W16 hessian stage and zero the
-    // invalid lanes (same combined mask as the Jacobians)
-    m.logic(
-        pimvo_pim::LogicFunc::And,
-        Row(rows.r(PoseRows::RES)),
-        Row(rows.r(PoseRows::ZMASK)),
-    );
-    m.writeback(rows.r(PoseRows::RES));
+    // invalid lanes are masked branch-free: multiplying by the 0/-1 Z
+    // mask would flip signs; instead each row is ANDed with it
+    let _ = run_pose_program(m, &jacobian_program(&rows), level, &scratch);
 
     // read back jacobians and residuals (host view for verification /
     // fast-path checks). The combined mask packed each lane into 16-bit
@@ -711,23 +796,17 @@ fn exec_batch(
     // (charged at half cost: two 80-feature half-batches pack one
     // 160-lane word line; see the module docs)
     let before = m.stats().clone();
-    m.set_lanes(LaneWidth::W16, Signedness::Signed);
+    let sums = run_pose_program(m, &hessian_program(&rows), level, &scratch);
     let mut h_partial = [0i64; 21];
     let mut b_partial = [0i64; 6];
+    let mut it = sums.into_iter();
     for i in 0..6 {
         for k in i..6 {
-            m.mul_signed(Row(rows.r(PoseRows::J0) + i), Row(rows.r(PoseRows::J0) + k));
-            m.shr_bits(Tmp, 1); // Q28.4 -> Q29.3
-            let sum = m.reduce_sum();
-            h_partial[tri_idx(i, k)] = sum;
+            h_partial[tri_idx(i, k)] = it.next().expect("hessian reduce result");
         }
-        m.mul_signed(Row(rows.r(PoseRows::J0) + i), Row(rows.r(PoseRows::RES)));
-        m.shr_bits(Tmp, 3); // Q26.6 -> Q29.3
-        b_partial[i] = m.reduce_sum();
+        b_partial[i] = it.next().expect("steepest-descent reduce result");
     }
-    // cost partial: sum r^2 (Q24.8)
-    m.mul_signed(Row(rows.r(PoseRows::RES)), Row(rows.r(PoseRows::RES)));
-    let cost_partial = m.reduce_sum();
+    let cost_partial = it.next().expect("cost reduce result");
     // halve the hessian-stage charge: two 80-feature half-batches pack
     // one 160-lane word line, so each pays half of the traced stage.
     // try_since: counters restored from a checkpoint can sit below the
@@ -780,10 +859,11 @@ fn charge_gather(m: &mut PimMachine, lanes: usize, tables: usize) {
 /// group. Identical output values to [`run_batch`], but without the
 /// paper's scheduling optimizations:
 ///
-/// * no Tmp-Reg chaining: every multiply/shift result is written back
-///   to SRAM and re-read by the consumer;
+/// * no Tmp-Reg chaining: the same macro-op programs are lowered at
+///   [`LowerLevel::Naive`], so every intermediate is written back to
+///   SRAM and re-read by the consumer;
 /// * no shared-subexpression pipeline (Fig. 5-d): the `s` term of the
-///   Jacobian is recomputed from scratch for J3, J4 and J5.
+///   Jacobian is charged as recomputed from scratch for J3, J4 and J5.
 ///
 /// # Panics
 ///
@@ -809,30 +889,25 @@ pub fn run_batch_naive(
     )
 }
 
-/// Charges the extra cost of the naive schedule, derived from the op
-/// sequence (correctness comes from the optimized path — the values are
-/// identical by construction, so the naive schedule is modeled by
-/// charging the extra staging on top of a real optimized run):
+/// Charges the naive-schedule costs the [`LowerLevel::Naive`] lowering
+/// cannot express (the SRAM round-trips of every intermediate *are*
+/// real at that level — only program-level rewrites are modeled here;
+/// the values are identical by construction):
 ///
 ///  * no shared-subexpression pipeline (Fig. 5-d): the s term is
 ///    recomputed for J3/J4/J5 (3 x (2 muls + shift + add) at W32)
 ///    and the inverse-depth division is recomputed for J2/J3
 ///    (2 extra 32-bit fractional divisions);
-///  * no Tmp-Reg chaining: the 14 chained intermediate results and
-///    the 3 lerp stages round-trip through SRAM;
 ///  * no gather packing: the DT corners and gradients are fetched
 ///    with one serialized access per element (6/feature instead of
 ///    the packed 3/feature).
 fn charge_naive_extras(m: &mut PimMachine, n_feats: usize) {
     let s_recompute = 3 * (2 * 38 + 2);
     let div_recompute = 2 * 50;
-    let roundtrips = (14 + 3) * 2;
     let unpacked_gathers = 3 * n_feats as u64;
     let mut extra = pimvo_pim::ExecStats::new();
-    extra.cycles = s_recompute + div_recompute + roundtrips + unpacked_gathers;
-    extra.sram_writes = 17;
-    extra.sram_reads = 17 + unpacked_gathers;
-    extra.acc_ops = s_recompute + div_recompute + roundtrips;
+    extra.cycles = s_recompute + div_recompute + unpacked_gathers;
+    extra.acc_ops = s_recompute + div_recompute;
     extra.tmp_accesses = extra.acc_ops + unpacked_gathers;
     m.merge_extra_stats(&extra);
 }

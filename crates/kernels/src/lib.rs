@@ -1,22 +1,27 @@
 #![warn(missing_docs)]
 
-//! Edge-detection kernels of the EBVO pipeline (§3.2 of the paper), in
-//! three interchangeable implementations:
+//! Edge-detection kernels of the EBVO pipeline (§3.2 of the paper).
 //!
-//! * [`scalar`] — plain Rust reference implementations defining the
-//!   exact output semantics (zero padding outside the image, truncating
-//!   averages, saturating sums — matching what the PIM hardware
-//!   produces);
-//! * [`pim_opt`] — the paper's optimized PIM mappings (Figs. 2-4):
-//!   whole-row operations with fused pixel shifts, Tmp-Reg chaining and
-//!   the simplified branch-free NMS;
-//! * [`pim_naive`] — straightforward PIM mappings without the data-reuse
-//!   and scheduling optimizations, used as the comparison point of
-//!   Fig. 9-b.
+//! Each kernel is defined **twice**: once as a plain-Rust reference
+//! ([`scalar`], fixing the exact output semantics — zero padding
+//! outside the image, truncating averages, saturating sums) and once
+//! as a macro-op IR program ([`ir`]) lowered onto the PIM machine by
+//! [`pimvo_pim::lower()`] at a chosen [`pimvo_pim::LowerLevel`]:
 //!
-//! All three produce **bit-identical** edge maps; they differ only in
-//! cycle and energy cost on the PIM machine. Integration and property
-//! tests enforce the equivalence.
+//! * `Naive` — the paper's unoptimized mapping (stand-alone shifts,
+//!   every intermediate written back to SRAM), the Fig. 9-b comparison
+//!   point;
+//! * `Opt` — the paper's optimized mapping (Figs. 2-4): fused pixel
+//!   shifts, Tmp-Reg chaining and the simplified branch-free NMS;
+//! * `MultiReg(n)` — the §5.4 scaling study: spills held in extra
+//!   temporary registers instead of SRAM scratch rows.
+//!
+//! The historical hand-scheduled variants ([`pim_naive`], [`pim_opt`],
+//! [`pim_multireg`]) remain as deprecated thin wrappers over [`ir`];
+//! [`pim_pool`] shards the same programs across a
+//! [`pimvo_pim::PimArrayPool`]. All levels produce **bit-identical**
+//! edge maps; they differ only in cycle and energy cost. Integration
+//! and property tests enforce the equivalence.
 //!
 //! ```
 //! use pimvo_kernels::{scalar, EdgeConfig, GrayImage};
@@ -28,6 +33,7 @@
 
 mod config;
 mod image;
+pub mod ir;
 pub mod pim_multireg;
 pub mod pim_naive;
 pub mod pim_opt;
@@ -35,7 +41,10 @@ pub mod pim_pool;
 pub mod pim_util;
 pub mod scalar;
 
-pub use config::EdgeConfig;
+pub use config::{
+    row_or_zero, EdgeConfig, DEFAULT_BORDER, DEFAULT_TH1, DEFAULT_TH2, NEIGHBOR_SHIFT,
+    RECENTER_SHIFT,
+};
 pub use image::{DepthImage, GrayImage};
 
 /// Output of the edge-detection pipeline: the intermediate low-pass and

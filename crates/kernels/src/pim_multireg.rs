@@ -2,174 +2,48 @@
 //!
 //! The paper closes with: *"Using one Tmp Reg is a modest setup in this
 //! work, and we could use more registers to further improve the
-//! efficiency of both computation and power."* This module implements
-//! that extension for the HPF and NMS kernels: with four temporary
-//! registers, every per-row intermediate that [`crate::pim_opt`] must
-//! round-trip through SRAM scratch rows stays in the register file,
-//! eliding almost all write-backs (and their dominant SRAM energy).
+//! efficiency of both computation and power."*
 //!
-//! Outputs are bit-identical to [`crate::scalar`] / [`crate::pim_opt`];
-//! only the cost changes. The LPF mapping has no scratch traffic to
-//! elide and is reused from `pim_opt`.
+//! Deprecated thin wrappers: the kernels are defined once as macro-op
+//! IR programs in [`crate::ir`], and the multi-register schedule is now
+//! produced by the [`LowerLevel::MultiReg`] lowering — spills go to
+//! extra temporary registers ([`PimMachine::save_tmp`]) instead of SRAM
+//! scratch rows, eliding almost all write-backs (and their dominant
+//! SRAM energy). Outputs are bit-identical to [`crate::scalar`]; only
+//! the cost changes.
 
-use crate::pim_util::{apply_ghost_mask, ghost_mask, load_image, read_image, row_or_zero, Regions};
-use crate::{pim_opt, EdgeConfig, EdgeMaps, GrayImage};
-use pimvo_pim::{LaneWidth, LogicFunc, Operand, PimMachine, Signedness};
+use crate::{ir, EdgeConfig, EdgeMaps, GrayImage};
+use pimvo_pim::{LowerLevel, PimMachine};
 
-use Operand::{Reg, Row, Tmp};
-
-/// Temporary registers the mappings below require.
+/// Temporary registers the multi-register lowering below uses.
 pub const REGS_REQUIRED: u8 = 4;
 
-/// Runs the full pipeline with the multi-register HPF/NMS mappings.
+/// Runs the full pipeline with the multi-register lowering.
 ///
 /// # Panics
 ///
 /// Panics if the machine has fewer than [`REGS_REQUIRED`] temporary
 /// registers (enable them with [`PimMachine::set_tmp_regs`]) or fewer
 /// than 6 banks of 256 rows.
+#[deprecated(note = "use ir::edge_detect with LowerLevel::MultiReg")]
 pub fn edge_detect(m: &mut PimMachine, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
-    check_regs(m);
-    let regions = Regions::for_machine(m, img.height());
-    let w = load_image(m, regions.input, img) as u32;
-    let h = img.height();
-
-    // LPF is already register-minimal; reuse the optimized mapping
-    let lpf = pim_opt::lpf(m, img);
-
-    hpf_rows(m, &regions, regions.aux2, regions.aux3, h, w as usize);
-    let hpf = read_image(m, regions.aux3, w, h);
-
-    nms_rows(m, &regions, regions.aux3, regions.out, h, w as usize, cfg);
-    let mut mask = read_image(m, regions.out, w, h);
-    mask.clear_border(cfg.border);
-
-    EdgeMaps { lpf, hpf, mask }
+    ir::edge_detect(m, img, cfg, LowerLevel::MultiReg(REGS_REQUIRED))
 }
 
 /// Multi-register HPF mapping.
+#[deprecated(note = "use ir::hpf with LowerLevel::MultiReg")]
 pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage) -> GrayImage {
-    check_regs(m);
-    let regions = Regions::for_machine(m, lpf_map.height());
-    let w = load_image(m, regions.aux2, lpf_map) as u32;
-    hpf_rows(
-        m,
-        &regions,
-        regions.aux2,
-        regions.aux3,
-        lpf_map.height(),
-        w as usize,
-    );
-    read_image(m, regions.aux3, w, lpf_map.height())
+    ir::hpf(m, lpf_map, LowerLevel::MultiReg(REGS_REQUIRED))
 }
 
 /// Multi-register NMS mapping.
+#[deprecated(note = "use ir::nms with LowerLevel::MultiReg")]
 pub fn nms(m: &mut PimMachine, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
-    check_regs(m);
-    let regions = Regions::for_machine(m, hpf_map.height());
-    let w = load_image(m, regions.aux3, hpf_map) as u32;
-    nms_rows(
-        m,
-        &regions,
-        regions.aux3,
-        regions.out,
-        hpf_map.height(),
-        w as usize,
-        cfg,
-    );
-    let mut mask = read_image(m, regions.out, w, hpf_map.height());
-    mask.clear_border(cfg.border);
-    mask
-}
-
-fn check_regs(m: &PimMachine) {
-    assert!(
-        m.tmp_reg_count() >= REGS_REQUIRED,
-        "multi-register mapping needs {} Tmp registers, machine has {} \
-         (call set_tmp_regs)",
-        REGS_REQUIRED,
-        m.tmp_reg_count()
-    );
-}
-
-/// HPF with the three out-of-order direction maps held in registers:
-/// one SRAM write-back per row (the output itself).
-fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0)
-        .expect("host I/O row in range");
-    let mask = ghost_mask(m, r, w);
-    for y in 0..h as i64 {
-        let a = row_or_zero(r, src, y - 1, h);
-        let b = row_or_zero(r, src, y, h);
-        let c = row_or_zero(r, src, y + 1, h);
-
-        m.abs_diff_sh(Row(c), Row(a), 2); // |c1 - a3|
-        m.save_tmp(1);
-        m.abs_diff(Row(a), Row(c)); // |a2 - c2| (anchored at x)
-        m.save_tmp(2);
-        m.abs_diff_sh(Row(b), Row(b), 2); // |b1 - b3|
-        m.save_tmp(3);
-
-        m.abs_diff_sh(Row(a), Row(c), 2); // |a1 - c3|
-        m.avg(Tmp, Reg(1)); // avg of the diagonals
-        m.save_tmp(1);
-        m.avg_sh(Reg(3), Reg(2), 1); // avg(horiz, vert re-anchored)
-        m.avg(Tmp, Reg(1)); // final SAD/4 response
-        m.shift_pix(Tmp, -1);
-        apply_ghost_mask(m, mask);
-        m.writeback(dst + y as usize);
-    }
-}
-
-/// NMS with the directional maxima, K and M masks in registers.
-fn nms_rows(
-    m: &mut PimMachine,
-    r: &Regions,
-    src: usize,
-    dst: usize,
-    h: u32,
-    w: usize,
-    cfg: &EdgeConfig,
-) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0)
-        .expect("host I/O row in range");
-    m.host_broadcast(r.th(0), cfg.th1 as i64)
-        .expect("host I/O row in range");
-    m.host_broadcast(r.th(1), cfg.th2 as i64)
-        .expect("host I/O row in range");
-    let mask = ghost_mask(m, r, w);
-    for y in 0..h as i64 {
-        let a = row_or_zero(r, src, y - 1, h);
-        let b = row_or_zero(r, src, y, h);
-        let c = row_or_zero(r, src, y + 1, h);
-
-        m.max_sh(Row(a), Row(c), 2); // max(a1, c3)
-        m.save_tmp(1);
-        m.max(Row(a), Row(c)); // max(a2, c2), anchored at x
-        m.save_tmp(2);
-        m.max_sh(Row(c), Row(a), 2); // max(c1, a3)
-        m.save_tmp(3);
-
-        m.max_sh(Row(b), Row(b), 2); // max(b1, b3)
-        m.min(Tmp, Reg(1));
-        m.min_sh(Tmp, Reg(2), 1);
-        m.min(Tmp, Reg(3));
-        m.shift_pix(Tmp, -1); // K re-centred
-        apply_ghost_mask(m, mask);
-        m.save_tmp(1); // K
-
-        m.sat_sub(Row(b), Row(r.th(0))); // L = sat(B - th1)
-        m.cmp_gt(Tmp, Reg(1)); // M = L > K
-        m.save_tmp(2);
-        m.cmp_gt(Row(b), Row(r.th(1))); // N = B > th2
-        m.logic(LogicFunc::And, Tmp, Reg(2));
-        m.writeback(dst + y as usize);
-    }
+    ir::nms(m, hpf_map, cfg, LowerLevel::MultiReg(REGS_REQUIRED))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::scalar;
@@ -209,7 +83,7 @@ mod tests {
         let img = test_image();
         let cfg = EdgeConfig::default();
         let mut m1 = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let single = pim_opt::edge_detect(&mut m1, &img, &cfg);
+        let single = ir::edge_detect(&mut m1, &img, &cfg, pimvo_pim::LowerLevel::Opt);
         let mut m4 = machine();
         let multi = edge_detect(&mut m4, &img, &cfg);
         assert_eq!(single.mask, multi.mask);
@@ -221,7 +95,7 @@ mod tests {
         let img = test_image();
         let cfg = EdgeConfig::default();
         let mut m1 = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let _ = pim_opt::edge_detect(&mut m1, &img, &cfg);
+        let _ = ir::edge_detect(&mut m1, &img, &cfg, pimvo_pim::LowerLevel::Opt);
         let mut m4 = machine();
         let _ = edge_detect(&mut m4, &img, &cfg);
 

@@ -1,266 +1,50 @@
 //! Naive PIM mappings of the edge-detection kernels — the comparison
 //! point of Fig. 9-b.
 //!
-//! "Naive" means a straightforward, per-operand translation of each
-//! kernel without the paper's data-layout and scheduling optimizations:
-//!
-//! * every pixel shift is a stand-alone instruction whose result is
-//!   written back to SRAM before being consumed (no fused
-//!   shift-and-accumulate);
-//! * no Tmp-Reg chaining — every intermediate value round-trips through
-//!   the array;
-//! * no algebraic simplification — the NMS kernel executes the original
-//!   nine threshold comparisons and eight logic combines of Fig. 4's
-//!   "old" form, and the LPF re-computes the vertical average for every
-//!   horizontal tap instead of reusing it.
-//!
-//! The outputs are **bit-identical** to [`crate::scalar`] and
-//! [`crate::pim_opt`]; only the cycle/energy cost differs.
+//! Deprecated thin wrappers: the kernels are defined once as macro-op
+//! IR programs in [`crate::ir`], and "naive" is now simply the
+//! [`LowerLevel::Naive`] lowering — fused shifts expanded into
+//! stand-alone shift + write-back pairs, and every intermediate
+//! written back to SRAM and re-read by its consumers (no Tmp-Reg
+//! chaining). Outputs are **bit-identical** to [`crate::scalar`];
+//! only the cycle/energy cost differs.
 
-use crate::pim_util::{apply_ghost_mask, ghost_mask, load_image, read_image, row_or_zero, Regions};
-use crate::{EdgeConfig, EdgeMaps, GrayImage};
-use pimvo_pim::{LaneWidth, LogicFunc, Operand, PimMachine, Signedness};
-
-use Operand::{Row, Tmp};
+use crate::{ir, EdgeConfig, EdgeMaps, GrayImage};
+use pimvo_pim::{LowerLevel, PimMachine};
 
 /// Runs the full naive pipeline (LPF → HPF → NMS).
 ///
 /// # Panics
 ///
 /// Panics if the machine has fewer than 6 banks of 256 rows.
+#[deprecated(note = "use ir::edge_detect with LowerLevel::Naive")]
 pub fn edge_detect(m: &mut PimMachine, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
-    let regions = Regions::for_machine(m, img.height());
-    let w = load_image(m, regions.input, img) as u32;
-    let h = img.height();
-
-    lpf_rows(m, &regions, regions.input, regions.aux2, h, w as usize);
-    let lpf = read_image(m, regions.aux2, w, h);
-
-    hpf_rows(m, &regions, regions.aux2, regions.aux3, h, w as usize);
-    let hpf = read_image(m, regions.aux3, w, h);
-
-    nms_rows(m, &regions, regions.aux3, regions.out, h, w as usize, cfg);
-    let mut mask = read_image(m, regions.out, w, h);
-    mask.clear_border(cfg.border);
-
-    EdgeMaps { lpf, hpf, mask }
+    ir::edge_detect(m, img, cfg, LowerLevel::Naive)
 }
 
 /// Naive LPF mapping.
+#[deprecated(note = "use ir::lpf with LowerLevel::Naive")]
 pub fn lpf(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
-    let regions = Regions::for_machine(m, img.height());
-    let w = load_image(m, regions.input, img) as u32;
-    lpf_rows(
-        m,
-        &regions,
-        regions.input,
-        regions.aux2,
-        img.height(),
-        w as usize,
-    );
-    read_image(m, regions.aux2, w, img.height())
+    ir::lpf(m, img, LowerLevel::Naive)
 }
 
 /// Naive HPF mapping.
+#[deprecated(note = "use ir::hpf with LowerLevel::Naive")]
 pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage) -> GrayImage {
-    let regions = Regions::for_machine(m, lpf_map.height());
-    let w = load_image(m, regions.aux2, lpf_map) as u32;
-    hpf_rows(
-        m,
-        &regions,
-        regions.aux2,
-        regions.aux3,
-        lpf_map.height(),
-        w as usize,
-    );
-    read_image(m, regions.aux3, w, lpf_map.height())
+    ir::hpf(m, lpf_map, LowerLevel::Naive)
 }
 
-/// Naive NMS mapping (original branch-compound form).
+/// Naive NMS mapping.
+#[deprecated(note = "use ir::nms with LowerLevel::Naive")]
 pub fn nms(m: &mut PimMachine, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
-    let regions = Regions::for_machine(m, hpf_map.height());
-    let w = load_image(m, regions.aux3, hpf_map) as u32;
-    nms_rows(
-        m,
-        &regions,
-        regions.aux3,
-        regions.out,
-        hpf_map.height(),
-        w as usize,
-        cfg,
-    );
-    let mut mask = read_image(m, regions.out, w, hpf_map.height());
-    mask.clear_border(cfg.border);
-    mask
-}
-
-/// Naive LPF: the same two 2x2 passes, but the horizontal stage
-/// re-computes the shifted vertical average from scratch (stand-alone
-/// shifts + write-backs of both source rows) instead of reusing the
-/// Tmp-Reg value with a fused shift.
-fn lpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0)
-        .expect("host I/O row in range");
-    let mask = ghost_mask(m, r, w);
-    // pass 1 into aux1
-    for y in 0..h as i64 {
-        let a = row_or_zero(r, src, y, h);
-        let b = row_or_zero(r, src, y + 1, h);
-        m.avg(Row(a), Row(b)); // C = (A + B) / 2
-        m.writeback(r.s(0));
-        // shifted copy of C, recomputed via stand-alone shift + store
-        m.shift_pix(Row(r.s(0)), 1);
-        m.writeback(r.s(1));
-        m.avg(Row(r.s(0)), Row(r.s(1)));
-        m.writeback(r.aux1 + y as usize);
-    }
-    // pass 2 into dst
-    for y in 0..h as i64 {
-        let a = row_or_zero(r, r.aux1, y - 1, h);
-        let b = row_or_zero(r, r.aux1, y, h);
-        m.avg(Row(a), Row(b));
-        m.writeback(r.s(0));
-        m.shift_pix(Row(r.s(0)), -1);
-        apply_ghost_mask(m, mask);
-        m.writeback(r.s(1));
-        m.avg(Row(r.s(0)), Row(r.s(1)));
-        m.writeback(dst + y as usize);
-    }
-}
-
-/// Naive HPF: every aligned operand is materialized in SRAM via a
-/// stand-alone shift + write-back before its absolute difference, and
-/// the four direction maps are summed through the array instead of the
-/// Tmp Reg.
-fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0)
-        .expect("host I/O row in range");
-    let mask = ghost_mask(m, r, w);
-    for y in 0..h as i64 {
-        let a = row_or_zero(r, src, y - 1, h);
-        let b = row_or_zero(r, src, y, h);
-        let c = row_or_zero(r, src, y + 1, h);
-
-        // d_diag1 = |a1 - c3|: shift C by 2, store, abs-diff, store
-        m.shift_pix(Row(c), 2);
-        m.writeback(r.s(0));
-        m.abs_diff(Row(a), Row(r.s(0)));
-        m.writeback(r.s(1)); // d_diag1 anchored at x-1
-
-        // d_diag2 = |c1 - a3|
-        m.shift_pix(Row(a), 2);
-        m.writeback(r.s(0));
-        m.abs_diff(Row(c), Row(r.s(0)));
-        m.writeback(r.s(2));
-
-        // d_vert = |a2 - c2|, then re-anchor by a stand-alone shift
-        m.abs_diff(Row(a), Row(c));
-        m.writeback(r.s(0));
-        m.shift_pix(Row(r.s(0)), 1);
-        m.writeback(r.s(3));
-
-        // d_horiz = |b1 - b3|
-        m.shift_pix(Row(b), 2);
-        m.writeback(r.s(0));
-        m.abs_diff(Row(b), Row(r.s(0)));
-        m.writeback(r.s(4));
-
-        // SAD/4 averaging tree, each partial written back
-        m.avg(Row(r.s(1)), Row(r.s(2)));
-        m.writeback(r.s(0));
-        m.avg(Row(r.s(3)), Row(r.s(4)));
-        m.writeback(r.s(5));
-        m.avg(Row(r.s(0)), Row(r.s(5)));
-        m.writeback(r.s(0));
-        // re-centre and store the output row
-        m.shift_pix(Row(r.s(0)), -1);
-        apply_ghost_mask(m, mask);
-        m.writeback(dst + y as usize);
-    }
-}
-
-/// Naive NMS: a literal mapping of the original compound of nine
-/// comparisons and eight branches (Fig. 4, "old kernel"), with every
-/// neighbour alignment, threshold difference and mask combine staged
-/// through SRAM.
-///
-/// For each opposing pair `(p, q)` the branch `(b2 - p) > th1 &&
-/// (b2 - q) > th1` is computed with saturating subtraction (identical
-/// to the signed comparison for unsigned pixels) and the four pair
-/// masks are OR-combined, then AND-ed with `b2 > th2`.
-fn nms_rows(
-    m: &mut PimMachine,
-    r: &Regions,
-    src: usize,
-    dst: usize,
-    h: u32,
-    w: usize,
-    cfg: &EdgeConfig,
-) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0)
-        .expect("host I/O row in range");
-    m.host_broadcast(r.th(0), cfg.th1 as i64)
-        .expect("host I/O row in range");
-    m.host_broadcast(r.th(1), cfg.th2 as i64)
-        .expect("host I/O row in range");
-    let mask = ghost_mask(m, r, w);
-    for y in 0..h as i64 {
-        let a = row_or_zero(r, src, y - 1, h);
-        let b = row_or_zero(r, src, y, h);
-        let c = row_or_zero(r, src, y + 1, h);
-
-        // b2 aligned to the anchor i = x - 1: lane i holds B[i + 1]
-        m.shift_pix(Row(b), 1);
-        m.writeback(r.s(7));
-
-        // Neighbour rows aligned to anchor i = x - 1:
-        //   pair 1: (a1, c3) = (A[i],   C[i+2])
-        //   pair 2: (a2, c2) = (A[i+1], C[i+1])
-        //   pair 3: (a3, c1) = (A[i+2], C[i])
-        //   pair 4: (b1, b3) = (B[i],   B[i+2])
-        let pairs: [(usize, i32, usize, i32); 4] =
-            [(a, 0, c, 2), (a, 1, c, 1), (a, 2, c, 0), (b, 0, b, 2)];
-        // s(6) accumulates the OR of the pair masks
-        m.logic(LogicFunc::And, Row(r.zero_row()), Row(r.zero_row()));
-        m.writeback(r.s(6));
-        for (p_row, p_sh, q_row, q_sh) in pairs {
-            // mask_p = sat(b2' - p) > th1
-            m.shift_pix(Row(p_row), p_sh); // align p to the anchor x-1
-            m.writeback(r.s(0));
-            m.sat_sub(Row(r.s(7)), Row(r.s(0)));
-            m.writeback(r.s(1));
-            m.cmp_gt(Row(r.s(1)), Row(r.th(0)));
-            m.writeback(r.s(2));
-            // mask_q = sat(b2' - q) > th1
-            m.shift_pix(Row(q_row), q_sh);
-            m.writeback(r.s(0));
-            m.sat_sub(Row(r.s(7)), Row(r.s(0)));
-            m.writeback(r.s(1));
-            m.cmp_gt(Row(r.s(1)), Row(r.th(0)));
-            m.logic(LogicFunc::And, Tmp, Row(r.s(2)));
-            m.writeback(r.s(3));
-            // OR into the running mask
-            m.logic(LogicFunc::Or, Row(r.s(6)), Row(r.s(3)));
-            m.writeback(r.s(6));
-        }
-        // N = b2 > th2 (at the natural anchor x), combined after
-        // re-centring the pair mask
-        m.shift_pix(Row(r.s(6)), -1);
-        apply_ghost_mask(m, mask);
-        m.writeback(r.s(5));
-        m.cmp_gt(Row(b), Row(r.th(1)));
-        m.logic(LogicFunc::And, Tmp, Row(r.s(5)));
-        m.writeback(dst + y as usize);
-    }
+    ir::nms(m, hpf_map, cfg, LowerLevel::Naive)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::{pim_opt, scalar};
+    use crate::scalar;
     use pimvo_pim::ArrayConfig;
 
     fn machine() -> PimMachine {
@@ -305,7 +89,7 @@ mod tests {
         let mut mn = machine();
         let out_naive = edge_detect(&mut mn, &img, &cfg);
         let mut mo = machine();
-        let out_opt = pim_opt::edge_detect(&mut mo, &img, &cfg);
+        let out_opt = ir::edge_detect(&mut mo, &img, &cfg, LowerLevel::Opt);
 
         assert_eq!(out_naive.mask, out_opt.mask);
         let (cn, co) = (mn.stats().cycles, mo.stats().cycles);

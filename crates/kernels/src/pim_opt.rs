@@ -1,26 +1,15 @@
 //! Optimized PIM mappings of the edge-detection kernels — the paper's
 //! contribution in §3.2 (Figs. 2, 3, 4).
 //!
-//! The optimizations over [`crate::pim_naive`]:
-//!
-//! * **fused pixel shifts** — the shifter sits in the accumulator
-//!   datapath, so `avg(C, C << 1pix)` is a single cycle instead of a
-//!   stand-alone shift plus a write-back plus an average;
-//! * **Tmp-Reg chaining** — multi-stage expressions keep intermediate
-//!   results in the temporary register, paying SRAM write-backs only for
-//!   values consumed by a *later* row's processing;
-//! * **algebraic simplification** — the NMS branch compound is replaced
-//!   by the branch-free `sat / min / max` form (Fig. 4), and the Sobel
-//!   gradient magnitude by the 4-direction saturated SAD (Fig. 3).
-//!
-//! Every function produces output bit-identical to the [`crate::scalar`]
-//! reference.
+//! Deprecated thin wrappers: the kernels are defined once as macro-op
+//! IR programs in [`crate::ir`], and the paper's optimizations — fused
+//! pixel shifts, Tmp-Reg chaining, minimal scratch spills — are now
+//! produced mechanically by the [`LowerLevel::Opt`] lowering pass.
+//! Every function produces output bit-identical to the
+//! [`crate::scalar`] reference.
 
-use crate::pim_util::{apply_ghost_mask, ghost_mask, load_image, read_image, row_or_zero, Regions};
-use crate::{EdgeConfig, EdgeMaps, GrayImage};
-use pimvo_pim::{LaneWidth, LogicFunc, Operand, PimMachine, Signedness};
-
-use Operand::{Row, Tmp};
+use crate::{ir, EdgeConfig, EdgeMaps, GrayImage};
+use pimvo_pim::{LowerLevel, PimMachine};
 
 /// Runs the full optimized pipeline (LPF → HPF → NMS) on the machine and
 /// returns the resulting maps.
@@ -29,287 +18,38 @@ use Operand::{Row, Tmp};
 ///
 /// Panics if the machine has fewer than 6 banks of 256 rows (use
 /// [`pimvo_pim::ArrayConfig::qvga_banks`]).
+#[deprecated(note = "use ir::edge_detect with LowerLevel::Opt")]
 pub fn edge_detect(m: &mut PimMachine, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
-    let regions = Regions::for_machine(m, img.height());
-    let w = load_image(m, regions.input, img) as u32;
-    let h = img.height();
-
-    lpf_rows(m, &regions, regions.input, regions.aux2, h, w as usize);
-    let lpf = read_image(m, regions.aux2, w, h);
-
-    hpf_rows(m, &regions, regions.aux2, regions.aux3, h, w as usize);
-    let hpf = read_image(m, regions.aux3, w, h);
-
-    nms_rows(m, &regions, regions.aux3, regions.out, h, w as usize, cfg);
-    let mut mask = read_image(m, regions.out, w, h);
-    mask.clear_border(cfg.border);
-
-    EdgeMaps { lpf, hpf, mask }
+    ir::edge_detect(m, img, cfg, LowerLevel::Opt)
 }
 
 /// Runs only the optimized LPF mapping; returns the low-pass map.
+#[deprecated(note = "use ir::lpf with LowerLevel::Opt")]
 pub fn lpf(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
-    let regions = Regions::for_machine(m, img.height());
-    let w = load_image(m, regions.input, img) as u32;
-    lpf_rows(
-        m,
-        &regions,
-        regions.input,
-        regions.aux2,
-        img.height(),
-        w as usize,
-    );
-    read_image(m, regions.aux2, w, img.height())
+    ir::lpf(m, img, LowerLevel::Opt)
 }
 
 /// Runs only the optimized HPF mapping on a low-pass map.
+#[deprecated(note = "use ir::hpf with LowerLevel::Opt")]
 pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage) -> GrayImage {
-    let regions = Regions::for_machine(m, lpf_map.height());
-    let w = load_image(m, regions.aux2, lpf_map) as u32;
-    hpf_rows(
-        m,
-        &regions,
-        regions.aux2,
-        regions.aux3,
-        lpf_map.height(),
-        w as usize,
-    );
-    read_image(m, regions.aux3, w, lpf_map.height())
+    ir::hpf(m, lpf_map, LowerLevel::Opt)
 }
 
 /// Runs only the optimized NMS mapping on a high-pass map.
+#[deprecated(note = "use ir::nms with LowerLevel::Opt")]
 pub fn nms(m: &mut PimMachine, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
-    let regions = Regions::for_machine(m, hpf_map.height());
-    let w = load_image(m, regions.aux3, hpf_map) as u32;
-    nms_rows(
-        m,
-        &regions,
-        regions.aux3,
-        regions.out,
-        hpf_map.height(),
-        w as usize,
-        cfg,
-    );
-    let mut mask = read_image(m, regions.out, w, hpf_map.height());
-    mask.clear_border(cfg.border);
-    mask
+    ir::nms(m, hpf_map, cfg, LowerLevel::Opt)
 }
 
-/// Downsamples by 2 on the PIM: per output row one vertical average
-/// (dual-row read) and one fused shift-average produce the 2x2 block
-/// means at even lanes; the lane decimation is a host-side repack, as
-/// in the pooling layers of the CNN extension. Output is bit-identical
-/// to [`crate::scalar::downsample2x`].
+/// Downsamples by 2 on the PIM; the lane decimation is a host-side
+/// repack. Output is bit-identical to [`crate::scalar::downsample2x`].
+#[deprecated(note = "use ir::downsample2x with LowerLevel::Opt")]
 pub fn downsample2x(m: &mut PimMachine, img: &GrayImage) -> GrayImage {
-    let regions = Regions::for_machine(m, img.height());
-    let _ = load_image(m, regions.input, img);
-    let (w, h) = (img.width() / 2, img.height() / 2);
-    assert!(w > 0 && h > 0, "image too small to downsample");
-    let rows = downsample_strip(m, &regions, 0, h);
-    let mut out = GrayImage::new(w, h);
-    for (oy, lanes) in rows.iter().enumerate() {
-        for ox in 0..w {
-            out.set(ox, oy as u32, lanes[(2 * ox) as usize] as u8);
-        }
-    }
-    out
-}
-
-/// Downsample compute for output rows `oy0..oy1`: 3 cycles per output
-/// row, returning each produced row's lane values (host-read, for the
-/// decimating repack). Shard-safe: only touches input rows
-/// `2*oy0..2*oy1` and scratch rows `aux1 + oy0..oy1`.
-pub(crate) fn downsample_strip(
-    m: &mut PimMachine,
-    r: &Regions,
-    oy0: u32,
-    oy1: u32,
-) -> Vec<Vec<i64>> {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    let mut rows = Vec::with_capacity((oy1 - oy0) as usize);
-    for oy in oy0..oy1 {
-        let r0 = r.input + (2 * oy) as usize;
-        m.avg(Row(r0), Row(r0 + 1)); // vertical pair average
-        m.avg_sh(Tmp, Tmp, 1); // horizontal fused average (even lanes)
-        m.writeback(r.aux1 + oy as usize);
-        rows.push(m.host_read_lanes(r.aux1 + oy as usize));
-    }
-    rows
-}
-
-/// LPF (Fig. 2): the 3x3 binomial decomposed into two 2x2 averaging
-/// passes. Per row and pass: one vertical average (dual-row read), one
-/// fused shift-average on the Tmp Reg, one write-back — 3 cycles.
-fn lpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0)
-        .expect("host I/O row in range");
-    let mask = ghost_mask(m, r, w);
-    lpf_pass1_strip(m, r, src, h, 0, h as i64);
-    lpf_pass2_strip(m, r, dst, h, mask, 0, h as i64);
-}
-
-/// LPF pass 1 (anchored top-left) for output rows `y0..y1`, into
-/// `aux1`. Row `y` reads `src` rows `y` and `y + 1` — a shard therefore
-/// needs one halo input row below its strip.
-pub(crate) fn lpf_pass1_strip(
-    m: &mut PimMachine,
-    r: &Regions,
-    src: usize,
-    h: u32,
-    y0: i64,
-    y1: i64,
-) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    for y in y0..y1 {
-        let a = row_or_zero(r, src, y, h);
-        let b = row_or_zero(r, src, y + 1, h);
-        m.avg(Row(a), Row(b)); // C = (A + B) / 2
-        m.avg_sh(Tmp, Tmp, 1); // E = (C + C<<1pix) / 2
-        m.writeback(r.aux1 + y as usize);
-    }
-}
-
-/// LPF pass 2 (anchored bottom-right) for output rows `y0..y1`, reading
-/// `aux1` rows `y - 1` and `y` — a shard needs one halo pass-1 row
-/// above its strip (exchanged between pool arrays by the host).
-pub(crate) fn lpf_pass2_strip(
-    m: &mut PimMachine,
-    r: &Regions,
-    dst: usize,
-    h: u32,
-    mask: Option<usize>,
-    y0: i64,
-    y1: i64,
-) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    for y in y0..y1 {
-        let a = row_or_zero(r, r.aux1, y - 1, h);
-        let b = row_or_zero(r, r.aux1, y, h);
-        m.avg(Row(a), Row(b));
-        m.avg_sh(Tmp, Tmp, -1);
-        apply_ghost_mask(m, mask);
-        m.writeback(dst + y as usize);
-    }
-}
-
-/// HPF (Fig. 3): saturated SAD over the four opposing neighbour pairs.
-/// Operand alignment by whole-row 2-pixel shifts, fused into the
-/// absolute-difference and saturating-add steps; only the three
-/// direction maps consumed out of order are written to scratch.
-fn hpf_rows(m: &mut PimMachine, r: &Regions, src: usize, dst: usize, h: u32, w: usize) {
-    m.host_broadcast(r.zero_row(), 0)
-        .expect("host I/O row in range");
-    let mask = ghost_mask(m, r, w);
-    hpf_strip(m, r, src, dst, h, mask, 0, h as i64);
-}
-
-/// HPF compute for output rows `y0..y1`. Row `y` reads `src` rows
-/// `y - 1 .. y + 1` — a shard needs one halo row on each side.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn hpf_strip(
-    m: &mut PimMachine,
-    r: &Regions,
-    src: usize,
-    dst: usize,
-    h: u32,
-    mask: Option<usize>,
-    y0: i64,
-    y1: i64,
-) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    for y in y0..y1 {
-        let a = row_or_zero(r, src, y - 1, h); // row above
-        let b = row_or_zero(r, src, y, h); // centre row
-        let c = row_or_zero(r, src, y + 1, h); // row below
-
-        // anchored at x-1 (lane i corresponds to output pixel x = i+1)
-        m.abs_diff_sh(Row(c), Row(a), 2); // |c1 - a3|
-        m.writeback(r.s(0));
-        m.abs_diff(Row(a), Row(c)); // |a2 - c2| (anchored at x)
-        m.writeback(r.s(1));
-        m.abs_diff_sh(Row(b), Row(b), 2); // |b1 - b3|
-        m.writeback(r.s(2));
-
-        m.abs_diff_sh(Row(a), Row(c), 2); // |a1 - c3|, stays in Tmp
-        m.avg(Tmp, Row(r.s(0))); // avg of the two diagonals
-        m.writeback(r.s(3));
-        m.avg_sh(Row(r.s(2)), Row(r.s(1)), 1); // avg(horiz, vert re-anchored)
-        m.avg(Tmp, Row(r.s(3))); // final SAD/4 response
-        m.shift_pix(Tmp, -1); // re-centre to output anchor
-        apply_ghost_mask(m, mask);
-        m.writeback(dst + y as usize);
-    }
-}
-
-/// NMS (Fig. 4): the simplified branch-free kernel
-/// `edge = (b2 > th2) && (sat(b2 - th1) > min(4 directional maxima))`.
-fn nms_rows(
-    m: &mut PimMachine,
-    r: &Regions,
-    src: usize,
-    dst: usize,
-    h: u32,
-    w: usize,
-    cfg: &EdgeConfig,
-) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    m.host_broadcast(r.zero_row(), 0)
-        .expect("host I/O row in range");
-    m.host_broadcast(r.th(0), cfg.th1 as i64)
-        .expect("host I/O row in range");
-    m.host_broadcast(r.th(1), cfg.th2 as i64)
-        .expect("host I/O row in range");
-    let mask = ghost_mask(m, r, w);
-    nms_strip(m, r, src, dst, h, mask, 0, h as i64);
-}
-
-/// NMS compute for output rows `y0..y1` (threshold rows must already be
-/// hosted). Row `y` reads `src` rows `y - 1 .. y + 1` — a shard needs
-/// one halo row on each side.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn nms_strip(
-    m: &mut PimMachine,
-    r: &Regions,
-    src: usize,
-    dst: usize,
-    h: u32,
-    mask: Option<usize>,
-    y0: i64,
-    y1: i64,
-) {
-    m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
-    for y in y0..y1 {
-        let a = row_or_zero(r, src, y - 1, h);
-        let b = row_or_zero(r, src, y, h);
-        let c = row_or_zero(r, src, y + 1, h);
-
-        // directional maxima, anchored at x-1 except the vertical pair
-        m.max_sh(Row(a), Row(c), 2); // G = max(a1, c3)
-        m.writeback(r.s(0));
-        m.max(Row(a), Row(c)); // H = max(a2, c2), anchored at x
-        m.writeback(r.s(1));
-        m.max_sh(Row(c), Row(a), 2); // I = max(c1, a3)
-        m.writeback(r.s(2));
-
-        m.max_sh(Row(b), Row(b), 2); // J = max(b1, b3), in Tmp
-        m.min(Tmp, Row(r.s(0))); // K = min(J, G)
-        m.min_sh(Tmp, Row(r.s(1)), 1); // ... min with H re-anchored
-        m.min(Tmp, Row(r.s(2))); // ... min with I
-        m.shift_pix(Tmp, -1); // re-centre K to the output anchor
-        apply_ghost_mask(m, mask);
-        m.writeback(r.s(3));
-
-        m.sat_sub(Row(b), Row(r.th(0))); // L = sat(B - th1)
-        m.cmp_gt(Tmp, Row(r.s(3))); // M = L > K
-        m.writeback(r.s(4));
-        m.cmp_gt(Row(b), Row(r.th(1))); // N = B > th2
-        m.logic(LogicFunc::And, Tmp, Row(r.s(4))); // edge = M && N
-        m.writeback(dst + y as usize);
-    }
+    ir::downsample2x(m, img, LowerLevel::Opt)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::scalar;
@@ -386,6 +126,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod downsample_tests {
     use super::*;
     use crate::scalar;

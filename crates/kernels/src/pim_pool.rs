@@ -1,6 +1,8 @@
 //! Sharded edge-detection kernels on a [`PimArrayPool`]: each array
-//! processes a contiguous strip of image rows, running the optimized
-//! [`crate::pim_opt`] mappings in parallel.
+//! runs the [`crate::ir`] kernel programs — lowered at
+//! [`pimvo_pim::LowerLevel::Opt`] — for a contiguous strip of image
+//! rows, submitted through
+//! [`PimArrayPool::run_programs_labeled`].
 //!
 //! # Sharding model
 //!
@@ -16,7 +18,7 @@
 //!   phase's output (LPF pass 2 after pass 1, HPF after LPF, NMS after
 //!   HPF), the host copies each strip-edge row from the array that
 //!   computed it into the neighbour that reads it, between the two
-//!   [`PimArrayPool::run_phase`] barriers.
+//!   program-submission barriers.
 //!
 //! Both mechanisms touch only `host_io_rows`; the merged compute
 //! statistics (cycles, SRAM traffic, op histogram) are **bit-identical**
@@ -25,14 +27,27 @@
 //! strip factor, paying one [`pimvo_pim::CostModel::pool_sync_cycles`]
 //! per barrier.
 
-use crate::pim_opt::{downsample_strip, hpf_strip, lpf_pass1_strip, lpf_pass2_strip, nms_strip};
+use crate::ir::{
+    downsample_program, hpf_program, lower_opt, lpf_pass1_program, lpf_pass2_program, nms_program,
+};
 use crate::pim_util::{ghost_mask, load_image_rows, partition_rows, Regions};
 use crate::{EdgeConfig, EdgeMaps, GrayImage};
-use pimvo_pim::{LaneWidth, PimArrayPool, Signedness};
+use pimvo_pim::{LaneWidth, LoweredProgram, PimArrayPool, Signedness};
+
+/// Lowers one strip program per pool array with a builder closure.
+fn strip_programs<F>(strips: &[(i64, i64)], r: &Regions, mut build: F) -> Vec<LoweredProgram>
+where
+    F: FnMut(i64, i64) -> pimvo_pim::PimProgram,
+{
+    strips
+        .iter()
+        .map(|&(y0, y1)| lower_opt(&build(y0, y1), r))
+        .collect()
+}
 
 /// Runs the full optimized pipeline (LPF → HPF → NMS) sharded across
-/// the pool's arrays; output is bit-identical to
-/// [`crate::pim_opt::edge_detect`].
+/// the pool's arrays; output is bit-identical to single-array
+/// [`crate::ir::edge_detect`] at [`pimvo_pim::LowerLevel::Opt`].
 ///
 /// # Panics
 ///
@@ -63,29 +78,33 @@ pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -
         }
     }
 
-    pool.run_phase_labeled("lpf_pass1", |i, m| {
-        let (y0, y1) = strips[i];
-        lpf_pass1_strip(m, &r, r.input, h, y0, y1);
+    let p1 = strip_programs(&strips, &r, |y0, y1| {
+        lpf_pass1_program(&r, r.input, h, y0, y1)
     });
+    pool.run_programs_labeled("lpf_pass1", &p1)
+        .expect("lpf pass 1 programs run");
     exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
-    pool.run_phase_labeled("lpf_pass2", |i, m| {
-        let (y0, y1) = strips[i];
-        lpf_pass2_strip(m, &r, r.aux2, h, mask, y0, y1);
+    let p2 = strip_programs(&strips, &r, |y0, y1| {
+        lpf_pass2_program(&r, r.aux2, h, mask, y0, y1)
     });
+    pool.run_programs_labeled("lpf_pass2", &p2)
+        .expect("lpf pass 2 programs run");
     let lpf = collect_image(pool, &strips, r.aux2, img.width(), h);
 
     exchange_boundary_rows(pool, &strips, r.aux2, h, true, true);
-    pool.run_phase_labeled("hpf", |i, m| {
-        let (y0, y1) = strips[i];
-        hpf_strip(m, &r, r.aux2, r.aux3, h, mask, y0, y1);
+    let ph = strip_programs(&strips, &r, |y0, y1| {
+        hpf_program(&r, r.aux2, r.aux3, h, mask, y0, y1)
     });
+    pool.run_programs_labeled("hpf", &ph)
+        .expect("hpf programs run");
     let hpf = collect_image(pool, &strips, r.aux3, img.width(), h);
 
     exchange_boundary_rows(pool, &strips, r.aux3, h, true, true);
-    pool.run_phase_labeled("nms", |i, m| {
-        let (y0, y1) = strips[i];
-        nms_strip(m, &r, r.aux3, r.out, h, mask, y0, y1);
+    let pn = strip_programs(&strips, &r, |y0, y1| {
+        nms_program(&r, r.aux3, r.out, h, mask, y0, y1)
     });
+    pool.run_programs_labeled("nms", &pn)
+        .expect("nms programs run");
     let mut mask_img = collect_image(pool, &strips, r.out, img.width(), h);
     mask_img.clear_border(cfg.border);
 
@@ -96,7 +115,8 @@ pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -
     }
 }
 
-/// Sharded LPF; bit-identical to [`crate::pim_opt::lpf`].
+/// Sharded LPF; bit-identical to single-array [`crate::ir::lpf`] at
+/// [`pimvo_pim::LowerLevel::Opt`].
 pub fn lpf(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
     let r = Regions::for_machine(pool.array(0), img.height());
     let h = img.height();
@@ -115,20 +135,22 @@ pub fn lpf(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
             load_image_rows(m, r.input, img, lo, hi);
         }
     }
-    pool.run_phase_labeled("lpf_pass1", |i, m| {
-        let (y0, y1) = strips[i];
-        lpf_pass1_strip(m, &r, r.input, h, y0, y1);
+    let p1 = strip_programs(&strips, &r, |y0, y1| {
+        lpf_pass1_program(&r, r.input, h, y0, y1)
     });
+    pool.run_programs_labeled("lpf_pass1", &p1)
+        .expect("lpf pass 1 programs run");
     exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
-    pool.run_phase_labeled("lpf_pass2", |i, m| {
-        let (y0, y1) = strips[i];
-        lpf_pass2_strip(m, &r, r.aux2, h, mask, y0, y1);
+    let p2 = strip_programs(&strips, &r, |y0, y1| {
+        lpf_pass2_program(&r, r.aux2, h, mask, y0, y1)
     });
+    pool.run_programs_labeled("lpf_pass2", &p2)
+        .expect("lpf pass 2 programs run");
     collect_image(pool, &strips, r.aux2, img.width(), h)
 }
 
-/// Sharded HPF on a low-pass map; bit-identical to
-/// [`crate::pim_opt::hpf`].
+/// Sharded HPF on a low-pass map; bit-identical to single-array
+/// [`crate::ir::hpf`] at [`pimvo_pim::LowerLevel::Opt`].
 pub fn hpf(pool: &mut PimArrayPool, lpf_map: &GrayImage) -> GrayImage {
     let r = Regions::for_machine(pool.array(0), lpf_map.height());
     let h = lpf_map.height();
@@ -148,15 +170,16 @@ pub fn hpf(pool: &mut PimArrayPool, lpf_map: &GrayImage) -> GrayImage {
             load_image_rows(m, r.aux2, lpf_map, lo, hi);
         }
     }
-    pool.run_phase_labeled("hpf", |i, m| {
-        let (y0, y1) = strips[i];
-        hpf_strip(m, &r, r.aux2, r.aux3, h, mask, y0, y1);
+    let ph = strip_programs(&strips, &r, |y0, y1| {
+        hpf_program(&r, r.aux2, r.aux3, h, mask, y0, y1)
     });
+    pool.run_programs_labeled("hpf", &ph)
+        .expect("hpf programs run");
     collect_image(pool, &strips, r.aux3, lpf_map.width(), h)
 }
 
-/// Sharded NMS on a high-pass map; bit-identical to
-/// [`crate::pim_opt::nms`].
+/// Sharded NMS on a high-pass map; bit-identical to single-array
+/// [`crate::ir::nms`] at [`pimvo_pim::LowerLevel::Opt`].
 pub fn nms(pool: &mut PimArrayPool, hpf_map: &GrayImage, cfg: &EdgeConfig) -> GrayImage {
     let r = Regions::for_machine(pool.array(0), hpf_map.height());
     let h = hpf_map.height();
@@ -179,19 +202,20 @@ pub fn nms(pool: &mut PimArrayPool, hpf_map: &GrayImage, cfg: &EdgeConfig) -> Gr
             load_image_rows(m, r.aux3, hpf_map, lo, hi);
         }
     }
-    pool.run_phase_labeled("nms", |i, m| {
-        let (y0, y1) = strips[i];
-        nms_strip(m, &r, r.aux3, r.out, h, mask, y0, y1);
+    let pn = strip_programs(&strips, &r, |y0, y1| {
+        nms_program(&r, r.aux3, r.out, h, mask, y0, y1)
     });
+    pool.run_programs_labeled("nms", &pn)
+        .expect("nms programs run");
     let mut out = collect_image(pool, &strips, r.out, hpf_map.width(), h);
     out.clear_border(cfg.border);
     out
 }
 
-/// Sharded downsample-by-2; bit-identical to
-/// [`crate::pim_opt::downsample2x`]. Output rows partition trivially —
-/// each output row reads its own input row pair, so no halos or
-/// exchanges are needed.
+/// Sharded downsample-by-2; bit-identical to single-array
+/// [`crate::ir::downsample2x`]. Output rows partition trivially — each
+/// output row reads its own input row pair, so no halos or exchanges
+/// are needed.
 pub fn downsample2x(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
     let r = Regions::for_machine(pool.array(0), img.height());
     let (w, h) = (img.width() / 2, img.height() / 2);
@@ -205,16 +229,19 @@ pub fn downsample2x(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
             load_image_rows(m, r.input, img, lo, hi);
         }
     }
-    let shard_rows = pool.run_phase_labeled("downsample", |i, m| {
-        let (oy0, oy1) = strips[i];
-        downsample_strip(m, &r, oy0 as u32, oy1 as u32)
+    let pd = strip_programs(&strips, &r, |oy0, oy1| {
+        downsample_program(&r, oy0 as u32, oy1 as u32)
     });
+    pool.run_programs_labeled("downsample", &pd)
+        .expect("downsample programs run");
     let mut out = GrayImage::new(w, h);
-    for (&(oy0, _), rows) in strips.iter().zip(&shard_rows) {
-        for (k, lanes) in rows.iter().enumerate() {
-            let oy = oy0 as u32 + k as u32;
+    for (i, &(oy0, oy1)) in strips.iter().enumerate() {
+        let m = pool.array_mut(i);
+        m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
+        for oy in oy0..oy1 {
+            let lanes = m.host_read_lanes(r.aux1 + oy as usize);
             for ox in 0..w {
-                out.set(ox, oy, lanes[(2 * ox) as usize] as u8);
+                out.set(ox, oy as u32, lanes[(2 * ox) as usize] as u8);
             }
         }
     }
@@ -292,8 +319,8 @@ fn collect_image(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pim_opt;
-    use pimvo_pim::{ArrayConfig, PimMachine, PimMachineBuilder};
+    use crate::ir;
+    use pimvo_pim::{ArrayConfig, LowerLevel, PimMachine, PimMachineBuilder};
 
     fn pool(n: usize) -> PimArrayPool {
         PimMachineBuilder::new(ArrayConfig::qvga_banks(6)).build_pool(n)
@@ -310,7 +337,7 @@ mod tests {
         let img = test_image();
         let cfg = EdgeConfig::default();
         let mut single = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let want = pim_opt::edge_detect(&mut single, &img, &cfg);
+        let want = ir::edge_detect(&mut single, &img, &cfg, LowerLevel::Opt);
         for n in [1, 2, 3, 4, 8] {
             let mut p = pool(n);
             let got = edge_detect(&mut p, &img, &cfg);
@@ -325,7 +352,7 @@ mod tests {
         let img = test_image();
         let cfg = EdgeConfig::default();
         let mut single = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let _ = pim_opt::edge_detect(&mut single, &img, &cfg);
+        let _ = ir::edge_detect(&mut single, &img, &cfg, LowerLevel::Opt);
         let want = single.stats().clone();
         for n in [2, 4] {
             let mut p = pool(n);
@@ -358,7 +385,7 @@ mod tests {
     fn pooled_downsample_matches_single_array() {
         let img = test_image();
         let mut single = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let want = pim_opt::downsample2x(&mut single, &img);
+        let want = ir::downsample2x(&mut single, &img, LowerLevel::Opt);
         for n in [1, 2, 5] {
             let mut p = pool(n);
             assert_eq!(downsample2x(&mut p, &img), want, "n={n}");
@@ -370,7 +397,7 @@ mod tests {
         // 10 rows over 16 arrays: 6 empty strips
         let img = GrayImage::from_fn(32, 10, |x, y| (x ^ y) as u8);
         let mut single = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let want = pim_opt::lpf(&mut single, &img);
+        let want = ir::lpf(&mut single, &img, LowerLevel::Opt);
         let mut p = pool(16);
         assert_eq!(lpf(&mut p, &img), want);
     }

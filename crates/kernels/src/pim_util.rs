@@ -153,15 +153,7 @@ pub fn read_image(m: &mut PimMachine, base: usize, width: u32, height: u32) -> G
     img
 }
 
-/// Row operand for row `y` of a map at `base`, substituting the zero row
-/// outside `0..height` (zero padding at the top/bottom borders).
-pub fn row_or_zero(regions: &Regions, base: usize, y: i64, height: u32) -> usize {
-    if y < 0 || y >= height as i64 {
-        regions.zero_row()
-    } else {
-        base + y as usize
-    }
-}
+pub use crate::config::row_or_zero;
 
 /// Sets up the ghost-lane mask for images narrower than the word line.
 ///

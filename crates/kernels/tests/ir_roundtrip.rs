@@ -1,0 +1,141 @@
+//! IR round-trip property tests (satellite of the kernel-IR refactor).
+//!
+//! Every kernel is defined exactly once as a macro-op program in
+//! `pimvo_kernels::ir`; this suite pins the whole lowering matrix
+//! against the scalar reference on random images:
+//!
+//! * levels: `Naive`, `Opt`, `MultiReg(2)`, `MultiReg(4)`;
+//! * backends: a single `PimMachine` and a sharded `PimArrayPool`;
+//! * kernels: LPF, HPF, NMS, downsample and the full pipeline.
+//!
+//! All of them must be **bit-identical** — lowering is only allowed to
+//! change cost, never values.
+
+use pimvo_kernels::{ir, pim_pool, scalar, EdgeConfig, GrayImage};
+use pimvo_pim::{ArrayConfig, LowerLevel, PimMachine};
+use proptest::prelude::*;
+
+fn random_image(seed: u64, w: u32, h: u32) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| {
+        let v = (x as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+            .wrapping_add(seed)
+            .wrapping_mul(0xD6E8FEB86659FD93);
+        (v >> 56) as u8
+    })
+}
+
+/// The three lowering levels exercised per case; `MultiReg` is sampled
+/// at both a small and the standard register count.
+const LEVELS: [LowerLevel; 4] = [
+    LowerLevel::Naive,
+    LowerLevel::Opt,
+    LowerLevel::MultiReg(2),
+    LowerLevel::MultiReg(4),
+];
+
+fn machine_for(level: LowerLevel) -> PimMachine {
+    let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+    if let LowerLevel::MultiReg(n) = level {
+        m.set_tmp_regs(n);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// LPF round-trips through every lowering level.
+    #[test]
+    fn lpf_roundtrips_at_every_level(seed in any::<u64>(), w in 12u32..64, h in 10u32..48) {
+        let img = random_image(seed, w, h);
+        let want = scalar::lpf(&img);
+        for level in LEVELS {
+            let mut m = machine_for(level);
+            let got = ir::lpf(&mut m, &img, level);
+            prop_assert_eq!(&got, &want, "level {}", level);
+        }
+    }
+
+    /// HPF round-trips through every lowering level.
+    #[test]
+    fn hpf_roundtrips_at_every_level(seed in any::<u64>(), w in 12u32..64, h in 10u32..48) {
+        let lpf_map = scalar::lpf(&random_image(seed, w, h));
+        let want = scalar::hpf(&lpf_map);
+        for level in LEVELS {
+            let mut m = machine_for(level);
+            let got = ir::hpf(&mut m, &lpf_map, level);
+            prop_assert_eq!(&got, &want, "level {}", level);
+        }
+    }
+
+    /// NMS round-trips through every lowering level, for arbitrary
+    /// threshold pairs.
+    #[test]
+    fn nms_roundtrips_at_every_level(
+        seed in any::<u64>(),
+        th1 in 0u8..40,
+        th2 in 0u8..80,
+    ) {
+        let hmap = scalar::hpf(&scalar::lpf(&random_image(seed, 48, 36)));
+        let cfg = EdgeConfig::new(th1, th2);
+        let mut want = scalar::nms(&hmap, &cfg);
+        want.clear_border(cfg.border);
+        for level in LEVELS {
+            let mut m = machine_for(level);
+            let got = ir::nms(&mut m, &hmap, &cfg, level);
+            prop_assert_eq!(&got, &want, "level {}", level);
+        }
+    }
+
+    /// Downsample round-trips through every lowering level.
+    #[test]
+    fn downsample_roundtrips_at_every_level(seed in any::<u64>(), w in 12u32..64, h in 10u32..48) {
+        let img = random_image(seed, w & !1, h & !1);
+        let want = scalar::downsample2x(&img);
+        for level in LEVELS {
+            let mut m = machine_for(level);
+            let got = ir::downsample2x(&mut m, &img, level);
+            prop_assert_eq!(&got, &want, "level {}", level);
+        }
+    }
+
+    /// The full pipeline round-trips through every lowering level
+    /// (all three output maps), and the level cost ordering holds:
+    /// naive is strictly the most expensive, multi-register never
+    /// costs more cycles than opt.
+    #[test]
+    fn pipeline_roundtrips_and_costs_order(seed in any::<u64>(), w in 12u32..64, h in 10u32..48) {
+        let img = random_image(seed, w, h);
+        let cfg = EdgeConfig::default();
+        let want = scalar::edge_detect(&img, &cfg);
+        let mut cycles = Vec::new();
+        for level in LEVELS {
+            let mut m = machine_for(level);
+            let got = ir::edge_detect(&mut m, &img, &cfg, level);
+            prop_assert_eq!(&got.lpf, &want.lpf, "level {}", level);
+            prop_assert_eq!(&got.hpf, &want.hpf, "level {}", level);
+            prop_assert_eq!(&got.mask, &want.mask, "level {}", level);
+            cycles.push(m.stats().cycles);
+        }
+        // LEVELS = [Naive, Opt, MultiReg(2), MultiReg(4)]
+        prop_assert!(cycles[0] > cycles[1], "naive {} vs opt {}", cycles[0], cycles[1]);
+        prop_assert!(cycles[2] <= cycles[1], "multireg(2) {} vs opt {}", cycles[2], cycles[1]);
+        prop_assert!(cycles[3] <= cycles[2], "multireg(4) {} vs multireg(2) {}", cycles[3], cycles[2]);
+    }
+
+    /// The pooled backend runs the same Opt-lowered programs sharded
+    /// across arrays and still reproduces the scalar reference.
+    #[test]
+    fn pool_backend_roundtrips(seed in any::<u64>(), arrays in 1usize..5) {
+        let img = random_image(seed, 48, 40);
+        let cfg = EdgeConfig::default();
+        let want = scalar::edge_detect(&img, &cfg);
+        let mut pool = PimMachine::builder(ArrayConfig::qvga_banks(6)).build_pool(arrays);
+        let got = pim_pool::edge_detect(&mut pool, &img, &cfg);
+        prop_assert_eq!(&got.lpf, &want.lpf, "arrays {}", arrays);
+        prop_assert_eq!(&got.hpf, &want.hpf, "arrays {}", arrays);
+        prop_assert_eq!(&got.mask, &want.mask, "arrays {}", arrays);
+    }
+}

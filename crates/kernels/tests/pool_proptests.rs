@@ -4,8 +4,8 @@
 //! (cycles, op mix, SRAM traffic) is conserved exactly — only host
 //! I/O (halo loads, boundary exchanges) may differ.
 
-use pimvo_kernels::{pim_opt, pim_pool, scalar, EdgeConfig, GrayImage};
-use pimvo_pim::{ArrayConfig, PimMachine};
+use pimvo_kernels::{ir, pim_pool, scalar, EdgeConfig, GrayImage};
+use pimvo_pim::{ArrayConfig, LowerLevel, PimMachine};
 use proptest::prelude::*;
 
 fn random_image(seed: u64, w: u32, h: u32) -> GrayImage {
@@ -32,7 +32,7 @@ proptest! {
     fn pooled_lpf_equals_single(seed in any::<u64>(), w in 12u32..72, h in 8u32..56, n in 1usize..7) {
         let img = random_image(seed, w, h);
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let want = pim_opt::lpf(&mut m, &img);
+        let want = ir::lpf(&mut m, &img, LowerLevel::Opt);
         let mut p = pool(n);
         let got = pim_pool::lpf(&mut p, &img);
         prop_assert_eq!(&got, &want);
@@ -44,7 +44,7 @@ proptest! {
     fn pooled_hpf_equals_single(seed in any::<u64>(), w in 12u32..72, h in 8u32..56, n in 1usize..7) {
         let lpf_map = scalar::lpf(&random_image(seed, w, h));
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let want = pim_opt::hpf(&mut m, &lpf_map);
+        let want = ir::hpf(&mut m, &lpf_map, LowerLevel::Opt);
         let mut p = pool(n);
         let got = pim_pool::hpf(&mut p, &lpf_map);
         prop_assert_eq!(&got, &want);
@@ -56,7 +56,7 @@ proptest! {
         let cfg = EdgeConfig::default();
         let hpf_map = scalar::hpf(&scalar::lpf(&random_image(seed, w, h)));
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let want = pim_opt::nms(&mut m, &hpf_map, &cfg);
+        let want = ir::nms(&mut m, &hpf_map, &cfg, LowerLevel::Opt);
         let mut p = pool(n);
         let got = pim_pool::nms(&mut p, &hpf_map, &cfg);
         prop_assert_eq!(&got, &want);
@@ -72,7 +72,7 @@ proptest! {
         let img = random_image(seed, w, h);
         let cfg = EdgeConfig::default();
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let want = pim_opt::edge_detect(&mut m, &img, &cfg);
+        let want = ir::edge_detect(&mut m, &img, &cfg, LowerLevel::Opt);
         let mut p = pool(n);
         let got = pim_pool::edge_detect(&mut p, &img, &cfg);
         prop_assert_eq!(&got.lpf, &want.lpf);

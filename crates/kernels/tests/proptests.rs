@@ -1,8 +1,8 @@
 //! Property tests: every kernel implementation agrees on random
 //! images, and the NMS simplification is exact.
 
-use pimvo_kernels::{pim_multireg, pim_naive, pim_opt, scalar, EdgeConfig, GrayImage};
-use pimvo_pim::{ArrayConfig, PimMachine};
+use pimvo_kernels::{ir, pim_multireg, scalar, EdgeConfig, GrayImage};
+use pimvo_pim::{ArrayConfig, LowerLevel, PimMachine};
 use proptest::prelude::*;
 
 fn random_image(seed: u64, w: u32, h: u32) -> GrayImage {
@@ -27,7 +27,7 @@ proptest! {
         let cfg = EdgeConfig::default();
         let want = scalar::edge_detect(&img, &cfg);
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let got = pim_opt::edge_detect(&mut m, &img, &cfg);
+        let got = ir::edge_detect(&mut m, &img, &cfg, LowerLevel::Opt);
         prop_assert_eq!(&got.lpf, &want.lpf);
         prop_assert_eq!(&got.hpf, &want.hpf);
         prop_assert_eq!(&got.mask, &want.mask);
@@ -40,7 +40,7 @@ proptest! {
         let cfg = EdgeConfig::default();
         let want = scalar::edge_detect(&img, &cfg);
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-        let got = pim_naive::edge_detect(&mut m, &img, &cfg);
+        let got = ir::edge_detect(&mut m, &img, &cfg, LowerLevel::Naive);
         prop_assert_eq!(&got.mask, &want.mask);
         prop_assert_eq!(&got.hpf, &want.hpf);
     }
@@ -53,7 +53,8 @@ proptest! {
         let want = scalar::edge_detect(&img, &cfg);
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
         m.set_tmp_regs(pim_multireg::REGS_REQUIRED);
-        let got = pim_multireg::edge_detect(&mut m, &img, &cfg);
+        let got =
+            ir::edge_detect(&mut m, &img, &cfg, LowerLevel::MultiReg(pim_multireg::REGS_REQUIRED));
         prop_assert_eq!(&got.mask, &want.mask);
     }
 

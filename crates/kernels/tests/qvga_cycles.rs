@@ -7,8 +7,8 @@
 //! the same regime: a few thousand cycles per kernel, tens of thousands
 //! for the full detection, with the naive mappings clearly slower.
 
-use pimvo_kernels::{pim_naive, pim_opt, scalar, EdgeConfig, GrayImage};
-use pimvo_pim::{ArrayConfig, PimMachine};
+use pimvo_kernels::{ir, scalar, EdgeConfig, GrayImage};
+use pimvo_pim::{ArrayConfig, LowerLevel, PimMachine};
 
 fn qvga_image() -> GrayImage {
     GrayImage::from_fn(320, 240, |x, y| {
@@ -29,15 +29,15 @@ fn optimized_edge_detection_cycles_in_paper_regime() {
     let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
 
     let c0 = m.stats().cycles;
-    let lpf = pim_opt::lpf(&mut m, &img);
+    let lpf = ir::lpf(&mut m, &img, LowerLevel::Opt);
     let lpf_cycles = m.stats().cycles - c0;
 
     let c0 = m.stats().cycles;
-    let hpf = pim_opt::hpf(&mut m, &lpf);
+    let hpf = ir::hpf(&mut m, &lpf, LowerLevel::Opt);
     let hpf_cycles = m.stats().cycles - c0;
 
     let c0 = m.stats().cycles;
-    let _ = pim_opt::nms(&mut m, &hpf, &cfg);
+    let _ = ir::nms(&mut m, &hpf, &cfg, LowerLevel::Opt);
     let nms_cycles = m.stats().cycles - c0;
 
     let total = lpf_cycles + hpf_cycles + nms_cycles;
@@ -56,9 +56,9 @@ fn naive_mappings_cost_more_with_identical_output() {
     let cfg = EdgeConfig::default();
 
     let mut mo = PimMachine::new(ArrayConfig::qvga_banks(6));
-    let opt = pim_opt::edge_detect(&mut mo, &img, &cfg);
+    let opt = ir::edge_detect(&mut mo, &img, &cfg, LowerLevel::Opt);
     let mut mn = PimMachine::new(ArrayConfig::qvga_banks(6));
-    let naive = pim_naive::edge_detect(&mut mn, &img, &cfg);
+    let naive = ir::edge_detect(&mut mn, &img, &cfg, LowerLevel::Naive);
 
     assert_eq!(opt.mask, naive.mask);
     assert_eq!(opt.lpf, naive.lpf);
@@ -77,7 +77,7 @@ fn scalar_and_pim_agree_at_qvga() {
     let cfg = EdgeConfig::default();
     let want = scalar::edge_detect(&img, &cfg);
     let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-    let got = pim_opt::edge_detect(&mut m, &img, &cfg);
+    let got = ir::edge_detect(&mut m, &img, &cfg, LowerLevel::Opt);
     assert_eq!(got.mask, want.mask);
     let n = want.edge_count();
     // the paper's tracked-feature regime at QVGA
@@ -92,7 +92,7 @@ fn writeback_share_is_small_after_tmp_reg_optimization() {
     let img = qvga_image();
     let cfg = EdgeConfig::default();
     let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-    let _ = pim_opt::edge_detect(&mut m, &img, &cfg);
+    let _ = ir::edge_detect(&mut m, &img, &cfg, LowerLevel::Opt);
     let mem = m.stats().mem_accesses();
     let share = mem.write_share();
     println!("write share: {share:.3}");

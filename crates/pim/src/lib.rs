@@ -55,6 +55,18 @@
 //! energy statistics and wall-cycles taken as the slowest shard plus a
 //! configurable inter-array synchronisation overhead.
 //!
+//! # Kernel IR
+//!
+//! Kernels are written **once** as macro-op programs over virtual
+//! registers ([`ir::PimProgram`]) and lowered to machine-op sequences
+//! by the optimizing pass in [`lower()`] — Tmp-Reg allocation, adjacent
+//! shift fusion and dead-write elimination at [`lower::LowerLevel::Opt`],
+//! register-file spilling at `MultiReg`, or the paper's unoptimized
+//! write-everything-back mapping at `Naive`. [`PimMachine::run_program`]
+//! executes the result, charging the same [`CostModel`] and tagging
+//! trace events with IR labels; [`PimArrayPool::run_programs_labeled`]
+//! runs one lowered program per array for strip-sharded kernels.
+//!
 //! # Fault injection & resilience
 //!
 //! The [`fault`] module adds a deterministic, seeded [`FaultModel`]
@@ -72,7 +84,9 @@ pub mod bitexact;
 mod config;
 mod cost;
 pub mod fault;
+pub mod ir;
 mod isa;
+pub mod lower;
 mod machine;
 mod pool;
 mod stats;
@@ -81,7 +95,11 @@ mod trace;
 pub use config::{ArrayConfig, LaneWidth, Signedness};
 pub use cost::{AreaReport, CostModel};
 pub use fault::{FaultModel, FaultStatus, Protection, StuckBit};
+pub use ir::{MacroOp, PimProgram, VReg, Val};
 pub use isa::{AluOp, LogicFunc, OpClass, Operand, Shift};
+pub use lower::{
+    lower, LowerError, LowerLevel, LoweredOp, LoweredProgram, MachineInstr, ScratchRows,
+};
 pub use machine::{PimError, PimMachine, PimMachineBuilder};
 pub use pool::{PimArrayPool, PoolHealth, RetryPolicy};
 pub use stats::{EnergyBreakdown, ExecStats, MemAccessBreakdown};

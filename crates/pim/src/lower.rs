@@ -1,0 +1,1118 @@
+//! Optimizing lowering from the macro-op IR to machine-op sequences.
+//!
+//! [`lower()`] turns one [`PimProgram`] into a [`LoweredProgram`] — a
+//! flat list of [`MachineInstr`]s ready for
+//! [`crate::PimMachine::run_program`] — at one of three
+//! [`LowerLevel`]s:
+//!
+//! * **Naive** reproduces the paper's unoptimized mapping: fused lane
+//!   shifts are expanded into stand-alone shift + write-back pairs,
+//!   and every intermediate is written back to an SRAM row and re-read
+//!   by its consumers.
+//! * **Opt** chains intermediates through the Tmp Reg: a value is only
+//!   written back ("spilled") to a scratch row right before another op
+//!   would clobber the Tmp Reg while the value is still live.
+//!   Stand-alone shifts feeding a single shift-capable ALU op are
+//!   fused into the op's lane pre-shift, and dead row writes are
+//!   eliminated.
+//! * **MultiReg(n)** is Opt on a machine with `n` temporary registers:
+//!   spills prefer a free extra register ([`MachineInstr::SaveTmp`],
+//!   no SRAM write) and fall back to scratch rows when all registers
+//!   hold live values.
+//!
+//! The register-allocation rule is a greedy forward walk with exact
+//! liveness (the program is straight-line SSA, so every use index is
+//! known): the most recent definition lives in the Tmp Reg; scratch
+//! rows and extra registers are recycled lowest-first as soon as their
+//! owner's last use has passed.
+
+use crate::config::{LaneWidth, Signedness};
+use crate::ir::{MacroOp, PimProgram, VReg, Val};
+use crate::isa::{AluOp, LogicFunc, Operand, Shift};
+use std::fmt;
+
+/// How aggressively [`lower()`] maps virtual registers onto the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LowerLevel {
+    /// Every intermediate written back to SRAM and re-read; fused
+    /// shifts expanded (the paper's unoptimized mapping).
+    Naive,
+    /// Tmp-Reg chaining, shift fusion, dead-write elimination.
+    Opt,
+    /// Opt plus spilling to `n` temporary registers (the machine must
+    /// have been configured with
+    /// [`crate::PimMachine::set_tmp_regs`]`(n)` or more).
+    MultiReg(u8),
+}
+
+impl fmt::Display for LowerLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerLevel::Naive => write!(f, "naive"),
+            LowerLevel::Opt => write!(f, "opt"),
+            LowerLevel::MultiReg(n) => write!(f, "multireg({n})"),
+        }
+    }
+}
+
+/// The SRAM rows a lowering may use for spilled intermediates. Must
+/// not overlap rows the program reads or stores to.
+#[derive(Clone, Debug)]
+pub struct ScratchRows {
+    rows: Vec<usize>,
+}
+
+impl ScratchRows {
+    /// A scratch pool from an explicit row list (allocated
+    /// lowest-index-first in list order).
+    #[must_use]
+    pub fn new(rows: Vec<usize>) -> Self {
+        ScratchRows { rows }
+    }
+
+    /// A contiguous scratch pool `base..base + len`.
+    #[must_use]
+    pub fn contiguous(base: usize, len: usize) -> Self {
+        ScratchRows {
+            rows: (base..base + len).collect(),
+        }
+    }
+
+    /// The pool's rows.
+    #[must_use]
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+}
+
+/// Why a program could not be lowered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LowerError {
+    /// Every scratch row already holds a live value at op `op`.
+    OutOfScratch {
+        /// IR op index needing a scratch row.
+        op: usize,
+    },
+    /// Op `op` reads a virtual register with no prior definition.
+    UseBeforeDef {
+        /// IR op index with the undefined operand.
+        op: usize,
+    },
+    /// Row `row` is read between a value's definition and its
+    /// [`MacroOp::Store`] to that row — illegal at every level (eager
+    /// lowerings write results at the defining op).
+    StoreHazard {
+        /// IR index of the offending store.
+        op: usize,
+        /// The row stored to and read in between.
+        row: usize,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::OutOfScratch { op } => {
+                write!(f, "no free scratch row at IR op {op}")
+            }
+            LowerError::UseBeforeDef { op } => {
+                write!(f, "IR op {op} reads an undefined virtual register")
+            }
+            LowerError::StoreHazard { op, row } => write!(
+                f,
+                "IR store {op}: row {row} is read between definition and store"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// One machine-level instruction of a [`LoweredProgram`] — a direct
+/// transliteration of the [`crate::PimMachine`] compute methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineInstr {
+    /// [`crate::PimMachine::set_lanes`].
+    SetLanes {
+        /// Lane width.
+        width: LaneWidth,
+        /// Signedness.
+        sign: Signedness,
+    },
+    /// [`crate::PimMachine::alu`].
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Lane pre-shift on `b`.
+        shift: Shift,
+    },
+    /// [`crate::PimMachine::shift_pix`].
+    ShiftPix {
+        /// Operand.
+        a: Operand,
+        /// Lane shift.
+        pix: i32,
+    },
+    /// [`crate::PimMachine::shr_bits`].
+    ShrBits {
+        /// Operand.
+        a: Operand,
+        /// Bit count.
+        k: u32,
+    },
+    /// [`crate::PimMachine::shl_bits`].
+    ShlBits {
+        /// Operand.
+        a: Operand,
+        /// Bit count.
+        k: u32,
+    },
+    /// [`crate::PimMachine::neg`].
+    Neg {
+        /// Operand.
+        a: Operand,
+    },
+    /// [`crate::PimMachine::sat_narrow`].
+    SatNarrow {
+        /// Operand.
+        a: Operand,
+        /// Target width.
+        bits: u32,
+    },
+    /// [`crate::PimMachine::mul`] / [`crate::PimMachine::mul_signed`].
+    Mul {
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Signed variant.
+        signed: bool,
+    },
+    /// [`crate::PimMachine::div_frac`] /
+    /// [`crate::PimMachine::div_frac_signed`].
+    DivFrac {
+        /// Dividend.
+        a: Operand,
+        /// Divisor.
+        b: Operand,
+        /// Fractional bits.
+        frac: u32,
+        /// Signed variant.
+        signed: bool,
+    },
+    /// [`crate::PimMachine::writeback`].
+    Writeback {
+        /// Destination row.
+        row: usize,
+    },
+    /// [`crate::PimMachine::save_tmp`].
+    SaveTmp {
+        /// Extra-register index (1-based).
+        idx: u8,
+    },
+    /// [`crate::PimMachine::reduce_sum`].
+    Reduce,
+}
+
+/// A machine instruction tagged with the IR op it was lowered from
+/// (`"{program}[{ir_index}]"`), threaded into trace mnemonics by the
+/// executor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoweredOp {
+    /// The instruction.
+    pub instr: MachineInstr,
+    /// IR provenance label.
+    pub label: String,
+}
+
+/// The result of [`lower()`]: a machine-op sequence plus bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoweredProgram {
+    name: String,
+    level: LowerLevel,
+    ops: Vec<LoweredOp>,
+    reduce_count: usize,
+}
+
+impl LoweredProgram {
+    /// Name of the source program.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The level this program was lowered at.
+    #[must_use]
+    pub fn level(&self) -> LowerLevel {
+        self.level
+    }
+
+    /// The machine instructions, in execution order.
+    #[must_use]
+    pub fn ops(&self) -> &[LoweredOp] {
+        &self.ops
+    }
+
+    /// Number of [`MachineInstr::Reduce`] results the executor returns.
+    #[must_use]
+    pub fn reduce_count(&self) -> usize {
+        self.reduce_count
+    }
+}
+
+fn fmt_operand(o: Operand) -> String {
+    match o {
+        Operand::Row(r) => format!("r{r}"),
+        Operand::Tmp => "tmp".to_string(),
+        Operand::Reg(i) => format!("reg{i}"),
+    }
+}
+
+impl fmt::Display for MachineInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineInstr::SetLanes { width, sign } => {
+                write!(f, "set_lanes {width:?} {sign:?}")
+            }
+            MachineInstr::Alu { op, a, b, shift } => {
+                let sh = match shift {
+                    Shift::None => String::new(),
+                    Shift::Pix(p) => format!(" sh({p})"),
+                };
+                write!(f, "{op:?} {}, {}{sh}", fmt_operand(*a), fmt_operand(*b))
+            }
+            MachineInstr::ShiftPix { a, pix } => {
+                write!(f, "shift_pix {}, {pix}", fmt_operand(*a))
+            }
+            MachineInstr::ShrBits { a, k } => write!(f, "shr_bits {}, {k}", fmt_operand(*a)),
+            MachineInstr::ShlBits { a, k } => write!(f, "shl_bits {}, {k}", fmt_operand(*a)),
+            MachineInstr::Neg { a } => write!(f, "neg {}", fmt_operand(*a)),
+            MachineInstr::SatNarrow { a, bits } => {
+                write!(f, "sat_narrow {}, {bits}", fmt_operand(*a))
+            }
+            MachineInstr::Mul { a, b, signed } => write!(
+                f,
+                "mul{} {}, {}",
+                if *signed { "_s" } else { "" },
+                fmt_operand(*a),
+                fmt_operand(*b)
+            ),
+            MachineInstr::DivFrac { a, b, frac, signed } => write!(
+                f,
+                "div_frac{} {}, {}, {frac}",
+                if *signed { "_s" } else { "" },
+                fmt_operand(*a),
+                fmt_operand(*b)
+            ),
+            MachineInstr::Writeback { row } => write!(f, "writeback r{row}"),
+            MachineInstr::SaveTmp { idx } => write!(f, "save_tmp {idx}"),
+            MachineInstr::Reduce => write!(f, "reduce_sum"),
+        }
+    }
+}
+
+impl fmt::Display for LoweredProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "lowered {} ({}):", self.name, self.level)?;
+        for op in &self.ops {
+            writeln!(f, "  {:<36} ; {}", op.instr.to_string(), op.label)?;
+        }
+        Ok(())
+    }
+}
+
+/// Lowers `prog` to machine instructions at `level`, spilling into
+/// `scratch`.
+///
+/// # Errors
+///
+/// [`LowerError::OutOfScratch`] when the scratch pool cannot hold the
+/// live intermediates, [`LowerError::UseBeforeDef`] /
+/// [`LowerError::StoreHazard`] for malformed programs.
+pub fn lower(
+    prog: &PimProgram,
+    level: LowerLevel,
+    scratch: &ScratchRows,
+) -> Result<LoweredProgram, LowerError> {
+    check_store_hazards(prog)?;
+    let processed = match level {
+        LowerLevel::Naive => expand_shifts(prog),
+        LowerLevel::Opt | LowerLevel::MultiReg(_) => eliminate_dead_stores(&fuse_shifts(prog)),
+    };
+    let reg_slots = match level {
+        LowerLevel::MultiReg(n) => n.saturating_sub(1) as usize,
+        _ => 0,
+    };
+    let nv = processed.vreg_count() as usize;
+    let mut store_row = vec![None; nv];
+    for op in processed.ops() {
+        if let MacroOp::Store { src, row } = *op {
+            let s = src.index() as usize;
+            if store_row[s].is_none() {
+                store_row[s] = Some(row);
+            }
+        }
+    }
+    let mut uses = vec![Vec::new(); nv];
+    for (i, op) in processed.ops().iter().enumerate() {
+        for s in op.sources() {
+            if let Val::V(v) = s {
+                uses[v.index() as usize].push(i);
+            }
+        }
+    }
+    let walker = Walker {
+        naive: level == LowerLevel::Naive,
+        name: prog.name().to_string(),
+        uses,
+        store_row,
+        scratch: scratch.rows().iter().map(|&r| (r, None)).collect(),
+        regs: vec![None; reg_slots],
+        tmp: None,
+        in_reg: vec![None; nv],
+        in_row: vec![None; nv],
+        home: vec![None; nv],
+        out: Vec::new(),
+    };
+    let ops = walker.run(processed.ops())?;
+    Ok(LoweredProgram {
+        name: prog.name().to_string(),
+        level,
+        ops,
+        reduce_count: prog.reduce_count(),
+    })
+}
+
+/// Rejects programs where a store's target row is read between the
+/// stored value's definition and the store itself: eager levels write
+/// results to their home row at the defining op, so such a read would
+/// observe different contents per level.
+fn check_store_hazards(prog: &PimProgram) -> Result<(), LowerError> {
+    let ops = prog.ops();
+    let mut def_at = vec![None; prog.vreg_count() as usize];
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(d) = op.dst() {
+            def_at[d.index() as usize] = Some(i);
+        }
+        if let MacroOp::Store { src, row } = *op {
+            let Some(d) = def_at[src.index() as usize] else {
+                return Err(LowerError::UseBeforeDef { op: i });
+            };
+            if ops[d + 1..i].iter().any(|o| o.reads_row(row)) {
+                return Err(LowerError::StoreHazard { op: i, row });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Naive-level pre-pass: fused ALU lane shifts become stand-alone
+/// shift ops on a fresh register (each costing a shift cycle plus a
+/// write-back once allocated).
+fn expand_shifts(prog: &PimProgram) -> PimProgram {
+    let mut ops = Vec::with_capacity(prog.ops().len());
+    let mut next = prog.vreg_count();
+    for op in prog.ops() {
+        match *op {
+            MacroOp::Alu {
+                op: o,
+                a,
+                b,
+                shift,
+                dst,
+            } if shift != 0 => {
+                let t = VReg::from_raw(next);
+                next += 1;
+                ops.push(MacroOp::ShiftPix {
+                    a: b,
+                    pix: shift,
+                    dst: t,
+                });
+                ops.push(MacroOp::Alu {
+                    op: o,
+                    a,
+                    b: Val::V(t),
+                    shift: 0,
+                    dst,
+                });
+            }
+            ref other => ops.push(other.clone()),
+        }
+    }
+    prog.with_ops(ops, next)
+}
+
+fn commutative(op: AluOp) -> bool {
+    matches!(
+        op,
+        AluOp::Logic(_)
+            | AluOp::Add
+            | AluOp::SatAdd
+            | AluOp::Avg
+            | AluOp::AbsDiff
+            | AluOp::Max
+            | AluOp::Min
+    )
+}
+
+/// Opt-level pass: a stand-alone lane shift whose single consumer is
+/// an unshifted ALU op folds into that op's lane pre-shift (swapping
+/// operands when the shifted value sits on the non-shiftable side of a
+/// commutative op), saving the shift cycle.
+fn fuse_shifts(prog: &PimProgram) -> PimProgram {
+    let src_ops = prog.ops();
+    let mut ops: Vec<Option<MacroOp>> = src_ops.iter().cloned().map(Some).collect();
+    let mut uses = vec![Vec::new(); prog.vreg_count() as usize];
+    for (i, op) in src_ops.iter().enumerate() {
+        for s in op.sources() {
+            if let Val::V(v) = s {
+                uses[v.index() as usize].push(i);
+            }
+        }
+    }
+    for i in 0..ops.len() {
+        let Some(MacroOp::ShiftPix { a, pix, dst }) = ops[i].clone() else {
+            continue;
+        };
+        let u = &uses[dst.index() as usize];
+        if u.len() != 1 {
+            continue;
+        }
+        let j = u[0];
+        let Some(MacroOp::Alu {
+            op: aop,
+            a: aa,
+            b: bb,
+            shift,
+            dst: d2,
+        }) = ops[j].clone()
+        else {
+            continue;
+        };
+        if shift != 0 {
+            continue;
+        }
+        // The shift's source must be unchanged between the shift and
+        // the consumer (vreg sources are SSA; row sources must not be
+        // stored over in between).
+        if let Val::Row(r) = a {
+            let overwritten = ops[i + 1..j]
+                .iter()
+                .any(|o| matches!(o, Some(MacroOp::Store { row, .. }) if *row == r));
+            if overwritten {
+                continue;
+            }
+        }
+        let fused = if bb == Val::V(dst) && aa != Val::V(dst) {
+            Some(MacroOp::Alu {
+                op: aop,
+                a: aa,
+                b: a,
+                shift: pix,
+                dst: d2,
+            })
+        } else if aa == Val::V(dst) && bb != Val::V(dst) && commutative(aop) {
+            Some(MacroOp::Alu {
+                op: aop,
+                a: bb,
+                b: a,
+                shift: pix,
+                dst: d2,
+            })
+        } else {
+            None
+        };
+        if let Some(fop) = fused {
+            ops[j] = Some(fop);
+            ops[i] = None;
+        }
+    }
+    let fused: Vec<MacroOp> = ops.into_iter().flatten().collect();
+    prog.with_ops(fused, prog.vreg_count())
+}
+
+/// Opt-level pass: a store to a row that is stored to again with no
+/// intervening read of that row is dead and dropped.
+fn eliminate_dead_stores(prog: &PimProgram) -> PimProgram {
+    let ops = prog.ops();
+    let mut keep = vec![true; ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        let MacroOp::Store { row, .. } = *op else {
+            continue;
+        };
+        for later in &ops[i + 1..] {
+            if later.reads_row(row) {
+                break;
+            }
+            if matches!(later, MacroOp::Store { row: r2, .. } if *r2 == row) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let kept: Vec<MacroOp> = ops
+        .iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(op, _)| op.clone())
+        .collect();
+    prog.with_ops(kept, prog.vreg_count())
+}
+
+/// Greedy forward allocation walk shared by all levels.
+struct Walker {
+    naive: bool,
+    name: String,
+    /// Use sites (op indices) per virtual register.
+    uses: Vec<Vec<usize>>,
+    /// First store target per virtual register (naive homes).
+    store_row: Vec<Option<usize>>,
+    /// Scratch pool: `(row, owner)`.
+    scratch: Vec<(usize, Option<u32>)>,
+    /// Extra-register slots (slot `k` is machine `Reg(k + 1)`).
+    regs: Vec<Option<u32>>,
+    /// Which register currently sits in the Tmp Reg.
+    tmp: Option<u32>,
+    in_reg: Vec<Option<u8>>,
+    in_row: Vec<Option<usize>>,
+    /// Naive home rows, assigned at the defining op.
+    home: Vec<Option<usize>>,
+    out: Vec<LoweredOp>,
+}
+
+impl Walker {
+    fn run(mut self, ops: &[MacroOp]) -> Result<Vec<LoweredOp>, LowerError> {
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                MacroOp::SetLanes { width, sign } => {
+                    self.emit(MachineInstr::SetLanes { width, sign }, i);
+                }
+                MacroOp::Store { src, row } => self.lower_store(i, src, row)?,
+                MacroOp::Reduce { a } => self.lower_reduce(i, a)?,
+                _ => self.lower_def(i, op)?,
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn emit(&mut self, instr: MachineInstr, ir_idx: usize) {
+        self.out.push(LoweredOp {
+            instr,
+            label: format!("{}[{ir_idx}]", self.name),
+        });
+    }
+
+    fn live_from(&self, v: u32, i: usize) -> bool {
+        self.uses[v as usize].iter().any(|&u| u >= i)
+    }
+
+    /// Resolves a value to a machine operand. Naive reads home rows
+    /// exclusively; Opt prefers the Tmp Reg, then extra registers,
+    /// then rows.
+    fn resolve(&self, val: Val, i: usize) -> Result<Operand, LowerError> {
+        match val {
+            Val::Row(r) => Ok(Operand::Row(r)),
+            Val::V(v) => {
+                let x = v.index() as usize;
+                if self.naive {
+                    return self.home[x]
+                        .map(Operand::Row)
+                        .ok_or(LowerError::UseBeforeDef { op: i });
+                }
+                if self.tmp == Some(v.index()) {
+                    Ok(Operand::Tmp)
+                } else if let Some(idx) = self.in_reg[x] {
+                    Ok(Operand::Reg(idx))
+                } else if let Some(r) = self.in_row[x] {
+                    Ok(Operand::Row(r))
+                } else {
+                    Err(LowerError::UseBeforeDef { op: i })
+                }
+            }
+        }
+    }
+
+    /// First scratch row whose owner is dead (or unset) at op `i`.
+    fn alloc_scratch(&mut self, i: usize, new_owner: u32) -> Result<usize, LowerError> {
+        for k in 0..self.scratch.len() {
+            let (row, owner) = self.scratch[k];
+            let free = match owner {
+                None => true,
+                Some(o) => !self.live_from(o, i),
+            };
+            if free {
+                if let Some(o) = owner {
+                    if self.in_row[o as usize] == Some(row) {
+                        self.in_row[o as usize] = None;
+                    }
+                    if self.home[o as usize] == Some(row) {
+                        self.home[o as usize] = None;
+                    }
+                }
+                self.scratch[k].1 = Some(new_owner);
+                return Ok(row);
+            }
+        }
+        Err(LowerError::OutOfScratch { op: i })
+    }
+
+    /// First extra register whose owner is dead at op `i` (MultiReg
+    /// only — the slot list is empty at other levels).
+    fn alloc_reg(&mut self, i: usize, new_owner: u32) -> Option<u8> {
+        for k in 0..self.regs.len() {
+            let free = match self.regs[k] {
+                None => true,
+                Some(o) => !self.live_from(o, i),
+            };
+            if free {
+                if let Some(o) = self.regs[k] {
+                    self.in_reg[o as usize] = None;
+                }
+                self.regs[k] = Some(new_owner);
+                return Some((k + 1) as u8);
+            }
+        }
+        None
+    }
+
+    /// Spills the Tmp Reg's current value before an op clobbers it, if
+    /// the value is still live and homeless. MultiReg prefers a free
+    /// extra register (one register cycle, no SRAM write) over a
+    /// scratch-row write-back.
+    fn spill_tmp(&mut self, i: usize) -> Result<(), LowerError> {
+        let Some(v) = self.tmp else {
+            return Ok(());
+        };
+        let x = v as usize;
+        let needed = self.uses[x].iter().any(|&u| u > i);
+        if !needed || self.in_reg[x].is_some() || self.in_row[x].is_some() {
+            return Ok(());
+        }
+        if let Some(idx) = self.alloc_reg(i, v) {
+            self.emit(MachineInstr::SaveTmp { idx }, i);
+            self.in_reg[x] = Some(idx);
+        } else {
+            let row = self.alloc_scratch(i, v)?;
+            self.emit(MachineInstr::Writeback { row }, i);
+            self.in_row[x] = Some(row);
+        }
+        Ok(())
+    }
+
+    fn build_instr(&self, op: &MacroOp, i: usize) -> Result<MachineInstr, LowerError> {
+        Ok(match *op {
+            MacroOp::Alu {
+                op: o, a, b, shift, ..
+            } => {
+                debug_assert!(!self.naive || shift == 0, "naive shifts pre-expanded");
+                MachineInstr::Alu {
+                    op: o,
+                    a: self.resolve(a, i)?,
+                    b: self.resolve(b, i)?,
+                    shift: if shift == 0 {
+                        Shift::None
+                    } else {
+                        Shift::Pix(shift)
+                    },
+                }
+            }
+            MacroOp::ShiftPix { a, pix, .. } => MachineInstr::ShiftPix {
+                a: self.resolve(a, i)?,
+                pix,
+            },
+            MacroOp::ShrBits { a, k, .. } => MachineInstr::ShrBits {
+                a: self.resolve(a, i)?,
+                k,
+            },
+            MacroOp::ShlBits { a, k, .. } => MachineInstr::ShlBits {
+                a: self.resolve(a, i)?,
+                k,
+            },
+            MacroOp::Neg { a, .. } => MachineInstr::Neg {
+                a: self.resolve(a, i)?,
+            },
+            MacroOp::SatNarrow { a, bits, .. } => MachineInstr::SatNarrow {
+                a: self.resolve(a, i)?,
+                bits,
+            },
+            MacroOp::Mul { a, b, signed, .. } => MachineInstr::Mul {
+                a: self.resolve(a, i)?,
+                b: self.resolve(b, i)?,
+                signed,
+            },
+            MacroOp::DivFrac {
+                a, b, frac, signed, ..
+            } => MachineInstr::DivFrac {
+                a: self.resolve(a, i)?,
+                b: self.resolve(b, i)?,
+                frac,
+                signed,
+            },
+            MacroOp::Load { a, .. } => {
+                let x = self.resolve(a, i)?;
+                MachineInstr::Alu {
+                    op: AluOp::Logic(LogicFunc::Or),
+                    a: x,
+                    b: x,
+                    shift: Shift::None,
+                }
+            }
+            MacroOp::SetLanes { .. } | MacroOp::Store { .. } | MacroOp::Reduce { .. } => {
+                unreachable!("handled by the walk")
+            }
+        })
+    }
+
+    fn lower_def(&mut self, i: usize, op: &MacroOp) -> Result<(), LowerError> {
+        let dst = op.dst().expect("def op has a destination");
+        let d = dst.index() as usize;
+        if self.naive {
+            let instr = self.build_instr(op, i)?;
+            self.emit(instr, i);
+            let home = match self.store_row[d] {
+                Some(r) => r,
+                None => self.alloc_scratch(i, dst.index())?,
+            };
+            self.emit(MachineInstr::Writeback { row: home }, i);
+            self.home[d] = Some(home);
+            self.in_row[d] = Some(home);
+        } else {
+            self.spill_tmp(i)?;
+            let instr = self.build_instr(op, i)?;
+            self.emit(instr, i);
+            self.tmp = Some(dst.index());
+        }
+        Ok(())
+    }
+
+    fn lower_store(&mut self, i: usize, src: VReg, row: usize) -> Result<(), LowerError> {
+        let s = src.index() as usize;
+        if self.naive {
+            // The defining op already wrote its home row; only a store
+            // to a *different* row needs a copy.
+            if self.home[s] == Some(row) {
+                return Ok(());
+            }
+            let a = self.resolve(Val::V(src), i)?;
+            self.emit(
+                MachineInstr::Alu {
+                    op: AluOp::Logic(LogicFunc::Or),
+                    a,
+                    b: a,
+                    shift: Shift::None,
+                },
+                i,
+            );
+            self.emit(MachineInstr::Writeback { row }, i);
+            return Ok(());
+        }
+        if self.tmp == Some(src.index()) {
+            self.emit(MachineInstr::Writeback { row }, i);
+            self.in_row[s] = Some(row);
+            return Ok(());
+        }
+        if self.in_row[s] == Some(row) {
+            return Ok(());
+        }
+        self.spill_tmp(i)?;
+        let a = self.resolve(Val::V(src), i)?;
+        self.emit(
+            MachineInstr::Alu {
+                op: AluOp::Logic(LogicFunc::Or),
+                a,
+                b: a,
+                shift: Shift::None,
+            },
+            i,
+        );
+        self.tmp = Some(src.index());
+        self.emit(MachineInstr::Writeback { row }, i);
+        self.in_row[s] = Some(row);
+        Ok(())
+    }
+
+    fn lower_reduce(&mut self, i: usize, a: Val) -> Result<(), LowerError> {
+        let already_in_tmp = !self.naive && matches!(a, Val::V(v) if self.tmp == Some(v.index()));
+        if !already_in_tmp {
+            if !self.naive {
+                self.spill_tmp(i)?;
+            }
+            let x = self.resolve(a, i)?;
+            self.emit(
+                MachineInstr::Alu {
+                    op: AluOp::Logic(LogicFunc::Or),
+                    a: x,
+                    b: x,
+                    shift: Shift::None,
+                },
+                i,
+            );
+        }
+        self.emit(MachineInstr::Reduce, i);
+        // reduce_sum leaves the lane sum, not the operand, in Tmp
+        self.tmp = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArrayConfig;
+    use crate::machine::PimMachine;
+
+    fn smooth() -> PimProgram {
+        let mut p = PimProgram::new("smooth");
+        let d = p.avg(Val::Row(0), Val::Row(1));
+        let e = p.avg_sh(d.into(), d.into(), 1);
+        p.store(e, 2);
+        p
+    }
+
+    fn scratch() -> ScratchRows {
+        ScratchRows::contiguous(100, 8)
+    }
+
+    #[test]
+    fn opt_chains_through_tmp() {
+        let l = lower(&smooth(), LowerLevel::Opt, &scratch()).unwrap();
+        let instrs: Vec<&MachineInstr> = l.ops().iter().map(|o| &o.instr).collect();
+        assert_eq!(instrs.len(), 3);
+        assert!(matches!(
+            instrs[1],
+            MachineInstr::Alu {
+                op: AluOp::Avg,
+                a: Operand::Tmp,
+                b: Operand::Tmp,
+                shift: Shift::Pix(1),
+            }
+        ));
+        assert_eq!(*instrs[2], MachineInstr::Writeback { row: 2 });
+    }
+
+    #[test]
+    fn naive_expands_shifts_and_writes_everything_back() {
+        let l = lower(&smooth(), LowerLevel::Naive, &scratch()).unwrap();
+        // avg, wb, shift_pix, wb, avg, wb
+        assert_eq!(l.ops().len(), 6);
+        assert!(matches!(l.ops()[2].instr, MachineInstr::ShiftPix { .. }));
+        assert_eq!(l.ops()[5].instr, MachineInstr::Writeback { row: 2 });
+        // no Tmp operands anywhere at the naive level
+        for op in l.ops() {
+            if let MachineInstr::Alu { a, b, .. } = op.instr {
+                assert!(!matches!(a, Operand::Tmp) && !matches!(b, Operand::Tmp));
+            }
+        }
+    }
+
+    #[test]
+    fn all_levels_compute_identical_rows() {
+        let mut build = PimProgram::new("mix");
+        let d = build.abs_diff_sh(Val::Row(0), Val::Row(1), 2);
+        let e = build.max(Val::Row(0), Val::Row(1));
+        let f = build.min_sh(d.into(), e.into(), 1);
+        let g = build.shift_pix(f.into(), -1);
+        let h = build.cmp_gt(Val::Row(1), g.into());
+        build.store(h, 3);
+
+        let mut rows = Vec::new();
+        for level in [LowerLevel::Naive, LowerLevel::Opt, LowerLevel::MultiReg(4)] {
+            let mut m = PimMachine::new(ArrayConfig::default());
+            if let LowerLevel::MultiReg(n) = level {
+                m.set_tmp_regs(n);
+            }
+            m.host_write_lanes(0, &[9, 3, 200, 17, 4, 250, 0, 77])
+                .unwrap();
+            m.host_write_lanes(1, &[5, 100, 2, 90, 30, 1, 60, 8])
+                .unwrap();
+            let l = lower(&build, level, &scratch()).unwrap();
+            m.run_program(&l).unwrap();
+            rows.push(m.host_read_lanes(3)[..8].to_vec());
+        }
+        assert_eq!(rows[0], rows[1], "naive vs opt");
+        assert_eq!(rows[1], rows[2], "opt vs multireg");
+    }
+
+    #[test]
+    fn opt_is_cheaper_than_naive_and_multireg_writes_less() {
+        let mut build = PimProgram::new("mix");
+        let a = build.abs_diff_sh(Val::Row(0), Val::Row(1), 2);
+        let b = build.abs_diff(Val::Row(0), Val::Row(1));
+        let c = build.abs_diff_sh(Val::Row(1), Val::Row(0), -1);
+        let d = build.avg(a.into(), b.into());
+        let e = build.avg(d.into(), c.into());
+        build.store(e, 3);
+
+        let mut cycles = Vec::new();
+        let mut writes = Vec::new();
+        for level in [LowerLevel::Naive, LowerLevel::Opt, LowerLevel::MultiReg(4)] {
+            let mut m = PimMachine::new(ArrayConfig::default());
+            if let LowerLevel::MultiReg(n) = level {
+                m.set_tmp_regs(n);
+            }
+            m.host_write_lanes(0, &[9, 3, 200, 17]).unwrap();
+            m.host_write_lanes(1, &[5, 100, 2, 90]).unwrap();
+            let l = lower(&build, level, &scratch()).unwrap();
+            m.run_program(&l).unwrap();
+            cycles.push(m.stats().cycles);
+            writes.push(m.stats().sram_writes);
+        }
+        assert!(
+            cycles[1] < cycles[0],
+            "opt {} naive {}",
+            cycles[1],
+            cycles[0]
+        );
+        assert!(cycles[2] <= cycles[1], "multireg vs opt");
+        assert!(writes[2] < writes[1], "multireg spills to registers");
+    }
+
+    #[test]
+    fn adjacent_shift_fuses_into_consumer() {
+        let mut build = PimProgram::new("f");
+        let s = build.shift_pix(Val::Row(0), -1);
+        let c = build.cmp_gt(Val::Row(1), s.into());
+        build.store(c, 2);
+        let l = lower(&build, LowerLevel::Opt, &scratch()).unwrap();
+        // shift folded into cmp_gt's pre-shift: 2 instrs, not 3
+        assert_eq!(l.ops().len(), 2);
+        assert!(matches!(
+            l.ops()[0].instr,
+            MachineInstr::Alu {
+                op: AluOp::CmpGt,
+                shift: Shift::Pix(-1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn commutative_fusion_swaps_operands() {
+        let mut build = PimProgram::new("f");
+        let s = build.shift_pix(Val::Row(0), 2);
+        let c = build.and(s.into(), Val::Row(1));
+        build.store(c, 2);
+        let l = lower(&build, LowerLevel::Opt, &scratch()).unwrap();
+        assert_eq!(l.ops().len(), 2);
+        assert!(matches!(
+            l.ops()[0].instr,
+            MachineInstr::Alu {
+                op: AluOp::Logic(LogicFunc::And),
+                a: Operand::Row(1),
+                b: Operand::Row(0),
+                shift: Shift::Pix(2),
+            }
+        ));
+    }
+
+    #[test]
+    fn fusion_blocked_by_intervening_store_to_source_row() {
+        let mut build = PimProgram::new("f");
+        let s = build.shift_pix(Val::Row(0), 1);
+        let x = build.avg(Val::Row(1), Val::Row(2));
+        build.store(x, 0); // overwrites the shift's source row
+        let c = build.cmp_gt(Val::Row(1), s.into());
+        build.store(c, 3);
+        let l = lower(&build, LowerLevel::Opt, &scratch()).unwrap();
+        assert!(
+            l.ops()
+                .iter()
+                .any(|o| matches!(o.instr, MachineInstr::ShiftPix { .. })),
+            "shift must stay stand-alone:\n{l}"
+        );
+    }
+
+    #[test]
+    fn dead_store_is_eliminated_at_opt_and_kept_at_naive() {
+        let mut build = PimProgram::new("d");
+        let a = build.avg(Val::Row(0), Val::Row(1));
+        build.store(a, 5);
+        let b = build.max(Val::Row(0), Val::Row(1));
+        build.store(b, 5); // overwrites row 5 with no read in between
+        let opt = lower(&build, LowerLevel::Opt, &scratch()).unwrap();
+        let wb5 = opt
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.instr, MachineInstr::Writeback { row: 5 }))
+            .count();
+        assert_eq!(wb5, 1, "dead store dropped:\n{opt}");
+        let naive = lower(&build, LowerLevel::Naive, &scratch()).unwrap();
+        let wb5n = naive
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.instr, MachineInstr::Writeback { row: 5 }))
+            .count();
+        assert_eq!(wb5n, 2, "naive keeps every write:\n{naive}");
+    }
+
+    #[test]
+    fn out_of_scratch_is_reported() {
+        let mut build = PimProgram::new("s");
+        let a = build.avg(Val::Row(0), Val::Row(1));
+        let b = build.avg(Val::Row(0), Val::Row(2));
+        let c = build.avg(Val::Row(0), Val::Row(3));
+        let d = build.avg(a.into(), b.into());
+        let e = build.avg(d.into(), c.into());
+        build.store(e, 5);
+        let none = ScratchRows::new(Vec::new());
+        assert!(matches!(
+            lower(&build, LowerLevel::Opt, &none),
+            Err(LowerError::OutOfScratch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_hazard_is_rejected() {
+        let mut build = PimProgram::new("h");
+        let a = build.avg(Val::Row(0), Val::Row(1));
+        let _b = build.avg(Val::Row(5), Val::Row(1)); // reads row 5 pre-store
+        build.store(a, 5);
+        assert_eq!(
+            lower(&build, LowerLevel::Opt, &scratch()),
+            Err(LowerError::StoreHazard { op: 2, row: 5 })
+        );
+    }
+
+    #[test]
+    fn scratch_rows_are_recycled_after_last_use() {
+        let mut build = PimProgram::new("r");
+        // two sequential rounds each needing one spill
+        for _ in 0..2 {
+            let a = build.avg(Val::Row(0), Val::Row(1));
+            let b = build.avg(Val::Row(0), Val::Row(2));
+            let c = build.avg(a.into(), b.into());
+            build.store(c, 5);
+        }
+        let one = ScratchRows::new(vec![100]);
+        let l = lower(&build, LowerLevel::Opt, &one).unwrap();
+        let spills = l
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.instr, MachineInstr::Writeback { row: 100 }))
+            .count();
+        assert_eq!(spills, 2, "one scratch row serves both rounds:\n{l}");
+    }
+
+    #[test]
+    fn reduce_results_come_back_in_program_order() {
+        let mut build = PimProgram::new("red");
+        let a = build.add(Val::Row(0), Val::Row(1));
+        build.reduce(a.into());
+        let b = build.sub(Val::Row(0), Val::Row(1));
+        build.reduce(b.into());
+        for level in [LowerLevel::Naive, LowerLevel::Opt] {
+            let mut m = PimMachine::new(ArrayConfig::default());
+            m.host_write_lanes(0, &[10, 20, 30]).unwrap();
+            m.host_write_lanes(1, &[1, 2, 3]).unwrap();
+            let l = lower(&build, level, &scratch()).unwrap();
+            assert_eq!(l.reduce_count(), 2);
+            let sums = m.run_program(&l).unwrap();
+            // unwritten lanes are zero-filled: 0 ± 0 contributes nothing
+            assert_eq!(sums, vec![66, 54], "{level}");
+        }
+    }
+}

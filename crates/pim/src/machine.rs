@@ -2,6 +2,7 @@ use crate::config::{ArrayConfig, LaneWidth, Signedness};
 use crate::cost::CostModel;
 use crate::fault::{FaultModel, FaultStatus, FaultUnit, Protection};
 use crate::isa::{AluOp, LogicFunc, OpClass, Operand, Shift};
+use crate::lower::{LoweredProgram, MachineInstr};
 use crate::stats::ExecStats;
 use crate::trace::{Trace, TraceEvent};
 use pimvo_fixed::sat;
@@ -154,6 +155,9 @@ pub struct PimMachine {
     /// Retention limit applied to the trace when tracing is enabled
     /// (`None` = unbounded). See [`Trace::set_capacity`].
     trace_capacity: Option<usize>,
+    /// IR provenance label prefixed to trace mnemonics while
+    /// [`PimMachine::run_program`] executes (set only when tracing).
+    trace_label: Option<String>,
     fault: FaultUnit,
 }
 
@@ -284,6 +288,7 @@ impl PimMachine {
             stats: ExecStats::new(),
             trace: None,
             trace_capacity: None,
+            trace_label: None,
             fault: FaultUnit::inert(),
         }
     }
@@ -1305,6 +1310,71 @@ impl PimMachine {
     }
 
     // ------------------------------------------------------------------
+    // Program execution
+    // ------------------------------------------------------------------
+
+    /// Executes a lowered macro-op program (see [`crate::ir`] and
+    /// [`crate::lower()`]), charging the normal [`CostModel`] through
+    /// the same compute methods hand-written kernels call. Returns the
+    /// [`MachineInstr::Reduce`] results in program order. When tracing
+    /// is enabled, every emitted trace event is prefixed with the op's
+    /// IR provenance label (`"program[ir_index]"`); with tracing off
+    /// the labels cost nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`PimError`] from the underlying compute
+    /// method (bad rows, empty registers). Ops before the failure have
+    /// already been charged, exactly as hand-written sequences behave.
+    pub fn run_program(&mut self, prog: &LoweredProgram) -> Result<Vec<i64>, PimError> {
+        let mut sums = Vec::with_capacity(prog.reduce_count());
+        let tracing = self.trace.is_some();
+        for op in prog.ops() {
+            if tracing {
+                self.trace_label = Some(op.label.clone());
+            }
+            let step = self.exec_instr(&op.instr, &mut sums);
+            if let Err(e) = step {
+                self.trace_label = None;
+                return Err(e);
+            }
+        }
+        self.trace_label = None;
+        Ok(sums)
+    }
+
+    /// Dispatches one lowered instruction to its compute method.
+    fn exec_instr(&mut self, instr: &MachineInstr, sums: &mut Vec<i64>) -> Result<(), PimError> {
+        match *instr {
+            MachineInstr::SetLanes { width, sign } => self.set_lanes(width, sign),
+            MachineInstr::Alu { op, a, b, shift } => self.try_alu(op, a, b, shift)?,
+            MachineInstr::ShiftPix { a, pix } => self.try_shift_pix(a, pix)?,
+            MachineInstr::ShrBits { a, k } => self.try_shr_bits(a, k)?,
+            MachineInstr::ShlBits { a, k } => self.try_shl_bits(a, k)?,
+            MachineInstr::Neg { a } => self.try_neg(a)?,
+            MachineInstr::SatNarrow { a, bits } => self.try_sat_narrow(a, bits)?,
+            MachineInstr::Mul { a, b, signed } => {
+                if signed {
+                    self.try_mul_signed(a, b)?;
+                } else {
+                    self.try_mul(a, b)?;
+                }
+            }
+            MachineInstr::DivFrac { a, b, frac, signed } => {
+                if signed {
+                    self.try_div_frac_signed(a, b, frac)?;
+                } else {
+                    self.try_div_frac(a, b, frac)?;
+                }
+            }
+            MachineInstr::Writeback { row } => self.try_writeback(row)?,
+            MachineInstr::SaveTmp { idx } => self.try_save_tmp(idx)?,
+            MachineInstr::Reduce => sums.push(self.try_reduce_sum()?),
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
@@ -1559,6 +1629,10 @@ impl PimMachine {
         sram_writes: u64,
     ) {
         if let Some(trace) = &mut self.trace {
+            let mnemonic = match &self.trace_label {
+                Some(label) => format!("{label} {mnemonic}"),
+                None => mnemonic,
+            };
             let seq = trace.next_seq();
             trace.push(TraceEvent {
                 seq,

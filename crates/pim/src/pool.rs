@@ -37,6 +37,7 @@
 //! e.g. from a manufacturing test; dispatch then simply skips them.
 
 use crate::fault::FaultStatus;
+use crate::lower::LoweredProgram;
 use crate::machine::{PimError, PimMachine, PimMachineBuilder};
 use crate::stats::ExecStats;
 use pimvo_telemetry::{Severity, Telemetry, TimeDomain};
@@ -315,6 +316,35 @@ impl PimArrayPool {
             self.record_phase_spans(label, wall_start, &participants);
         }
         results
+    }
+
+    /// Strip-sharded program submission: runs `programs[i]` (one
+    /// lowered macro-op program per array, see [`crate::lower()`]) as a
+    /// single labeled phase, returning each program's reduce results
+    /// in array order. Wall-cycle, barrier and telemetry accounting
+    /// are identical to [`PimArrayPool::run_phase_labeled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `programs.len()` differs from the pool size.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PimError`] any shard's executor reports (shards
+    /// that already ran stay charged, like any partially executed
+    /// phase).
+    pub fn run_programs_labeled(
+        &mut self,
+        label: &str,
+        programs: &[LoweredProgram],
+    ) -> Result<Vec<Vec<i64>>, PimError> {
+        assert_eq!(
+            programs.len(),
+            self.arrays.len(),
+            "one lowered program per array"
+        );
+        let results = self.run_phase_labeled(label, |i, m| m.run_program(&programs[i]));
+        results.into_iter().collect()
     }
 
     /// Records the cycle-domain spans of one completed phase: the pool

@@ -1,0 +1,79 @@
+//! Dumps every macro-op program — the edge-detection kernels and the
+//! five pose-estimation phases — together with its lowering at each
+//! level into `out/ir_*.txt`.
+//!
+//! These files are the committed golden snapshots that make lowering
+//! changes reviewable: `scripts/tier1.sh` regenerates them and fails
+//! when the listings drift from what is in git, so any change to the
+//! IR builders or the optimizing lowering pass shows up as a readable
+//! program diff in the PR.
+//!
+//! Usage: `cargo run --example dump_ir [-- <output-dir>]` (default
+//! `out/`). Each snapshot lists the virtual-register IR first, then
+//! the machine-instruction listings at `Naive`, `Opt` and
+//! `MultiReg(4)`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use pimvo::core::pim_exec::{pose_programs, pose_scratch};
+use pimvo::core::Interp;
+use pimvo::kernels::ir::{
+    downsample_program, hpf_program, lpf_pass1_program, lpf_pass2_program, nms_program,
+    scratch_pool,
+};
+use pimvo::kernels::pim_util::Regions;
+use pimvo::pim::{lower, ArrayConfig, LowerLevel, PimMachine, PimProgram, ScratchRows};
+
+const LEVELS: [LowerLevel; 3] = [LowerLevel::Naive, LowerLevel::Opt, LowerLevel::MultiReg(4)];
+
+/// The IR listing followed by the lowered listing at every level.
+fn listing(prog: &PimProgram, scratch: &ScratchRows) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{prog}");
+    for level in LEVELS {
+        let lowered = lower(prog, level, scratch)
+            .unwrap_or_else(|e| panic!("lowering {} at {level}: {e}", prog.name()));
+        let _ = writeln!(s, "{lowered}");
+    }
+    s
+}
+
+fn write_snapshot(dir: &str, name: &str, text: &str) {
+    let path = Path::new(dir).join(format!("ir_{name}.txt"));
+    std::fs::write(&path, text).expect("write snapshot");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "out".into());
+    std::fs::create_dir_all(&dir).expect("create output dir");
+
+    // Edge kernels: one two-row strip of a four-row image — small
+    // enough to read, tall enough to exercise halo rows and the
+    // adjacent-shift fusion.
+    let m = PimMachine::new(ArrayConfig::qvga_banks(6));
+    let r = Regions::for_machine(&m, 4);
+    let ks = scratch_pool(&r);
+    let h = 4;
+    let kernel_progs = [
+        lpf_pass1_program(&r, r.input, h, 0, 2),
+        lpf_pass2_program(&r, r.aux2, h, None, 0, 2),
+        hpf_program(&r, r.aux2, r.aux3, h, None, 0, 2),
+        nms_program(&r, r.aux3, r.out, h, None, 0, 2),
+        downsample_program(&r, 0, 2),
+    ];
+    for p in &kernel_progs {
+        write_snapshot(&dir, p.name(), &listing(p, &ks));
+    }
+
+    // Pose estimation: the five programs run_batch submits, at the
+    // staging base the system tests use (ff = 12, bilinear residuals).
+    let base = 5 * 256 + 64;
+    let ps = pose_scratch(base);
+    let mut s = String::new();
+    for p in pose_programs(base, 12, Interp::Bilinear) {
+        s.push_str(&listing(&p, &ps));
+    }
+    write_snapshot(&dir, "pose", &s);
+}

@@ -7,9 +7,9 @@
 //! cargo run --release --example edge_detect
 //! ```
 
-use pimvo::kernels::{pim_naive, pim_opt, EdgeConfig, GrayImage};
+use pimvo::kernels::{ir, EdgeConfig, GrayImage};
 use pimvo::mcu::CostCounter;
-use pimvo::pim::{ArrayConfig, PimMachine};
+use pimvo::pim::{ArrayConfig, LowerLevel, PimMachine};
 use pimvo::scene::{Sequence, SequenceKind};
 
 fn ascii_render(mask: &GrayImage, cols: u32, rows: u32) {
@@ -42,7 +42,7 @@ fn main() {
 
     // optimized PIM mapping
     let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-    let maps = pim_opt::edge_detect(&mut m, gray, &cfg);
+    let maps = ir::edge_detect(&mut m, gray, &cfg, LowerLevel::Opt);
     let opt_cycles = m.stats().cycles;
 
     println!("edge mask ({} edge pixels):", maps.edge_count());
@@ -50,7 +50,7 @@ fn main() {
 
     // naive PIM mapping (identical output, more cycles)
     let mut mn = PimMachine::new(ArrayConfig::qvga_banks(6));
-    let naive = pim_naive::edge_detect(&mut mn, gray, &cfg);
+    let naive = ir::edge_detect(&mut mn, gray, &cfg, LowerLevel::Naive);
     assert_eq!(naive.mask, maps.mask, "mappings must agree bit-for-bit");
 
     // MCU baseline

@@ -2,7 +2,8 @@
 # Tier-1 verification: what every PR must keep green.
 #
 #   fmt check -> build (release) -> workspace tests -> fault-feature
-#   tests -> clippy (-D warnings)
+#   tests -> clippy (-D warnings) -> rustdoc (-D warnings) -> IR golden
+#   snapshots
 #
 # Every step is mandatory. The formatter and clippy gates run the
 # pinned workspace toolchain, so lint results are reproducible.
@@ -25,6 +26,16 @@ step cargo test -q --workspace
 # the fault-injection layer is feature-gated off by default; test it too
 step cargo test -q --features fault -p pimvo-pim -p pimvo-core
 step cargo clippy --all-targets --all-features -- -D warnings
+# rustdoc, warnings as errors (vendored dep stubs excluded: their docs
+# mirror the upstream crates, not this project)
+step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace \
+    --exclude proptest --exclude criterion
+
+# golden IR snapshots: regenerate the kernel/pose program listings and
+# fail if they drift from the committed out/ir_*.txt, so any change to
+# the IR builders or the lowering pass shows up as a reviewable diff
+step cargo run -q --release --example dump_ir
+step git diff --exit-code -- 'out/ir_*.txt'
 
 # bounded chaos smoke: kill-and-restore, snapshot corruption, budget
 # squeezes and quarantine storms must hold every invariant (exit 0)

@@ -4,7 +4,7 @@
 //! `EXPERIMENTS.md`; these tests keep the shapes from regressing.
 
 use pimvo::core::{extract_features, BackendKind, Keyframe, Tracker, TrackerConfig};
-use pimvo::kernels::{pim_opt, EdgeConfig};
+use pimvo::kernels::{ir, EdgeConfig};
 use pimvo::mcu::{CostCounter, FloatFeature};
 use pimvo::pim::{ArrayConfig, CostModel, PimMachine};
 use pimvo::scene::{Sequence, SequenceKind};
@@ -27,7 +27,7 @@ fn edge_detection_speedup_shape() {
     let mcu_maps = pimvo::mcu::edge_detect_counted(&gray, &cfg, &mut counter);
 
     let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-    let pim_maps = pim_opt::edge_detect(&mut m, &gray, &cfg);
+    let pim_maps = ir::edge_detect(&mut m, &gray, &cfg, pimvo::pim::LowerLevel::Opt);
 
     assert_eq!(mcu_maps.mask, pim_maps.mask, "outputs must be identical");
     let speedup = counter.cycles() as f64 / m.stats().cycles as f64;
@@ -61,7 +61,7 @@ fn lm_speedup_and_overall_shape() {
 
     let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
     let c0 = m.stats().cycles;
-    let _ = pim_opt::edge_detect(&mut m, &gray, &cfg);
+    let _ = ir::edge_detect(&mut m, &gray, &cfg, pimvo::pim::LowerLevel::Opt);
     let pim_edge = m.stats().cycles - c0;
     let qpose = pimvo::core::QPose::quantize(&SE3::IDENTITY);
     let qfeats: Vec<pimvo::core::QFeature> = features

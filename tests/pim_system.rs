@@ -6,7 +6,7 @@
 use pimvo::cnn::{render_shape, Shape, SmallNet};
 use pimvo::core::pim_exec::{run_batch, BATCH};
 use pimvo::core::{extract_features, Keyframe, QFeature, QPose};
-use pimvo::kernels::{pim_multireg, pim_opt, EdgeConfig};
+use pimvo::kernels::{ir, pim_multireg, EdgeConfig};
 use pimvo::pim::{ArrayConfig, CostModel, OpClass, PimMachine};
 use pimvo::scene::{Sequence, SequenceKind};
 use pimvo::vomath::{Pinhole, SE3};
@@ -20,7 +20,7 @@ fn one_machine_runs_vo_and_cnn_workloads() {
     let frame = &seq.frames[0];
 
     // 1. edge detection on the array
-    let maps = pim_opt::edge_detect(&mut m, &frame.gray, &cfg);
+    let maps = ir::edge_detect(&mut m, &frame.gray, &cfg, pimvo::pim::LowerLevel::Opt);
     assert!(maps.edge_count() > 1000);
 
     // 2. one pose-estimation batch on the same array (pose staging rows
@@ -66,11 +66,21 @@ fn multireg_and_single_reg_machines_agree_end_to_end() {
     let cfg = EdgeConfig::default();
 
     let mut m1 = PimMachine::new(ArrayConfig::qvga_banks(6));
-    let single = pim_opt::edge_detect(&mut m1, &seq.frames[0].gray, &cfg);
+    let single = ir::edge_detect(
+        &mut m1,
+        &seq.frames[0].gray,
+        &cfg,
+        pimvo::pim::LowerLevel::Opt,
+    );
 
     let mut m4 = PimMachine::new(ArrayConfig::qvga_banks(6));
     m4.set_tmp_regs(pim_multireg::REGS_REQUIRED);
-    let multi = pim_multireg::edge_detect(&mut m4, &seq.frames[0].gray, &cfg);
+    let multi = ir::edge_detect(
+        &mut m4,
+        &seq.frames[0].gray,
+        &cfg,
+        pimvo::pim::LowerLevel::MultiReg(pim_multireg::REGS_REQUIRED),
+    );
 
     assert_eq!(single.mask, multi.mask);
     let e1 = m1.stats().energy(&CostModel::default());
@@ -88,7 +98,12 @@ fn trace_covers_a_full_edge_detection() {
     let seq = Sequence::generate(SequenceKind::Desk, 1);
     let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
     m.set_tracing(true);
-    let _ = pim_opt::edge_detect(&mut m, &seq.frames[0].gray, &EdgeConfig::default());
+    let _ = ir::edge_detect(
+        &mut m,
+        &seq.frames[0].gray,
+        &EdgeConfig::default(),
+        pimvo::pim::LowerLevel::Opt,
+    );
     let trace = m.trace().expect("tracing on");
     assert!(trace.len() > 3_000, "trace events {}", trace.len());
     // the trace's cycle accounting must agree with the machine ledger
@@ -104,7 +119,12 @@ fn trace_ledger_agrees_on_the_multireg_pipeline_too() {
     let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
     m.set_tmp_regs(pim_multireg::REGS_REQUIRED);
     m.set_tracing(true);
-    let _ = pim_multireg::edge_detect(&mut m, &seq.frames[0].gray, &EdgeConfig::default());
+    let _ = ir::edge_detect(
+        &mut m,
+        &seq.frames[0].gray,
+        &EdgeConfig::default(),
+        pimvo::pim::LowerLevel::MultiReg(pim_multireg::REGS_REQUIRED),
+    );
     let trace = m.trace().expect("tracing on");
     let traced_cycles: u64 = trace.events().iter().map(|e| e.cycles).sum();
     assert_eq!(traced_cycles, m.stats().cycles);
