@@ -24,7 +24,12 @@
 //! liveness (the program is straight-line SSA, so every use index is
 //! known): the most recent definition lives in the Tmp Reg; scratch
 //! rows and extra registers are recycled lowest-first as soon as their
-//! owner's last use has passed.
+//! owner's last use has passed. Two hazards of the eager mapping are
+//! handled explicitly: a write-back about to clobber a row that still
+//! caches another live value first *rescues* that value through the
+//! Tmp Reg into a register or scratch row, and a reduce whose operand
+//! sits in the Tmp Reg spills it first when it has later uses
+//! (`reduce_sum` destroys the Tmp Reg).
 
 use crate::config::{LaneWidth, Signedness};
 use crate::ir::{MacroOp, PimProgram, VReg, Val};
@@ -56,7 +61,10 @@ impl fmt::Display for LowerLevel {
 }
 
 /// The SRAM rows a lowering may use for spilled intermediates. Must
-/// not overlap rows the program reads or stores to.
+/// not overlap rows the program reads or stores to — [`lower()`]
+/// validates this and rejects overlapping pools with
+/// [`LowerError::ScratchOverlap`] (a spill into a program row would
+/// silently corrupt results).
 #[derive(Clone, Debug)]
 pub struct ScratchRows {
     rows: Vec<usize>,
@@ -107,6 +115,12 @@ pub enum LowerError {
         /// The row stored to and read in between.
         row: usize,
     },
+    /// A [`ScratchRows`] row collides with a row the program reads or
+    /// stores to — spills into it would corrupt program data.
+    ScratchOverlap {
+        /// The offending scratch row.
+        row: usize,
+    },
 }
 
 impl fmt::Display for LowerError {
@@ -121,6 +135,10 @@ impl fmt::Display for LowerError {
             LowerError::StoreHazard { op, row } => write!(
                 f,
                 "IR store {op}: row {row} is read between definition and store"
+            ),
+            LowerError::ScratchOverlap { row } => write!(
+                f,
+                "scratch row {row} overlaps a row the program reads or stores to"
             ),
         }
     }
@@ -331,14 +349,17 @@ impl fmt::Display for LoweredProgram {
 /// # Errors
 ///
 /// [`LowerError::OutOfScratch`] when the scratch pool cannot hold the
-/// live intermediates, [`LowerError::UseBeforeDef`] /
-/// [`LowerError::StoreHazard`] for malformed programs.
+/// live intermediates, [`LowerError::ScratchOverlap`] when the pool
+/// collides with rows the program reads or stores to,
+/// [`LowerError::UseBeforeDef`] / [`LowerError::StoreHazard`] for
+/// malformed programs.
 pub fn lower(
     prog: &PimProgram,
     level: LowerLevel,
     scratch: &ScratchRows,
 ) -> Result<LoweredProgram, LowerError> {
     check_store_hazards(prog)?;
+    check_scratch_overlap(prog, scratch)?;
     let processed = match level {
         LowerLevel::Naive => expand_shifts(prog),
         LowerLevel::Opt | LowerLevel::MultiReg(_) => eliminate_dead_stores(&fuse_shifts(prog)),
@@ -405,6 +426,29 @@ fn check_store_hazards(prog: &PimProgram) -> Result<(), LowerError> {
             if ops[d + 1..i].iter().any(|o| o.reads_row(row)) {
                 return Err(LowerError::StoreHazard { op: i, row });
             }
+        }
+    }
+    Ok(())
+}
+
+/// Rejects scratch pools that overlap any row the program reads or
+/// stores to — the [`ScratchRows`] contract; a spill into such a row
+/// would silently corrupt program data at allocation time.
+fn check_scratch_overlap(prog: &PimProgram, scratch: &ScratchRows) -> Result<(), LowerError> {
+    let mut touched = Vec::new();
+    for op in prog.ops() {
+        for s in op.sources() {
+            if let Val::Row(r) = s {
+                touched.push(r);
+            }
+        }
+        if let MacroOp::Store { row, .. } = *op {
+            touched.push(row);
+        }
+    }
+    for &row in scratch.rows() {
+        if touched.contains(&row) {
+            return Err(LowerError::ScratchOverlap { row });
         }
     }
     Ok(())
@@ -680,15 +724,15 @@ impl Walker {
     }
 
     /// Spills the Tmp Reg's current value before an op clobbers it, if
-    /// the value is still live and homeless. MultiReg prefers a free
-    /// extra register (one register cycle, no SRAM write) over a
-    /// scratch-row write-back.
-    fn spill_tmp(&mut self, i: usize) -> Result<(), LowerError> {
+    /// the value is used at or after op `from` and has no other
+    /// location. MultiReg prefers a free extra register (one register
+    /// cycle, no SRAM write) over a scratch-row write-back.
+    fn spill_tmp_from(&mut self, i: usize, from: usize) -> Result<(), LowerError> {
         let Some(v) = self.tmp else {
             return Ok(());
         };
         let x = v as usize;
-        let needed = self.uses[x].iter().any(|&u| u > i);
+        let needed = self.uses[x].iter().any(|&u| u >= from);
         if !needed || self.in_reg[x].is_some() || self.in_row[x].is_some() {
             return Ok(());
         }
@@ -699,6 +743,79 @@ impl Walker {
             let row = self.alloc_scratch(i, v)?;
             self.emit(MachineInstr::Writeback { row }, i);
             self.in_row[x] = Some(row);
+        }
+        Ok(())
+    }
+
+    /// [`Walker::spill_tmp_from`] for the common case: the Tmp value
+    /// only matters if used strictly after op `i`.
+    fn spill_tmp(&mut self, i: usize) -> Result<(), LowerError> {
+        self.spill_tmp_from(i, i + 1)
+    }
+
+    /// Drops a virtual register's claim on `row` (both the Opt location
+    /// cache and the naive home).
+    fn forget_row(&mut self, x: usize, row: usize) {
+        if self.in_row[x] == Some(row) {
+            self.in_row[x] = None;
+        }
+        if self.home[x] == Some(row) {
+            self.home[x] = None;
+        }
+    }
+
+    /// Relocates every virtual register other than `keep` whose cached
+    /// location is `row` before an imminent [`MachineInstr::Writeback`]
+    /// clobbers that row. Dead values and values with another location
+    /// just forget the row; a live, row-only value is copied out
+    /// through the Tmp Reg into an extra register or a scratch row
+    /// (spilling a still-needed Tmp occupant first), so storing to an
+    /// already-cached row can never silently corrupt an earlier
+    /// still-live result.
+    fn rescue_row(&mut self, i: usize, row: usize, keep: u32) -> Result<(), LowerError> {
+        for v in 0..self.in_row.len() as u32 {
+            let x = v as usize;
+            if v == keep || (self.in_row[x] != Some(row) && self.home[x] != Some(row)) {
+                continue;
+            }
+            if !self.live_from(v, i + 1) {
+                // dead after this op; keep the mapping only while the
+                // current op still reads it (the clobbering write-back
+                // lands after the op's operands are consumed)
+                if !self.uses[x].contains(&i) {
+                    self.forget_row(x, row);
+                }
+                continue;
+            }
+            if self.tmp == Some(v) || self.in_reg[x].is_some() {
+                self.forget_row(x, row);
+                continue;
+            }
+            // the row holds the value's only copy: route it through
+            // the Tmp Reg (preserving a Tmp value still used at `i`)
+            self.spill_tmp_from(i, i)?;
+            self.emit(
+                MachineInstr::Alu {
+                    op: AluOp::Logic(LogicFunc::Or),
+                    a: Operand::Row(row),
+                    b: Operand::Row(row),
+                    shift: Shift::None,
+                },
+                i,
+            );
+            self.forget_row(x, row);
+            self.tmp = Some(v);
+            if let Some(idx) = self.alloc_reg(i, v) {
+                self.emit(MachineInstr::SaveTmp { idx }, i);
+                self.in_reg[x] = Some(idx);
+            } else {
+                let r2 = self.alloc_scratch(i, v)?;
+                self.emit(MachineInstr::Writeback { row: r2 }, i);
+                self.in_row[x] = Some(r2);
+                if self.naive {
+                    self.home[x] = Some(r2);
+                }
+            }
         }
         Ok(())
     }
@@ -771,12 +888,15 @@ impl Walker {
         let dst = op.dst().expect("def op has a destination");
         let d = dst.index() as usize;
         if self.naive {
-            let instr = self.build_instr(op, i)?;
-            self.emit(instr, i);
             let home = match self.store_row[d] {
                 Some(r) => r,
                 None => self.alloc_scratch(i, dst.index())?,
             };
+            // rescue uses the Tmp Reg, so it must precede the op that
+            // leaves this def's result there
+            self.rescue_row(i, home, dst.index())?;
+            let instr = self.build_instr(op, i)?;
+            self.emit(instr, i);
             self.emit(MachineInstr::Writeback { row: home }, i);
             self.home[d] = Some(home);
             self.in_row[d] = Some(home);
@@ -797,6 +917,7 @@ impl Walker {
             if self.home[s] == Some(row) {
                 return Ok(());
             }
+            self.rescue_row(i, row, src.index())?;
             let a = self.resolve(Val::V(src), i)?;
             self.emit(
                 MachineInstr::Alu {
@@ -811,12 +932,18 @@ impl Walker {
             return Ok(());
         }
         if self.tmp == Some(src.index()) {
-            self.emit(MachineInstr::Writeback { row }, i);
-            self.in_row[s] = Some(row);
+            self.rescue_row(i, row, src.index())?;
+            if self.tmp == Some(src.index()) {
+                self.emit(MachineInstr::Writeback { row }, i);
+                self.in_row[s] = Some(row);
+                return Ok(());
+            }
+            // the rescue displaced src from the Tmp Reg (spilling it to
+            // a register or scratch row first); re-materialize below
+        } else if self.in_row[s] == Some(row) {
             return Ok(());
-        }
-        if self.in_row[s] == Some(row) {
-            return Ok(());
+        } else {
+            self.rescue_row(i, row, src.index())?;
         }
         self.spill_tmp(i)?;
         let a = self.resolve(Val::V(src), i)?;
@@ -837,7 +964,11 @@ impl Walker {
 
     fn lower_reduce(&mut self, i: usize, a: Val) -> Result<(), LowerError> {
         let already_in_tmp = !self.naive && matches!(a, Val::V(v) if self.tmp == Some(v.index()));
-        if !already_in_tmp {
+        if already_in_tmp {
+            // reduce_sum destroys the Tmp Reg; give the operand a
+            // surviving location first when it has later uses
+            self.spill_tmp(i)?;
+        } else {
             if !self.naive {
                 self.spill_tmp(i)?;
             }
@@ -1074,6 +1205,80 @@ mod tests {
         assert_eq!(
             lower(&build, LowerLevel::Opt, &scratch()),
             Err(LowerError::StoreHazard { op: 2, row: 5 })
+        );
+    }
+
+    #[test]
+    fn store_over_cached_row_rescues_live_value() {
+        // REVIEW repro: `a` is stored to row 5 and still live when `b`
+        // overwrites row 5 (the intervening row-5 read keeps the first
+        // store alive at Opt); `a`'s later use must not resolve to the
+        // clobbered row at any level.
+        let mut build = PimProgram::new("clobber");
+        let a = build.add(Val::Row(0), Val::Row(1));
+        build.store(a, 5);
+        let x = build.add(Val::Row(5), Val::Row(1)); // keeps store a->5 alive
+        build.store(x, 7);
+        let b = build.max(Val::Row(0), Val::Row(1));
+        build.store(b, 5);
+        let d = build.add(a.into(), Val::Row(2));
+        build.store(d, 6);
+
+        for level in [LowerLevel::Naive, LowerLevel::Opt, LowerLevel::MultiReg(4)] {
+            let mut m = PimMachine::new(ArrayConfig::default());
+            if let LowerLevel::MultiReg(n) = level {
+                m.set_tmp_regs(n);
+            }
+            m.host_write_lanes(0, &[9, 3]).unwrap();
+            m.host_write_lanes(1, &[5, 100]).unwrap();
+            m.host_write_lanes(2, &[7, 7]).unwrap();
+            let l = lower(&build, level, &scratch()).unwrap();
+            m.run_program(&l).unwrap();
+            assert_eq!(&m.host_read_lanes(5)[..2], &[9, 100], "{level} row 5");
+            assert_eq!(&m.host_read_lanes(6)[..2], &[21, 110], "{level} row 6");
+            assert_eq!(&m.host_read_lanes(7)[..2], &[19, 203], "{level} row 7");
+        }
+    }
+
+    #[test]
+    fn reduce_preserves_live_tmp_operand() {
+        // REVIEW repro: the reduce operand sits in the Tmp Reg, which
+        // reduce_sum destroys; a later use must still see the value
+        // (previously failed with a misleading UseBeforeDef).
+        let mut build = PimProgram::new("red_live");
+        let a = build.add(Val::Row(0), Val::Row(1));
+        build.reduce(a.into());
+        build.store(a, 5);
+        for level in [LowerLevel::Naive, LowerLevel::Opt, LowerLevel::MultiReg(2)] {
+            let mut m = PimMachine::new(ArrayConfig::default());
+            if let LowerLevel::MultiReg(n) = level {
+                m.set_tmp_regs(n);
+            }
+            m.host_write_lanes(0, &[10, 20]).unwrap();
+            m.host_write_lanes(1, &[1, 2]).unwrap();
+            let l = lower(&build, level, &scratch()).unwrap();
+            let sums = m.run_program(&l).unwrap();
+            assert_eq!(sums, vec![33], "{level}");
+            assert_eq!(&m.host_read_lanes(5)[..2], &[11, 22], "{level}");
+        }
+    }
+
+    #[test]
+    fn scratch_overlap_is_rejected() {
+        let mut build = PimProgram::new("o");
+        let a = build.avg(Val::Row(0), Val::Row(1));
+        build.store(a, 5);
+        // overlap with a read row
+        let read_overlap = ScratchRows::new(vec![100, 1]);
+        assert_eq!(
+            lower(&build, LowerLevel::Opt, &read_overlap),
+            Err(LowerError::ScratchOverlap { row: 1 })
+        );
+        // overlap with a store target
+        let store_overlap = ScratchRows::new(vec![5]);
+        assert_eq!(
+            lower(&build, LowerLevel::Naive, &store_overlap),
+            Err(LowerError::ScratchOverlap { row: 5 })
         );
     }
 
