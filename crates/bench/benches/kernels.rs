@@ -49,7 +49,7 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-                m.set_tmp_regs(pimvo_kernels::pim_multireg::REGS_REQUIRED);
+                m.set_tmp_regs(pimvo_kernels::ir::REGS_REQUIRED);
                 m
             },
             |mut m| {
@@ -57,7 +57,7 @@ fn bench_kernels(c: &mut Criterion) {
                     &mut m,
                     &img,
                     &cfg,
-                    LowerLevel::MultiReg(pimvo_kernels::pim_multireg::REGS_REQUIRED),
+                    LowerLevel::MultiReg(pimvo_kernels::ir::REGS_REQUIRED),
                 )
             },
             BatchSize::LargeInput,

@@ -42,7 +42,7 @@ fn bench_pool(c: &mut Criterion) {
                     pool: n,
                     ..Default::default()
                 });
-                black_box(runner.submit(&qfeats, &qpose, &kf.q_tables, &cam))
+                black_box(runner.submit(&qfeats, &qpose, &kf.q_tables, &cam).unwrap())
             })
         });
     }

@@ -781,12 +781,12 @@ pub fn tmpreg_ablation() -> String {
     let mut m1 = PimMachine::new(ArrayConfig::qvga_banks(6));
     let single = ir::edge_detect(&mut m1, &gray, &cfg, LowerLevel::Opt);
     let mut m4 = PimMachine::new(ArrayConfig::qvga_banks(6));
-    m4.set_tmp_regs(pimvo_kernels::pim_multireg::REGS_REQUIRED);
+    m4.set_tmp_regs(pimvo_kernels::ir::REGS_REQUIRED);
     let multi = ir::edge_detect(
         &mut m4,
         &gray,
         &cfg,
-        LowerLevel::MultiReg(pimvo_kernels::pim_multireg::REGS_REQUIRED),
+        LowerLevel::MultiReg(pimvo_kernels::ir::REGS_REQUIRED),
     );
     assert_eq!(single.mask, multi.mask, "outputs must be identical");
 

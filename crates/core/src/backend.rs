@@ -440,7 +440,7 @@ impl TrackerBackend for PimBackend {
             // normal equations, recovery runs at the pool layer
             let qfeats: Vec<QFeature> = features.iter().map(QFeature::quantize).collect();
             let wall_before = self.runner.pool().wall_cycles();
-            match self.runner.try_submit(&qfeats, &qpose, qkf, cam) {
+            match self.runner.submit(&qfeats, &qpose, qkf, cam) {
                 Ok(outs) => {
                     let mut eq = QNormalEquations::zero();
                     for out in &outs {

@@ -7,8 +7,8 @@
 //! The tracker follows Fig. 1 of the paper:
 //!
 //! 1. **Edge detection** on every input frame (LPF → HPF → NMS), run on
-//!    the PIM array with the optimized mappings of
-//!    [`pimvo_kernels::pim_opt`].
+//!    the PIM array with the optimized lowering of the IR kernels in
+//!    [`pimvo_kernels::ir`].
 //! 2. **Keyframe tables**: the distance transform of the keyframe edge
 //!    mask and its gradient maps, pre-computed so the warp residual and
 //!    part of the Jacobian become lookups.
@@ -67,5 +67,5 @@ pub use keyframe::Keyframe;
 pub use mapping::EdgeMap3d;
 pub use quant::{Interp, QFeature, QKeyframe, QPose, GRAD_FRAC, PIX_FRAC, RES_FRAC};
 pub use supervisor::{transition_legal, BudgetConfig, BudgetStatus, DegradeRung};
-pub use tracker::{FrameResult, Tracker, TrackingState};
+pub use tracker::{FrameResult, Tracker, TrackerBuilder, TrackingState};
 pub use warp::{project_q, warp_float, warp_q, WarpQ};

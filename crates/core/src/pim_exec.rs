@@ -93,7 +93,7 @@ pub struct BatchOptions {
     pub pool: usize,
     /// When true, [`crate::TrackerBackend::linearize`] on the PIM
     /// backend executes every batch
-    /// on the machines (through [`BatchRunner::try_submit`]) instead of
+    /// on the machines (through [`BatchRunner::submit`]) instead of
     /// the calibrated fast scalar path. Slower to simulate but required
     /// for fault-injection studies: injected upsets then actually
     /// corrupt the normal equations.
@@ -190,35 +190,20 @@ impl BatchRunner {
     /// feature order — bit-identical to running the chunks sequentially
     /// on a single array.
     ///
-    /// # Panics
-    ///
-    /// Panics if every pool array has been quarantined (see
-    /// [`BatchRunner::try_submit`] for the fallible variant).
-    pub fn submit(
-        &mut self,
-        feats: &[QFeature],
-        pose: &QPose,
-        kf: &QKeyframe,
-        cam: &Pinhole,
-    ) -> Vec<BatchOutput> {
-        self.try_submit(feats, pose, kf, cam)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible, fault-resilient [`BatchRunner::submit`]: sections are
-    /// sized to the pool's *healthy* array count and run through
+    /// The submission is fault-resilient: sections are sized to the
+    /// pool's *healthy* array count and run through
     /// [`PimArrayPool::run_phase_resilient`], so a shard whose array
     /// reports detected errors is retried and — on a persistent defect —
     /// re-dispatched to another array (each `exec_batch` is
     /// self-contained: it host-writes every input it reads, making
     /// re-execution on any array safe). With inert fault models the
-    /// outputs, cycles and energy are bit-identical to [`BatchRunner::submit`]
-    /// before the resilience layer existed.
+    /// outputs, cycles and energy are bit-identical to a build without
+    /// the resilience layer.
     ///
     /// # Errors
     ///
     /// [`PimError::AllArraysQuarantined`] once no healthy array remains.
-    pub fn try_submit(
+    pub fn submit(
         &mut self,
         feats: &[QFeature],
         pose: &QPose,
@@ -1092,7 +1077,7 @@ mod tests {
             pool: 3,
             ..Default::default()
         });
-        let sharded = runner.submit(&feats, &pose, &kf, &cam);
+        let sharded = runner.submit(&feats, &pose, &kf, &cam).unwrap();
 
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
         let sequential: Vec<BatchOutput> = feats
@@ -1120,7 +1105,7 @@ mod tests {
             pool: 2,
             ..Default::default()
         });
-        let _ = runner.submit(&feats, &pose, &kf, &cam);
+        let _ = runner.submit(&feats, &pose, &kf, &cam).unwrap();
 
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
         let _ = run_batch(&mut m, POSE_BASE, &feats[..BATCH], &pose, &kf, &cam);
@@ -1144,7 +1129,7 @@ mod tests {
             mapping: BatchMapping::Naive,
             ..Default::default()
         });
-        let outs = runner.submit(&feats, &pose, &kf, &cam);
+        let outs = runner.submit(&feats, &pose, &kf, &cam).unwrap();
 
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
         let reference = run_batch_naive(&mut m, POSE_BASE, &feats, &pose, &kf, &cam);

@@ -317,6 +317,16 @@ impl DeadlineSupervisor {
         }
     }
 
+    /// Forces the ladder to `rung` before the next frame. This is the
+    /// external load-shedding hook: a fleet scheduler under pool
+    /// contention pins a session to a harsher rung than its own
+    /// deadline controller would pick (see `pimvo-serve`). Miss
+    /// counters are untouched and the controller adjusts from the
+    /// forced rung as usual afterwards.
+    pub fn force_rung(&mut self, rung: DegradeRung) {
+        self.rung = rung;
+    }
+
     /// Restores controller state from a checkpoint (the rung persists
     /// across a kill-and-restore; per-frame spend does not).
     pub(crate) fn restore(&mut self, rung: DegradeRung, deadline_misses: u64, coasts: u64) {

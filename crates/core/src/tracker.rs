@@ -115,6 +115,136 @@ pub struct Tracker {
     supervisor: DeadlineSupervisor,
 }
 
+/// Builder for [`Tracker`] sessions: collects the configuration,
+/// backend choice and runtime knobs that previously required a
+/// `new` + `set_telemetry` + `set_budget` + `set_frame_budget_cycles`
+/// mutation sequence, and produces a fully wired tracker in one call.
+/// `pimvo-serve` session specs construct their trackers through it.
+///
+/// A custom backend ([`TrackerBuilder::with_backend`]) takes precedence
+/// over the [`BackendKind`]; [`TrackerBuilder::pim_pool`] applies only
+/// when the PIM backend is built by kind.
+///
+/// ```
+/// use pimvo_core::{BackendKind, TrackerBuilder, TrackerConfig};
+///
+/// let tracker = TrackerBuilder::new(TrackerConfig::default())
+///     .backend(BackendKind::Float)
+///     .frame_budget_cycles(Some(2_000_000))
+///     .build();
+/// assert_eq!(tracker.config().budget.cycles_per_frame, Some(2_000_000));
+/// ```
+pub struct TrackerBuilder {
+    config: TrackerConfig,
+    kind: BackendKind,
+    custom: Option<Box<dyn TrackerBackend>>,
+    pim_pool: Option<usize>,
+    telemetry: Option<Telemetry>,
+    budget: Option<BudgetConfig>,
+    frame_budget_cycles: Option<Option<u64>>,
+}
+
+impl TrackerBuilder {
+    /// Starts a builder from the estimator configuration. The default
+    /// backend is [`BackendKind::Pim`] (the paper's accelerator).
+    pub fn new(config: TrackerConfig) -> Self {
+        TrackerBuilder {
+            config,
+            kind: BackendKind::Pim,
+            custom: None,
+            pim_pool: None,
+            telemetry: None,
+            budget: None,
+            frame_budget_cycles: None,
+        }
+    }
+
+    /// Selects the backend by kind.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Uses a pre-configured backend (ablations, custom cost models).
+    /// Overrides [`TrackerBuilder::backend`] and
+    /// [`TrackerBuilder::pim_pool`].
+    pub fn with_backend(mut self, backend: Box<dyn TrackerBackend>) -> Self {
+        self.custom = Some(backend);
+        self
+    }
+
+    /// Shards the PIM backend across a pool of `n` arrays (ignored for
+    /// the float backend and for a custom backend).
+    ///
+    /// # Panics
+    ///
+    /// [`TrackerBuilder::build`] panics if `n` is zero.
+    pub fn pim_pool(mut self, n: usize) -> Self {
+        self.pim_pool = Some(n);
+        self
+    }
+
+    /// Attaches a telemetry handle (see [`Tracker::set_telemetry`]).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Replaces the per-frame budget (see [`Tracker::set_budget`]).
+    pub fn budget(mut self, budget: BudgetConfig) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets only the per-frame cycle budget, keeping the rest of the
+    /// budget configuration (applied after
+    /// [`TrackerBuilder::budget`] if both are given).
+    pub fn frame_budget_cycles(mut self, cycles: Option<u64>) -> Self {
+        self.frame_budget_cycles = Some(cycles);
+        self
+    }
+
+    /// Builds the tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.pyramid_levels` is outside `1..=4` or a
+    /// zero-sized PIM pool was requested.
+    pub fn build(self) -> Tracker {
+        let backend: Box<dyn TrackerBackend> = match self.custom {
+            Some(b) => b,
+            None => match self.kind {
+                BackendKind::Float => Box::new(FloatBackend::new()),
+                BackendKind::Pim => match self.pim_pool {
+                    Some(n) => Box::new(PimBackend::with_pool(n)),
+                    None => Box::new(PimBackend::new()),
+                },
+            },
+        };
+        let mut tracker = Tracker::with_backend(self.config, backend);
+        if let Some(t) = self.telemetry {
+            tracker.set_telemetry(t);
+        }
+        if let Some(b) = self.budget {
+            tracker.set_budget(b);
+        }
+        if let Some(c) = self.frame_budget_cycles {
+            tracker.set_frame_budget_cycles(c);
+        }
+        tracker
+    }
+}
+
+impl std::fmt::Debug for TrackerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackerBuilder")
+            .field("kind", &self.kind)
+            .field("custom_backend", &self.custom.is_some())
+            .field("pim_pool", &self.pim_pool)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Tracker {
     /// Creates a tracker with the chosen backend.
     pub fn new(config: TrackerConfig, backend: BackendKind) -> Tracker {
@@ -230,6 +360,16 @@ impl Tracker {
     /// counters).
     pub fn budget_status(&self) -> BudgetStatus {
         self.supervisor.status()
+    }
+
+    /// Forces the degradation ladder to `rung` before the next frame —
+    /// the load-shedding hook a fleet scheduler uses to degrade a
+    /// session under pool contention (see
+    /// [`DeadlineSupervisor::force_rung`]). Only effective while a
+    /// budget is enabled: without one the supervised path is bypassed
+    /// entirely and every frame runs at [`DegradeRung::Full`].
+    pub fn set_shed_rung(&mut self, rung: DegradeRung) {
+        self.supervisor.force_rung(rung);
     }
 
     /// Snapshots the complete tracker state for kill-and-restore.

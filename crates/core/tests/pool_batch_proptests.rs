@@ -69,7 +69,7 @@ proptest! {
             pool: n_arrays,
             ..Default::default()
         });
-        let sharded = runner.submit(&feats, &pose, &kf, &cam);
+        let sharded = runner.submit(&feats, &pose, &kf, &cam).unwrap();
 
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
         let sequential: Vec<BatchOutput> = feats

@@ -70,7 +70,7 @@ proptest! {
             ..Default::default()
         });
         runner.pool_mut().quarantine(quarantine % n_arrays);
-        let sharded = runner.try_submit(&feats, &pose, &kf, &cam).expect("healthy arrays remain");
+        let sharded = runner.submit(&feats, &pose, &kf, &cam).expect("healthy arrays remain");
 
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
         let sequential: Vec<BatchOutput> = feats
@@ -96,13 +96,13 @@ fn ecc_overhead_is_charged_but_values_unchanged() {
     let opts = BatchOptions::default();
 
     let mut plain = BatchRunner::new(opts);
-    let base = plain.submit(&feats, &pose, &kf, &cam);
+    let base = plain.submit(&feats, &pose, &kf, &cam).unwrap();
     let base_stats = plain.pool().merged_stats();
 
     for (p, corrects) in [(Protection::Parity, false), (Protection::Ecc, true)] {
         let builder = PimMachine::builder(ArrayConfig::qvga_banks(6)).protection(p);
         let mut prot = BatchRunner::from_builder(&builder, opts);
-        let out = prot.submit(&feats, &pose, &kf, &cam);
+        let out = prot.submit(&feats, &pose, &kf, &cam).unwrap();
         assert_eq!(out, base, "{p:?} must not change any value");
         let stats = prot.pool().merged_stats();
         if corrects {

@@ -1,8 +1,8 @@
 //! The edge-detection kernels as macro-op IR programs — **one**
-//! definition per kernel, replacing the four hand-scheduled variants
-//! ([`crate::pim_naive`], [`crate::pim_opt`], [`crate::pim_multireg`],
-//! [`crate::pim_pool`], all of which are now thin wrappers over this
-//! module).
+//! definition per kernel, replacing the hand-scheduled variants
+//! (`pim_naive`, `pim_opt`, `pim_multireg` — deprecated thin wrappers
+//! available only under the `legacy-kernels` feature — and
+//! [`crate::pim_pool`], a thin sharding layer over this module).
 //!
 //! Each `*_program` builder emits the kernel's dataflow over virtual
 //! registers for a strip of output rows; [`pimvo_pim::lower()`] then
@@ -34,6 +34,12 @@ use pimvo_pim::{
 /// Fifteen rows comfortably hold the worst-case live set of the naive
 /// NMS expansion.
 pub const SCRATCH_POOL: usize = 15;
+
+/// Temporary registers the §5.4 multi-register lowering
+/// ([`LowerLevel::MultiReg`]) uses — enable them with
+/// [`PimMachine::set_tmp_regs`] before running a program lowered at
+/// that level.
+pub const REGS_REQUIRED: u8 = 4;
 
 /// The scratch pool handed to [`pimvo_pim::lower()`] for every kernel
 /// program.

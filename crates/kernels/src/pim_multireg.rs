@@ -15,8 +15,7 @@
 use crate::{ir, EdgeConfig, EdgeMaps, GrayImage};
 use pimvo_pim::{LowerLevel, PimMachine};
 
-/// Temporary registers the multi-register lowering below uses.
-pub const REGS_REQUIRED: u8 = 4;
+pub use crate::ir::REGS_REQUIRED;
 
 /// Runs the full pipeline with the multi-register lowering.
 ///

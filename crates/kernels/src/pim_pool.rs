@@ -2,7 +2,8 @@
 //! runs the [`crate::ir`] kernel programs — lowered at
 //! [`pimvo_pim::LowerLevel::Opt`] — for a contiguous strip of image
 //! rows, submitted through
-//! [`PimArrayPool::run_programs_labeled`].
+//! [`PimArrayPool::submit_strips`] (the job-queue strip entry point,
+//! one pinned job per array).
 //!
 //! # Sharding model
 //!
@@ -81,13 +82,13 @@ pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -
     let p1 = strip_programs(&strips, &r, |y0, y1| {
         lpf_pass1_program(&r, r.input, h, y0, y1)
     });
-    pool.run_programs_labeled("lpf_pass1", &p1)
+    pool.submit_strips("lpf_pass1", &p1)
         .expect("lpf pass 1 programs run");
     exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
     let p2 = strip_programs(&strips, &r, |y0, y1| {
         lpf_pass2_program(&r, r.aux2, h, mask, y0, y1)
     });
-    pool.run_programs_labeled("lpf_pass2", &p2)
+    pool.submit_strips("lpf_pass2", &p2)
         .expect("lpf pass 2 programs run");
     let lpf = collect_image(pool, &strips, r.aux2, img.width(), h);
 
@@ -95,16 +96,14 @@ pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -
     let ph = strip_programs(&strips, &r, |y0, y1| {
         hpf_program(&r, r.aux2, r.aux3, h, mask, y0, y1)
     });
-    pool.run_programs_labeled("hpf", &ph)
-        .expect("hpf programs run");
+    pool.submit_strips("hpf", &ph).expect("hpf programs run");
     let hpf = collect_image(pool, &strips, r.aux3, img.width(), h);
 
     exchange_boundary_rows(pool, &strips, r.aux3, h, true, true);
     let pn = strip_programs(&strips, &r, |y0, y1| {
         nms_program(&r, r.aux3, r.out, h, mask, y0, y1)
     });
-    pool.run_programs_labeled("nms", &pn)
-        .expect("nms programs run");
+    pool.submit_strips("nms", &pn).expect("nms programs run");
     let mut mask_img = collect_image(pool, &strips, r.out, img.width(), h);
     mask_img.clear_border(cfg.border);
 
@@ -138,13 +137,13 @@ pub fn lpf(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
     let p1 = strip_programs(&strips, &r, |y0, y1| {
         lpf_pass1_program(&r, r.input, h, y0, y1)
     });
-    pool.run_programs_labeled("lpf_pass1", &p1)
+    pool.submit_strips("lpf_pass1", &p1)
         .expect("lpf pass 1 programs run");
     exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
     let p2 = strip_programs(&strips, &r, |y0, y1| {
         lpf_pass2_program(&r, r.aux2, h, mask, y0, y1)
     });
-    pool.run_programs_labeled("lpf_pass2", &p2)
+    pool.submit_strips("lpf_pass2", &p2)
         .expect("lpf pass 2 programs run");
     collect_image(pool, &strips, r.aux2, img.width(), h)
 }
@@ -173,8 +172,7 @@ pub fn hpf(pool: &mut PimArrayPool, lpf_map: &GrayImage) -> GrayImage {
     let ph = strip_programs(&strips, &r, |y0, y1| {
         hpf_program(&r, r.aux2, r.aux3, h, mask, y0, y1)
     });
-    pool.run_programs_labeled("hpf", &ph)
-        .expect("hpf programs run");
+    pool.submit_strips("hpf", &ph).expect("hpf programs run");
     collect_image(pool, &strips, r.aux3, lpf_map.width(), h)
 }
 
@@ -205,8 +203,7 @@ pub fn nms(pool: &mut PimArrayPool, hpf_map: &GrayImage, cfg: &EdgeConfig) -> Gr
     let pn = strip_programs(&strips, &r, |y0, y1| {
         nms_program(&r, r.aux3, r.out, h, mask, y0, y1)
     });
-    pool.run_programs_labeled("nms", &pn)
-        .expect("nms programs run");
+    pool.submit_strips("nms", &pn).expect("nms programs run");
     let mut out = collect_image(pool, &strips, r.out, hpf_map.width(), h);
     out.clear_border(cfg.border);
     out
@@ -232,7 +229,7 @@ pub fn downsample2x(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
     let pd = strip_programs(&strips, &r, |oy0, oy1| {
         downsample_program(&r, oy0 as u32, oy1 as u32)
     });
-    pool.run_programs_labeled("downsample", &pd)
+    pool.submit_strips("downsample", &pd)
         .expect("downsample programs run");
     let mut out = GrayImage::new(w, h);
     for (i, &(oy0, oy1)) in strips.iter().enumerate() {

@@ -1,7 +1,7 @@
 //! Scalar reference implementations of the edge-detection kernels.
 //!
 //! These definitions are the *specification*: the PIM mappings in
-//! [`crate::pim_opt`] and [`crate::pim_naive`] must reproduce them
+//! [`crate::ir`] (at every lowering level) must reproduce them
 //! bit-for-bit. They use zero padding outside the image (what a PIM lane
 //! shift produces at word-line borders), truncating averages (the
 //! hardware `avg` drops the LSB) and saturating 8-bit sums.

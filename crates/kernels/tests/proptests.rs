@@ -1,7 +1,7 @@
 //! Property tests: every kernel implementation agrees on random
 //! images, and the NMS simplification is exact.
 
-use pimvo_kernels::{ir, pim_multireg, scalar, EdgeConfig, GrayImage};
+use pimvo_kernels::{ir, scalar, EdgeConfig, GrayImage};
 use pimvo_pim::{ArrayConfig, LowerLevel, PimMachine};
 use proptest::prelude::*;
 
@@ -52,9 +52,9 @@ proptest! {
         let cfg = EdgeConfig::default();
         let want = scalar::edge_detect(&img, &cfg);
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-        m.set_tmp_regs(pim_multireg::REGS_REQUIRED);
+        m.set_tmp_regs(ir::REGS_REQUIRED);
         let got =
-            ir::edge_detect(&mut m, &img, &cfg, LowerLevel::MultiReg(pim_multireg::REGS_REQUIRED));
+            ir::edge_detect(&mut m, &img, &cfg, LowerLevel::MultiReg(ir::REGS_REQUIRED));
         prop_assert_eq!(&got.mask, &want.mask);
     }
 

@@ -1,0 +1,623 @@
+//! Job-queue submission: [`PoolExecutor`].
+//!
+//! The phase-synchronous [`PimArrayPool::run_phase`] family models one
+//! kernel owning the whole pool: every array participates in every
+//! barrier, so a single slow shard — or a single slow *tenant* —
+//! stalls the fleet. A deployed PIM cache serves many independent
+//! sessions, which needs a submission model where work units queue and
+//! arrays pull.
+//!
+//! [`PoolExecutor`] provides that model. A [`Job`] carries one lowered
+//! macro-op program ([`LoweredProgram`]) plus scheduling metadata: the
+//! owning [`SessionId`], a [`DeadlineClass`], a priority, and an
+//! optional array *pin* for strip kernels whose host-side setup
+//! already loaded inputs into a specific array.
+//! [`PoolExecutor::submit`] enqueues and returns a [`JobHandle`];
+//! [`PoolExecutor::drain`] dispatches in deterministic *waves*: each
+//! array, in order of earliest virtual idle time, pulls its best
+//! runnable job (class, then priority, then submission order), the
+//! wave executes in parallel on
+//! scoped threads, and per-array virtual clocks advance independently
+//! — an array that finishes early starts its next job at its own
+//! earlier timestamp, so one slow session no longer barriers the rest
+//! of the queue in the latency model.
+//!
+//! Determinism is preserved exactly as in the phase API: scheduling
+//! decisions depend only on queue contents (never on host thread
+//! timing), each job owns its array for the duration of its run, and
+//! cycle deltas are read after the wave in slot order.
+//!
+//! The legacy entry points remain as thin wrappers:
+//! [`PimArrayPool::submit_strips`] pins one program per array and
+//! drains a transient executor, and
+//! [`PimArrayPool::run_programs_labeled`] delegates to it — so the
+//! strip-sharded kernels keep their bit-identical accounting.
+
+use crate::lower::LoweredProgram;
+use crate::machine::{PimError, PimMachine};
+use crate::pool::PimArrayPool;
+use std::collections::BTreeMap;
+
+/// Identifies the session (tenant) a [`Job`] belongs to. Purely an
+/// attribution tag at this layer — fairness across sessions is the
+/// serving layer's concern; the executor orders by class, priority and
+/// submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u32);
+
+impl SessionId {
+    /// Conventional id for host-driven kernel work that belongs to no
+    /// tenant session (used by [`PimArrayPool::submit_strips`]).
+    pub const HOST: SessionId = SessionId(0);
+}
+
+/// Urgency class of a [`Job`]; higher classes are always scheduled
+/// before lower ones, regardless of priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum DeadlineClass {
+    /// Best-effort work (calibration, prefetch); runs when nothing
+    /// more urgent queues.
+    Background,
+    /// Normal frame work.
+    #[default]
+    Standard,
+    /// Deadline-critical work (a session already behind its budget).
+    Realtime,
+}
+
+/// One schedulable unit of work: a lowered program plus scheduling
+/// metadata. Build with [`Job::new`] (or [`Job::strip`] for host
+/// kernel work) and the `with_*`/[`Job::pin`] builder methods.
+#[derive(Debug, Clone)]
+pub struct Job {
+    session: SessionId,
+    class: DeadlineClass,
+    priority: u8,
+    label: String,
+    affinity: Option<usize>,
+    program: LoweredProgram,
+}
+
+impl Job {
+    /// A job owned by `session`, at [`DeadlineClass::Standard`] and
+    /// priority 0, runnable on any healthy array.
+    pub fn new(session: SessionId, label: impl Into<String>, program: LoweredProgram) -> Self {
+        Job {
+            session,
+            class: DeadlineClass::Standard,
+            priority: 0,
+            label: label.into(),
+            affinity: None,
+            program,
+        }
+    }
+
+    /// A host kernel job ([`SessionId::HOST`]); the strip-sharded
+    /// kernels submit these pinned one-per-array.
+    pub fn strip(label: impl Into<String>, program: LoweredProgram) -> Self {
+        Job::new(SessionId::HOST, label, program)
+    }
+
+    /// Sets the deadline class.
+    #[must_use]
+    pub fn with_class(mut self, class: DeadlineClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets the priority within the deadline class (higher runs first).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Pins the job to one array. A pinned job runs on that array even
+    /// when it is quarantined — strip kernels host-load inputs into
+    /// specific arrays before submission, exactly like the legacy
+    /// [`PimArrayPool::run_programs_labeled`] path, and the resilience
+    /// layer above decides about quarantine avoidance.
+    #[must_use]
+    pub fn pin(mut self, array: usize) -> Self {
+        self.affinity = Some(array);
+        self
+    }
+
+    /// The owning session.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The deadline class.
+    pub fn class(&self) -> DeadlineClass {
+        self.class
+    }
+
+    /// The priority within the class.
+    pub fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    /// The telemetry/trace label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The array this job is pinned to, if any.
+    pub fn affinity(&self) -> Option<usize> {
+        self.affinity
+    }
+
+    /// The lowered program this job runs.
+    pub fn program(&self) -> &LoweredProgram {
+        &self.program
+    }
+}
+
+/// Opaque ticket returned by [`PoolExecutor::submit`]; redeem with
+/// [`PoolExecutor::take`] after a drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobHandle(u64);
+
+/// Where and when a completed job ran, in the executor's cycle-domain
+/// virtual time (per-array clocks seeded from the pool wall clock at
+/// executor construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Owning session of the job.
+    pub session: SessionId,
+    /// Array the job executed on.
+    pub array: usize,
+    /// Virtual cycle at which the array started the job.
+    pub start_cycles: u64,
+    /// Virtual cycle at which the array finished the job.
+    pub end_cycles: u64,
+    /// Cycles the job spent queued behind earlier work.
+    pub queue_wait: u64,
+}
+
+impl JobRecord {
+    /// Execution time of the job in cycles.
+    pub fn run_cycles(&self) -> u64 {
+        self.end_cycles - self.start_cycles
+    }
+}
+
+/// A completed job: the program's reduce results (in program order,
+/// as from [`PimMachine::run_program`]) plus its [`JobRecord`].
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Reduce results of the program.
+    pub outputs: Vec<i64>,
+    /// Scheduling record of the run.
+    pub record: JobRecord,
+}
+
+struct Pending {
+    seq: u64,
+    submitted_at: u64,
+    job: Job,
+}
+
+struct Scheduled {
+    seq: u64,
+    submitted_at: u64,
+    array: usize,
+    job: Job,
+}
+
+/// Job-queue executor over a borrowed [`PimArrayPool`].
+///
+/// ```
+/// use pimvo_pim::{
+///     ArrayConfig, Job, LowerLevel, PimMachineBuilder, PimProgram, PoolExecutor, ScratchRows,
+///     SessionId, Val,
+/// };
+///
+/// let mut pool = PimMachineBuilder::new(ArrayConfig::qvga()).build_pool(2);
+/// for i in 0..2 {
+///     pool.array_mut(i).host_write_lanes(0, &[10, 20]).unwrap();
+/// }
+/// let mut prog = PimProgram::new("sum");
+/// let v = prog.add(Val::Row(0), Val::Row(0));
+/// prog.reduce(v.into());
+/// let lowered = pimvo_pim::lower(&prog, LowerLevel::Opt, &ScratchRows::contiguous(8, 4)).unwrap();
+///
+/// let mut ex = PoolExecutor::new(&mut pool);
+/// let h = ex.submit(Job::new(SessionId(1), "sum", lowered));
+/// ex.drain().unwrap();
+/// let done = ex.take(h).unwrap().unwrap();
+/// assert_eq!(done.outputs, vec![60]);
+/// ```
+pub struct PoolExecutor<'p> {
+    pool: &'p mut PimArrayPool,
+    pending: Vec<Pending>,
+    completed: BTreeMap<JobHandle, Result<JobResult, PimError>>,
+    busy_until: Vec<u64>,
+    next_seq: u64,
+}
+
+impl<'p> PoolExecutor<'p> {
+    /// An executor over `pool`, with every array's virtual clock seeded
+    /// from the pool's current wall cycle.
+    pub fn new(pool: &'p mut PimArrayPool) -> Self {
+        let busy_until = vec![pool.wall_cycles(); pool.len()];
+        PoolExecutor {
+            pool,
+            pending: Vec::new(),
+            completed: BTreeMap::new(),
+            busy_until,
+            next_seq: 0,
+        }
+    }
+
+    /// Enqueues a job and returns its handle. Nothing executes until
+    /// [`PoolExecutor::drain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is pinned to an array index outside the pool.
+    pub fn submit(&mut self, job: Job) -> JobHandle {
+        if let Some(a) = job.affinity {
+            assert!(
+                a < self.pool.len(),
+                "job pinned to array {a} of a {}-array pool",
+                self.pool.len()
+            );
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let submitted_at = self.busy_until.iter().copied().min().unwrap_or(0);
+        self.pending.push(Pending {
+            seq,
+            submitted_at,
+            job,
+        });
+        JobHandle(seq)
+    }
+
+    /// Runs queued jobs to completion in deterministic waves: per wave,
+    /// each array — in order of earliest virtual idle time, ties by
+    /// index — pulls its best runnable job — ordered
+    /// by [`DeadlineClass`], then priority, then submission order;
+    /// pinned jobs only to their array, unpinned jobs only to healthy
+    /// (non-quarantined) arrays — and the wave executes in parallel.
+    /// Individual job failures are recorded per handle (fetch with
+    /// [`PoolExecutor::take`]); the pool's wall clock advances with
+    /// barrier semantics per wave while each array's virtual clock
+    /// advances by only its own jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::AllArraysQuarantined`] when unpinned jobs remain
+    /// queued and every array is quarantined.
+    pub fn drain(&mut self) -> Result<(), PimError> {
+        while !self.pending.is_empty() {
+            self.run_next_wave()?;
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the result of a completed job, or `None`
+    /// when the handle is unknown, still pending, or already taken.
+    pub fn take(&mut self, handle: JobHandle) -> Option<Result<JobResult, PimError>> {
+        self.completed.remove(&handle)
+    }
+
+    /// Number of jobs still queued.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of completed results not yet taken.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Virtual cycle at which array `a` becomes idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn busy_until(&self, a: usize) -> u64 {
+        self.busy_until[a]
+    }
+
+    /// Shared view of the underlying pool.
+    pub fn pool(&self) -> &PimArrayPool {
+        self.pool
+    }
+
+    /// Exclusive access to the underlying pool (host I/O between
+    /// drains).
+    pub fn pool_mut(&mut self) -> &mut PimArrayPool {
+        self.pool
+    }
+
+    /// Picks one wave: arrays pull in order of earliest virtual idle
+    /// time (ties by index) — the array that would be free first takes
+    /// the most urgent work — and each pulls its best runnable pending
+    /// job. Job ordering key is (class, priority) descending, then
+    /// submission sequence ascending.
+    fn schedule_wave(&mut self) -> Result<Vec<Scheduled>, PimError> {
+        let mut order: Vec<usize> = (0..self.pool.len()).collect();
+        order.sort_by_key(|&a| (self.busy_until[a], a));
+        let mut wave = Vec::new();
+        for a in order {
+            let mut best: Option<usize> = None;
+            for idx in 0..self.pending.len() {
+                let job = &self.pending[idx].job;
+                let runnable = match job.affinity {
+                    Some(pin) => pin == a,
+                    None => !self.pool.is_quarantined(a),
+                };
+                if !runnable {
+                    continue;
+                }
+                best = Some(match best {
+                    None => idx,
+                    Some(b) => {
+                        let cand = &self.pending[idx];
+                        let cur = &self.pending[b];
+                        let cand_key = (
+                            cand.job.class,
+                            cand.job.priority,
+                            std::cmp::Reverse(cand.seq),
+                        );
+                        let cur_key = (cur.job.class, cur.job.priority, std::cmp::Reverse(cur.seq));
+                        if cand_key > cur_key {
+                            idx
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            if let Some(idx) = best {
+                let p = self.pending.remove(idx);
+                wave.push(Scheduled {
+                    seq: p.seq,
+                    submitted_at: p.submitted_at,
+                    array: a,
+                    job: p.job,
+                });
+            }
+        }
+        if wave.is_empty() {
+            // only unpinned jobs remain and no array accepts them
+            return Err(PimError::AllArraysQuarantined {
+                arrays: self.pool.len(),
+            });
+        }
+        Ok(wave)
+    }
+
+    fn run_next_wave(&mut self) -> Result<(), PimError> {
+        let wave = self.schedule_wave()?;
+        let uniform = wave.iter().all(|s| s.job.label == wave[0].job.label);
+        let label = if uniform {
+            wave[0].job.label.clone()
+        } else {
+            "wave".to_string()
+        };
+        let members: Vec<usize> = wave.iter().map(|s| s.array).collect();
+        let programs: Vec<&LoweredProgram> = wave.iter().map(|s| &s.job.program).collect();
+        let (results, deltas) = self
+            .pool
+            .run_wave(&label, &members, |k, m: &mut PimMachine| {
+                m.run_program(programs[k])
+            });
+        let jobs = wave.len();
+        for ((s, result), delta) in wave.into_iter().zip(results).zip(deltas) {
+            let start = self.busy_until[s.array];
+            let end = start + delta;
+            self.busy_until[s.array] = end;
+            let record = JobRecord {
+                session: s.job.session,
+                array: s.array,
+                start_cycles: start,
+                end_cycles: end,
+                queue_wait: start.saturating_sub(s.submitted_at),
+            };
+            self.completed.insert(
+                JobHandle(s.seq),
+                result.map(|outputs| JobResult { outputs, record }),
+            );
+        }
+        let t = self.pool.telemetry();
+        if t.is_enabled() {
+            t.counter_add("pimvo_executor_jobs_total", jobs as f64);
+            t.counter_add("pimvo_executor_waves_total", 1.0);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArrayConfig;
+    use crate::ir::{PimProgram, Val};
+    use crate::lower::{lower, LowerLevel, ScratchRows};
+    use crate::machine::PimMachineBuilder;
+
+    fn pool(n: usize) -> PimArrayPool {
+        PimMachineBuilder::new(ArrayConfig::qvga()).build_pool(n)
+    }
+
+    /// A program doing `n_adds` chained adds of row 0 and reducing the
+    /// final value; cost scales with `n_adds`.
+    fn adds_program(n_adds: usize) -> LoweredProgram {
+        let mut p = PimProgram::new("adds");
+        let mut v = p.load(Val::Row(0));
+        for _ in 0..n_adds {
+            v = p.add(v.into(), Val::Row(0));
+        }
+        p.reduce(v.into());
+        lower(&p, LowerLevel::Opt, &ScratchRows::contiguous(16, 4)).unwrap()
+    }
+
+    fn seed_rows(p: &mut PimArrayPool, lanes: &[i64]) {
+        for i in 0..p.len() {
+            p.array_mut(i).host_write_lanes(0, lanes).unwrap();
+        }
+    }
+
+    #[test]
+    fn strip_jobs_match_legacy_submission() {
+        let progs: Vec<LoweredProgram> = (0..3).map(|i| adds_program(i + 1)).collect();
+        let mut legacy = pool(3);
+        seed_rows(&mut legacy, &[1, 2, 3]);
+        let want = legacy
+            .run_phase_labeled("strips", |i, m| m.run_program(&progs[i]))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+
+        let mut p = pool(3);
+        seed_rows(&mut p, &[1, 2, 3]);
+        let got = p.submit_strips("strips", &progs).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(p.wall_cycles(), legacy.wall_cycles());
+        assert_eq!(p.barriers(), legacy.barriers());
+        assert_eq!(p.merged_stats(), legacy.merged_stats());
+    }
+
+    #[test]
+    fn run_programs_labeled_is_a_thin_wrapper() {
+        let progs: Vec<LoweredProgram> = (0..2).map(|_| adds_program(2)).collect();
+        let mut a = pool(2);
+        seed_rows(&mut a, &[5, 6]);
+        let ra = a.run_programs_labeled("x", &progs).unwrap();
+        let mut b = pool(2);
+        seed_rows(&mut b, &[5, 6]);
+        let rb = b.submit_strips("x", &progs).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.wall_cycles(), b.wall_cycles());
+        assert_eq!(a.merged_stats(), b.merged_stats());
+    }
+
+    #[test]
+    fn priority_orders_jobs_on_one_array() {
+        let mut p = pool(1);
+        seed_rows(&mut p, &[1]);
+        let mut ex = PoolExecutor::new(&mut p);
+        let low = ex.submit(Job::new(SessionId(1), "low", adds_program(1)).with_priority(0));
+        let high = ex.submit(Job::new(SessionId(2), "high", adds_program(1)).with_priority(9));
+        ex.drain().unwrap();
+        let low = ex.take(low).unwrap().unwrap();
+        let high = ex.take(high).unwrap().unwrap();
+        assert!(
+            high.record.end_cycles <= low.record.start_cycles,
+            "high priority must run first: {high:?} vs {low:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_class_outranks_priority() {
+        let mut p = pool(1);
+        seed_rows(&mut p, &[1]);
+        let mut ex = PoolExecutor::new(&mut p);
+        let bg = ex.submit(
+            Job::new(SessionId(1), "bg", adds_program(1))
+                .with_class(DeadlineClass::Background)
+                .with_priority(255),
+        );
+        let rt = ex.submit(
+            Job::new(SessionId(2), "rt", adds_program(1)).with_class(DeadlineClass::Realtime),
+        );
+        ex.drain().unwrap();
+        let bg = ex.take(bg).unwrap().unwrap();
+        let rt = ex.take(rt).unwrap().unwrap();
+        assert!(rt.record.end_cycles <= bg.record.start_cycles);
+    }
+
+    #[test]
+    fn arrays_pull_independently_in_virtual_time() {
+        // one big job and two small ones over two arrays: the array
+        // that takes a small job finishes it and pulls the next small
+        // job before the big job's array is free
+        let mut p = pool(2);
+        seed_rows(&mut p, &[1, 2]);
+        let mut ex = PoolExecutor::new(&mut p);
+        let big = ex.submit(Job::new(SessionId(1), "big", adds_program(200)));
+        let s1 = ex.submit(Job::new(SessionId(2), "small", adds_program(1)));
+        let s2 = ex.submit(Job::new(SessionId(2), "small", adds_program(1)));
+        ex.drain().unwrap();
+        let big = ex.take(big).unwrap().unwrap();
+        let s1 = ex.take(s1).unwrap().unwrap();
+        let s2 = ex.take(s2).unwrap().unwrap();
+        assert_eq!(big.record.array, 0);
+        assert_eq!(s1.record.array, 1);
+        assert_eq!(s2.record.array, 1);
+        // the second small job starts when the first finishes — well
+        // before the big job's array is idle again
+        assert_eq!(s2.record.start_cycles, s1.record.end_cycles);
+        assert!(s2.record.start_cycles < big.record.end_cycles);
+    }
+
+    #[test]
+    fn unpinned_jobs_avoid_quarantined_arrays() {
+        let mut p = pool(2);
+        seed_rows(&mut p, &[1]);
+        p.quarantine(0);
+        let mut ex = PoolExecutor::new(&mut p);
+        let h1 = ex.submit(Job::new(SessionId(1), "a", adds_program(1)));
+        let h2 = ex.submit(Job::new(SessionId(1), "b", adds_program(1)));
+        ex.drain().unwrap();
+        assert_eq!(ex.take(h1).unwrap().unwrap().record.array, 1);
+        assert_eq!(ex.take(h2).unwrap().unwrap().record.array, 1);
+    }
+
+    #[test]
+    fn pinned_jobs_run_even_on_quarantined_arrays() {
+        // strip kernels pre-load inputs per array; the pin must be
+        // honored exactly like the legacy run_programs_labeled path
+        let mut p = pool(2);
+        seed_rows(&mut p, &[1]);
+        p.quarantine(0);
+        let mut ex = PoolExecutor::new(&mut p);
+        let h = ex.submit(Job::strip("pinned", adds_program(1)).pin(0));
+        ex.drain().unwrap();
+        assert_eq!(ex.take(h).unwrap().unwrap().record.array, 0);
+    }
+
+    #[test]
+    fn all_quarantined_fails_unpinned_drain() {
+        let mut p = pool(2);
+        p.quarantine(0);
+        p.quarantine(1);
+        let mut ex = PoolExecutor::new(&mut p);
+        ex.submit(Job::new(SessionId(1), "a", adds_program(1)));
+        assert!(matches!(
+            ex.drain(),
+            Err(PimError::AllArraysQuarantined { arrays: 2 })
+        ));
+    }
+
+    #[test]
+    fn queue_wait_and_clocks_are_consistent() {
+        let mut p = pool(1);
+        seed_rows(&mut p, &[1]);
+        let mut ex = PoolExecutor::new(&mut p);
+        let first = ex.submit(Job::new(SessionId(1), "first", adds_program(3)));
+        let second = ex.submit(Job::new(SessionId(1), "second", adds_program(3)));
+        ex.drain().unwrap();
+        let first = ex.take(first).unwrap().unwrap();
+        let second = ex.take(second).unwrap().unwrap();
+        assert_eq!(first.record.queue_wait, 0);
+        assert_eq!(second.record.start_cycles, first.record.end_cycles);
+        assert_eq!(second.record.queue_wait, first.record.run_cycles());
+        assert_eq!(ex.busy_until(0), second.record.end_cycles);
+        assert_eq!(ex.pending_len(), 0);
+        assert_eq!(ex.completed_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned to array")]
+    fn out_of_range_pin_is_rejected_at_submit() {
+        let mut p = pool(2);
+        let mut ex = PoolExecutor::new(&mut p);
+        ex.submit(Job::strip("bad", adds_program(1)).pin(7));
+    }
+}

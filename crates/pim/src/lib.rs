@@ -64,8 +64,12 @@
 //! register-file spilling at `MultiReg`, or the paper's unoptimized
 //! write-everything-back mapping at `Naive`. [`PimMachine::run_program`]
 //! executes the result, charging the same [`CostModel`] and tagging
-//! trace events with IR labels; [`PimArrayPool::run_programs_labeled`]
-//! runs one lowered program per array for strip-sharded kernels.
+//! trace events with IR labels. Lowered programs are submitted to a
+//! pool as *jobs*: [`PoolExecutor`] queues them with session, deadline
+//! class and priority metadata and dispatches in deterministic waves,
+//! while [`PimArrayPool::submit_strips`] pins one program per array
+//! for strip-sharded kernels ([`PimArrayPool::run_programs_labeled`]
+//! is the legacy spelling, kept as a thin wrapper).
 //!
 //! # Fault injection & resilience
 //!
@@ -83,6 +87,7 @@
 pub mod bitexact;
 mod config;
 mod cost;
+pub mod executor;
 pub mod fault;
 pub mod ir;
 mod isa;
@@ -94,6 +99,7 @@ mod trace;
 
 pub use config::{ArrayConfig, LaneWidth, Signedness};
 pub use cost::{AreaReport, CostModel};
+pub use executor::{DeadlineClass, Job, JobHandle, JobRecord, JobResult, PoolExecutor, SessionId};
 pub use fault::{FaultModel, FaultStatus, Protection, StuckBit};
 pub use ir::{MacroOp, PimProgram, VReg, Val};
 pub use isa::{AluOp, LogicFunc, OpClass, Operand, Shift};

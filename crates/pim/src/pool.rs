@@ -21,6 +21,16 @@
 //! are computed from per-array counters after the barrier, in array
 //! order.
 //!
+//! # Job-queue submission
+//!
+//! The phase API models one kernel owning the whole pool. Multi-tenant
+//! submission goes through [`crate::PoolExecutor`] instead: jobs carry
+//! lowered programs plus session/class/priority metadata, and arrays
+//! pull work in deterministic waves (see [`crate::executor`]).
+//! [`PimArrayPool::submit_strips`] is the strip-kernel entry point on
+//! that path; [`PimArrayPool::run_programs_labeled`] remains as a thin
+//! compatibility wrapper over it.
+//!
 //! # Fault resilience
 //!
 //! When arrays carry a [`crate::FaultModel`] with word
@@ -36,6 +46,7 @@
 //! Arrays can also be quarantined manually ([`PimArrayPool::quarantine`])
 //! e.g. from a manufacturing test; dispatch then simply skips them.
 
+use crate::executor::{Job, JobHandle, PoolExecutor};
 use crate::fault::FaultStatus;
 use crate::lower::LoweredProgram;
 use crate::machine::{PimError, PimMachine, PimMachineBuilder};
@@ -271,58 +282,91 @@ impl PimArrayPool {
         R: Send,
         F: Fn(usize, &mut PimMachine) -> R + Sync,
     {
+        let members: Vec<usize> = (0..self.arrays.len()).collect();
+        self.run_wave(label, &members, f).0
+    }
+
+    /// Runs one parallel *wave* over the arrays listed in `members`:
+    /// `f(slot, machine)` executes on `arrays[members[slot]]`, each
+    /// closure owning its array exclusively (scoped worker threads;
+    /// inline for a single member). Returns the per-slot results and
+    /// cycle deltas, both in `members` order.
+    ///
+    /// This is the execution core shared by the phase API (a wave over
+    /// every array) and the job executor ([`crate::PoolExecutor`], a
+    /// wave over whichever arrays pulled work). Accounting is the
+    /// phase rule: wall cycles advance by the slowest member's delta,
+    /// plus the sync overhead when more than one member participates;
+    /// telemetry records the pool-phase and per-array cycle spans.
+    pub(crate) fn run_wave<R, F>(
+        &mut self,
+        label: &str,
+        members: &[usize],
+        f: F,
+    ) -> (Vec<R>, Vec<u64>)
+    where
+        R: Send,
+        F: Fn(usize, &mut PimMachine) -> R + Sync,
+    {
         let _wall = self.telemetry.span("pool", label);
         let wall_start = self.wall_cycles;
-        let before: Vec<u64> = self.arrays.iter().map(|m| m.stats().cycles).collect();
-        let results: Vec<R> = if self.arrays.len() == 1 {
-            vec![f(0, &mut self.arrays[0])]
+        let before: Vec<u64> = members
+            .iter()
+            .map(|&i| self.arrays[i].stats().cycles)
+            .collect();
+        let results: Vec<R> = if members.len() == 1 {
+            vec![f(0, &mut self.arrays[members[0]])]
         } else {
+            let mut slot_of: Vec<Option<usize>> = vec![None; self.arrays.len()];
+            for (k, &i) in members.iter().enumerate() {
+                slot_of[i] = Some(k);
+            }
             std::thread::scope(|s| {
                 let handles: Vec<_> = self
                     .arrays
                     .iter_mut()
                     .enumerate()
-                    .map(|(i, m)| {
+                    .filter_map(|(i, m)| slot_of[i].map(|k| (k, m)))
+                    .map(|(k, m)| {
                         let f = &f;
-                        s.spawn(move || f(i, m))
+                        s.spawn(move || (k, f(k, m)))
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("pool shard thread panicked"))
+                let mut out: Vec<Option<R>> = (0..members.len()).map(|_| None).collect();
+                for h in handles {
+                    let (k, r) = h.join().expect("pool shard thread panicked");
+                    out[k] = Some(r);
+                }
+                out.into_iter()
+                    .map(|r| r.expect("every wave slot produces a result"))
                     .collect()
             })
         };
-        let max_delta = self
-            .arrays
+        let deltas: Vec<u64> = members
             .iter()
             .zip(&before)
-            .map(|(m, &b)| m.stats().cycles - b)
-            .max()
-            .unwrap_or(0);
+            .map(|(&i, &b)| self.arrays[i].stats().cycles - b)
+            .collect();
+        let max_delta = deltas.iter().copied().max().unwrap_or(0);
         self.wall_cycles += max_delta;
-        if self.arrays.len() > 1 {
+        if members.len() > 1 {
             self.wall_cycles += self.sync_cycles;
             self.barriers += 1;
         }
         if self.telemetry.is_enabled() {
-            let participants: Vec<(usize, u64)> = self
-                .arrays
+            let participants: Vec<(usize, u64)> = members
                 .iter()
-                .zip(&before)
-                .enumerate()
-                .map(|(i, (m, &b))| (i, m.stats().cycles - b))
+                .copied()
+                .zip(deltas.iter().copied())
                 .collect();
             self.record_phase_spans(label, wall_start, &participants);
         }
-        results
+        (results, deltas)
     }
 
-    /// Strip-sharded program submission: runs `programs[i]` (one
-    /// lowered macro-op program per array, see [`crate::lower()`]) as a
-    /// single labeled phase, returning each program's reduce results
-    /// in array order. Wall-cycle, barrier and telemetry accounting
-    /// are identical to [`PimArrayPool::run_phase_labeled`].
+    /// Legacy spelling of [`PimArrayPool::submit_strips`], kept as a
+    /// thin wrapper during the job-API migration so existing strip
+    /// kernels and their bit-identity tests keep working unchanged.
     ///
     /// # Panics
     ///
@@ -330,10 +374,33 @@ impl PimArrayPool {
     ///
     /// # Errors
     ///
-    /// The first [`PimError`] any shard's executor reports (shards
-    /// that already ran stay charged, like any partially executed
-    /// phase).
+    /// As [`PimArrayPool::submit_strips`].
     pub fn run_programs_labeled(
+        &mut self,
+        label: &str,
+        programs: &[LoweredProgram],
+    ) -> Result<Vec<Vec<i64>>, PimError> {
+        self.submit_strips(label, programs)
+    }
+
+    /// Strip-sharded program submission through the job queue:
+    /// `programs[i]` (one lowered macro-op program per array, see
+    /// [`crate::lower()`]) is submitted as a [`crate::Job`] pinned to
+    /// array `i`, and the queue is drained — a single wave, so
+    /// wall-cycle, barrier and telemetry accounting are identical to
+    /// [`PimArrayPool::run_phase_labeled`] over the same programs.
+    /// Returns each program's reduce results in array order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `programs.len()` differs from the pool size.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PimError`] any job's executor reports, in array
+    /// order (jobs that already ran stay charged, like any partially
+    /// executed phase).
+    pub fn submit_strips(
         &mut self,
         label: &str,
         programs: &[LoweredProgram],
@@ -343,8 +410,21 @@ impl PimArrayPool {
             self.arrays.len(),
             "one lowered program per array"
         );
-        let results = self.run_phase_labeled(label, |i, m| m.run_program(&programs[i]));
-        results.into_iter().collect()
+        let mut ex = PoolExecutor::new(self);
+        let handles: Vec<JobHandle> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ex.submit(Job::strip(label, p.clone()).pin(i)))
+            .collect();
+        ex.drain()?;
+        handles
+            .into_iter()
+            .map(|h| {
+                ex.take(h)
+                    .expect("drained executor holds every result")
+                    .map(|r| r.outputs)
+            })
+            .collect()
     }
 
     /// Records the cycle-domain spans of one completed phase: the pool

@@ -1,0 +1,581 @@
+//! The fleet scheduler: N tracker sessions time-sharing one shared
+//! [`PimArrayPool`], with admission control, EDF + fair-share
+//! scheduling, degrade-ladder load shedding and checkpoint eviction.
+
+use crate::session::{ServeError, SessionSpec, SessionStats, StepOutcome};
+use pimvo_core::{BackendKind, Checkpoint, DegradeRung, Tracker, TrackerBuilder};
+use pimvo_kernels::{DepthImage, GrayImage};
+use pimvo_pim::{ArrayConfig, PimArrayPool, PimMachine, PimMachineBuilder, SessionId};
+use pimvo_telemetry::Telemetry;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Residency of a session's tracker state.
+enum Residency {
+    /// Never ran — no state beyond the spec.
+    Cold,
+    /// Tracker in memory (holds a one-array staging pool while not
+    /// running; the shared fleet pool is swapped in per frame).
+    Resident(Box<Tracker>),
+    /// Serialized checkpoint — zero resident arrays.
+    Evicted(Vec<u8>),
+}
+
+/// One frame waiting in a session's admission queue.
+struct QueuedFrame {
+    gray: GrayImage,
+    depth: DepthImage,
+    /// Fleet virtual time (shared-pool `wall_cycles`) at submission.
+    submitted_at: u64,
+    /// `submitted_at + deadline_cycles`, for deadline sessions.
+    deadline_at: Option<u64>,
+}
+
+struct Session {
+    spec: SessionSpec,
+    residency: Residency,
+    queue: VecDeque<QueuedFrame>,
+    stats: SessionStats,
+    /// Ladder rung the fleet pins the session to (load shedding).
+    shed_rung: DegradeRung,
+}
+
+/// Deterministic multi-tenant scheduler over one shared array pool.
+///
+/// See the crate docs for the serving model. All timing is *virtual*:
+/// the shared pool's [`PimArrayPool::wall_cycles`] ledger is the fleet
+/// clock, so latencies, deadlines and scheduling order are
+/// reproducible bit-for-bit across runs and host machines.
+pub struct FleetScheduler {
+    /// The shared fleet pool. Swapped into the running session's
+    /// backend for the duration of exactly one frame.
+    shared: PimArrayPool,
+    sessions: BTreeMap<SessionId, Session>,
+    telemetry: Telemetry,
+}
+
+impl FleetScheduler {
+    /// Creates a fleet over `arrays` six-bank QVGA arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero.
+    pub fn new(arrays: usize) -> Self {
+        Self::from_builder(&PimMachine::builder(ArrayConfig::qvga_banks(6)), arrays)
+    }
+
+    /// Creates a fleet whose shared arrays are stamped from an explicit
+    /// machine builder (fault models, custom cost tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero.
+    pub fn from_builder(builder: &PimMachineBuilder, arrays: usize) -> Self {
+        FleetScheduler {
+            shared: builder.build_pool(arrays),
+            sessions: BTreeMap::new(),
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Attaches a telemetry handle: pool phases on the shared pool,
+    /// per-frame tracker spans and the `pimvo_serve_*` fleet counters.
+    /// Attach before registering sessions — already-resident trackers
+    /// keep the handle they were built with.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.shared.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// Registers a session. Cold until its first frame runs: no
+    /// tracker, no arrays, no checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered.
+    pub fn add_session(&mut self, id: SessionId, spec: SessionSpec) {
+        let prev = self.sessions.insert(
+            id,
+            Session {
+                spec,
+                residency: Residency::Cold,
+                queue: VecDeque::new(),
+                stats: SessionStats::default(),
+                shed_rung: DegradeRung::Full,
+            },
+        );
+        assert!(prev.is_none(), "session {} already registered", id.0);
+    }
+
+    /// The fleet's virtual clock: the shared pool's wall-cycle ledger.
+    pub fn now_cycles(&self) -> u64 {
+        self.shared.wall_cycles()
+    }
+
+    /// Shared view of the fleet pool.
+    pub fn pool(&self) -> &PimArrayPool {
+        &self.shared
+    }
+
+    /// Registered session ids, in order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Serving statistics of a session.
+    pub fn stats(&self, id: SessionId) -> Option<&SessionStats> {
+        self.sessions.get(&id).map(|s| &s.stats)
+    }
+
+    /// Whether the session currently holds a resident tracker.
+    pub fn is_resident(&self, id: SessionId) -> bool {
+        matches!(
+            self.sessions.get(&id).map(|s| &s.residency),
+            Some(Residency::Resident(_))
+        )
+    }
+
+    /// Frames waiting in the session's admission queue.
+    pub fn queue_len(&self, id: SessionId) -> usize {
+        self.sessions.get(&id).map_or(0, |s| s.queue.len())
+    }
+
+    /// Total backlogged frames across every session.
+    pub fn backlog(&self) -> usize {
+        self.sessions.values().map(|s| s.queue.len()).sum()
+    }
+
+    /// Offers a frame to the session's admission queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for an unregistered id;
+    /// [`ServeError::QueueFull`] when admission control sheds the
+    /// frame (the shed is counted in the session's stats).
+    pub fn submit_frame(
+        &mut self,
+        id: SessionId,
+        gray: GrayImage,
+        depth: DepthImage,
+    ) -> Result<(), ServeError> {
+        let now = self.shared.wall_cycles();
+        let sess = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownSession(id))?;
+        sess.stats.submitted += 1;
+        if sess.queue.len() >= sess.spec.max_queue {
+            sess.stats.shed += 1;
+            if self.telemetry.is_enabled() {
+                self.telemetry.counter_add("pimvo_serve_shed_total", 1.0);
+            }
+            return Err(ServeError::QueueFull {
+                session: id,
+                capacity: sess.spec.max_queue,
+            });
+        }
+        let deadline_at = sess.spec.deadline_cycles.map(|d| now + d);
+        sess.queue.push_back(QueuedFrame {
+            gray,
+            depth,
+            submitted_at: now,
+            deadline_at,
+        });
+        Ok(())
+    }
+
+    /// Runs the next frame (earliest deadline first; least-served, then
+    /// highest priority, then lowest session id on ties) to completion
+    /// on the shared pool. Returns `Ok(None)` when every queue is
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Restore`] if the chosen session was evicted and
+    /// its checkpoint fails to restore (the frame stays queued).
+    pub fn step(&mut self) -> Result<Option<StepOutcome>, ServeError> {
+        let Some(id) = self.pick_next() else {
+            return Ok(None);
+        };
+        self.ensure_resident(id)?;
+
+        let start = self.shared.wall_cycles();
+        let sess = self.sessions.get_mut(&id).expect("picked session exists");
+        let frame = sess.queue.pop_front().expect("picked session has work");
+        let Residency::Resident(tracker) = &mut sess.residency else {
+            unreachable!("ensure_resident loaded the tracker");
+        };
+
+        // Pin the fleet's shed rung, then run the frame on the shared
+        // pool: the tracker's one-array staging pool is parked in
+        // `self.shared` for the duration.
+        if sess.spec.deadline_cycles.is_some() {
+            tracker.set_shed_rung(sess.shed_rung);
+        }
+        let pool = tracker
+            .pool_mut()
+            .expect("serve sessions run the PIM backend");
+        std::mem::swap(pool, &mut self.shared);
+        let result = tracker.process_frame(&frame.gray, &frame.depth);
+        let pool = tracker
+            .pool_mut()
+            .expect("serve sessions run the PIM backend");
+        std::mem::swap(pool, &mut self.shared);
+        let end = self.shared.wall_cycles();
+
+        let latency = end - frame.submitted_at;
+        let missed = frame.deadline_at.is_some_and(|d| end > d);
+        sess.stats.completed += 1;
+        sess.stats.latencies_cycles.push(latency);
+        if missed {
+            sess.stats.deadline_misses += 1;
+            sess.shed_rung = sess.shed_rung.escalate();
+        } else if let Some(d) = sess.spec.deadline_cycles {
+            let relax = sess.spec.config.budget.relax_fraction;
+            if (latency as f64) < relax * d as f64 {
+                sess.shed_rung = sess.shed_rung.relax();
+            }
+        }
+        let outcome = StepOutcome {
+            session: id,
+            result,
+            latency_cycles: latency,
+            queue_cycles: start - frame.submitted_at,
+            missed_deadline: missed,
+            shed_rung: sess.shed_rung,
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("pimvo_serve_frames_total", 1.0);
+            if missed {
+                self.telemetry
+                    .counter_add("pimvo_serve_deadline_miss_total", 1.0);
+            }
+        }
+        Ok(Some(outcome))
+    }
+
+    /// Drains every queue, one frame at a time, in scheduling order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ServeError::Restore`] (frames already
+    /// completed are returned by value inside the error-free case
+    /// only; the scheduler state itself stays consistent).
+    pub fn run_until_idle(&mut self) -> Result<Vec<StepOutcome>, ServeError> {
+        let mut out = Vec::new();
+        while let Some(o) = self.step()? {
+            out.push(o);
+        }
+        Ok(out)
+    }
+
+    /// Evicts a resident session to checkpoint bytes: the tracker (and
+    /// its staging array) is dropped, leaving zero resident arrays.
+    /// Returns `false` if the session was already cold or evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for an unregistered id.
+    pub fn evict(&mut self, id: SessionId) -> Result<bool, ServeError> {
+        let sess = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownSession(id))?;
+        let Residency::Resident(tracker) = &sess.residency else {
+            return Ok(false);
+        };
+        let bytes = tracker.checkpoint().to_bytes();
+        sess.residency = Residency::Evicted(bytes);
+        sess.stats.evictions += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_add("pimvo_serve_evictions_total", 1.0);
+        }
+        Ok(true)
+    }
+
+    /// Evicts every resident session whose queue is empty (the cold
+    /// set). Returns how many were evicted.
+    pub fn evict_idle(&mut self) -> usize {
+        let idle: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.queue.is_empty() && matches!(s.residency, Residency::Resident(_)))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &idle {
+            let _ = self.evict(*id);
+        }
+        idle.len()
+    }
+
+    /// EDF with least-served fair-share: the backlogged session with
+    /// the earliest head-frame deadline wins; `None` deadlines sort
+    /// last (background). Ties: fewest completed frames, then highest
+    /// priority, then lowest session id — a total, deterministic order.
+    fn pick_next(&self) -> Option<SessionId> {
+        self.sessions
+            .iter()
+            .filter(|(_, s)| !s.queue.is_empty())
+            .min_by_key(|(id, s)| {
+                let deadline = s
+                    .queue
+                    .front()
+                    .and_then(|f| f.deadline_at)
+                    .unwrap_or(u64::MAX);
+                (
+                    deadline,
+                    s.stats.completed,
+                    std::cmp::Reverse(s.spec.priority),
+                    **id,
+                )
+            })
+            .map(|(id, _)| *id)
+    }
+
+    /// Loads the session's tracker: builds it cold, or restores it
+    /// from its eviction checkpoint.
+    fn ensure_resident(&mut self, id: SessionId) -> Result<(), ServeError> {
+        let telemetry = self.telemetry.clone();
+        let sess = self.sessions.get_mut(&id).expect("caller checked id");
+        match &sess.residency {
+            Residency::Resident(_) => Ok(()),
+            Residency::Cold => {
+                sess.residency =
+                    Residency::Resident(Box::new(build_tracker(&sess.spec, &telemetry)));
+                Ok(())
+            }
+            Residency::Evicted(bytes) => {
+                let ckpt = Checkpoint::from_bytes(bytes)?;
+                let mut tracker = build_tracker(&sess.spec, &telemetry);
+                tracker.restore(&ckpt)?;
+                sess.residency = Residency::Resident(Box::new(tracker));
+                sess.stats.restores += 1;
+                if telemetry.is_enabled() {
+                    telemetry.counter_add("pimvo_serve_restores_total", 1.0);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FleetScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetScheduler")
+            .field("arrays", &self.shared.len())
+            .field("sessions", &self.sessions.len())
+            .field("backlog", &self.backlog())
+            .field("now_cycles", &self.shared.wall_cycles())
+            .finish()
+    }
+}
+
+/// Builds a session tracker through [`TrackerBuilder`]: PIM backend on
+/// a one-array staging pool, with the session deadline armed as the
+/// tracker's own per-frame cycle budget so the shed ladder has
+/// in-frame enforcement.
+fn build_tracker(spec: &SessionSpec, telemetry: &Telemetry) -> Tracker {
+    let mut config = spec.config.clone();
+    if let Some(d) = spec.deadline_cycles {
+        config.budget.cycles_per_frame = Some(d);
+    }
+    TrackerBuilder::new(config)
+        .backend(BackendKind::Pim)
+        .telemetry(telemetry.clone())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimvo_core::TrackerConfig;
+
+    fn textured_frame(shift: f64) -> (GrayImage, DepthImage) {
+        let gray = GrayImage::from_fn(320, 240, |x, y| {
+            let xs = x as f64 + shift;
+            let y = y as f64;
+            (((xs * 0.55).sin() + (y * 0.41).sin() + (xs * 0.13).sin() * (y * 0.09).cos()) * 50.0
+                + 120.0) as u8
+        });
+        let depth = DepthImage::from_fn(320, 240, |_, _| 2.0);
+        (gray, depth)
+    }
+
+    #[test]
+    fn cold_sessions_hold_no_tracker_until_first_step() {
+        let mut fleet = FleetScheduler::new(2);
+        fleet.add_session(SessionId(1), SessionSpec::new(TrackerConfig::default()));
+        assert!(!fleet.is_resident(SessionId(1)));
+        let (g, d) = textured_frame(0.0);
+        fleet.submit_frame(SessionId(1), g, d).unwrap();
+        assert!(
+            !fleet.is_resident(SessionId(1)),
+            "submission must not build"
+        );
+        let out = fleet.step().unwrap().expect("one frame queued");
+        assert_eq!(out.session, SessionId(1));
+        assert!(fleet.is_resident(SessionId(1)));
+    }
+
+    #[test]
+    fn admission_control_sheds_past_queue_capacity() {
+        let mut fleet = FleetScheduler::new(1);
+        fleet.add_session(
+            SessionId(1),
+            SessionSpec::new(TrackerConfig::default()).max_queue(2),
+        );
+        let (g, d) = textured_frame(0.0);
+        fleet
+            .submit_frame(SessionId(1), g.clone(), d.clone())
+            .unwrap();
+        fleet
+            .submit_frame(SessionId(1), g.clone(), d.clone())
+            .unwrap();
+        let err = fleet.submit_frame(SessionId(1), g, d).unwrap_err();
+        assert!(matches!(err, ServeError::QueueFull { capacity: 2, .. }));
+        let st = fleet.stats(SessionId(1)).unwrap();
+        assert_eq!((st.submitted, st.shed), (3, 1));
+        assert!((st.shed_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edf_runs_deadline_sessions_before_background() {
+        let mut fleet = FleetScheduler::new(1);
+        fleet.add_session(SessionId(1), SessionSpec::new(TrackerConfig::default()));
+        fleet.add_session(
+            SessionId(2),
+            SessionSpec::new(TrackerConfig::default()).deadline_cycles(u64::MAX / 2),
+        );
+        let (g, d) = textured_frame(0.0);
+        fleet
+            .submit_frame(SessionId(1), g.clone(), d.clone())
+            .unwrap();
+        fleet.submit_frame(SessionId(2), g, d).unwrap();
+        let first = fleet.step().unwrap().unwrap();
+        assert_eq!(first.session, SessionId(2), "deadline session runs first");
+        let second = fleet.step().unwrap().unwrap();
+        assert_eq!(second.session, SessionId(1));
+        assert!(fleet.step().unwrap().is_none());
+    }
+
+    #[test]
+    fn fair_share_alternates_equal_background_sessions() {
+        let mut fleet = FleetScheduler::new(1);
+        for id in [1, 2] {
+            fleet.add_session(SessionId(id), SessionSpec::new(TrackerConfig::default()));
+        }
+        let (g, d) = textured_frame(0.0);
+        for _ in 0..2 {
+            fleet
+                .submit_frame(SessionId(1), g.clone(), d.clone())
+                .unwrap();
+            fleet
+                .submit_frame(SessionId(2), g.clone(), d.clone())
+                .unwrap();
+        }
+        let order: Vec<u32> = fleet
+            .run_until_idle()
+            .unwrap()
+            .iter()
+            .map(|o| o.session.0)
+            .collect();
+        assert_eq!(order, vec![1, 2, 1, 2], "least-served alternation");
+    }
+
+    #[test]
+    fn missed_deadline_escalates_the_shed_ladder() {
+        let mut fleet = FleetScheduler::new(1);
+        // 1-cycle deadline: every frame misses
+        fleet.add_session(
+            SessionId(1),
+            SessionSpec::new(TrackerConfig::default()).deadline_cycles(1),
+        );
+        let (g, d) = textured_frame(0.0);
+        fleet
+            .submit_frame(SessionId(1), g.clone(), d.clone())
+            .unwrap();
+        let o1 = fleet.step().unwrap().unwrap();
+        assert!(o1.missed_deadline);
+        assert_eq!(o1.shed_rung, DegradeRung::CapLmIterations);
+        fleet.submit_frame(SessionId(1), g, d).unwrap();
+        let o2 = fleet.step().unwrap().unwrap();
+        assert_eq!(o2.shed_rung, DegradeRung::ReduceFeatures);
+        assert!((fleet.stats(SessionId(1)).unwrap().miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generous_deadline_relaxes_the_ladder_again() {
+        let mut fleet = FleetScheduler::new(1);
+        fleet.add_session(
+            SessionId(1),
+            SessionSpec::new(TrackerConfig::default()).deadline_cycles(1),
+        );
+        let (g, d) = textured_frame(0.0);
+        fleet
+            .submit_frame(SessionId(1), g.clone(), d.clone())
+            .unwrap();
+        let _ = fleet.step().unwrap().unwrap(); // escalate once
+                                                // widen the deadline: next frame lands well under relax_fraction
+        fleet
+            .sessions
+            .get_mut(&SessionId(1))
+            .unwrap()
+            .spec
+            .deadline_cycles = Some(u64::MAX / 2);
+        fleet.submit_frame(SessionId(1), g, d).unwrap();
+        let o = fleet.step().unwrap().unwrap();
+        assert!(!o.missed_deadline);
+        assert_eq!(o.shed_rung, DegradeRung::Full, "ladder relaxed back");
+    }
+
+    #[test]
+    fn evict_idle_drops_resident_trackers() {
+        let mut fleet = FleetScheduler::new(1);
+        fleet.add_session(SessionId(1), SessionSpec::new(TrackerConfig::default()));
+        let (g, d) = textured_frame(0.0);
+        fleet.submit_frame(SessionId(1), g, d).unwrap();
+        let _ = fleet.step().unwrap().unwrap();
+        assert!(fleet.is_resident(SessionId(1)));
+        assert_eq!(fleet.evict_idle(), 1);
+        assert!(!fleet.is_resident(SessionId(1)));
+        assert_eq!(fleet.stats(SessionId(1)).unwrap().evictions, 1);
+        // evicting again is a no-op
+        assert!(!fleet.evict(SessionId(1)).unwrap());
+    }
+
+    #[test]
+    fn unknown_session_is_a_typed_error() {
+        let mut fleet = FleetScheduler::new(1);
+        let (g, d) = textured_frame(0.0);
+        let err = fleet.submit_frame(SessionId(9), g, d).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownSession(SessionId(9))));
+        assert!(matches!(
+            fleet.evict(SessionId(9)),
+            Err(ServeError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn latency_accounting_is_virtual_and_monotonic() {
+        let mut fleet = FleetScheduler::new(2);
+        fleet.add_session(SessionId(1), SessionSpec::new(TrackerConfig::default()));
+        let (g, d) = textured_frame(0.0);
+        // two frames queued back to back: the second waits for the first
+        fleet
+            .submit_frame(SessionId(1), g.clone(), d.clone())
+            .unwrap();
+        fleet.submit_frame(SessionId(1), g, d).unwrap();
+        let o1 = fleet.step().unwrap().unwrap();
+        let o2 = fleet.step().unwrap().unwrap();
+        assert_eq!(o1.queue_cycles, 0, "first frame starts immediately");
+        assert!(o2.queue_cycles >= o1.latency_cycles - o1.queue_cycles);
+        assert!(o2.latency_cycles > o1.latency_cycles);
+        assert_eq!(fleet.now_cycles(), fleet.pool().wall_cycles());
+        let p50 = fleet
+            .stats(SessionId(1))
+            .unwrap()
+            .latency_percentile(50.0)
+            .unwrap();
+        assert!(p50 >= o1.latency_cycles.min(o2.latency_cycles));
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! `pimvo-serve` — the multi-tenant serving layer: many independent
+//! tracker sessions time-sharing **one** [`pimvo_pim::PimArrayPool`].
+//!
+//! The paper's PIM-SRAM tracker is a single-session device. This crate
+//! is the "millions of users" step of the roadmap: a deterministic
+//! fleet scheduler that multiplexes N [`pimvo_core::Tracker`] sessions
+//! over a shared array pool, built on the job-queue submission API of
+//! [`pimvo_pim::PoolExecutor`].
+//!
+//! # Model
+//!
+//! * **Sessions** are registered with a [`SessionSpec`] (estimator
+//!   configuration, optional frame deadline in pool cycles, bounded
+//!   admission queue, priority). Trackers are constructed through
+//!   [`pimvo_core::TrackerBuilder`] on first demand — a session that
+//!   has never run holds no resident state at all.
+//! * **Frames** are submitted to a session's bounded queue
+//!   ([`FleetScheduler::submit_frame`]); a full queue *sheds* the frame
+//!   (admission control) and returns [`ServeError::QueueFull`].
+//! * **Scheduling** is earliest-deadline-first over the head frame of
+//!   every backlogged session, with least-served fair-share and then
+//!   priority as tie-breaks. One [`FleetScheduler::step`] runs exactly
+//!   one frame to completion on the shared pool; the pool's
+//!   `wall_cycles` ledger is the fleet's virtual clock, so queue wait
+//!   and frame latency are measured in cycles and are **deterministic**
+//!   — independent of host thread timing.
+//! * **Load shedding** reuses the [`pimvo_core::DegradeRung`] ladder:
+//!   a session that misses its deadline is escalated one rung (its next
+//!   frame runs cheaper — capped LM iterations, reduced features,
+//!   skipped NMS refinement, coast), and relaxed again once latency
+//!   falls below the configured fraction of the deadline.
+//! * **Eviction** serializes a cold session to its checkpoint bytes
+//!   ([`FleetScheduler::evict`]) and drops the tracker, so the session
+//!   holds zero resident arrays; the next submitted frame transparently
+//!   restores it, replaying bit-exactly.
+//!
+//! Determinism is load-bearing: every kernel and LM batch host-writes
+//! the rows it reads, so interleaving sessions on a shared pool cannot
+//! perturb any session's poses — the interleaved-vs-solo property test
+//! in `tests/interleave_proptests.rs` enforces bit-identity.
+//!
+//! ```
+//! use pimvo_core::TrackerConfig;
+//! use pimvo_serve::{FleetScheduler, SessionSpec};
+//! use pimvo_kernels::{DepthImage, GrayImage};
+//! use pimvo_pim::SessionId;
+//!
+//! let mut fleet = FleetScheduler::new(2);
+//! fleet.add_session(SessionId(1), SessionSpec::new(TrackerConfig::default()));
+//! let gray = GrayImage::from_fn(320, 240, |x, y| ((x ^ y) & 0xFF) as u8);
+//! let depth = DepthImage::from_fn(320, 240, |_, _| 2.0);
+//! fleet.submit_frame(SessionId(1), gray, depth).unwrap();
+//! let outcome = fleet.step().unwrap().expect("one frame queued");
+//! assert!(outcome.result.is_keyframe); // first frame bootstraps
+//! ```
+
+mod fleet;
+mod session;
+
+pub use fleet::FleetScheduler;
+pub use session::{ServeError, SessionSpec, SessionStats, StepOutcome};

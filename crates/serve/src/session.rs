@@ -1,0 +1,179 @@
+//! Session specifications, per-session serving statistics and the
+//! outcome record of one scheduler step.
+
+use pimvo_core::{CheckpointError, DegradeRung, FrameResult, TrackerConfig};
+use pimvo_pim::SessionId;
+
+/// Everything the fleet needs to build and schedule one session.
+///
+/// The tracker itself is constructed lazily through
+/// [`pimvo_core::TrackerBuilder`] with the PIM backend on a one-array
+/// staging pool; while the session runs a frame, the scheduler swaps
+/// the shared fleet pool in.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Estimator configuration (hashed into checkpoints — every
+    /// restore of this session must present the same configuration).
+    pub config: TrackerConfig,
+    /// Frame deadline in pool cycles, measured from submission
+    /// (virtual time). `None` marks a background session: it is
+    /// scheduled after every deadline session and never sheds.
+    pub deadline_cycles: Option<u64>,
+    /// Admission-queue capacity; a submission beyond it is shed.
+    pub max_queue: usize,
+    /// Tie-break priority (higher first) among equal deadlines.
+    pub priority: u8,
+}
+
+impl SessionSpec {
+    /// A background session (no deadline) with a 4-frame queue.
+    pub fn new(config: TrackerConfig) -> Self {
+        SessionSpec {
+            config,
+            deadline_cycles: None,
+            max_queue: 4,
+            priority: 0,
+        }
+    }
+
+    /// Sets the per-frame deadline in pool cycles. This also arms the
+    /// tracker's own deadline supervisor with the same cycle budget,
+    /// so the fleet's shed ladder has in-frame enforcement behind it.
+    pub fn deadline_cycles(mut self, cycles: u64) -> Self {
+        self.deadline_cycles = Some(cycles);
+        self
+    }
+
+    /// Sets the admission-queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn max_queue(mut self, n: usize) -> Self {
+        assert!(n > 0, "a session needs a queue capacity of at least 1");
+        self.max_queue = n;
+        self
+    }
+
+    /// Sets the scheduling priority (higher runs first on deadline
+    /// ties).
+    pub fn priority(mut self, p: u8) -> Self {
+        self.priority = p;
+        self
+    }
+}
+
+/// Cumulative serving statistics of one session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Frames offered to the queue (accepted + shed).
+    pub submitted: u64,
+    /// Frames run to completion.
+    pub completed: u64,
+    /// Frames rejected by admission control (queue full).
+    pub shed: u64,
+    /// Completed frames that finished past their deadline.
+    pub deadline_misses: u64,
+    /// Times the session was evicted to checkpoint bytes.
+    pub evictions: u64,
+    /// Times the session was restored from checkpoint bytes.
+    pub restores: u64,
+    /// Per-completed-frame latency in pool cycles (submission →
+    /// completion, queue wait included).
+    pub latencies_cycles: Vec<u64>,
+}
+
+impl SessionStats {
+    /// Latency percentile over the completed frames (`p` in `0..=100`;
+    /// nearest-rank). `None` before the first completion.
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
+        if self.latencies_cycles.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_cycles.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Deadline-miss rate over completed frames (0 when none ran).
+    pub fn miss_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.deadline_misses as f64 / self.completed as f64
+    }
+
+    /// Shed rate over submitted frames (0 when none were offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.submitted as f64
+    }
+}
+
+/// The record one [`crate::FleetScheduler::step`] returns: which
+/// session ran, what the tracker produced, and what it cost in fleet
+/// virtual time.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Session the frame belonged to.
+    pub session: SessionId,
+    /// The tracker's frame result (pose, state, rung it ran at).
+    pub result: FrameResult,
+    /// Submission → completion, in pool cycles (queue wait included).
+    pub latency_cycles: u64,
+    /// Submission → start of execution, in pool cycles.
+    pub queue_cycles: u64,
+    /// Whether the frame finished past the session's deadline.
+    pub missed_deadline: bool,
+    /// Shed-ladder rung the session is pinned to for its *next* frame.
+    pub shed_rung: DegradeRung,
+}
+
+/// Typed serving errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control rejected the frame: the session's queue is at
+    /// capacity. The frame is counted as shed.
+    QueueFull {
+        /// The session whose queue was full.
+        session: SessionId,
+        /// Its configured capacity.
+        capacity: usize,
+    },
+    /// The session id has not been registered.
+    UnknownSession(SessionId),
+    /// Restoring an evicted session from its checkpoint bytes failed.
+    Restore(CheckpointError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { session, capacity } => write!(
+                f,
+                "session {} queue full (capacity {capacity}): frame shed",
+                session.0
+            ),
+            ServeError::UnknownSession(s) => write!(f, "unknown session {}", s.0),
+            ServeError::Restore(e) => write!(f, "session restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Restore(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Restore(e)
+    }
+}

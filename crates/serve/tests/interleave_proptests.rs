@@ -1,0 +1,152 @@
+//! Serving-determinism tests: interleaving N sessions over one shared
+//! pool must produce poses bit-identical to each session running alone
+//! on its own tracker, and eviction + restore of a cold session must
+//! replay exactly.
+
+use pimvo_core::{BackendKind, TrackerBuilder, TrackerConfig};
+use pimvo_kernels::{DepthImage, GrayImage};
+use pimvo_pim::SessionId;
+use pimvo_serve::{FleetScheduler, SessionSpec, StepOutcome};
+use pimvo_vomath::SE3;
+use proptest::prelude::*;
+
+/// Per-session synthetic stream: a sinusoid texture translating at a
+/// session-specific speed, with session-specific spatial frequencies so
+/// no two sessions see the same scene.
+fn session_frame(session: usize, k: usize, speed: f64) -> (GrayImage, DepthImage) {
+    let shift = k as f64 * speed;
+    let fx = 0.55 + session as f64 * 0.013;
+    let fy = 0.41 + session as f64 * 0.009;
+    let gray = GrayImage::from_fn(320, 240, |x, y| {
+        let xs = x as f64 + shift;
+        let y = y as f64;
+        (((xs * fx).sin() + (y * fy).sin() + (xs * 0.13).sin() * (y * 0.09).cos()) * 50.0 + 120.0)
+            as u8
+    });
+    let depth = DepthImage::from_fn(320, 240, |_, _| 2.0);
+    (gray, depth)
+}
+
+/// Reference: the session's frames run alone on a freshly built
+/// tracker (same builder path the fleet uses, one-array pool).
+fn solo_poses(session: usize, n_frames: usize, speed: f64) -> Vec<SE3> {
+    let mut tracker = TrackerBuilder::new(TrackerConfig::default())
+        .backend(BackendKind::Pim)
+        .build();
+    (0..n_frames)
+        .map(|k| {
+            let (g, d) = session_frame(session, k, speed);
+            tracker.process_frame(&g, &d).pose_wc
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// 4 sessions, arbitrary submission/execution interleaving over a
+    /// shared multi-array pool: every session's pose trajectory is
+    /// bit-identical to its solo run.
+    #[test]
+    fn interleaved_sessions_match_solo(
+        arrays in 2usize..5,
+        speed_seed in 0u64..1000,
+        schedule in prop::collection::vec(any::<u8>(), 20..40),
+    ) {
+        const N: usize = 4;
+        const FRAMES: usize = 3;
+        let speeds: Vec<f64> = (0..N)
+            .map(|s| 0.4 + ((speed_seed as usize + s * 7) % 10) as f64 * 0.08)
+            .collect();
+
+        let mut fleet = FleetScheduler::new(arrays);
+        for s in 0..N {
+            fleet.add_session(
+                SessionId(s as u32 + 1),
+                SessionSpec::new(TrackerConfig::default()).max_queue(FRAMES),
+            );
+        }
+
+        // interleave submissions and steps per the random schedule,
+        // then drain whatever is left
+        let mut next = vec![0usize; N];
+        let mut outcomes: Vec<StepOutcome> = Vec::new();
+        for ix in &schedule {
+            let slot = *ix as usize % (2 * N);
+            if slot < N {
+                if next[slot] < FRAMES {
+                    let (g, d) = session_frame(slot, next[slot], speeds[slot]);
+                    fleet.submit_frame(SessionId(slot as u32 + 1), g, d).unwrap();
+                    next[slot] += 1;
+                }
+            } else if let Some(o) = fleet.step().unwrap() {
+                outcomes.push(o);
+            }
+        }
+        for (s, n) in next.iter_mut().enumerate() {
+            while *n < FRAMES {
+                let (g, d) = session_frame(s, *n, speeds[s]);
+                fleet.submit_frame(SessionId(s as u32 + 1), g, d).unwrap();
+                *n += 1;
+            }
+        }
+        outcomes.extend(fleet.run_until_idle().unwrap());
+
+        for s in 0..N {
+            let got: Vec<SE3> = outcomes
+                .iter()
+                .filter(|o| o.session == SessionId(s as u32 + 1))
+                .map(|o| o.result.pose_wc)
+                .collect();
+            let want = solo_poses(s, FRAMES, speeds[s]);
+            prop_assert_eq!(got.len(), FRAMES, "session {} frame count", s);
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                prop_assert_eq!(g, w, "session {} frame {} pose", s, k);
+            }
+        }
+    }
+}
+
+/// Eviction to checkpoint bytes and transparent restore replays the
+/// session exactly: the poses after the evict/restore cycle equal an
+/// uninterrupted run bit-for-bit.
+#[test]
+fn evicted_session_replays_exactly() {
+    const FRAMES: usize = 6;
+    const EVICT_AT: usize = 3;
+    let speed = 0.7;
+
+    let baseline = solo_poses(0, FRAMES, speed);
+
+    let mut fleet = FleetScheduler::new(2);
+    fleet.add_session(
+        SessionId(1),
+        SessionSpec::new(TrackerConfig::default()).max_queue(FRAMES),
+    );
+    let mut poses = Vec::new();
+    for k in 0..EVICT_AT {
+        let (g, d) = session_frame(0, k, speed);
+        fleet.submit_frame(SessionId(1), g, d).unwrap();
+    }
+    for o in fleet.run_until_idle().unwrap() {
+        poses.push(o.result.pose_wc);
+    }
+
+    assert!(fleet.evict(SessionId(1)).unwrap(), "session was resident");
+    assert!(!fleet.is_resident(SessionId(1)), "zero resident state");
+
+    for k in EVICT_AT..FRAMES {
+        let (g, d) = session_frame(0, k, speed);
+        fleet.submit_frame(SessionId(1), g, d).unwrap();
+    }
+    for o in fleet.run_until_idle().unwrap() {
+        poses.push(o.result.pose_wc);
+    }
+
+    assert_eq!(poses.len(), FRAMES);
+    for (k, (got, want)) in poses.iter().zip(&baseline).enumerate() {
+        assert_eq!(got, want, "frame {k} pose must replay exactly");
+    }
+    let st = fleet.stats(SessionId(1)).unwrap();
+    assert_eq!((st.evictions, st.restores), (1, 1));
+}

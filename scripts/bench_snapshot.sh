@@ -14,6 +14,9 @@ FRAMES="${1:-30}"
 
 cargo run --release -p pimvo-bench --bin exp_all -- "$FRAMES" --out .
 cargo run --release -p pimvo-bench --features fault --bin fault_sweep -- 10
+# fleet-soak sweep: {1,4,16} sessions x {2,4,8} arrays through the
+# pimvo-serve scheduler -> BENCH_fleet.json
+cargo run --release -p pimvo-bench --bin fleet_soak -- --out .
 
 echo
 echo "bench snapshot written:"

@@ -25,6 +25,9 @@ step cargo build --release
 step cargo test -q --workspace
 # the fault-injection layer is feature-gated off by default; test it too
 step cargo test -q --features fault -p pimvo-pim -p pimvo-core
+# feature-gate matrix: the deprecated hand-scheduled kernel wrappers
+# must still build and pass their equivalence tests when re-enabled
+step cargo test -q -p pimvo-kernels --features legacy-kernels
 step cargo clippy --all-targets --all-features -- -D warnings
 # rustdoc, warnings as errors (vendored dep stubs excluded: their docs
 # mirror the upstream crates, not this project)
@@ -48,6 +51,11 @@ step cargo run -q --release --example track_sequence -- \
     xyz pim 20 "$chaos_out" 1 --checkpoint-every 8
 step cargo run -q --release --example track_sequence -- \
     xyz pim 20 "$chaos_out" 1 --resume "$chaos_out/track_sequence.ckpt"
+# fleet-soak smoke: 4 sessions x 2 arrays, ~50 frames through the
+# pimvo-serve scheduler (admission control, EDF, shed ladder) must
+# complete and emit a report
+step cargo run -q --release -p pimvo-bench --bin fleet_soak -- \
+    --sessions 4 --arrays 2 --frames 13 --out "$chaos_out"
 rm -rf "$chaos_out"
 
 if [ "$fail" -ne 0 ]; then

@@ -8,5 +8,6 @@ pub use pimvo_kernels as kernels;
 pub use pimvo_mcu as mcu;
 pub use pimvo_pim as pim;
 pub use pimvo_scene as scene;
+pub use pimvo_serve as serve;
 pub use pimvo_telemetry as telemetry;
 pub use pimvo_vomath as vomath;

@@ -6,7 +6,7 @@
 use pimvo::cnn::{render_shape, Shape, SmallNet};
 use pimvo::core::pim_exec::{run_batch, BATCH};
 use pimvo::core::{extract_features, Keyframe, QFeature, QPose};
-use pimvo::kernels::{ir, pim_multireg, EdgeConfig};
+use pimvo::kernels::{ir, EdgeConfig};
 use pimvo::pim::{ArrayConfig, CostModel, OpClass, PimMachine};
 use pimvo::scene::{Sequence, SequenceKind};
 use pimvo::vomath::{Pinhole, SE3};
@@ -74,12 +74,12 @@ fn multireg_and_single_reg_machines_agree_end_to_end() {
     );
 
     let mut m4 = PimMachine::new(ArrayConfig::qvga_banks(6));
-    m4.set_tmp_regs(pim_multireg::REGS_REQUIRED);
+    m4.set_tmp_regs(ir::REGS_REQUIRED);
     let multi = ir::edge_detect(
         &mut m4,
         &seq.frames[0].gray,
         &cfg,
-        pimvo::pim::LowerLevel::MultiReg(pim_multireg::REGS_REQUIRED),
+        pimvo::pim::LowerLevel::MultiReg(ir::REGS_REQUIRED),
     );
 
     assert_eq!(single.mask, multi.mask);
@@ -117,13 +117,13 @@ fn trace_covers_a_full_edge_detection() {
 fn trace_ledger_agrees_on_the_multireg_pipeline_too() {
     let seq = Sequence::generate(SequenceKind::Desk, 1);
     let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
-    m.set_tmp_regs(pim_multireg::REGS_REQUIRED);
+    m.set_tmp_regs(ir::REGS_REQUIRED);
     m.set_tracing(true);
     let _ = ir::edge_detect(
         &mut m,
         &seq.frames[0].gray,
         &EdgeConfig::default(),
-        pimvo::pim::LowerLevel::MultiReg(pim_multireg::REGS_REQUIRED),
+        pimvo::pim::LowerLevel::MultiReg(ir::REGS_REQUIRED),
     );
     let trace = m.trace().expect("tracing on");
     let traced_cycles: u64 = trace.events().iter().map(|e| e.cycles).sum();
