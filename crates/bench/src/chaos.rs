@@ -28,6 +28,14 @@
 //! from [`ChaosConfig::seed`] through [`SplitMix64`], and the report
 //! carries no wall-clock measurements, so the emitted
 //! `BENCH_chaos_soak.json` is byte-identical for a fixed seed.
+//!
+//! [`run_fleet_chaos`] lifts the same discipline to the multi-tenant
+//! serving layer: N sessions over one shared self-healing pool, driven
+//! through a defect storm (stuck-at injection + quarantine), scrub /
+//! spare-row-remap rehabilitation, circuit-breaker trips with half-open
+//! probe recovery, and a mid-soak hard kill replayed bit-identically
+//! from a [`pimvo_serve::FleetCheckpointStore`] manifest
+//! (`BENCH_fleet_chaos.json`).
 
 use std::fs;
 use std::io;
@@ -39,7 +47,8 @@ use pimvo_core::{
     TrackerConfig, TrackingState,
 };
 use pimvo_kernels::{DepthImage, GrayImage};
-use pimvo_pim::FaultModel;
+use pimvo_pim::{ArrayConfig, FaultModel, PimMachine, PimMachineBuilder, ScrubConfig, SessionId};
+use pimvo_serve::{BreakerConfig, BreakerState, FleetCheckpointStore, FleetScheduler, SessionSpec};
 use pimvo_vomath::Pinhole;
 
 use crate::sink::BenchReport;
@@ -413,6 +422,421 @@ pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
     Ok(ChaosOutcome { report, violations })
 }
 
+// ---------------------------------------------------------------------
+// Fleet-level chaos: N sessions over one shared self-healing pool
+// ---------------------------------------------------------------------
+
+/// Parameters of a fleet chaos-soak run ([`run_fleet_chaos`]).
+#[derive(Debug, Clone)]
+pub struct FleetChaosConfig {
+    /// Seed for every chaos decision.
+    pub seed: u64,
+    /// Frames per session; the soak serves `sessions * frames_per_session`.
+    pub frames_per_session: usize,
+    /// Tenant sessions sharing the pool.
+    pub sessions: usize,
+    /// PIM arrays in the shared pool.
+    pub arrays: usize,
+    /// Scratch directory for the fleet manifest. Never enters the
+    /// report, so it does not affect determinism.
+    pub workdir: PathBuf,
+}
+
+impl FleetChaosConfig {
+    /// A run with the default fleet shape (4 sessions, 3 arrays).
+    pub fn new(seed: u64, frames_per_session: usize, workdir: impl Into<PathBuf>) -> Self {
+        FleetChaosConfig {
+            seed,
+            frames_per_session,
+            sessions: 4,
+            arrays: 3,
+            workdir: workdir.into(),
+        }
+    }
+}
+
+/// Per-session procedural frame of the fleet soak: the chaos texture
+/// with session-specific frequencies so tenants never share a scene.
+fn fleet_frame(cam: &Pinhole, session: usize, k: usize) -> (GrayImage, DepthImage) {
+    let speed = 0.5 + (session % 8) as f64 * 0.1;
+    let shift = k as f64 * speed;
+    let fx = 0.55 + session as f64 * 0.011;
+    let gray = GrayImage::from_fn(cam.width, cam.height, |x, y| {
+        let xs = x as f64 + shift;
+        let y = y as f64;
+        let v = ((xs * fx).sin() + (y * 0.41).sin() + (xs * 0.13).sin() * (y * 0.09).cos()) * 50.0
+            + 120.0;
+        v.clamp(0.0, 255.0) as u8
+    });
+    let depth = DepthImage::from_fn(cam.width, cam.height, |_, _| 2.0);
+    (gray, depth)
+}
+
+/// Healthy per-frame cost of the fleet's tracker configuration on an
+/// `arrays`-wide pool (second frame, keyframe bootstrap excluded) —
+/// anchors the breaker session's deadline and backoff.
+fn calibrate_fleet_frame_cycles(builder: &PimMachineBuilder, arrays: usize) -> u64 {
+    let mut fleet = FleetScheduler::from_builder(builder, arrays);
+    fleet.add_session(
+        SessionId(1),
+        SessionSpec::new(chaos_tracker_config()).max_queue(2),
+    );
+    let cam = chaos_tracker_config().camera;
+    let mut last = 1;
+    for k in 0..2 {
+        let (g, d) = fleet_frame(&cam, 0, k);
+        fleet.submit_frame(SessionId(1), g, d).unwrap();
+        let o = fleet.step().unwrap().expect("calibration frame queued");
+        last = o.latency_cycles.max(1);
+    }
+    last
+}
+
+/// Drives one wave of the fleet: offers frame `k` to every session
+/// (full queues shed — that is part of the experiment), then runs up to
+/// `sessions` scheduler steps, recording outcomes and invariants.
+/// During a `blackout` wave, session 1's camera feed goes dark
+/// (featureless frames), driving its tracker through `Degraded` into
+/// `Lost` — the failure signal its circuit breaker counts.
+#[allow(clippy::too_many_arguments)]
+fn fleet_wave(
+    fleet: &mut FleetScheduler,
+    cam: &Pinhole,
+    sessions: usize,
+    k: usize,
+    blackout: bool,
+    max_bad: usize,
+    prev_states: &mut [TrackingState],
+    poses: &mut Vec<(u32, pimvo_vomath::SE3)>,
+    violations: &mut Vec<String>,
+) {
+    for s in 0..sessions {
+        let (g, d) = fleet_frame(cam, s, k);
+        let g = if blackout && s == 0 {
+            GrayImage::from_fn(cam.width, cam.height, |_, _| 0)
+        } else {
+            g
+        };
+        let _ = fleet.submit_frame(SessionId(s as u32 + 1), g, d);
+    }
+    for _ in 0..sessions {
+        let Some(o) = fleet.step().expect("scheduler step") else {
+            break;
+        };
+        let s = o.session.0 as usize - 1;
+        for v in check_frame(prev_states[s], &o.result, max_bad) {
+            violations.push(format!("session {}: {v}", o.session.0));
+        }
+        prev_states[s] = o.result.state;
+        poses.push((o.session.0, o.result.pose_wc));
+    }
+}
+
+/// Drives the fleet chaos soak: `sessions` tenants over one shared
+/// self-healing pool, through four acts —
+///
+/// 1. **warm-up** — clean serving, all arrays healthy;
+/// 2. **defect storm** — all but one array is quarantined, two of the
+///    victims grow persistent stuck-at defects (under the `fault`
+///    feature), a seeded transient fault burst rides the surviving
+///    array, and the breaker-armed session's camera feed blacks out:
+///    its tracker degrades into `Lost`, the breaker counts the failed
+///    frames, trips open, and the session is evicted mid-storm;
+/// 3. **rehabilitation** — a scrub pass march-tests the quarantined
+///    arrays, remaps defective rows onto spares, and re-admits them;
+///    capacity must return to its pre-storm value, and — vision
+///    restored — the tripped session must earn its slot back through a
+///    half-open probe frame;
+/// 4. **kill-and-recover** — the fleet is checkpointed to a
+///    [`pimvo_serve::FleetCheckpointStore`] manifest and dropped; a
+///    recovered fleet replays the remaining waves and must match the
+///    uninterrupted run bit-for-bit (pose delta 0, equal clocks).
+///
+/// Everything derives from `cfg.seed`; the emitted
+/// `BENCH_fleet_chaos.json` is byte-identical for a fixed seed.
+pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
+    fs::create_dir_all(&cfg.workdir)?;
+    let tracker_cfg = chaos_tracker_config();
+    let cam = tracker_cfg.camera;
+    let max_bad = tracker_cfg.recovery.max_bad_frames;
+    let n = cfg.sessions.max(1);
+    // f/4 storm waves must cover the breaker's 3-failure trip threshold
+    let f = cfg.frames_per_session.max(16);
+    let storm_at = f / 4;
+    let scrub_at = f / 2;
+    let kill_at = 3 * f / 4;
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    let builder = PimMachine::builder(ArrayConfig::qvga_banks(6)).spare_rows(4);
+    let healthy_cycles = calibrate_fleet_frame_cycles(&builder, cfg.arrays);
+
+    // session 1 carries the deadline and the circuit breaker; the rest
+    // are background tenants. The deadline must absorb a full wave of
+    // queue wait: a half-open probe is scheduled after every other
+    // session's frame, so a per-frame deadline tighter than one wave
+    // makes each probe "miss" on queue wait alone and the breaker can
+    // never close again.
+    let breaker = BreakerConfig {
+        failure_window: 8,
+        trip_threshold: 2,
+        backoff_base: healthy_cycles,
+        backoff_factor: 2,
+        backoff_max: healthy_cycles * 16,
+    };
+    let mut specs: Vec<(SessionId, SessionSpec)> = vec![(
+        SessionId(1),
+        SessionSpec::new(tracker_cfg.clone())
+            .deadline_cycles(healthy_cycles * (n as u64 + 2))
+            .max_queue(2)
+            .breaker(breaker),
+    )];
+    for s in 1..n {
+        specs.push((
+            SessionId(s as u32 + 1),
+            SessionSpec::new(tracker_cfg.clone()).max_queue(2),
+        ));
+    }
+
+    let mut fleet = FleetScheduler::from_builder(&builder, cfg.arrays);
+    for (id, spec) in &specs {
+        fleet.add_session(*id, spec.clone());
+    }
+    fleet.pool_mut().set_scrub(ScrubConfig {
+        interval_phases: 0, // the harness is the maintenance cadence
+        probation_phases: 3,
+    });
+
+    let mut prev_states = vec![TrackingState::Ok; n];
+    let mut poses: Vec<(u32, pimvo_vomath::SE3)> = Vec::new();
+    let mut violations = Vec::new();
+
+    // act 1: warm-up
+    for k in 0..storm_at {
+        fleet_wave(
+            &mut fleet,
+            &cam,
+            n,
+            k,
+            false,
+            max_bad,
+            &mut prev_states,
+            &mut poses,
+            &mut violations,
+        );
+    }
+    let pre_storm_available = fleet.pool_mut().available();
+
+    // act 2: defect storm — quarantine all but one array, two victims
+    // with persistent stuck-at defects, plus a transient burst on the
+    // survivor (upsets only fire under the `fault` feature; the model
+    // install keeps the RNG stream build-independent).
+    let quarantined = cfg.arrays.saturating_sub(1).max(1).min(cfg.arrays - 1);
+    for v in 0..quarantined {
+        if v < 2 {
+            let row = 1 + rng.below(40) as usize;
+            let bit = rng.below(32) as usize;
+            #[cfg(feature = "fault")]
+            fleet
+                .pool_mut()
+                .array_mut(v)
+                .inject_stuck_bit(row, bit, true);
+            #[cfg(not(feature = "fault"))]
+            let _ = (row, bit);
+        }
+        fleet
+            .pool_mut()
+            .try_quarantine(v)
+            .expect("storm victim index in range");
+    }
+    let survivor = quarantined; // the one array left standing
+    let burst_seed = rng.next_u64();
+    #[cfg(feature = "fault")]
+    let burst_model = FaultModel::transient(burst_seed, 1e-8);
+    #[cfg(not(feature = "fault"))]
+    let burst_model = {
+        let _ = burst_seed;
+        FaultModel::none()
+    };
+    fleet
+        .pool_mut()
+        .array_mut(survivor)
+        .set_fault_model(burst_model);
+    let storm_available = fleet.pool_mut().available();
+
+    for k in storm_at..scrub_at {
+        fleet_wave(
+            &mut fleet,
+            &cam,
+            n,
+            k,
+            true,
+            max_bad,
+            &mut prev_states,
+            &mut poses,
+            &mut violations,
+        );
+    }
+    let trips_during_storm = fleet.stats(SessionId(1)).expect("session 1").breaker_trips;
+
+    // act 3: rehabilitation — lift the burst, scrub the quarantined
+    // arrays back in (remapping the stuck rows onto spares)
+    fleet
+        .pool_mut()
+        .array_mut(survivor)
+        .set_fault_model(FaultModel::none());
+    let rehabbed = fleet.pool_mut().scrub_now();
+    let post_scrub_available = fleet.pool_mut().available();
+    if post_scrub_available != pre_storm_available {
+        violations.push(format!(
+            "capacity not restored: {post_scrub_available} available after scrub, \
+             {pre_storm_available} before the storm"
+        ));
+    }
+    for k in scrub_at..kill_at {
+        fleet_wave(
+            &mut fleet,
+            &cam,
+            n,
+            k,
+            false,
+            max_bad,
+            &mut prev_states,
+            &mut poses,
+            &mut violations,
+        );
+    }
+
+    // act 4: kill-and-recover — drain, checkpoint, then run the tail
+    // twice: uninterrupted, and replayed on a recovered fleet.
+    for o in fleet.run_until_idle().expect("drain before kill") {
+        let s = o.session.0 as usize - 1;
+        prev_states[s] = o.result.state;
+        poses.push((o.session.0, o.result.pose_wc));
+    }
+    let store =
+        FleetCheckpointStore::new(cfg.workdir.join(format!("fleet_{:016x}.ckpt", cfg.seed)));
+    store
+        .save(&fleet)
+        .map_err(|e| io::Error::other(e.to_string()))?;
+
+    let run_tail = |fleet: &mut FleetScheduler| -> (Vec<(u32, pimvo_vomath::SE3)>, u64) {
+        let mut tail: Vec<(u32, pimvo_vomath::SE3)> = Vec::new();
+        for k in kill_at..f {
+            for s in 0..n {
+                let (g, d) = fleet_frame(&cam, s, k);
+                let _ = fleet.submit_frame(SessionId(s as u32 + 1), g, d);
+            }
+            for o in fleet.run_until_idle().expect("tail wave") {
+                tail.push((o.session.0, o.result.pose_wc));
+            }
+        }
+        (tail, fleet.now_cycles())
+    };
+
+    let (tail_a, clock_a) = run_tail(&mut fleet);
+    let mut recovered = FleetScheduler::recover(&store, &builder, cfg.arrays, &specs)
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let (tail_b, clock_b) = run_tail(&mut recovered);
+
+    let mut pose_delta_max = 0.0f64;
+    if tail_a.len() != tail_b.len() {
+        violations.push(format!(
+            "recovery replay length mismatch: {} frames uninterrupted, {} recovered",
+            tail_a.len(),
+            tail_b.len()
+        ));
+    } else {
+        for (i, ((sa, pa), (sb, pb))) in tail_a.iter().zip(&tail_b).enumerate() {
+            if sa != sb {
+                violations.push(format!(
+                    "recovery replay order diverged at tail frame {i}: \
+                     session {sa} vs {sb}"
+                ));
+                break;
+            }
+            let dt = (pa.translation - pb.translation).norm();
+            pose_delta_max = pose_delta_max.max(dt);
+            if pa != pb {
+                violations.push(format!(
+                    "recovered pose differs at tail frame {i} (session {sa}, \
+                     |dt| = {dt:e})"
+                ));
+            }
+        }
+    }
+    if clock_a != clock_b {
+        violations.push(format!(
+            "recovered virtual clock diverged: {clock_a} vs {clock_b}"
+        ));
+    }
+    if pose_delta_max >= 1e-12 {
+        violations.push(format!(
+            "recovery pose delta {pose_delta_max:e} exceeds 1e-12"
+        ));
+    }
+
+    // invariant roll-up for the breaker story
+    let st1 = fleet.stats(SessionId(1)).expect("session 1").clone();
+    if st1.breaker_trips == 0 {
+        violations.push("breaker never tripped during the storm".into());
+    }
+    if !matches!(
+        fleet.breaker_state(SessionId(1)),
+        Some(BreakerState::Closed)
+    ) {
+        violations.push("tripped session did not recover to a closed breaker".into());
+    }
+    poses.extend(tail_a);
+    for (_, p) in &poses {
+        debug_assert!(p.translation.norm().is_finite());
+    }
+
+    let health = fleet.pool_mut().health();
+    let (mut completed, mut shed, mut misses, mut lost) = (0u64, 0u64, 0u64, 0u64);
+    for id in fleet.session_ids() {
+        let st = fleet.stats(id).expect("registered session");
+        completed += st.completed;
+        shed += st.shed;
+        misses += st.deadline_misses;
+        lost += st.lost_frames;
+    }
+
+    let mut report = BenchReport::new("fleet_chaos");
+    report
+        .note("seed", &format!("{:#018x}", cfg.seed))
+        .note("backend", "pim")
+        .note(
+            "acts",
+            "warm-up / defect storm + breaker trip / scrub + probe recovery / \
+             kill + manifest recovery",
+        )
+        .metric("sessions", n as f64)
+        .metric("arrays", cfg.arrays as f64)
+        .metric("frames_per_session", f as f64)
+        .metric("frames_completed", completed as f64)
+        .metric("frames_shed", shed as f64)
+        .metric("deadline_misses", misses as f64)
+        .metric("frames_lost", lost as f64)
+        .metric("pre_storm_available", pre_storm_available as f64)
+        .metric("storm_available", storm_available as f64)
+        .metric("post_scrub_available", post_scrub_available as f64)
+        .metric("arrays_rehabilitated", rehabbed as f64)
+        .metric("rows_remapped", health.total_remapped_rows() as f64)
+        .metric("scrub_passes", health.scrubs as f64)
+        .metric("breaker_trips", st1.breaker_trips as f64)
+        .metric("breaker_trips_during_storm", trips_during_storm as f64)
+        .metric("breaker_probes", st1.breaker_probes as f64)
+        .metric("session1_failures", st1.failures as f64)
+        .metric("pool_detected_session1", st1.pool_detected as f64)
+        .metric("replayed_tail_frames", (f - kill_at) as f64 * n as f64)
+        .metric("recovery_pose_delta_max", pose_delta_max)
+        .metric("final_virtual_cycles", clock_a as f64)
+        .metric("invariant_violations", violations.len() as f64);
+
+    let _ = fs::remove_file(store.path());
+    Ok(ChaosOutcome { report, violations })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +871,32 @@ mod tests {
         assert_eq!(a.report.to_json(), b.report.to_json());
         assert!(a.report.metrics()["restores"] + a.report.metrics()["reinit_fallbacks"] > 0.0);
         for d in [&cfg.workdir, &temp_dir("det_a")] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn fleet_chaos_recovers_capacity_and_replays_bit_identically() {
+        let mut cfg = FleetChaosConfig::new(7, 16, temp_dir("fleet_a"));
+        cfg.sessions = 2;
+        cfg.arrays = 3; // survivor = 1/3 capacity, safely past the 2x deadline
+        let a = run_fleet_chaos(&cfg).expect("fleet run a");
+        assert!(
+            a.passed(),
+            "violations: {:?}\nreport: {}",
+            a.violations,
+            a.report.to_json()
+        );
+        let m = a.report.metrics();
+        assert_eq!(m["post_scrub_available"], m["pre_storm_available"]);
+        assert!(m["breaker_trips"] >= 1.0);
+        assert!(m["breaker_probes"] >= 1.0);
+        assert_eq!(m["recovery_pose_delta_max"], 0.0);
+
+        cfg.workdir = temp_dir("fleet_b");
+        let b = run_fleet_chaos(&cfg).expect("fleet run b");
+        assert_eq!(a.report.to_json(), b.report.to_json(), "byte-identical");
+        for d in [&temp_dir("fleet_a"), &cfg.workdir.clone()] {
             let _ = std::fs::remove_dir_all(d);
         }
     }

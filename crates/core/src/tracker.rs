@@ -515,12 +515,19 @@ impl Tracker {
             None
         };
         if let (Some(snap), Some(pool)) = (&ckpt.pool, self.backend.pool_mut()) {
+            let n = snap.quarantined.len();
+            // probation/remap/scrub state is physical and not part of
+            // the checkpoint format; import_health ignores these fields
             let health = pimvo_pim::PoolHealth {
-                arrays: vec![pimvo_pim::FaultStatus::default(); snap.quarantined.len()],
+                arrays: vec![pimvo_pim::FaultStatus::default(); n],
                 quarantined: snap.quarantined.clone(),
                 retries: snap.retries,
                 redispatches: snap.redispatches,
                 dirty_accepted: snap.dirty_accepted,
+                probation: vec![0; n],
+                remapped_rows: vec![0; n],
+                scrubs: 0,
+                rehabilitated: 0,
             };
             pool.import_health(&health)
                 .map_err(|_| CheckpointError::Malformed("pool size mismatch"))?;

@@ -69,7 +69,7 @@ proptest! {
             pool: n_arrays,
             ..Default::default()
         });
-        runner.pool_mut().quarantine(quarantine % n_arrays);
+        runner.pool_mut().try_quarantine(quarantine % n_arrays).unwrap();
         let sharded = runner.submit(&feats, &pose, &kf, &cam).expect("healthy arrays remain");
 
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
@@ -238,8 +238,8 @@ mod injected {
             ..Default::default()
         };
         let mut backend = PimBackend::with_options(options);
-        backend.pool_mut().quarantine(0);
-        backend.pool_mut().quarantine(1);
+        backend.pool_mut().try_quarantine(0).unwrap();
+        backend.pool_mut().try_quarantine(1).unwrap();
         let config = TrackerConfig {
             max_features: 400,
             ..TrackerConfig::default()

@@ -58,6 +58,12 @@ pub struct CostModel {
     pub ecc_correct_pj: f64,
     /// Cycles per ECC single-bit correction on the compute path.
     pub ecc_correct_cycles: u64,
+    /// Energy of one scrub test-pattern row pass (pattern write, raw
+    /// readback, compare) on the maintenance port, in pJ. Two row
+    /// activations plus one datapath-wide compare.
+    pub scrub_row_pj: f64,
+    /// Cycles per scrub test-pattern row pass.
+    pub scrub_row_cycles: u64,
 }
 
 impl CostModel {
@@ -85,6 +91,10 @@ impl CostModel {
             ecc_check_cycles: 1,
             ecc_correct_pj: 47.2,
             ecc_correct_cycles: 2,
+            // write + readback row activations plus the compare in the
+            // shifter/adder: the march-test step of the scrub pass
+            scrub_row_pj: 944.8 * 2.0 + 38.2,
+            scrub_row_cycles: 3,
         }
     }
 

@@ -560,7 +560,7 @@ mod tests {
     fn unpinned_jobs_avoid_quarantined_arrays() {
         let mut p = pool(2);
         seed_rows(&mut p, &[1]);
-        p.quarantine(0);
+        p.try_quarantine(0).unwrap();
         let mut ex = PoolExecutor::new(&mut p);
         let h1 = ex.submit(Job::new(SessionId(1), "a", adds_program(1)));
         let h2 = ex.submit(Job::new(SessionId(1), "b", adds_program(1)));
@@ -575,7 +575,7 @@ mod tests {
         // honored exactly like the legacy run_programs_labeled path
         let mut p = pool(2);
         seed_rows(&mut p, &[1]);
-        p.quarantine(0);
+        p.try_quarantine(0).unwrap();
         let mut ex = PoolExecutor::new(&mut p);
         let h = ex.submit(Job::strip("pinned", adds_program(1)).pin(0));
         ex.drain().unwrap();
@@ -585,8 +585,8 @@ mod tests {
     #[test]
     fn all_quarantined_fails_unpinned_drain() {
         let mut p = pool(2);
-        p.quarantine(0);
-        p.quarantine(1);
+        p.try_quarantine(0).unwrap();
+        p.try_quarantine(1).unwrap();
         let mut ex = PoolExecutor::new(&mut p);
         ex.submit(Job::new(SessionId(1), "a", adds_program(1)));
         assert!(matches!(

@@ -267,6 +267,23 @@ impl FaultUnit {
         std::mem::take(&mut self.pending_corrections)
     }
 
+    /// Applies only the *persistent* (stuck-at) component of the model
+    /// to the raw readback `data` of physical `row` — the scrub
+    /// test-pattern path. A DC march test is sensitive to cell defects
+    /// but not to read upsets, so protection, the transient RNG stream,
+    /// the counters and the syndrome log are all left untouched: a
+    /// scrub pass never perturbs the deterministic transient stream.
+    pub(crate) fn apply_stuck_raw(&self, row: usize, data: &mut [u8]) {
+        for s in &self.model.stuck {
+            if s.row == row && s.bit / 8 < data.len() {
+                let cur = (data[s.bit / 8] >> (s.bit % 8)) & 1 == 1;
+                if cur != s.value {
+                    data[s.bit / 8] ^= 1 << (s.bit % 8);
+                }
+            }
+        }
+    }
+
     fn next_u64(&mut self) -> u64 {
         // xorshift64*
         let mut x = self.rng;

@@ -107,6 +107,6 @@ pub use lower::{
     lower, LowerError, LowerLevel, LoweredOp, LoweredProgram, MachineInstr, ScratchRows,
 };
 pub use machine::{PimError, PimMachine, PimMachineBuilder};
-pub use pool::{PimArrayPool, PoolHealth, RetryPolicy};
+pub use pool::{PimArrayPool, PoolHealth, RetryPolicy, ScrubConfig};
 pub use stats::{EnergyBreakdown, ExecStats, MemAccessBreakdown};
 pub use trace::{Trace, TraceEvent};

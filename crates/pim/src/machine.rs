@@ -73,6 +73,12 @@ pub enum PimError {
         /// Arrays in this pool.
         expected: usize,
     },
+    /// A row remap was requested but every reserved spare row is
+    /// already consumed — the array cannot be rehabilitated further.
+    SpareRowsExhausted {
+        /// Spare rows reserved at construction.
+        spares: usize,
+    },
 }
 
 impl fmt::Display for PimError {
@@ -117,6 +123,9 @@ impl fmt::Display for PimError {
                     "health snapshot describes {got} arrays but the pool has {expected}"
                 )
             }
+            PimError::SpareRowsExhausted { spares } => {
+                write!(f, "all {spares} spare rows are already remapped")
+            }
         }
     }
 }
@@ -141,7 +150,16 @@ impl std::error::Error for PimError {}
 pub struct PimMachine {
     config: ArrayConfig,
     cost: CostModel,
+    /// Physical row storage: `config.rows` logical rows followed by
+    /// `spare_rows` reserved spares for defect remapping.
     rows: Vec<Vec<u8>>,
+    /// Spare physical rows reserved beyond the logical geometry.
+    spare_rows: usize,
+    /// Spares consumed by remaps so far.
+    spares_used: usize,
+    /// Logical → physical row remap table; empty (identity) until a
+    /// persistent defect is remapped to a spare.
+    remap: BTreeMap<usize, usize>,
     tmp: Vec<i64>,
     /// Logical bit width of the Tmp Reg contents (doubles after `mul`).
     tmp_bits: u32,
@@ -187,6 +205,7 @@ pub struct PimMachineBuilder {
     tracing: bool,
     fault: FaultModel,
     protection: Protection,
+    spare_rows: usize,
 }
 
 impl PimMachineBuilder {
@@ -202,6 +221,7 @@ impl PimMachineBuilder {
             tracing: false,
             fault: FaultModel::none(),
             protection: Protection::None,
+            spare_rows: 0,
         }
     }
 
@@ -249,6 +269,14 @@ impl PimMachineBuilder {
         self
     }
 
+    /// Reserves `n` spare physical rows beyond the logical geometry for
+    /// defect remapping (see [`PimMachine::remap_row`]). The default is
+    /// zero: no spares, no remap table, the historical behaviour.
+    pub fn spare_rows(mut self, n: usize) -> Self {
+        self.spare_rows = n;
+        self
+    }
+
     /// Constructs the machine. The builder is reusable (`&self`), which
     /// is what lets a pool stamp out N identical arrays.
     pub fn build(&self) -> PimMachine {
@@ -257,6 +285,10 @@ impl PimMachineBuilder {
         m.set_tmp_regs(self.tmp_regs);
         m.set_tracing(self.tracing);
         m.fault = FaultUnit::new(self.fault.clone(), self.protection);
+        m.spare_rows = self.spare_rows;
+        let row_bytes = self.config.row_bytes();
+        m.rows
+            .extend(std::iter::repeat_with(|| vec![0u8; row_bytes]).take(self.spare_rows));
         m
     }
 }
@@ -280,6 +312,9 @@ impl PimMachine {
             config,
             cost,
             rows,
+            spare_rows: 0,
+            spares_used: 0,
+            remap: BTreeMap::new(),
             tmp: Vec::new(),
             tmp_bits: 8,
             extra_regs: Vec::new(),
@@ -411,6 +446,95 @@ impl PimMachine {
         self.fault.add_stuck_bit(row, bit, value);
     }
 
+    // ------------------------------------------------------------------
+    // Spare rows, remapping & scrub (self-healing maintenance port)
+    // ------------------------------------------------------------------
+
+    /// Spare physical rows reserved at construction
+    /// ([`PimMachineBuilder::spare_rows`]).
+    pub fn spare_rows(&self) -> usize {
+        self.spare_rows
+    }
+
+    /// Spare rows not yet consumed by a remap.
+    pub fn spares_available(&self) -> usize {
+        self.spare_rows - self.spares_used
+    }
+
+    /// Number of logical rows currently remapped to spares.
+    pub fn remapped_rows(&self) -> usize {
+        self.remap.len()
+    }
+
+    /// The logical → physical row remap table. Logical rows absent from
+    /// the table map to themselves; the table stays empty (and the row
+    /// decode pays nothing) until [`PimMachine::remap_row`] is called.
+    pub fn remap_table(&self) -> &BTreeMap<usize, usize> {
+        &self.remap
+    }
+
+    /// Remaps logical `row` to the next free spare physical row,
+    /// migrating the current raw cell contents (one read + one write
+    /// cycle on the maintenance port). Faults are physical: stuck bits
+    /// stay with the defective row, so the remapped logical row escapes
+    /// them. Remapping an already-remapped row allocates a fresh spare
+    /// and abandons the defective one. Returns the physical spare index.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::RowOutOfRange`] for a bad logical row,
+    /// [`PimError::SpareRowsExhausted`] when every spare is consumed.
+    pub fn remap_row(&mut self, row: usize) -> Result<usize, PimError> {
+        self.check_row(row)?;
+        if self.spares_used >= self.spare_rows {
+            return Err(PimError::SpareRowsExhausted {
+                spares: self.spare_rows,
+            });
+        }
+        let spare = self.config.rows + self.spares_used;
+        self.spares_used += 1;
+        let old = self.phys_row(row);
+        let data = self.rows[old].clone();
+        self.rows[spare] = data;
+        self.remap.insert(row, spare);
+        self.stats.cycles += 2;
+        self.stats.sram_reads += 1;
+        self.stats.sram_writes += 1;
+        Ok(spare)
+    }
+
+    /// One scrub (march-test) step: writes `pattern` into every byte of
+    /// logical `row` and reads it back through the *persistent* (DC)
+    /// component of the fault model, reporting whether the readback
+    /// matched. Transient upsets, protection and the syndrome log are
+    /// deliberately untouched — a scrub pass never perturbs the
+    /// deterministic transient fault stream. Destroys the row contents.
+    /// Charged at [`CostModel::scrub_row_cycles`] /
+    /// [`CostModel::scrub_row_pj`] via [`ExecStats::scrub_rows`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::RowOutOfRange`] for a bad logical row.
+    pub fn scrub_row(&mut self, row: usize, pattern: u8) -> Result<bool, PimError> {
+        self.check_row(row)?;
+        let phys = self.phys_row(row);
+        self.rows[phys].fill(pattern);
+        let mut data = self.rows[phys].clone();
+        self.fault.apply_stuck_raw(phys, &mut data);
+        self.stats.scrub_rows += 1;
+        self.stats.cycles += self.cost.scrub_row_cycles;
+        Ok(data.iter().all(|&b| b == pattern))
+    }
+
+    /// Charges a verify-on-read patrol over `rows` rows: one
+    /// ECC-strength syndrome re-check per row, the probation mode of
+    /// the pool's rehabilitation pass ([`crate::ScrubConfig`]). Pure
+    /// accounting — array contents are not touched.
+    pub fn charge_verify_patrol(&mut self, rows: u64) {
+        self.stats.ecc_checks += rows;
+        self.stats.cycles += self.cost.ecc_check_cycles * rows;
+    }
+
     /// Configures lane width and signedness for subsequent operations
     /// (run-time carry control, Fig. 6-c). Free: the carry masks are set
     /// by the instruction word.
@@ -522,8 +646,9 @@ impl PimMachine {
                 lanes: rb,
             });
         }
-        self.rows[row][..bytes.len()].copy_from_slice(bytes);
-        self.rows[row][bytes.len()..].fill(0);
+        let phys = self.phys_row(row);
+        self.rows[phys][..bytes.len()].copy_from_slice(bytes);
+        self.rows[phys][bytes.len()..].fill(0);
         self.stats.host_io_rows += 1;
         Ok(())
     }
@@ -548,7 +673,8 @@ impl PimMachine {
         self.check_row(row)?;
         let bits = self.width.bits();
         let bytes = self.width.bytes();
-        let row_data = &mut self.rows[row];
+        let phys = self.phys_row(row);
+        let row_data = &mut self.rows[phys];
         row_data.fill(0);
         for (i, &v) in values.iter().enumerate() {
             let raw = sat::wrap_unsigned(v, bits);
@@ -1189,7 +1315,8 @@ impl PimMachine {
             let raw = sat::wrap_unsigned(v, bits);
             data[i * bytes..(i + 1) * bytes].copy_from_slice(&raw.to_le_bytes()[..bytes]);
         }
-        self.rows[dst] = data;
+        let phys = self.phys_row(dst);
+        self.rows[phys] = data;
         let cycle_start = self.stats.cycles;
         self.stats.cycles += 1;
         self.stats.sram_writes += 1;
@@ -1408,7 +1535,19 @@ impl PimMachine {
     }
 
     fn decode_row(&self, row: usize) -> Vec<i64> {
-        self.decode_bytes(&self.rows[row])
+        self.decode_bytes(&self.rows[self.phys_row(row)])
+    }
+
+    /// Resolves a logical row to its physical storage row through the
+    /// remap table. Identity (and branch-predictable) while the table
+    /// is empty, so un-remapped machines pay nothing.
+    #[inline]
+    fn phys_row(&self, row: usize) -> usize {
+        if self.remap.is_empty() {
+            row
+        } else {
+            self.remap.get(&row).copied().unwrap_or(row)
+        }
     }
 
     /// Reads a row through the sense amplifiers, applying the fault
@@ -1421,8 +1560,11 @@ impl PimMachine {
         if self.fault.is_inert() {
             return self.decode_row(row);
         }
-        let mut data = self.rows[row].clone();
-        self.fault.apply_to_read(row, &mut data, host);
+        // faults live with the *physical* cells: a logical row remapped
+        // to a spare escapes the defective row's stuck bits
+        let phys = self.phys_row(row);
+        let mut data = self.rows[phys].clone();
+        self.fault.apply_to_read(phys, &mut data, host);
         self.decode_bytes(&data)
     }
 
@@ -1733,6 +1875,70 @@ mod tests {
 
     fn machine() -> PimMachine {
         PimMachine::new(ArrayConfig::qvga())
+    }
+
+    #[test]
+    fn spare_rows_default_zero_and_remap_exhausts() {
+        let mut m = machine();
+        assert_eq!(m.spare_rows(), 0);
+        assert_eq!(
+            m.remap_row(3),
+            Err(PimError::SpareRowsExhausted { spares: 0 })
+        );
+
+        let mut m = PimMachineBuilder::new(ArrayConfig::qvga())
+            .spare_rows(2)
+            .build();
+        assert_eq!(m.spares_available(), 2);
+        m.host_write_lanes(7, &[1, 2, 3]).unwrap();
+        let spare = m.remap_row(7).unwrap();
+        assert_eq!(spare, 256);
+        // contents migrate with the remap
+        assert_eq!(&m.host_read_lanes(7)[..3], &[1, 2, 3]);
+        assert_eq!(m.remapped_rows(), 1);
+        m.remap_row(9).unwrap();
+        assert_eq!(
+            m.remap_row(11),
+            Err(PimError::SpareRowsExhausted { spares: 2 })
+        );
+        assert_eq!(
+            m.remap_row(999).unwrap_err(),
+            PimError::RowOutOfRange {
+                row: 999,
+                rows: 256
+            }
+        );
+    }
+
+    #[test]
+    fn scrub_row_clean_without_defects_and_charges_cost() {
+        let mut m = machine();
+        let c0 = m.stats().cycles;
+        assert!(m.scrub_row(5, 0x55).unwrap());
+        assert!(m.scrub_row(5, 0xAA).unwrap());
+        assert_eq!(m.stats().scrub_rows, 2);
+        assert_eq!(m.stats().cycles - c0, 2 * m.cost_model().scrub_row_cycles);
+        let e = m.stats().energy(m.cost_model());
+        assert!(e.sram_pj >= 2.0 * m.cost_model().scrub_row_pj);
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn remap_escapes_stuck_bit_and_scrub_detects_it() {
+        let mut m = PimMachineBuilder::new(ArrayConfig::qvga())
+            .spare_rows(4)
+            .build();
+        m.inject_stuck_bit(3, 0, true); // LSB of lane 0 stuck at 1
+                                        // scrub sees the defect under the all-zeros pattern only when
+                                        // the stored value differs from the stuck value
+        assert!(!m.scrub_row(3, 0x00).unwrap());
+        assert!(m.scrub_row(3, 0xFF).unwrap());
+        m.host_write_lanes(3, &[0, 0]).unwrap();
+        assert_eq!(m.host_read_lanes(3)[0], 1, "stuck bit visible pre-remap");
+        m.remap_row(3).unwrap();
+        m.host_write_lanes(3, &[0, 0]).unwrap();
+        assert_eq!(m.host_read_lanes(3)[0], 0, "spare row escapes the defect");
+        assert!(m.scrub_row(3, 0x00).unwrap(), "remapped row scrubs clean");
     }
 
     #[test]

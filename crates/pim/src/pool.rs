@@ -43,8 +43,27 @@
 //! storm) — quarantines the array and re-dispatches the shard to a
 //! healthy one. [`PimArrayPool::health`] reports the per-array fault
 //! counters, the quarantined set and the retry/re-dispatch totals.
-//! Arrays can also be quarantined manually ([`PimArrayPool::quarantine`])
-//! e.g. from a manufacturing test; dispatch then simply skips them.
+//! Arrays can also be quarantined manually
+//! ([`PimArrayPool::try_quarantine`]) e.g. from a manufacturing test;
+//! dispatch then simply skips them.
+//!
+//! # Rehabilitation (scrub / remap / probation)
+//!
+//! Quarantine alone makes capacity monotonically shrink. The scrub
+//! pass ([`PimArrayPool::scrub_now`], or automatic every
+//! [`ScrubConfig::interval_phases`] resilient phases) is the repair
+//! driver: it march-tests every row of each quarantined array with
+//! test patterns ([`PimMachine::scrub_row`]), remaps rows that fail to
+//! the array's spare-row region ([`PimMachine::remap_row`]), and —
+//! when every row finally verifies clean — clears the fault counters
+//! and re-admits the array through a *probation* state: the array is
+//! dispatched again, but each resilient phase charges it a
+//! verify-on-read patrol and any new detected error restarts the
+//! probation countdown. After [`ScrubConfig::probation_phases`] clean
+//! phases the array regains full membership. Scrubbing destroys the
+//! array contents (re-admitted arrays come back zero-filled), which is
+//! safe because resilient shards are self-contained. An array whose
+//! defects outnumber its spares fails its scrub and stays quarantined.
 
 use crate::executor::{Job, JobHandle, PoolExecutor};
 use crate::fault::FaultStatus;
@@ -77,6 +96,36 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Configuration of the scrub/probation rehabilitation pass
+/// ([`PimArrayPool::scrub_now`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubConfig {
+    /// Resilient phases between automatic scrub passes. `0` (the
+    /// default) disables the automatic trigger; [`PimArrayPool::scrub_now`]
+    /// still works, so quarantine-only behaviour is fully preserved
+    /// until a host opts in.
+    pub interval_phases: u64,
+    /// Clean resilient phases a re-admitted array must complete under
+    /// verify-on-read before regaining full membership. Any new
+    /// detected error during probation restarts the countdown.
+    pub probation_phases: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            interval_phases: 0,
+            probation_phases: 3,
+        }
+    }
+}
+
+/// March-test patterns of one scrub pass, in order: alternating bit
+/// patterns catch stuck-at and simple coupling defects; the final
+/// all-zeros pass doubles as the row clear a re-admitted array starts
+/// from.
+const SCRUB_PATTERNS: [u8; 3] = [0x55, 0xAA, 0x00];
+
 /// Health report of a [`PimArrayPool`]: per-array fault counters, the
 /// quarantined set, and the pool's recovery activity.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +143,17 @@ pub struct PoolHealth {
     /// Shards accepted with detected-but-uncorrected errors after
     /// retries were exhausted on a non-persistent (transient) failure.
     pub dirty_accepted: u64,
+    /// Remaining clean phases each array must complete under
+    /// verify-on-read before regaining full membership (`0` = not in
+    /// probation), in array order.
+    pub probation: Vec<u64>,
+    /// Logical rows remapped to spares on each array, in array order.
+    pub remapped_rows: Vec<u64>,
+    /// Scrub passes run over the pool.
+    pub scrubs: u64,
+    /// Arrays re-admitted from quarantine by a scrub pass (cumulative;
+    /// an array rehabilitated twice counts twice).
+    pub rehabilitated: u64,
 }
 
 impl PoolHealth {
@@ -115,6 +175,16 @@ impl PoolHealth {
     /// Total ECC-corrected words across arrays.
     pub fn total_corrected(&self) -> u64 {
         self.arrays.iter().map(|s| s.corrected).sum()
+    }
+
+    /// Number of arrays currently in probation.
+    pub fn probation_count(&self) -> usize {
+        self.probation.iter().filter(|&&p| p > 0).count()
+    }
+
+    /// Total logical rows remapped to spares across arrays.
+    pub fn total_remapped_rows(&self) -> u64 {
+        self.remapped_rows.iter().sum()
     }
 }
 
@@ -148,6 +218,18 @@ pub struct PimArrayPool {
     retries: u64,
     redispatches: u64,
     dirty_accepted: u64,
+    scrub: ScrubConfig,
+    phases_since_scrub: u64,
+    /// Remaining clean probation phases per array (0 = full member).
+    probation: Vec<u64>,
+    /// Arrays whose current healthy state came from a scrub
+    /// re-admission; guards [`PimArrayPool::import_health`] against
+    /// stale snapshots re-quarantining a repaired array. Cleared by a
+    /// new quarantine.
+    rehabilitated: Vec<bool>,
+    scrubs: u64,
+    rehabilitations: u64,
+    scrub_cycles: u64,
     telemetry: Telemetry,
 }
 
@@ -178,6 +260,13 @@ impl PimArrayPool {
             retries: 0,
             redispatches: 0,
             dirty_accepted: 0,
+            scrub: ScrubConfig::default(),
+            phases_since_scrub: 0,
+            probation: vec![0; n],
+            rehabilitated: vec![false; n],
+            scrubs: 0,
+            rehabilitations: 0,
+            scrub_cycles: 0,
             telemetry: Telemetry::off(),
         }
     }
@@ -465,39 +554,41 @@ impl PimArrayPool {
         self.policy = policy;
     }
 
-    /// Manually quarantines array `i`: [`PimArrayPool::run_phase_resilient`]
-    /// stops dispatching shards to it. Contents and statistics are kept.
+    /// Quarantines array `i`: [`PimArrayPool::run_phase_resilient`]
+    /// stops dispatching shards to it. Contents and statistics are
+    /// kept; any probation state and rehabilitation mark are cleared
+    /// (this is a *new* defect verdict, not the old one resurfacing).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `i` is out of range; host code driven by external
-    /// input (chaos drivers, health imports) should use
-    /// [`PimArrayPool::try_quarantine`].
-    pub fn quarantine(&mut self, i: usize) {
-        self.try_quarantine(i)
-            .unwrap_or_else(|e| panic!("quarantine: {e}"));
-    }
-
-    /// Fallible [`PimArrayPool::quarantine`]: rejects an out-of-range
-    /// array index with [`PimError::ArrayOutOfRange`] instead of
-    /// panicking, so host-driven callers (checkpoint restore, chaos
-    /// harnesses) can recover.
+    /// [`PimError::ArrayOutOfRange`] for a bad array index, so
+    /// host-driven callers (checkpoint restore, chaos harnesses) can
+    /// recover instead of panicking.
     pub fn try_quarantine(&mut self, i: usize) -> Result<(), PimError> {
-        match self.quarantined.get_mut(i) {
-            Some(q) => {
-                *q = true;
-                Ok(())
-            }
-            None => Err(PimError::ArrayOutOfRange {
+        if i >= self.arrays.len() {
+            return Err(PimError::ArrayOutOfRange {
                 index: i,
                 arrays: self.arrays.len(),
-            }),
+            });
         }
+        self.mark_quarantined(i);
+        Ok(())
+    }
+
+    /// Quarantine with the bookkeeping every quarantine path shares:
+    /// a fresh defect verdict voids probation and the rehabilitation
+    /// mark.
+    fn mark_quarantined(&mut self, i: usize) {
+        self.quarantined[i] = true;
+        self.probation[i] = 0;
+        self.rehabilitated[i] = false;
     }
 
     /// Lifts the quarantine on array `i`, returning it to the dispatch
-    /// set (e.g. after an external repair action, or a chaos harness
-    /// ending a quarantine storm). Fault counters are kept.
+    /// set. The scrub pass ([`PimArrayPool::scrub_now`]) is the
+    /// automated driver; manual callers model an external repair
+    /// action or a chaos harness ending a quarantine storm. Fault
+    /// counters are kept.
     pub fn unquarantine(&mut self, i: usize) -> Result<(), PimError> {
         match self.quarantined.get_mut(i) {
             Some(q) => {
@@ -522,10 +613,18 @@ impl PimArrayPool {
 
     /// Applies a previously exported health snapshot: the quarantine
     /// flags and pool-level recovery counters of
-    /// [`PimArrayPool::health`]. Per-array [`FaultStatus`] counters
-    /// describe the *physical* arrays' past and are deliberately not
-    /// imported. Used by checkpoint restore so a resumed run keeps
-    /// avoiding arrays quarantined before the snapshot.
+    /// [`PimArrayPool::health`]. Per-array [`FaultStatus`] counters,
+    /// probation state and remap tables describe the *physical*
+    /// arrays' past and are deliberately not imported. Used by
+    /// checkpoint restore so a resumed run keeps avoiding arrays
+    /// quarantined before the snapshot.
+    ///
+    /// An array that a scrub pass rehabilitated *after* the snapshot
+    /// was taken keeps its healthy state: the snapshot's stale
+    /// quarantine flag records the defect the scrub already repaired,
+    /// so re-applying it would silently undo the repair. A quarantine
+    /// that post-dates the rehabilitation clears the mark
+    /// ([`PimArrayPool::try_quarantine`]) and imports normally again.
     ///
     /// # Errors
     ///
@@ -539,7 +638,16 @@ impl PimArrayPool {
                 expected: self.arrays.len(),
             });
         }
-        self.quarantined.copy_from_slice(&health.quarantined);
+        for (i, &q) in health.quarantined.iter().enumerate() {
+            if q && self.rehabilitated[i] && !self.quarantined[i] {
+                continue; // rehabilitated since the snapshot: stays healthy
+            }
+            self.quarantined[i] = q;
+            if q {
+                self.probation[i] = 0;
+                self.rehabilitated[i] = false;
+            }
+        }
         self.retries = health.retries;
         self.redispatches = health.redispatches;
         self.dirty_accepted = health.dirty_accepted;
@@ -558,6 +666,13 @@ impl PimArrayPool {
         self.quarantined.iter().filter(|&&q| !q).count()
     }
 
+    /// Arrays currently available for dispatch — healthy arrays,
+    /// including probation members (they serve, just with verify-on-read
+    /// overhead). The capacity figure the fleet chaos soak tracks.
+    pub fn available(&self) -> usize {
+        self.healthy_len()
+    }
+
     /// Snapshot of the pool's fault/recovery state.
     pub fn health(&self) -> PoolHealth {
         PoolHealth {
@@ -566,7 +681,102 @@ impl PimArrayPool {
             retries: self.retries,
             redispatches: self.redispatches,
             dirty_accepted: self.dirty_accepted,
+            probation: self.probation.clone(),
+            remapped_rows: self
+                .arrays
+                .iter()
+                .map(|m| m.remapped_rows() as u64)
+                .collect(),
+            scrubs: self.scrubs,
+            rehabilitated: self.rehabilitations,
         }
+    }
+
+    /// Current scrub/probation configuration.
+    pub fn scrub_config(&self) -> ScrubConfig {
+        self.scrub
+    }
+
+    /// Replaces the scrub/probation configuration. A non-zero
+    /// [`ScrubConfig::interval_phases`] arms the automatic trigger in
+    /// [`PimArrayPool::run_phase_resilient`].
+    pub fn set_scrub(&mut self, scrub: ScrubConfig) {
+        self.scrub = scrub;
+    }
+
+    /// Remaining probation phases of array `i` (`0` = full member).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probation(&self, i: usize) -> u64 {
+        self.probation[i]
+    }
+
+    /// Compute cycles spent in scrub passes so far (maintenance-port
+    /// work on quarantined arrays; runs concurrently with foreground
+    /// phases, so it is charged to the per-array [`ExecStats`] — and
+    /// through them to energy — but not to the wall clock).
+    pub fn scrub_cycles(&self) -> u64 {
+        self.scrub_cycles
+    }
+
+    /// Runs one scrub pass now over every quarantined array: march-test
+    /// each row with the scrub test patterns, remap rows that fail to
+    /// spares, and re-admit arrays that end up fully clean into
+    /// probation (fault counters and syndrome log reset, contents
+    /// zeroed). Arrays whose defects exhaust the spare region stay
+    /// quarantined. Returns the number of arrays re-admitted.
+    pub fn scrub_now(&mut self) -> usize {
+        if self.quarantined.iter().all(|&q| !q) {
+            return 0;
+        }
+        self.scrubs += 1;
+        let mut readmitted = 0;
+        for i in 0..self.arrays.len() {
+            if !self.quarantined[i] {
+                continue;
+            }
+            let cyc0 = self.arrays[i].stats().cycles;
+            let clean = self.scrub_array(i);
+            self.scrub_cycles += self.arrays[i].stats().cycles - cyc0;
+            if clean {
+                self.arrays[i].reset_fault_status();
+                self.quarantined[i] = false;
+                self.probation[i] = self.scrub.probation_phases;
+                self.rehabilitated[i] = true;
+                self.rehabilitations += 1;
+                readmitted += 1;
+                self.event_rehabilitated(i);
+            } else {
+                self.event_scrub_failed(i);
+            }
+        }
+        readmitted
+    }
+
+    /// March-tests every logical row of array `i`, remapping failing
+    /// rows to spares (re-testing the spare each time). True when the
+    /// whole array verifies clean; false as soon as a defective row
+    /// cannot be remapped (spares exhausted).
+    fn scrub_array(&mut self, i: usize) -> bool {
+        let rows = self.arrays[i].config().rows;
+        for row in 0..rows {
+            loop {
+                let clean = SCRUB_PATTERNS.iter().all(|&p| {
+                    self.arrays[i]
+                        .scrub_row(row, p)
+                        .expect("scrub row index in range")
+                });
+                if clean {
+                    break;
+                }
+                if self.arrays[i].remap_row(row).is_err() {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Runs one parallel phase over the *healthy* arrays with fault
@@ -624,6 +834,15 @@ impl PimArrayPool {
     {
         let _wall = self.telemetry.span("pool", label);
         let wall_start = self.wall_cycles;
+        // automatic rehabilitation: the scrub pass runs *before* the
+        // healthy check, so it can rescue an all-quarantined pool
+        if self.scrub.interval_phases > 0 {
+            self.phases_since_scrub += 1;
+            if self.phases_since_scrub >= self.scrub.interval_phases {
+                self.phases_since_scrub = 0;
+                self.scrub_now();
+            }
+        }
         let healthy = self.healthy_arrays();
         if healthy.is_empty() {
             return Err(PimError::AllArraysQuarantined {
@@ -704,7 +923,7 @@ impl PimArrayPool {
                 continue;
             }
             // persistent defect: quarantine and re-dispatch
-            self.quarantined[i] = true;
+            self.mark_quarantined(i);
             self.event_quarantine(label, i);
             let mut placed = false;
             for j in 0..self.arrays.len() {
@@ -732,7 +951,7 @@ impl PimArrayPool {
                     break;
                 }
                 if self.is_persistent(j, &log_j) {
-                    self.quarantined[j] = true;
+                    self.mark_quarantined(j);
                     self.event_quarantine(label, j);
                 } else {
                     self.dirty_accepted += 1;
@@ -745,6 +964,29 @@ impl PimArrayPool {
                 return Err(PimError::AllArraysQuarantined {
                     arrays: self.arrays.len(),
                 });
+            }
+        }
+        // probation bookkeeping, in shard order: each probation member
+        // is charged a serial verify-on-read patrol over its rows; a
+        // phase with any new detected error restarts the countdown, a
+        // clean phase counts toward full membership
+        for shard in 0..healthy.len() {
+            let i = healthy[shard];
+            if self.probation[i] == 0 || self.quarantined[i] {
+                continue;
+            }
+            let rows = self.arrays[i].config().rows as u64;
+            let cyc0 = self.arrays[i].stats().cycles;
+            self.arrays[i].charge_verify_patrol(rows);
+            self.wall_cycles += self.arrays[i].stats().cycles - cyc0;
+            if self.arrays[i].fault_status().detected > det_before[shard] {
+                self.probation[i] = self.scrub.probation_phases.max(1);
+                self.event_probation_reset(label, i);
+            } else {
+                self.probation[i] -= 1;
+                if self.probation[i] == 0 {
+                    self.event_probation_cleared(label, i);
+                }
             }
         }
         if self.telemetry.is_enabled() {
@@ -822,6 +1064,67 @@ impl PimArrayPool {
         );
     }
 
+    fn event_rehabilitated(&self, array: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_add("pimvo_pool_rehabilitated_total", 1.0);
+        self.telemetry.log(
+            Severity::Info,
+            "pool array rehabilitated (scrub clean, entering probation)",
+            &[
+                ("array", array.to_string()),
+                (
+                    "remapped_rows",
+                    self.arrays[array].remapped_rows().to_string(),
+                ),
+            ],
+        );
+    }
+
+    fn event_scrub_failed(&self, array: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_add("pimvo_pool_scrub_failures_total", 1.0);
+        self.telemetry.log(
+            Severity::Warn,
+            "pool array failed scrub (spares exhausted), stays quarantined",
+            &[
+                ("array", array.to_string()),
+                ("spares", self.arrays[array].spares_available().to_string()),
+            ],
+        );
+    }
+
+    fn event_probation_reset(&self, label: &str, array: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_add("pimvo_pool_probation_resets_total", 1.0);
+        self.telemetry.log(
+            Severity::Warn,
+            "probation array detected errors, countdown restarted",
+            &[("phase", label.to_string()), ("array", array.to_string())],
+        );
+    }
+
+    fn event_probation_cleared(&self, label: &str, array: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_add("pimvo_pool_probation_cleared_total", 1.0);
+        self.telemetry.log(
+            Severity::Info,
+            "probation array regained full membership",
+            &[("phase", label.to_string()), ("array", array.to_string())],
+        );
+    }
+
     /// Publishes the pool's health and clock state as telemetry gauges
     /// (`pimvo_pool_*`): healthy/quarantined array counts, detected and
     /// corrected error totals, recovery activity and wall cycles. A
@@ -843,8 +1146,37 @@ impl PimArrayPool {
         t.gauge_set("pimvo_pool_retries", h.retries as f64);
         t.gauge_set("pimvo_pool_redispatches", h.redispatches as f64);
         t.gauge_set("pimvo_pool_dirty_accepted", h.dirty_accepted as f64);
+        t.gauge_set("pimvo_pool_probation_arrays", h.probation_count() as f64);
+        t.gauge_set("pimvo_pool_remapped_rows", h.total_remapped_rows() as f64);
+        t.gauge_set("pimvo_pool_scrubs", h.scrubs as f64);
+        t.gauge_set("pimvo_pool_rehabilitated", h.rehabilitated as f64);
         t.gauge_set("pimvo_pool_wall_cycles", self.wall_cycles as f64);
         t.gauge_set("pimvo_pool_barriers", self.barriers as f64);
+    }
+
+    /// Restores the wall-cycle clock from a fleet checkpoint during
+    /// crash recovery, so the virtual time base resumes where the fleet
+    /// left off. Outside recovery the clock only ever advances.
+    pub fn restore_wall_cycles(&mut self, cycles: u64) {
+        self.wall_cycles = cycles;
+    }
+
+    /// Restores per-array probation countdowns from a fleet checkpoint
+    /// during crash recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::PoolSizeMismatch`] when `probation` does not match
+    /// the pool's array count; the pool is left unchanged.
+    pub fn restore_probation(&mut self, probation: &[u64]) -> Result<(), PimError> {
+        if probation.len() != self.arrays.len() {
+            return Err(PimError::PoolSizeMismatch {
+                got: probation.len(),
+                expected: self.arrays.len(),
+            });
+        }
+        self.probation.copy_from_slice(probation);
+        Ok(())
     }
 
     /// Re-runs shard `shard` on array `i` serially, charging its full
@@ -958,7 +1290,7 @@ mod tests {
     #[test]
     fn import_health_round_trips_and_checks_size() {
         let mut p = pool(3);
-        p.quarantine(2);
+        p.try_quarantine(2).unwrap();
         let mut h = p.health();
         h.retries = 7;
         h.redispatches = 2;
@@ -1064,7 +1396,7 @@ mod tests {
         let tele = Telemetry::with_clock(Box::new(pimvo_telemetry::ManualClock::with_step(1)));
         let mut p = pool(3);
         p.set_telemetry(tele.clone());
-        p.quarantine(1);
+        p.try_quarantine(1).unwrap();
         p.run_phase_labeled("s", |_, m| {
             m.host_broadcast(0, 1).unwrap();
             m.load(Operand::Row(0));
@@ -1103,7 +1435,7 @@ mod tests {
     #[test]
     fn quarantined_arrays_are_skipped() {
         let mut p = pool(3);
-        p.quarantine(1);
+        p.try_quarantine(1).unwrap();
         assert!(p.is_quarantined(1));
         assert_eq!(p.healthy_arrays(), vec![0, 2]);
         assert_eq!(p.healthy_len(), 2);
@@ -1116,7 +1448,7 @@ mod tests {
     #[test]
     fn single_healthy_array_charges_no_sync() {
         let mut p = pool(2);
-        p.quarantine(0);
+        p.try_quarantine(0).unwrap();
         p.run_phase_resilient(|_, m| {
             m.host_write_lanes(0, &[1]).unwrap();
             m.add(Operand::Row(0), Operand::Row(0));
@@ -1129,11 +1461,117 @@ mod tests {
     #[test]
     fn all_quarantined_is_an_error() {
         let mut p = pool(2);
-        p.quarantine(0);
-        p.quarantine(1);
+        p.try_quarantine(0).unwrap();
+        p.try_quarantine(1).unwrap();
         let err = p.run_phase_resilient(|_, _| ()).unwrap_err();
         assert!(matches!(err, PimError::AllArraysQuarantined { arrays: 2 }));
         assert!(err.to_string().contains("quarantined"));
+    }
+
+    #[test]
+    fn scrub_rehabilitates_clean_array_through_probation() {
+        let mut p = pool(2);
+        p.try_quarantine(0).unwrap();
+        assert_eq!(p.available(), 1);
+
+        let readmitted = p.scrub_now();
+        assert_eq!(readmitted, 1);
+        assert_eq!(p.available(), 2);
+        assert_eq!(p.probation(0), ScrubConfig::default().probation_phases);
+        let h = p.health();
+        assert_eq!(h.scrubs, 1);
+        assert_eq!(h.rehabilitated, 1);
+        assert_eq!(h.probation_count(), 1);
+        assert_eq!(h.total_remapped_rows(), 0);
+        // the march test charged every row × every pattern
+        let rows = p.array(0).config().rows as u64;
+        assert_eq!(
+            p.merged_stats().scrub_rows,
+            rows * SCRUB_PATTERNS.len() as u64
+        );
+        assert!(p.scrub_cycles() > 0);
+
+        // clean phases count the probation down to full membership,
+        // each charging a verify-on-read patrol
+        let ecc0 = p.merged_stats().ecc_checks;
+        for _ in 0..ScrubConfig::default().probation_phases {
+            p.run_phase_resilient(|_, m| {
+                m.host_broadcast(0, 1).unwrap();
+                m.load(Operand::Row(0));
+            })
+            .unwrap();
+        }
+        assert_eq!(p.probation(0), 0);
+        assert_eq!(p.health().probation_count(), 0);
+        assert_eq!(p.merged_stats().ecc_checks - ecc0, rows * 3);
+    }
+
+    #[test]
+    fn scrub_with_nothing_quarantined_is_free() {
+        let mut p = pool(2);
+        assert_eq!(p.scrub_now(), 0);
+        assert_eq!(p.health().scrubs, 0);
+        assert_eq!(p.merged_stats().scrub_rows, 0);
+    }
+
+    #[test]
+    fn auto_scrub_rescues_all_quarantined_pool() {
+        let mut p = pool(2);
+        p.set_scrub(ScrubConfig {
+            interval_phases: 1,
+            probation_phases: 0,
+        });
+        p.try_quarantine(0).unwrap();
+        p.try_quarantine(1).unwrap();
+        // the automatic scrub runs before the healthy check, so the
+        // phase succeeds instead of AllArraysQuarantined
+        let ids = p.run_phase_resilient(|shard, _| shard).unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(p.health().rehabilitated, 2);
+    }
+
+    /// Satellite regression: restoring a health snapshot taken while an
+    /// array was quarantined must not re-quarantine it after a scrub
+    /// pass rehabilitated it — but a *new* quarantine verdict clears
+    /// the protection.
+    #[test]
+    fn import_health_does_not_requarantine_rehabilitated_array() {
+        let mut p = pool(2);
+        p.try_quarantine(1).unwrap();
+        let stale = p.health();
+
+        assert_eq!(p.scrub_now(), 1);
+        assert!(!p.is_quarantined(1));
+        p.import_health(&stale).unwrap();
+        assert!(
+            !p.is_quarantined(1),
+            "stale snapshot must not undo a rehabilitation"
+        );
+        // counters still import
+        assert_eq!(p.health().retries, stale.retries);
+
+        // a fresh quarantine clears the rehabilitation mark: the stale
+        // snapshot applies normally again afterwards
+        p.try_quarantine(1).unwrap();
+        p.unquarantine(1).unwrap();
+        p.import_health(&stale).unwrap();
+        assert!(p.is_quarantined(1));
+    }
+
+    #[test]
+    fn restore_probation_checks_size() {
+        let mut p = pool(2);
+        p.restore_probation(&[2, 0]).unwrap();
+        assert_eq!(p.probation(0), 2);
+        assert!(matches!(
+            p.restore_probation(&[1, 2, 3]),
+            Err(PimError::PoolSizeMismatch {
+                got: 3,
+                expected: 2
+            })
+        ));
+        p.restore_wall_cycles(777);
+        assert_eq!(p.wall_cycles(), 777);
     }
 
     #[cfg(feature = "fault")]
@@ -1181,6 +1619,40 @@ mod tests {
             // further phases keep running on the surviving array
             let again = p.run_phase_resilient(|shard, _| shard).unwrap();
             assert_eq!(again, vec![0]);
+        }
+
+        /// The scrub pass finds a stuck row, remaps it to a spare, and
+        /// restores full pool capacity; an array with more defective
+        /// rows than spares fails its scrub and stays quarantined.
+        #[test]
+        fn scrub_remaps_stuck_rows_and_restores_capacity() {
+            let builder = PimMachineBuilder::new(ArrayConfig::qvga()).spare_rows(2);
+            let mut p = builder.build_pool(2);
+            p.array_mut(0).inject_stuck_bit(3, 0, true);
+            p.try_quarantine(0).unwrap();
+            assert_eq!(p.available(), 1);
+
+            assert_eq!(p.scrub_now(), 1);
+            assert_eq!(p.available(), 2);
+            let h = p.health();
+            assert_eq!(h.remapped_rows, vec![1, 0]);
+            assert_eq!(h.total_remapped_rows(), 1);
+            // the repaired array reads the remapped row cleanly
+            let lanes = p
+                .run_phase_resilient(|_, m| {
+                    m.host_write_lanes(3, &[0, 0]).unwrap();
+                    m.host_read_lanes(3)[0]
+                })
+                .unwrap();
+            assert_eq!(lanes, vec![0, 0], "stuck bit must be remapped away");
+
+            // three stuck rows overwhelm the one remaining spare
+            p.array_mut(0).inject_stuck_bit(7, 0, true);
+            p.array_mut(0).inject_stuck_bit(9, 0, true);
+            p.try_quarantine(0).unwrap();
+            assert_eq!(p.scrub_now(), 0);
+            assert!(p.is_quarantined(0));
+            assert_eq!(p.available(), 1);
         }
 
         /// Arrays get forked fault streams: the same seed must not

@@ -31,6 +31,9 @@ pub struct ExecStats {
     pub ecc_checks: u64,
     /// ECC single-bit corrections performed on the compute path.
     pub ecc_corrections: u64,
+    /// Scrub test-pattern row passes on the maintenance port (array
+    /// rehabilitation after quarantine); zero outside scrub passes.
+    pub scrub_rows: u64,
     /// Macro-op histogram.
     pub op_histogram: BTreeMap<OpClass, u64>,
 }
@@ -90,6 +93,7 @@ impl ExecStats {
             parity_checks: self.parity_checks.checked_sub(earlier.parity_checks)?,
             ecc_checks: self.ecc_checks.checked_sub(earlier.ecc_checks)?,
             ecc_corrections: self.ecc_corrections.checked_sub(earlier.ecc_corrections)?,
+            scrub_rows: self.scrub_rows.checked_sub(earlier.scrub_rows)?,
             op_histogram: hist,
         })
     }
@@ -105,6 +109,7 @@ impl ExecStats {
         self.parity_checks += other.parity_checks;
         self.ecc_checks += other.ecc_checks;
         self.ecc_corrections += other.ecc_corrections;
+        self.scrub_rows += other.scrub_rows;
         for (k, v) in &other.op_histogram {
             *self.op_histogram.entry(*k).or_insert(0) += v;
         }
@@ -128,6 +133,7 @@ impl ExecStats {
             parity_checks: self.parity_checks * factor,
             ecc_checks: self.ecc_checks * factor,
             ecc_corrections: self.ecc_corrections * factor,
+            scrub_rows: self.scrub_rows * factor,
             op_histogram: hist,
         }
     }
@@ -151,6 +157,7 @@ impl ExecStats {
             parity_checks: self.parity_checks / den,
             ecc_checks: self.ecc_checks / den,
             ecc_corrections: self.ecc_corrections / den,
+            scrub_rows: self.scrub_rows / den,
             op_histogram: hist,
         }
     }
@@ -167,6 +174,7 @@ impl ExecStats {
         self.parity_checks = self.parity_checks.saturating_sub(other.parity_checks);
         self.ecc_checks = self.ecc_checks.saturating_sub(other.ecc_checks);
         self.ecc_corrections = self.ecc_corrections.saturating_sub(other.ecc_corrections);
+        self.scrub_rows = self.scrub_rows.saturating_sub(other.scrub_rows);
         for (k, v) in &other.op_histogram {
             if let Some(mine) = self.op_histogram.get_mut(k) {
                 *mine = mine.saturating_sub(*v);
@@ -177,7 +185,8 @@ impl ExecStats {
     /// Energy decomposition per component (Fig. 10-a).
     pub fn energy(&self, cost: &CostModel) -> EnergyBreakdown {
         let sram = (self.sram_reads as f64) * cost.sram_read_pj
-            + (self.sram_writes as f64) * cost.sram_write_pj;
+            + (self.sram_writes as f64) * cost.sram_write_pj
+            + (self.scrub_rows as f64) * cost.scrub_row_pj;
         let shifter_adder = (self.acc_ops as f64) * cost.shifter_adder_pj;
         let tmp_reg = (self.tmp_accesses as f64) * cost.tmp_reg_pj;
         let ecc = (self.parity_checks as f64) * cost.parity_check_pj

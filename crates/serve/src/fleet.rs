@@ -3,11 +3,35 @@
 //! scheduling, degrade-ladder load shedding and checkpoint eviction.
 
 use crate::session::{ServeError, SessionSpec, SessionStats, StepOutcome};
-use pimvo_core::{BackendKind, Checkpoint, DegradeRung, Tracker, TrackerBuilder};
+use pimvo_core::{BackendKind, Checkpoint, DegradeRung, Tracker, TrackerBuilder, TrackingState};
 use pimvo_kernels::{DepthImage, GrayImage};
 use pimvo_pim::{ArrayConfig, PimArrayPool, PimMachine, PimMachineBuilder, SessionId};
-use pimvo_telemetry::Telemetry;
+use pimvo_telemetry::{Severity, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
+
+/// Circuit-breaker state of one session
+/// ([`crate::BreakerConfig`] on the spec arms it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving normally.
+    Closed,
+    /// Tripped: the session is not scheduled until the fleet's virtual
+    /// clock reaches `until`.
+    Open {
+        /// Virtual cycle at which the open interval elapses.
+        until: u64,
+        /// The open interval that was applied (doubles per failed
+        /// probe, up to [`crate::BreakerConfig::backoff_max`]).
+        backoff: u64,
+    },
+    /// Backoff elapsed: the session's next frame runs as a single
+    /// probe — success closes the breaker, failure re-trips it with a
+    /// longer backoff.
+    HalfOpen {
+        /// The open interval the last trip applied.
+        backoff: u64,
+    },
+}
 
 /// Residency of a session's tracker state.
 enum Residency {
@@ -37,6 +61,10 @@ struct Session {
     stats: SessionStats,
     /// Ladder rung the fleet pins the session to (load shedding).
     shed_rung: DegradeRung,
+    breaker: BreakerState,
+    /// Completed-frame counter values at recent failures, pruned to
+    /// the breaker's failure window.
+    failure_marks: VecDeque<u64>,
 }
 
 /// Deterministic multi-tenant scheduler over one shared array pool.
@@ -101,6 +129,8 @@ impl FleetScheduler {
                 queue: VecDeque::new(),
                 stats: SessionStats::default(),
                 shed_rung: DegradeRung::Full,
+                breaker: BreakerState::Closed,
+                failure_marks: VecDeque::new(),
             },
         );
         assert!(prev.is_none(), "session {} already registered", id.0);
@@ -114,6 +144,19 @@ impl FleetScheduler {
     /// Shared view of the fleet pool.
     pub fn pool(&self) -> &PimArrayPool {
         &self.shared
+    }
+
+    /// Exclusive access to the shared fleet pool — fault-injection
+    /// harnesses and scrub/quarantine drivers reach the pool through
+    /// here between frames.
+    pub fn pool_mut(&mut self) -> &mut PimArrayPool {
+        &mut self.shared
+    }
+
+    /// The session's circuit-breaker state ([`BreakerState::Closed`]
+    /// for sessions without a breaker armed).
+    pub fn breaker_state(&self, id: SessionId) -> Option<BreakerState> {
+        self.sessions.get(&id).map(|s| s.breaker)
     }
 
     /// Registered session ids, in order.
@@ -193,13 +236,23 @@ impl FleetScheduler {
     /// [`ServeError::Restore`] if the chosen session was evicted and
     /// its checkpoint fails to restore (the frame stays queued).
     pub fn step(&mut self) -> Result<Option<StepOutcome>, ServeError> {
+        self.sweep_breakers();
         let Some(id) = self.pick_next() else {
             return Ok(None);
         };
         self.ensure_resident(id)?;
 
         let start = self.shared.wall_cycles();
+        let health_before = self.shared.health();
         let sess = self.sessions.get_mut(&id).expect("picked session exists");
+        let probing = matches!(sess.breaker, BreakerState::HalfOpen { .. });
+        if probing {
+            sess.stats.breaker_probes += 1;
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .counter_add("pimvo_serve_breaker_probes_total", 1.0);
+            }
+        }
         let frame = sess.queue.pop_front().expect("picked session has work");
         let Residency::Resident(tracker) = &mut sess.residency else {
             unreachable!("ensure_resident loaded the tracker");
@@ -235,6 +288,22 @@ impl FleetScheduler {
                 sess.shed_rung = sess.shed_rung.relax();
             }
         }
+        let lost = matches!(result.state, TrackingState::Lost);
+        if lost {
+            sess.stats.lost_frames += 1;
+        }
+        // fault/quarantine attribution: whatever the shared pool
+        // detected or quarantined during this frame is this session's
+        // footprint (scrub passes can shrink counters, hence saturating)
+        let health_after = self.shared.health();
+        sess.stats.pool_detected += health_after
+            .total_detected()
+            .saturating_sub(health_before.total_detected());
+        sess.stats.pool_quarantines += health_after
+            .quarantined_count()
+            .saturating_sub(health_before.quarantined_count())
+            as u64;
+        let tripped = Self::update_breaker(sess, probing, lost || missed, end);
         let outcome = StepOutcome {
             session: id,
             result,
@@ -243,6 +312,28 @@ impl FleetScheduler {
             missed_deadline: missed,
             shed_rung: sess.shed_rung,
         };
+        if tripped {
+            // isolate the poisoned session through the existing
+            // checkpoint eviction path; its queue stays intact and the
+            // head frame becomes the half-open probe after backoff
+            let until = match self.sessions[&id].breaker {
+                BreakerState::Open { until, .. } => until,
+                _ => unreachable!("a tripped breaker is open"),
+            };
+            self.evict(id)?;
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .counter_add("pimvo_serve_breaker_trips_total", 1.0);
+                self.telemetry.log(
+                    Severity::Error,
+                    "session circuit breaker tripped",
+                    &[
+                        ("session", id.0.to_string()),
+                        ("reopen_at_cycle", until.to_string()),
+                    ],
+                );
+            }
+        }
         if self.telemetry.is_enabled() {
             self.telemetry.counter_add("pimvo_serve_frames_total", 1.0);
             if missed {
@@ -251,6 +342,96 @@ impl FleetScheduler {
             }
         }
         Ok(Some(outcome))
+    }
+
+    /// Applies one completed frame's verdict to the session's breaker.
+    /// Returns whether the breaker tripped open on this frame.
+    fn update_breaker(sess: &mut Session, probing: bool, failed: bool, now: u64) -> bool {
+        let Some(cfg) = sess.spec.breaker else {
+            return false;
+        };
+        if failed {
+            sess.stats.failures += 1;
+        }
+        if probing {
+            if failed {
+                // failed probe: re-trip with exponential backoff
+                let prev = match sess.breaker {
+                    BreakerState::HalfOpen { backoff } => backoff,
+                    _ => cfg.backoff_base,
+                };
+                let next = prev
+                    .saturating_mul(cfg.backoff_factor.max(1))
+                    .min(cfg.backoff_max);
+                sess.breaker = BreakerState::Open {
+                    until: now + next,
+                    backoff: next,
+                };
+                sess.stats.breaker_trips += 1;
+            } else {
+                sess.breaker = BreakerState::Closed;
+            }
+            sess.failure_marks.clear();
+            return failed;
+        }
+        if !failed {
+            return false;
+        }
+        sess.failure_marks.push_back(sess.stats.completed);
+        while sess
+            .failure_marks
+            .front()
+            .is_some_and(|&m| sess.stats.completed - m >= cfg.failure_window)
+        {
+            sess.failure_marks.pop_front();
+        }
+        if (sess.failure_marks.len() as u32) < cfg.trip_threshold {
+            return false;
+        }
+        let backoff = cfg.backoff_base.min(cfg.backoff_max);
+        sess.breaker = BreakerState::Open {
+            until: now + backoff,
+            backoff,
+        };
+        sess.stats.breaker_trips += 1;
+        sess.failure_marks.clear();
+        true
+    }
+
+    /// Advances breaker states against the virtual clock: elapsed open
+    /// intervals become half-open probes. When *every* backlogged
+    /// session is open — the shared pool would sit idle — the open
+    /// session with the earliest reopen time probes early: backoff
+    /// protects the pool from a noisy session, not the pool from work.
+    fn sweep_breakers(&mut self) {
+        let now = self.shared.wall_cycles();
+        let mut any_ready = false;
+        for s in self.sessions.values_mut() {
+            if let BreakerState::Open { until, backoff } = s.breaker {
+                if now >= until {
+                    s.breaker = BreakerState::HalfOpen { backoff };
+                }
+            }
+            if !s.queue.is_empty() && !matches!(s.breaker, BreakerState::Open { .. }) {
+                any_ready = true;
+            }
+        }
+        if any_ready {
+            return;
+        }
+        let earliest = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| !s.queue.is_empty())
+            .filter_map(|(id, s)| match s.breaker {
+                BreakerState::Open { until, backoff } => Some((until, *id, backoff)),
+                _ => None,
+            })
+            .min();
+        if let Some((_, id, backoff)) = earliest {
+            let s = self.sessions.get_mut(&id).expect("id from iteration");
+            s.breaker = BreakerState::HalfOpen { backoff };
+        }
     }
 
     /// Drains every queue, one frame at a time, in scheduling order.
@@ -312,10 +493,12 @@ impl FleetScheduler {
     /// the earliest head-frame deadline wins; `None` deadlines sort
     /// last (background). Ties: fewest completed frames, then highest
     /// priority, then lowest session id — a total, deterministic order.
+    /// Sessions whose circuit breaker is open are not candidates.
     fn pick_next(&self) -> Option<SessionId> {
         self.sessions
             .iter()
             .filter(|(_, s)| !s.queue.is_empty())
+            .filter(|(_, s)| !matches!(s.breaker, BreakerState::Open { .. }))
             .min_by_key(|(id, s)| {
                 let deadline = s
                     .queue
@@ -357,6 +540,299 @@ impl FleetScheduler {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Fleet manifest: crash-consistent recovery payload
+// ---------------------------------------------------------------------
+
+/// Manifest payload version; bumped on layout changes.
+pub(crate) const MANIFEST_PAYLOAD_VERSION: u16 = 1;
+
+impl FleetScheduler {
+    /// Serializes the fleet's recoverable state: the virtual clock,
+    /// pool health (quarantine flags, probation countdowns, recovery
+    /// counters) and, per session, the scheduler bookkeeping (stats,
+    /// shed rung, breaker state) plus a tracker checkpoint blob —
+    /// taken in place for resident sessions, reused for evicted ones.
+    ///
+    /// In-flight queued frames are deliberately *not* serialized:
+    /// a crash loses whatever had not completed, and the harness
+    /// resubmits from the last committed frame (at-least-once
+    /// submission). Remap tables and raw array contents are physical
+    /// simulator state and rebuild from scratch, like a device reboot.
+    pub(crate) fn manifest_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        push_u64(&mut buf, self.shared.wall_cycles());
+        let health = self.shared.health();
+        push_u64(&mut buf, health.quarantined.len() as u64);
+        for i in 0..health.quarantined.len() {
+            buf.push(health.quarantined[i] as u8);
+            push_u64(&mut buf, health.probation[i]);
+        }
+        push_u64(&mut buf, health.retries);
+        push_u64(&mut buf, health.redispatches);
+        push_u64(&mut buf, health.dirty_accepted);
+        push_u64(&mut buf, self.sessions.len() as u64);
+        for (id, sess) in &self.sessions {
+            push_u32(&mut buf, id.0);
+            buf.push(sess.shed_rung.index() as u8);
+            match sess.breaker {
+                BreakerState::Closed => {
+                    buf.push(0);
+                    push_u64(&mut buf, 0);
+                    push_u64(&mut buf, 0);
+                }
+                BreakerState::Open { until, backoff } => {
+                    buf.push(1);
+                    push_u64(&mut buf, until);
+                    push_u64(&mut buf, backoff);
+                }
+                BreakerState::HalfOpen { backoff } => {
+                    buf.push(2);
+                    push_u64(&mut buf, 0);
+                    push_u64(&mut buf, backoff);
+                }
+            }
+            push_u64(&mut buf, sess.failure_marks.len() as u64);
+            for &m in &sess.failure_marks {
+                push_u64(&mut buf, m);
+            }
+            let st = &sess.stats;
+            for v in [
+                st.submitted,
+                st.completed,
+                st.shed,
+                st.deadline_misses,
+                st.evictions,
+                st.restores,
+                st.lost_frames,
+                st.failures,
+                st.breaker_trips,
+                st.breaker_probes,
+                st.pool_detected,
+                st.pool_quarantines,
+            ] {
+                push_u64(&mut buf, v);
+            }
+            push_u64(&mut buf, st.latencies_cycles.len() as u64);
+            for &l in &st.latencies_cycles {
+                push_u64(&mut buf, l);
+            }
+            let blob: Option<Vec<u8>> = match &sess.residency {
+                Residency::Cold => None,
+                Residency::Resident(tracker) => Some(tracker.checkpoint().to_bytes()),
+                Residency::Evicted(bytes) => Some(bytes.clone()),
+            };
+            match blob {
+                None => {
+                    buf.push(0);
+                    push_u64(&mut buf, 0);
+                }
+                Some(bytes) => {
+                    buf.push(1);
+                    push_u64(&mut buf, bytes.len() as u64);
+                    buf.extend_from_slice(&bytes);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Rebuilds a fleet from a manifest payload after a hard kill: a
+    /// fresh pool is stamped from `builder`, the virtual clock, pool
+    /// health and probation countdowns are restored, and every session
+    /// comes back with its stats/rung/breaker state and its checkpoint
+    /// blob staged as [`Residency::Evicted`] — the next frame restores
+    /// the tracker bit-exactly through the ordinary eviction path.
+    ///
+    /// `specs` must cover exactly the session ids in the manifest
+    /// (configs are additionally verified against each blob's config
+    /// hash when the session first runs).
+    pub(crate) fn from_manifest_payload(
+        builder: &PimMachineBuilder,
+        arrays: usize,
+        specs: &[(SessionId, SessionSpec)],
+        payload: &[u8],
+    ) -> Result<FleetScheduler, StoreError> {
+        let mut fleet = FleetScheduler::from_builder(builder, arrays);
+        let c = &mut 0usize;
+        let wall = read_u64(payload, c)?;
+        let n = read_u64(payload, c)? as usize;
+        if n != arrays {
+            return Err(StoreError::Malformed("pool size mismatch"));
+        }
+        let mut quarantined = vec![false; n];
+        let mut probation = vec![0u64; n];
+        for i in 0..n {
+            quarantined[i] = read_u8(payload, c)? != 0;
+            probation[i] = read_u64(payload, c)?;
+        }
+        let retries = read_u64(payload, c)?;
+        let redispatches = read_u64(payload, c)?;
+        let dirty_accepted = read_u64(payload, c)?;
+        let health = pimvo_pim::PoolHealth {
+            arrays: vec![Default::default(); n],
+            quarantined,
+            retries,
+            redispatches,
+            dirty_accepted,
+            probation: vec![0; n],
+            remapped_rows: vec![0; n],
+            scrubs: 0,
+            rehabilitated: 0,
+        };
+        fleet
+            .shared
+            .import_health(&health)
+            .map_err(|_| StoreError::Malformed("pool health rejected"))?;
+        fleet
+            .shared
+            .restore_probation(&probation)
+            .map_err(|_| StoreError::Malformed("probation vector rejected"))?;
+        fleet.shared.restore_wall_cycles(wall);
+
+        let spec_map: BTreeMap<SessionId, SessionSpec> = specs.iter().cloned().collect();
+        if spec_map.len() != specs.len() {
+            return Err(StoreError::Malformed("duplicate session spec"));
+        }
+        let count = read_u64(payload, c)? as usize;
+        if count != spec_map.len() {
+            return Err(StoreError::Malformed("session count mismatch"));
+        }
+        for _ in 0..count {
+            let id = SessionId(read_u32(payload, c)?);
+            let spec = spec_map
+                .get(&id)
+                .ok_or(StoreError::Malformed("manifest session missing a spec"))?
+                .clone();
+            let shed_rung = DegradeRung::from_index(read_u8(payload, c)? as usize);
+            let tag = read_u8(payload, c)?;
+            let until = read_u64(payload, c)?;
+            let backoff = read_u64(payload, c)?;
+            let breaker = match tag {
+                0 => BreakerState::Closed,
+                1 => BreakerState::Open { until, backoff },
+                2 => BreakerState::HalfOpen { backoff },
+                _ => return Err(StoreError::Malformed("unknown breaker state")),
+            };
+            let marks = read_u64(payload, c)? as usize;
+            let mut failure_marks = VecDeque::with_capacity(marks.min(1024));
+            for _ in 0..marks {
+                failure_marks.push_back(read_u64(payload, c)?);
+            }
+            let mut vals = [0u64; 12];
+            for v in &mut vals {
+                *v = read_u64(payload, c)?;
+            }
+            let lat = read_u64(payload, c)? as usize;
+            let mut latencies_cycles = Vec::with_capacity(lat.min(1 << 20));
+            for _ in 0..lat {
+                latencies_cycles.push(read_u64(payload, c)?);
+            }
+            let stats = SessionStats {
+                submitted: vals[0],
+                completed: vals[1],
+                shed: vals[2],
+                deadline_misses: vals[3],
+                evictions: vals[4],
+                restores: vals[5],
+                lost_frames: vals[6],
+                failures: vals[7],
+                breaker_trips: vals[8],
+                breaker_probes: vals[9],
+                pool_detected: vals[10],
+                pool_quarantines: vals[11],
+                latencies_cycles,
+            };
+            let residency = match read_u8(payload, c)? {
+                0 => {
+                    let _ = read_u64(payload, c)?;
+                    Residency::Cold
+                }
+                1 => {
+                    let len = read_u64(payload, c)? as usize;
+                    Residency::Evicted(read_bytes(payload, c, len)?.to_vec())
+                }
+                _ => return Err(StoreError::Malformed("unknown residency tag")),
+            };
+            let prev = fleet.sessions.insert(
+                id,
+                Session {
+                    spec,
+                    residency,
+                    queue: VecDeque::new(),
+                    stats,
+                    shed_rung,
+                    breaker,
+                    failure_marks,
+                },
+            );
+            if prev.is_some() {
+                return Err(StoreError::Malformed("duplicate session in manifest"));
+            }
+        }
+        if *c != payload.len() {
+            return Err(StoreError::Malformed("trailing bytes in manifest"));
+        }
+        Ok(fleet)
+    }
+
+    /// Recovers a fleet from a [`FleetCheckpointStore`] manifest on
+    /// disk after a simulated hard kill. See
+    /// [`FleetCheckpointStore::save`] for what is (and is not) in the
+    /// manifest.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`]: I/O, corruption (magic/version/CRC), or a
+    /// manifest inconsistent with `builder`/`arrays`/`specs`.
+    pub fn recover(
+        store: &FleetCheckpointStore,
+        builder: &PimMachineBuilder,
+        arrays: usize,
+        specs: &[(SessionId, SessionSpec)],
+    ) -> Result<FleetScheduler, StoreError> {
+        let payload = store.load_payload()?;
+        Self::from_manifest_payload(builder, arrays, specs, &payload)
+    }
+}
+
+use crate::store::{FleetCheckpointStore, StoreError};
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u8(bytes: &[u8], cursor: &mut usize) -> Result<u8, StoreError> {
+    let b = read_bytes(bytes, cursor, 1)?;
+    Ok(b[0])
+}
+
+fn read_u32(bytes: &[u8], cursor: &mut usize) -> Result<u32, StoreError> {
+    let b = read_bytes(bytes, cursor, 4)?;
+    Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, StoreError> {
+    let b = read_bytes(bytes, cursor, 8)?;
+    Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn read_bytes<'a>(bytes: &'a [u8], cursor: &mut usize, len: usize) -> Result<&'a [u8], StoreError> {
+    let end = cursor
+        .checked_add(len)
+        .ok_or(StoreError::Malformed("length overflow"))?;
+    if end > bytes.len() {
+        return Err(StoreError::Malformed("truncated manifest"));
+    }
+    let out = &bytes[*cursor..end];
+    *cursor = end;
+    Ok(out)
 }
 
 impl std::fmt::Debug for FleetScheduler {
@@ -553,6 +1029,242 @@ mod tests {
             fleet.evict(SessionId(9)),
             Err(ServeError::UnknownSession(_))
         ));
+    }
+
+    fn tight_breaker(base: u64) -> crate::BreakerConfig {
+        crate::BreakerConfig {
+            failure_window: 4,
+            trip_threshold: 2,
+            backoff_base: base,
+            backoff_factor: 2,
+            backoff_max: base * 8,
+        }
+    }
+
+    #[test]
+    fn breaker_trips_evicts_and_recovers_through_probe() {
+        let mut fleet = FleetScheduler::new(1);
+        // 1-cycle deadline: every frame misses and counts as a failure
+        fleet.add_session(
+            SessionId(1),
+            SessionSpec::new(TrackerConfig::default())
+                .deadline_cycles(1)
+                .max_queue(4)
+                .breaker(tight_breaker(1_000)),
+        );
+        let (g, d) = textured_frame(0.0);
+        for _ in 0..3 {
+            fleet
+                .submit_frame(SessionId(1), g.clone(), d.clone())
+                .unwrap();
+        }
+        let _ = fleet.step().unwrap().unwrap(); // miss 1: below threshold
+        assert_eq!(
+            fleet.breaker_state(SessionId(1)),
+            Some(BreakerState::Closed)
+        );
+        let _ = fleet.step().unwrap().unwrap(); // miss 2: trips
+        let st = fleet.stats(SessionId(1)).unwrap();
+        assert_eq!((st.breaker_trips, st.failures), (1, 2));
+        assert_eq!(st.evictions, 1, "trip evicts via the checkpoint path");
+        assert!(!fleet.is_resident(SessionId(1)));
+        assert!(matches!(
+            fleet.breaker_state(SessionId(1)),
+            Some(BreakerState::Open { backoff: 1_000, .. })
+        ));
+
+        // only open sessions are backlogged: the sweep promotes the
+        // earliest reopen to a half-open probe instead of idling
+        let o = fleet.step().unwrap().expect("probe frame runs");
+        assert!(o.missed_deadline);
+        let st = fleet.stats(SessionId(1)).unwrap();
+        assert_eq!(st.breaker_probes, 1);
+        assert_eq!(st.breaker_trips, 2, "failed probe re-trips");
+        assert_eq!(st.restores, 1, "probe restored the evicted tracker");
+        match fleet.breaker_state(SessionId(1)).unwrap() {
+            BreakerState::Open { backoff, .. } => {
+                assert_eq!(backoff, 2_000, "exponential backoff doubles");
+            }
+            other => panic!("expected re-tripped breaker, got {other:?}"),
+        }
+
+        // widen the deadline: the next probe succeeds and closes it
+        fleet
+            .sessions
+            .get_mut(&SessionId(1))
+            .unwrap()
+            .spec
+            .deadline_cycles = Some(u64::MAX / 2);
+        fleet.submit_frame(SessionId(1), g, d).unwrap();
+        let o = fleet.step().unwrap().expect("second probe");
+        assert!(!o.missed_deadline);
+        assert_eq!(
+            fleet.breaker_state(SessionId(1)),
+            Some(BreakerState::Closed)
+        );
+        assert_eq!(fleet.stats(SessionId(1)).unwrap().breaker_probes, 2);
+    }
+
+    #[test]
+    fn open_breaker_yields_the_pool_to_healthy_sessions() {
+        let mut fleet = FleetScheduler::new(1);
+        // session 1 trips on its first missed frame (threshold 1)
+        fleet.add_session(
+            SessionId(1),
+            SessionSpec::new(TrackerConfig::default())
+                .deadline_cycles(1)
+                .max_queue(4)
+                .breaker(crate::BreakerConfig {
+                    trip_threshold: 1,
+                    backoff_base: u64::MAX / 4,
+                    backoff_max: u64::MAX / 2,
+                    ..tight_breaker(1)
+                }),
+        );
+        fleet.add_session(SessionId(2), SessionSpec::new(TrackerConfig::default()));
+        let (g, d) = textured_frame(0.0);
+        for _ in 0..2 {
+            fleet
+                .submit_frame(SessionId(1), g.clone(), d.clone())
+                .unwrap();
+            fleet
+                .submit_frame(SessionId(2), g.clone(), d.clone())
+                .unwrap();
+        }
+        // EDF picks the deadline session first; it misses and trips
+        let first = fleet.step().unwrap().unwrap();
+        assert_eq!(first.session, SessionId(1));
+        assert!(matches!(
+            fleet.breaker_state(SessionId(1)),
+            Some(BreakerState::Open { .. })
+        ));
+        // while open, the healthy session gets every slot despite the
+        // open session holding the earliest deadline
+        for _ in 0..2 {
+            let o = fleet.step().unwrap().unwrap();
+            assert_eq!(o.session, SessionId(2), "open session must not run");
+        }
+        // with only the open session backlogged, it probes early
+        let o = fleet.step().unwrap().unwrap();
+        assert_eq!(o.session, SessionId(1));
+        assert_eq!(fleet.stats(SessionId(1)).unwrap().breaker_probes, 1);
+    }
+
+    #[test]
+    fn sessions_without_breaker_never_trip() {
+        let mut fleet = FleetScheduler::new(1);
+        fleet.add_session(
+            SessionId(1),
+            SessionSpec::new(TrackerConfig::default()).deadline_cycles(1),
+        );
+        let (g, d) = textured_frame(0.0);
+        for _ in 0..3 {
+            fleet
+                .submit_frame(SessionId(1), g.clone(), d.clone())
+                .unwrap();
+            let _ = fleet.step().unwrap().unwrap();
+        }
+        let st = fleet.stats(SessionId(1)).unwrap();
+        assert_eq!(st.deadline_misses, 3);
+        assert_eq!((st.failures, st.breaker_trips), (0, 0));
+        assert_eq!(
+            fleet.breaker_state(SessionId(1)),
+            Some(BreakerState::Closed)
+        );
+    }
+
+    #[test]
+    fn manifest_recovery_replays_bit_identically() {
+        let builder = PimMachine::builder(ArrayConfig::qvga_banks(6));
+        let specs = vec![(
+            SessionId(1),
+            SessionSpec::new(TrackerConfig::default()).max_queue(4),
+        )];
+        let mk_fleet = || {
+            let mut f = FleetScheduler::from_builder(&builder, 2);
+            for (id, spec) in &specs {
+                f.add_session(*id, spec.clone());
+            }
+            f
+        };
+
+        // run three frames, checkpoint, then hard-kill (drop) the fleet
+        let mut fleet = mk_fleet();
+        let (g0, d0) = textured_frame(0.0);
+        let (g1, d1) = textured_frame(0.8);
+        let (g2, d2) = textured_frame(1.6);
+        fleet.submit_frame(SessionId(1), g0, d0).unwrap();
+        fleet.submit_frame(SessionId(1), g1, d1).unwrap();
+        let _ = fleet.run_until_idle().unwrap();
+        let dir = std::env::temp_dir().join(format!("pimvo_fleet_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = crate::FleetCheckpointStore::new(dir.join("fleet.ckpt"));
+        store.save(&fleet).unwrap();
+        let clock_at_save = fleet.now_cycles();
+
+        // uninterrupted arm keeps going
+        fleet
+            .submit_frame(SessionId(1), g2.clone(), d2.clone())
+            .unwrap();
+        let want = fleet.run_until_idle().unwrap().remove(0);
+
+        // recovered arm replays the same frame after the kill
+        let mut recovered = FleetScheduler::recover(&store, &builder, 2, &specs).unwrap();
+        assert_eq!(recovered.now_cycles(), clock_at_save, "clock restored");
+        assert!(
+            !recovered.is_resident(SessionId(1)),
+            "session staged evicted"
+        );
+        assert_eq!(recovered.stats(SessionId(1)).unwrap().completed, 2);
+        recovered.submit_frame(SessionId(1), g2, d2).unwrap();
+        let got = recovered.run_until_idle().unwrap().remove(0);
+        assert_eq!(
+            got.result.pose_wc, want.result.pose_wc,
+            "bit-identical pose"
+        );
+        assert_eq!(
+            got.latency_cycles, want.latency_cycles,
+            "identical virtual time"
+        );
+        assert_eq!(recovered.now_cycles(), fleet.now_cycles());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_rejects_corruption() {
+        let builder = PimMachine::builder(ArrayConfig::qvga_banks(6));
+        let mut fleet = FleetScheduler::from_builder(&builder, 1);
+        fleet.add_session(SessionId(1), SessionSpec::new(TrackerConfig::default()));
+        let dir = std::env::temp_dir().join(format!("pimvo_fleet_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.ckpt");
+        let store = crate::FleetCheckpointStore::new(&path);
+        store.save(&fleet).unwrap();
+
+        // flip one payload byte: CRC must catch it
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 10;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load_payload(),
+            Err(crate::StoreError::Crc { .. })
+        ));
+
+        // wrong magic (long enough to pass the length check)
+        std::fs::write(&path, b"NOTAFLEETMANIFEST_____________").unwrap();
+        assert!(matches!(
+            store.load_payload(),
+            Err(crate::StoreError::BadMagic)
+        ));
+
+        // truncation
+        std::fs::write(&path, b"PIMVO").unwrap();
+        assert!(matches!(
+            store.load_payload(),
+            Err(crate::StoreError::Malformed(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

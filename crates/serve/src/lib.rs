@@ -35,6 +35,21 @@
 //!   ([`FleetScheduler::evict`]) and drops the tracker, so the session
 //!   holds zero resident arrays; the next submitted frame transparently
 //!   restores it, replaying bit-exactly.
+//! * **Fault containment** is per session: arming a [`BreakerConfig`]
+//!   on the spec gives the session a circuit breaker — a session whose
+//!   frames keep failing (tracking `Lost`, missed deadlines) trips
+//!   open, is evicted through the checkpoint path, and sits out an
+//!   exponentially growing backoff in the virtual-cycle domain before
+//!   a half-open single-frame probe lets it earn its slot back
+//!   ([`BreakerState`]). One poisoned session cannot monopolize the
+//!   shared pool. [`SessionStats`] carries the fault/quarantine
+//!   telemetry (lost frames, failures, trips, probes, pool fault
+//!   events attributed per session).
+//! * **Crash recovery** is fleet-wide: [`FleetCheckpointStore`] writes
+//!   an atomic, CRC-checked manifest of every session's checkpoint
+//!   blob plus the pool health and scheduler counters;
+//!   [`FleetScheduler::recover`] rebuilds the fleet from it and
+//!   replays the remaining frames bit-identically after a hard kill.
 //!
 //! Determinism is load-bearing: every kernel and LM batch host-writes
 //! the rows it reads, so interleaving sessions on a shared pool cannot
@@ -58,6 +73,8 @@
 
 mod fleet;
 mod session;
+mod store;
 
-pub use fleet::FleetScheduler;
-pub use session::{ServeError, SessionSpec, SessionStats, StepOutcome};
+pub use fleet::{BreakerState, FleetScheduler};
+pub use session::{BreakerConfig, ServeError, SessionSpec, SessionStats, StepOutcome};
+pub use store::{FleetCheckpointStore, StoreError};

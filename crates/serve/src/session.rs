@@ -23,6 +23,9 @@ pub struct SessionSpec {
     pub max_queue: usize,
     /// Tie-break priority (higher first) among equal deadlines.
     pub priority: u8,
+    /// Per-session circuit breaker; `None` (the default) disables it
+    /// and preserves pre-breaker scheduling exactly.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl SessionSpec {
@@ -33,6 +36,7 @@ impl SessionSpec {
             deadline_cycles: None,
             max_queue: 4,
             priority: 0,
+            breaker: None,
         }
     }
 
@@ -61,6 +65,44 @@ impl SessionSpec {
         self.priority = p;
         self
     }
+
+    /// Arms the per-session circuit breaker.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+}
+
+/// Circuit-breaker policy of one session: trips a session that keeps
+/// failing (frames ending [`pimvo_core::TrackingState::Lost`] or past
+/// their deadline), isolating it from the shared pool with exponential
+/// backoff in the virtual-cycle domain, then lets it back in through a
+/// half-open single-frame probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Failures are counted over the session's last `failure_window`
+    /// completed frames.
+    pub failure_window: u64,
+    /// Failures inside the window that trip the breaker open.
+    pub trip_threshold: u32,
+    /// First open interval, in virtual (pool) cycles.
+    pub backoff_base: u64,
+    /// Multiplier on the open interval per consecutive failed probe.
+    pub backoff_factor: u64,
+    /// Upper bound on the open interval.
+    pub backoff_max: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_window: 8,
+            trip_threshold: 3,
+            backoff_base: 1_000_000,
+            backoff_factor: 2,
+            backoff_max: 16_000_000,
+        }
+    }
 }
 
 /// Cumulative serving statistics of one session.
@@ -81,6 +123,20 @@ pub struct SessionStats {
     /// Per-completed-frame latency in pool cycles (submission →
     /// completion, queue wait included).
     pub latencies_cycles: Vec<u64>,
+    /// Completed frames that ended in [`pimvo_core::TrackingState::Lost`].
+    pub lost_frames: u64,
+    /// Breaker-counted failures (lost frames and deadline misses while
+    /// a breaker is armed).
+    pub failures: u64,
+    /// Times the session's circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Half-open single-frame probes run.
+    pub breaker_probes: u64,
+    /// Pool fault-detection events observed while this session's
+    /// frames ran on the shared pool.
+    pub pool_detected: u64,
+    /// Arrays the pool quarantined while this session's frames ran.
+    pub pool_quarantines: u64,
 }
 
 impl SessionStats {

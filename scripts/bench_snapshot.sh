@@ -17,6 +17,9 @@ cargo run --release -p pimvo-bench --features fault --bin fault_sweep -- 10
 # fleet-soak sweep: {1,4,16} sessions x {2,4,8} arrays through the
 # pimvo-serve scheduler -> BENCH_fleet.json
 cargo run --release -p pimvo-bench --bin fleet_soak -- --out .
+# self-healing fleet soak: defect storm -> scrub/remap recovery ->
+# kill + manifest replay -> BENCH_fleet_chaos.json
+cargo run --release -p pimvo-bench --bin fleet_chaos -- --out .
 
 echo
 echo "bench snapshot written:"

@@ -23,8 +23,10 @@ step() {
 step cargo fmt --check
 step cargo build --release
 step cargo test -q --workspace
-# the fault-injection layer is feature-gated off by default; test it too
+# the fault-injection layer is feature-gated off by default; test it
+# too, including the fleet fault-containment proptests in pimvo-serve
 step cargo test -q --features fault -p pimvo-pim -p pimvo-core
+step cargo test -q --features fault -p pimvo-serve
 # feature-gate matrix: the deprecated hand-scheduled kernel wrappers
 # must still build and pass their equivalence tests when re-enabled
 step cargo test -q -p pimvo-kernels --features legacy-kernels
@@ -56,6 +58,15 @@ step cargo run -q --release --example track_sequence -- \
 # complete and emit a report
 step cargo run -q --release -p pimvo-bench --bin fleet_soak -- \
     --sessions 4 --arrays 2 --frames 13 --out "$chaos_out"
+# fleet-chaos smoke: defect storm + breaker trip + scrub recovery +
+# kill-and-recover must hold every invariant, and the report must be
+# byte-identical across two runs of the same seed
+fc_a="$chaos_out/fc_a"; fc_b="$chaos_out/fc_b"
+step cargo run -q --release -p pimvo-bench --bin fleet_chaos -- \
+    --frames 16 --sessions 2 --arrays 3 --out "$fc_a"
+step cargo run -q --release -p pimvo-bench --bin fleet_chaos -- \
+    --frames 16 --sessions 2 --arrays 3 --out "$fc_b"
+step cmp "$fc_a/BENCH_fleet_chaos.json" "$fc_b/BENCH_fleet_chaos.json"
 rm -rf "$chaos_out"
 
 if [ "$fail" -ne 0 ]; then
