@@ -48,7 +48,9 @@ use pimvo_core::{
 };
 use pimvo_kernels::{DepthImage, GrayImage};
 use pimvo_pim::{ArrayConfig, FaultModel, PimMachine, PimMachineBuilder, ScrubConfig, SessionId};
-use pimvo_serve::{BreakerConfig, BreakerState, FleetCheckpointStore, FleetScheduler, SessionSpec};
+use pimvo_serve::{
+    BreakerConfig, BreakerState, FleetCheckpointStore, FleetScheduler, FlightDump, SessionSpec,
+};
 use pimvo_vomath::Pinhole;
 
 use crate::sink::BenchReport;
@@ -588,7 +590,10 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
         SessionSpec::new(tracker_cfg.clone())
             .deadline_cycles(healthy_cycles * (n as u64 + 2))
             .max_queue(2)
-            .breaker(breaker),
+            .breaker(breaker)
+            // flight recorder on the failure-prone session: every trip
+            // and deadline miss dumps the last 4 frames' op traces
+            .flight_recorder(4),
     )];
     for s in 1..n {
         specs.push((
@@ -598,6 +603,7 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
     }
 
     let mut fleet = FleetScheduler::from_builder(&builder, cfg.arrays);
+    fleet.set_flight_dir(&cfg.workdir);
     for (id, spec) in &specs {
         fleet.add_session(*id, spec.clone());
     }
@@ -736,6 +742,7 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
     let (tail_a, clock_a) = run_tail(&mut fleet);
     let mut recovered = FleetScheduler::recover(&store, &builder, cfg.arrays, &specs)
         .map_err(|e| io::Error::other(e.to_string()))?;
+    recovered.set_flight_dir(&cfg.workdir);
     let (tail_b, clock_b) = run_tail(&mut recovered);
 
     let mut pose_delta_max = 0.0f64;
@@ -786,6 +793,38 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
     ) {
         violations.push("tripped session did not recover to a closed breaker".into());
     }
+    // flight recorder: the storm must have produced at least one dump,
+    // every dump must decode cleanly, and each recorded frame's
+    // dependency DAG must replay to exactly the pool cycles the
+    // scheduler charged that frame (critical path == wall delta)
+    if st1.flight_dumps.is_empty() {
+        violations.push("no flight-recorder dump was written during the storm".into());
+    }
+    let mut flight_frames_checked = 0u64;
+    for path in &st1.flight_dumps {
+        match FlightDump::load(std::path::Path::new(path)) {
+            Ok(dump) => {
+                for fr in &dump.frames {
+                    if fr.trace.dropped != 0 {
+                        violations.push(format!(
+                            "flight frame {} of {path} dropped {} op records",
+                            fr.frame, fr.trace.dropped
+                        ));
+                    }
+                    let prof = pimvo_telemetry::optrace::profile(&fr.trace);
+                    if prof.critical_path_cycles != fr.wall_delta {
+                        violations.push(format!(
+                            "flight frame {} of {path}: critical path {} cycles, \
+                             frame ran {} wall cycles",
+                            fr.frame, prof.critical_path_cycles, fr.wall_delta
+                        ));
+                    }
+                    flight_frames_checked += 1;
+                }
+            }
+            Err(e) => violations.push(format!("flight dump {path} failed to decode: {e}")),
+        }
+    }
     poses.extend(tail_a);
     for (_, p) in &poses {
         debug_assert!(p.translation.norm().is_finite());
@@ -829,6 +868,8 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
         .metric("session1_failures", st1.failures as f64)
         .metric("pool_detected_session1", st1.pool_detected as f64)
         .metric("replayed_tail_frames", (f - kill_at) as f64 * n as f64)
+        .metric("flight_dumps", st1.flight_dumps.len() as f64)
+        .metric("flight_frames_checked", flight_frames_checked as f64)
         .metric("recovery_pose_delta_max", pose_delta_max)
         .metric("final_virtual_cycles", clock_a as f64)
         .metric("invariant_violations", violations.len() as f64);

@@ -402,10 +402,18 @@ impl<'p> PoolExecutor<'p> {
         };
         let members: Vec<usize> = wave.iter().map(|s| s.array).collect();
         let programs: Vec<&LoweredProgram> = wave.iter().map(|s| &s.job.program).collect();
+        let sessions: Vec<u32> = wave.iter().map(|s| s.job.session.0).collect();
         let (results, deltas) = self
             .pool
             .run_wave(&label, &members, |k, m: &mut PimMachine| {
-                m.run_program(programs[k])
+                if let Some(r) = m.op_recorder_mut() {
+                    r.set_session(sessions[k]);
+                }
+                let out = m.run_program(programs[k]);
+                if let Some(r) = m.op_recorder_mut() {
+                    r.set_session(pimvo_telemetry::optrace::NO_SESSION);
+                }
+                out
             });
         let jobs = wave.len();
         for ((s, result), delta) in wave.into_iter().zip(results).zip(deltas) {

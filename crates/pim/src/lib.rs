@@ -93,6 +93,7 @@ pub mod ir;
 mod isa;
 pub mod lower;
 mod machine;
+pub mod optrace;
 mod pool;
 mod stats;
 mod trace;
@@ -107,6 +108,7 @@ pub use lower::{
     lower, LowerError, LowerLevel, LoweredOp, LoweredProgram, MachineInstr, ScratchRows,
 };
 pub use machine::{PimError, PimMachine, PimMachineBuilder};
+pub use optrace::{OpRecorder, DEFAULT_OP_RING_CAPACITY};
 pub use pool::{PimArrayPool, PoolHealth, RetryPolicy, ScrubConfig};
 pub use stats::{EnergyBreakdown, ExecStats, MemAccessBreakdown};
 pub use trace::{Trace, TraceEvent};

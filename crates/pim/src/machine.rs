@@ -3,9 +3,11 @@ use crate::cost::CostModel;
 use crate::fault::{FaultModel, FaultStatus, FaultUnit, Protection};
 use crate::isa::{AluOp, LogicFunc, OpClass, Operand, Shift};
 use crate::lower::{LoweredProgram, MachineInstr};
+use crate::optrace::OpRecorder;
 use crate::stats::ExecStats;
 use crate::trace::{Trace, TraceEvent};
 use pimvo_fixed::sat;
+use pimvo_telemetry::optrace::{OpKind, OpTrace};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -176,6 +178,10 @@ pub struct PimMachine {
     /// IR provenance label prefixed to trace mnemonics while
     /// [`PimMachine::run_program`] executes (set only when tracing).
     trace_label: Option<String>,
+    /// Dependency-tracked op-record ring (flight-recorder producer).
+    /// `None` (the default) keeps every hook to a single branch; see
+    /// [`PimMachine::arm_op_recorder`].
+    op_recorder: Option<Box<OpRecorder>>,
     fault: FaultUnit,
 }
 
@@ -324,6 +330,7 @@ impl PimMachine {
             trace: None,
             trace_capacity: None,
             trace_label: None,
+            op_recorder: None,
             fault: FaultUnit::inert(),
         }
     }
@@ -379,6 +386,63 @@ impl PimMachine {
     /// The recorded instruction trace, when tracing is enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Op-record ring (flight-recorder producer)
+    // ------------------------------------------------------------------
+
+    /// Arms the dependency-tracked op-record ring: subsequent macro-ops,
+    /// host transfers and maintenance steps each emit one
+    /// [`pimvo_telemetry::optrace::OpRecord`] into a bounded ring
+    /// (`capacity` records, oldest dropped and counted). `stream` is
+    /// the array index used to namespace record ids and stamped on each
+    /// record. Off by default; recording never changes simulated
+    /// results, cycles or energy.
+    pub fn arm_op_recorder(&mut self, stream: u16, capacity: usize) {
+        self.op_recorder = Some(Box::new(OpRecorder::new(stream, capacity)));
+    }
+
+    /// Disarms the op-record ring, discarding buffered records.
+    pub fn disarm_op_recorder(&mut self) {
+        self.op_recorder = None;
+    }
+
+    /// The armed op recorder, if any.
+    pub fn op_recorder(&self) -> Option<&OpRecorder> {
+        self.op_recorder.as_deref()
+    }
+
+    /// Mutable access to the armed op recorder (session/label stamping
+    /// and pool sync-point plumbing).
+    pub fn op_recorder_mut(&mut self) -> Option<&mut OpRecorder> {
+        self.op_recorder.as_deref_mut()
+    }
+
+    /// Hands off the buffered op records (the recorder stays armed;
+    /// ids remain unique across drains). `None` when not armed.
+    pub fn drain_op_trace(&mut self) -> Option<OpTrace> {
+        self.op_recorder.as_deref_mut().map(OpRecorder::drain)
+    }
+
+    /// Emission hook shared by every cycle-charging site: one branch
+    /// when unarmed. `start` is the pre-charge cycle counter, so the
+    /// record's cycles are exactly the site's `ExecStats` delta;
+    /// multi-step follow-ups fold in via [`PimMachine::extend_trace`].
+    #[inline]
+    fn record_op(
+        &mut self,
+        kind: OpKind,
+        reads: &[u32],
+        writes: &[u32],
+        start: u64,
+        sram: u32,
+        size: u32,
+    ) {
+        if let Some(rec) = &mut self.op_recorder {
+            let cycles = self.stats.cycles - start;
+            rec.record(kind, reads, writes, start, cycles, sram, size);
+        }
     }
 
     /// Merges externally modeled statistics into the machine's
@@ -500,6 +564,12 @@ impl PimMachine {
         self.stats.cycles += 2;
         self.stats.sram_reads += 1;
         self.stats.sram_writes += 1;
+        // maintenance-port work runs concurrently with foreground
+        // phases and is never charged to the pool wall clock, so the
+        // record carries zero DAG weight (true cost: ExecStats)
+        let start = self.stats.cycles;
+        let r = row as u32;
+        self.record_op(OpKind::Remap, &[r], &[r], start, 2, 1);
         Ok(spare)
     }
 
@@ -523,6 +593,10 @@ impl PimMachine {
         self.fault.apply_stuck_raw(phys, &mut data);
         self.stats.scrub_rows += 1;
         self.stats.cycles += self.cost.scrub_row_cycles;
+        // like remap: concurrent maintenance, zero DAG weight so the
+        // critical path keeps matching the pool wall clock
+        let start = self.stats.cycles;
+        self.record_op(OpKind::Scrub, &[], &[row as u32], start, 0, 1);
         Ok(data.iter().all(|&b| b == pattern))
     }
 
@@ -532,7 +606,9 @@ impl PimMachine {
     /// accounting — array contents are not touched.
     pub fn charge_verify_patrol(&mut self, rows: u64) {
         self.stats.ecc_checks += rows;
+        let cycle_start = self.stats.cycles;
         self.stats.cycles += self.cost.ecc_check_cycles * rows;
+        self.record_op(OpKind::Patrol, &[], &[], cycle_start, 0, rows as u32);
     }
 
     /// Configures lane width and signedness for subsequent operations
@@ -609,6 +685,7 @@ impl PimMachine {
             0,
             0,
         );
+        self.record_op(OpKind::Select, &[], &[], cycle_start, 0, 0);
         Ok(())
     }
 
@@ -650,6 +727,15 @@ impl PimMachine {
         self.rows[phys][..bytes.len()].copy_from_slice(bytes);
         self.rows[phys][bytes.len()..].fill(0);
         self.stats.host_io_rows += 1;
+        let start = self.stats.cycles;
+        self.record_op(
+            OpKind::HostWrite,
+            &[],
+            &[row as u32],
+            start,
+            0,
+            bytes.len() as u32,
+        );
         Ok(())
     }
 
@@ -681,6 +767,15 @@ impl PimMachine {
             row_data[i * bytes..(i + 1) * bytes].copy_from_slice(&raw.to_le_bytes()[..bytes]);
         }
         self.stats.host_io_rows += 1;
+        let start = self.stats.cycles;
+        self.record_op(
+            OpKind::HostWrite,
+            &[],
+            &[row as u32],
+            start,
+            0,
+            values.len() as u32,
+        );
         Ok(())
     }
 
@@ -703,6 +798,9 @@ impl PimMachine {
     pub fn try_host_read_lanes(&mut self, row: usize) -> Result<Vec<i64>, PimError> {
         self.check_row(row)?;
         self.stats.host_io_rows += 1;
+        let start = self.stats.cycles;
+        let lanes = self.lanes() as u32;
+        self.record_op(OpKind::HostRead, &[row as u32], &[], start, 0, lanes);
         Ok(self.read_row(row, true))
     }
 
@@ -1330,6 +1428,14 @@ impl PimMachine {
             0,
             1,
         );
+        self.record_op(
+            OpKind::WriteBack,
+            &[],
+            &[dst as u32],
+            cycle_start,
+            1,
+            lanes as u32,
+        );
         // protected writes re-encode the check bits on the way in
         self.charge_protection(1);
         Ok(())
@@ -1385,6 +1491,7 @@ impl PimMachine {
             0,
             0,
         );
+        self.record_op(OpKind::Reduce, &[], &[], cycle_start, 0, lanes as u32);
         Ok(self.tmp[0])
     }
 
@@ -1432,6 +1539,24 @@ impl PimMachine {
             n,
             0,
         );
+        if self.op_recorder.is_some() {
+            // first two addressed rows as representative read rows (the
+            // serial chain orders the rest within the machine stream)
+            let mut reads = [0u32; 2];
+            let mut m = 0;
+            for &(row, _) in addresses.iter().take(2) {
+                reads[m] = row as u32;
+                m += 1;
+            }
+            self.record_op(
+                OpKind::Gather,
+                &reads[..m],
+                &[],
+                cycle_start,
+                n as u32,
+                n as u32,
+            );
+        }
         self.charge_protection(n);
         Ok(out)
     }
@@ -1456,6 +1581,11 @@ impl PimMachine {
     pub fn run_program(&mut self, prog: &LoweredProgram) -> Result<Vec<i64>, PimError> {
         let mut sums = Vec::with_capacity(prog.reduce_count());
         let tracing = self.trace.is_some();
+        if let Some(rec) = &mut self.op_recorder {
+            // kernel-level attribution: every record of this program
+            // carries the program name
+            rec.set_label(Some(prog.name()));
+        }
         for op in prog.ops() {
             if tracing {
                 self.trace_label = Some(op.label.clone());
@@ -1463,10 +1593,16 @@ impl PimMachine {
             let step = self.exec_instr(&op.instr, &mut sums);
             if let Err(e) = step {
                 self.trace_label = None;
+                if let Some(rec) = &mut self.op_recorder {
+                    rec.set_label(None);
+                }
                 return Err(e);
             }
         }
         self.trace_label = None;
+        if let Some(rec) = &mut self.op_recorder {
+            rec.set_label(None);
+        }
         Ok(sums)
     }
 
@@ -1698,6 +1834,24 @@ impl PimMachine {
             sram,
             0,
         );
+        if self.op_recorder.is_some() {
+            let mut reads = [0u32; 2];
+            let mut m = 0;
+            for op in [a, b] {
+                if let Operand::Row(r) = op {
+                    reads[m] = r as u32;
+                    m += 1;
+                }
+            }
+            self.record_op(
+                kind_of(class),
+                &reads[..m],
+                &[],
+                cycle_start,
+                sram as u32,
+                lanes as u32,
+            );
+        }
         self.charge_protection(sram);
         Ok(())
     }
@@ -1728,6 +1882,23 @@ impl PimMachine {
             sram,
             0,
         );
+        if self.op_recorder.is_some() {
+            let mut reads = [0u32; 1];
+            let mut m = 0;
+            if let Operand::Row(r) = a {
+                reads[m] = r as u32;
+                m += 1;
+            }
+            let lanes = self.tmp.len() as u32;
+            self.record_op(
+                kind_of(class),
+                &reads[..m],
+                &[],
+                cycle_start,
+                sram as u32,
+                lanes,
+            );
+        }
         self.charge_protection(sram);
         Ok(())
     }
@@ -1788,14 +1959,40 @@ impl PimMachine {
         }
     }
 
-    /// Extends the last traced event (multi-step macro ops).
+    /// Extends the last traced event (multi-step macro ops). Also folds
+    /// the extra cycles into the armed op recorder's last record, so
+    /// per-record cycles keep summing to the exact `ExecStats` delta.
     fn extend_trace(&mut self, cycles: u64, sram_reads: u64) {
+        if let Some(rec) = &mut self.op_recorder {
+            rec.extend_last(cycles, sram_reads as u32);
+        }
         if let Some(trace) = &mut self.trace {
             if let Some(last) = trace.last_mut() {
                 last.cycles += cycles;
                 last.sram_reads += sram_reads;
             }
         }
+    }
+}
+
+/// Op-trace kind of a machine op class (the codec's first fourteen
+/// kinds mirror [`OpClass`] one-to-one).
+fn kind_of(class: OpClass) -> OpKind {
+    match class {
+        OpClass::Logic => OpKind::Logic,
+        OpClass::AddSub => OpKind::AddSub,
+        OpClass::SatAddSub => OpKind::SatAddSub,
+        OpClass::Avg => OpKind::Avg,
+        OpClass::AbsDiff => OpKind::AbsDiff,
+        OpClass::MinMax => OpKind::MinMax,
+        OpClass::Shift => OpKind::Shift,
+        OpClass::Cmp => OpKind::Cmp,
+        OpClass::Select => OpKind::Select,
+        OpClass::Mul => OpKind::Mul,
+        OpClass::Div => OpKind::Div,
+        OpClass::WriteBack => OpKind::WriteBack,
+        OpClass::Reduce => OpKind::Reduce,
+        OpClass::Gather => OpKind::Gather,
     }
 }
 

@@ -69,7 +69,9 @@ use crate::executor::{Job, JobHandle, PoolExecutor};
 use crate::fault::FaultStatus;
 use crate::lower::LoweredProgram;
 use crate::machine::{PimError, PimMachine, PimMachineBuilder};
+use crate::optrace::OpRecorder;
 use crate::stats::ExecStats;
+use pimvo_telemetry::optrace::{OpTrace, POOL_STREAM};
 use pimvo_telemetry::{Severity, Telemetry, TimeDomain};
 use std::collections::BTreeMap;
 
@@ -231,6 +233,9 @@ pub struct PimArrayPool {
     rehabilitations: u64,
     scrub_cycles: u64,
     telemetry: Telemetry,
+    /// Pool-stream op recorder (barrier records); `Some` iff the
+    /// per-array recorders are armed too.
+    op_sync: Option<Box<OpRecorder>>,
 }
 
 impl PimArrayPool {
@@ -268,6 +273,7 @@ impl PimArrayPool {
             rehabilitations: 0,
             scrub_cycles: 0,
             telemetry: Telemetry::off(),
+            op_sync: None,
         }
     }
 
@@ -282,6 +288,110 @@ impl PimArrayPool {
     /// The attached telemetry handle (off by default).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Arms an op-record ring of `capacity` records on every array plus
+    /// a pool sync stream that records one barrier per wall-clock
+    /// advance. Off by default; while disarmed every result, cycle and
+    /// picojoule is identical to a build without the recorder.
+    pub fn arm_op_recorders(&mut self, capacity: usize) {
+        let n = self.arrays.len();
+        for (i, m) in self.arrays.iter_mut().enumerate() {
+            m.arm_op_recorder(i as u16, capacity);
+        }
+        // the sync stream takes namespace `n` (one past the arrays) so
+        // its ids never collide with a machine stream's
+        self.op_sync = Some(Box::new(OpRecorder::with_stream(
+            n as u16,
+            POOL_STREAM,
+            capacity,
+        )));
+    }
+
+    /// Disarms the recorders armed by [`PimArrayPool::arm_op_recorders`],
+    /// discarding any buffered records.
+    pub fn disarm_op_recorders(&mut self) {
+        for m in &mut self.arrays {
+            m.disarm_op_recorder();
+        }
+        self.op_sync = None;
+    }
+
+    /// Whether [`PimArrayPool::arm_op_recorders`] is in effect.
+    pub fn op_recorders_armed(&self) -> bool {
+        self.op_sync.is_some()
+    }
+
+    /// Stamps subsequent op records (all streams) with a serving-layer
+    /// session id. A no-op while disarmed.
+    pub fn set_op_session(&mut self, session: u32) {
+        for m in &mut self.arrays {
+            if let Some(r) = m.op_recorder_mut() {
+                r.set_session(session);
+            }
+        }
+        if let Some(sync) = &mut self.op_sync {
+            sync.set_session(session);
+        }
+    }
+
+    /// Drains every armed stream into one merged [`OpTrace`] (machine
+    /// streams in array order, then the pool sync stream). Returns
+    /// `None` while disarmed. Recorders stay armed; ids remain unique
+    /// across drains.
+    pub fn drain_op_trace(&mut self) -> Option<OpTrace> {
+        self.op_sync.as_ref()?;
+        let mut trace = OpTrace::new();
+        for m in &mut self.arrays {
+            if let Some(t) = m.drain_op_trace() {
+                trace.merge(t);
+            }
+        }
+        if let Some(sync) = &mut self.op_sync {
+            trace.merge(sync.drain());
+        }
+        Some(trace)
+    }
+
+    /// Records one sync point in the pool stream after a wall-clock
+    /// advance: barrier records depending on the tails of the `changed`
+    /// members' streams (chained two tails per record, with `cycles` —
+    /// the sync overhead just charged to the wall — carried by the last
+    /// record), then restarts every armed machine stream's serial chain
+    /// from the final barrier id. This is how "wall cycles advance by
+    /// the slowest member" enters the dependency DAG: the critical path
+    /// through the barriers equals the pool wall clock.
+    fn op_sync_point(&mut self, cycles: u64, changed: &[usize]) {
+        let Some(sync) = &mut self.op_sync else {
+            return;
+        };
+        let start = self.wall_cycles;
+        let tails: Vec<u64> = changed
+            .iter()
+            .filter_map(|&i| self.arrays[i].op_recorder())
+            .map(|r| r.tail())
+            .filter(|&t| t != 0)
+            .collect();
+        let mut chain = sync.tail();
+        let last = if tails.is_empty() {
+            sync.record_barrier([chain, 0, 0], start, cycles, changed.len() as u32)
+        } else {
+            for (n, pair) in tails.chunks(2).enumerate() {
+                let is_last = (n + 1) * 2 >= tails.len();
+                chain = sync.record_barrier(
+                    [chain, pair[0], pair.get(1).copied().unwrap_or(0)],
+                    start,
+                    if is_last { cycles } else { 0 },
+                    changed.len() as u32,
+                );
+            }
+            chain
+        };
+        for m in &mut self.arrays {
+            if let Some(r) = m.op_recorder_mut() {
+                r.set_pending_dep(last);
+            }
+        }
     }
 
     /// Number of arrays in the pool.
@@ -442,6 +552,12 @@ impl PimArrayPool {
             self.wall_cycles += self.sync_cycles;
             self.barriers += 1;
         }
+        let sync = if members.len() > 1 {
+            self.sync_cycles
+        } else {
+            0
+        };
+        self.op_sync_point(sync, members);
         if self.telemetry.is_enabled() {
             let participants: Vec<(usize, u64)> = members
                 .iter()
@@ -895,6 +1011,12 @@ impl PimArrayPool {
             self.wall_cycles += self.sync_cycles;
             self.barriers += 1;
         }
+        let sync = if healthy.len() > 1 {
+            self.sync_cycles
+        } else {
+            0
+        };
+        self.op_sync_point(sync, &healthy);
 
         // serial recovery pass, in shard order (deterministic)
         for shard in 0..healthy.len() {
@@ -979,6 +1101,7 @@ impl PimArrayPool {
             let cyc0 = self.arrays[i].stats().cycles;
             self.arrays[i].charge_verify_patrol(rows);
             self.wall_cycles += self.arrays[i].stats().cycles - cyc0;
+            self.op_sync_point(0, &[i]);
             if self.arrays[i].fault_status().detected > det_before[shard] {
                 self.probation[i] = self.scrub.probation_phases.max(1);
                 self.event_probation_reset(label, i);
@@ -1192,6 +1315,7 @@ impl PimArrayPool {
         let cyc0 = self.arrays[i].stats().cycles;
         let r = f(shard, &mut self.arrays[i]);
         self.wall_cycles += self.arrays[i].stats().cycles - cyc0;
+        self.op_sync_point(0, &[i]);
         (r, self.arrays[i].fault_status().detected == det0)
     }
 
@@ -1222,6 +1346,48 @@ mod tests {
 
     fn pool(n: usize) -> PimArrayPool {
         PimMachineBuilder::new(ArrayConfig::qvga()).build_pool(n)
+    }
+
+    #[test]
+    fn op_trace_critical_path_matches_wall_clock() {
+        let mut p = pool(3);
+        p.arm_op_recorders(4096);
+        for i in 0..3 {
+            p.array_mut(i).host_write_lanes(0, &[1, 2, 3]).unwrap();
+        }
+        // two phases with skewed shard lengths: the critical path must
+        // thread the slowest shard of each phase plus both barriers
+        p.run_phase(|i, m| {
+            for _ in 0..=i {
+                m.add(Operand::Row(0), Operand::Row(0));
+            }
+        });
+        p.run_phase(|_, m| {
+            m.add(Operand::Row(0), Operand::Row(0));
+        });
+        let trace = p.drain_op_trace().expect("armed pool drains a trace");
+        assert_eq!(trace.dropped, 0);
+        let prof = pimvo_telemetry::optrace::profile(&trace);
+        assert_eq!(prof.critical_path_cycles, p.wall_cycles());
+    }
+
+    #[test]
+    fn armed_op_recorders_do_not_perturb_results_or_accounting() {
+        let run = |armed: bool| {
+            let mut p = pool(2);
+            if armed {
+                p.arm_op_recorders(64);
+            }
+            for i in 0..2 {
+                p.array_mut(i).host_write_lanes(0, &[5, 6]).unwrap();
+            }
+            let out = p.run_phase(|_, m| {
+                m.add(Operand::Row(0), Operand::Row(0));
+                m.tmp_lanes()[0]
+            });
+            (out, p.wall_cycles(), p.merged_stats())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

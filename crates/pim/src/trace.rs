@@ -209,6 +209,9 @@ impl Trace {
         if self.dropped > 0 {
             tele.counter_add("pimvo_trace_dropped_total", self.dropped as f64);
         }
+        // always exported, so Prometheus scrapes see an explicit zero
+        // instead of a silent absence when nothing was shed
+        tele.gauge_set("pimvo_trace_dropped", self.dropped as f64);
     }
 }
 
@@ -342,5 +345,25 @@ mod tests {
         assert_eq!(snap.spans[0].domain, pimvo_telemetry::TimeDomain::Cycles);
         assert_eq!(snap.spans[0].start, 100);
         assert!(snap.spans[1].name.contains("writeback"));
+        // ring-buffer loss is always visible in exports, even when zero
+        assert_eq!(snap.gauges.get("pimvo_trace_dropped"), Some(&0.0));
+    }
+
+    #[test]
+    fn export_surfaces_ring_drops_as_counter_and_gauge() {
+        let tele = pimvo_telemetry::Telemetry::with_clock(Box::new(
+            pimvo_telemetry::ManualClock::with_step(1),
+        ));
+        let mut m = PimMachine::new(ArrayConfig::qvga());
+        m.set_tracing(true);
+        m.set_trace_capacity(Some(2));
+        m.host_write_lanes(0, &[1]).unwrap();
+        for _ in 0..5 {
+            m.add(Operand::Row(0), Operand::Row(0));
+        }
+        m.trace().unwrap().export_telemetry(&tele, "array 0", 0);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counters.get("pimvo_trace_dropped_total"), Some(&3.0));
+        assert_eq!(snap.gauges.get("pimvo_trace_dropped"), Some(&3.0));
     }
 }

@@ -2,12 +2,14 @@
 //! [`PimArrayPool`], with admission control, EDF + fair-share
 //! scheduling, degrade-ladder load shedding and checkpoint eviction.
 
+use crate::flight::{DumpReason, FlightDump, FlightFrame, FlightRecorder};
 use crate::session::{ServeError, SessionSpec, SessionStats, StepOutcome};
 use pimvo_core::{BackendKind, Checkpoint, DegradeRung, Tracker, TrackerBuilder, TrackingState};
 use pimvo_kernels::{DepthImage, GrayImage};
 use pimvo_pim::{ArrayConfig, PimArrayPool, PimMachine, PimMachineBuilder, SessionId};
 use pimvo_telemetry::{Severity, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 
 /// Circuit-breaker state of one session
 /// ([`crate::BreakerConfig`] on the spec arms it).
@@ -65,6 +67,9 @@ struct Session {
     /// Completed-frame counter values at recent failures, pruned to
     /// the breaker's failure window.
     failure_marks: VecDeque<u64>,
+    /// Last-N-frames op-trace ring; `Some` once the first frame of a
+    /// session with [`SessionSpec::flight_recorder`] armed completes.
+    flight: Option<FlightRecorder>,
 }
 
 /// Deterministic multi-tenant scheduler over one shared array pool.
@@ -79,6 +84,8 @@ pub struct FleetScheduler {
     shared: PimArrayPool,
     sessions: BTreeMap<SessionId, Session>,
     telemetry: Telemetry,
+    /// Directory flight-recorder dumps are written to.
+    flight_dir: PathBuf,
 }
 
 impl FleetScheduler {
@@ -102,7 +109,14 @@ impl FleetScheduler {
             shared: builder.build_pool(arrays),
             sessions: BTreeMap::new(),
             telemetry: Telemetry::off(),
+            flight_dir: std::env::temp_dir(),
         }
+    }
+
+    /// Sets the directory flight-recorder dumps are written to
+    /// (default: the system temp directory). The directory must exist.
+    pub fn set_flight_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.flight_dir = dir.into();
     }
 
     /// Attaches a telemetry handle: pool phases on the shared pool,
@@ -131,6 +145,7 @@ impl FleetScheduler {
                 shed_rung: DegradeRung::Full,
                 breaker: BreakerState::Closed,
                 failure_marks: VecDeque::new(),
+                flight: None,
             },
         );
         assert!(prev.is_none(), "session {} already registered", id.0);
@@ -242,6 +257,27 @@ impl FleetScheduler {
         };
         self.ensure_resident(id)?;
 
+        // flight recorder: record this frame's op trace on the shared
+        // pool iff the session armed one; otherwise keep the pool
+        // disarmed so recording can never leak across sessions
+        let flight_frames = self.sessions[&id].spec.flight_recorder;
+        match flight_frames {
+            Some(_) => {
+                if !self.shared.op_recorders_armed() {
+                    self.shared
+                        .arm_op_recorders(pimvo_pim::DEFAULT_OP_RING_CAPACITY);
+                }
+                self.shared.set_op_session(id.0);
+                // discard anything recorded before this frame started
+                let _ = self.shared.drain_op_trace();
+            }
+            None => {
+                if self.shared.op_recorders_armed() {
+                    self.shared.disarm_op_recorders();
+                }
+            }
+        }
+
         let start = self.shared.wall_cycles();
         let health_before = self.shared.health();
         let sess = self.sessions.get_mut(&id).expect("picked session exists");
@@ -299,11 +335,71 @@ impl FleetScheduler {
         sess.stats.pool_detected += health_after
             .total_detected()
             .saturating_sub(health_before.total_detected());
-        sess.stats.pool_quarantines += health_after
+        let quarantine_delta = health_after
             .quarantined_count()
             .saturating_sub(health_before.quarantined_count())
             as u64;
+        sess.stats.pool_quarantines += quarantine_delta;
         let tripped = Self::update_breaker(sess, probing, lost || missed, end);
+        if let Some(cap) = flight_frames {
+            if let Some(trace) = self.shared.drain_op_trace() {
+                let ring = sess.flight.get_or_insert_with(|| FlightRecorder::new(cap));
+                ring.push(FlightFrame {
+                    frame: sess.stats.completed,
+                    wall_delta: end - start,
+                    trace,
+                });
+                let reason = if tripped {
+                    Some(DumpReason::BreakerTrip)
+                } else if missed {
+                    Some(DumpReason::DeadlineMiss)
+                } else if quarantine_delta > 0 {
+                    Some(DumpReason::Quarantine)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    let dump = FlightDump {
+                        session: id.0,
+                        reason,
+                        frames: ring.snapshot(),
+                    };
+                    let path = self.flight_dir.join(format!(
+                        "pimvo_flight_s{}_f{}_{}.bin",
+                        id.0,
+                        sess.stats.completed,
+                        reason.as_str()
+                    ));
+                    match dump.save(&path) {
+                        Ok(()) => {
+                            sess.stats.flight_dumps.push(path.display().to_string());
+                            if self.telemetry.is_enabled() {
+                                self.telemetry
+                                    .counter_add("pimvo_serve_flight_dumps_total", 1.0);
+                                self.telemetry.log(
+                                    Severity::Warn,
+                                    "flight recorder dumped",
+                                    &[
+                                        ("session", id.0.to_string()),
+                                        ("reason", reason.as_str().to_string()),
+                                        ("path", path.display().to_string()),
+                                    ],
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            if self.telemetry.is_enabled() {
+                                self.telemetry.log(
+                                    Severity::Error,
+                                    "flight recorder dump failed",
+                                    &[("session", id.0.to_string()), ("error", e.to_string())],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let outcome = StepOutcome {
             session: id,
             result,
@@ -744,6 +840,8 @@ impl FleetScheduler {
                 pool_detected: vals[10],
                 pool_quarantines: vals[11],
                 latencies_cycles,
+                // dumps are incident artifacts, not recoverable state
+                flight_dumps: Vec::new(),
             };
             let residency = match read_u8(payload, c)? {
                 0 => {
@@ -766,6 +864,7 @@ impl FleetScheduler {
                     shed_rung,
                     breaker,
                     failure_marks,
+                    flight: None,
                 },
             );
             if prev.is_some() {
@@ -1265,6 +1364,61 @@ mod tests {
             Err(crate::StoreError::Malformed(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_recorder_dumps_on_deadline_miss_and_replays() {
+        let dir = std::env::temp_dir().join(format!("pimvo_flight_fleet_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut fleet = FleetScheduler::new(2);
+        fleet.set_flight_dir(&dir);
+        // 1-cycle deadline: every frame misses, so every frame dumps
+        fleet.add_session(
+            SessionId(1),
+            SessionSpec::new(TrackerConfig::default())
+                .deadline_cycles(1)
+                .max_queue(4)
+                .flight_recorder(2),
+        );
+        let (g, d) = textured_frame(0.0);
+        for _ in 0..2 {
+            fleet
+                .submit_frame(SessionId(1), g.clone(), d.clone())
+                .unwrap();
+            let _ = fleet.step().unwrap().unwrap();
+        }
+        let st = fleet.stats(SessionId(1)).unwrap();
+        assert_eq!(st.flight_dumps.len(), 2);
+        let dump =
+            FlightDump::load(std::path::Path::new(&st.flight_dumps[1])).expect("dump decodes");
+        assert_eq!(dump.session, 1);
+        assert_eq!(dump.reason, DumpReason::DeadlineMiss);
+        assert_eq!(dump.frames.len(), 2, "ring holds both frames");
+        for f in &dump.frames {
+            assert!(!f.trace.is_empty());
+            assert_eq!(f.trace.dropped, 0);
+            // the dependency DAG reproduces the frame's wall clock: the
+            // critical path through the barrier chain is exactly the
+            // pool cycles the scheduler charged this frame
+            let prof = pimvo_telemetry::optrace::profile(&f.trace);
+            assert_eq!(prof.critical_path_cycles, f.wall_delta);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_recorder_does_not_perturb_virtual_time() {
+        let run = |armed: bool| {
+            let mut fleet = FleetScheduler::new(2);
+            let spec = SessionSpec::new(TrackerConfig::default());
+            let spec = if armed { spec.flight_recorder(4) } else { spec };
+            fleet.add_session(SessionId(1), spec);
+            let (g, d) = textured_frame(0.0);
+            fleet.submit_frame(SessionId(1), g, d).unwrap();
+            let o = fleet.step().unwrap().unwrap();
+            (o.latency_cycles, o.result.pose_wc, fleet.now_cycles())
+        };
+        assert_eq!(run(false), run(true), "recording is invisible to timing");
     }
 
     #[test]

@@ -72,9 +72,11 @@
 //! ```
 
 mod fleet;
+mod flight;
 mod session;
 mod store;
 
 pub use fleet::{BreakerState, FleetScheduler};
+pub use flight::{DumpReason, FlightDump, FlightFrame, FLIGHT_MAGIC, FLIGHT_VERSION};
 pub use session::{BreakerConfig, ServeError, SessionSpec, SessionStats, StepOutcome};
 pub use store::{FleetCheckpointStore, StoreError};

@@ -26,6 +26,11 @@ pub struct SessionSpec {
     /// Per-session circuit breaker; `None` (the default) disables it
     /// and preserves pre-breaker scheduling exactly.
     pub breaker: Option<BreakerConfig>,
+    /// Flight recorder: keep the op traces of the last N completed
+    /// frames and dump them to disk on breaker trip, deadline miss or
+    /// pool quarantine. `None` (the default) records nothing and
+    /// leaves execution bit- and cycle-identical.
+    pub flight_recorder: Option<usize>,
 }
 
 impl SessionSpec {
@@ -37,6 +42,7 @@ impl SessionSpec {
             max_queue: 4,
             priority: 0,
             breaker: None,
+            flight_recorder: None,
         }
     }
 
@@ -69,6 +75,20 @@ impl SessionSpec {
     /// Arms the per-session circuit breaker.
     pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker = Some(breaker);
+        self
+    }
+
+    /// Arms the per-session flight recorder: the fleet keeps the op
+    /// traces of the session's last `frames` completed frames and
+    /// dumps the ring on breaker trip, deadline miss or pool
+    /// quarantine (see [`crate::FlightDump`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn flight_recorder(mut self, frames: usize) -> Self {
+        assert!(frames > 0, "a flight recorder needs at least one frame");
+        self.flight_recorder = Some(frames);
         self
     }
 }
@@ -137,6 +157,10 @@ pub struct SessionStats {
     pub pool_detected: u64,
     /// Arrays the pool quarantined while this session's frames ran.
     pub pool_quarantines: u64,
+    /// Paths of flight-recorder dumps written for this session, in the
+    /// order they were written. Not part of the crash-recovery
+    /// manifest: dumps are incident artifacts, rediscovered from disk.
+    pub flight_dumps: Vec<String>,
 }
 
 impl SessionStats {

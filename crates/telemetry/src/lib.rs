@@ -46,6 +46,7 @@ mod clock;
 /// dependency-free); also used by `pimvo-bench` for its report files.
 pub mod json;
 mod metrics;
+pub mod optrace;
 mod perfetto;
 mod record;
 

@@ -1,0 +1,928 @@
+//! Dependency-tracked binary op trace: the flight-recorder format.
+//!
+//! The simulator's [`crate::Telemetry`] spans answer *"how long did
+//! this phase take"*; this module answers *"which macro-ops, rows and
+//! host transfers burned the budget, and in what order"*. Producers
+//! (the `pimvo-pim` machine/pool/executor layer) emit one fixed-size
+//! [`OpRecord`] per macro-op with explicit dependency edges — row RAW /
+//! WAR within an array, wave barriers and job ordering across arrays,
+//! host load/store ↔ compute — and this module owns everything
+//! downstream of that stream:
+//!
+//! * the **versioned little-endian binary codec** ([`OpTrace::encode`] /
+//!   [`OpTrace::decode`]), byte-deterministic and CRC-checked:
+//!
+//!   ```text
+//!   magic "PIMVOTRC" | version u16 | record_len u16 | dropped u64 |
+//!   count u64 | records (80 B each) | nlabels u64 |
+//!   (len u64, utf8 bytes)* | crc32
+//!   ```
+//!
+//! * the **critical-path profiler** ([`profile`]): a longest-path walk
+//!   over the dependency DAG, attributing cycles/energy per op kind,
+//!   per kernel label, per array and per session;
+//! * a **Perfetto converter** ([`to_perfetto`]) for small windows.
+//!
+//! Corrupt input never panics: every decode failure is a typed
+//! [`OpTraceError`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Container magic: "PIMVOTRC" (trace), distinct from the fleet
+/// manifest ("PIMVOFLT") and tracker checkpoint ("PIMVOCKP") magics.
+pub const OPTRACE_MAGIC: &[u8; 8] = b"PIMVOTRC";
+/// Container version; bumped on layout changes.
+pub const OPTRACE_VERSION: u16 = 1;
+/// Encoded size of one [`OpRecord`], embedded in the header so a
+/// decoder can reject records from a different layout outright.
+pub const OP_RECORD_LEN: u16 = 80;
+
+/// Sentinel row index: the record reads/writes no SRAM row there.
+pub const NO_ROW: u32 = u32::MAX;
+/// Sentinel label index: the record carries no kernel label.
+pub const NO_LABEL: u32 = u32::MAX;
+/// Sentinel session id: the record is not attributed to a session.
+pub const NO_SESSION: u32 = u32::MAX;
+/// Array index of the pool-level stream (wave barriers / sync points).
+pub const POOL_STREAM: u16 = u16::MAX;
+/// Dependency slots per record; `0` marks an empty slot (record ids
+/// start at 1).
+pub const DEPS_PER_RECORD: usize = 3;
+
+/// What one [`OpRecord`] did. The first fourteen variants mirror the
+/// machine's macro-op classes; the rest cover the host port, array
+/// maintenance and pool synchronisation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u16)]
+pub enum OpKind {
+    /// Bitwise logic through the dual sense amplifiers.
+    Logic = 0,
+    /// Add / subtract.
+    AddSub = 1,
+    /// Saturating add / subtract / narrow.
+    SatAddSub = 2,
+    /// Average.
+    Avg = 3,
+    /// Absolute difference.
+    AbsDiff = 4,
+    /// Min / max.
+    MinMax = 5,
+    /// Lane or bit shift.
+    Shift = 6,
+    /// Comparison.
+    Cmp = 7,
+    /// Select / register move.
+    Select = 8,
+    /// Multiplication (shift-accumulate steps folded in).
+    Mul = 9,
+    /// Division (subtract-restore steps folded in).
+    Div = 10,
+    /// Tmp-Reg write-back to an SRAM row.
+    WriteBack = 11,
+    /// Lane-tree reduction.
+    Reduce = 12,
+    /// Serialized random-access gather.
+    Gather = 13,
+    /// Host port → SRAM row transfer (image upload, constants).
+    HostWrite = 14,
+    /// SRAM row → host port transfer (result readout).
+    HostRead = 15,
+    /// Scrub (march-test) pass over a row.
+    Scrub = 16,
+    /// Verify-on-read patrol charge (probation mode).
+    Patrol = 17,
+    /// Spare-row remap migration.
+    Remap = 18,
+    /// Pool synchronisation point: joins the member streams of one
+    /// wave (carries the inter-array sync cost) or serializes a
+    /// recovery/patrol step against the pool's wall clock.
+    Barrier = 19,
+}
+
+/// Every kind, in discriminant order (profile table order).
+pub const OP_KINDS: [OpKind; 20] = [
+    OpKind::Logic,
+    OpKind::AddSub,
+    OpKind::SatAddSub,
+    OpKind::Avg,
+    OpKind::AbsDiff,
+    OpKind::MinMax,
+    OpKind::Shift,
+    OpKind::Cmp,
+    OpKind::Select,
+    OpKind::Mul,
+    OpKind::Div,
+    OpKind::WriteBack,
+    OpKind::Reduce,
+    OpKind::Gather,
+    OpKind::HostWrite,
+    OpKind::HostRead,
+    OpKind::Scrub,
+    OpKind::Patrol,
+    OpKind::Remap,
+    OpKind::Barrier,
+];
+
+impl OpKind {
+    /// Stable wire/display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpKind::Logic => "logic",
+            OpKind::AddSub => "addsub",
+            OpKind::SatAddSub => "sat",
+            OpKind::Avg => "avg",
+            OpKind::AbsDiff => "absdiff",
+            OpKind::MinMax => "minmax",
+            OpKind::Shift => "shift",
+            OpKind::Cmp => "cmp",
+            OpKind::Select => "select",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::WriteBack => "writeback",
+            OpKind::Reduce => "reduce",
+            OpKind::Gather => "gather",
+            OpKind::HostWrite => "host_write",
+            OpKind::HostRead => "host_read",
+            OpKind::Scrub => "scrub",
+            OpKind::Patrol => "patrol",
+            OpKind::Remap => "remap",
+            OpKind::Barrier => "barrier",
+        }
+    }
+
+    /// Decodes a wire discriminant.
+    pub fn from_u16(v: u16) -> Option<OpKind> {
+        OP_KINDS.get(v as usize).copied()
+    }
+}
+
+/// One traced macro-op: what ran, where, what it cost, and which
+/// earlier records it depended on. Fixed 80-byte wire encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Globally unique id (> 0; producers namespace ids per stream).
+    pub id: u64,
+    /// Dependency edges: ids of records that must finish before this
+    /// one starts. Slot order: serial predecessor in the same stream,
+    /// row RAW (last writer of a read row), row WAR/WAW (last
+    /// reader/writer of the written row). `0` = empty slot.
+    pub deps: [u64; DEPS_PER_RECORD],
+    /// Stream-local cycle counter at op start (machine cycles for
+    /// array streams, pool wall cycles for the [`POOL_STREAM`]).
+    pub start: u64,
+    /// Cycles charged, protection/multi-step overhead included.
+    pub cycles: u64,
+    /// SRAM accesses charged (reads + writes), for energy attribution.
+    pub sram: u32,
+    /// Operation size: lanes touched, gather elements, scrubbed rows.
+    pub size: u32,
+    /// Rows read (`[a, b]`; [`NO_ROW`] = operand was not a row).
+    pub rows: [u32; 2],
+    /// Row written ([`NO_ROW`] = result stayed in the Tmp Reg).
+    pub dst: u32,
+    /// Owning session id ([`NO_SESSION`] outside the serving layer).
+    pub session: u32,
+    /// Kernel label as an index into [`OpTrace::labels`]
+    /// ([`NO_LABEL`] = unlabeled).
+    pub label: u32,
+    /// What the op did.
+    pub kind: OpKind,
+    /// Array index, or [`POOL_STREAM`] for pool synchronisation.
+    pub array: u16,
+}
+
+impl OpRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_le_bytes());
+        for d in &self.deps {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&self.cycles.to_le_bytes());
+        out.extend_from_slice(&self.sram.to_le_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&self.rows[0].to_le_bytes());
+        out.extend_from_slice(&self.rows[1].to_le_bytes());
+        out.extend_from_slice(&self.dst.to_le_bytes());
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.label.to_le_bytes());
+        out.extend_from_slice(&(self.kind as u16).to_le_bytes());
+        out.extend_from_slice(&self.array.to_le_bytes());
+    }
+
+    fn decode_from(bytes: &[u8]) -> Result<OpRecord, OpTraceError> {
+        debug_assert_eq!(bytes.len(), OP_RECORD_LEN as usize);
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let u16_at = |o: usize| u16::from_le_bytes(bytes[o..o + 2].try_into().expect("2 bytes"));
+        let id = u64_at(0);
+        if id == 0 {
+            return Err(OpTraceError::Malformed("record id zero"));
+        }
+        let kind =
+            OpKind::from_u16(u16_at(76)).ok_or(OpTraceError::Malformed("unknown op kind"))?;
+        Ok(OpRecord {
+            id,
+            deps: [u64_at(8), u64_at(16), u64_at(24)],
+            start: u64_at(32),
+            cycles: u64_at(40),
+            sram: u32_at(48),
+            size: u32_at(52),
+            rows: [u32_at(56), u32_at(60)],
+            dst: u32_at(64),
+            session: u32_at(68),
+            label: u32_at(72),
+            kind,
+            array: u16_at(78),
+        })
+    }
+}
+
+/// A batch of [`OpRecord`]s plus the interned kernel-label table and
+/// the producer's ring-buffer drop counter.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpTrace {
+    /// Records, in emission order per stream (streams concatenate on
+    /// [`OpTrace::merge`]; dependency ids remain valid across streams).
+    pub records: Vec<OpRecord>,
+    /// Kernel label strings, indexed by [`OpRecord::label`].
+    pub labels: Vec<String>,
+    /// Records the producer's bounded ring dropped (oldest-first).
+    /// Non-zero means dependency edges may dangle; the profiler treats
+    /// a missing dependency as already finished.
+    pub dropped: u64,
+}
+
+impl OpTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        OpTrace::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The label string behind an [`OpRecord::label`] index.
+    pub fn label(&self, idx: u32) -> Option<&str> {
+        if idx == NO_LABEL {
+            return None;
+        }
+        self.labels.get(idx as usize).map(String::as_str)
+    }
+
+    /// Interns `label`, returning its index.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(i) = self.labels.iter().position(|l| l == label) {
+            return i as u32;
+        }
+        self.labels.push(label.to_string());
+        (self.labels.len() - 1) as u32
+    }
+
+    /// Appends another trace (a per-array or pool stream), remapping
+    /// its label indices into this trace's table and accumulating its
+    /// drop counter. Record ids are producer-namespaced and stay
+    /// valid unchanged.
+    pub fn merge(&mut self, other: OpTrace) {
+        let remap: Vec<u32> = other.labels.iter().map(|l| self.intern(l)).collect();
+        self.records.extend(other.records.into_iter().map(|mut r| {
+            if r.label != NO_LABEL {
+                r.label = remap.get(r.label as usize).copied().unwrap_or(NO_LABEL);
+            }
+            r
+        }));
+        self.dropped += other.dropped;
+    }
+
+    /// Serializes the trace into the versioned, CRC-checked container.
+    /// Byte-deterministic: the same trace always encodes identically.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 + 2 + 2 + 8 + 8 + self.records.len() * OP_RECORD_LEN as usize + 8 + 4,
+        );
+        out.extend_from_slice(OPTRACE_MAGIC);
+        out.extend_from_slice(&OPTRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&OP_RECORD_LEN.to_le_bytes());
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u64).to_le_bytes());
+        for r in &self.records {
+            r.encode_into(&mut out);
+        }
+        out.extend_from_slice(&(self.labels.len() as u64).to_le_bytes());
+        for l in &self.labels {
+            out.extend_from_slice(&(l.len() as u64).to_le_bytes());
+            out.extend_from_slice(l.as_bytes());
+        }
+        let crc = crc32(&out[8..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses a container produced by [`OpTrace::encode`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`OpTraceError`] on any corruption: truncation, foreign
+    /// magic, unsupported version or record layout, CRC mismatch or a
+    /// structurally invalid payload. Never panics.
+    pub fn decode(bytes: &[u8]) -> Result<OpTrace, OpTraceError> {
+        if bytes.len() < 8 + 2 + 2 + 8 + 8 + 8 + 4 {
+            return Err(OpTraceError::Truncated);
+        }
+        if &bytes[..8] != OPTRACE_MAGIC {
+            return Err(OpTraceError::BadMagic);
+        }
+        let body = &bytes[8..bytes.len() - 4];
+        let expected = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        let got = crc32(body);
+        if expected != got {
+            return Err(OpTraceError::Crc { expected, got });
+        }
+        let c = &mut 0usize;
+        let version = read_u16(body, c)?;
+        if version != OPTRACE_VERSION {
+            return Err(OpTraceError::Version(version));
+        }
+        let record_len = read_u16(body, c)?;
+        if record_len != OP_RECORD_LEN {
+            return Err(OpTraceError::RecordLen(record_len));
+        }
+        let dropped = read_u64(body, c)?;
+        let count = read_u64(body, c)?;
+        let need = (count as usize)
+            .checked_mul(OP_RECORD_LEN as usize)
+            .ok_or(OpTraceError::Malformed("record count overflow"))?;
+        let rec_bytes = read_bytes(body, c, need)?;
+        let mut records = Vec::with_capacity(count as usize);
+        for chunk in rec_bytes.chunks_exact(OP_RECORD_LEN as usize) {
+            records.push(OpRecord::decode_from(chunk)?);
+        }
+        let nlabels = read_u64(body, c)? as usize;
+        let mut labels = Vec::with_capacity(nlabels.min(1 << 16));
+        for _ in 0..nlabels {
+            let len = read_u64(body, c)? as usize;
+            let raw = read_bytes(body, c, len)?;
+            let s =
+                std::str::from_utf8(raw).map_err(|_| OpTraceError::Malformed("label not utf-8"))?;
+            labels.push(s.to_string());
+        }
+        if *c != body.len() {
+            return Err(OpTraceError::Malformed("trailing bytes"));
+        }
+        for r in &records {
+            if r.label != NO_LABEL && r.label as usize >= labels.len() {
+                return Err(OpTraceError::Malformed("label index out of range"));
+            }
+        }
+        Ok(OpTrace {
+            records,
+            labels,
+            dropped,
+        })
+    }
+}
+
+/// Typed op-trace decode errors.
+#[derive(Debug)]
+pub enum OpTraceError {
+    /// The input is shorter than the fixed container framing.
+    Truncated,
+    /// The input does not start with the op-trace magic.
+    BadMagic,
+    /// The container was written by an incompatible version.
+    Version(u16),
+    /// The container embeds a different record layout size.
+    RecordLen(u16),
+    /// The body CRC does not match: torn or corrupted file.
+    Crc {
+        /// CRC recorded in the file.
+        expected: u32,
+        /// CRC of the body actually read.
+        got: u32,
+    },
+    /// The payload failed structural validation.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for OpTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpTraceError::Truncated => write!(f, "op trace shorter than its framing"),
+            OpTraceError::BadMagic => write!(f, "not an op trace (bad magic)"),
+            OpTraceError::Version(v) => write!(f, "unsupported op trace version {v}"),
+            OpTraceError::RecordLen(n) => write!(f, "unsupported op record size {n}"),
+            OpTraceError::Crc { expected, got } => write!(
+                f,
+                "op trace CRC mismatch (expected {expected:#010x}, got {got:#010x})"
+            ),
+            OpTraceError::Malformed(what) => write!(f, "malformed op trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OpTraceError {}
+
+fn read_u16(bytes: &[u8], cursor: &mut usize) -> Result<u16, OpTraceError> {
+    let b = read_bytes(bytes, cursor, 2)?;
+    Ok(u16::from_le_bytes(b.try_into().expect("2 bytes")))
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, OpTraceError> {
+    let b = read_bytes(bytes, cursor, 8)?;
+    Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn read_bytes<'a>(
+    bytes: &'a [u8],
+    cursor: &mut usize,
+    len: usize,
+) -> Result<&'a [u8], OpTraceError> {
+    let end = cursor
+        .checked_add(len)
+        .ok_or(OpTraceError::Malformed("length overflow"))?;
+    if end > bytes.len() {
+        return Err(OpTraceError::Truncated);
+    }
+    let out = &bytes[*cursor..end];
+    *cursor = end;
+    Ok(out)
+}
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the same
+/// polynomial the tracker/fleet checkpoints use, reimplemented here so
+/// the telemetry crate stays dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Critical-path profiler
+// ---------------------------------------------------------------------
+
+/// Per-record energy weights for the profile's attribution columns.
+/// Callers derive them from their `CostModel` (the trace itself stays
+/// cost-model-free): `op_pj` per charged cycle (shifter/adder +
+/// Tmp-Reg traffic), `sram_pj` per SRAM access.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyWeights {
+    /// Picojoules per charged cycle.
+    pub op_pj: f64,
+    /// Picojoules per SRAM access.
+    pub sram_pj: f64,
+}
+
+/// One aggregation bucket of a [`Profile`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Records in the bucket.
+    pub count: u64,
+    /// Cycles charged by the bucket.
+    pub cycles: u64,
+    /// SRAM accesses charged by the bucket.
+    pub sram: u64,
+    /// Cycles the bucket contributes to the critical path.
+    pub crit_cycles: u64,
+}
+
+impl ProfileRow {
+    fn add(&mut self, r: &OpRecord, on_path: bool) {
+        self.count += 1;
+        self.cycles += r.cycles;
+        self.sram += r.sram as u64;
+        if on_path {
+            self.crit_cycles += r.cycles;
+        }
+    }
+
+    /// Energy attributed to the bucket under `w`.
+    pub fn energy_pj(&self, w: &EnergyWeights) -> f64 {
+        self.cycles as f64 * w.op_pj + self.sram as f64 * w.sram_pj
+    }
+}
+
+/// The dependency-DAG profile of one [`OpTrace`]: critical path plus
+/// cycle/energy attribution per op kind, kernel, array and session.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Records profiled.
+    pub records: u64,
+    /// Producer-side ring drops (dangling edges possible when > 0).
+    pub dropped: u64,
+    /// Sum of all record cycles (the serial, one-array-at-a-time cost).
+    pub total_cycles: u64,
+    /// Longest dependency chain through the DAG, weighted by record
+    /// cycles. With pool barriers in the trace this equals the pool's
+    /// wall-cycle delta over the traced window.
+    pub critical_path_cycles: u64,
+    /// Records on the critical path.
+    pub critical_path_records: u64,
+    /// Attribution per op kind (keyed by [`OpKind::as_str`]).
+    pub by_kind: BTreeMap<&'static str, ProfileRow>,
+    /// Attribution per kernel label (`"(unlabeled)"` bucket for none).
+    pub by_kernel: BTreeMap<String, ProfileRow>,
+    /// Attribution per array ([`POOL_STREAM`] renders as `pool`).
+    pub by_array: BTreeMap<u16, ProfileRow>,
+    /// Attribution per session ([`NO_SESSION`] renders as `-`).
+    pub by_session: BTreeMap<u32, ProfileRow>,
+}
+
+/// Walks the trace's dependency DAG: computes the cycle-weighted
+/// critical path and aggregates cycles/SRAM traffic into the profile's
+/// attribution tables. Dependencies on records missing from the trace
+/// (dropped by a bounded ring) are treated as already finished.
+pub fn profile(trace: &OpTrace) -> Profile {
+    let index: BTreeMap<u64, usize> = trace
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.id, i))
+        .collect();
+    let n = trace.records.len();
+    // finish[i] = r.cycles + max(finish[deps]); iterative DFS so deep
+    // serial chains (every machine stream is one) cannot overflow the
+    // host stack.
+    let mut finish: Vec<u64> = vec![u64::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for root in 0..n {
+        if finish[root] != u64::MAX {
+            continue;
+        }
+        stack.push(root);
+        while let Some(&i) = stack.last() {
+            if finish[i] != u64::MAX {
+                stack.pop();
+                continue;
+            }
+            let mut ready = true;
+            let mut best = 0u64;
+            for &d in &trace.records[i].deps {
+                if d == 0 {
+                    continue;
+                }
+                let Some(&j) = index.get(&d) else { continue };
+                if j == i {
+                    continue; // self-edge: corrupt input, ignore
+                }
+                if finish[j] == u64::MAX {
+                    // unvisited dependency: defer unless it is already
+                    // on the stack (a cycle, only possible in corrupt
+                    // input) — then treat it as finished at 0
+                    if stack.contains(&j) {
+                        continue;
+                    }
+                    stack.push(j);
+                    ready = false;
+                } else {
+                    best = best.max(finish[j]);
+                }
+            }
+            if ready {
+                stack.pop();
+                finish[i] = trace.records[i].cycles.saturating_add(best);
+            }
+        }
+    }
+
+    // walk the path back from the latest finisher, marking its records
+    let mut on_path = vec![false; n];
+    let mut crit_cycles = 0u64;
+    let mut crit_records = 0u64;
+    if let Some(mut i) = (0..n).max_by_key(|&i| (finish[i], std::cmp::Reverse(i))) {
+        crit_cycles = finish[i];
+        loop {
+            on_path[i] = true;
+            crit_records += 1;
+            let want = finish[i] - trace.records[i].cycles;
+            let mut next = None;
+            for &d in &trace.records[i].deps {
+                if d == 0 {
+                    continue;
+                }
+                if let Some(&j) = index.get(&d) {
+                    if j != i && finish[j] == want && !on_path[j] {
+                        next = Some(j);
+                        break;
+                    }
+                }
+            }
+            match next {
+                Some(j) if want > 0 => i = j,
+                _ => break,
+            }
+        }
+    }
+
+    let mut p = Profile {
+        records: n as u64,
+        dropped: trace.dropped,
+        critical_path_cycles: crit_cycles,
+        critical_path_records: crit_records,
+        ..Profile::default()
+    };
+    for (i, r) in trace.records.iter().enumerate() {
+        p.total_cycles += r.cycles;
+        p.by_kind
+            .entry(r.kind.as_str())
+            .or_default()
+            .add(r, on_path[i]);
+        let kernel = trace.label(r.label).unwrap_or("(unlabeled)").to_string();
+        p.by_kernel.entry(kernel).or_default().add(r, on_path[i]);
+        p.by_array.entry(r.array).or_default().add(r, on_path[i]);
+        p.by_session
+            .entry(r.session)
+            .or_default()
+            .add(r, on_path[i]);
+    }
+    p
+}
+
+impl Profile {
+    /// Renders the attribution tables as deterministic fixed-width
+    /// text (the `out/profile_*.txt` golden format).
+    pub fn render(&self, w: &EnergyWeights) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "op trace profile");
+        let _ = writeln!(
+            out,
+            "  records        : {} ({} dropped)",
+            self.records, self.dropped
+        );
+        let _ = writeln!(out, "  total cycles   : {} (serial sum)", self.total_cycles);
+        let _ = writeln!(
+            out,
+            "  critical path  : {} cycles over {} records",
+            self.critical_path_cycles, self.critical_path_records
+        );
+        for (title, rows) in [
+            ("kind", fmt_keys(&self.by_kind, |k| k.to_string())),
+            ("kernel", fmt_keys(&self.by_kernel, |k| k.clone())),
+            (
+                "array",
+                fmt_keys(&self.by_array, |&a| {
+                    if a == POOL_STREAM {
+                        "pool".to_string()
+                    } else {
+                        format!("array {a}")
+                    }
+                }),
+            ),
+            (
+                "session",
+                fmt_keys(&self.by_session, |&s| {
+                    if s == NO_SESSION {
+                        "-".to_string()
+                    } else {
+                        format!("session {s}")
+                    }
+                }),
+            ),
+        ] {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "  by {title:<18} {:>10} {:>14} {:>12} {:>14} {:>16}",
+                "count", "cycles", "sram", "crit-cycles", "energy-pJ"
+            );
+            for (name, row) in rows {
+                let _ = writeln!(
+                    out,
+                    "    {name:<19} {:>10} {:>14} {:>12} {:>14} {:>16.1}",
+                    row.count,
+                    row.cycles,
+                    row.sram,
+                    row.crit_cycles,
+                    row.energy_pj(w)
+                );
+            }
+        }
+        out
+    }
+}
+
+fn fmt_keys<K: Ord + Clone, F: Fn(&K) -> String>(
+    map: &BTreeMap<K, ProfileRow>,
+    f: F,
+) -> Vec<(String, ProfileRow)> {
+    map.iter().map(|(k, v)| (f(k), *v)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Perfetto conversion
+// ---------------------------------------------------------------------
+
+/// Converts a (small) trace window to Chrome/Perfetto trace-event JSON:
+/// one cycle-domain lane per array stream, each record a complete span
+/// named by its kernel label and kind. Intended for windows of up to a
+/// few hundred thousand records — the binary format is the scalable
+/// one; this is the microscope.
+pub fn to_perfetto(trace: &OpTrace) -> String {
+    let snap = crate::TelemetrySnapshot {
+        spans: trace
+            .records
+            .iter()
+            .map(|r| crate::SpanRecord {
+                domain: crate::TimeDomain::Cycles,
+                track: if r.array == POOL_STREAM {
+                    "pool".to_string()
+                } else {
+                    format!("array {}", r.array)
+                },
+                name: match trace.label(r.label) {
+                    Some(l) => format!("{l} {}", r.kind.as_str()),
+                    None => r.kind.as_str().to_string(),
+                },
+                start: r.start,
+                dur: r.cycles,
+                frame: None,
+                args: vec![
+                    ("id".to_string(), r.id.to_string()),
+                    (
+                        "deps".to_string(),
+                        r.deps
+                            .iter()
+                            .filter(|&&d| d != 0)
+                            .map(|d| d.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ),
+                ],
+            })
+            .collect(),
+        ..Default::default()
+    };
+    crate::perfetto::export(&snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, deps: [u64; 3], cycles: u64) -> OpRecord {
+        OpRecord {
+            id,
+            deps,
+            start: 0,
+            cycles,
+            sram: 1,
+            size: 320,
+            rows: [0, NO_ROW],
+            dst: NO_ROW,
+            session: NO_SESSION,
+            label: NO_LABEL,
+            kind: OpKind::AddSub,
+            array: 0,
+        }
+    }
+
+    fn sample() -> OpTrace {
+        let mut t = OpTrace::new();
+        let l = t.intern("lpf_pass1");
+        t.records = vec![
+            rec(1, [0; 3], 3),
+            rec(2, [1, 0, 0], 5),
+            OpRecord {
+                label: l,
+                kind: OpKind::Mul,
+                ..rec(3, [1, 0, 0], 7)
+            },
+            OpRecord {
+                kind: OpKind::Barrier,
+                array: POOL_STREAM,
+                ..rec(4, [2, 3, 0], 2)
+            },
+        ];
+        t
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let t = sample();
+        let bytes = t.encode();
+        let back = OpTrace::decode(&bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors() {
+        let t = sample();
+        let bytes = t.encode();
+
+        assert!(matches!(
+            OpTrace::decode(&bytes[..10]),
+            Err(OpTraceError::Truncated)
+        ));
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(OpTrace::decode(&bad), Err(OpTraceError::BadMagic)));
+
+        let mut bad = bytes.clone();
+        bad[20] ^= 0x10; // flip a body bit: CRC must catch it
+        assert!(matches!(
+            OpTrace::decode(&bad),
+            Err(OpTraceError::Crc { .. })
+        ));
+
+        // a version flip re-CRC'd: reaches the version check
+        let mut bad = bytes.clone();
+        bad[8] = 0xEE;
+        let len = bad.len();
+        let crc = crc32(&bad[8..len - 4]).to_le_bytes();
+        bad[len - 4..].copy_from_slice(&crc);
+        assert!(matches!(
+            OpTrace::decode(&bad),
+            Err(OpTraceError::Version(0xEE))
+        ));
+
+        // truncating whole records also breaks the CRC, never panics
+        let cut = &bytes[..bytes.len() - OP_RECORD_LEN as usize];
+        assert!(OpTrace::decode(cut).is_err());
+    }
+
+    #[test]
+    fn merge_remaps_labels() {
+        let mut a = OpTrace::new();
+        let la = a.intern("hpf");
+        a.records.push(OpRecord {
+            label: la,
+            ..rec(1, [0; 3], 1)
+        });
+        let mut b = OpTrace::new();
+        b.intern("padding");
+        let lb = b.intern("hpf");
+        b.records.push(OpRecord {
+            label: lb,
+            ..rec(10, [0; 3], 1)
+        });
+        b.dropped = 2;
+        a.merge(b);
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.label(a.records[1].label), Some("hpf"));
+        assert_eq!(a.labels.len(), 2, "shared labels deduplicate");
+    }
+
+    #[test]
+    fn critical_path_takes_the_longest_branch() {
+        // diamond: 1 -> {2 (5cy), 3 (7cy)} -> 4; path = 3 + 7 + 2 = 12
+        let t = sample();
+        let p = profile(&t);
+        assert_eq!(p.total_cycles, 17);
+        assert_eq!(p.critical_path_cycles, 12);
+        assert_eq!(p.critical_path_records, 3);
+        assert_eq!(p.by_kind["mul"].crit_cycles, 7);
+        assert_eq!(p.by_kind["addsub"].crit_cycles, 3, "only record 1");
+        assert_eq!(p.by_kernel["lpf_pass1"].cycles, 7);
+        assert_eq!(p.by_array[&POOL_STREAM].count, 1);
+    }
+
+    #[test]
+    fn dangling_deps_profile_without_panicking() {
+        let mut t = OpTrace::new();
+        t.records = vec![rec(5, [4, 0, 0], 6)]; // dep 4 was dropped
+        t.dropped = 4;
+        let p = profile(&t);
+        assert_eq!(p.critical_path_cycles, 6);
+        assert_eq!(p.dropped, 4);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let t = sample();
+        let w = EnergyWeights {
+            op_pj: 0.5,
+            sram_pj: 2.0,
+        };
+        let p = profile(&t);
+        let s = p.render(&w);
+        assert_eq!(s, profile(&t).render(&w));
+        assert!(s.contains("critical path  : 12 cycles"));
+        assert!(s.contains("lpf_pass1"));
+        assert!(s.contains("pool"));
+    }
+
+    #[test]
+    fn perfetto_window_names_lanes_per_array() {
+        let s = to_perfetto(&sample());
+        assert!(s.contains("\"traceEvents\""));
+        assert!(s.contains("array 0"));
+        assert!(s.contains("\"pool\""));
+        assert!(s.contains("lpf_pass1 mul"));
+    }
+}

@@ -10,15 +10,28 @@
 //! cargo run --release --example track_sequence -- xyz float 60 out/ 3   # 3 pyramid levels
 //! cargo run --release --example track_sequence -- desk pim 30 \
 //!     --trace-out trace.json --metrics-out metrics.txt --log-jsonl events.jsonl
+//! cargo run --release --example track_sequence -- desk pim 30 \
+//!     --trace-bin trace.bin --flight-recorder 4
 //! ```
 //!
 //! Open `trace.json` at <https://ui.perfetto.dev> to see the
 //! frame → stage → pool-phase → shard span hierarchy in both the
 //! wall-time and PIM-cycle tracks.
+//!
+//! `--trace-bin FILE` arms the PIM pool's op recorders and writes the
+//! whole run as one dependency-tracked binary trace (profile it with
+//! the `trace_profile` tooling in `pimvo-bench`). `--flight-recorder N`
+//! keeps the op traces of the last N frames in a ring and writes a
+//! flight-recorder dump at the end of the run — reason `deadline` if
+//! any budgeted frame overran, `manual` otherwise. Both flags need the
+//! `pim` backend.
 
 use pimvo::core::{BackendKind, Checkpoint, Tracker, TrackerConfig};
 use pimvo::scene::{ate_rmse, format_tum, rpe_rmse, Sequence, SequenceKind, Trajectory};
+use pimvo::serve::{DumpReason, FlightDump, FlightFrame};
+use pimvo::telemetry::optrace::OpTrace;
 use pimvo::telemetry::Telemetry;
+use std::collections::VecDeque;
 use std::env;
 
 fn usage() -> ! {
@@ -26,7 +39,8 @@ fn usage() -> ! {
         "usage: track_sequence [xyz|desk|str_ntex_far|pan] [float|pim] [frames>=2] \
          [out_dir] [pyramid_levels]\n       \
          [--trace-out FILE] [--metrics-out FILE] [--log-jsonl FILE]\n       \
-         [--checkpoint-every N] [--resume FILE] [--frame-budget-cycles K]"
+         [--checkpoint-every N] [--resume FILE] [--frame-budget-cycles K]\n       \
+         [--trace-bin FILE] [--flight-recorder N]"
     );
     std::process::exit(2)
 }
@@ -40,6 +54,8 @@ fn main() {
     let mut checkpoint_every: Option<String> = None;
     let mut resume: Option<String> = None;
     let mut frame_budget: Option<String> = None;
+    let mut trace_bin: Option<String> = None;
+    let mut flight_recorder: Option<String> = None;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         let mut flag = |dst: &mut Option<String>| match args.next() {
@@ -53,6 +69,8 @@ fn main() {
             "--checkpoint-every" => flag(&mut checkpoint_every),
             "--resume" => flag(&mut resume),
             "--frame-budget-cycles" => flag(&mut frame_budget),
+            "--trace-bin" => flag(&mut trace_bin),
+            "--flight-recorder" => flag(&mut flight_recorder),
             "--help" | "-h" => usage(),
             _ => positional.push(a),
         }
@@ -60,6 +78,14 @@ fn main() {
     let checkpoint_every: Option<usize> =
         checkpoint_every.map(|v| v.parse().unwrap_or_else(|_| usage()));
     let frame_budget: Option<u64> = frame_budget.map(|v| v.parse().unwrap_or_else(|_| usage()));
+    let flight_recorder: Option<usize> = flight_recorder.map(|v| {
+        let n = v.parse().unwrap_or_else(|_| usage());
+        if n == 0 {
+            eprintln!("error: --flight-recorder needs at least 1 frame");
+            usage();
+        }
+        n
+    });
 
     let kind = match positional.first().map(String::as_str) {
         Some("xyz") | None => SequenceKind::Xyz,
@@ -108,6 +134,26 @@ fn main() {
         println!("frame budget   : {cycles} PIM/MCU cycles per frame");
     }
 
+    // Op tracing: arm the pool's dependency-tracked recorders. The
+    // flight ring drains per frame (each FlightFrame scopes exactly one
+    // frame's pool work); a bare --trace-bin drains once at the end so
+    // cross-frame serial edges survive.
+    let mut flight_ring: VecDeque<FlightFrame> = VecDeque::new();
+    let mut merged_trace = OpTrace::new();
+    let mut last_wall = 0u64;
+    if trace_bin.is_some() || flight_recorder.is_some() {
+        match tracker.pool_mut() {
+            Some(pool) => {
+                pool.arm_op_recorders(pimvo::pim::DEFAULT_OP_RING_CAPACITY);
+                last_wall = pool.wall_cycles();
+            }
+            None => {
+                eprintln!("error: --trace-bin / --flight-recorder need the pim backend");
+                usage();
+            }
+        }
+    }
+
     // Resume mid-sequence from a snapshot: restore the tracker and skip
     // the frames it has already processed.
     let mut skip = 0;
@@ -134,6 +180,24 @@ fn main() {
         let r = tracker.process_frame(&f.gray, &f.depth);
         estimate.push(f.time, r.pose_wc);
         keyframes += r.is_keyframe as usize;
+        if let Some(cap) = flight_recorder {
+            let pool = tracker.pool_mut().expect("recorders are armed on a pool");
+            let wall = pool.wall_cycles();
+            if let Some(trace) = pool.drain_op_trace() {
+                if trace_bin.is_some() {
+                    merged_trace.merge(trace.clone());
+                }
+                if flight_ring.len() >= cap {
+                    flight_ring.pop_front();
+                }
+                flight_ring.push_back(FlightFrame {
+                    frame: r.index as u64,
+                    wall_delta: wall - last_wall,
+                    trace,
+                });
+            }
+            last_wall = wall;
+        }
         if let Some(every) = checkpoint_every {
             if every > 0 && (i + 1) % every == 0 {
                 if let Some(dir) = positional.get(3) {
@@ -229,6 +293,46 @@ fn main() {
         )
         .expect("write plot");
         println!("wrote {svg}");
+    }
+
+    if let Some(path) = &trace_bin {
+        let trace = if flight_recorder.is_some() {
+            std::mem::take(&mut merged_trace)
+        } else {
+            tracker
+                .pool_mut()
+                .and_then(|p| p.drain_op_trace())
+                .unwrap_or_default()
+        };
+        std::fs::write(path, trace.encode()).expect("write binary trace");
+        println!(
+            "wrote {path} ({} op records, {} dropped by the ring)",
+            trace.len(),
+            trace.dropped
+        );
+    }
+    if flight_recorder.is_some() {
+        let misses = tracker.budget_status().deadline_misses;
+        let reason = if misses > 0 {
+            DumpReason::DeadlineMiss
+        } else {
+            DumpReason::Manual
+        };
+        let dir = positional.get(3).map(String::as_str).unwrap_or(".");
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let path = format!("{dir}/track_sequence_flight_{}.bin", reason.as_str());
+        let dump = FlightDump {
+            session: 0,
+            reason,
+            frames: flight_ring.into_iter().collect(),
+        };
+        dump.save(std::path::Path::new(&path))
+            .expect("write flight dump");
+        println!(
+            "flight dump    : {path} ({} frames, reason {})",
+            dump.frames.len(),
+            reason.as_str()
+        );
     }
 
     if let Some(t) = telemetry {

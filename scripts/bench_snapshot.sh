@@ -20,7 +20,10 @@ cargo run --release -p pimvo-bench --bin fleet_soak -- --out .
 # self-healing fleet soak: defect storm -> scrub/remap recovery ->
 # kill + manifest replay -> BENCH_fleet_chaos.json
 cargo run --release -p pimvo-bench --bin fleet_chaos -- --out .
+# op-trace critical-path profile: refreshes the committed golden
+# out/profile_fig9a.txt plus out/BENCH_profile.json
+cargo run --release -p pimvo-bench --bin trace_profile -- --out out >/dev/null
 
 echo
 echo "bench snapshot written:"
-ls -1 BENCH_*.json
+ls -1 BENCH_*.json out/BENCH_profile.json

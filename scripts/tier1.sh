@@ -67,7 +67,21 @@ step cargo run -q --release -p pimvo-bench --bin fleet_chaos -- \
 step cargo run -q --release -p pimvo-bench --bin fleet_chaos -- \
     --frames 16 --sessions 2 --arrays 3 --out "$fc_b"
 step cmp "$fc_a/BENCH_fleet_chaos.json" "$fc_b/BENCH_fleet_chaos.json"
+# op-trace smoke: record -> decode -> profile twice; the binary trace,
+# the rendered attribution table and BENCH_profile.json must be
+# byte-identical across runs, and the table must match the committed
+# golden out/profile_fig9a.txt
+tp_a="$chaos_out/tp_a"; tp_b="$chaos_out/tp_b"
+step cargo run -q --release -p pimvo-bench --bin trace_profile -- --out "$tp_a"
+step cargo run -q --release -p pimvo-bench --bin trace_profile -- --out "$tp_b"
+step cmp "$tp_a/trace_fig9a.bin" "$tp_b/trace_fig9a.bin"
+step cmp "$tp_a/BENCH_profile.json" "$tp_b/BENCH_profile.json"
+step cmp "$tp_a/profile_fig9a.txt" out/profile_fig9a.txt
 rm -rf "$chaos_out"
+
+# bench regression gate: the headline cycle counts must match the
+# committed BENCH_*.json snapshots within tolerance
+step scripts/bench_check.sh
 
 if [ "$fail" -ne 0 ]; then
     echo
