@@ -33,9 +33,11 @@
 //! serving layer: N sessions over one shared self-healing pool, driven
 //! through a defect storm (stuck-at injection + quarantine), scrub /
 //! spare-row-remap rehabilitation, circuit-breaker trips with half-open
-//! probe recovery, and a mid-soak hard kill replayed bit-identically
-//! from a [`pimvo_serve::FleetCheckpointStore`] manifest
-//! (`BENCH_fleet_chaos.json`).
+//! probe recovery, a DMA transfer-fault storm (CRC-rejected payload
+//! flips, stalled descriptors, channel quarantine with degradation to
+//! the synchronous port), and a mid-soak hard kill replayed
+//! bit-identically from a [`pimvo_serve::FleetCheckpointStore`]
+//! manifest (`BENCH_fleet_chaos.json`).
 
 use std::fs;
 use std::io;
@@ -47,7 +49,10 @@ use pimvo_core::{
     TrackerConfig, TrackingState,
 };
 use pimvo_kernels::{DepthImage, GrayImage};
-use pimvo_pim::{ArrayConfig, FaultModel, PimMachine, PimMachineBuilder, ScrubConfig, SessionId};
+use pimvo_pim::{
+    ArrayConfig, DmaConfig, DmaFaultModel, FaultModel, PimMachine, PimMachineBuilder, ScrubConfig,
+    SessionId,
+};
 use pimvo_serve::{
     BreakerConfig, BreakerState, FleetCheckpointStore, FleetScheduler, FlightDump, SessionSpec,
 };
@@ -535,7 +540,8 @@ fn fleet_wave(
 }
 
 /// Drives the fleet chaos soak: `sessions` tenants over one shared
-/// self-healing pool, through four acts —
+/// self-healing pool (DMA transfer channels armed on every array),
+/// through five acts —
 ///
 /// 1. **warm-up** — clean serving, all arrays healthy;
 /// 2. **defect storm** — all but one array is quarantined, two of the
@@ -549,7 +555,15 @@ fn fleet_wave(
 ///    capacity must return to its pre-storm value, and — vision
 ///    restored — the tripped session must earn its slot back through a
 ///    half-open probe frame;
-/// 4. **kill-and-recover** — the fleet is checkpointed to a
+/// 4. **transfer storm** — a seeded [`DmaFaultModel`] floods every
+///    channel with payload flips, stalled descriptors and dropped
+///    completions; the CRC/timeout ladder retries, channels quarantine
+///    and traffic degrades to the synchronous port with poses
+///    unaffected; the operator lifts the model and rehabilitates the
+///    channels (like act 3's scrub, the model is installed on every
+///    build so the RNG stream is identical without the `fault`
+///    feature — actual transfer faults only fire with it);
+/// 5. **kill-and-recover** — the fleet is checkpointed to a
 ///    [`pimvo_serve::FleetCheckpointStore`] manifest and dropped; a
 ///    recovered fleet replays the remaining waves and must match the
 ///    uninterrupted run bit-for-bit (pose delta 0, equal clocks).
@@ -567,9 +581,16 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
     let storm_at = f / 4;
     let scrub_at = f / 2;
     let kill_at = 3 * f / 4;
+    // transfer storm rides the second half of the post-scrub window, so
+    // the pool is back to full array capacity when the channels fail
+    let dma_storm_at = (scrub_at + kill_at) / 2;
 
     let mut rng = SplitMix64::new(cfg.seed);
-    let builder = PimMachine::builder(ArrayConfig::qvga_banks(6)).spare_rows(4);
+    // every array gets a host↔array DMA channel: transfers overlap
+    // compute all soak long, and act 4 faults that very data path
+    let builder = PimMachine::builder(ArrayConfig::qvga_banks(6))
+        .spare_rows(4)
+        .dma(DmaConfig::default());
     let healthy_cycles = calibrate_fleet_frame_cycles(&builder, cfg.arrays);
 
     // session 1 carries the deadline and the circuit breaker; the rest
@@ -698,7 +719,7 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
              {pre_storm_available} before the storm"
         ));
     }
-    for k in scrub_at..kill_at {
+    for k in scrub_at..dma_storm_at {
         fleet_wave(
             &mut fleet,
             &cam,
@@ -712,7 +733,63 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
         );
     }
 
-    // act 4: kill-and-recover — drain, checkpoint, then run the tail
+    // act 4: transfer storm — flood every DMA channel with payload
+    // flips, stalled descriptors and dropped completions. Rates are
+    // high enough that the retry ladder exhausts and channels
+    // quarantine, degrading traffic to the synchronous port; poses must
+    // not care (the channel applies data eagerly, the CRC only gates
+    // the *cost* ladder).
+    let dma_before = fleet.pool_mut().dma_health();
+    let dma_seed = rng.next_u64();
+    #[cfg(feature = "fault")]
+    let dma_model = DmaFaultModel::new(dma_seed, 0.40, 0.30, 0.05);
+    #[cfg(not(feature = "fault"))]
+    let dma_model = {
+        let _ = dma_seed;
+        DmaFaultModel::none()
+    };
+    fleet.pool_mut().set_dma_fault(dma_model);
+    for k in dma_storm_at..kill_at {
+        fleet_wave(
+            &mut fleet,
+            &cam,
+            n,
+            k,
+            false,
+            max_bad,
+            &mut prev_states,
+            &mut poses,
+            &mut violations,
+        );
+    }
+    // lift the burst and rehabilitate the channels (operator action),
+    // so the checkpoint in act 5 sees a clean transfer path
+    fleet.pool_mut().set_dma_fault(DmaFaultModel::none());
+    fleet.pool_mut().dma_rehabilitate();
+    let dma_storm = fleet.pool_mut().dma_health().since(&dma_before);
+    if fleet.pool_mut().dma_health().quarantined {
+        violations.push("dma channels still quarantined after rehabilitation".into());
+    }
+    if dma_storm.issued == 0 {
+        violations.push("no dma descriptors were issued during the transfer storm".into());
+    }
+    #[cfg(feature = "fault")]
+    {
+        if dma_storm.crc_errors == 0 {
+            violations.push("transfer storm injected no CRC-detected flips".into());
+        }
+        if dma_storm.timeouts == 0 {
+            violations.push("transfer storm produced no stall/drop timeouts".into());
+        }
+        if dma_storm.quarantines == 0 {
+            violations.push("transfer storm never drove a channel into quarantine".into());
+        }
+        if dma_storm.sync_fallbacks == 0 {
+            violations.push("quarantined channels never degraded to the synchronous port".into());
+        }
+    }
+
+    // act 5: kill-and-recover — drain, checkpoint, then run the tail
     // twice: uninterrupted, and replayed on a recovered fleet.
     for o in fleet.run_until_idle().expect("drain before kill") {
         let s = o.session.0 as usize - 1;
@@ -812,6 +889,12 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
                         ));
                     }
                     let prof = pimvo_telemetry::optrace::profile(&fr.trace);
+                    for (k, row) in &prof.by_kind {
+                        eprintln!(
+                            "  kind {k:?}: n={} cyc={} crit={}",
+                            row.count, row.cycles, row.crit_cycles
+                        );
+                    }
                     if prof.critical_path_cycles != fr.wall_delta {
                         violations.push(format!(
                             "flight frame {} of {path}: critical path {} cycles, \
@@ -831,6 +914,7 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
     }
 
     let health = fleet.pool_mut().health();
+    let dma_total = fleet.pool_mut().dma_health();
     let (mut completed, mut shed, mut misses, mut lost) = (0u64, 0u64, 0u64, 0u64);
     for id in fleet.session_ids() {
         let st = fleet.stats(id).expect("registered session");
@@ -847,7 +931,7 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
         .note(
             "acts",
             "warm-up / defect storm + breaker trip / scrub + probe recovery / \
-             kill + manifest recovery",
+             dma transfer storm + channel quarantine / kill + manifest recovery",
         )
         .metric("sessions", n as f64)
         .metric("arrays", cfg.arrays as f64)
@@ -867,6 +951,14 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> io::Result<ChaosOutcome> {
         .metric("breaker_probes", st1.breaker_probes as f64)
         .metric("session1_failures", st1.failures as f64)
         .metric("pool_detected_session1", st1.pool_detected as f64)
+        .metric("dma_descriptors_issued", dma_total.issued as f64)
+        .metric("dma_storm_crc_errors", dma_storm.crc_errors as f64)
+        .metric("dma_storm_timeouts", dma_storm.timeouts as f64)
+        .metric("dma_storm_retries", dma_storm.retries as f64)
+        .metric("dma_storm_quarantines", dma_storm.quarantines as f64)
+        .metric("dma_storm_sync_fallbacks", dma_storm.sync_fallbacks as f64)
+        .metric("dma_faults_session1", st1.dma_faults as f64)
+        .metric("dma_quarantines_session1", st1.dma_quarantines as f64)
         .metric("replayed_tail_frames", (f - kill_at) as f64 * n as f64)
         .metric("flight_dumps", st1.flight_dumps.len() as f64)
         .metric("flight_frames_checked", flight_frames_checked as f64)

@@ -371,7 +371,13 @@ impl PimBackend {
             };
             BATCH
         ];
-        let _ = pim_exec::run_batch_with(m, base_row, &feats, pose, kf, cam, interp);
+        // isolate the probe: its synchronous stats retract exactly
+        // below, while residue on a DMA channel's engine clock / health
+        // counters or in an op-trace lane (records whose cycles the
+        // retracted wall never pays) could not be rewound
+        let _ = m.with_probe_isolation(|m| {
+            pim_exec::run_batch_with(m, base_row, &feats, pose, kf, cam, interp)
+        });
         // try_since: a restored checkpoint may have reset the machine's
         // counters below the captured baseline; fall back to the
         // absolute stats rather than panicking mid-calibration

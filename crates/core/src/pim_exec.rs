@@ -1109,7 +1109,9 @@ mod tests {
 
         let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
         let _ = run_batch(&mut m, POSE_BASE, &feats[..BATCH], &pose, &kf, &cam);
-        let per_batch = m.stats().cycles;
+        // timeline = compute + host transfer cycles: the pool charges
+        // strip I/O to the wall at each barrier
+        let per_batch = m.timeline();
 
         assert_eq!(
             runner.pool().wall_cycles(),

@@ -139,6 +139,7 @@ pub struct TrackerBuilder {
     kind: BackendKind,
     custom: Option<Box<dyn TrackerBackend>>,
     pim_pool: Option<usize>,
+    dma: Option<pimvo_pim::DmaConfig>,
     telemetry: Option<Telemetry>,
     budget: Option<BudgetConfig>,
     frame_budget_cycles: Option<Option<u64>>,
@@ -153,6 +154,7 @@ impl TrackerBuilder {
             kind: BackendKind::Pim,
             custom: None,
             pim_pool: None,
+            dma: None,
             telemetry: None,
             budget: None,
             frame_budget_cycles: None,
@@ -181,6 +183,18 @@ impl TrackerBuilder {
     /// [`TrackerBuilder::build`] panics if `n` is zero.
     pub fn pim_pool(mut self, n: usize) -> Self {
         self.pim_pool = Some(n);
+        self
+    }
+
+    /// Attaches modeled host↔array DMA channels to every pool array
+    /// (see [`pimvo_pim::DmaConfig`]): transfers ride per-array channel
+    /// engines and overlap compute instead of serializing with it.
+    /// Values stay bit-identical; only the timing model changes. A
+    /// runtime QoS knob like the budget — excluded from the checkpoint
+    /// config hash. Ignored for the float backend and for a custom
+    /// backend.
+    pub fn dma(mut self, cfg: pimvo_pim::DmaConfig) -> Self {
+        self.dma = Some(cfg);
         self
     }
 
@@ -215,10 +229,16 @@ impl TrackerBuilder {
             Some(b) => b,
             None => match self.kind {
                 BackendKind::Float => Box::new(FloatBackend::new()),
-                BackendKind::Pim => match self.pim_pool {
-                    Some(n) => Box::new(PimBackend::with_pool(n)),
-                    None => Box::new(PimBackend::new()),
-                },
+                BackendKind::Pim => {
+                    let mut b = match self.pim_pool {
+                        Some(n) => PimBackend::with_pool(n),
+                        None => PimBackend::new(),
+                    };
+                    if self.dma.is_some() {
+                        b.pool_mut().set_dma(self.dma);
+                    }
+                    Box::new(b)
+                }
             },
         };
         let mut tracker = Tracker::with_backend(self.config, backend);
@@ -682,7 +702,9 @@ impl Tracker {
         if !self.supervisor.enabled() {
             // no budget: the exact unsupervised code path, bit-identical
             // cycle/energy numbers to a build without the supervisor
-            return self.process_core(gray, depth, gyro_delta, DegradeRung::Full, false);
+            let result = self.process_core(gray, depth, gyro_delta, DegradeRung::Full, false);
+            self.settle_transfers();
+            return result;
         }
         let wall_start = std::time::Instant::now();
         let cyc_start = self.backend.stats().total_cycles();
@@ -694,6 +716,7 @@ impl Tracker {
             DegradeRung::Full
         };
         let result = self.process_core(gray, depth, gyro_delta, rung, true);
+        self.settle_transfers();
         let spent_cycles = self
             .backend
             .stats()
@@ -708,6 +731,17 @@ impl Tracker {
             &self.telemetry,
         );
         result
+    }
+
+    /// Frame-end transfer settle: drains in-flight DMA descriptors and
+    /// absorbs trailing host I/O (result reads after the frame's last
+    /// barrier) into the pool wall clock, so per-frame timing is
+    /// complete before the caller observes it. No-op on backends
+    /// without an array pool.
+    fn settle_transfers(&mut self) {
+        if let Some(p) = self.backend.pool_mut() {
+            p.dma_settle();
+        }
     }
 
     /// Sheds the rest of the frame: the pose extrapolates on the motion

@@ -31,7 +31,7 @@
 use crate::ir::{
     downsample_program, hpf_program, lower_opt, lpf_pass1_program, lpf_pass2_program, nms_program,
 };
-use crate::pim_util::{ghost_mask, load_image_rows, partition_rows, Regions};
+use crate::pim_util::{ghost_mask, load_image_rows, partition_rows, prefetch_image_rows, Regions};
 use crate::{EdgeConfig, EdgeMaps, GrayImage};
 use pimvo_pim::{LaneWidth, LoweredProgram, PimArrayPool, Signedness};
 
@@ -54,6 +54,58 @@ where
 ///
 /// Panics if the pool's arrays have fewer than 6 banks of 256 rows.
 pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
+    edge_detect_frame(pool, img, cfg, false, None)
+}
+
+/// Runs [`edge_detect`] over a sequence of equal-sized frames with the
+/// next frame's input strips prefetched on the arrays' DMA channels:
+/// the input bank is dead once LPF pass 1 has consumed it, so frame
+/// `f + 1`'s strips stream in place while frame `f`'s remaining phases
+/// (LPF pass 2, HPF, NMS) compute, and the frame-boundary
+/// [`PimArrayPool::dma_settle`] only waits for whatever the compute
+/// did not already hide. Outputs are bit-identical to calling
+/// [`edge_detect`] once per frame; on a pool without DMA channels the
+/// schedule degenerates to the synchronous one.
+///
+/// # Panics
+///
+/// Panics if the frames differ in size or the arrays have fewer than
+/// 6 banks of 256 rows.
+pub fn edge_detect_pipelined(
+    pool: &mut PimArrayPool,
+    frames: &[GrayImage],
+    cfg: &EdgeConfig,
+) -> Vec<EdgeMaps> {
+    assert!(
+        frames
+            .windows(2)
+            .all(|p| p[0].width() == p[1].width() && p[0].height() == p[1].height()),
+        "pipelined frames must share one size"
+    );
+    let mut out = Vec::with_capacity(frames.len());
+    for (f, img) in frames.iter().enumerate() {
+        if f > 0 {
+            // the prefetch issued during the previous frame must have
+            // landed before LPF pass 1 reads the input bank
+            pool.dma_settle();
+        }
+        out.push(edge_detect_frame(pool, img, cfg, f > 0, frames.get(f + 1)));
+    }
+    pool.dma_settle();
+    out
+}
+
+/// One edge-detection frame. With `preloaded` the input strips are
+/// already resident (a prior frame prefetched them); with `next` the
+/// following frame's strips are prefetched right after LPF pass 1
+/// frees the input bank.
+fn edge_detect_frame(
+    pool: &mut PimArrayPool,
+    img: &GrayImage,
+    cfg: &EdgeConfig,
+    preloaded: bool,
+    next: Option<&GrayImage>,
+) -> EdgeMaps {
     let r = Regions::for_machine(pool.array(0), img.height());
     let h = img.height();
     let w = img.width() as usize;
@@ -74,7 +126,7 @@ pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -
         mask = ghost_mask(m, &r, w);
         let lo = y0 as u32;
         let hi = (y1 as u32 + 1).min(h);
-        if lo < hi {
+        if !preloaded && lo < hi {
             load_image_rows(m, r.input, img, lo, hi);
         }
     }
@@ -84,6 +136,17 @@ pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -
     });
     pool.submit_strips("lpf_pass1", &p1)
         .expect("lpf pass 1 programs run");
+    if let Some(nf) = next {
+        // input bank is dead from here on: stream the next frame's
+        // strips behind the remaining three phases
+        for (i, &(y0, y1)) in strips.iter().enumerate() {
+            let lo = y0 as u32;
+            let hi = (y1 as u32 + 1).min(h);
+            if lo < hi {
+                prefetch_image_rows(pool.array_mut(i), r.input, nf, lo, hi);
+            }
+        }
+    }
     exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
     let p2 = strip_programs(&strips, &r, |y0, y1| {
         lpf_pass2_program(&r, r.aux2, h, mask, y0, y1)
@@ -376,6 +439,66 @@ mod tests {
         for pair in walls.windows(2) {
             assert!(pair[1] < pair[0], "wall cycles not monotone: {walls:?}");
         }
+    }
+
+    fn test_frames(n: usize) -> Vec<GrayImage> {
+        (0..n)
+            .map(|f| {
+                GrayImage::from_fn(64, 48, |x, y| {
+                    ((x * 31 + y * 17 + f as u32 * 101).wrapping_mul(2654435761) >> 11) as u8
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_edge_detect_matches_per_frame() {
+        let frames = test_frames(3);
+        let cfg = EdgeConfig::default();
+        let mut single = PimMachine::new(ArrayConfig::qvga_banks(6));
+        let want: Vec<_> = frames
+            .iter()
+            .map(|img| ir::edge_detect(&mut single, img, &cfg, LowerLevel::Opt))
+            .collect();
+        for n in [1, 2, 4] {
+            let mut p = PimMachineBuilder::new(ArrayConfig::qvga_banks(6))
+                .dma(pimvo_pim::DmaConfig::default())
+                .build_pool(n);
+            let got = edge_detect_pipelined(&mut p, &frames, &cfg);
+            for (f, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.lpf, w.lpf, "lpf mismatch at n={n} frame {f}");
+                assert_eq!(g.hpf, w.hpf, "hpf mismatch at n={n} frame {f}");
+                assert_eq!(g.mask, w.mask, "mask mismatch at n={n} frame {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_overlap_hides_transfer_cycles() {
+        let frames = test_frames(4);
+        let cfg = EdgeConfig::default();
+
+        // synchronous arm: no channels, every transfer serializes
+        let mut sync = pool(2);
+        for img in &frames {
+            let _ = edge_detect(&mut sync, img, &cfg);
+        }
+        sync.dma_settle(); // absorb trailing host reads into the wall
+
+        // overlap arm: channels on, next frame prefetched behind compute
+        let mut dma = PimMachineBuilder::new(ArrayConfig::qvga_banks(6))
+            .dma(pimvo_pim::DmaConfig::default())
+            .build_pool(2);
+        let _ = edge_detect_pipelined(&mut dma, &frames, &cfg);
+
+        // identical compute work, strictly fewer wall cycles
+        assert_eq!(dma.merged_stats().cycles, sync.merged_stats().cycles);
+        assert!(
+            dma.wall_cycles() < sync.wall_cycles(),
+            "overlap did not pay: dma {} >= sync {}",
+            dma.wall_cycles(),
+            sync.wall_cycles()
+        );
     }
 
     #[test]

@@ -64,6 +64,18 @@ pub struct CostModel {
     pub scrub_row_pj: f64,
     /// Cycles per scrub test-pattern row pass.
     pub scrub_row_cycles: u64,
+    /// Cycles to set up one DMA descriptor on the host↔array burst
+    /// port: descriptor fetch, CRC seed, channel arbitration.
+    pub dma_setup_cycles: u64,
+    /// Cycles per 32-byte burst beat on the DMA port (also the
+    /// synchronous host-port transfer rate — same wires, no channel
+    /// engine in front).
+    pub dma_beat_cycles: u64,
+    /// Bytes moved per DMA burst beat.
+    pub dma_beat_bytes: u64,
+    /// Cycles to retire one DMA descriptor: CRC check over
+    /// payload + header and the completion interrupt.
+    pub dma_completion_cycles: u64,
 }
 
 impl CostModel {
@@ -95,7 +107,25 @@ impl CostModel {
             // shifter/adder: the march-test step of the scrub pass
             scrub_row_pj: 944.8 * 2.0 + 38.2,
             scrub_row_cycles: 3,
+            // host↔array burst port in the same 216 MHz domain: one
+            // 32-byte beat per cycle (a 256-bit on-die bus), 8 cycles
+            // of descriptor setup and 4 to CRC-check and retire — a
+            // QVGA row (320 B) costs 8 + 10 + 4 = 22 cycles; see
+            // DESIGN.md §15 for the derivation
+            dma_setup_cycles: 8,
+            dma_beat_cycles: 1,
+            dma_beat_bytes: 32,
+            dma_completion_cycles: 4,
         }
+    }
+
+    /// Modeled cycles to move `bytes` over the host↔array port as one
+    /// descriptor: setup + per-beat burst + CRC-checked completion.
+    /// The synchronous (PIO) path and the DMA channels charge the same
+    /// formula — overlap, not a faster bus, is where DMA wins.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        let beats = bytes.div_ceil(self.dma_beat_bytes.max(1));
+        self.dma_setup_cycles + beats * self.dma_beat_cycles + self.dma_completion_cycles
     }
 
     /// Area report used by experiment E11.
@@ -139,5 +169,15 @@ mod tests {
         assert!((c.shifter_adder_pj + c.tmp_reg_pj - 44.6).abs() < 1e-9);
         let area = c.area_report();
         assert!((area.logic_over_array - 0.051).abs() < 0.002);
+    }
+
+    #[test]
+    fn transfer_cycles_round_up_to_beats() {
+        let c = CostModel::default();
+        // QVGA row: 320 B = 10 beats of 32 B
+        assert_eq!(c.transfer_cycles(320), 8 + 10 + 4);
+        // a single lane still pays a full beat
+        assert_eq!(c.transfer_cycles(1), 8 + 1 + 4);
+        assert_eq!(c.transfer_cycles(0), 8 + 4);
     }
 }

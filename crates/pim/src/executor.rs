@@ -409,8 +409,14 @@ impl<'p> PoolExecutor<'p> {
                 if let Some(r) = m.op_recorder_mut() {
                     r.set_session(sessions[k]);
                 }
+                if let Some(r) = m.dma_recorder_mut() {
+                    r.set_session(sessions[k]);
+                }
                 let out = m.run_program(programs[k]);
                 if let Some(r) = m.op_recorder_mut() {
+                    r.set_session(pimvo_telemetry::optrace::NO_SESSION);
+                }
+                if let Some(r) = m.dma_recorder_mut() {
                     r.set_session(pimvo_telemetry::optrace::NO_SESSION);
                 }
                 out

@@ -83,10 +83,27 @@
 //! cycle and picojoule is identical to a build without the layer.
 //! Constructing an *active* fault model requires the `fault` cargo
 //! feature.
+//!
+//! # Host↔array data path (DMA)
+//!
+//! The [`dma`] module models the host↔SRAM bus the same way: typed
+//! [`TransferDescriptor`]s (strip in/out, pyramid prefetch) carry a
+//! CRC-32 over payload + header, cost
+//! [`CostModel::transfer_cycles`] on the wire, and ride per-array
+//! channel engines ([`PimMachineBuilder::dma`],
+//! [`PimArrayPool::set_dma`]) whose bounded queues overlap transfers
+//! with compute — the value domain never changes, only wall cycles.
+//! A seeded [`DmaFaultModel`] (`fault` feature) injects payload flips
+//! (caught by CRC), stalls and dropped completions (caught by a
+//! cycle-domain timeout), driving a retry → exponential backoff →
+//! channel-quarantine ladder; a quarantined channel degrades to the
+//! synchronous port with bit-identical results. [`DmaHealth`] ledgers
+//! the whole ladder per channel and merged per pool.
 
 pub mod bitexact;
 mod config;
 mod cost;
+pub mod dma;
 pub mod executor;
 pub mod fault;
 pub mod ir;
@@ -100,6 +117,7 @@ mod trace;
 
 pub use config::{ArrayConfig, LaneWidth, Signedness};
 pub use cost::{AreaReport, CostModel};
+pub use dma::{DmaConfig, DmaFaultModel, DmaHealth, TransferDescriptor, TransferKind};
 pub use executor::{DeadlineClass, Job, JobHandle, JobRecord, JobResult, PoolExecutor, SessionId};
 pub use fault::{FaultModel, FaultStatus, Protection, StuckBit};
 pub use ir::{MacroOp, PimProgram, VReg, Val};

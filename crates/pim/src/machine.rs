@@ -1,5 +1,6 @@
 use crate::config::{ArrayConfig, LaneWidth, Signedness};
 use crate::cost::CostModel;
+use crate::dma::{DmaChannel, DmaConfig, DmaFaultModel, DmaHealth, TransferKind};
 use crate::fault::{FaultModel, FaultStatus, FaultUnit, Protection};
 use crate::isa::{AluOp, LogicFunc, OpClass, Operand, Shift};
 use crate::lower::{LoweredProgram, MachineInstr};
@@ -183,6 +184,14 @@ pub struct PimMachine {
     /// [`PimMachine::arm_op_recorder`].
     op_recorder: Option<Box<OpRecorder>>,
     fault: FaultUnit,
+    /// Optional host↔array DMA channel engine; `None` (the default)
+    /// keeps every host transfer on the synchronous port. See
+    /// [`PimMachine::set_dma`] and [`crate::dma`].
+    dma: Option<Box<DmaChannel>>,
+    /// [`TransferKind`] stamped on subsequent *inbound* host transfers
+    /// (outbound reads are always [`TransferKind::StripOut`]). See
+    /// [`PimMachine::set_transfer_kind`].
+    transfer_kind: TransferKind,
 }
 
 /// Fluent constructor for [`PimMachine`], replacing the historical
@@ -212,6 +221,7 @@ pub struct PimMachineBuilder {
     fault: FaultModel,
     protection: Protection,
     spare_rows: usize,
+    dma: Option<DmaConfig>,
 }
 
 impl PimMachineBuilder {
@@ -228,6 +238,7 @@ impl PimMachineBuilder {
             fault: FaultModel::none(),
             protection: Protection::None,
             spare_rows: 0,
+            dma: None,
         }
     }
 
@@ -283,6 +294,14 @@ impl PimMachineBuilder {
         self
     }
 
+    /// Installs a host↔array DMA channel (see [`crate::dma`]). The
+    /// default is no channel: synchronous host I/O, the historical
+    /// behaviour.
+    pub fn dma(mut self, cfg: DmaConfig) -> Self {
+        self.dma = Some(cfg);
+        self
+    }
+
     /// Constructs the machine. The builder is reusable (`&self`), which
     /// is what lets a pool stamp out N identical arrays.
     pub fn build(&self) -> PimMachine {
@@ -295,6 +314,7 @@ impl PimMachineBuilder {
         let row_bytes = self.config.row_bytes();
         m.rows
             .extend(std::iter::repeat_with(|| vec![0u8; row_bytes]).take(self.spare_rows));
+        m.set_dma(self.dma);
         m
     }
 }
@@ -332,6 +352,8 @@ impl PimMachine {
             trace_label: None,
             op_recorder: None,
             fault: FaultUnit::inert(),
+            dma: None,
+            transfer_kind: TransferKind::StripIn,
         }
     }
 
@@ -350,9 +372,23 @@ impl PimMachine {
         &self.stats
     }
 
-    /// Resets the statistics (array contents are preserved).
+    /// The machine-local end-to-end clock: compute cycles plus host-I/O
+    /// and DMA-stall cycles. [`ExecStats::cycles`] stays compute-only so
+    /// the paper's per-kernel metrics are untouched; the timeline is
+    /// what host transfers, DMA channels and the op-trace streams
+    /// advance on, and what pool wall-clock accounting watermarks.
+    pub fn timeline(&self) -> u64 {
+        self.stats.cycles + self.stats.host_io_cycles + self.stats.dma_stall_cycles
+    }
+
+    /// Resets the statistics (array contents are preserved). Any DMA
+    /// channel's clocks rebase to the new (zeroed) timeline epoch; its
+    /// health counters, quarantine state and fault stream persist.
     pub fn reset_stats(&mut self) {
         self.stats = ExecStats::new();
+        if let Some(ch) = &mut self.dma {
+            ch.reset_clocks();
+        }
     }
 
     /// Retracts previously recorded statistics. Used when a traced
@@ -426,9 +462,14 @@ impl PimMachine {
     }
 
     /// Emission hook shared by every cycle-charging site: one branch
-    /// when unarmed. `start` is the pre-charge cycle counter, so the
-    /// record's cycles are exactly the site's `ExecStats` delta;
-    /// multi-step follow-ups fold in via [`PimMachine::extend_trace`].
+    /// when unarmed. `start` is the pre-charge *compute* cycle counter,
+    /// so the record's cycles are exactly the site's `ExecStats` delta;
+    /// the stored start stamp is shifted into the timeline domain
+    /// (compute + host I/O + stalls) so machine-stream records share a
+    /// clock with the DMA lanes. Sites must not charge host-I/O or
+    /// stall cycles between capturing `start` and calling this (host
+    /// transfers have their own emission paths). Multi-step follow-ups
+    /// fold in via [`PimMachine::extend_trace`].
     #[inline]
     fn record_op(
         &mut self,
@@ -441,7 +482,8 @@ impl PimMachine {
     ) {
         if let Some(rec) = &mut self.op_recorder {
             let cycles = self.stats.cycles - start;
-            rec.record(kind, reads, writes, start, cycles, sram, size);
+            let io = self.stats.host_io_cycles + self.stats.dma_stall_cycles;
+            rec.record(kind, reads, writes, start + io, cycles, sram, size);
         }
     }
 
@@ -705,8 +747,80 @@ impl PimMachine {
     }
 
     // ------------------------------------------------------------------
-    // Host I/O (not part of the compute cycle/energy budget)
+    // Host I/O (host↔array burst port; costed on the timeline, never on
+    // the compute cycle/energy budget)
     // ------------------------------------------------------------------
+
+    /// Routes one host transfer: over the DMA channel when one is
+    /// installed and healthy, else the synchronous port. All transfer
+    /// accounting (row/byte counters, stall or PIO cycles, op records)
+    /// happens here. `payload` is the wire image of the moved bytes —
+    /// the CRC a channel seals into its descriptor is computed over it;
+    /// `size` keeps each op kind's historical record-size semantics
+    /// (bytes for byte writes, lanes for lane writes/reads).
+    fn host_transfer(&mut self, kind: TransferKind, row: u32, payload: &[u8], size: u32) {
+        self.stats.host_io_rows += 1;
+        self.stats.host_io_words += payload.len() as u64;
+        // take() the channel so it can borrow the cost model while the
+        // stats/recorder stay reachable
+        if let Some(mut ch) = self.dma.take() {
+            let now = self.timeline();
+            let tail = self.op_recorder.as_deref().map_or(0, OpRecorder::tail);
+            let out = ch.issue(now, tail, kind, row, payload, &self.cost);
+            if out.backpressure_stall > 0 {
+                self.stats.dma_stall_cycles += out.backpressure_stall;
+                ch.add_stall(out.backpressure_stall);
+                if let Some(rec) = &mut self.op_recorder {
+                    // the stall serializes into the machine stream only
+                    // (depping the channel record too would double-count
+                    // the wait on the critical path)
+                    rec.record(
+                        OpKind::DmaStall,
+                        &[],
+                        &[],
+                        now,
+                        out.backpressure_stall,
+                        0,
+                        0,
+                    );
+                }
+            }
+            match out.channel_record {
+                Some(id) => {
+                    if kind.is_inbound() && id != 0 {
+                        if let Some(rec) = &mut self.op_recorder {
+                            // next compute read of this row picks up a
+                            // cross-stream RAW edge onto the DmaIn record
+                            rec.note_external_write(row, id);
+                        }
+                    }
+                }
+                // quarantined: graceful degradation to the synchronous
+                // port (the channel already counted the fallback)
+                None => self.host_transfer_sync(kind, row, payload.len() as u64, size),
+            }
+            self.dma = Some(ch);
+        } else {
+            self.host_transfer_sync(kind, row, payload.len() as u64, size);
+        }
+    }
+
+    /// The synchronous (PIO) host port: blocks the timeline for the
+    /// full modeled transfer. Same wires and same
+    /// [`CostModel::transfer_cycles`] formula as the DMA channels —
+    /// overlap, not a faster bus, is what a channel buys.
+    fn host_transfer_sync(&mut self, kind: TransferKind, row: u32, bytes: u64, size: u32) {
+        let start = self.timeline();
+        let w = self.cost.transfer_cycles(bytes);
+        self.stats.host_io_cycles += w;
+        if let Some(rec) = &mut self.op_recorder {
+            if kind.is_inbound() {
+                rec.record(OpKind::HostWrite, &[], &[row], start, w, 0, size);
+            } else {
+                rec.record(OpKind::HostRead, &[row], &[], start, w, 0, size);
+            }
+        }
+    }
 
     /// Writes raw bytes into a row through the host port.
     ///
@@ -726,16 +840,9 @@ impl PimMachine {
         let phys = self.phys_row(row);
         self.rows[phys][..bytes.len()].copy_from_slice(bytes);
         self.rows[phys][bytes.len()..].fill(0);
-        self.stats.host_io_rows += 1;
-        let start = self.stats.cycles;
-        self.record_op(
-            OpKind::HostWrite,
-            &[],
-            &[row as u32],
-            start,
-            0,
-            bytes.len() as u32,
-        );
+        // data lands eagerly (above); the transfer model charges the
+        // timing and seals the descriptor CRC over the wire image
+        self.host_transfer(self.transfer_kind, row as u32, bytes, bytes.len() as u32);
         Ok(())
     }
 
@@ -760,20 +867,21 @@ impl PimMachine {
         let bits = self.width.bits();
         let bytes = self.width.bytes();
         let phys = self.phys_row(row);
-        let row_data = &mut self.rows[phys];
-        row_data.fill(0);
+        // encode into a scratch wire image first: the transfer model
+        // needs the payload after the row borrow ends
+        let mut buf = vec![0u8; self.config.row_bytes()];
         for (i, &v) in values.iter().enumerate() {
             let raw = sat::wrap_unsigned(v, bits);
-            row_data[i * bytes..(i + 1) * bytes].copy_from_slice(&raw.to_le_bytes()[..bytes]);
+            buf[i * bytes..(i + 1) * bytes].copy_from_slice(&raw.to_le_bytes()[..bytes]);
         }
-        self.stats.host_io_rows += 1;
-        let start = self.stats.cycles;
-        self.record_op(
-            OpKind::HostWrite,
-            &[],
-            &[row as u32],
-            start,
-            0,
+        self.rows[phys].copy_from_slice(&buf);
+        // the wire moves only the valid lanes; the zero tail is a row
+        // clear strobe, not burst traffic
+        let moved = values.len() * bytes;
+        self.host_transfer(
+            self.transfer_kind,
+            row as u32,
+            &buf[..moved],
             values.len() as u32,
         );
         Ok(())
@@ -797,11 +905,15 @@ impl PimMachine {
     /// Returns [`PimError::RowOutOfRange`] for a bad row index.
     pub fn try_host_read_lanes(&mut self, row: usize) -> Result<Vec<i64>, PimError> {
         self.check_row(row)?;
-        self.stats.host_io_rows += 1;
-        let start = self.stats.cycles;
         let lanes = self.lanes() as u32;
-        self.record_op(OpKind::HostRead, &[row as u32], &[], start, 0, lanes);
-        Ok(self.read_row(row, true))
+        let vals = self.read_row(row, true);
+        // snapshot the row's wire image for the outbound descriptor
+        // (the channel reads the burst buffer at issue; the host sees
+        // the values now, the port pays for them on its own clock)
+        let phys = self.phys_row(row);
+        let payload = self.rows[phys].clone();
+        self.host_transfer(TransferKind::StripOut, row as u32, &payload, lanes);
+        Ok(vals)
     }
 
     /// Reads a row's lane values at the current configuration.
@@ -824,6 +936,157 @@ impl PimMachine {
     /// Logical bit width of the Tmp Reg contents.
     pub fn tmp_bits(&self) -> u32 {
         self.tmp_bits
+    }
+
+    // ------------------------------------------------------------------
+    // DMA channel control (see `crate::dma` for the model)
+    // ------------------------------------------------------------------
+
+    /// Installs (or removes, with `None`) the host↔array DMA channel.
+    /// Installing replaces any previous channel — clocks, health and
+    /// fault stream start fresh. With no channel every host transfer is
+    /// synchronous.
+    pub fn set_dma(&mut self, cfg: Option<DmaConfig>) {
+        self.dma = cfg.map(|c| Box::new(DmaChannel::new(c)));
+    }
+
+    /// Whether a DMA channel is installed.
+    pub fn dma_enabled(&self) -> bool {
+        self.dma.is_some()
+    }
+
+    /// Runs `f` with the DMA channel *and* the op recorder detached:
+    /// host transfers inside go through the synchronous port, the
+    /// channel's engine clock, queue and health counters see nothing,
+    /// and no op records are emitted. Calibration probes use this — a
+    /// probe's synchronous stats can be retracted exactly afterwards,
+    /// while residue on a channel's engine clock or in a trace lane
+    /// (records whose cycles the retracted wall never pays) could not
+    /// be.
+    pub fn with_probe_isolation<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let ch = self.dma.take();
+        let rec = self.op_recorder.take();
+        let r = f(self);
+        self.op_recorder = rec;
+        self.dma = ch;
+        r
+    }
+
+    /// Plugs a seeded [`DmaFaultModel`] into the installed channel.
+    /// No effect without a channel (install with
+    /// [`PimMachine::set_dma`] first).
+    pub fn set_dma_fault(&mut self, model: DmaFaultModel) {
+        if let Some(ch) = &mut self.dma {
+            ch.set_fault(model);
+        }
+    }
+
+    /// Forks the channel's fault stream with `salt` (pool members
+    /// derive independent streams from one shared model).
+    pub fn dma_reseed(&mut self, salt: u64) {
+        if let Some(ch) = &mut self.dma {
+            ch.reseed(salt);
+        }
+    }
+
+    /// The installed channel's health counters, when one is installed.
+    pub fn dma_health(&self) -> Option<DmaHealth> {
+        self.dma.as_ref().map(|ch| ch.health())
+    }
+
+    /// Whether the installed channel is quarantined (all transfers
+    /// degraded to the synchronous port). `false` without a channel.
+    pub fn dma_quarantined(&self) -> bool {
+        self.dma.as_ref().is_some_and(|ch| ch.is_quarantined())
+    }
+
+    /// Lifts a channel quarantine after operator/scrub action; no
+    /// effect without a channel.
+    pub fn dma_rehabilitate(&mut self) {
+        if let Some(ch) = &mut self.dma {
+            ch.rehabilitate();
+        }
+    }
+
+    /// Sets the [`TransferKind`] stamped on subsequent inbound host
+    /// transfers. [`TransferKind::PyramidPrefetch`] marks next-frame
+    /// double-buffer traffic: it is *not* waited on at
+    /// [`PimMachine::run_program`] entry, only at
+    /// [`PimMachine::dma_settle`] — that window is the overlap.
+    /// Sticky until changed; outbound reads always record as
+    /// [`TransferKind::StripOut`].
+    pub fn set_transfer_kind(&mut self, kind: TransferKind) {
+        self.transfer_kind = kind;
+    }
+
+    /// The kind currently stamped on inbound host transfers.
+    pub fn transfer_kind(&self) -> TransferKind {
+        self.transfer_kind
+    }
+
+    /// Arms a dedicated op-trace lane for the DMA channel: descriptor
+    /// records land in stream `stream` stamped with `array` (use
+    /// [`pimvo_telemetry::optrace::DMA_LANE_BASE`]` | index` so the
+    /// profiler renders a `dma N` lane). No effect without a channel.
+    pub fn arm_dma_recorder(&mut self, stream: u16, array: u16, capacity: usize) {
+        if let Some(ch) = &mut self.dma {
+            ch.arm_recorder(stream, array, capacity);
+        }
+    }
+
+    /// Mutable access to the channel's op recorder (session stamping by
+    /// the wave scheduler).
+    pub fn dma_recorder_mut(&mut self) -> Option<&mut OpRecorder> {
+        self.dma.as_mut().and_then(|ch| ch.recorder_mut())
+    }
+
+    /// Hands off the channel lane's buffered records, when a channel
+    /// recorder is armed.
+    pub fn drain_dma_trace(&mut self) -> Option<OpTrace> {
+        self.dma.as_mut().and_then(|ch| ch.drain_trace())
+    }
+
+    /// Stalls the compute stream to timeline `target`: charges
+    /// [`ExecStats::dma_stall_cycles`] and emits a
+    /// [`OpKind::DmaStall`] record serialized into the machine stream.
+    fn dma_stall_until(&mut self, target: u64) {
+        let now = self.timeline();
+        if target > now {
+            let stall = target - now;
+            self.stats.dma_stall_cycles += stall;
+            if let Some(ch) = &mut self.dma {
+                ch.add_stall(stall);
+            }
+            if let Some(rec) = &mut self.op_recorder {
+                rec.record(OpKind::DmaStall, &[], &[], now, stall, 0, 0);
+            }
+        }
+        let now = self.timeline();
+        if let Some(ch) = &mut self.dma {
+            ch.observe(now);
+        }
+    }
+
+    /// Waits for every outstanding *strip-in* descriptor (compute
+    /// inputs); prefetch and outbound traffic keeps flying. Called at
+    /// [`PimMachine::run_program`] entry, so program-based execution can
+    /// never read a row whose inbound burst is still on the wire. Free
+    /// without a channel or when inputs already landed.
+    pub fn dma_sync_inbound(&mut self) {
+        if let Some(ch) = &self.dma {
+            let t = ch.in_done();
+            self.dma_stall_until(t);
+        }
+    }
+
+    /// Waits for the channel engine to go fully idle (strip-in,
+    /// prefetch *and* outbound descriptors): the frame/measurement
+    /// boundary. Charged as stall cycles like any other wait.
+    pub fn dma_settle(&mut self) {
+        if let Some(ch) = &self.dma {
+            let t = ch.busy_until();
+            self.dma_stall_until(t);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1586,6 +1849,9 @@ impl PimMachine {
             // carries the program name
             rec.set_label(Some(prog.name()));
         }
+        // compute may not outrun its inputs: wait for outstanding
+        // strip-in DMA (prefetch traffic keeps overlapping)
+        self.dma_sync_inbound();
         for op in prog.ops() {
             if tracing {
                 self.trace_label = Some(op.label.clone());

@@ -224,6 +224,34 @@ impl OpRecorder {
     /// Appends a barrier record with explicit dependency ids (the pool
     /// sync stream bypasses the row maps). Returns the record id.
     pub fn record_barrier(&mut self, deps: [u64; 3], start: u64, cycles: u64, size: u32) -> u64 {
+        self.record_explicit(
+            OpKind::Barrier,
+            deps,
+            start,
+            cycles,
+            [NO_ROW, NO_ROW],
+            NO_ROW,
+            size,
+        )
+    }
+
+    /// Appends a record of `kind` with explicit dependency ids, row
+    /// operands and destination, bypassing the row maps — the DMA
+    /// channel lanes use this: their cross-stream edges (issuing
+    /// machine record, channel serial chain) are known to the caller,
+    /// not derivable from this stream's row history. Returns the
+    /// record id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_explicit(
+        &mut self,
+        kind: OpKind,
+        deps: [u64; 3],
+        start: u64,
+        cycles: u64,
+        rows: [u32; 2],
+        dst: u32,
+        size: u32,
+    ) -> u64 {
         self.seq += 1;
         let id = self.base | self.seq;
         self.last_id = id;
@@ -238,14 +266,21 @@ impl OpRecorder {
             cycles,
             sram: 0,
             size,
-            rows: [NO_ROW, NO_ROW],
-            dst: NO_ROW,
+            rows,
+            dst,
             session: self.session,
             label: self.label,
-            kind: OpKind::Barrier,
+            kind,
             array: self.array,
         });
         id
+    }
+
+    /// Marks `row` as last written by a record of *another* stream
+    /// (an inbound DMA descriptor): the next record reading the row
+    /// picks up a cross-stream RAW edge onto the channel lane.
+    pub fn note_external_write(&mut self, row: u32, id: u64) {
+        self.row_writer.insert(row, id);
     }
 
     /// Folds extra cycles/SRAM traffic of a multi-step macro-op into

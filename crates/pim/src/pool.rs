@@ -65,13 +65,14 @@
 //! safe because resilient shards are self-contained. An array whose
 //! defects outnumber its spares fails its scrub and stays quarantined.
 
+use crate::dma::{DmaConfig, DmaFaultModel, DmaHealth};
 use crate::executor::{Job, JobHandle, PoolExecutor};
 use crate::fault::FaultStatus;
 use crate::lower::LoweredProgram;
 use crate::machine::{PimError, PimMachine, PimMachineBuilder};
 use crate::optrace::OpRecorder;
 use crate::stats::ExecStats;
-use pimvo_telemetry::optrace::{OpTrace, POOL_STREAM};
+use pimvo_telemetry::optrace::{OpTrace, DMA_LANE_BASE, POOL_STREAM};
 use pimvo_telemetry::{Severity, Telemetry, TimeDomain};
 use std::collections::BTreeMap;
 
@@ -206,8 +207,10 @@ impl PoolHealth {
 ///     m.tmp_lanes()[0]
 /// });
 /// assert_eq!(sums, vec![2, 6]);
-/// // both shards ran one cycle; the barrier charges one sync overhead
-/// assert_eq!(pool.wall_cycles(), 1 + pool.sync_cycles());
+/// // both shards ran one compute cycle on top of their (equal) host
+/// // strip-load transfer; the barrier charges one sync overhead
+/// let io = pool.array(0).cost_model().transfer_cycles(2);
+/// assert_eq!(pool.wall_cycles(), io + 1 + pool.sync_cycles());
 /// ```
 #[derive(Debug)]
 pub struct PimArrayPool {
@@ -215,6 +218,13 @@ pub struct PimArrayPool {
     wall_cycles: u64,
     sync_cycles: u64,
     barriers: u64,
+    /// Per-array timeline watermark: how much of each array's
+    /// [`PimMachine::timeline`] the wall clock has already absorbed.
+    /// Host I/O and DMA stalls between waves (strip loads through
+    /// [`PimArrayPool::array_mut`]) are picked up at the array's next
+    /// barrier; maintenance-port work (scrub) bumps the watermark
+    /// without advancing the wall.
+    seen: Vec<u64>,
     quarantined: Vec<bool>,
     policy: RetryPolicy,
     retries: u64,
@@ -236,6 +246,9 @@ pub struct PimArrayPool {
     /// Pool-stream op recorder (barrier records); `Some` iff the
     /// per-array recorders are armed too.
     op_sync: Option<Box<OpRecorder>>,
+    /// Ring capacity passed to [`PimArrayPool::arm_op_recorders`], kept
+    /// so a DMA channel installed later gets an equally sized lane.
+    op_capacity: usize,
 }
 
 impl PimArrayPool {
@@ -261,6 +274,7 @@ impl PimArrayPool {
             wall_cycles: 0,
             sync_cycles,
             barriers: 0,
+            seen: vec![0; n],
             policy: RetryPolicy::default(),
             retries: 0,
             redispatches: 0,
@@ -274,6 +288,7 @@ impl PimArrayPool {
             scrub_cycles: 0,
             telemetry: Telemetry::off(),
             op_sync: None,
+            op_capacity: 0,
         }
     }
 
@@ -306,6 +321,23 @@ impl PimArrayPool {
             POOL_STREAM,
             capacity,
         )));
+        self.op_capacity = capacity;
+        self.arm_dma_lanes();
+    }
+
+    /// Arms one op-trace lane per installed DMA channel: stream
+    /// namespace `n + 1 + i` (past the arrays and the sync stream),
+    /// stamped `DMA_LANE_BASE | i` so the profiler renders a `dma i`
+    /// lane. No-op for arrays without a channel.
+    fn arm_dma_lanes(&mut self) {
+        let n = self.arrays.len();
+        for (i, m) in self.arrays.iter_mut().enumerate() {
+            m.arm_dma_recorder(
+                (n + 1 + i) as u16,
+                DMA_LANE_BASE | i as u16,
+                self.op_capacity,
+            );
+        }
     }
 
     /// Disarms the recorders armed by [`PimArrayPool::arm_op_recorders`],
@@ -344,6 +376,9 @@ impl PimArrayPool {
         let mut trace = OpTrace::new();
         for m in &mut self.arrays {
             if let Some(t) = m.drain_op_trace() {
+                trace.merge(t);
+            }
+            if let Some(t) = m.drain_dma_trace() {
                 trace.merge(t);
             }
         }
@@ -411,9 +446,81 @@ impl PimArrayPool {
 
     /// Exclusive access to array `i` — host-side setup (image strip
     /// loads, halo rows, boundary exchanges) between phases goes through
-    /// here and costs host I/O only, never compute cycles.
+    /// here. Transfers cost host-I/O (or DMA) timeline cycles, never
+    /// compute cycles; the wall clock absorbs them at the array's next
+    /// barrier via its timeline watermark.
     pub fn array_mut(&mut self, i: usize) -> &mut PimMachine {
         &mut self.arrays[i]
+    }
+
+    // ------------------------------------------------------------------
+    // DMA channels (see `crate::dma`)
+    // ------------------------------------------------------------------
+
+    /// Installs (or removes, with `None`) one host↔array DMA channel
+    /// per member array. When the op recorders are armed, each channel
+    /// gets its own trace lane (`dma i`). Installing replaces existing
+    /// channels: clocks, health and fault streams start fresh.
+    pub fn set_dma(&mut self, cfg: Option<DmaConfig>) {
+        for m in &mut self.arrays {
+            m.set_dma(cfg);
+        }
+        if self.op_sync.is_some() {
+            self.arm_dma_lanes();
+        }
+    }
+
+    /// Plugs one seeded [`DmaFaultModel`] into every member channel,
+    /// forking the fault stream per array index so physically distinct
+    /// burst ports do not see identical fault sequences. No effect on
+    /// arrays without a channel.
+    pub fn set_dma_fault(&mut self, model: DmaFaultModel) {
+        for (i, m) in self.arrays.iter_mut().enumerate() {
+            m.set_dma_fault(model.clone());
+            m.dma_reseed(i as u64);
+        }
+    }
+
+    /// Member channels' health counters merged by summation
+    /// (`quarantined` is true when *any* member channel is).
+    pub fn dma_health(&self) -> DmaHealth {
+        let mut h = DmaHealth::default();
+        for m in &self.arrays {
+            if let Some(mh) = m.dma_health() {
+                h.merge(&mh);
+            }
+        }
+        h
+    }
+
+    /// Lifts every member channel's quarantine (operator action after
+    /// the underlying fault burst passed).
+    pub fn dma_rehabilitate(&mut self) {
+        for m in &mut self.arrays {
+            m.dma_rehabilitate();
+        }
+    }
+
+    /// Drains every member channel — strip-in, prefetch *and* outbound
+    /// descriptors — at a frame/measurement boundary. Per-array stall
+    /// cycles are charged and the wall clock advances by the slowest
+    /// member's wait; no extra sync overhead is charged (the settle
+    /// rides the frame-end barrier the caller already pays). Free when
+    /// no channel is installed or everything already landed.
+    pub fn dma_settle(&mut self) {
+        let members: Vec<usize> = (0..self.arrays.len()).collect();
+        for &i in &members {
+            self.arrays[i].dma_settle();
+        }
+        let max_delta = members
+            .iter()
+            .map(|&i| self.take_timeline(i))
+            .max()
+            .unwrap_or(0);
+        if max_delta > 0 {
+            self.wall_cycles += max_delta;
+            self.op_sync_point(0, &members);
+        }
     }
 
     /// The per-barrier synchronisation overhead in cycles (from the
@@ -453,6 +560,17 @@ impl PimArrayPool {
         }
         self.wall_cycles = 0;
         self.barriers = 0;
+        self.seen.fill(0);
+    }
+
+    /// Advances array `i`'s timeline watermark and returns the
+    /// not-yet-accounted delta: everything (compute, host I/O, DMA
+    /// stalls) array `i` spent since its last barrier.
+    fn take_timeline(&mut self, i: usize) -> u64 {
+        let now = self.arrays[i].timeline();
+        let delta = now - self.seen[i];
+        self.seen[i] = now;
+        delta
     }
 
     /// Runs one parallel phase: `f(index, machine)` executes on every
@@ -509,10 +627,6 @@ impl PimArrayPool {
     {
         let _wall = self.telemetry.span("pool", label);
         let wall_start = self.wall_cycles;
-        let before: Vec<u64> = members
-            .iter()
-            .map(|&i| self.arrays[i].stats().cycles)
-            .collect();
         let results: Vec<R> = if members.len() == 1 {
             vec![f(0, &mut self.arrays[members[0]])]
         } else {
@@ -541,11 +655,7 @@ impl PimArrayPool {
                     .collect()
             })
         };
-        let deltas: Vec<u64> = members
-            .iter()
-            .zip(&before)
-            .map(|(&i, &b)| self.arrays[i].stats().cycles - b)
-            .collect();
+        let deltas: Vec<u64> = members.iter().map(|&i| self.take_timeline(i)).collect();
         let max_delta = deltas.iter().copied().max().unwrap_or(0);
         self.wall_cycles += max_delta;
         if members.len() > 1 {
@@ -854,8 +964,14 @@ impl PimArrayPool {
                 continue;
             }
             let cyc0 = self.arrays[i].stats().cycles;
+            let t0 = self.arrays[i].timeline();
             let clean = self.scrub_array(i);
             self.scrub_cycles += self.arrays[i].stats().cycles - cyc0;
+            // maintenance-port work runs concurrently with foreground
+            // phases: bump the watermark by exactly the scrub's own
+            // timeline delta so it never reaches the wall clock (host
+            // I/O pending from before the scrub stays chargeable)
+            self.seen[i] += self.arrays[i].timeline() - t0;
             if clean {
                 self.arrays[i].reset_fault_status();
                 self.quarantined[i] = false;
@@ -973,11 +1089,6 @@ impl PimArrayPool {
             .iter()
             .map(|&i| self.arrays[i].fault_row_log().clone())
             .collect();
-        let cyc_before: Vec<u64> = healthy
-            .iter()
-            .map(|&i| self.arrays[i].stats().cycles)
-            .collect();
-
         let mut results: Vec<R> = if healthy.len() == 1 {
             vec![f(0, &mut self.arrays[healthy[0]])]
         } else {
@@ -1000,12 +1111,8 @@ impl PimArrayPool {
                     .collect()
             })
         };
-        let max_delta = healthy
-            .iter()
-            .zip(&cyc_before)
-            .map(|(&i, &b)| self.arrays[i].stats().cycles - b)
-            .max()
-            .unwrap_or(0);
+        let wave_deltas: Vec<u64> = healthy.iter().map(|&i| self.take_timeline(i)).collect();
+        let max_delta = wave_deltas.iter().copied().max().unwrap_or(0);
         self.wall_cycles += max_delta;
         if healthy.len() > 1 {
             self.wall_cycles += self.sync_cycles;
@@ -1098,9 +1205,8 @@ impl PimArrayPool {
                 continue;
             }
             let rows = self.arrays[i].config().rows as u64;
-            let cyc0 = self.arrays[i].stats().cycles;
             self.arrays[i].charge_verify_patrol(rows);
-            self.wall_cycles += self.arrays[i].stats().cycles - cyc0;
+            self.wall_cycles += self.take_timeline(i);
             self.op_sync_point(0, &[i]);
             if self.arrays[i].fault_status().detected > det_before[shard] {
                 self.probation[i] = self.scrub.probation_phases.max(1);
@@ -1115,8 +1221,8 @@ impl PimArrayPool {
         if self.telemetry.is_enabled() {
             let participants: Vec<(usize, u64)> = healthy
                 .iter()
-                .zip(&cyc_before)
-                .map(|(&i, &b)| (i, self.arrays[i].stats().cycles - b))
+                .copied()
+                .zip(wave_deltas.iter().copied())
                 .collect();
             self.record_phase_spans(label, wall_start, &participants);
         }
@@ -1282,6 +1388,11 @@ impl PimArrayPool {
     /// left off. Outside recovery the clock only ever advances.
     pub fn restore_wall_cycles(&mut self, cycles: u64) {
         self.wall_cycles = cycles;
+        // re-anchor the timeline watermarks: whatever the arrays have
+        // already spent is covered by the restored wall value
+        for i in 0..self.arrays.len() {
+            self.seen[i] = self.arrays[i].timeline();
+        }
     }
 
     /// Restores per-array probation countdowns from a fleet checkpoint
@@ -1312,9 +1423,8 @@ impl PimArrayPool {
         i: usize,
     ) -> (R, bool) {
         let det0 = self.arrays[i].fault_status().detected;
-        let cyc0 = self.arrays[i].stats().cycles;
         let r = f(shard, &mut self.arrays[i]);
-        self.wall_cycles += self.arrays[i].stats().cycles - cyc0;
+        self.wall_cycles += self.take_timeline(i);
         self.op_sync_point(0, &[i]);
         (r, self.arrays[i].fault_status().detected == det0)
     }
@@ -1396,13 +1506,16 @@ mod tests {
         for i in 0..3 {
             p.array_mut(i).host_write_lanes(0, &[1, 2, 3]).unwrap();
         }
-        // shard i performs i+1 single-cycle adds: deltas 1, 2, 3
+        // shard i performs i+1 single-cycle adds: deltas 1, 2, 3 — on
+        // top of the (equal) host-transfer cost of the strip loads,
+        // absorbed at this first barrier via the timeline watermarks
+        let io = p.array(0).cost_model().transfer_cycles(3);
         p.run_phase(|i, m| {
             for _ in 0..=i {
                 m.add(Operand::Row(0), Operand::Row(0));
             }
         });
-        assert_eq!(p.wall_cycles(), 3 + p.sync_cycles());
+        assert_eq!(p.wall_cycles(), io + 3 + p.sync_cycles());
         assert_eq!(p.barriers(), 1);
         // compute work is conserved: 1 + 2 + 3 summed cycles
         assert_eq!(p.merged_stats().cycles, 6);
@@ -1420,8 +1533,8 @@ mod tests {
         m.host_write_lanes(0, &[5, 6]).unwrap();
         m.add(Operand::Row(0), Operand::Row(0));
         m.writeback(1);
-        // no sync overhead, identical cycles and stats
-        assert_eq!(p.wall_cycles(), m.stats().cycles);
+        // no sync overhead, identical timeline (compute + host I/O)
+        assert_eq!(p.wall_cycles(), m.timeline());
         assert_eq!(p.barriers(), 0);
         assert_eq!(p.merged_stats(), *m.stats());
     }
@@ -1525,11 +1638,14 @@ mod tests {
             .expect("pool cycle span");
         assert_eq!(pool_span.name, "lpf_pass1");
         assert_eq!(pool_span.start, 0);
-        assert_eq!(pool_span.dur, 2 + p.sync_cycles());
+        // shard spans cover everything since the arrays' last barrier:
+        // the host strip load plus the compute delta
+        let io = p.array(0).cost_model().transfer_cycles(2);
+        assert_eq!(pool_span.dur, io + 2 + p.sync_cycles());
         let a0 = snap.spans.iter().find(|s| s.track == "array 0").unwrap();
         let a1 = snap.spans.iter().find(|s| s.track == "array 1").unwrap();
-        assert_eq!(a0.dur, 1);
-        assert_eq!(a1.dur, 2);
+        assert_eq!(a0.dur, io + 1);
+        assert_eq!(a1.dur, io + 2);
         // a wall-domain span is recorded too (RAII guard)
         assert!(snap
             .spans
@@ -1620,7 +1736,8 @@ mod tests {
             m.add(Operand::Row(0), Operand::Row(0));
         })
         .unwrap();
-        assert_eq!(p.wall_cycles(), 1);
+        let io = p.array(0).cost_model().transfer_cycles(1);
+        assert_eq!(p.wall_cycles(), io + 1);
         assert_eq!(p.barriers(), 0);
     }
 

@@ -23,6 +23,25 @@ pub struct ExecStats {
     /// Host I/O row transfers (loading images / reading results); kept
     /// separate because the paper excludes I/O from the per-frame energy.
     pub host_io_rows: u64,
+    /// Modeled host↔array transfer cycles (synchronous PIO and the
+    /// committed cost of DMA descriptors). Kept out of `cycles` so the
+    /// compute budget stays comparable to the paper; the machine's
+    /// timeline (and the pool wall clock) is `cycles + host_io_cycles +
+    /// dma_stall_cycles`.
+    pub host_io_cycles: u64,
+    /// Lanes/bytes moved over the host port (transfer sizing).
+    pub host_io_words: u64,
+    /// Cycles the compute stream stalled waiting on DMA completions
+    /// (queue backpressure, retries, backoff, timeout detection).
+    pub dma_stall_cycles: u64,
+    /// DMA descriptors retransmitted after a CRC reject or a dropped /
+    /// timed-out completion.
+    pub dma_retries: u64,
+    /// DMA payload corruptions caught by the descriptor CRC.
+    pub dma_crc_errors: u64,
+    /// DMA descriptors that hit the cycle-domain completion timeout
+    /// (stalled channel or dropped completion).
+    pub dma_timeouts: u64,
     /// Per-word parity checks on protected compute accesses
     /// ([`crate::Protection::Parity`]); zero without protection.
     pub parity_checks: u64,
@@ -90,6 +109,14 @@ impl ExecStats {
             tmp_accesses: self.tmp_accesses.checked_sub(earlier.tmp_accesses)?,
             acc_ops: self.acc_ops.checked_sub(earlier.acc_ops)?,
             host_io_rows: self.host_io_rows.checked_sub(earlier.host_io_rows)?,
+            host_io_cycles: self.host_io_cycles.checked_sub(earlier.host_io_cycles)?,
+            host_io_words: self.host_io_words.checked_sub(earlier.host_io_words)?,
+            dma_stall_cycles: self
+                .dma_stall_cycles
+                .checked_sub(earlier.dma_stall_cycles)?,
+            dma_retries: self.dma_retries.checked_sub(earlier.dma_retries)?,
+            dma_crc_errors: self.dma_crc_errors.checked_sub(earlier.dma_crc_errors)?,
+            dma_timeouts: self.dma_timeouts.checked_sub(earlier.dma_timeouts)?,
             parity_checks: self.parity_checks.checked_sub(earlier.parity_checks)?,
             ecc_checks: self.ecc_checks.checked_sub(earlier.ecc_checks)?,
             ecc_corrections: self.ecc_corrections.checked_sub(earlier.ecc_corrections)?,
@@ -106,6 +133,12 @@ impl ExecStats {
         self.tmp_accesses += other.tmp_accesses;
         self.acc_ops += other.acc_ops;
         self.host_io_rows += other.host_io_rows;
+        self.host_io_cycles += other.host_io_cycles;
+        self.host_io_words += other.host_io_words;
+        self.dma_stall_cycles += other.dma_stall_cycles;
+        self.dma_retries += other.dma_retries;
+        self.dma_crc_errors += other.dma_crc_errors;
+        self.dma_timeouts += other.dma_timeouts;
         self.parity_checks += other.parity_checks;
         self.ecc_checks += other.ecc_checks;
         self.ecc_corrections += other.ecc_corrections;
@@ -130,6 +163,12 @@ impl ExecStats {
             tmp_accesses: self.tmp_accesses * factor,
             acc_ops: self.acc_ops * factor,
             host_io_rows: self.host_io_rows * factor,
+            host_io_cycles: self.host_io_cycles * factor,
+            host_io_words: self.host_io_words * factor,
+            dma_stall_cycles: self.dma_stall_cycles * factor,
+            dma_retries: self.dma_retries * factor,
+            dma_crc_errors: self.dma_crc_errors * factor,
+            dma_timeouts: self.dma_timeouts * factor,
             parity_checks: self.parity_checks * factor,
             ecc_checks: self.ecc_checks * factor,
             ecc_corrections: self.ecc_corrections * factor,
@@ -154,6 +193,12 @@ impl ExecStats {
             tmp_accesses: self.tmp_accesses / den,
             acc_ops: self.acc_ops / den,
             host_io_rows: self.host_io_rows / den,
+            host_io_cycles: self.host_io_cycles / den,
+            host_io_words: self.host_io_words / den,
+            dma_stall_cycles: self.dma_stall_cycles / den,
+            dma_retries: self.dma_retries / den,
+            dma_crc_errors: self.dma_crc_errors / den,
+            dma_timeouts: self.dma_timeouts / den,
             parity_checks: self.parity_checks / den,
             ecc_checks: self.ecc_checks / den,
             ecc_corrections: self.ecc_corrections / den,
@@ -171,6 +216,12 @@ impl ExecStats {
         self.tmp_accesses = self.tmp_accesses.saturating_sub(other.tmp_accesses);
         self.acc_ops = self.acc_ops.saturating_sub(other.acc_ops);
         self.host_io_rows = self.host_io_rows.saturating_sub(other.host_io_rows);
+        self.host_io_cycles = self.host_io_cycles.saturating_sub(other.host_io_cycles);
+        self.host_io_words = self.host_io_words.saturating_sub(other.host_io_words);
+        self.dma_stall_cycles = self.dma_stall_cycles.saturating_sub(other.dma_stall_cycles);
+        self.dma_retries = self.dma_retries.saturating_sub(other.dma_retries);
+        self.dma_crc_errors = self.dma_crc_errors.saturating_sub(other.dma_crc_errors);
+        self.dma_timeouts = self.dma_timeouts.saturating_sub(other.dma_timeouts);
         self.parity_checks = self.parity_checks.saturating_sub(other.parity_checks);
         self.ecc_checks = self.ecc_checks.saturating_sub(other.ecc_checks);
         self.ecc_corrections = self.ecc_corrections.saturating_sub(other.ecc_corrections);

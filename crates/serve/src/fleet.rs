@@ -280,6 +280,7 @@ impl FleetScheduler {
 
         let start = self.shared.wall_cycles();
         let health_before = self.shared.health();
+        let dma_before = self.shared.dma_health();
         let sess = self.sessions.get_mut(&id).expect("picked session exists");
         let probing = matches!(sess.breaker, BreakerState::HalfOpen { .. });
         if probing {
@@ -309,6 +310,13 @@ impl FleetScheduler {
             .pool_mut()
             .expect("serve sessions run the PIM backend");
         std::mem::swap(pool, &mut self.shared);
+        // Frame-end settle: drain in-flight DMA and absorb trailing
+        // host I/O (result reads issued after the frame's last
+        // barrier) into the wall clock. Latency stays honest and a
+        // checkpoint taken between frames owes nothing — without this
+        // the uninterrupted and recovered clocks diverge by exactly
+        // the pending transfer cycles.
+        self.shared.dma_settle();
         let end = self.shared.wall_cycles();
 
         let latency = end - frame.submitted_at;
@@ -340,7 +348,16 @@ impl FleetScheduler {
             .saturating_sub(health_before.quarantined_count())
             as u64;
         sess.stats.pool_quarantines += quarantine_delta;
-        let tripped = Self::update_breaker(sess, probing, lost || missed, end);
+        // transfer-path attribution: channel faults absorbed by the
+        // retry ladder are telemetry; a channel *quarantine* means the
+        // session's transfers degraded to the synchronous port, which
+        // counts against the breaker window like a lost frame
+        let dma_delta = self.shared.dma_health().since(&dma_before);
+        sess.stats.dma_faults += dma_delta.faults();
+        sess.stats.dma_retries += dma_delta.retries;
+        sess.stats.dma_quarantines += dma_delta.quarantines;
+        let dma_quarantined = dma_delta.quarantines > 0;
+        let tripped = Self::update_breaker(sess, probing, lost || missed || dma_quarantined, end);
         if let Some(cap) = flight_frames {
             if let Some(trace) = self.shared.drain_op_trace() {
                 let ring = sess.flight.get_or_insert_with(|| FlightRecorder::new(cap));
@@ -355,6 +372,8 @@ impl FleetScheduler {
                     Some(DumpReason::DeadlineMiss)
                 } else if quarantine_delta > 0 {
                     Some(DumpReason::Quarantine)
+                } else if dma_quarantined {
+                    Some(DumpReason::DmaQuarantine)
                 } else {
                     None
                 };
@@ -842,6 +861,11 @@ impl FleetScheduler {
                 latencies_cycles,
                 // dumps are incident artifacts, not recoverable state
                 flight_dumps: Vec::new(),
+                // DMA counters are incident telemetry too: channels
+                // rebuild fresh on recovery, like array contents
+                dma_faults: 0,
+                dma_retries: 0,
+                dma_quarantines: 0,
             };
             let residency = match read_u8(payload, c)? {
                 0 => {

@@ -53,6 +53,10 @@ pub enum DumpReason {
     Quarantine,
     /// An operator or tool requested the dump (no incident).
     Manual,
+    /// A host↔array DMA channel quarantined during the frame (the
+    /// transfer retry ladder exhausted; traffic degraded to the
+    /// synchronous port).
+    DmaQuarantine,
 }
 
 impl DumpReason {
@@ -63,6 +67,7 @@ impl DumpReason {
             DumpReason::DeadlineMiss => 1,
             DumpReason::Quarantine => 2,
             DumpReason::Manual => 3,
+            DumpReason::DmaQuarantine => 4,
         }
     }
 
@@ -72,6 +77,7 @@ impl DumpReason {
             1 => Some(DumpReason::DeadlineMiss),
             2 => Some(DumpReason::Quarantine),
             3 => Some(DumpReason::Manual),
+            4 => Some(DumpReason::DmaQuarantine),
             _ => None,
         }
     }
@@ -83,6 +89,7 @@ impl DumpReason {
             DumpReason::DeadlineMiss => "deadline",
             DumpReason::Quarantine => "quarantine",
             DumpReason::Manual => "manual",
+            DumpReason::DmaQuarantine => "dma",
         }
     }
 }

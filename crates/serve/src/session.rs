@@ -157,6 +157,16 @@ pub struct SessionStats {
     pub pool_detected: u64,
     /// Arrays the pool quarantined while this session's frames ran.
     pub pool_quarantines: u64,
+    /// DMA transfer faults (CRC rejects + timeouts) the shared pool's
+    /// channels absorbed while this session's frames ran. Incident
+    /// telemetry like [`SessionStats::flight_dumps`] — not part of the
+    /// crash-recovery manifest.
+    pub dma_faults: u64,
+    /// DMA delivery retries charged while this session's frames ran.
+    pub dma_retries: u64,
+    /// DMA channels quarantined (degraded to the synchronous port)
+    /// while this session's frames ran.
+    pub dma_quarantines: u64,
     /// Paths of flight-recorder dumps written for this session, in the
     /// order they were written. Not part of the crash-recovery
     /// manifest: dumps are incident artifacts, rediscovered from disk.

@@ -46,6 +46,11 @@ pub const NO_LABEL: u32 = u32::MAX;
 pub const NO_SESSION: u32 = u32::MAX;
 /// Array index of the pool-level stream (wave barriers / sync points).
 pub const POOL_STREAM: u16 = u16::MAX;
+/// High bit of [`OpRecord::array`] marking a DMA channel lane: channel
+/// `c` of array `a` records as `DMA_LANE_BASE | a`, rendering as
+/// `dma a` in the profile tables and Perfetto tracks. Distinct from
+/// [`POOL_STREAM`] (all 16 bits set).
+pub const DMA_LANE_BASE: u16 = 0x8000;
 /// Dependency slots per record; `0` marks an empty slot (record ids
 /// start at 1).
 pub const DEPS_PER_RECORD: usize = 3;
@@ -98,10 +103,18 @@ pub enum OpKind {
     /// wave (carries the inter-array sync cost) or serializes a
     /// recovery/patrol step against the pool's wall clock.
     Barrier = 19,
+    /// DMA descriptor host → SRAM (strip input, pyramid prefetch):
+    /// setup + per-beat + completion cycles on a channel lane.
+    DmaIn = 20,
+    /// DMA descriptor SRAM → host (strip/result readout).
+    DmaOut = 21,
+    /// Compute stream stalled waiting on an inbound DMA completion
+    /// (includes retry/backoff/timeout penalties under faults).
+    DmaStall = 22,
 }
 
 /// Every kind, in discriminant order (profile table order).
-pub const OP_KINDS: [OpKind; 20] = [
+pub const OP_KINDS: [OpKind; 23] = [
     OpKind::Logic,
     OpKind::AddSub,
     OpKind::SatAddSub,
@@ -122,6 +135,9 @@ pub const OP_KINDS: [OpKind; 20] = [
     OpKind::Patrol,
     OpKind::Remap,
     OpKind::Barrier,
+    OpKind::DmaIn,
+    OpKind::DmaOut,
+    OpKind::DmaStall,
 ];
 
 impl OpKind {
@@ -148,6 +164,9 @@ impl OpKind {
             OpKind::Patrol => "patrol",
             OpKind::Remap => "remap",
             OpKind::Barrier => "barrier",
+            OpKind::DmaIn => "dma_in",
+            OpKind::DmaOut => "dma_out",
+            OpKind::DmaStall => "dma_stall",
         }
     }
 
@@ -672,16 +691,7 @@ impl Profile {
         for (title, rows) in [
             ("kind", fmt_keys(&self.by_kind, |k| k.to_string())),
             ("kernel", fmt_keys(&self.by_kernel, |k| k.clone())),
-            (
-                "array",
-                fmt_keys(&self.by_array, |&a| {
-                    if a == POOL_STREAM {
-                        "pool".to_string()
-                    } else {
-                        format!("array {a}")
-                    }
-                }),
-            ),
+            ("array", fmt_keys(&self.by_array, |&a| stream_name(a))),
             (
                 "session",
                 fmt_keys(&self.by_session, |&s| {
@@ -715,6 +725,19 @@ impl Profile {
     }
 }
 
+/// Display name of an [`OpRecord::array`] stream index: `pool` for the
+/// sync stream, `dma a` for array `a`'s DMA channel lane
+/// ([`DMA_LANE_BASE`]), `array a` otherwise.
+pub fn stream_name(a: u16) -> String {
+    if a == POOL_STREAM {
+        "pool".to_string()
+    } else if a & DMA_LANE_BASE != 0 {
+        format!("dma {}", a & !DMA_LANE_BASE)
+    } else {
+        format!("array {a}")
+    }
+}
+
 fn fmt_keys<K: Ord + Clone, F: Fn(&K) -> String>(
     map: &BTreeMap<K, ProfileRow>,
     f: F,
@@ -738,11 +761,7 @@ pub fn to_perfetto(trace: &OpTrace) -> String {
             .iter()
             .map(|r| crate::SpanRecord {
                 domain: crate::TimeDomain::Cycles,
-                track: if r.array == POOL_STREAM {
-                    "pool".to_string()
-                } else {
-                    format!("array {}", r.array)
-                },
+                track: stream_name(r.array),
                 name: match trace.label(r.label) {
                     Some(l) => format!("{l} {}", r.kind.as_str()),
                     None => r.kind.as_str().to_string(),
@@ -924,5 +943,27 @@ mod tests {
         assert!(s.contains("array 0"));
         assert!(s.contains("\"pool\""));
         assert!(s.contains("lpf_pass1 mul"));
+    }
+
+    #[test]
+    fn dma_kinds_roundtrip_and_name_channel_lanes() {
+        for k in [OpKind::DmaIn, OpKind::DmaOut, OpKind::DmaStall] {
+            assert_eq!(OpKind::from_u16(k as u16), Some(k));
+        }
+        assert_eq!(stream_name(DMA_LANE_BASE | 3), "dma 3");
+        assert_eq!(stream_name(POOL_STREAM), "pool");
+        assert_eq!(stream_name(2), "array 2");
+
+        let mut t = OpTrace::new();
+        t.records = vec![OpRecord {
+            kind: OpKind::DmaIn,
+            array: DMA_LANE_BASE | 1,
+            ..rec(1, [0; 3], 22)
+        }];
+        let back = OpTrace::decode(&t.encode()).unwrap();
+        assert_eq!(back, t);
+        let s = to_perfetto(&t);
+        assert!(s.contains("dma 1"));
+        assert!(s.contains("dma_in"));
     }
 }

@@ -12,7 +12,16 @@
 //!     --trace-out trace.json --metrics-out metrics.txt --log-jsonl events.jsonl
 //! cargo run --release --example track_sequence -- desk pim 30 \
 //!     --trace-bin trace.bin --flight-recorder 4
+//! cargo run --release --example track_sequence -- xyz pim 30 --dma-overlap
+//! cargo run --release --features fault --example track_sequence -- \
+//!     xyz pim 30 --dma-fault-rate 0.2
 //! ```
+//!
+//! `--dma-overlap` attaches modeled host↔array DMA channels so strip
+//! transfers overlap compute (bit-identical poses, fewer wall cycles);
+//! `--dma-fault-rate R` (implies `--dma-overlap`, needs a
+//! `--features fault` build) additionally runs a seeded transfer-fault
+//! storm against those channels — poses must not move.
 //!
 //! Open `trace.json` at <https://ui.perfetto.dev> to see the
 //! frame → stage → pool-phase → shard span hierarchy in both the
@@ -26,7 +35,7 @@
 //! any budgeted frame overran, `manual` otherwise. Both flags need the
 //! `pim` backend.
 
-use pimvo::core::{BackendKind, Checkpoint, Tracker, TrackerConfig};
+use pimvo::core::{BackendKind, Checkpoint, TrackerBuilder, TrackerConfig};
 use pimvo::scene::{ate_rmse, format_tum, rpe_rmse, Sequence, SequenceKind, Trajectory};
 use pimvo::serve::{DumpReason, FlightDump, FlightFrame};
 use pimvo::telemetry::optrace::OpTrace;
@@ -40,7 +49,8 @@ fn usage() -> ! {
          [out_dir] [pyramid_levels]\n       \
          [--trace-out FILE] [--metrics-out FILE] [--log-jsonl FILE]\n       \
          [--checkpoint-every N] [--resume FILE] [--frame-budget-cycles K]\n       \
-         [--trace-bin FILE] [--flight-recorder N]"
+         [--trace-bin FILE] [--flight-recorder N]\n       \
+         [--dma-overlap] [--dma-fault-rate R]"
     );
     std::process::exit(2)
 }
@@ -56,6 +66,8 @@ fn main() {
     let mut frame_budget: Option<String> = None;
     let mut trace_bin: Option<String> = None;
     let mut flight_recorder: Option<String> = None;
+    let mut dma_overlap = false;
+    let mut dma_fault_rate: Option<String> = None;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         let mut flag = |dst: &mut Option<String>| match args.next() {
@@ -71,6 +83,8 @@ fn main() {
             "--frame-budget-cycles" => flag(&mut frame_budget),
             "--trace-bin" => flag(&mut trace_bin),
             "--flight-recorder" => flag(&mut flight_recorder),
+            "--dma-overlap" => dma_overlap = true,
+            "--dma-fault-rate" => flag(&mut dma_fault_rate),
             "--help" | "-h" => usage(),
             _ => positional.push(a),
         }
@@ -86,6 +100,18 @@ fn main() {
         }
         n
     });
+    let dma_fault_rate: Option<f64> = dma_fault_rate.map(|v| {
+        let r: f64 = v.parse().unwrap_or_else(|_| usage());
+        if !(0.0..1.0).contains(&r) {
+            eprintln!("error: --dma-fault-rate needs a rate in [0, 1)");
+            usage();
+        }
+        r
+    });
+    // a fault sweep only makes sense on the modeled channels
+    if dma_fault_rate.is_some() {
+        dma_overlap = true;
+    }
 
     let kind = match positional.first().map(String::as_str) {
         Some("xyz") | None => SequenceKind::Xyz,
@@ -121,7 +147,35 @@ fn main() {
         build_map: positional.get(3).is_some(), // reconstruct when exporting
         ..TrackerConfig::default()
     };
-    let mut tracker = Tracker::new(config, backend);
+    let mut builder = TrackerBuilder::new(config).backend(backend);
+    if dma_overlap {
+        builder = builder.dma(pimvo::pim::DmaConfig::default());
+    }
+    let mut tracker = builder.build();
+    if dma_overlap && tracker.pool_mut().is_none() {
+        eprintln!("error: --dma-overlap / --dma-fault-rate need the pim backend");
+        usage();
+    }
+    if let Some(rate) = dma_fault_rate {
+        // R is the total per-attempt fault probability, split 60 %
+        // payload flips / 30 % stalls / 10 % dropped completions
+        #[cfg(feature = "fault")]
+        {
+            let model =
+                pimvo::pim::DmaFaultModel::new(0xd3a0_cafe, rate * 0.6, rate * 0.3, rate * 0.1);
+            tracker
+                .pool_mut()
+                .expect("pim backend checked above")
+                .set_dma_fault(model);
+            println!("dma faults     : seeded transfer storm, total rate {rate}");
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = rate;
+            eprintln!("error: --dma-fault-rate needs a fault build (--features fault)");
+            std::process::exit(2);
+        }
+    }
     let telemetry = if trace_out.is_some() || metrics_out.is_some() || log_jsonl.is_some() {
         let t = Telemetry::new();
         tracker.set_telemetry(t.clone());
@@ -259,6 +313,21 @@ fn main() {
     );
     let fps = 216.0e6 / ((stats.total_cycles() as f64) / stats.frames.max(1) as f64);
     println!("throughput     : {fps:.0} frames/s at a 216 MHz clock");
+    if dma_overlap {
+        if let Some(pool) = tracker.pool_mut() {
+            let h = pool.dma_health();
+            println!(
+                "dma            : {} descriptors ({} prefetches), {} faults, \
+                 {} retries, {} quarantines, {} sync fallbacks",
+                h.issued,
+                h.prefetches,
+                h.faults(),
+                h.retries,
+                h.quarantines,
+                h.sync_fallbacks
+            );
+        }
+    }
     if frame_budget.is_some() {
         let b = tracker.budget_status();
         println!(

@@ -53,6 +53,13 @@ step cargo run -q --release --example track_sequence -- \
     xyz pim 20 "$chaos_out" 1 --checkpoint-every 8
 step cargo run -q --release --example track_sequence -- \
     xyz pim 20 "$chaos_out" 1 --resume "$chaos_out/track_sequence.ckpt"
+# dma-overlap smoke: the modeled host<->array channels must be fully
+# deterministic — two identical runs, byte-identical op traces
+step cargo run -q --release --example track_sequence -- \
+    xyz pim 12 --dma-overlap --trace-bin "$chaos_out/dma_a.bin"
+step cargo run -q --release --example track_sequence -- \
+    xyz pim 12 --dma-overlap --trace-bin "$chaos_out/dma_b.bin"
+step cmp "$chaos_out/dma_a.bin" "$chaos_out/dma_b.bin"
 # fleet-soak smoke: 4 sessions x 2 arrays, ~50 frames through the
 # pimvo-serve scheduler (admission control, EDF, shed ladder) must
 # complete and emit a report
