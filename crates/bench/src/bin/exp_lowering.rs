@@ -1,0 +1,9 @@
+//! Extension experiment: lowering-pipeline stage sweep — per-kernel
+//! cycles at `Opt` as each staged pass group (greedy baseline →
+//! +peephole → +scheduler → +home-row layout) is enabled. Outputs are
+//! asserted bit-identical across stages.
+
+fn main() {
+    let (_, report) = pimvo_bench::reports::lowering();
+    print!("{report}");
+}

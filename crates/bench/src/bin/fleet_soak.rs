@@ -60,6 +60,7 @@ struct CellResult {
     miss_rate: f64,
     shed_rate: f64,
     completed: u64,
+    lower: pimvo_pim::LoweredCacheStats,
 }
 
 /// One sweep cell: `sessions` tenants with a deadline of 2x the solo
@@ -114,6 +115,7 @@ fn run_cell(sessions: usize, arrays: usize, rounds: usize) -> CellResult {
         miss_rate: misses as f64 / completed.max(1) as f64,
         shed_rate: shed as f64 / submitted.max(1) as f64,
         completed,
+        lower: fleet.lowered_stats(),
     }
 }
 
@@ -193,6 +195,12 @@ fn main() {
         report.metric(&key("miss_rate"), cell.miss_rate);
         report.metric(&key("shed_rate"), cell.shed_rate);
         report.metric(&key("frames"), cell.completed as f64);
+        // lowered-program cache: misses = distinct (program, level,
+        // config) triples in the cell's workload, flat in `sessions`
+        report.metric(&key("lower_hits"), cell.lower.hits as f64);
+        report.metric(&key("lower_misses"), cell.lower.misses as f64);
+        report.metric(&key("lower_entries"), cell.lower.entries as f64);
+        report.metric(&key("lower_bytes"), cell.lower.bytes as f64);
     }
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {

@@ -12,7 +12,7 @@ use pimvo_mcu::{
     edge_detect_counted, edge_detect_counted_with, linearize_counted, CodegenModel, CostCounter,
     FloatFeature, InstructionMix,
 };
-use pimvo_pim::{ArrayConfig, CostModel, DmaConfig, LowerLevel, PimMachine};
+use pimvo_pim::{ArrayConfig, CostModel, DmaConfig, LowerLevel, Pass, PimMachine};
 use pimvo_scene::{format_tum, Sequence, SequenceKind};
 use pimvo_vomath::{Pinhole, SE3};
 use std::fmt::Write as _;
@@ -356,6 +356,104 @@ pub fn fig9b() -> (Fig9bResult, String) {
     (res, out)
 }
 
+/// The staged pass groups the lowering sweep compares. `greedy` is the
+/// pre-pipeline optimizer (shift fusion + dead-store elimination, the
+/// PR-5 baseline); each later stage enables one more pass group, up to
+/// the full [`pimvo_pim::pass_pipeline`] at `Opt`.
+pub const LOWERING_STAGES: [(&str, &[Pass]); 4] = [
+    ("greedy", &[Pass::FuseShifts, Pass::EliminateDeadStores]),
+    (
+        "peephole",
+        &[Pass::Peephole, Pass::FuseShifts, Pass::EliminateDeadStores],
+    ),
+    (
+        "sched",
+        &[
+            Pass::Peephole,
+            Pass::FuseShifts,
+            Pass::EliminateDeadStores,
+            Pass::Schedule,
+        ],
+    ),
+    (
+        "layout",
+        &[
+            Pass::Peephole,
+            Pass::FuseShifts,
+            Pass::EliminateDeadStores,
+            Pass::Schedule,
+            Pass::Layout,
+        ],
+    ),
+];
+
+/// Lowering-pipeline stage sweep: per-kernel cycles on the canonical
+/// frame at `Opt` as each staged pass group is enabled. Outputs are
+/// asserted bit-identical across stages (passes may only change cost),
+/// so the sweep isolates where the cycle wins come from — the
+/// scheduler and home-row layout vs the PR-5 greedy baseline.
+///
+/// Returns `(kernel, stage, cycles)` rows and the formatted table.
+pub fn lowering() -> (Vec<(&'static str, &'static str, u64)>, String) {
+    let (gray, _) = canonical_frame();
+    let cfg = EdgeConfig::default();
+    let lpf_map = pimvo_kernels::scalar::lpf(&gray);
+    let hpf_map = pimvo_kernels::scalar::hpf(&lpf_map);
+
+    let mut rows: Vec<(&'static str, &'static str, u64)> = Vec::new();
+    let mut outputs: Vec<(&'static str, pimvo_kernels::GrayImage)> = Vec::new();
+    for (stage, passes) in LOWERING_STAGES {
+        let mut measure =
+            |kernel: &'static str, f: &dyn Fn(&mut PimMachine) -> pimvo_kernels::GrayImage| {
+                let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+                let c0 = m.stats().cycles;
+                let img = f(&mut m);
+                rows.push((kernel, stage, m.stats().cycles - c0));
+                // identity across stages: later passes may only change cost
+                match outputs.iter().find(|(k, _)| *k == kernel) {
+                    Some((_, want)) => {
+                        assert_eq!(&img, want, "{kernel} output drifted at stage {stage}")
+                    }
+                    None => outputs.push((kernel, img)),
+                }
+            };
+        measure("lpf", &|m| {
+            ir::lpf_with_passes(m, &gray, LowerLevel::Opt, passes)
+        });
+        measure("hpf", &|m| {
+            ir::hpf_with_passes(m, &lpf_map, LowerLevel::Opt, passes)
+        });
+        measure("nms", &|m| {
+            ir::nms_with_passes(m, &hpf_map, &cfg, LowerLevel::Opt, passes)
+        });
+        measure("downsample", &|m| {
+            ir::downsample2x_with_passes(m, &gray, LowerLevel::Opt, passes)
+        });
+    }
+
+    let mut out = String::new();
+    writeln!(out, "Lowering pipeline: cycles per kernel per stage").unwrap();
+    write!(out, "  {:<12}", "kernel").unwrap();
+    for (stage, _) in LOWERING_STAGES {
+        write!(out, " {stage:>10}").unwrap();
+    }
+    writeln!(out).unwrap();
+    for kernel in ["lpf", "hpf", "nms", "downsample"] {
+        write!(out, "  {kernel:<12}").unwrap();
+        for (stage, _) in LOWERING_STAGES {
+            let c = rows
+                .iter()
+                .find(|(k, s, _)| *k == kernel && *s == stage)
+                .map(|(_, _, c)| *c)
+                .expect("every (kernel, stage) pair measured");
+            write!(out, " {c:>10}").unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    writeln!(out, "  outputs bit-identical across all stages (asserted)").unwrap();
+    (rows, out)
+}
+
 /// Tracks one full frame on the PIM backend and returns the machine
 /// statistics (used by the energy/memory decompositions).
 fn pim_frame_stats(frames: usize) -> (pimvo_pim::ExecStats, u64) {
@@ -674,6 +772,20 @@ pub fn all_with_reports(frames: usize) -> (Vec<crate::sink::BenchReport>, String
     }
     r.metric("wall_seconds", t0.elapsed().as_secs_f64())
         .note("paper", "Fig. 9-b: naive vs optimized PIM mappings");
+    reports.push(r);
+
+    let t0 = Instant::now();
+    let (stages, text) = lowering();
+    out.push_str(&text);
+    out.push('\n');
+    let mut r = BenchReport::new("lowering");
+    for (kernel, stage, cycles) in &stages {
+        r.metric(&format!("{kernel}_{stage}_cycles"), *cycles as f64);
+    }
+    r.metric("wall_seconds", t0.elapsed().as_secs_f64()).note(
+        "paper",
+        "extension: staged lowering pipeline, per-kernel cycles per pass group",
+    );
     reports.push(r);
 
     let t0 = Instant::now();

@@ -358,6 +358,9 @@ impl PimBackend {
         }
         let interp = self.interp();
         let base_row = self.runner.base_row();
+        // the probe lowers through the pool's shared memo table, like
+        // the real batches it stands in for
+        let cache = self.runner.pool().lowered_cache().clone();
         let m = self.runner.pool_mut().array_mut(0);
         let before = m.stats().clone();
         // dummy features: the op sequence (and therefore the cost) is
@@ -376,7 +379,17 @@ impl PimBackend {
         // counters or in an op-trace lane (records whose cycles the
         // retracted wall never pays) could not be rewound
         let _ = m.with_probe_isolation(|m| {
-            pim_exec::run_batch_with(m, base_row, &feats, pose, kf, cam, interp)
+            pim_exec::exec_batch(
+                m,
+                base_row,
+                &feats,
+                pose,
+                kf,
+                cam,
+                interp,
+                pim_exec::BatchMapping::Opt,
+                &cache,
+            )
         });
         // try_since: a restored checkpoint may have reset the machine's
         // counters below the captured baseline; fall back to the

@@ -37,7 +37,7 @@
 use crate::hessian::{tri_idx, QNormalEquations};
 use crate::quant::{Interp, QFeature, QKeyframe, QPose, PIX_FRAC, POSE_FRAC, RATIO_FRAC};
 use pimvo_pim::{
-    lower, ArrayConfig, LaneWidth, LowerLevel, PimArrayPool, PimError, PimMachine,
+    ArrayConfig, LaneWidth, LowerLevel, LoweredCache, PimArrayPool, PimError, PimMachine,
     PimMachineBuilder, PimProgram, ScratchRows, Signedness, VReg, Val,
 };
 use pimvo_vomath::Pinhole;
@@ -212,6 +212,10 @@ impl BatchRunner {
     ) -> Result<Vec<BatchOutput>, PimError> {
         let chunks: Vec<&[QFeature]> = feats.chunks(BATCH).collect();
         let (base_row, opts) = (self.base_row, self.options);
+        // every shard lowers through the pool's shared memo table, so
+        // the five pose programs lower once per (level, geometry) —
+        // not once per shard, batch or session
+        let cache = self.pool.lowered_cache().clone();
         let mut outputs = Vec::with_capacity(chunks.len());
         let mut next = 0;
         while next < chunks.len() {
@@ -222,7 +226,17 @@ impl BatchRunner {
                 .pool
                 .run_phase_resilient_labeled("lm_batch", |shard, m| {
                     section.get(shard).map(|c| {
-                        exec_batch(m, base_row, c, pose, kf, cam, opts.interp, opts.mapping)
+                        exec_batch(
+                            m,
+                            base_row,
+                            c,
+                            pose,
+                            kf,
+                            cam,
+                            opts.interp,
+                            opts.mapping,
+                            &cache,
+                        )
                     })
                 })?;
             outputs.extend(results.into_iter().flatten());
@@ -297,8 +311,10 @@ fn run_pose_program(
     prog: &PimProgram,
     level: LowerLevel,
     scratch: &ScratchRows,
+    cache: &LoweredCache,
 ) -> Vec<i64> {
-    let lowered = lower(prog, level, scratch)
+    let lowered = cache
+        .get_or_lower(prog, level, scratch, m.config())
         .unwrap_or_else(|e| panic!("lowering {} at {level}: {e}", prog.name()));
     m.run_program(&lowered)
         .unwrap_or_else(|e| panic!("running {}: {e}", prog.name()))
@@ -579,6 +595,7 @@ pub fn run_batch(
         cam,
         Interp::Bilinear,
         BatchMapping::Opt,
+        LoweredCache::global(),
     )
 }
 
@@ -597,14 +614,24 @@ pub fn run_batch_with(
     cam: &Pinhole,
     interp: Interp,
 ) -> BatchOutput {
-    exec_batch(m, base_row, feats, pose, kf, cam, interp, BatchMapping::Opt)
+    exec_batch(
+        m,
+        base_row,
+        feats,
+        pose,
+        kf,
+        cam,
+        interp,
+        BatchMapping::Opt,
+        LoweredCache::global(),
+    )
 }
 
 /// Single-batch core behind [`BatchRunner`] and the `run_batch*`
 /// wrappers: executes one chunk of ≤ [`BATCH`] features with the given
 /// interpolation and mapping.
 #[allow(clippy::too_many_arguments)]
-fn exec_batch(
+pub(crate) fn exec_batch(
     m: &mut PimMachine,
     base_row: usize,
     feats: &[QFeature],
@@ -613,6 +640,7 @@ fn exec_batch(
     cam: &Pinhole,
     interp: Interp,
     mapping: BatchMapping,
+    cache: &LoweredCache,
 ) -> BatchOutput {
     assert!(feats.len() <= BATCH, "batch too large: {}", feats.len());
     assert!(
@@ -663,14 +691,14 @@ fn exec_batch(
         .expect("host I/O row in range");
     m.host_broadcast(rows.r(PoseRows::LOWHALF), 0xFFFF)
         .expect("host I/O row in range");
-    let _ = run_pose_program(m, &warp_program(&rows, ff), level, &scratch);
+    let _ = run_pose_program(m, &warp_program(&rows, ff), level, &scratch, cache);
 
     // ---- residual / gradient gather (host-addressed) -------------------
     if interp == Interp::Bilinear {
         // fractional weights wu, wv (Q0.6): a single AND with 0x3F
         m.host_broadcast(rows.r(PoseRows::SCRATCH), (1 << PIX_FRAC) - 1)
             .expect("host I/O row in range");
-        let _ = run_pose_program(m, &frac_weights_program(&rows), level, &scratch);
+        let _ = run_pose_program(m, &frac_weights_program(&rows), level, &scratch, cache);
     }
 
     let u_raw = m.host_read_lanes(rows.r(PoseRows::U));
@@ -748,12 +776,12 @@ fn exec_batch(
     // residual: bilinear lerp pipeline (or the nearest staging copy),
     // with the validity mask folded in before the store — zeroed and
     // packed for the W16 hessian stage
-    let _ = run_pose_program(m, &residual_program(&rows, interp), level, &scratch);
+    let _ = run_pose_program(m, &residual_program(&rows, interp), level, &scratch, cache);
 
     // ---- Jacobian (Fig. 5-d shared-subexpression pipeline) -------------
     // invalid lanes are masked branch-free: multiplying by the 0/-1 Z
     // mask would flip signs; instead each row is ANDed with it
-    let _ = run_pose_program(m, &jacobian_program(&rows), level, &scratch);
+    let _ = run_pose_program(m, &jacobian_program(&rows), level, &scratch, cache);
 
     // read back jacobians and residuals (host view for verification /
     // fast-path checks). The combined mask packed each lane into 16-bit
@@ -781,7 +809,7 @@ fn exec_batch(
     // (charged at half cost: two 80-feature half-batches pack one
     // 160-lane word line; see the module docs)
     let before = m.stats().clone();
-    let sums = run_pose_program(m, &hessian_program(&rows), level, &scratch);
+    let sums = run_pose_program(m, &hessian_program(&rows), level, &scratch, cache);
     let mut h_partial = [0i64; 21];
     let mut b_partial = [0i64; 6];
     let mut it = sums.into_iter();
@@ -871,6 +899,7 @@ pub fn run_batch_naive(
         cam,
         Interp::Bilinear,
         BatchMapping::Naive,
+        LoweredCache::global(),
     )
 }
 

@@ -143,6 +143,7 @@ pub struct TrackerBuilder {
     telemetry: Option<Telemetry>,
     budget: Option<BudgetConfig>,
     frame_budget_cycles: Option<Option<u64>>,
+    lowered_cache: Option<pimvo_pim::LoweredCache>,
 }
 
 impl TrackerBuilder {
@@ -158,7 +159,19 @@ impl TrackerBuilder {
             telemetry: None,
             budget: None,
             frame_budget_cycles: None,
+            lowered_cache: None,
         }
+    }
+
+    /// Shares a lowered-program memo table with the tracker's PIM
+    /// pool: a fleet building many trackers against one
+    /// [`pimvo_pim::LoweredCache`] handle lowers each distinct
+    /// (program, level, geometry) triple exactly once across all of
+    /// them — including the build-time calibration probes. Ignored by
+    /// non-PIM backends.
+    pub fn lowered_cache(mut self, cache: pimvo_pim::LoweredCache) -> Self {
+        self.lowered_cache = Some(cache);
+        self
     }
 
     /// Selects the backend by kind.
@@ -236,6 +249,9 @@ impl TrackerBuilder {
                     };
                     if self.dma.is_some() {
                         b.pool_mut().set_dma(self.dma);
+                    }
+                    if let Some(cache) = self.lowered_cache {
+                        b.pool_mut().set_lowered_cache(cache);
                     }
                     Box::new(b)
                 }

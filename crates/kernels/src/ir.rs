@@ -26,9 +26,10 @@ use crate::config::{NEIGHBOR_SHIFT, RECENTER_SHIFT};
 use crate::pim_util::{ghost_mask, load_image, read_image, row_or_zero, Regions};
 use crate::{EdgeConfig, EdgeMaps, GrayImage};
 use pimvo_pim::{
-    lower, LaneWidth, LowerLevel, LoweredProgram, PimMachine, PimProgram, ScratchRows, Signedness,
-    Val,
+    lower_with_passes, LaneWidth, LowerLevel, LoweredCache, LoweredProgram, Pass, PimMachine,
+    PimProgram, ScratchRows, Signedness, Val,
 };
+use std::sync::Arc;
 
 /// Scratch rows the lowering may spill into: `r.s(0) .. r.s(14)`.
 /// Fifteen rows comfortably hold the worst-case live set of the naive
@@ -68,16 +69,58 @@ pub fn check_level(m: &PimMachine, level: LowerLevel) {
 
 /// Lowers `prog` at `level` and runs it, panicking on malformed
 /// programs (the builders below are hazard-free by construction).
+/// Lowering memoizes through [`LoweredCache::global`], so repeated
+/// frames re-lower nothing.
 fn run(m: &mut PimMachine, prog: &PimProgram, level: LowerLevel, r: &Regions) {
-    let lowered = lower(prog, level, &scratch_pool(r))
+    let lowered = LoweredCache::global()
+        .get_or_lower(prog, level, &scratch_pool(r), m.config())
         .unwrap_or_else(|e| panic!("lowering {} at {level}: {e}", prog.name()));
     m.run_program(&lowered)
         .unwrap_or_else(|e| panic!("running {} at {level}: {e:?}", prog.name()));
 }
 
-/// Lowers `prog` at [`LowerLevel::Opt`] for pool submission.
-pub(crate) fn lower_opt(prog: &PimProgram, r: &Regions) -> LoweredProgram {
-    lower(prog, LowerLevel::Opt, &scratch_pool(r))
+/// Like [`run`], but lowering with an explicit pass list instead of
+/// the level's full pipeline. Bypasses the cache: its key does not
+/// cover the pass list, and partial lowerings must never be served to
+/// regular callers.
+fn run_with_passes(
+    m: &mut PimMachine,
+    prog: &PimProgram,
+    level: LowerLevel,
+    r: &Regions,
+    passes: &[Pass],
+) {
+    let lowered = lower_with_passes(prog, level, &scratch_pool(r), passes)
+        .unwrap_or_else(|e| panic!("lowering {} at {level}: {e}", prog.name()));
+    m.run_program(&lowered)
+        .unwrap_or_else(|e| panic!("running {} at {level}: {e:?}", prog.name()));
+}
+
+/// Dispatches to [`run`] (full pipeline, cached) or
+/// [`run_with_passes`] (explicit pass list, uncached).
+fn run_maybe(
+    m: &mut PimMachine,
+    prog: &PimProgram,
+    level: LowerLevel,
+    r: &Regions,
+    passes: Option<&[Pass]>,
+) {
+    match passes {
+        Some(ps) => run_with_passes(m, prog, level, r, ps),
+        None => run(m, prog, level, r),
+    }
+}
+
+/// Lowers `prog` at [`LowerLevel::Opt`] for pool submission, memoized
+/// through `cache`.
+pub(crate) fn lower_opt(
+    prog: &PimProgram,
+    r: &Regions,
+    cache: &LoweredCache,
+    config: &pimvo_pim::ArrayConfig,
+) -> Arc<LoweredProgram> {
+    cache
+        .get_or_lower(prog, LowerLevel::Opt, &scratch_pool(r), config)
         .unwrap_or_else(|e| panic!("lowering {}: {e}", prog.name()))
 }
 
@@ -246,13 +289,53 @@ pub fn edge_detect(
     let w = load_image(m, r.input, img) as u32;
     let h = img.height();
 
-    lpf_rows(m, &r, r.input, r.aux2, h, w as usize, level);
+    lpf_rows(m, &r, r.input, r.aux2, h, w as usize, level, None);
     let lpf = read_image(m, r.aux2, w, h);
 
-    hpf_rows(m, &r, r.aux2, r.aux3, h, w as usize, level);
+    hpf_rows(m, &r, r.aux2, r.aux3, h, w as usize, level, None);
     let hpf = read_image(m, r.aux3, w, h);
 
-    nms_rows(m, &r, r.aux3, r.out, h, w as usize, cfg, level);
+    nms_rows(m, &r, r.aux3, r.out, h, w as usize, cfg, level, None);
+    let mut mask = read_image(m, r.out, w, h);
+    mask.clear_border(cfg.border);
+
+    EdgeMaps { lpf, hpf, mask }
+}
+
+/// [`edge_detect`] with an explicit pass list in place of `level`'s
+/// full [`pimvo_pim::pass_pipeline`]. Every prefix of the pipeline is
+/// value-preserving — only cost may change — which
+/// `crates/kernels/tests/pass_prefix_proptests.rs` pins against
+/// [`crate::scalar`] on random images.
+pub fn edge_detect_with_passes(
+    m: &mut PimMachine,
+    img: &GrayImage,
+    cfg: &EdgeConfig,
+    level: LowerLevel,
+    passes: &[Pass],
+) -> EdgeMaps {
+    check_level(m, level);
+    let r = Regions::for_machine(m, img.height());
+    let w = load_image(m, r.input, img) as u32;
+    let h = img.height();
+
+    lpf_rows(m, &r, r.input, r.aux2, h, w as usize, level, Some(passes));
+    let lpf = read_image(m, r.aux2, w, h);
+
+    hpf_rows(m, &r, r.aux2, r.aux3, h, w as usize, level, Some(passes));
+    let hpf = read_image(m, r.aux3, w, h);
+
+    nms_rows(
+        m,
+        &r,
+        r.aux3,
+        r.out,
+        h,
+        w as usize,
+        cfg,
+        level,
+        Some(passes),
+    );
     let mut mask = read_image(m, r.out, w, h);
     mask.clear_border(cfg.border);
 
@@ -264,7 +347,40 @@ pub fn lpf(m: &mut PimMachine, img: &GrayImage, level: LowerLevel) -> GrayImage 
     check_level(m, level);
     let r = Regions::for_machine(m, img.height());
     let w = load_image(m, r.input, img) as u32;
-    lpf_rows(m, &r, r.input, r.aux2, img.height(), w as usize, level);
+    lpf_rows(
+        m,
+        &r,
+        r.input,
+        r.aux2,
+        img.height(),
+        w as usize,
+        level,
+        None,
+    );
+    read_image(m, r.aux2, w, img.height())
+}
+
+/// [`lpf`] with an explicit pass list in place of `level`'s full
+/// pipeline (see [`edge_detect_with_passes`]).
+pub fn lpf_with_passes(
+    m: &mut PimMachine,
+    img: &GrayImage,
+    level: LowerLevel,
+    passes: &[Pass],
+) -> GrayImage {
+    check_level(m, level);
+    let r = Regions::for_machine(m, img.height());
+    let w = load_image(m, r.input, img) as u32;
+    lpf_rows(
+        m,
+        &r,
+        r.input,
+        r.aux2,
+        img.height(),
+        w as usize,
+        level,
+        Some(passes),
+    );
     read_image(m, r.aux2, w, img.height())
 }
 
@@ -273,7 +389,40 @@ pub fn hpf(m: &mut PimMachine, lpf_map: &GrayImage, level: LowerLevel) -> GrayIm
     check_level(m, level);
     let r = Regions::for_machine(m, lpf_map.height());
     let w = load_image(m, r.aux2, lpf_map) as u32;
-    hpf_rows(m, &r, r.aux2, r.aux3, lpf_map.height(), w as usize, level);
+    hpf_rows(
+        m,
+        &r,
+        r.aux2,
+        r.aux3,
+        lpf_map.height(),
+        w as usize,
+        level,
+        None,
+    );
+    read_image(m, r.aux3, w, lpf_map.height())
+}
+
+/// [`hpf`] with an explicit pass list in place of `level`'s full
+/// pipeline (see [`edge_detect_with_passes`]).
+pub fn hpf_with_passes(
+    m: &mut PimMachine,
+    lpf_map: &GrayImage,
+    level: LowerLevel,
+    passes: &[Pass],
+) -> GrayImage {
+    check_level(m, level);
+    let r = Regions::for_machine(m, lpf_map.height());
+    let w = load_image(m, r.aux2, lpf_map) as u32;
+    hpf_rows(
+        m,
+        &r,
+        r.aux2,
+        r.aux3,
+        lpf_map.height(),
+        w as usize,
+        level,
+        Some(passes),
+    );
     read_image(m, r.aux3, w, lpf_map.height())
 }
 
@@ -296,6 +445,35 @@ pub fn nms(
         w as usize,
         cfg,
         level,
+        None,
+    );
+    let mut mask = read_image(m, r.out, w, hpf_map.height());
+    mask.clear_border(cfg.border);
+    mask
+}
+
+/// [`nms`] with an explicit pass list in place of `level`'s full
+/// pipeline (see [`edge_detect_with_passes`]).
+pub fn nms_with_passes(
+    m: &mut PimMachine,
+    hpf_map: &GrayImage,
+    cfg: &EdgeConfig,
+    level: LowerLevel,
+    passes: &[Pass],
+) -> GrayImage {
+    check_level(m, level);
+    let r = Regions::for_machine(m, hpf_map.height());
+    let w = load_image(m, r.aux3, hpf_map) as u32;
+    nms_rows(
+        m,
+        &r,
+        r.aux3,
+        r.out,
+        hpf_map.height(),
+        w as usize,
+        cfg,
+        level,
+        Some(passes),
     );
     let mut mask = read_image(m, r.out, w, hpf_map.height());
     mask.clear_border(cfg.border);
@@ -306,13 +484,33 @@ pub fn nms(
 /// a host-side repack. Output is bit-identical to
 /// [`crate::scalar::downsample2x`].
 pub fn downsample2x(m: &mut PimMachine, img: &GrayImage, level: LowerLevel) -> GrayImage {
+    downsample2x_impl(m, img, level, None)
+}
+
+/// [`downsample2x`] with an explicit pass list in place of `level`'s
+/// full pipeline (see [`edge_detect_with_passes`]).
+pub fn downsample2x_with_passes(
+    m: &mut PimMachine,
+    img: &GrayImage,
+    level: LowerLevel,
+    passes: &[Pass],
+) -> GrayImage {
+    downsample2x_impl(m, img, level, Some(passes))
+}
+
+fn downsample2x_impl(
+    m: &mut PimMachine,
+    img: &GrayImage,
+    level: LowerLevel,
+    passes: Option<&[Pass]>,
+) -> GrayImage {
     check_level(m, level);
     let r = Regions::for_machine(m, img.height());
     let _ = load_image(m, r.input, img);
     let (w, h) = (img.width() / 2, img.height() / 2);
     assert!(w > 0 && h > 0, "image too small to downsample");
     let prog = downsample_program(&r, 0, h);
-    run(m, &prog, level, &r);
+    run_maybe(m, &prog, level, &r, passes);
     let mut out = GrayImage::new(w, h);
     for oy in 0..h {
         let lanes = m.host_read_lanes(r.aux1 + oy as usize);
@@ -323,6 +521,7 @@ pub fn downsample2x(m: &mut PimMachine, img: &GrayImage, level: LowerLevel) -> G
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lpf_rows(
     m: &mut PimMachine,
     r: &Regions,
@@ -331,17 +530,19 @@ fn lpf_rows(
     h: u32,
     w: usize,
     level: LowerLevel,
+    passes: Option<&[Pass]>,
 ) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
     m.host_broadcast(r.zero_row(), 0)
         .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     let p1 = lpf_pass1_program(r, src, h, 0, h as i64);
-    run(m, &p1, level, r);
+    run_maybe(m, &p1, level, r, passes);
     let p2 = lpf_pass2_program(r, dst, h, mask, 0, h as i64);
-    run(m, &p2, level, r);
+    run_maybe(m, &p2, level, r, passes);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn hpf_rows(
     m: &mut PimMachine,
     r: &Regions,
@@ -350,12 +551,13 @@ fn hpf_rows(
     h: u32,
     w: usize,
     level: LowerLevel,
+    passes: Option<&[Pass]>,
 ) {
     m.host_broadcast(r.zero_row(), 0)
         .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     let p = hpf_program(r, src, dst, h, mask, 0, h as i64);
-    run(m, &p, level, r);
+    run_maybe(m, &p, level, r, passes);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -368,6 +570,7 @@ fn nms_rows(
     w: usize,
     cfg: &EdgeConfig,
     level: LowerLevel,
+    passes: Option<&[Pass]>,
 ) {
     m.set_lanes(LaneWidth::W8, Signedness::Unsigned);
     m.host_broadcast(r.zero_row(), 0)
@@ -378,7 +581,7 @@ fn nms_rows(
         .expect("host I/O row in range");
     let mask = ghost_mask(m, r, w);
     let p = nms_program(r, src, dst, h, mask, 0, h as i64);
-    run(m, &p, level, r);
+    run_maybe(m, &p, level, r, passes);
 }
 
 #[cfg(test)]

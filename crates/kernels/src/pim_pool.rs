@@ -30,19 +30,56 @@
 
 use crate::ir::{
     downsample_program, hpf_program, lower_opt, lpf_pass1_program, lpf_pass2_program, nms_program,
+    scratch_pool,
 };
 use crate::pim_util::{ghost_mask, load_image_rows, partition_rows, prefetch_image_rows, Regions};
 use crate::{EdgeConfig, EdgeMaps, GrayImage};
-use pimvo_pim::{LaneWidth, LoweredProgram, PimArrayPool, Signedness};
+use pimvo_pim::{
+    lower_with_passes, LaneWidth, LowerLevel, LoweredProgram, Pass, PimArrayPool, Signedness,
+};
+use std::sync::Arc;
 
-/// Lowers one strip program per pool array with a builder closure.
-fn strip_programs<F>(strips: &[(i64, i64)], r: &Regions, mut build: F) -> Vec<LoweredProgram>
+/// Lowers one strip program per pool array with a builder closure,
+/// memoized through the pool's [`pimvo_pim::LoweredCache`] — across
+/// frames (and across sessions sharing the cache handle) each distinct
+/// strip program is lowered exactly once.
+fn strip_programs<F>(
+    pool: &PimArrayPool,
+    strips: &[(i64, i64)],
+    r: &Regions,
+    mut build: F,
+) -> Vec<Arc<LoweredProgram>>
+where
+    F: FnMut(i64, i64) -> pimvo_pim::PimProgram,
+{
+    let cache = pool.lowered_cache().clone();
+    let config = pool.array(0).config().clone();
+    strips
+        .iter()
+        .map(|&(y0, y1)| lower_opt(&build(y0, y1), r, &cache, &config))
+        .collect()
+}
+
+/// [`strip_programs`] with an explicit pass list. Uncached: the cache
+/// key does not cover the pass list, and a partial lowering must never
+/// be served to regular callers.
+fn strip_programs_with_passes<F>(
+    strips: &[(i64, i64)],
+    r: &Regions,
+    passes: &[Pass],
+    mut build: F,
+) -> Vec<Arc<LoweredProgram>>
 where
     F: FnMut(i64, i64) -> pimvo_pim::PimProgram,
 {
     strips
         .iter()
-        .map(|&(y0, y1)| lower_opt(&build(y0, y1), r))
+        .map(|&(y0, y1)| {
+            let prog = build(y0, y1);
+            let lowered = lower_with_passes(&prog, LowerLevel::Opt, &scratch_pool(r), passes)
+                .unwrap_or_else(|e| panic!("lowering {}: {e}", prog.name()));
+            Arc::new(lowered)
+        })
         .collect()
 }
 
@@ -54,7 +91,21 @@ where
 ///
 /// Panics if the pool's arrays have fewer than 6 banks of 256 rows.
 pub fn edge_detect(pool: &mut PimArrayPool, img: &GrayImage, cfg: &EdgeConfig) -> EdgeMaps {
-    edge_detect_frame(pool, img, cfg, false, None)
+    edge_detect_frame(pool, img, cfg, false, None, None)
+}
+
+/// [`edge_detect`] with an explicit pass list in place of the full
+/// [`pimvo_pim::LowerLevel::Opt`] pipeline. Every prefix of the
+/// pipeline is value-preserving — only cost may change — which
+/// `crates/kernels/tests/pass_prefix_proptests.rs` pins against
+/// [`crate::scalar`] on both backends.
+pub fn edge_detect_with_passes(
+    pool: &mut PimArrayPool,
+    img: &GrayImage,
+    cfg: &EdgeConfig,
+    passes: &[Pass],
+) -> EdgeMaps {
+    edge_detect_frame(pool, img, cfg, false, None, Some(passes))
 }
 
 /// Runs [`edge_detect`] over a sequence of equal-sized frames with the
@@ -89,7 +140,14 @@ pub fn edge_detect_pipelined(
             // landed before LPF pass 1 reads the input bank
             pool.dma_settle();
         }
-        out.push(edge_detect_frame(pool, img, cfg, f > 0, frames.get(f + 1)));
+        out.push(edge_detect_frame(
+            pool,
+            img,
+            cfg,
+            f > 0,
+            frames.get(f + 1),
+            None,
+        ));
     }
     pool.dma_settle();
     out
@@ -105,11 +163,20 @@ fn edge_detect_frame(
     cfg: &EdgeConfig,
     preloaded: bool,
     next: Option<&GrayImage>,
+    passes: Option<&[Pass]>,
 ) -> EdgeMaps {
     let r = Regions::for_machine(pool.array(0), img.height());
     let h = img.height();
     let w = img.width() as usize;
     let strips = partition_rows(h, pool.len());
+    let lower_strips = |pool: &PimArrayPool,
+                        build: &mut dyn FnMut(i64, i64) -> pimvo_pim::PimProgram|
+     -> Vec<Arc<LoweredProgram>> {
+        match passes {
+            Some(ps) => strip_programs_with_passes(&strips, &r, ps, build),
+            None => strip_programs(pool, &strips, &r, build),
+        }
+    };
 
     // host setup per array: padding/threshold rows, ghost mask, input
     // strip + one halo row below (LPF pass 1 reads y and y + 1)
@@ -131,10 +198,10 @@ fn edge_detect_frame(
         }
     }
 
-    let p1 = strip_programs(&strips, &r, |y0, y1| {
+    let p1 = lower_strips(pool, &mut |y0, y1| {
         lpf_pass1_program(&r, r.input, h, y0, y1)
     });
-    pool.submit_strips("lpf_pass1", &p1)
+    pool.submit_strips_shared("lpf_pass1", &p1)
         .expect("lpf pass 1 programs run");
     if let Some(nf) = next {
         // input bank is dead from here on: stream the next frame's
@@ -148,25 +215,27 @@ fn edge_detect_frame(
         }
     }
     exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
-    let p2 = strip_programs(&strips, &r, |y0, y1| {
+    let p2 = lower_strips(pool, &mut |y0, y1| {
         lpf_pass2_program(&r, r.aux2, h, mask, y0, y1)
     });
-    pool.submit_strips("lpf_pass2", &p2)
+    pool.submit_strips_shared("lpf_pass2", &p2)
         .expect("lpf pass 2 programs run");
     let lpf = collect_image(pool, &strips, r.aux2, img.width(), h);
 
     exchange_boundary_rows(pool, &strips, r.aux2, h, true, true);
-    let ph = strip_programs(&strips, &r, |y0, y1| {
+    let ph = lower_strips(pool, &mut |y0, y1| {
         hpf_program(&r, r.aux2, r.aux3, h, mask, y0, y1)
     });
-    pool.submit_strips("hpf", &ph).expect("hpf programs run");
+    pool.submit_strips_shared("hpf", &ph)
+        .expect("hpf programs run");
     let hpf = collect_image(pool, &strips, r.aux3, img.width(), h);
 
     exchange_boundary_rows(pool, &strips, r.aux3, h, true, true);
-    let pn = strip_programs(&strips, &r, |y0, y1| {
+    let pn = lower_strips(pool, &mut |y0, y1| {
         nms_program(&r, r.aux3, r.out, h, mask, y0, y1)
     });
-    pool.submit_strips("nms", &pn).expect("nms programs run");
+    pool.submit_strips_shared("nms", &pn)
+        .expect("nms programs run");
     let mut mask_img = collect_image(pool, &strips, r.out, img.width(), h);
     mask_img.clear_border(cfg.border);
 
@@ -197,16 +266,16 @@ pub fn lpf(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
             load_image_rows(m, r.input, img, lo, hi);
         }
     }
-    let p1 = strip_programs(&strips, &r, |y0, y1| {
+    let p1 = strip_programs(pool, &strips, &r, |y0, y1| {
         lpf_pass1_program(&r, r.input, h, y0, y1)
     });
-    pool.submit_strips("lpf_pass1", &p1)
+    pool.submit_strips_shared("lpf_pass1", &p1)
         .expect("lpf pass 1 programs run");
     exchange_boundary_rows(pool, &strips, r.aux1, h, true, false);
-    let p2 = strip_programs(&strips, &r, |y0, y1| {
+    let p2 = strip_programs(pool, &strips, &r, |y0, y1| {
         lpf_pass2_program(&r, r.aux2, h, mask, y0, y1)
     });
-    pool.submit_strips("lpf_pass2", &p2)
+    pool.submit_strips_shared("lpf_pass2", &p2)
         .expect("lpf pass 2 programs run");
     collect_image(pool, &strips, r.aux2, img.width(), h)
 }
@@ -232,10 +301,11 @@ pub fn hpf(pool: &mut PimArrayPool, lpf_map: &GrayImage) -> GrayImage {
             load_image_rows(m, r.aux2, lpf_map, lo, hi);
         }
     }
-    let ph = strip_programs(&strips, &r, |y0, y1| {
+    let ph = strip_programs(pool, &strips, &r, |y0, y1| {
         hpf_program(&r, r.aux2, r.aux3, h, mask, y0, y1)
     });
-    pool.submit_strips("hpf", &ph).expect("hpf programs run");
+    pool.submit_strips_shared("hpf", &ph)
+        .expect("hpf programs run");
     collect_image(pool, &strips, r.aux3, lpf_map.width(), h)
 }
 
@@ -263,10 +333,11 @@ pub fn nms(pool: &mut PimArrayPool, hpf_map: &GrayImage, cfg: &EdgeConfig) -> Gr
             load_image_rows(m, r.aux3, hpf_map, lo, hi);
         }
     }
-    let pn = strip_programs(&strips, &r, |y0, y1| {
+    let pn = strip_programs(pool, &strips, &r, |y0, y1| {
         nms_program(&r, r.aux3, r.out, h, mask, y0, y1)
     });
-    pool.submit_strips("nms", &pn).expect("nms programs run");
+    pool.submit_strips_shared("nms", &pn)
+        .expect("nms programs run");
     let mut out = collect_image(pool, &strips, r.out, hpf_map.width(), h);
     out.clear_border(cfg.border);
     out
@@ -289,10 +360,10 @@ pub fn downsample2x(pool: &mut PimArrayPool, img: &GrayImage) -> GrayImage {
             load_image_rows(m, r.input, img, lo, hi);
         }
     }
-    let pd = strip_programs(&strips, &r, |oy0, oy1| {
+    let pd = strip_programs(pool, &strips, &r, |oy0, oy1| {
         downsample_program(&r, oy0 as u32, oy1 as u32)
     });
-    pool.submit_strips("downsample", &pd)
+    pool.submit_strips_shared("downsample", &pd)
         .expect("downsample programs run");
     let mut out = GrayImage::new(w, h);
     for (i, &(oy0, oy1)) in strips.iter().enumerate() {

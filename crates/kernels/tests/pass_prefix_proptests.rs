@@ -1,0 +1,113 @@
+//! Pass-pipeline prefix identity (satellite of the search-based
+//! lowering refactor).
+//!
+//! The staged lowering pipeline ([`pimvo_pim::pass_pipeline`]) is only
+//! allowed to change *cost*: every pass — and therefore every prefix
+//! of the pass list, including the empty one — must produce machine
+//! programs whose outputs are bit-identical to the scalar reference.
+//! This suite pins that on random images across:
+//!
+//! * levels: `Naive`, `Opt`, `MultiReg(2)`, `MultiReg(4)`;
+//! * kernels: LPF pass 1 + pass 2, HPF and NMS (through the full
+//!   `edge_detect` which runs all five strip programs) and downsample;
+//! * backends: a single `PimMachine` and a sharded `PimArrayPool`.
+
+use pimvo_kernels::{ir, pim_pool, scalar, EdgeConfig, GrayImage};
+use pimvo_pim::{pass_pipeline, ArrayConfig, LowerLevel, PimMachine};
+use proptest::prelude::*;
+
+fn random_image(seed: u64, w: u32, h: u32) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| {
+        let v = (x as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+            .wrapping_add(seed)
+            .wrapping_mul(0xD6E8FEB86659FD93);
+        (v >> 56) as u8
+    })
+}
+
+const LEVELS: [LowerLevel; 4] = [
+    LowerLevel::Naive,
+    LowerLevel::Opt,
+    LowerLevel::MultiReg(2),
+    LowerLevel::MultiReg(4),
+];
+
+fn machine_for(level: LowerLevel) -> PimMachine {
+    let mut m = PimMachine::new(ArrayConfig::qvga_banks(6));
+    if let LowerLevel::MultiReg(n) = level {
+        m.set_tmp_regs(n);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Single-machine backend: LPF, HPF and NMS (all five strip
+    /// programs through `edge_detect`) match the scalar reference at
+    /// every prefix of every level's pass pipeline.
+    #[test]
+    fn every_pass_prefix_matches_scalar_on_machine(
+        seed in any::<u64>(),
+        w in 12u32..48,
+        h in 10u32..32,
+    ) {
+        let img = random_image(seed, w, h);
+        let cfg = EdgeConfig::default();
+        let want = scalar::edge_detect(&img, &cfg);
+        for level in LEVELS {
+            let pipeline = pass_pipeline(level);
+            for cut in 0..=pipeline.len() {
+                let mut m = machine_for(level);
+                let got = ir::edge_detect_with_passes(&mut m, &img, &cfg, level, &pipeline[..cut]);
+                prop_assert_eq!(&got.lpf, &want.lpf, "lpf, level {} prefix {}", level, cut);
+                prop_assert_eq!(&got.hpf, &want.hpf, "hpf, level {} prefix {}", level, cut);
+                prop_assert_eq!(&got.mask, &want.mask, "nms, level {} prefix {}", level, cut);
+            }
+        }
+    }
+
+    /// Downsample matches the scalar reference at every prefix of
+    /// every level's pass pipeline.
+    #[test]
+    fn downsample_matches_scalar_at_every_prefix(
+        seed in any::<u64>(),
+        w in 12u32..48,
+        h in 10u32..32,
+    ) {
+        let img = random_image(seed, w & !1, h & !1);
+        let want = scalar::downsample2x(&img);
+        for level in LEVELS {
+            let pipeline = pass_pipeline(level);
+            for cut in 0..=pipeline.len() {
+                let mut m = machine_for(level);
+                let got = ir::downsample2x_with_passes(&mut m, &img, level, &pipeline[..cut]);
+                prop_assert_eq!(&got, &want, "level {} prefix {}", level, cut);
+            }
+        }
+    }
+
+    /// Sharded-pool backend: the full pipeline at `Opt` matches the
+    /// scalar reference at every prefix of the `Opt` pass pipeline,
+    /// on 2..4 arrays.
+    #[test]
+    fn every_pass_prefix_matches_scalar_on_pool(
+        seed in any::<u64>(),
+        arrays in 2usize..5,
+        h in 10u32..32,
+    ) {
+        let img = random_image(seed, 32, h);
+        let cfg = EdgeConfig::default();
+        let want = scalar::edge_detect(&img, &cfg);
+        let pipeline = pass_pipeline(LowerLevel::Opt);
+        for cut in 0..=pipeline.len() {
+            let mut pool = PimMachine::builder(ArrayConfig::qvga_banks(6)).build_pool(arrays);
+            let got = pim_pool::edge_detect_with_passes(&mut pool, &img, &cfg, &pipeline[..cut]);
+            prop_assert_eq!(&got.lpf, &want.lpf, "lpf, prefix {}", cut);
+            prop_assert_eq!(&got.hpf, &want.hpf, "hpf, prefix {}", cut);
+            prop_assert_eq!(&got.mask, &want.mask, "nms, prefix {}", cut);
+        }
+    }
+}

@@ -49,7 +49,7 @@ pub enum Signedness {
 }
 
 /// Geometry of the SRAM-PIM array.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ArrayConfig {
     /// Number of word lines (rows).
     pub rows: usize,

@@ -37,6 +37,7 @@ use crate::lower::LoweredProgram;
 use crate::machine::{PimError, PimMachine};
 use crate::pool::PimArrayPool;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Identifies the session (tenant) a [`Job`] belongs to. Purely an
 /// attribution tag at this layer — fairness across sessions is the
@@ -75,13 +76,24 @@ pub struct Job {
     priority: u8,
     label: String,
     affinity: Option<usize>,
-    program: LoweredProgram,
+    program: Arc<LoweredProgram>,
 }
 
 impl Job {
     /// A job owned by `session`, at [`DeadlineClass::Standard`] and
     /// priority 0, runnable on any healthy array.
     pub fn new(session: SessionId, label: impl Into<String>, program: LoweredProgram) -> Self {
+        Job::new_shared(session, label, Arc::new(program))
+    }
+
+    /// [`Job::new`] over an already-shared program (e.g. one handed
+    /// out by [`crate::LoweredCache`]) — no clone of the instruction
+    /// stream.
+    pub fn new_shared(
+        session: SessionId,
+        label: impl Into<String>,
+        program: Arc<LoweredProgram>,
+    ) -> Self {
         Job {
             session,
             class: DeadlineClass::Standard,
@@ -96,6 +108,11 @@ impl Job {
     /// kernels submit these pinned one-per-array.
     pub fn strip(label: impl Into<String>, program: LoweredProgram) -> Self {
         Job::new(SessionId::HOST, label, program)
+    }
+
+    /// [`Job::strip`] over an already-shared program.
+    pub fn strip_shared(label: impl Into<String>, program: Arc<LoweredProgram>) -> Self {
+        Job::new_shared(SessionId::HOST, label, program)
     }
 
     /// Sets the deadline class.
@@ -401,7 +418,7 @@ impl<'p> PoolExecutor<'p> {
             "wave".to_string()
         };
         let members: Vec<usize> = wave.iter().map(|s| s.array).collect();
-        let programs: Vec<&LoweredProgram> = wave.iter().map(|s| &s.job.program).collect();
+        let programs: Vec<&LoweredProgram> = wave.iter().map(|s| s.job.program()).collect();
         let sessions: Vec<u32> = wave.iter().map(|s| s.job.session.0).collect();
         let (results, deltas) = self
             .pool

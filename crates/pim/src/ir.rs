@@ -49,7 +49,7 @@ impl fmt::Display for VReg {
 }
 
 /// A macro-op operand: an SRAM row or an earlier virtual register.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Val {
     /// An SRAM row — kernel input, broadcast constant, or a row
     /// written by an earlier [`MacroOp::Store`].
@@ -78,7 +78,7 @@ impl fmt::Display for Val {
 /// Every value-producing variant names its destination register
 /// explicitly; [`MacroOp::SetLanes`], [`MacroOp::Store`] and
 /// [`MacroOp::Reduce`] produce no register value.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum MacroOp {
     /// Reconfigure the SIMD lane width and signedness (free — a
     /// datapath strobe, no cycles charged).
@@ -322,7 +322,7 @@ fn alu_name(op: AluOp) -> &'static str {
 /// p.store(e, 2);
 /// assert_eq!(p.ops().len(), 3);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PimProgram {
     name: String,
     ops: Vec<MacroOp>,

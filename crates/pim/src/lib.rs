@@ -101,6 +101,7 @@
 //! the whole ladder per channel and merged per pool.
 
 pub mod bitexact;
+pub mod cache;
 mod config;
 mod cost;
 pub mod dma;
@@ -115,6 +116,7 @@ mod pool;
 mod stats;
 mod trace;
 
+pub use cache::{LoweredCache, LoweredCacheStats};
 pub use config::{ArrayConfig, LaneWidth, Signedness};
 pub use cost::{AreaReport, CostModel};
 pub use dma::{DmaConfig, DmaFaultModel, DmaHealth, TransferDescriptor, TransferKind};
@@ -123,7 +125,9 @@ pub use fault::{FaultModel, FaultStatus, Protection, StuckBit};
 pub use ir::{MacroOp, PimProgram, VReg, Val};
 pub use isa::{AluOp, LogicFunc, OpClass, Operand, Shift};
 pub use lower::{
-    lower, LowerError, LowerLevel, LoweredOp, LoweredProgram, MachineInstr, ScratchRows,
+    lower, lower_with_passes, lower_with_report, pass_pipeline, LowerError, LowerLevel,
+    LowerReport, LoweredOp, LoweredProgram, MachineInstr, Pass, PassStats, ScratchRows,
+    MAX_TMP_REGS,
 };
 pub use machine::{PimError, PimMachine, PimMachineBuilder};
 pub use optrace::{OpRecorder, DEFAULT_OP_RING_CAPACITY};

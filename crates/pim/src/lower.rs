@@ -34,21 +34,32 @@
 use crate::config::{LaneWidth, Signedness};
 use crate::ir::{MacroOp, PimProgram, VReg, Val};
 use crate::isa::{AluOp, LogicFunc, Operand, Shift};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// How aggressively [`lower()`] maps virtual registers onto the machine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LowerLevel {
     /// Every intermediate written back to SRAM and re-read; fused
     /// shifts expanded (the paper's unoptimized mapping).
     Naive,
-    /// Tmp-Reg chaining, shift fusion, dead-write elimination.
+    /// Tmp-Reg chaining, shift fusion, dead-write elimination, peephole
+    /// rewrites and list scheduling.
     Opt,
     /// Opt plus spilling to `n` temporary registers (the machine must
     /// have been configured with
-    /// [`crate::PimMachine::set_tmp_regs`]`(n)` or more).
+    /// [`crate::PimMachine::set_tmp_regs`]`(n)` or more). `n` must be
+    /// in `1..=`[`MAX_TMP_REGS`]; [`lower()`] rejects other depths with
+    /// [`LowerError::RegisterDepth`].
     MultiReg(u8),
 }
+
+/// The deepest Tmp-Reg file any machine supports
+/// ([`crate::PimMachine::set_tmp_regs`] accepts `1..=8`).
+/// [`LowerLevel::MultiReg`] requests outside `1..=MAX_TMP_REGS` are
+/// rejected with [`LowerError::RegisterDepth`] instead of silently
+/// emitting register saves no machine can execute.
+pub const MAX_TMP_REGS: u8 = 8;
 
 impl fmt::Display for LowerLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -121,6 +132,17 @@ pub enum LowerError {
         /// The offending scratch row.
         row: usize,
     },
+    /// [`LowerLevel::MultiReg`] requested a register depth outside the
+    /// machine's representable range (`1..=`[`MAX_TMP_REGS`]). Before
+    /// this check, `MultiReg(0)` silently degraded to `Opt` and depths
+    /// above [`MAX_TMP_REGS`] emitted [`MachineInstr::SaveTmp`] indices
+    /// no machine accepts.
+    RegisterDepth {
+        /// The requested Tmp-Reg depth.
+        requested: u8,
+        /// The deepest supported depth ([`MAX_TMP_REGS`]).
+        max: u8,
+    },
 }
 
 impl fmt::Display for LowerError {
@@ -139,6 +161,10 @@ impl fmt::Display for LowerError {
             LowerError::ScratchOverlap { row } => write!(
                 f,
                 "scratch row {row} overlaps a row the program reads or stores to"
+            ),
+            LowerError::RegisterDepth { requested, max } => write!(
+                f,
+                "multireg depth {requested} is outside the machine range 1..={max}"
             ),
         }
     }
@@ -343,14 +369,160 @@ impl fmt::Display for LoweredProgram {
     }
 }
 
+/// One stage of the lowering pipeline. [`pass_pipeline`] names the
+/// stages [`lower()`] runs per level; [`lower_with_passes`] accepts any
+/// subset (every prefix is independently value-preserving — property
+/// tested against the scalar reference).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Naive pre-pass: fused ALU lane shifts become stand-alone shift
+    /// ops (the paper's unoptimized mapping charges them separately).
+    ExpandShifts,
+    /// Rewrite rules on the typed IR: shift-of-shift composition,
+    /// zero-shift and same-operand ALU identities to [`MacroOp::Load`],
+    /// register-to-register load copy-propagation and dead-definition
+    /// removal.
+    Peephole,
+    /// A stand-alone lane shift whose single consumer is an unshifted
+    /// ALU op folds into that op's lane pre-shift.
+    FuseShifts,
+    /// A store overwritten by a later store to the same row with no
+    /// intervening read is dropped.
+    EliminateDeadStores,
+    /// Cost-guided list scheduling: macro-ops are reordered (within
+    /// SSA, row, reduce-order and lane-config dependencies) so each
+    /// value's consumer follows its producer and reads it from the Tmp
+    /// Reg instead of a spill row.
+    Schedule,
+    /// Home-row layout analysis consumed by the allocation walk: a
+    /// store whose target row is clobbered by a later store while the
+    /// value is still live keeps a register/scratch copy at store time
+    /// (one instruction, value already in the Tmp Reg) instead of
+    /// rescuing it through an extra row read when the clobber lands —
+    /// the clobber-rescue path becomes a cold fallback.
+    Layout,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Pass::ExpandShifts => "expand_shifts",
+            Pass::Peephole => "peephole",
+            Pass::FuseShifts => "fuse_shifts",
+            Pass::EliminateDeadStores => "dse",
+            Pass::Schedule => "schedule",
+            Pass::Layout => "layout",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The pass list [`lower()`] runs at `level`, in execution order.
+///
+/// `Naive` runs only [`Pass::ExpandShifts`] — it is the paper's
+/// unoptimized baseline and must stay cycle-identical to it. `Opt` and
+/// `MultiReg` run the full rewrite + schedule + layout pipeline.
+#[must_use]
+pub fn pass_pipeline(level: LowerLevel) -> &'static [Pass] {
+    const NAIVE: &[Pass] = &[Pass::ExpandShifts];
+    const OPT: &[Pass] = &[
+        Pass::Peephole,
+        Pass::FuseShifts,
+        Pass::EliminateDeadStores,
+        Pass::Schedule,
+        Pass::Layout,
+    ];
+    match level {
+        LowerLevel::Naive => NAIVE,
+        LowerLevel::Opt | LowerLevel::MultiReg(_) => OPT,
+    }
+}
+
+/// Before/after measurements of one pipeline stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassStats {
+    /// The stage.
+    pub pass: Pass,
+    /// Macro-ops entering the stage.
+    pub ops_in: usize,
+    /// Macro-ops leaving the stage.
+    pub ops_out: usize,
+    /// Total lane-shift distance (Σ |pix| over stand-alone and fused
+    /// shifts) entering the stage.
+    pub shift_distance_in: u64,
+    /// Total lane-shift distance leaving the stage.
+    pub shift_distance_out: u64,
+}
+
+/// Per-pass attribution of one lowering, returned by
+/// [`lower_with_report`] so cycle regressions are attributable to a
+/// single stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LowerReport {
+    /// The level lowered at.
+    pub level: LowerLevel,
+    /// One entry per executed pipeline stage, in execution order.
+    pub passes: Vec<PassStats>,
+    /// Machine instructions emitted.
+    pub instrs: usize,
+    /// Spill write-backs to scratch rows (SRAM writes).
+    pub spill_writebacks: usize,
+    /// Spills into extra Tmp registers ([`MachineInstr::SaveTmp`]).
+    pub reg_saves: usize,
+    /// Times the cold clobber-rescue path copied a live value out of a
+    /// row about to be overwritten (with [`Pass::Layout`] in the
+    /// pipeline this should be zero for well-laid-out programs).
+    pub rescues: usize,
+    /// Layout-planned copies made at store time instead of rescue time.
+    pub planned_spills: usize,
+}
+
+impl fmt::Display for LowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "lower report ({}):", self.level)?;
+        for p in &self.passes {
+            writeln!(
+                f,
+                "  {:<14} ops {:>3} -> {:<3} shift-dist {:>3} -> {}",
+                p.pass.to_string(),
+                p.ops_in,
+                p.ops_out,
+                p.shift_distance_in,
+                p.shift_distance_out
+            )?;
+        }
+        writeln!(
+            f,
+            "  emit           {} instrs, {} spill wb, {} reg saves, {} rescues, {} planned spills",
+            self.instrs, self.spill_writebacks, self.reg_saves, self.rescues, self.planned_spills
+        )
+    }
+}
+
+/// Total lane-shift distance of a program: Σ |pix| over stand-alone
+/// [`MacroOp::ShiftPix`] ops and fused [`MacroOp::Alu`] lane
+/// pre-shifts.
+fn shift_distance(prog: &PimProgram) -> u64 {
+    prog.ops()
+        .iter()
+        .map(|op| match *op {
+            MacroOp::ShiftPix { pix, .. } => pix.unsigned_abs() as u64,
+            MacroOp::Alu { shift, .. } => shift.unsigned_abs() as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
 /// Lowers `prog` to machine instructions at `level`, spilling into
-/// `scratch`.
+/// `scratch`. Runs the standard [`pass_pipeline`] for the level.
 ///
 /// # Errors
 ///
 /// [`LowerError::OutOfScratch`] when the scratch pool cannot hold the
 /// live intermediates, [`LowerError::ScratchOverlap`] when the pool
 /// collides with rows the program reads or stores to,
+/// [`LowerError::RegisterDepth`] for a [`LowerLevel::MultiReg`] depth
+/// outside `1..=`[`MAX_TMP_REGS`],
 /// [`LowerError::UseBeforeDef`] / [`LowerError::StoreHazard`] for
 /// malformed programs.
 pub fn lower(
@@ -358,12 +530,80 @@ pub fn lower(
     level: LowerLevel,
     scratch: &ScratchRows,
 ) -> Result<LoweredProgram, LowerError> {
+    Ok(lower_impl(prog, level, scratch, pass_pipeline(level))?.0)
+}
+
+/// [`lower`] plus the per-pass [`LowerReport`].
+///
+/// # Errors
+///
+/// Same conditions as [`lower`].
+pub fn lower_with_report(
+    prog: &PimProgram,
+    level: LowerLevel,
+    scratch: &ScratchRows,
+) -> Result<(LoweredProgram, LowerReport), LowerError> {
+    lower_impl(prog, level, scratch, pass_pipeline(level))
+}
+
+/// Lowers with an explicit pass list instead of the standard
+/// [`pass_pipeline`] — the prefix-testing entry point: every prefix of
+/// the pipeline must produce a program bit-identical to the scalar
+/// reference. Passes run in the order given.
+///
+/// # Errors
+///
+/// Same conditions as [`lower`].
+pub fn lower_with_passes(
+    prog: &PimProgram,
+    level: LowerLevel,
+    scratch: &ScratchRows,
+    passes: &[Pass],
+) -> Result<LoweredProgram, LowerError> {
+    Ok(lower_impl(prog, level, scratch, passes)?.0)
+}
+
+fn lower_impl(
+    prog: &PimProgram,
+    level: LowerLevel,
+    scratch: &ScratchRows,
+    passes: &[Pass],
+) -> Result<(LoweredProgram, LowerReport), LowerError> {
+    if let LowerLevel::MultiReg(n) = level {
+        if n == 0 || n > MAX_TMP_REGS {
+            return Err(LowerError::RegisterDepth {
+                requested: n,
+                max: MAX_TMP_REGS,
+            });
+        }
+    }
     check_store_hazards(prog)?;
     check_scratch_overlap(prog, scratch)?;
-    let processed = match level {
-        LowerLevel::Naive => expand_shifts(prog),
-        LowerLevel::Opt | LowerLevel::MultiReg(_) => eliminate_dead_stores(&fuse_shifts(prog)),
-    };
+    let mut processed = prog.clone();
+    let mut pass_stats = Vec::with_capacity(passes.len());
+    let mut layout = false;
+    for &p in passes {
+        let (ops_in, sd_in) = (processed.ops().len(), shift_distance(&processed));
+        processed = match p {
+            Pass::ExpandShifts => expand_shifts(&processed),
+            Pass::Peephole => peephole(&processed),
+            Pass::FuseShifts => fuse_shifts(&processed),
+            Pass::EliminateDeadStores => eliminate_dead_stores(&processed),
+            Pass::Schedule => schedule(&processed),
+            // analysis only; consumed by the allocation walk below
+            Pass::Layout => {
+                layout = true;
+                processed
+            }
+        };
+        pass_stats.push(PassStats {
+            pass: p,
+            ops_in,
+            ops_out: processed.ops().len(),
+            shift_distance_in: sd_in,
+            shift_distance_out: shift_distance(&processed),
+        });
+    }
     let reg_slots = match level {
         LowerLevel::MultiReg(n) => n.saturating_sub(1) as usize,
         _ => 0,
@@ -386,6 +626,12 @@ pub fn lower(
             }
         }
     }
+    // the paper's naive baseline is left untouched by layout planning
+    let plan = if layout && level != LowerLevel::Naive {
+        layout_plan(processed.ops(), &uses)
+    } else {
+        vec![false; processed.ops().len()]
+    };
     let walker = Walker {
         naive: level == LowerLevel::Naive,
         name: prog.name().to_string(),
@@ -397,15 +643,29 @@ pub fn lower(
         in_reg: vec![None; nv],
         in_row: vec![None; nv],
         home: vec![None; nv],
+        plan,
+        stats: WalkStats::default(),
         out: Vec::new(),
     };
-    let ops = walker.run(processed.ops())?;
-    Ok(LoweredProgram {
-        name: prog.name().to_string(),
+    let (ops, wstats) = walker.run(processed.ops())?;
+    let report = LowerReport {
         level,
-        ops,
-        reduce_count: prog.reduce_count(),
-    })
+        passes: pass_stats,
+        instrs: ops.len(),
+        spill_writebacks: wstats.spills,
+        reg_saves: wstats.reg_saves,
+        rescues: wstats.rescues,
+        planned_spills: wstats.planned,
+    };
+    Ok((
+        LoweredProgram {
+            name: prog.name().to_string(),
+            level,
+            ops,
+            reduce_count: prog.reduce_count(),
+        },
+        report,
+    ))
 }
 
 /// Rejects programs where a store's target row is read between the
@@ -607,6 +867,449 @@ fn eliminate_dead_stores(prog: &PimProgram) -> PimProgram {
     prog.with_ops(kept, prog.vreg_count())
 }
 
+/// ALU ops for which `f(x, x) == x` (idempotent on equal operands).
+fn alu_identity(op: AluOp) -> bool {
+    matches!(
+        op,
+        AluOp::Logic(LogicFunc::Or)
+            | AluOp::Logic(LogicFunc::And)
+            | AluOp::Max
+            | AluOp::Min
+            | AluOp::Avg
+    )
+}
+
+/// Replaces reads of virtual register `from` with `to` in one op.
+fn subst_vreg(op: &mut MacroOp, from: VReg, to: VReg) {
+    let fix = |v: &mut Val| {
+        if *v == Val::V(from) {
+            *v = Val::V(to);
+        }
+    };
+    match op {
+        MacroOp::Alu { a, b, .. } | MacroOp::Mul { a, b, .. } | MacroOp::DivFrac { a, b, .. } => {
+            fix(a);
+            fix(b);
+        }
+        MacroOp::ShiftPix { a, .. }
+        | MacroOp::ShrBits { a, .. }
+        | MacroOp::ShlBits { a, .. }
+        | MacroOp::Neg { a, .. }
+        | MacroOp::SatNarrow { a, .. }
+        | MacroOp::Load { a, .. }
+        | MacroOp::Reduce { a } => fix(a),
+        MacroOp::Store { src, .. } => {
+            if *src == from {
+                *src = to;
+            }
+        }
+        MacroOp::SetLanes { .. } => {}
+    }
+}
+
+/// [`Pass::Peephole`]: rewrite rules over the typed IR, swept to
+/// fixpoint (each rule strictly simplifies, so a handful of sweeps
+/// converges; the bound is a safety net).
+fn peephole(prog: &PimProgram) -> PimProgram {
+    let mut cur = prog.clone();
+    for _ in 0..8 {
+        let (next, changed) = peephole_once(&cur);
+        cur = next;
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+fn peephole_once(prog: &PimProgram) -> (PimProgram, bool) {
+    let src_ops = prog.ops();
+    let nv = prog.vreg_count() as usize;
+    let mut ops: Vec<Option<MacroOp>> = src_ops.iter().cloned().map(Some).collect();
+    let mut changed = false;
+    let mut uses: Vec<Vec<usize>> = vec![Vec::new(); nv];
+    let mut def_at: Vec<Option<usize>> = vec![None; nv];
+    for (i, op) in src_ops.iter().enumerate() {
+        for s in op.sources() {
+            if let Val::V(v) = s {
+                uses[v.index() as usize].push(i);
+            }
+        }
+        if let Some(d) = op.dst() {
+            def_at[d.index() as usize] = Some(i);
+        }
+    }
+    // no-op shifts and same-operand idempotent ALU ops become copies
+    for slot in ops.iter_mut() {
+        let rewritten = match slot {
+            Some(MacroOp::ShiftPix { a, pix: 0, dst })
+            | Some(MacroOp::ShrBits { a, k: 0, dst })
+            | Some(MacroOp::ShlBits { a, k: 0, dst }) => Some(MacroOp::Load { a: *a, dst: *dst }),
+            Some(MacroOp::Alu {
+                op,
+                a,
+                b,
+                shift: 0,
+                dst,
+            }) if a == b && alu_identity(*op) => Some(MacroOp::Load { a: *a, dst: *dst }),
+            _ => None,
+        };
+        if let Some(r) = rewritten {
+            *slot = Some(r);
+            changed = true;
+        }
+    }
+    // shift-of-shift composition: a single-use shift feeding another
+    // shift of the same kind folds into one. The source must be
+    // unchanged in between: no lane reconfiguration (shift semantics
+    // are lane-relative) and, for a row source, no store to that row.
+    let path_clear = |ops: &[Option<MacroOp>], k: usize, i: usize, src: Val| -> bool {
+        ops[k + 1..i].iter().flatten().all(|o| {
+            if matches!(o, MacroOp::SetLanes { .. }) {
+                return false;
+            }
+            match src {
+                Val::Row(r) => !matches!(o, MacroOp::Store { row, .. } if *row == r),
+                Val::V(_) => true,
+            }
+        })
+    };
+    let single_use_def = |v: VReg| -> Option<usize> {
+        let x = v.index() as usize;
+        if uses[x].len() != 1 {
+            return None;
+        }
+        def_at[x]
+    };
+    for i in 0..ops.len() {
+        let Some(op_i) = ops[i].clone() else { continue };
+        match op_i {
+            MacroOp::ShiftPix {
+                a: Val::V(v),
+                pix: p2,
+                dst,
+            } => {
+                let Some(k) = single_use_def(v) else { continue };
+                let Some(MacroOp::ShiftPix {
+                    a: src, pix: p1, ..
+                }) = ops[k].clone()
+                else {
+                    continue;
+                };
+                // pixel shifts fill vacated edge lanes with zeros, so
+                // they compose only when both move the same direction
+                if !(p1 == 0 || p2 == 0 || (p1 < 0) == (p2 < 0)) {
+                    continue;
+                }
+                if !path_clear(&ops, k, i, src) {
+                    continue;
+                }
+                let sum = p1 + p2;
+                ops[i] = Some(if sum == 0 {
+                    MacroOp::Load { a: src, dst }
+                } else {
+                    MacroOp::ShiftPix {
+                        a: src,
+                        pix: sum,
+                        dst,
+                    }
+                });
+                ops[k] = None;
+                changed = true;
+            }
+            MacroOp::ShrBits {
+                a: Val::V(v),
+                k: k2,
+                dst,
+            } => {
+                let Some(kidx) = single_use_def(v) else {
+                    continue;
+                };
+                let Some(MacroOp::ShrBits { a: src, k: k1, .. }) = ops[kidx].clone() else {
+                    continue;
+                };
+                if k1 + k2 >= 64 || !path_clear(&ops, kidx, i, src) {
+                    continue;
+                }
+                ops[i] = Some(MacroOp::ShrBits {
+                    a: src,
+                    k: k1 + k2,
+                    dst,
+                });
+                ops[kidx] = None;
+                changed = true;
+            }
+            MacroOp::ShlBits {
+                a: Val::V(v),
+                k: k2,
+                dst,
+            } => {
+                let Some(kidx) = single_use_def(v) else {
+                    continue;
+                };
+                let Some(MacroOp::ShlBits { a: src, k: k1, .. }) = ops[kidx].clone() else {
+                    continue;
+                };
+                if k1 + k2 >= 64 || !path_clear(&ops, kidx, i, src) {
+                    continue;
+                }
+                ops[i] = Some(MacroOp::ShlBits {
+                    a: src,
+                    k: k1 + k2,
+                    dst,
+                });
+                ops[kidx] = None;
+                changed = true;
+            }
+            _ => {}
+        }
+    }
+    // register-to-register copy propagation (row loads stay: moving a
+    // row read across stores would change the value observed)
+    for i in 0..ops.len() {
+        let Some(MacroOp::Load { a: Val::V(v), dst }) = ops[i].clone() else {
+            continue;
+        };
+        for later in ops[i + 1..].iter_mut().flatten() {
+            subst_vreg(later, dst, v);
+        }
+        ops[i] = None;
+        changed = true;
+    }
+    // dead definitions disappear (cascading chains converge across
+    // the outer fixpoint sweeps)
+    let mut used = vec![false; nv];
+    for op in ops.iter().flatten() {
+        for s in op.sources() {
+            if let Val::V(v) = s {
+                used[v.index() as usize] = true;
+            }
+        }
+    }
+    for slot in ops.iter_mut() {
+        let dead = matches!(slot, Some(op) if op.dst().is_some_and(|d| !used[d.index() as usize]));
+        if dead {
+            *slot = None;
+            changed = true;
+        }
+    }
+    let kept: Vec<MacroOp> = ops.into_iter().flatten().collect();
+    (prog.with_ops(kept, prog.vreg_count()), changed)
+}
+
+/// [`Pass::Schedule`]: cost-guided list scheduling. Macro-ops are
+/// reordered — within SSA, row, reduce-order and lane-configuration
+/// dependencies — so each value's producer sits as close as possible
+/// before its consumer, letting the allocation walk read it from the
+/// Tmp Reg instead of spilling it to a scratch row.
+///
+/// Priorities come from a DFS post-order over operand chains rooted at
+/// the side-effecting ops: an op's operand subtrees are visited
+/// most-remaining-uses-first, so the operand cheapest to keep live (a
+/// single-use value) is computed last and rides the Tmp Reg into its
+/// consumer. A Kahn walk then emits ready ops by minimum priority,
+/// tie-broken by original index — fully deterministic.
+fn schedule(prog: &PimProgram) -> PimProgram {
+    let src = prog.ops();
+    let nv = prog.vreg_count() as usize;
+    let mut store_row = vec![None; nv];
+    for op in src {
+        if let MacroOp::Store { src: s, row } = *op {
+            let x = s.index() as usize;
+            if store_row[x].is_none() {
+                store_row[x] = Some(row);
+            }
+        }
+    }
+    let mut use_count = vec![0usize; nv];
+    for op in src {
+        for s in op.sources() {
+            if let Val::V(v) = s {
+                use_count[v.index() as usize] += 1;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(src.len());
+    let mut seg_start = 0;
+    // SetLanes ops are barriers: every op's semantics depend on the
+    // current lane configuration, so segments never cross one
+    for i in 0..=src.len() {
+        let barrier = i == src.len() || matches!(src[i], MacroOp::SetLanes { .. });
+        if !barrier {
+            continue;
+        }
+        schedule_segment(&src[seg_start..i], &store_row, &use_count, &mut out);
+        if i < src.len() {
+            out.push(src[i].clone());
+        }
+        seg_start = i + 1;
+    }
+    prog.with_ops(out, prog.vreg_count())
+}
+
+fn schedule_segment(
+    seg: &[MacroOp],
+    store_row: &[Option<usize>],
+    use_count: &[usize],
+    out: &mut Vec<MacroOp>,
+) {
+    let n = seg.len();
+    if n <= 1 {
+        out.extend(seg.iter().cloned());
+        return;
+    }
+    let mut def_at: HashMap<u32, usize> = HashMap::new();
+    for (j, op) in seg.iter().enumerate() {
+        if let Some(d) = op.dst() {
+            def_at.insert(d.index(), j);
+        }
+    }
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    fn add_edge(succ: &mut [Vec<usize>], indeg: &mut [usize], a: usize, b: usize) {
+        if a != b && !succ[a].contains(&b) {
+            succ[a].push(b);
+            indeg[b] += 1;
+        }
+    }
+    // SSA def -> use
+    for (j, op) in seg.iter().enumerate() {
+        for s in op.sources() {
+            if let Val::V(v) = s {
+                if let Some(&d) = def_at.get(&v.index()) {
+                    add_edge(&mut succ, &mut indeg, d, j);
+                }
+            }
+        }
+    }
+    // row RAW/WAR/WAW. Writers are stores — and defs whose destination
+    // has a home row, because a naive-level walk writes the home row at
+    // the defining op (conservative but required for the pass to be
+    // sound under arbitrary pass lists, and nearly free at Opt where
+    // intermediates have no home).
+    let mut row_events: BTreeMap<usize, Vec<(usize, bool)>> = BTreeMap::new();
+    for (j, op) in seg.iter().enumerate() {
+        for s in op.sources() {
+            if let Val::Row(r) = s {
+                row_events.entry(r).or_default().push((j, false));
+            }
+        }
+        let written = match *op {
+            MacroOp::Store { row, .. } => Some(row),
+            _ => op.dst().and_then(|d| store_row[d.index() as usize]),
+        };
+        if let Some(r) = written {
+            row_events.entry(r).or_default().push((j, true));
+        }
+    }
+    for events in row_events.values() {
+        for (x, &(j1, w1)) in events.iter().enumerate() {
+            for &(j2, w2) in &events[x + 1..] {
+                if w1 || w2 {
+                    add_edge(&mut succ, &mut indeg, j1, j2);
+                }
+            }
+        }
+    }
+    // reduce results come back in program order
+    let mut last_reduce: Option<usize> = None;
+    for (j, op) in seg.iter().enumerate() {
+        if matches!(op, MacroOp::Reduce { .. }) {
+            if let Some(p) = last_reduce {
+                add_edge(&mut succ, &mut indeg, p, j);
+            }
+            last_reduce = Some(j);
+        }
+    }
+    // DFS post-order priorities over operand chains
+    let children: Vec<Vec<usize>> = seg
+        .iter()
+        .map(|op| {
+            let mut c: Vec<(usize, usize)> = op
+                .sources()
+                .iter()
+                .filter_map(|s| match s {
+                    Val::V(v) => def_at
+                        .get(&v.index())
+                        .map(|&d| (d, use_count[v.index() as usize])),
+                    _ => None,
+                })
+                .collect();
+            // stable sort: ties keep operand order (`a` first, `b` last)
+            c.sort_by_key(|&(_, uses)| std::cmp::Reverse(uses));
+            c.into_iter().map(|(d, _)| d).collect()
+        })
+        .collect();
+    let mut prio = vec![usize::MAX; n];
+    let mut counter = 0usize;
+    let mut visited = vec![false; n];
+    let mut roots: Vec<usize> = (0..n)
+        .filter(|&j| matches!(seg[j], MacroOp::Store { .. } | MacroOp::Reduce { .. }))
+        .collect();
+    roots.extend(0..n);
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in roots {
+        if visited[root] {
+            continue;
+        }
+        visited[root] = true;
+        stack.push((root, 0));
+        while let Some(top) = stack.last_mut() {
+            let (node, cursor) = (top.0, top.1);
+            if cursor < children[node].len() {
+                top.1 += 1;
+                let c = children[node][cursor];
+                if !visited[c] {
+                    visited[c] = true;
+                    stack.push((c, 0));
+                }
+            } else {
+                stack.pop();
+                prio[node] = counter;
+                counter += 1;
+            }
+        }
+    }
+    // Kahn list scheduling: emit the ready op with minimum priority
+    let mut ready: Vec<usize> = (0..n).filter(|&j| indeg[j] == 0).collect();
+    for _ in 0..n {
+        let (pos, &best) = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &j)| (prio[j], j))
+            .expect("dependency graph is acyclic");
+        ready.swap_remove(pos);
+        out.push(seg[best].clone());
+        for &s in &succ[best] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+}
+
+/// [`Pass::Layout`] analysis: for each store, whether the stored value
+/// outlives a later store that clobbers the same row. Such values keep
+/// a register/scratch copy at store time (one instruction — the value
+/// is already in the Tmp Reg) so the clobber never triggers the
+/// two-instruction rescue path.
+fn layout_plan(ops: &[MacroOp], uses: &[Vec<usize>]) -> Vec<bool> {
+    let mut plan = vec![false; ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        let MacroOp::Store { src, row } = *op else {
+            continue;
+        };
+        let x = src.index() as usize;
+        plan[i] = ops[i + 1..].iter().enumerate().any(|(d, later)| {
+            let j = i + 1 + d;
+            matches!(later, MacroOp::Store { row: r2, .. } if *r2 == row)
+                && uses[x].iter().any(|&u| u > j)
+        });
+    }
+    plan
+}
+
 /// Greedy forward allocation walk shared by all levels.
 struct Walker {
     naive: bool,
@@ -625,11 +1328,25 @@ struct Walker {
     in_row: Vec<Option<usize>>,
     /// Naive home rows, assigned at the defining op.
     home: Vec<Option<usize>>,
+    /// Per-op layout decisions from [`layout_plan`]: `plan[i]` on a
+    /// store means "keep a surviving copy now, the row gets clobbered
+    /// while the value is still live".
+    plan: Vec<bool>,
+    stats: WalkStats,
     out: Vec<LoweredOp>,
 }
 
+/// Spill/rescue counters accumulated by one allocation walk.
+#[derive(Clone, Copy, Debug, Default)]
+struct WalkStats {
+    spills: usize,
+    reg_saves: usize,
+    rescues: usize,
+    planned: usize,
+}
+
 impl Walker {
-    fn run(mut self, ops: &[MacroOp]) -> Result<Vec<LoweredOp>, LowerError> {
+    fn run(mut self, ops: &[MacroOp]) -> Result<(Vec<LoweredOp>, WalkStats), LowerError> {
         for (i, op) in ops.iter().enumerate() {
             match *op {
                 MacroOp::SetLanes { width, sign } => {
@@ -640,7 +1357,7 @@ impl Walker {
                 _ => self.lower_def(i, op)?,
             }
         }
-        Ok(self.out)
+        Ok((self.out, self.stats))
     }
 
     fn emit(&mut self, instr: MachineInstr, ir_idx: usize) {
@@ -739,10 +1456,12 @@ impl Walker {
         if let Some(idx) = self.alloc_reg(i, v) {
             self.emit(MachineInstr::SaveTmp { idx }, i);
             self.in_reg[x] = Some(idx);
+            self.stats.reg_saves += 1;
         } else {
             let row = self.alloc_scratch(i, v)?;
             self.emit(MachineInstr::Writeback { row }, i);
             self.in_row[x] = Some(row);
+            self.stats.spills += 1;
         }
         Ok(())
     }
@@ -793,6 +1512,7 @@ impl Walker {
             }
             // the row holds the value's only copy: route it through
             // the Tmp Reg (preserving a Tmp value still used at `i`)
+            self.stats.rescues += 1;
             self.spill_tmp_from(i, i)?;
             self.emit(
                 MachineInstr::Alu {
@@ -808,10 +1528,12 @@ impl Walker {
             if let Some(idx) = self.alloc_reg(i, v) {
                 self.emit(MachineInstr::SaveTmp { idx }, i);
                 self.in_reg[x] = Some(idx);
+                self.stats.reg_saves += 1;
             } else {
                 let r2 = self.alloc_scratch(i, v)?;
                 self.emit(MachineInstr::Writeback { row: r2 }, i);
                 self.in_row[x] = Some(r2);
+                self.stats.spills += 1;
                 if self.naive {
                     self.home[x] = Some(r2);
                 }
@@ -824,19 +1546,16 @@ impl Walker {
         Ok(match *op {
             MacroOp::Alu {
                 op: o, a, b, shift, ..
-            } => {
-                debug_assert!(!self.naive || shift == 0, "naive shifts pre-expanded");
-                MachineInstr::Alu {
-                    op: o,
-                    a: self.resolve(a, i)?,
-                    b: self.resolve(b, i)?,
-                    shift: if shift == 0 {
-                        Shift::None
-                    } else {
-                        Shift::Pix(shift)
-                    },
-                }
-            }
+            } => MachineInstr::Alu {
+                op: o,
+                a: self.resolve(a, i)?,
+                b: self.resolve(b, i)?,
+                shift: if shift == 0 {
+                    Shift::None
+                } else {
+                    Shift::Pix(shift)
+                },
+            },
             MacroOp::ShiftPix { a, pix, .. } => MachineInstr::ShiftPix {
                 a: self.resolve(a, i)?,
                 pix,
@@ -935,7 +1654,7 @@ impl Walker {
             self.rescue_row(i, row, src.index())?;
             if self.tmp == Some(src.index()) {
                 self.emit(MachineInstr::Writeback { row }, i);
-                self.in_row[s] = Some(row);
+                self.finish_store(i, s, row)?;
                 return Ok(());
             }
             // the rescue displaced src from the Tmp Reg (spilling it to
@@ -958,7 +1677,23 @@ impl Walker {
         );
         self.tmp = Some(src.index());
         self.emit(MachineInstr::Writeback { row }, i);
-        self.in_row[s] = Some(row);
+        self.finish_store(i, s, row)?;
+        Ok(())
+    }
+
+    /// Records where a just-stored value lives. Normally the target
+    /// row is cached as the value's location; when [`layout_plan`]
+    /// flagged this store (the row gets clobbered while the value is
+    /// still live) the value instead keeps a register/scratch copy now
+    /// — it is sitting in the Tmp Reg, so the copy is one instruction
+    /// versus the two-instruction rescue at clobber time.
+    fn finish_store(&mut self, i: usize, s: usize, row: usize) -> Result<(), LowerError> {
+        if self.plan.get(i).copied().unwrap_or(false) {
+            self.stats.planned += 1;
+            self.spill_tmp(i)?;
+        } else {
+            self.in_row[s] = Some(row);
+        }
         Ok(())
     }
 
@@ -1319,5 +2054,224 @@ mod tests {
             // unwritten lanes are zero-filled: 0 ± 0 contributes nothing
             assert_eq!(sums, vec![66, 54], "{level}");
         }
+    }
+
+    #[test]
+    fn multireg_depth_out_of_range_is_rejected() {
+        for n in [0u8, MAX_TMP_REGS + 1] {
+            assert_eq!(
+                lower(&smooth(), LowerLevel::MultiReg(n), &scratch()),
+                Err(LowerError::RegisterDepth {
+                    requested: n,
+                    max: MAX_TMP_REGS
+                }),
+                "depth {n}"
+            );
+        }
+        // the range bounds themselves are accepted
+        for n in [1u8, MAX_TMP_REGS] {
+            assert!(lower(&smooth(), LowerLevel::MultiReg(n), &scratch()).is_ok());
+        }
+    }
+
+    #[test]
+    fn peephole_composes_shift_chains() {
+        let mut build = PimProgram::new("p");
+        let s1 = build.shift_pix(Val::Row(0), 1);
+        let s2 = build.shift_pix(s1.into(), 2);
+        let c = build.cmp_gt(Val::Row(1), s2.into());
+        build.store(c, 2);
+        let l = lower(&build, LowerLevel::Opt, &scratch()).unwrap();
+        // both shifts compose, then fuse into cmp_gt's pre-shift
+        assert_eq!(l.ops().len(), 2);
+        assert!(matches!(
+            l.ops()[0].instr,
+            MachineInstr::Alu {
+                op: AluOp::CmpGt,
+                shift: Shift::Pix(3),
+                ..
+            }
+        ));
+        // opposite-direction shifts zero-fill different edge lanes and
+        // must NOT compose
+        let mut build = PimProgram::new("p2");
+        let s1 = build.shift_pix(Val::Row(0), 1);
+        let s2 = build.shift_pix(s1.into(), -1);
+        build.store(s2, 2);
+        let l = lower(&build, LowerLevel::Opt, &scratch()).unwrap();
+        assert!(
+            l.ops()
+                .iter()
+                .filter(|o| matches!(o.instr, MachineInstr::ShiftPix { .. }))
+                .count()
+                >= 2,
+            "opposite-sign shifts stayed separate"
+        );
+    }
+
+    #[test]
+    fn peephole_drops_identity_ops() {
+        let mut build = PimProgram::new("p");
+        let z = build.shift_pix(Val::Row(0), 0);
+        let o = build.or(z.into(), z.into());
+        build.store(o, 2);
+        let l = lower(&build, LowerLevel::Opt, &scratch()).unwrap();
+        // zero-shift and or(x, x) both vanish: one row copy + writeback
+        assert_eq!(l.ops().len(), 2);
+        assert!(matches!(
+            l.ops()[0].instr,
+            MachineInstr::Alu {
+                op: AluOp::Logic(LogicFunc::Or),
+                a: Operand::Row(0),
+                b: Operand::Row(0),
+                shift: Shift::None,
+            }
+        ));
+        // values match the naive lowering exactly
+        let mut rows = Vec::new();
+        for level in [LowerLevel::Naive, LowerLevel::Opt] {
+            let mut m = PimMachine::new(ArrayConfig::default());
+            m.host_write_lanes(0, &[7, 0, 255, 13]).unwrap();
+            let l = lower(&build, level, &scratch()).unwrap();
+            m.run_program(&l).unwrap();
+            rows.push(m.host_read_lanes(2)[..4].to_vec());
+        }
+        assert_eq!(rows[0], rows[1]);
+    }
+
+    /// An HPF-shaped diamond: four values live at once, whose greedy
+    /// in-order walk spills all of them while a depth-first schedule
+    /// computes each operand chain right before its consumer.
+    fn diamond() -> PimProgram {
+        let mut build = PimProgram::new("diamond");
+        let d2 = build.abs_diff_sh(Val::Row(2), Val::Row(0), 1);
+        let dv = build.abs_diff(Val::Row(0), Val::Row(2));
+        let dh = build.abs_diff_sh(Val::Row(1), Val::Row(1), 1);
+        let d1 = build.abs_diff_sh(Val::Row(0), Val::Row(2), 1);
+        let e1 = build.avg(d1.into(), d2.into());
+        let e2 = build.avg_sh(dh.into(), dv.into(), 1);
+        let e3 = build.avg(e2.into(), e1.into());
+        let out = build.shift_pix(e3.into(), 2);
+        build.store(out, 3);
+        build
+    }
+
+    #[test]
+    fn scheduling_reduces_spills_below_greedy() {
+        let greedy = [Pass::FuseShifts, Pass::EliminateDeadStores];
+        let prog = diamond();
+        let mut cycles = Vec::new();
+        let mut rows = Vec::new();
+        for passes in [&greedy[..], pass_pipeline(LowerLevel::Opt)] {
+            let mut m = PimMachine::new(ArrayConfig::default());
+            m.host_write_lanes(0, &[9, 3, 200, 17, 4]).unwrap();
+            m.host_write_lanes(1, &[5, 100, 2, 90, 30]).unwrap();
+            m.host_write_lanes(2, &[77, 1, 60, 8, 254]).unwrap();
+            let l = lower_with_passes(&prog, LowerLevel::Opt, &scratch(), passes).unwrap();
+            m.run_program(&l).unwrap();
+            cycles.push(m.stats().cycles);
+            rows.push(m.host_read_lanes(3)[..5].to_vec());
+        }
+        assert_eq!(rows[0], rows[1], "schedule must preserve values");
+        assert!(
+            cycles[1] < cycles[0],
+            "scheduled {} vs greedy {}",
+            cycles[1],
+            cycles[0]
+        );
+    }
+
+    #[test]
+    fn layout_plan_replaces_rescue_with_cheap_copy() {
+        // v is stored to row 3, row 3 is read and then clobbered, and v
+        // is used afterwards: unplanned lowering rescues at the
+        // clobber, the layout pass keeps a copy at store time instead
+        let mut build = PimProgram::new("clobber");
+        let v = build.add(Val::Row(0), Val::Row(1));
+        build.store(v, 3);
+        let w = build.add(Val::Row(3), Val::Row(1));
+        build.store(w, 3);
+        let x = build.add(v.into(), w.into());
+        build.store(x, 4);
+        let (_, report) = lower_with_report(&build, LowerLevel::Opt, &scratch()).unwrap();
+        assert_eq!(report.planned_spills, 1, "{report}");
+        assert_eq!(report.rescues, 0, "{report}");
+        // without the layout pass the same program needs a rescue
+        let no_layout: Vec<Pass> = pass_pipeline(LowerLevel::Opt)
+            .iter()
+            .copied()
+            .filter(|p| *p != Pass::Layout)
+            .collect();
+        let full = lower(&build, LowerLevel::Opt, &scratch()).unwrap();
+        let bare = lower_with_passes(&build, LowerLevel::Opt, &scratch(), &no_layout).unwrap();
+        assert!(
+            full.ops().len() <= bare.ops().len(),
+            "planned copy is never worse than the rescue"
+        );
+        // both produce identical memory
+        let mut rows = Vec::new();
+        for l in [&full, &bare] {
+            let mut m = PimMachine::new(ArrayConfig::default());
+            m.host_write_lanes(0, &[10, 200, 30]).unwrap();
+            m.host_write_lanes(1, &[1, 2, 3]).unwrap();
+            m.run_program(l).unwrap();
+            rows.push([
+                m.host_read_lanes(3)[..3].to_vec(),
+                m.host_read_lanes(4)[..3].to_vec(),
+            ]);
+        }
+        assert_eq!(rows[0], rows[1]);
+    }
+
+    #[test]
+    fn every_pipeline_prefix_preserves_values() {
+        let prog = diamond();
+        for level in [LowerLevel::Naive, LowerLevel::Opt, LowerLevel::MultiReg(3)] {
+            let pipeline = pass_pipeline(level);
+            let mut reference = None;
+            for cut in 0..=pipeline.len() {
+                let mut m = PimMachine::new(ArrayConfig::default());
+                if let LowerLevel::MultiReg(n) = level {
+                    m.set_tmp_regs(n);
+                }
+                m.host_write_lanes(0, &[9, 3, 200, 17, 4]).unwrap();
+                m.host_write_lanes(1, &[5, 100, 2, 90, 30]).unwrap();
+                m.host_write_lanes(2, &[77, 1, 60, 8, 254]).unwrap();
+                let l = lower_with_passes(&prog, level, &scratch(), &pipeline[..cut]).unwrap();
+                m.run_program(&l).unwrap();
+                let got = m.host_read_lanes(3)[..5].to_vec();
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(want, &got, "{level} prefix {cut}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_attributes_every_pass() {
+        // a fusible stand-alone shift plus a dead store, so both
+        // fuse_shifts and dse show up as op-count drops in the report
+        let mut build = PimProgram::new("r");
+        let s = build.shift_pix(Val::Row(0), -1);
+        let c = build.cmp_gt(Val::Row(1), s.into());
+        build.store(c, 2);
+        let d = build.add(Val::Row(0), Val::Row(1));
+        build.store(d, 3);
+        let e = build.add(Val::Row(0), Val::Row(2));
+        build.store(e, 3);
+        let (l, report) = lower_with_report(&build, LowerLevel::Opt, &scratch()).unwrap();
+        assert_eq!(report.level, LowerLevel::Opt);
+        let passes: Vec<Pass> = report.passes.iter().map(|p| p.pass).collect();
+        assert_eq!(passes, pass_pipeline(LowerLevel::Opt));
+        assert_eq!(report.instrs, l.ops().len());
+        let stats_for = |p: Pass| report.passes.iter().find(|s| s.pass == p).unwrap().clone();
+        let fuse = stats_for(Pass::FuseShifts);
+        assert!(fuse.ops_out < fuse.ops_in, "{report}");
+        assert!(fuse.shift_distance_out <= fuse.shift_distance_in);
+        let dse = stats_for(Pass::EliminateDeadStores);
+        assert!(dse.ops_out < dse.ops_in, "{report}");
+        let rendered = report.to_string();
+        assert!(rendered.contains("schedule") && rendered.contains("spill wb"));
     }
 }

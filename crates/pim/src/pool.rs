@@ -65,6 +65,7 @@
 //! safe because resilient shards are self-contained. An array whose
 //! defects outnumber its spares fails its scrub and stays quarantined.
 
+use crate::cache::LoweredCache;
 use crate::dma::{DmaConfig, DmaFaultModel, DmaHealth};
 use crate::executor::{Job, JobHandle, PoolExecutor};
 use crate::fault::FaultStatus;
@@ -249,6 +250,9 @@ pub struct PimArrayPool {
     /// Ring capacity passed to [`PimArrayPool::arm_op_recorders`], kept
     /// so a DMA channel installed later gets an equally sized lane.
     op_capacity: usize,
+    /// Memo table for lowered programs; defaults to a clone of the
+    /// process-wide [`LoweredCache::global`] handle.
+    lowered: LoweredCache,
 }
 
 impl PimArrayPool {
@@ -289,7 +293,21 @@ impl PimArrayPool {
             telemetry: Telemetry::off(),
             op_sync: None,
             op_capacity: 0,
+            lowered: LoweredCache::global().clone(),
         }
+    }
+
+    /// Replaces the pool's lowered-program cache handle. Kernel entry
+    /// points lower through this cache, so a fleet sharing one handle
+    /// across its pools lowers each distinct program exactly once.
+    pub fn set_lowered_cache(&mut self, cache: LoweredCache) {
+        self.lowered = cache;
+    }
+
+    /// The pool's lowered-program cache handle.
+    #[must_use]
+    pub fn lowered_cache(&self) -> &LoweredCache {
+        &self.lowered
     }
 
     /// Attaches a telemetry handle: labeled phases then record
@@ -730,6 +748,44 @@ impl PimArrayPool {
             .iter()
             .enumerate()
             .map(|(i, p)| ex.submit(Job::strip(label, p.clone()).pin(i)))
+            .collect();
+        ex.drain()?;
+        handles
+            .into_iter()
+            .map(|h| {
+                ex.take(h)
+                    .expect("drained executor holds every result")
+                    .map(|r| r.outputs)
+            })
+            .collect()
+    }
+
+    /// [`PimArrayPool::submit_strips`] over already-shared programs
+    /// (e.g. handed out by the pool's [`LoweredCache`]) — identical
+    /// accounting, no instruction-stream clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `programs.len()` differs from the pool size.
+    ///
+    /// # Errors
+    ///
+    /// As [`PimArrayPool::submit_strips`].
+    pub fn submit_strips_shared(
+        &mut self,
+        label: &str,
+        programs: &[std::sync::Arc<LoweredProgram>],
+    ) -> Result<Vec<Vec<i64>>, PimError> {
+        assert_eq!(
+            programs.len(),
+            self.arrays.len(),
+            "one lowered program per array"
+        );
+        let mut ex = PoolExecutor::new(self);
+        let handles: Vec<JobHandle> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ex.submit(Job::strip_shared(label, std::sync::Arc::clone(p)).pin(i)))
             .collect();
         ex.drain()?;
         handles

@@ -6,7 +6,10 @@ use crate::flight::{DumpReason, FlightDump, FlightFrame, FlightRecorder};
 use crate::session::{ServeError, SessionSpec, SessionStats, StepOutcome};
 use pimvo_core::{BackendKind, Checkpoint, DegradeRung, Tracker, TrackerBuilder, TrackingState};
 use pimvo_kernels::{DepthImage, GrayImage};
-use pimvo_pim::{ArrayConfig, PimArrayPool, PimMachine, PimMachineBuilder, SessionId};
+use pimvo_pim::{
+    ArrayConfig, LoweredCache, LoweredCacheStats, PimArrayPool, PimMachine, PimMachineBuilder,
+    SessionId,
+};
 use pimvo_telemetry::{Severity, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
@@ -84,6 +87,10 @@ pub struct FleetScheduler {
     shared: PimArrayPool,
     sessions: BTreeMap<SessionId, Session>,
     telemetry: Telemetry,
+    /// Fleet-wide lowered-program memo table: shared by the pool and
+    /// every tracker built for a session, so N sessions lower each
+    /// distinct `(program, level, config)` triple exactly once.
+    lowered: LoweredCache,
     /// Directory flight-recorder dumps are written to.
     flight_dir: PathBuf,
 }
@@ -105,12 +112,33 @@ impl FleetScheduler {
     ///
     /// Panics if `arrays` is zero.
     pub fn from_builder(builder: &PimMachineBuilder, arrays: usize) -> Self {
+        let lowered = LoweredCache::new();
+        let mut shared = builder.build_pool(arrays);
+        shared.set_lowered_cache(lowered.clone());
         FleetScheduler {
-            shared: builder.build_pool(arrays),
+            shared,
             sessions: BTreeMap::new(),
             telemetry: Telemetry::off(),
+            lowered,
             flight_dir: std::env::temp_dir(),
         }
+    }
+
+    /// Replaces the fleet's lowered-program cache (a fresh private one
+    /// is created by default). The shared pool and every tracker built
+    /// *after* this call use the new handle; already-resident trackers
+    /// keep the one they were built with.
+    pub fn set_lowered_cache(&mut self, cache: LoweredCache) {
+        self.shared.set_lowered_cache(cache.clone());
+        self.lowered = cache;
+    }
+
+    /// Hit/miss/size counters of the fleet's lowered-program cache.
+    /// `misses` counts distinct `(program, level, config)` triples
+    /// lowered — it stays flat however many sessions join the fleet.
+    #[must_use]
+    pub fn lowered_stats(&self) -> LoweredCacheStats {
+        self.lowered.stats()
     }
 
     /// Sets the directory flight-recorder dumps are written to
@@ -281,6 +309,7 @@ impl FleetScheduler {
         let start = self.shared.wall_cycles();
         let health_before = self.shared.health();
         let dma_before = self.shared.dma_health();
+        let lower_before = self.lowered.stats();
         let sess = self.sessions.get_mut(&id).expect("picked session exists");
         let probing = matches!(sess.breaker, BreakerState::HalfOpen { .. });
         if probing {
@@ -356,6 +385,26 @@ impl FleetScheduler {
         sess.stats.dma_faults += dma_delta.faults();
         sess.stats.dma_retries += dma_delta.retries;
         sess.stats.dma_quarantines += dma_delta.quarantines;
+        // lowering attribution: cache lookups issued while this
+        // session's frame ran. First frames miss (and populate the
+        // shared table); every later session's frames hit.
+        let lower_after = self.lowered.stats();
+        let lower_hit_delta = lower_after.hits.saturating_sub(lower_before.hits);
+        let lower_miss_delta = lower_after.misses.saturating_sub(lower_before.misses);
+        sess.stats.lower_hits += lower_hit_delta;
+        sess.stats.lower_misses += lower_miss_delta;
+        if self.telemetry.is_enabled() {
+            if lower_hit_delta > 0 {
+                self.telemetry
+                    .counter_add("pimvo_serve_lower_hits_total", lower_hit_delta as f64);
+            }
+            if lower_miss_delta > 0 {
+                self.telemetry
+                    .counter_add("pimvo_serve_lower_misses_total", lower_miss_delta as f64);
+            }
+            self.telemetry
+                .gauge_set("pimvo_serve_lower_cache_bytes", lower_after.bytes as f64);
+        }
         let dma_quarantined = dma_delta.quarantines > 0;
         let tripped = Self::update_breaker(sess, probing, lost || missed || dma_quarantined, end);
         if let Some(cap) = flight_frames {
@@ -634,17 +683,18 @@ impl FleetScheduler {
     /// from its eviction checkpoint.
     fn ensure_resident(&mut self, id: SessionId) -> Result<(), ServeError> {
         let telemetry = self.telemetry.clone();
+        let lowered = self.lowered.clone();
         let sess = self.sessions.get_mut(&id).expect("caller checked id");
         match &sess.residency {
             Residency::Resident(_) => Ok(()),
             Residency::Cold => {
                 sess.residency =
-                    Residency::Resident(Box::new(build_tracker(&sess.spec, &telemetry)));
+                    Residency::Resident(Box::new(build_tracker(&sess.spec, &telemetry, &lowered)));
                 Ok(())
             }
             Residency::Evicted(bytes) => {
                 let ckpt = Checkpoint::from_bytes(bytes)?;
-                let mut tracker = build_tracker(&sess.spec, &telemetry);
+                let mut tracker = build_tracker(&sess.spec, &telemetry, &lowered);
                 tracker.restore(&ckpt)?;
                 sess.residency = Residency::Resident(Box::new(tracker));
                 sess.stats.restores += 1;
@@ -866,6 +916,10 @@ impl FleetScheduler {
                 dma_faults: 0,
                 dma_retries: 0,
                 dma_quarantines: 0,
+                // host-side cache accounting restarts with the fresh
+                // process-local cache — replay stays bit-identical
+                lower_hits: 0,
+                lower_misses: 0,
             };
             let residency = match read_u8(payload, c)? {
                 0 => {
@@ -973,7 +1027,7 @@ impl std::fmt::Debug for FleetScheduler {
 /// a one-array staging pool, with the session deadline armed as the
 /// tracker's own per-frame cycle budget so the shed ladder has
 /// in-frame enforcement.
-fn build_tracker(spec: &SessionSpec, telemetry: &Telemetry) -> Tracker {
+fn build_tracker(spec: &SessionSpec, telemetry: &Telemetry, lowered: &LoweredCache) -> Tracker {
     let mut config = spec.config.clone();
     if let Some(d) = spec.deadline_cycles {
         config.budget.cycles_per_frame = Some(d);
@@ -981,6 +1035,7 @@ fn build_tracker(spec: &SessionSpec, telemetry: &Telemetry) -> Tracker {
     TrackerBuilder::new(config)
         .backend(BackendKind::Pim)
         .telemetry(telemetry.clone())
+        .lowered_cache(lowered.clone())
         .build()
 }
 

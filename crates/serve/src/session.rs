@@ -167,6 +167,15 @@ pub struct SessionStats {
     /// DMA channels quarantined (degraded to the synchronous port)
     /// while this session's frames ran.
     pub dma_quarantines: u64,
+    /// Lowered-program cache hits charged while this session's frames
+    /// ran on the fleet. Host-side accounting only — not part of the
+    /// crash-recovery manifest (the cache is process-local and
+    /// rebuilds on first use after recovery).
+    pub lower_hits: u64,
+    /// Lowered-program cache misses (actual lowerings) charged while
+    /// this session's frames ran. Like [`SessionStats::lower_hits`],
+    /// transient host-side accounting.
+    pub lower_misses: u64,
     /// Paths of flight-recorder dumps written for this session, in the
     /// order they were written. Not part of the crash-recovery
     /// manifest: dumps are incident artifacts, rediscovered from disk.

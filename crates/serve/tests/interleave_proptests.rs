@@ -104,7 +104,63 @@ proptest! {
                 prop_assert_eq!(g, w, "session {} frame {} pose", s, k);
             }
         }
+
+        // Fleet-wide lowering dedup: whatever the interleaving, every
+        // distinct (program, level, config) triple was lowered exactly
+        // once — misses mint entries one-for-one, and any re-lowering
+        // of a resident triple would push misses past entries.
+        let lw = fleet.lowered_stats();
+        prop_assert_eq!(lw.misses, lw.entries, "one lowering per distinct triple");
+        prop_assert!(lw.hits > 0, "later frames must reuse earlier lowerings");
+        // per-session attribution adds up to the fleet totals
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for s in 0..N {
+            let st = fleet.stats(SessionId(s as u32 + 1)).unwrap();
+            hits += st.lower_hits;
+            misses += st.lower_misses;
+        }
+        prop_assert_eq!(hits, lw.hits);
+        prop_assert_eq!(misses, lw.misses);
     }
+}
+
+/// The cache is keyed by content, not by fleet or session identity: a
+/// second fleet sharing the handle and serving the same streams lowers
+/// nothing at all — its workload's triples are already resident.
+#[test]
+fn shared_cache_makes_second_fleet_lower_nothing() {
+    use pimvo_pim::LoweredCache;
+    const N: usize = 4;
+    const FRAMES: usize = 2;
+
+    let cache = LoweredCache::new();
+    let run = |cache: &LoweredCache| {
+        let mut fleet = FleetScheduler::new(2);
+        fleet.set_lowered_cache(cache.clone());
+        for s in 0..N {
+            fleet.add_session(
+                SessionId(s as u32 + 1),
+                SessionSpec::new(TrackerConfig::default()).max_queue(FRAMES),
+            );
+            for k in 0..FRAMES {
+                let (g, d) = session_frame(s, k, 0.6);
+                fleet.submit_frame(SessionId(s as u32 + 1), g, d).unwrap();
+            }
+        }
+        fleet.run_until_idle().unwrap();
+        fleet.lowered_stats()
+    };
+
+    let first = run(&cache);
+    assert_eq!(first.misses, first.entries, "one lowering per triple");
+    assert!(first.hits > 0, "sessions share each other's lowerings");
+
+    let second = run(&cache);
+    assert_eq!(
+        second.misses, first.misses,
+        "an identical fleet must re-lower nothing"
+    );
+    assert!(second.hits > first.hits, "the rerun is served from cache");
 }
 
 /// Eviction to checkpoint bytes and transparent restore replays the

@@ -42,6 +42,14 @@ step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace \
 step cargo run -q --release --example dump_ir
 step git diff --exit-code -- 'out/ir_*.txt'
 
+# lowering determinism: two cold dump_ir runs (separate processes,
+# fresh lowered-program caches, --report included so the per-pass
+# statistics are covered too) must be byte-identical
+det_a="$(mktemp -d)"; det_b="$(mktemp -d)"
+step cargo run -q --release --example dump_ir -- "$det_a" --report
+step cargo run -q --release --example dump_ir -- "$det_b" --report
+step diff -r "$det_a" "$det_b"
+
 # bounded chaos smoke: kill-and-restore, snapshot corruption, budget
 # squeezes and quarantine storms must hold every invariant (exit 0)
 chaos_out="$(mktemp -d)"
